@@ -1,0 +1,84 @@
+//! Solver micro-benchmarks: the numerical kernels behind fitting (QR least
+//! squares) and the geometric-programming mechanisms (Cholesky-based Newton
+//! steps, full GP solves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ref_solver::gp::{GeometricProgram, Monomial, Posynomial};
+use ref_solver::{lstsq, Cholesky, Matrix, Qr};
+
+fn design_25x3() -> (Matrix, Vec<f64>) {
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for (i, &bw) in [0.8, 1.6, 3.2, 6.4, 12.8].iter().enumerate() {
+        for (j, &mb) in [0.125, 0.25, 0.5, 1.0, 2.0].iter().enumerate() {
+            rows.push(vec![1.0, f64::ln(bw), f64::ln(mb)]);
+            y.push(0.3 * f64::ln(bw) + 0.5 * f64::ln(mb) + 0.01 * (i + j) as f64);
+        }
+    }
+    let flat: Vec<f64> = rows.into_iter().flatten().collect();
+    (Matrix::from_vec(25, 3, flat).unwrap(), y)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let (x, y) = design_25x3();
+    c.bench_function("qr_least_squares_25x3", |b| {
+        b.iter(|| {
+            Qr::new(std::hint::black_box(&x))
+                .unwrap()
+                .solve_least_squares(&y)
+                .unwrap()
+        })
+    });
+    c.bench_function("lstsq_fit_with_r_squared", |b| {
+        b.iter(|| lstsq::fit(std::hint::black_box(&x), &y).unwrap())
+    });
+
+    let spd = {
+        let a = Matrix::from_fn(16, 16, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let mut m = a.matmul(&a.transpose()).unwrap();
+        for i in 0..16 {
+            m[(i, i)] += 1.0;
+        }
+        m
+    };
+    let rhs = vec![1.0; 16];
+    c.bench_function("cholesky_solve_16", |b| {
+        b.iter(|| {
+            Cholesky::new(std::hint::black_box(&spd))
+                .unwrap()
+                .solve(&rhs)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("gp_solve_nash_2x2", |b| {
+        b.iter(|| {
+            let welfare = Monomial::new(1.0, vec![0.6, 0.4, 0.2, 0.8]).unwrap();
+            let mut gp = GeometricProgram::minimize(4, welfare.reciprocal().into()).unwrap();
+            gp.add_constraint(
+                Posynomial::from_monomials(vec![
+                    Monomial::new(1.0 / 24.0, vec![1.0, 0.0, 0.0, 0.0]).unwrap(),
+                    Monomial::new(1.0 / 24.0, vec![0.0, 0.0, 1.0, 0.0]).unwrap(),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+            gp.add_constraint(
+                Posynomial::from_monomials(vec![
+                    Monomial::new(1.0 / 12.0, vec![0.0, 1.0, 0.0, 0.0]).unwrap(),
+                    Monomial::new(1.0 / 12.0, vec![0.0, 0.0, 0.0, 1.0]).unwrap(),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+            gp.solve(&[6.0, 3.0, 6.0, 3.0]).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_solver
+}
+criterion_main!(benches);

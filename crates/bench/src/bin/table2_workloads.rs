@@ -1,0 +1,38 @@
+//! Table 2: the multiprogrammed workload mixes and their C/M composition.
+//!
+//! Prints each mix's members with the paper's annotation and our fitted
+//! classification (see EXPERIMENTS.md for the two mixes where the paper's
+//! own annotation disagrees with its §5.3 classification).
+
+use ref_bench::pipeline::{experiment_options, fit_benchmark};
+use ref_workloads::profiles::by_name;
+use ref_workloads::suite::all_mixes;
+
+fn main() {
+    let opts = experiment_options();
+    println!("Table 2: workload characterization");
+    println!();
+    let mut cache = std::collections::HashMap::new();
+    for mix in all_mixes() {
+        let classes: Vec<&'static str> = mix
+            .members
+            .iter()
+            .map(|name| {
+                *cache.entry(*name).or_insert_with(|| {
+                    let f = fit_benchmark(by_name(name).expect("known"), &opts);
+                    f.class()
+                })
+            })
+            .collect();
+        let c = classes.iter().filter(|c| **c == "C").count();
+        let m = classes.len() - c;
+        println!(
+            "{:<5} paper: {:>6}   fitted: {}C-{}M",
+            mix.id, mix.paper_annotation, c, m
+        );
+        for (name, class) in mix.members.iter().zip(&classes) {
+            println!("        {name:<20} {class}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,163 @@
+//! The profile → fit pipeline shared by every experiment binary.
+//!
+//! Conventions (matching the paper's §3 example):
+//!
+//! - resource 0 is memory bandwidth in GB/s, resource 1 is cache capacity
+//!   in MB;
+//! - an `N`-core system has capacity `(6 N GB/s, 3 N MB)` — the paper's
+//!   quad-core example is 24 GB/s and 12 MB.
+
+use std::collections::HashMap;
+
+use ref_core::fitting::{fit_cobb_douglas, FitPoint};
+use ref_core::resource::Capacity;
+use ref_core::utility::CobbDouglas;
+use ref_workloads::profiler::{profile, ProfileGrid, ProfilerOptions};
+use ref_workloads::profiles::Benchmark;
+use ref_workloads::suite::WorkloadMix;
+
+/// A workload with its fitted Cobb-Douglas utility and diagnostics.
+#[derive(Debug, Clone)]
+pub struct FittedWorkload {
+    /// Benchmark name.
+    pub name: String,
+    /// Fitted (raw) utility.
+    pub utility: CobbDouglas,
+    /// Goodness of fit of the log-linear regression.
+    pub r_squared: f64,
+    /// The measured profile grid.
+    pub grid: ProfileGrid,
+    /// Model predictions at the grid points, in grid order.
+    pub predictions: Vec<f64>,
+}
+
+impl FittedWorkload {
+    /// Re-scaled elasticities `(alpha_mem, alpha_cache)` summing to one.
+    pub fn rescaled_elasticities(&self) -> (f64, f64) {
+        let r = self.utility.rescaled();
+        (r.elasticity(0), r.elasticity(1))
+    }
+
+    /// `"C"` when cache elasticity dominates, `"M"` otherwise (§5.3).
+    pub fn class(&self) -> &'static str {
+        let (_, cache) = self.rescaled_elasticities();
+        if cache > 0.5 {
+            "C"
+        } else {
+            "M"
+        }
+    }
+}
+
+/// Converts a profile grid to fit points in the crate's unit convention.
+pub fn fit_points(grid: &ProfileGrid) -> Vec<FitPoint> {
+    grid.points
+        .iter()
+        .map(|p| {
+            FitPoint::new(
+                vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()],
+                p.ipc,
+            )
+            .expect("profiled IPC is positive")
+        })
+        .collect()
+}
+
+/// Profiles and fits one benchmark.
+///
+/// # Panics
+///
+/// Panics if fitting fails, which cannot happen for the built-in 25-point
+/// grid (full rank, positive IPC).
+pub fn fit_benchmark(benchmark: &Benchmark, opts: &ProfilerOptions) -> FittedWorkload {
+    let grid = profile(benchmark, opts);
+    let fit = fit_cobb_douglas(&fit_points(&grid)).expect("25-point grid is full rank");
+    FittedWorkload {
+        name: benchmark.name.to_string(),
+        utility: fit.utility().clone(),
+        r_squared: fit.r_squared(),
+        predictions: fit.predictions().to_vec(),
+        grid,
+    }
+}
+
+/// Profiles and fits every member of a mix, caching repeated members.
+pub fn fit_mix(mix: &WorkloadMix, opts: &ProfilerOptions) -> Vec<FittedWorkload> {
+    let mut cache: HashMap<&str, FittedWorkload> = HashMap::new();
+    mix.benchmarks()
+        .into_iter()
+        .map(|b| {
+            cache
+                .entry(b.name)
+                .or_insert_with(|| fit_benchmark(b, opts))
+                .clone()
+        })
+        .collect()
+}
+
+/// System capacity for an `N`-agent experiment: `(6 N GB/s, 3 N MB)`.
+///
+/// # Panics
+///
+/// Panics if `num_agents == 0`.
+pub fn capacity_for_agents(num_agents: usize) -> Capacity {
+    assert!(num_agents > 0, "need at least one agent");
+    Capacity::new(vec![6.0 * num_agents as f64, 3.0 * num_agents as f64])
+        .expect("positive capacities")
+}
+
+/// Profiler options for the experiment binaries: the paper's grid at a
+/// length that keeps a full figure run under a minute.
+pub fn experiment_options() -> ProfilerOptions {
+    ProfilerOptions {
+        warmup_instructions: 80_000,
+        instructions: 150_000,
+        ..ProfilerOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ref_workloads::profiles::by_name;
+    use ref_workloads::suite::four_core_mixes;
+
+    fn quick() -> ProfilerOptions {
+        ProfilerOptions {
+            warmup_instructions: 30_000,
+            instructions: 40_000,
+            ..ProfilerOptions::default()
+        }
+    }
+
+    #[test]
+    fn fit_benchmark_produces_sane_fit() {
+        let f = fit_benchmark(by_name("dedup").unwrap(), &quick());
+        assert_eq!(f.name, "dedup");
+        assert!(f.r_squared > 0.5);
+        assert_eq!(f.class(), "M");
+        assert_eq!(f.predictions.len(), 25);
+    }
+
+    #[test]
+    fn fit_mix_covers_members() {
+        let mix = &four_core_mixes()[0];
+        let fits = fit_mix(mix, &quick());
+        assert_eq!(fits.len(), 4);
+        assert_eq!(fits[0].name, "histogram");
+    }
+
+    #[test]
+    fn capacity_convention_matches_paper_example() {
+        let c = capacity_for_agents(4);
+        assert_eq!(c.as_slice(), &[24.0, 12.0]);
+        let c8 = capacity_for_agents(8);
+        assert_eq!(c8.as_slice(), &[48.0, 24.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn zero_agents_panics() {
+        let _ = capacity_for_agents(0);
+    }
+}

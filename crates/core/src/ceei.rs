@@ -1,0 +1,343 @@
+//! Competitive Equilibrium from Equal Incomes (CEEI).
+//!
+//! §4.2 of the paper proves the proportional-elasticity allocation is a
+//! CEEI: start every agent with an equal budget, let market prices clear,
+//! and the resulting demands *are* the REF shares. This module computes the
+//! equilibrium explicitly — clearing prices and the induced demands — so
+//! the equivalence is verifiable by computation, and exposes a tatonnement
+//! iteration that reaches the same fixed point from arbitrary starting
+//! prices (demonstrating the equilibrium is the natural market outcome,
+//! not an artifact of the closed form).
+//!
+//! For an agent with re-scaled Cobb-Douglas utility (elasticities summing
+//! to one) and budget `B` facing prices `p`, the classic demand function is
+//! `x_r = a_r B / p_r`: the agent spends the fraction `a_r` of its budget
+//! on resource `r`. Market clearing `sum_i x_ir = C_r` then pins
+//! `p_r = B * sum_i a_ir / C_r`.
+
+use crate::error::{CoreError, Result};
+use crate::resource::{Allocation, Bundle, Capacity};
+use crate::utility::CobbDouglas;
+
+/// A competitive equilibrium: clearing prices and the induced allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibrium {
+    /// Market-clearing price per resource (budgets normalized to 1).
+    pub prices: Vec<f64>,
+    /// Each agent's demand at those prices.
+    pub allocation: Allocation,
+}
+
+/// Cobb-Douglas demand of one agent: `x_r = a_r B / p_r`.
+///
+/// Uses the *re-scaled* elasticities, so the whole budget is spent.
+fn demand(agent: &CobbDouglas, budget: f64, prices: &[f64]) -> Vec<f64> {
+    let rescaled = agent.rescaled();
+    rescaled
+        .elasticities()
+        .iter()
+        .zip(prices)
+        .map(|(a, p)| a * budget / p)
+        .collect()
+}
+
+/// Computes the CEEI in closed form (equal budgets of 1).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for an empty population or
+/// dimension mismatches.
+///
+/// # Examples
+///
+/// The equilibrium allocation equals the REF closed form (§4.2):
+///
+/// ```
+/// use ref_core::ceei::competitive_equilibrium;
+/// use ref_core::resource::Capacity;
+/// use ref_core::utility::CobbDouglas;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let agents = vec![
+///     CobbDouglas::new(1.0, vec![0.6, 0.4])?,
+///     CobbDouglas::new(1.0, vec![0.2, 0.8])?,
+/// ];
+/// let capacity = Capacity::new(vec![24.0, 12.0])?;
+/// let eq = competitive_equilibrium(&agents, &capacity)?;
+/// assert!((eq.allocation.bundle(0).get(0) - 18.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn competitive_equilibrium(
+    agents: &[CobbDouglas],
+    capacity: &Capacity,
+) -> Result<Equilibrium> {
+    if agents.is_empty() {
+        return Err(CoreError::InvalidArgument(
+            "need at least one agent".to_string(),
+        ));
+    }
+    let r_count = capacity.num_resources();
+    for (i, a) in agents.iter().enumerate() {
+        if a.elasticities().len() != r_count {
+            return Err(CoreError::InvalidArgument(format!(
+                "agent {i} covers {} resources, capacity covers {r_count}",
+                a.elasticities().len()
+            )));
+        }
+    }
+    // Clearing prices: p_r = sum_i a^_ir / C_r (budgets of 1).
+    let rescaled: Vec<CobbDouglas> = agents.iter().map(CobbDouglas::rescaled).collect();
+    let prices: Vec<f64> = (0..r_count)
+        .map(|r| {
+            let total: f64 = rescaled.iter().map(|a| a.elasticity(r)).sum();
+            // A resource nobody demands clears at any price; pick one that
+            // spreads it evenly (matching the REF convention).
+            if total > 0.0 {
+                total / capacity.get(r)
+            } else {
+                agents.len() as f64 / capacity.get(r)
+            }
+        })
+        .collect();
+    let bundles: Result<Vec<Bundle>> = rescaled
+        .iter()
+        .map(|a| {
+            let d: Vec<f64> = a
+                .elasticities()
+                .iter()
+                .zip(&prices)
+                .map(|(ar, p)| if *ar > 0.0 { ar / p } else { 0.0 })
+                .collect();
+            Bundle::new(d)
+        })
+        .collect();
+    let mut bundles = bundles?;
+    // Distribute undemanded resources evenly (utility-neutral).
+    for r in 0..r_count {
+        let used: f64 = bundles.iter().map(|b| b.get(r)).sum();
+        let slack = capacity.get(r) - used;
+        if slack > 1e-12 * capacity.get(r) {
+            let extra = slack / agents.len() as f64;
+            bundles = bundles
+                .into_iter()
+                .map(|b| {
+                    let mut q = b.as_slice().to_vec();
+                    q[r] += extra;
+                    Bundle::new(q).expect("positive quantities")
+                })
+                .collect();
+        }
+    }
+    Ok(Equilibrium {
+        prices,
+        allocation: Allocation::new(bundles, capacity)?,
+    })
+}
+
+/// Result of a tatonnement price adjustment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tatonnement {
+    /// Final prices.
+    pub prices: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Largest relative excess demand at the final prices.
+    pub max_excess: f64,
+}
+
+/// Walrasian tatonnement: adjust prices proportionally to excess demand
+/// until the market clears.
+///
+/// Demonstrates that the CEEI prices are an attracting fixed point of the
+/// natural market dynamic, starting from any positive price vector.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for invalid inputs or
+/// non-positive starting prices, and
+/// [`CoreError::Solver`] never (kept simple on purpose); failure to clear
+/// within `max_iterations` is reported in the returned `max_excess`.
+pub fn tatonnement(
+    agents: &[CobbDouglas],
+    capacity: &Capacity,
+    initial_prices: &[f64],
+    max_iterations: usize,
+) -> Result<Tatonnement> {
+    if agents.is_empty() {
+        return Err(CoreError::InvalidArgument(
+            "need at least one agent".to_string(),
+        ));
+    }
+    let r_count = capacity.num_resources();
+    if initial_prices.len() != r_count
+        || initial_prices.iter().any(|p| !(p.is_finite() && *p > 0.0))
+    {
+        return Err(CoreError::InvalidArgument(
+            "initial prices must be positive, one per resource".to_string(),
+        ));
+    }
+    let mut prices = initial_prices.to_vec();
+    let mut max_excess = f64::INFINITY;
+    for iter in 0..max_iterations {
+        // Aggregate demand at current prices.
+        let mut total = vec![0.0; r_count];
+        for a in agents {
+            for (t, d) in total.iter_mut().zip(demand(a, 1.0, &prices)) {
+                *t += d;
+            }
+        }
+        max_excess = (0..r_count)
+            .map(|r| ((total[r] - capacity.get(r)) / capacity.get(r)).abs())
+            .fold(0.0, f64::max);
+        if max_excess < 1e-10 {
+            return Ok(Tatonnement {
+                prices,
+                iterations: iter,
+                max_excess,
+            });
+        }
+        // Multiplicative price update: p *= demand / supply. For
+        // Cobb-Douglas demands this converges in one step per resource,
+        // but we iterate to model the decentralized dynamic.
+        for r in 0..r_count {
+            let ratio = total[r] / capacity.get(r);
+            prices[r] *= 0.5 + 0.5 * ratio; // damped
+        }
+    }
+    Ok(Tatonnement {
+        prices,
+        iterations: max_iterations,
+        max_excess,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{Mechanism, ProportionalElasticity};
+    use crate::utility::Utility;
+
+    fn paper_agents() -> Vec<CobbDouglas> {
+        vec![
+            CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+        ]
+    }
+
+    fn paper_capacity() -> Capacity {
+        Capacity::new(vec![24.0, 12.0]).unwrap()
+    }
+
+    #[test]
+    fn equilibrium_equals_ref_closed_form() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let eq = competitive_equilibrium(&agents, &c).unwrap();
+        let ref_alloc = ProportionalElasticity.allocate(&agents, &c).unwrap();
+        for i in 0..2 {
+            for r in 0..2 {
+                assert!(
+                    (eq.allocation.bundle(i).get(r) - ref_alloc.bundle(i).get(r)).abs() < 1e-12,
+                    "agent {i} resource {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn market_clears() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let eq = competitive_equilibrium(&agents, &c).unwrap();
+        for r in 0..2 {
+            let used: f64 = eq.allocation.bundles().iter().map(|b| b.get(r)).sum();
+            assert!((used - c.get(r)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn budgets_are_fully_spent_and_equal() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let eq = competitive_equilibrium(&agents, &c).unwrap();
+        for b in eq.allocation.bundles() {
+            let spend: f64 = b
+                .as_slice()
+                .iter()
+                .zip(&eq.prices)
+                .map(|(x, p)| x * p)
+                .sum();
+            assert!((spend - 1.0).abs() < 1e-9, "spend {spend}");
+        }
+    }
+
+    #[test]
+    fn no_agent_can_afford_a_better_bundle() {
+        // Equilibrium optimality: the granted bundle maximizes utility on
+        // the budget set. Check against a grid of affordable bundles.
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let eq = competitive_equilibrium(&agents, &c).unwrap();
+        for (i, a) in agents.iter().enumerate() {
+            let own = a.value(eq.allocation.bundle(i));
+            for sx in 1..20 {
+                let spend_x = sx as f64 / 20.0;
+                let x = spend_x / eq.prices[0];
+                let y = (1.0 - spend_x) / eq.prices[1];
+                let u = a.value_slice(&[x, y]);
+                assert!(u <= own * (1.0 + 1e-9), "agent {i} affords better: {u} > {own}");
+            }
+        }
+    }
+
+    #[test]
+    fn tatonnement_converges_to_clearing_prices() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let eq = competitive_equilibrium(&agents, &c).unwrap();
+        let t = tatonnement(&agents, &c, &[1.0, 1.0], 200).unwrap();
+        assert!(t.max_excess < 1e-10, "excess {}", t.max_excess);
+        for (p, q) in t.prices.iter().zip(&eq.prices) {
+            assert!((p - q).abs() < 1e-8 * q, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn tatonnement_from_skewed_prices() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let t = tatonnement(&agents, &c, &[100.0, 0.001], 500).unwrap();
+        assert!(t.max_excess < 1e-10, "excess {}", t.max_excess);
+    }
+
+    #[test]
+    fn validation() {
+        let c = paper_capacity();
+        assert!(competitive_equilibrium(&[], &c).is_err());
+        let bad = vec![CobbDouglas::new(1.0, vec![1.0]).unwrap()];
+        assert!(competitive_equilibrium(&bad, &c).is_err());
+        let agents = paper_agents();
+        assert!(tatonnement(&agents, &c, &[1.0], 10).is_err());
+        assert!(tatonnement(&agents, &c, &[0.0, 1.0], 10).is_err());
+    }
+
+    #[test]
+    fn three_agents_three_resources() {
+        let agents = vec![
+            CobbDouglas::new(1.0, vec![0.5, 0.3, 0.2]).unwrap(),
+            CobbDouglas::new(2.0, vec![0.2, 0.2, 0.6]).unwrap(),
+            CobbDouglas::new(0.5, vec![0.1, 0.8, 0.1]).unwrap(),
+        ];
+        let c = Capacity::new(vec![30.0, 20.0, 10.0]).unwrap();
+        let eq = competitive_equilibrium(&agents, &c).unwrap();
+        let ref_alloc = ProportionalElasticity.allocate(&agents, &c).unwrap();
+        for i in 0..3 {
+            for r in 0..3 {
+                assert!(
+                    (eq.allocation.bundle(i).get(r) - ref_alloc.bundle(i).get(r)).abs() < 1e-12
+                );
+            }
+        }
+    }
+}

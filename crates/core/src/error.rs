@@ -1,0 +1,87 @@
+//! Error type for the core library.
+
+use std::error::Error;
+use std::fmt;
+
+use ref_solver::SolverError;
+
+/// Errors produced by utilities, fitting and allocation mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An argument violated a documented invariant (dimension mismatch,
+    /// non-positive capacity, invalid elasticity, ...).
+    InvalidArgument(String),
+    /// Fitting requires more observations than parameters.
+    NotEnoughData {
+        /// Observations supplied.
+        observations: usize,
+        /// Parameters to fit.
+        parameters: usize,
+    },
+    /// An underlying numerical routine failed.
+    Solver(SolverError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CoreError::NotEnoughData {
+                observations,
+                parameters,
+            } => write!(
+                f,
+                "need more than {parameters} observations to fit {parameters} parameters, got {observations}"
+            ),
+            CoreError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for CoreError {
+    fn from(e: SolverError) -> CoreError {
+        CoreError::Solver(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_meaningful() {
+        let e = CoreError::InvalidArgument("bad".to_string());
+        assert!(e.to_string().contains("bad"));
+        let e = CoreError::NotEnoughData {
+            observations: 2,
+            parameters: 3,
+        };
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn solver_errors_convert_and_chain() {
+        let e: CoreError = SolverError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,88 @@
+//! The static equal-division baseline.
+
+use crate::error::Result;
+use crate::mechanism::{validate_inputs, Mechanism};
+use crate::resource::{Allocation, Capacity};
+use crate::utility::CobbDouglas;
+
+/// Divides every resource equally: `x_ir = C_r / N`.
+///
+/// This is the outside option that defines sharing incentives (Eq. 3): a
+/// mechanism provides SI exactly when every agent weakly prefers its
+/// allocation to this one. It is trivially SI and EF but generally not
+/// Pareto efficient, because it ignores heterogeneous demands.
+///
+/// # Examples
+///
+/// ```
+/// use ref_core::mechanism::{EqualShare, Mechanism};
+/// use ref_core::resource::Capacity;
+/// use ref_core::utility::CobbDouglas;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let agents = vec![
+///     CobbDouglas::new(1.0, vec![0.6, 0.4])?,
+///     CobbDouglas::new(1.0, vec![0.2, 0.8])?,
+/// ];
+/// let capacity = Capacity::new(vec![24.0, 12.0])?;
+/// let alloc = EqualShare.allocate(&agents, &capacity)?;
+/// assert_eq!(alloc.bundle(0).as_slice(), &[12.0, 6.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EqualShare;
+
+impl Mechanism for EqualShare {
+    fn name(&self) -> &str {
+        "equal-share"
+    }
+
+    fn allocate(&self, agents: &[CobbDouglas], capacity: &Capacity) -> Result<Allocation> {
+        validate_inputs(agents, capacity)?;
+        let split = capacity.equal_split(agents.len());
+        Allocation::new(vec![split; agents.len()], capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::Utility;
+
+    #[test]
+    fn splits_equally() {
+        let agents = vec![
+            CobbDouglas::new(1.0, vec![0.9, 0.1]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.1, 0.9]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.5, 0.5]).unwrap(),
+        ];
+        let c = Capacity::new(vec![24.0, 12.0]).unwrap();
+        let alloc = EqualShare.allocate(&agents, &c).unwrap();
+        for i in 0..3 {
+            assert_eq!(alloc.bundle(i).as_slice(), &[8.0, 4.0]);
+        }
+        assert!(alloc.is_exhaustive(&c, 1e-12));
+    }
+
+    #[test]
+    fn is_trivially_envy_free() {
+        let agents = vec![
+            CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+        ];
+        let c = Capacity::new(vec![24.0, 12.0]).unwrap();
+        let alloc = EqualShare.allocate(&agents, &c).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(agents[i].weakly_prefers(alloc.bundle(i), alloc.bundle(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let c = Capacity::new(vec![1.0]).unwrap();
+        assert!(EqualShare.allocate(&[], &c).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! Nash-social-welfare maximization via geometric programming (§4.5).
+
+use ref_solver::gp::{GeometricProgram, Monomial, Posynomial};
+
+use crate::error::{CoreError, Result};
+use crate::mechanism::{validate_inputs, Mechanism};
+use crate::resource::{Allocation, Bundle, Capacity};
+use crate::utility::CobbDouglas;
+
+/// Elasticities below this threshold are treated as zero when forming
+/// marginal-rate-of-substitution (PE) constraints, which divide by them.
+const PE_ELASTICITY_FLOOR: f64 = 1e-6;
+
+/// Relaxation half-width for the Pareto-efficiency monomial equalities.
+pub(crate) const PE_BAND: f64 = 1e-3;
+
+/// Relaxation applied to the EF and SI constraints: `u_i(x_j) <= (1 + eps)
+/// u_i(x_i)`. Exact constraints can have an empty strict interior (e.g.
+/// identical agents, for whom the equal split is the unique fair point), 
+/// which a log-barrier method cannot center in. The relaxation is an order
+/// of magnitude below the tolerance the property checkers use.
+const FAIRNESS_SLACK: f64 = 1e-4;
+
+/// Maximizes Nash social welfare `prod_i U_i(x_i)`, optionally subject to
+/// the game-theoretic fairness conditions of Eq. 11.
+///
+/// Cobb-Douglas utilities are monomials, so the product objective and every
+/// constraint (capacity, sharing incentives, envy-freeness, the Pareto
+/// tangency conditions) are posynomials or monomials: the whole problem is
+/// a geometric program, tractable exactly as the paper's footnote 2
+/// observes. The unconstrained variant is the evaluation's empirical upper
+/// bound on throughput ("Max Welfare w/o Fairness"); the constrained
+/// variant is "Max Welfare w/ Fairness".
+///
+/// Normalizing each `U_i = u_i / u_i(C)` rescales the objective by a
+/// constant, so the optimizer works with the raw fitted utilities directly.
+///
+/// # Examples
+///
+/// ```
+/// use ref_core::mechanism::{MaxWelfare, Mechanism};
+/// use ref_core::resource::Capacity;
+/// use ref_core::utility::CobbDouglas;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let agents = vec![
+///     CobbDouglas::new(1.0, vec![0.6, 0.4])?,
+///     CobbDouglas::new(1.0, vec![0.2, 0.8])?,
+/// ];
+/// let capacity = Capacity::new(vec![24.0, 12.0])?;
+/// let alloc = MaxWelfare::with_fairness().allocate(&agents, &capacity)?;
+/// // Coincides with the paper's closed-form REF allocation.
+/// assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxWelfare {
+    fairness: bool,
+}
+
+impl MaxWelfare {
+    /// Nash welfare subject to SI, EF and PE constraints
+    /// ("Max Welfare w/ Fairness").
+    pub fn with_fairness() -> MaxWelfare {
+        MaxWelfare { fairness: true }
+    }
+
+    /// Nash welfare subject to capacity only
+    /// ("Max Welfare w/o Fairness", the throughput upper bound).
+    pub fn without_fairness() -> MaxWelfare {
+        MaxWelfare { fairness: false }
+    }
+
+    /// Whether fairness constraints are enforced.
+    pub fn fairness(&self) -> bool {
+        self.fairness
+    }
+}
+
+/// Flat variable index of agent `i`, resource `r`.
+fn idx(i: usize, r: usize, num_resources: usize) -> usize {
+    i * num_resources + r
+}
+
+/// Capacity constraints `sum_i x_ir / C_r <= 1` as posynomials.
+pub(crate) fn capacity_constraints(
+    n: usize,
+    capacity: &Capacity,
+    num_vars: usize,
+) -> Result<Vec<Posynomial>> {
+    let r_count = capacity.num_resources();
+    let mut out = Vec::with_capacity(r_count);
+    for r in 0..r_count {
+        let mut terms = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut exp = vec![0.0; num_vars];
+            exp[idx(i, r, r_count)] = 1.0;
+            terms.push(Monomial::new(1.0 / capacity.get(r), exp)?);
+        }
+        out.push(Posynomial::from_monomials(terms)?);
+    }
+    Ok(out)
+}
+
+/// Envy-freeness constraints `u_i(x_j) / u_i(x_i) <= 1` as monomials.
+pub(crate) fn envy_free_constraints(
+    agents: &[CobbDouglas],
+    num_resources: usize,
+    num_vars: usize,
+) -> Result<Vec<Monomial>> {
+    let n = agents.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let mut exp = vec![0.0; num_vars];
+            for r in 0..num_resources {
+                let a = agents[i].elasticity(r);
+                exp[idx(j, r, num_resources)] += a;
+                exp[idx(i, r, num_resources)] -= a;
+            }
+            out.push(Monomial::new(1.0 / (1.0 + FAIRNESS_SLACK), exp)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Sharing-incentive constraints `u_i(C/N) / u_i(x_i) <= 1` as monomials.
+pub(crate) fn sharing_incentive_constraints(
+    agents: &[CobbDouglas],
+    capacity: &Capacity,
+    num_vars: usize,
+) -> Result<Vec<Monomial>> {
+    let n = agents.len();
+    let r_count = capacity.num_resources();
+    let mut out = Vec::with_capacity(n);
+    for (i, agent) in agents.iter().enumerate() {
+        let mut coeff = 1.0;
+        let mut exp = vec![0.0; num_vars];
+        for r in 0..r_count {
+            let a = agent.elasticity(r);
+            coeff *= (capacity.get(r) / n as f64).powf(a);
+            exp[idx(i, r, r_count)] -= a;
+        }
+        out.push(Monomial::new(coeff / (1.0 + FAIRNESS_SLACK), exp)?);
+    }
+    Ok(out)
+}
+
+/// Pareto-efficiency tangency conditions (Eq. 11's MRS equalities) as
+/// monomial equalities, skipping pairs involving (near-)zero elasticities
+/// for which the MRS is undefined.
+pub(crate) fn pareto_constraints(
+    agents: &[CobbDouglas],
+    num_resources: usize,
+    num_vars: usize,
+) -> Result<Vec<Monomial>> {
+    let n = agents.len();
+    let mut out = Vec::new();
+    let ok = |v: f64| v > PE_ELASTICITY_FLOOR;
+    for i in 1..n {
+        for r in 1..num_resources {
+            let (a_i0, a_ir) = (agents[i].elasticity(0), agents[i].elasticity(r));
+            let (a_00, a_0r) = (agents[0].elasticity(0), agents[0].elasticity(r));
+            if !(ok(a_i0) && ok(a_ir) && ok(a_00) && ok(a_0r)) {
+                continue;
+            }
+            // MRS_i(r, 0) = MRS_0(r, 0):
+            // (a_ir / a_i0) (x_i0 / x_ir) * (a_00 / a_0r) (x_0r / x_00) = 1.
+            let coeff = (a_ir / a_i0) * (a_00 / a_0r);
+            let mut exp = vec![0.0; num_vars];
+            exp[idx(i, 0, num_resources)] += 1.0;
+            exp[idx(i, r, num_resources)] -= 1.0;
+            exp[idx(0, r, num_resources)] += 1.0;
+            exp[idx(0, 0, num_resources)] -= 1.0;
+            out.push(Monomial::new(coeff, exp)?);
+        }
+    }
+    Ok(out)
+}
+
+impl Mechanism for MaxWelfare {
+    fn name(&self) -> &str {
+        if self.fairness {
+            "max-welfare-with-fairness"
+        } else {
+            "max-welfare-without-fairness"
+        }
+    }
+
+    fn allocate(&self, agents: &[CobbDouglas], capacity: &Capacity) -> Result<Allocation> {
+        validate_inputs(agents, capacity)?;
+        let n = agents.len();
+        let r_count = capacity.num_resources();
+        let num_vars = n * r_count;
+
+        // Objective: minimize prod_i u_i(x_i)^{-1}, a monomial.
+        let mut coeff = 1.0;
+        let mut exp = vec![0.0; num_vars];
+        for (i, agent) in agents.iter().enumerate() {
+            coeff /= agent.scale();
+            for r in 0..r_count {
+                exp[idx(i, r, r_count)] -= agent.elasticity(r);
+            }
+        }
+        let objective = Monomial::new(coeff, exp).map_err(CoreError::from)?;
+        let mut gp = GeometricProgram::minimize(num_vars, objective.into())?;
+        for c in capacity_constraints(n, capacity, num_vars)? {
+            gp.add_constraint(c)?;
+        }
+        if self.fairness {
+            for m in envy_free_constraints(agents, r_count, num_vars)? {
+                gp.add_constraint(m.into())?;
+            }
+            for m in sharing_incentive_constraints(agents, capacity, num_vars)? {
+                gp.add_constraint(m.into())?;
+            }
+            for m in pareto_constraints(agents, r_count, num_vars)? {
+                gp.add_monomial_equality_with_tolerance(m, PE_BAND)?;
+            }
+        }
+        // Warm start. With fairness constraints, start from the (slightly
+        // shrunk) REF allocation, which is provably fair and therefore
+        // strictly feasible under the relaxed constraints; without them,
+        // the equal division suffices (phase I handles the boundary).
+        let mut x0 = vec![0.0; num_vars];
+        if self.fairness {
+            let warm = crate::mechanism::ProportionalElasticity.allocate(agents, capacity)?;
+            for i in 0..n {
+                for r in 0..r_count {
+                    x0[idx(i, r, r_count)] =
+                        (warm.bundle(i).get(r) * (1.0 - 1e-4)).max(1e-9 * capacity.get(r));
+                }
+            }
+        } else {
+            for i in 0..n {
+                for r in 0..r_count {
+                    x0[idx(i, r, r_count)] = capacity.get(r) / n as f64;
+                }
+            }
+        }
+        let sol = gp.solve(&x0)?;
+        let bundles: Result<Vec<Bundle>> = (0..n)
+            .map(|i| {
+                Bundle::new(
+                    (0..r_count)
+                        .map(|r| sol.x[idx(i, r, r_count)])
+                        .collect(),
+                )
+            })
+            .collect();
+        Allocation::new(bundles?, capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::ProportionalElasticity;
+    use crate::utility::Utility;
+
+    fn paper_agents() -> Vec<CobbDouglas> {
+        vec![
+            CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+        ]
+    }
+
+    fn paper_capacity() -> Capacity {
+        Capacity::new(vec![24.0, 12.0]).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_nash_on_normalized_agents_matches_ref() {
+        // With per-agent elasticities already summing to one, the raw Nash
+        // product equals the re-scaled one, so the optimum is the REF
+        // closed form.
+        let alloc = MaxWelfare::without_fairness()
+            .allocate(&paper_agents(), &paper_capacity())
+            .unwrap();
+        assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.05, "{alloc:?}");
+        assert!((alloc.bundle(0).get(1) - 4.0).abs() < 0.05, "{alloc:?}");
+    }
+
+    #[test]
+    fn unnormalized_agents_shift_unconstrained_nash() {
+        // Agent 0 reports steep (unnormalized) elasticities; the raw Nash
+        // optimum weights it by total elasticity mass, unlike REF.
+        let agents = vec![
+            CobbDouglas::new(1.0, vec![1.2, 0.8]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.1, 0.4]).unwrap(),
+        ];
+        let c = paper_capacity();
+        let nash = MaxWelfare::without_fairness().allocate(&agents, &c).unwrap();
+        let ref_alloc = ProportionalElasticity.allocate(&agents, &c).unwrap();
+        // Raw Nash bandwidth split 1.2 : 0.1 -> ~22.15 GB/s.
+        assert!((nash.bundle(0).get(0) - 24.0 * 1.2 / 1.3).abs() < 0.1);
+        // REF rescales to (0.6, 0.4) vs (0.2, 0.8) -> 18 GB/s.
+        assert!((ref_alloc.bundle(0).get(0) - 18.0).abs() < 1e-9);
+        assert!(nash.bundle(0).get(0) > ref_alloc.bundle(0).get(0) + 1.0);
+    }
+
+    #[test]
+    fn fair_variant_satisfies_fairness_conditions() {
+        let agents = vec![
+            CobbDouglas::new(1.0, vec![1.2, 0.8]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.1, 0.4]).unwrap(),
+        ];
+        let c = paper_capacity();
+        let alloc = MaxWelfare::with_fairness().allocate(&agents, &c).unwrap();
+        let equal = c.equal_split(2);
+        for (i, u) in agents.iter().enumerate() {
+            // SI within numerical tolerance.
+            assert!(
+                u.value(alloc.bundle(i)) >= u.value(&equal) * (1.0 - 1e-4),
+                "agent {i} SI violated"
+            );
+            // EF within numerical tolerance.
+            for j in 0..2 {
+                assert!(
+                    u.value(alloc.bundle(i)) >= u.value(alloc.bundle(j)) * (1.0 - 1e-4),
+                    "agent {i} envies {j}"
+                );
+            }
+        }
+        assert!(alloc.is_exhaustive(&c, 1e-3));
+    }
+
+    #[test]
+    fn fair_variant_matches_ref_on_paper_example() {
+        let alloc = MaxWelfare::with_fairness()
+            .allocate(&paper_agents(), &paper_capacity())
+            .unwrap();
+        assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.1, "{alloc:?}");
+        assert!((alloc.bundle(1).get(1) - 8.0).abs() < 0.1, "{alloc:?}");
+    }
+
+    #[test]
+    fn four_agents_solve() {
+        let agents = vec![
+            CobbDouglas::new(0.8, vec![0.7, 0.3]).unwrap(),
+            CobbDouglas::new(1.1, vec![0.3, 0.7]).unwrap(),
+            CobbDouglas::new(0.9, vec![0.5, 0.5]).unwrap(),
+            CobbDouglas::new(1.3, vec![0.9, 0.1]).unwrap(),
+        ];
+        let c = paper_capacity();
+        for mech in [MaxWelfare::with_fairness(), MaxWelfare::without_fairness()] {
+            let alloc = mech.allocate(&agents, &c).unwrap();
+            assert_eq!(alloc.num_agents(), 4);
+            assert!(alloc.is_exhaustive(&c, 1e-3), "{}", mech.name());
+        }
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_ne!(
+            MaxWelfare::with_fairness().name(),
+            MaxWelfare::without_fairness().name()
+        );
+        assert!(MaxWelfare::with_fairness().fairness());
+        assert!(!MaxWelfare::without_fairness().fairness());
+    }
+}

@@ -1,0 +1,92 @@
+//! Allocation mechanisms.
+//!
+//! The paper's contribution is [`ProportionalElasticity`] (§4.1), the
+//! closed-form mechanism that provably provides sharing incentives,
+//! envy-freeness, Pareto efficiency and strategy-proofness in the large.
+//! For the evaluation's comparisons (§4.5, §5.5) the crate also implements:
+//!
+//! - [`EqualShare`] — the static `C/N` division (the SI reference point);
+//! - [`MaxWelfare`] — Nash-social-welfare maximization via geometric
+//!   programming, with or without the game-theoretic fairness constraints;
+//! - [`EqualSlowdown`] — max-min weighted utility, the conventional
+//!   equal-slowdown objective of prior architecture work.
+
+mod equal_share;
+mod equal_slowdown;
+mod max_welfare;
+mod proportional_elasticity;
+
+pub use equal_share::EqualShare;
+pub use equal_slowdown::EqualSlowdown;
+pub use max_welfare::MaxWelfare;
+pub use proportional_elasticity::ProportionalElasticity;
+
+use crate::error::{CoreError, Result};
+use crate::resource::{Allocation, Capacity};
+use crate::utility::CobbDouglas;
+
+/// A multi-resource allocation mechanism for Cobb-Douglas agents.
+///
+/// Implementations consume each agent's *reported* utility function and the
+/// system capacities, and produce one bundle per agent.
+pub trait Mechanism {
+    /// Human-readable mechanism name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Computes the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`CoreError::InvalidArgument`] for empty
+    /// agent lists or dimension mismatches, and may propagate solver errors
+    /// for optimization-based mechanisms.
+    fn allocate(&self, agents: &[CobbDouglas], capacity: &Capacity) -> Result<Allocation>;
+}
+
+/// Validates the common preconditions shared by all mechanisms.
+pub(crate) fn validate_inputs(agents: &[CobbDouglas], capacity: &Capacity) -> Result<()> {
+    if agents.is_empty() {
+        return Err(CoreError::InvalidArgument(
+            "need at least one agent".to_string(),
+        ));
+    }
+    let r = capacity.num_resources();
+    for (i, a) in agents.iter().enumerate() {
+        if a.elasticities().len() != r {
+            return Err(CoreError::InvalidArgument(format!(
+                "agent {i} reports {} elasticities, capacity covers {r} resources",
+                a.elasticities().len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Capacity;
+
+    #[test]
+    fn validate_inputs_rejects_mismatch() {
+        let c = Capacity::new(vec![24.0, 12.0]).unwrap();
+        assert!(validate_inputs(&[], &c).is_err());
+        let wrong = CobbDouglas::new(1.0, vec![1.0]).unwrap();
+        assert!(validate_inputs(&[wrong], &c).is_err());
+        let ok = CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap();
+        assert!(validate_inputs(&[ok], &c).is_ok());
+    }
+
+    #[test]
+    fn mechanisms_are_object_safe() {
+        let ms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(ProportionalElasticity),
+            Box::new(EqualShare),
+            Box::new(MaxWelfare::with_fairness()),
+            Box::new(EqualSlowdown::new()),
+        ];
+        let names: Vec<&str> = ms.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names.contains(&"proportional-elasticity"));
+    }
+}

@@ -1,0 +1,225 @@
+//! On-line profiling (§4.4): adapting a utility estimate at run time.
+//!
+//! "Without prior knowledge, a user assumes all resources contribute
+//! equally to performance. Such a naive user reports utility
+//! `u = x^0.5 y^0.5`. As the system allocates for this utility, the user
+//! profiles software performance. And as profiles are accumulated for
+//! varied allocations, the user adapts its utility function."
+//!
+//! [`OnlineEstimator`] implements exactly that loop: it starts from the
+//! uniform prior, accumulates `(allocation, performance)` observations, and
+//! refits the Cobb-Douglas elasticities by the same log-linear regression
+//! the offline pipeline uses, as soon as — and whenever — the accumulated
+//! design becomes informative.
+
+use crate::error::{CoreError, Result};
+use crate::fitting::{fit_cobb_douglas, FitPoint};
+use crate::utility::CobbDouglas;
+
+/// An adaptive Cobb-Douglas estimate built from run-time observations.
+///
+/// # Examples
+///
+/// ```
+/// use ref_core::online::OnlineEstimator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut est = OnlineEstimator::new(2)?;
+/// // Naive prior: equal elasticities.
+/// assert_eq!(est.utility().elasticities(), &[0.5, 0.5]);
+///
+/// // Observe performance at varied allocations of a workload whose true
+/// // utility is x^0.8 y^0.2.
+/// for &(x, y) in &[(1.0, 1.0), (2.0, 1.0), (4.0, 2.0), (1.0, 4.0), (8.0, 2.0), (2.0, 8.0)] {
+///     let perf = f64::powf(x, 0.8) * f64::powf(y, 0.2);
+///     est.observe(vec![x, y], perf)?;
+/// }
+/// assert!((est.utility().elasticity(0) - 0.8).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineEstimator {
+    num_resources: usize,
+    observations: Vec<FitPoint>,
+    current: CobbDouglas,
+    refits: usize,
+    last_r_squared: Option<f64>,
+}
+
+impl OnlineEstimator {
+    /// Creates an estimator with the naive uniform prior
+    /// `u = prod_r x_r^{1/R}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if `num_resources == 0`.
+    pub fn new(num_resources: usize) -> Result<OnlineEstimator> {
+        if num_resources == 0 {
+            return Err(CoreError::InvalidArgument(
+                "need at least one resource".to_string(),
+            ));
+        }
+        let prior = CobbDouglas::new(1.0, vec![1.0 / num_resources as f64; num_resources])?;
+        Ok(OnlineEstimator {
+            num_resources,
+            observations: Vec::new(),
+            current: prior,
+            refits: 0,
+            last_r_squared: None,
+        })
+    }
+
+    /// The current utility estimate (the naive prior until the first
+    /// successful refit).
+    pub fn utility(&self) -> &CobbDouglas {
+        &self.current
+    }
+
+    /// Number of accumulated observations.
+    pub fn num_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Number of successful refits so far.
+    pub fn refits(&self) -> usize {
+        self.refits
+    }
+
+    /// Goodness of fit of the latest refit, if any.
+    pub fn r_squared(&self) -> Option<f64> {
+        self.last_r_squared
+    }
+
+    /// Records a performance observation and refits if the data allows.
+    ///
+    /// Returns `true` if the utility estimate was updated. Refitting
+    /// requires more observations than parameters and enough diversity in
+    /// the observed allocations; until then (or whenever the design is
+    /// collinear, e.g. the mechanism keeps granting the same bundle) the
+    /// previous estimate is kept — the caller never loses a usable utility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if the allocation dimension
+    /// differs from the estimator's, or quantities/performance are not
+    /// strictly positive finite values.
+    pub fn observe(&mut self, allocation: Vec<f64>, performance: f64) -> Result<bool> {
+        if allocation.len() != self.num_resources {
+            return Err(CoreError::InvalidArgument(format!(
+                "observation covers {} resources, estimator expects {}",
+                allocation.len(),
+                self.num_resources
+            )));
+        }
+        self.observations.push(FitPoint::new(allocation, performance)?);
+        if self.observations.len() <= self.num_resources + 1 {
+            return Ok(false);
+        }
+        match fit_cobb_douglas(&self.observations) {
+            Ok(fit) => {
+                self.current = fit.utility().clone();
+                self.last_r_squared = Some(fit.r_squared());
+                self.refits += 1;
+                Ok(true)
+            }
+            // A collinear design is expected early on; keep the prior.
+            Err(CoreError::Solver(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{Mechanism, ProportionalElasticity};
+    use crate::resource::Capacity;
+    use crate::utility::Utility;
+
+    #[test]
+    fn starts_with_uniform_prior() {
+        let est = OnlineEstimator::new(3).unwrap();
+        for r in 0..3 {
+            assert!((est.utility().elasticity(r) - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert_eq!(est.num_observations(), 0);
+        assert_eq!(est.refits(), 0);
+        assert!(est.r_squared().is_none());
+        assert!(OnlineEstimator::new(0).is_err());
+    }
+
+    #[test]
+    fn converges_to_ground_truth() {
+        let truth = CobbDouglas::new(0.7, vec![0.3, 0.5]).unwrap();
+        let mut est = OnlineEstimator::new(2).unwrap();
+        let mut updated_once = false;
+        for i in 0..12_u32 {
+            let x = 1.0 + (i % 4) as f64;
+            let y = 0.5 + (i % 3) as f64;
+            let perf = truth.value_slice(&[x, y]);
+            updated_once |= est.observe(vec![x, y], perf).unwrap();
+        }
+        assert!(updated_once);
+        assert!((est.utility().elasticity(0) - 0.3).abs() < 1e-9);
+        assert!((est.utility().elasticity(1) - 0.5).abs() < 1e-9);
+        assert!((est.utility().scale() - 0.7).abs() < 1e-9);
+        assert!(est.r_squared().unwrap() > 0.999);
+    }
+
+    #[test]
+    fn collinear_observations_keep_prior() {
+        let mut est = OnlineEstimator::new(2).unwrap();
+        // Same allocation every time: log-design is collinear.
+        for _ in 0..10 {
+            let updated = est.observe(vec![2.0, 2.0], 1.5).unwrap();
+            assert!(!updated);
+        }
+        assert_eq!(est.utility().elasticities(), &[0.5, 0.5]);
+        assert_eq!(est.refits(), 0);
+    }
+
+    #[test]
+    fn validates_observations() {
+        let mut est = OnlineEstimator::new(2).unwrap();
+        assert!(est.observe(vec![1.0], 1.0).is_err());
+        assert!(est.observe(vec![1.0, 0.0], 1.0).is_err());
+        assert!(est.observe(vec![1.0, 1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn adaptive_allocation_loop_converges_to_true_ref_point() {
+        // Closed loop: the system allocates by current estimates, each
+        // agent observes its true performance (plus allocation jitter for
+        // excitation), and the estimates converge so the allocation
+        // approaches the REF point of the true utilities.
+        let truths = [
+            CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+        ];
+        let capacity = Capacity::new(vec![24.0, 12.0]).unwrap();
+        let mut estimators = [
+            OnlineEstimator::new(2).unwrap(),
+            OnlineEstimator::new(2).unwrap(),
+        ];
+        let mut final_alloc = None;
+        for round in 0..30_u32 {
+            let reported: Vec<CobbDouglas> =
+                estimators.iter().map(|e| e.utility().clone()).collect();
+            let alloc = ProportionalElasticity.allocate(&reported, &capacity).unwrap();
+            for (i, est) in estimators.iter_mut().enumerate() {
+                // Deterministic excitation so the design gains rank.
+                let jitter = 0.85 + 0.1 * ((round as f64 * 1.7 + i as f64).sin() + 1.0);
+                let x = alloc.bundle(i).get(0) * jitter;
+                let y = alloc.bundle(i).get(1) * (2.0 - jitter);
+                let perf = truths[i].value_slice(&[x, y]);
+                est.observe(vec![x, y], perf).unwrap();
+            }
+            final_alloc = Some(alloc);
+        }
+        let alloc = final_alloc.unwrap();
+        // True REF point: (18, 4) / (6, 8).
+        assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.5, "{alloc:?}");
+        assert!((alloc.bundle(1).get(1) - 8.0).abs() < 0.5, "{alloc:?}");
+    }
+}

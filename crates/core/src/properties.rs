@@ -1,0 +1,344 @@
+//! Game-theoretic property checkers: sharing incentives, envy-freeness and
+//! Pareto efficiency (§3 of the paper).
+//!
+//! These verify *any* allocation against a set of Cobb-Douglas agents —
+//! they are how the evaluation demonstrates that equal slowdown violates SI
+//! and EF while proportional elasticity satisfies all three (Figs. 10–12).
+
+use std::fmt;
+
+use crate::resource::{Allocation, Capacity};
+use crate::utility::{CobbDouglas, Utility};
+
+/// Relative tolerance used by [`FairnessReport::check`].
+pub const DEFAULT_TOLERANCE: f64 = 1e-6;
+
+/// A sharing-incentive violation: an agent that strictly prefers the equal
+/// division to its allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiViolation {
+    /// The violated agent.
+    pub agent: usize,
+    /// Utility of the agent's bundle.
+    pub allocated_utility: f64,
+    /// Utility of the equal division `C/N`.
+    pub equal_split_utility: f64,
+}
+
+/// An envy edge: `envious` would rather have `envied`'s bundle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvyEdge {
+    /// The agent who envies.
+    pub envious: usize,
+    /// The agent whose bundle is preferred.
+    pub envied: usize,
+    /// Utility of the envious agent's own bundle.
+    pub own_utility: f64,
+    /// Utility the envious agent would get from the other bundle.
+    pub other_utility: f64,
+}
+
+/// Outcome of checking an allocation against SI, EF and PE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Sharing-incentive violations (empty means SI holds).
+    pub si_violations: Vec<SiViolation>,
+    /// Envy edges (empty means EF holds).
+    pub envy_edges: Vec<EnvyEdge>,
+    /// Whether the allocation is Pareto efficient (tangent marginal rates
+    /// of substitution and exhausted capacity).
+    pub pareto_efficient: bool,
+    /// Largest relative mismatch among pairwise marginal rates of
+    /// substitution (0 for single-agent or single-resource systems).
+    pub max_mrs_mismatch: f64,
+}
+
+impl FairnessReport {
+    /// Whether sharing incentives hold.
+    pub fn sharing_incentives(&self) -> bool {
+        self.si_violations.is_empty()
+    }
+
+    /// Whether envy-freeness holds.
+    pub fn envy_free(&self) -> bool {
+        self.envy_edges.is_empty()
+    }
+
+    /// Whether the allocation is fair in the paper's sense (EF and PE) and
+    /// additionally provides sharing incentives.
+    pub fn is_fair_with_si(&self) -> bool {
+        self.sharing_incentives() && self.envy_free() && self.pareto_efficient
+    }
+
+    /// Checks an allocation with [`DEFAULT_TOLERANCE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents.len()` differs from the allocation's agent count
+    /// or dimensions disagree with the capacity.
+    pub fn check(
+        agents: &[CobbDouglas],
+        allocation: &Allocation,
+        capacity: &Capacity,
+    ) -> FairnessReport {
+        FairnessReport::check_with_tolerance(agents, allocation, capacity, DEFAULT_TOLERANCE)
+    }
+
+    /// Checks an allocation with an explicit relative tolerance.
+    ///
+    /// The tolerance absorbs round-off from optimization-based mechanisms:
+    /// a property counts as violated only when the gap exceeds `tol`
+    /// relative to the compared utilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents.len()` differs from the allocation's agent count.
+    pub fn check_with_tolerance(
+        agents: &[CobbDouglas],
+        allocation: &Allocation,
+        capacity: &Capacity,
+        tol: f64,
+    ) -> FairnessReport {
+        assert_eq!(
+            agents.len(),
+            allocation.num_agents(),
+            "one utility per agent"
+        );
+        let n = agents.len();
+        let equal = capacity.equal_split(n);
+
+        let mut si_violations = Vec::new();
+        for (i, u) in agents.iter().enumerate() {
+            let own = u.value(allocation.bundle(i));
+            let split = u.value(&equal);
+            if own < split * (1.0 - tol) {
+                si_violations.push(SiViolation {
+                    agent: i,
+                    allocated_utility: own,
+                    equal_split_utility: split,
+                });
+            }
+        }
+
+        let mut envy_edges = Vec::new();
+        for (i, u) in agents.iter().enumerate() {
+            let own = u.value(allocation.bundle(i));
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let other = u.value(allocation.bundle(j));
+                if own < other * (1.0 - tol) {
+                    envy_edges.push(EnvyEdge {
+                        envious: i,
+                        envied: j,
+                        own_utility: own,
+                        other_utility: other,
+                    });
+                }
+            }
+        }
+
+        let max_mrs_mismatch = max_mrs_mismatch(agents, allocation);
+        let pareto_efficient =
+            max_mrs_mismatch <= tol.max(1e-3) && allocation.is_exhaustive(capacity, tol.max(1e-6));
+
+        FairnessReport {
+            si_violations,
+            envy_edges,
+            pareto_efficient,
+            max_mrs_mismatch,
+        }
+    }
+}
+
+impl fmt::Display for FairnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SI {} | EF {} | PE {}",
+            if self.sharing_incentives() {
+                "ok".to_string()
+            } else {
+                format!("violated by {} agent(s)", self.si_violations.len())
+            },
+            if self.envy_free() {
+                "ok".to_string()
+            } else {
+                format!("{} envy edge(s)", self.envy_edges.len())
+            },
+            if self.pareto_efficient {
+                "ok".to_string()
+            } else {
+                format!("violated (MRS mismatch {:.2e})", self.max_mrs_mismatch)
+            }
+        )
+    }
+}
+
+/// Largest relative disagreement between any two agents' marginal rates of
+/// substitution, over all resource pairs (the PE tangency condition,
+/// Eq. 10). Pairs with undefined MRS (zero elasticity or zero holdings)
+/// are skipped.
+pub fn max_mrs_mismatch(agents: &[CobbDouglas], allocation: &Allocation) -> f64 {
+    let n = agents.len();
+    let r_count = allocation.num_resources();
+    let mut worst = 0.0_f64;
+    for r in 0..r_count {
+        for s in (r + 1)..r_count {
+            let rates: Vec<f64> = (0..n)
+                .filter_map(|i| agents[i].mrs(allocation.bundle(i), r, s).ok())
+                .filter(|m| m.is_finite() && *m > 0.0)
+                .collect();
+            if rates.len() < 2 {
+                continue;
+            }
+            let max = rates.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+            let min = rates.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+            worst = worst.max(max / min - 1.0);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{EqualShare, Mechanism, ProportionalElasticity};
+    use crate::resource::Bundle;
+
+    fn fixture() -> (Vec<CobbDouglas>, Capacity) {
+        (
+            vec![
+                CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+                CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+            ],
+            Capacity::new(vec![24.0, 12.0]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn ref_allocation_passes_all_properties() {
+        let (agents, c) = fixture();
+        let alloc = ProportionalElasticity.allocate(&agents, &c).unwrap();
+        let report = FairnessReport::check(&agents, &alloc, &c);
+        assert!(report.sharing_incentives(), "{report:?}");
+        assert!(report.envy_free(), "{report:?}");
+        assert!(report.pareto_efficient, "{report:?}");
+        assert!(report.is_fair_with_si());
+    }
+
+    #[test]
+    fn equal_split_is_si_ef_but_not_pe() {
+        let (agents, c) = fixture();
+        let alloc = EqualShare.allocate(&agents, &c).unwrap();
+        let report = FairnessReport::check(&agents, &alloc, &c);
+        assert!(report.sharing_incentives());
+        assert!(report.envy_free());
+        // Heterogeneous agents at the midpoint have unequal MRS.
+        assert!(!report.pareto_efficient, "{report:?}");
+        assert!(report.max_mrs_mismatch > 0.1);
+    }
+
+    #[test]
+    fn lopsided_allocation_violates_si_and_ef() {
+        let (agents, c) = fixture();
+        // Agent 0 gets almost everything.
+        let alloc = Allocation::new(
+            vec![
+                Bundle::new(vec![23.0, 11.0]).unwrap(),
+                Bundle::new(vec![1.0, 1.0]).unwrap(),
+            ],
+            &c,
+        )
+        .unwrap();
+        let report = FairnessReport::check(&agents, &alloc, &c);
+        assert_eq!(report.si_violations.len(), 1);
+        assert_eq!(report.si_violations[0].agent, 1);
+        assert_eq!(report.envy_edges.len(), 1);
+        assert_eq!(report.envy_edges[0].envious, 1);
+        assert_eq!(report.envy_edges[0].envied, 0);
+        assert!(!report.is_fair_with_si());
+    }
+
+    #[test]
+    fn wasted_capacity_is_not_pareto_efficient() {
+        let (agents, c) = fixture();
+        // Tangent MRS (both agents hold proportional bundles) but only half
+        // the machine handed out.
+        let alloc = Allocation::new(
+            vec![
+                Bundle::new(vec![9.0, 2.0]).unwrap(),
+                Bundle::new(vec![3.0, 4.0]).unwrap(),
+            ],
+            &c,
+        )
+        .unwrap();
+        let report = FairnessReport::check(&agents, &alloc, &c);
+        assert!(!report.pareto_efficient);
+    }
+
+    #[test]
+    fn tolerance_absorbs_round_off() {
+        let (agents, c) = fixture();
+        // REF allocation with a 1e-7 perturbation.
+        let alloc = Allocation::new(
+            vec![
+                Bundle::new(vec![18.0 - 1e-7, 4.0]).unwrap(),
+                Bundle::new(vec![6.0, 8.0 - 1e-7]).unwrap(),
+            ],
+            &c,
+        )
+        .unwrap();
+        let report = FairnessReport::check_with_tolerance(&agents, &alloc, &c, 1e-4);
+        assert!(report.is_fair_with_si());
+    }
+
+    #[test]
+    fn corner_allocations_are_envy_free_but_useless() {
+        // Paper §3.2: giving all of one resource to each agent yields zero
+        // utility for both, hence no envy.
+        let (agents, c) = fixture();
+        let alloc = Allocation::new(
+            vec![
+                Bundle::new(vec![24.0, 0.0]).unwrap(),
+                Bundle::new(vec![0.0, 12.0]).unwrap(),
+            ],
+            &c,
+        )
+        .unwrap();
+        let report = FairnessReport::check(&agents, &alloc, &c);
+        assert!(report.envy_free());
+        // But both agents strictly prefer the equal split: SI fails.
+        assert_eq!(report.si_violations.len(), 2);
+    }
+
+    #[test]
+    fn display_summarizes_verdicts() {
+        let (agents, c) = fixture();
+        let alloc = ProportionalElasticity.allocate(&agents, &c).unwrap();
+        let report = FairnessReport::check(&agents, &alloc, &c);
+        assert_eq!(report.to_string(), "SI ok | EF ok | PE ok");
+        let lopsided = Allocation::new(
+            vec![
+                Bundle::new(vec![23.0, 11.0]).unwrap(),
+                Bundle::new(vec![1.0, 1.0]).unwrap(),
+            ],
+            &c,
+        )
+        .unwrap();
+        let report = FairnessReport::check(&agents, &lopsided, &c);
+        assert!(report.to_string().contains("violated"));
+        assert!(report.to_string().contains("envy"));
+    }
+
+    #[test]
+    fn single_agent_always_fair_when_given_everything() {
+        let agents = vec![CobbDouglas::new(1.0, vec![0.5, 0.5]).unwrap()];
+        let c = Capacity::new(vec![10.0, 10.0]).unwrap();
+        let alloc = Allocation::new(vec![c.as_bundle()], &c).unwrap();
+        let report = FairnessReport::check(&agents, &alloc, &c);
+        assert!(report.is_fair_with_si());
+        assert_eq!(report.max_mrs_mismatch, 0.0);
+    }
+}

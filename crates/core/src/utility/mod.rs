@@ -1,0 +1,79 @@
+//! Utility functions over resource bundles.
+//!
+//! The paper models agents with Cobb-Douglas preferences
+//! ([`CobbDouglas`], Eq. 1) and contrasts them with the Leontief
+//! preferences of prior distributed-systems work ([`Leontief`], Eq. 8).
+//! Both implement the [`Utility`] trait so property checkers and welfare
+//! metrics can treat them uniformly.
+
+mod cobb_douglas;
+mod leontief;
+
+pub use cobb_douglas::CobbDouglas;
+pub use leontief::Leontief;
+
+use crate::resource::Bundle;
+
+/// A utility function `u: R_+^R -> R_+`.
+pub trait Utility {
+    /// Number of resources the function is defined over.
+    fn num_resources(&self) -> usize;
+
+    /// Utility of a bundle given as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.len() != self.num_resources()`.
+    fn value_slice(&self, x: &[f64]) -> f64;
+
+    /// Utility of a [`Bundle`].
+    fn value(&self, x: &Bundle) -> f64 {
+        self.value_slice(x.as_slice())
+    }
+
+    /// Whether the agent strictly prefers `a` to `b`.
+    fn prefers(&self, a: &Bundle, b: &Bundle) -> bool {
+        self.value(a) > self.value(b)
+    }
+
+    /// Whether the agent weakly prefers `a` to `b`.
+    fn weakly_prefers(&self, a: &Bundle, b: &Bundle) -> bool {
+        self.value(a) >= self.value(b)
+    }
+
+    /// Whether the agent is indifferent between `a` and `b` within `tol`
+    /// relative tolerance.
+    fn indifferent(&self, a: &Bundle, b: &Bundle, tol: f64) -> bool {
+        let (ua, ub) = (self.value(a), self.value(b));
+        (ua - ub).abs() <= tol * ua.abs().max(ub.abs()).max(1e-300)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_relations_follow_values() {
+        let u = CobbDouglas::new(1.0, vec![0.5, 0.5]).unwrap();
+        let a = Bundle::new(vec![4.0, 4.0]).unwrap();
+        let b = Bundle::new(vec![1.0, 1.0]).unwrap();
+        assert!(u.prefers(&a, &b));
+        assert!(u.weakly_prefers(&a, &b));
+        assert!(!u.prefers(&b, &a));
+        assert!(u.weakly_prefers(&a, &a));
+        assert!(u.indifferent(&a, &a, 1e-12));
+        assert!(!u.indifferent(&a, &b, 1e-6));
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let cd = CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap();
+        let le = Leontief::new(vec![2.0, 1.0]).unwrap();
+        let us: Vec<&dyn Utility> = vec![&cd, &le];
+        let b = Bundle::new(vec![4.0, 2.0]).unwrap();
+        for u in us {
+            assert!(u.value(&b) > 0.0);
+        }
+    }
+}

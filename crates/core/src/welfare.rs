@@ -1,0 +1,175 @@
+//! Welfare metrics (§4.5, Eq. 17).
+//!
+//! The evaluation compares mechanisms by *weighted system throughput*: each
+//! agent's utility when sharing divided by its utility when given the whole
+//! machine, summed over agents. This mirrors the weighted-progress metric
+//! of prior multiprogram studies, expressed in utility space.
+
+use crate::resource::{Allocation, Bundle, Capacity};
+use crate::utility::{CobbDouglas, Utility};
+
+/// Weighted utility `U_i(x) = u_i(x) / u_i(C)` — performance when sharing
+/// normalized by performance when alone (the complement of slowdown).
+///
+/// # Examples
+///
+/// ```
+/// use ref_core::resource::{Bundle, Capacity};
+/// use ref_core::utility::CobbDouglas;
+/// use ref_core::welfare::weighted_utility;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let u = CobbDouglas::new(1.0, vec![0.5, 0.5])?;
+/// let c = Capacity::new(vec![24.0, 12.0])?;
+/// let half = Bundle::new(vec![12.0, 6.0])?;
+/// // Homogeneous degree one: half the machine gives half the utility.
+/// assert!((weighted_utility(&u, &half, &c) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn weighted_utility(agent: &CobbDouglas, x: &Bundle, capacity: &Capacity) -> f64 {
+    agent.value(x) / agent.value(&capacity.as_bundle())
+}
+
+/// Weighted system throughput `sum_i U_i(x_i)` (Eq. 17).
+///
+/// # Panics
+///
+/// Panics if `agents.len()` differs from the allocation's agent count.
+pub fn weighted_system_throughput(
+    agents: &[CobbDouglas],
+    allocation: &Allocation,
+    capacity: &Capacity,
+) -> f64 {
+    assert_eq!(
+        agents.len(),
+        allocation.num_agents(),
+        "one utility per agent"
+    );
+    agents
+        .iter()
+        .zip(allocation.bundles())
+        .map(|(a, x)| weighted_utility(a, x, capacity))
+        .sum()
+}
+
+/// Nash social welfare `prod_i U_i(x_i)`.
+///
+/// # Panics
+///
+/// Panics if `agents.len()` differs from the allocation's agent count.
+pub fn nash_welfare(agents: &[CobbDouglas], allocation: &Allocation, capacity: &Capacity) -> f64 {
+    assert_eq!(
+        agents.len(),
+        allocation.num_agents(),
+        "one utility per agent"
+    );
+    agents
+        .iter()
+        .zip(allocation.bundles())
+        .map(|(a, x)| weighted_utility(a, x, capacity))
+        .product()
+}
+
+/// Egalitarian welfare `min_i U_i(x_i)`.
+///
+/// # Panics
+///
+/// Panics if `agents.len()` differs from the allocation's agent count.
+pub fn egalitarian_welfare(
+    agents: &[CobbDouglas],
+    allocation: &Allocation,
+    capacity: &Capacity,
+) -> f64 {
+    assert_eq!(
+        agents.len(),
+        allocation.num_agents(),
+        "one utility per agent"
+    );
+    agents
+        .iter()
+        .zip(allocation.bundles())
+        .map(|(a, x)| weighted_utility(a, x, capacity))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The unfairness index of prior work: the ratio of the maximum to the
+/// minimum weighted utility (1 means perfectly equal slowdowns).
+///
+/// # Panics
+///
+/// Panics if `agents.len()` differs from the allocation's agent count.
+pub fn unfairness_index(
+    agents: &[CobbDouglas],
+    allocation: &Allocation,
+    capacity: &Capacity,
+) -> f64 {
+    assert_eq!(
+        agents.len(),
+        allocation.num_agents(),
+        "one utility per agent"
+    );
+    let us: Vec<f64> = agents
+        .iter()
+        .zip(allocation.bundles())
+        .map(|(a, x)| weighted_utility(a, x, capacity))
+        .collect();
+    let max = us.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+    let min = us.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{EqualShare, Mechanism, ProportionalElasticity};
+
+    fn fixture() -> (Vec<CobbDouglas>, Capacity) {
+        (
+            vec![
+                CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+                CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+            ],
+            Capacity::new(vec![24.0, 12.0]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn equal_split_of_homogeneous_agents_has_half_utilities() {
+        let (agents, c) = fixture();
+        let alloc = EqualShare.allocate(&agents, &c).unwrap();
+        let t = weighted_system_throughput(&agents, &alloc, &c);
+        assert!((t - 1.0).abs() < 1e-9, "throughput {t}");
+        assert!((nash_welfare(&agents, &alloc, &c) - 0.25).abs() < 1e-9);
+        assert!((egalitarian_welfare(&agents, &alloc, &c) - 0.5).abs() < 1e-9);
+        assert!((unfairness_index(&agents, &alloc, &c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ref_beats_equal_split_throughput() {
+        let (agents, c) = fixture();
+        let equal = EqualShare.allocate(&agents, &c).unwrap();
+        let fair = ProportionalElasticity.allocate(&agents, &c).unwrap();
+        assert!(
+            weighted_system_throughput(&agents, &fair, &c)
+                > weighted_system_throughput(&agents, &equal, &c)
+        );
+    }
+
+    #[test]
+    fn weighted_utility_is_one_for_whole_machine() {
+        let (agents, c) = fixture();
+        let whole = c.as_bundle();
+        for a in &agents {
+            assert!((weighted_utility(a, &whole, &c) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one utility per agent")]
+    fn mismatched_agents_panic() {
+        let (agents, c) = fixture();
+        let alloc = EqualShare.allocate(&agents, &c).unwrap();
+        let _ = weighted_system_throughput(&agents[..1], &alloc, &c);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the mechanism and utility invariants — the
+//! heart of the reproduction: REF's fairness guarantees must hold for
+//! *arbitrary* Cobb-Douglas populations, not just the paper's examples.
+
+use proptest::prelude::*;
+use ref_core::fitting::{fit_cobb_douglas, FitPoint};
+use ref_core::mechanism::{EqualShare, Mechanism, ProportionalElasticity};
+use ref_core::properties::FairnessReport;
+use ref_core::resource::{Bundle, Capacity};
+use ref_core::utility::{CobbDouglas, Utility};
+
+/// Random positive elasticity in a well-conditioned range.
+fn elasticity() -> impl Strategy<Value = f64> {
+    0.05..1.5f64
+}
+
+/// A population of `n` agents over `r` resources.
+fn agents(n: usize, r: usize) -> impl Strategy<Value = Vec<CobbDouglas>> {
+    prop::collection::vec(
+        (0.1..3.0f64, prop::collection::vec(elasticity(), r)),
+        n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(scale, es)| CobbDouglas::new(scale, es).expect("valid by construction"))
+            .collect()
+    })
+}
+
+fn capacity(r: usize) -> impl Strategy<Value = Capacity> {
+    prop::collection::vec(1.0..100.0f64, r)
+        .prop_map(|c| Capacity::new(c).expect("positive by construction"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The paper's theorem (§4.2): REF satisfies SI, EF and PE for every
+    /// Cobb-Douglas population.
+    #[test]
+    fn ref_is_always_fair_two_resources(
+        pop in agents(4, 2),
+        cap in capacity(2),
+    ) {
+        let alloc = ProportionalElasticity.allocate(&pop, &cap).unwrap();
+        let report = FairnessReport::check_with_tolerance(&pop, &alloc, &cap, 1e-9);
+        prop_assert!(report.sharing_incentives(), "{report:?}");
+        prop_assert!(report.envy_free(), "{report:?}");
+        prop_assert!(report.pareto_efficient, "{report:?}");
+    }
+
+    #[test]
+    fn ref_is_always_fair_many_resources(
+        pop in agents(3, 4),
+        cap in capacity(4),
+    ) {
+        let alloc = ProportionalElasticity.allocate(&pop, &cap).unwrap();
+        let report = FairnessReport::check_with_tolerance(&pop, &alloc, &cap, 1e-9);
+        prop_assert!(report.is_fair_with_si(), "{report:?}");
+    }
+
+    /// REF exhausts every resource (no waste).
+    #[test]
+    fn ref_exhausts_capacity(pop in agents(5, 3), cap in capacity(3)) {
+        let alloc = ProportionalElasticity.allocate(&pop, &cap).unwrap();
+        prop_assert!(alloc.is_exhaustive(&cap, 1e-9));
+    }
+
+    /// Reports are scale-free: multiplying one agent's utility by a
+    /// positive constant (or exponentiating it, i.e. scaling elasticities)
+    /// never changes the allocation.
+    #[test]
+    fn ref_invariant_to_utility_scaling(
+        pop in agents(3, 2),
+        cap in capacity(2),
+        k in 0.2..5.0f64,
+    ) {
+        let base = ProportionalElasticity.allocate(&pop, &cap).unwrap();
+        let scaled: Vec<CobbDouglas> = pop
+            .iter()
+            .map(|u| {
+                let es: Vec<f64> = u.elasticities().iter().map(|e| e * k).collect();
+                CobbDouglas::new(u.scale() * k, es).unwrap()
+            })
+            .collect();
+        let same = ProportionalElasticity.allocate(&scaled, &cap).unwrap();
+        for i in 0..pop.len() {
+            for r in 0..2 {
+                prop_assert!((base.bundle(i).get(r) - same.bundle(i).get(r)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Truthful agents weakly prefer REF to the equal division — the
+    /// sharing incentive, agent by agent.
+    #[test]
+    fn ref_dominates_equal_share_per_agent(pop in agents(4, 2), cap in capacity(2)) {
+        let ref_alloc = ProportionalElasticity.allocate(&pop, &cap).unwrap();
+        let equal = EqualShare.allocate(&pop, &cap).unwrap();
+        for (i, u) in pop.iter().enumerate() {
+            prop_assert!(
+                u.value(ref_alloc.bundle(i)) >= u.value(equal.bundle(i)) * (1.0 - 1e-12)
+            );
+        }
+    }
+
+    /// Adding an agent never increases anyone else's share of any resource
+    /// (population monotonicity of proportional division).
+    #[test]
+    fn shares_shrink_when_population_grows(
+        pop in agents(4, 2),
+        cap in capacity(2),
+    ) {
+        let before = ProportionalElasticity.allocate(&pop[..3], &cap).unwrap();
+        let after = ProportionalElasticity.allocate(&pop, &cap).unwrap();
+        for i in 0..3 {
+            for r in 0..2 {
+                prop_assert!(
+                    after.bundle(i).get(r) <= before.bundle(i).get(r) + 1e-9,
+                    "agent {i} resource {r} grew"
+                );
+            }
+        }
+    }
+
+    /// Fitting recovers arbitrary ground-truth utilities from noiseless
+    /// grid samples.
+    #[test]
+    fn fitting_recovers_ground_truth(
+        scale in 0.2..3.0f64,
+        a1 in 0.05..1.2f64,
+        a2 in 0.05..1.2f64,
+    ) {
+        let truth = CobbDouglas::new(scale, vec![a1, a2]).unwrap();
+        let mut pts = Vec::new();
+        for &x in &[0.8, 1.6, 3.2, 6.4, 12.8] {
+            for &y in &[0.125, 0.25, 0.5, 1.0, 2.0] {
+                pts.push(FitPoint::new(vec![x, y], truth.value_slice(&[x, y])).unwrap());
+            }
+        }
+        let fit = fit_cobb_douglas(&pts).unwrap();
+        prop_assert!((fit.utility().scale() - scale).abs() < 1e-6);
+        prop_assert!((fit.utility().elasticity(0) - a1).abs() < 1e-6);
+        prop_assert!((fit.utility().elasticity(1) - a2).abs() < 1e-6);
+        prop_assert!(fit.r_squared() > 0.999_999);
+    }
+
+    /// MRS antisymmetry: MRS(r, s) * MRS(s, r) = 1 wherever defined.
+    #[test]
+    fn mrs_reciprocal_identity(
+        a1 in elasticity(),
+        a2 in elasticity(),
+        x in 0.5..20.0f64,
+        y in 0.5..20.0f64,
+    ) {
+        let u = CobbDouglas::new(1.0, vec![a1, a2]).unwrap();
+        let b = Bundle::new(vec![x, y]).unwrap();
+        let m = u.mrs(&b, 0, 1).unwrap();
+        let inv = u.mrs(&b, 1, 0).unwrap();
+        prop_assert!((m * inv - 1.0).abs() < 1e-9);
+    }
+
+    /// Indifference curves hold their level across the whole range.
+    #[test]
+    fn indifference_curve_level_preserved(
+        a1 in 0.1..0.9f64,
+        x0 in 1.0..10.0f64,
+        y0 in 1.0..10.0f64,
+        xq in 0.5..20.0f64,
+    ) {
+        let u = CobbDouglas::new(1.0, vec![a1, 1.0 - a1]).unwrap();
+        let level = u.value_slice(&[x0, y0]);
+        let yq = u.indifference_y(level, xq).unwrap();
+        prop_assert!((u.value_slice(&[xq, yq]) - level).abs() < 1e-9 * level);
+    }
+
+    /// Rescaling preserves the preference order everywhere.
+    #[test]
+    fn rescaling_preserves_preferences(
+        scale in 0.2..3.0f64,
+        es in prop::collection::vec(elasticity(), 2),
+        xa in 0.5..20.0f64, ya in 0.5..20.0f64,
+        xb in 0.5..20.0f64, yb in 0.5..20.0f64,
+    ) {
+        let u = CobbDouglas::new(scale, es).unwrap();
+        let r = u.rescaled();
+        let a = Bundle::new(vec![xa, ya]).unwrap();
+        let b = Bundle::new(vec![xb, yb]).unwrap();
+        prop_assert_eq!(u.prefers(&a, &b), r.prefers(&a, &b));
+    }
+}

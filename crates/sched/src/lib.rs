@@ -1,0 +1,46 @@
+//! # ref-sched
+//!
+//! Proportional-share enforcement substrates for the REF (Resource
+//! Elasticity Fairness) reproduction. The REF mechanism computes continuous
+//! fair shares; the paper (§4.4) notes they are enforced with known
+//! schedulers. This crate implements the two it cites plus the classic
+//! deterministic variant:
+//!
+//! - [`wfq`] — weighted fair queueing (Demers, Keshav & Shenker).
+//! - [`lottery`] — lottery scheduling (Waldspurger & Weihl).
+//! - [`stride`] — stride scheduling, lottery's deterministic counterpart
+//!   with bounded allocation error.
+//! - [`drr`] — deficit round robin, the O(1) fair-queueing variant.
+//! - [`enforce`] — glue that turns a [`ref_core::resource::Allocation`]
+//!   into scheduler weights and measures achieved shares.
+//!
+//! # Examples
+//!
+//! ```
+//! use ref_sched::stride::StrideScheduler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut s = StrideScheduler::new(vec![0.75, 0.25])?;
+//! for _ in 0..1000 {
+//!     s.next_quantum();
+//! }
+//! let shares = s.service_shares();
+//! assert!((shares[0] - 0.75).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod drr;
+pub mod enforce;
+pub mod lottery;
+pub mod stride;
+pub mod wfq;
+
+pub use drr::DeficitRoundRobin;
+pub use enforce::{enforcement_comparison, weights_for_resource, EnforcementOutcome};
+pub use lottery::LotteryScheduler;
+pub use stride::StrideScheduler;
+pub use wfq::WeightedFairQueue;

@@ -1,0 +1,241 @@
+//! Weighted fair queueing (Demers, Keshav & Shenker), the scheduler the
+//! paper cites for enforcing proportional bandwidth shares (§4.4, ref. 8).
+
+use std::collections::VecDeque;
+
+/// A request waiting for service.
+#[derive(Debug, Clone, PartialEq)]
+struct Queued<T> {
+    item: T,
+    cost: f64,
+    finish_tag: f64,
+}
+
+/// A weighted fair queue over `N` clients.
+///
+/// Each client has a weight; backlogged clients receive service in
+/// proportion to their weights regardless of arrival pattern. The
+/// implementation uses virtual finish times: a request of cost `c` from
+/// client `i` is stamped `max(V, F_i) + c / w_i`, and the scheduler always
+/// serves the smallest stamp. The queue is work-conserving: idle clients'
+/// capacity is redistributed.
+///
+/// # Examples
+///
+/// ```
+/// use ref_sched::wfq::WeightedFairQueue;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut q = WeightedFairQueue::new(vec![3.0, 1.0])?;
+/// for i in 0..8 {
+///     q.enqueue(0, i, 1.0)?;
+///     q.enqueue(1, 100 + i, 1.0)?;
+/// }
+/// // Over the first 4 services, the weight-3 client gets ~3 of them.
+/// let first: Vec<usize> = (0..4).map(|_| q.dequeue().unwrap().0).collect();
+/// assert_eq!(first.iter().filter(|&&c| c == 0).count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedFairQueue<T> {
+    weights: Vec<f64>,
+    queues: Vec<VecDeque<Queued<T>>>,
+    last_finish: Vec<f64>,
+    virtual_time: f64,
+    service: Vec<f64>,
+}
+
+impl<T> WeightedFairQueue<T> {
+    /// Creates a queue with one weight per client.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `weights` is empty or any weight is not
+    /// strictly positive and finite.
+    pub fn new(weights: Vec<f64>) -> Result<WeightedFairQueue<T>, String> {
+        if weights.is_empty() {
+            return Err("need at least one client".to_string());
+        }
+        if weights.iter().any(|w| !(w.is_finite() && *w > 0.0)) {
+            return Err("weights must be finite and positive".to_string());
+        }
+        let n = weights.len();
+        Ok(WeightedFairQueue {
+            weights,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            last_finish: vec![0.0; n],
+            virtual_time: 0.0,
+            service: vec![0.0; n],
+        })
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Enqueues a request of the given cost for a client.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the client index is out of range or the cost is
+    /// not strictly positive and finite.
+    pub fn enqueue(&mut self, client: usize, item: T, cost: f64) -> Result<(), String> {
+        if client >= self.weights.len() {
+            return Err(format!("client {client} out of range"));
+        }
+        if !(cost.is_finite() && cost > 0.0) {
+            return Err(format!("cost must be positive and finite, got {cost}"));
+        }
+        let start = self.virtual_time.max(self.last_finish[client]);
+        let finish_tag = start + cost / self.weights[client];
+        self.last_finish[client] = finish_tag;
+        self.queues[client].push_back(Queued {
+            item,
+            cost,
+            finish_tag,
+        });
+        Ok(())
+    }
+
+    /// Serves the request with the smallest virtual finish time, returning
+    /// `(client, item)`; `None` when all queues are empty.
+    pub fn dequeue(&mut self) -> Option<(usize, T)> {
+        let next = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(c, q)| q.front().map(|h| (c, h.finish_tag)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite finish tags"))?;
+        let client = next.0;
+        let head = self.queues[client].pop_front().expect("head exists");
+        self.virtual_time = self.virtual_time.max(head.finish_tag);
+        self.service[client] += head.cost;
+        Some((client, head.item))
+    }
+
+    /// Total cost served per client so far.
+    pub fn service(&self) -> &[f64] {
+        &self.service
+    }
+
+    /// Achieved service fractions (empty service yields zeros).
+    pub fn service_shares(&self) -> Vec<f64> {
+        let total: f64 = self.service.iter().sum();
+        if total == 0.0 {
+            vec![0.0; self.service.len()]
+        } else {
+            self.service.iter().map(|s| s / total).collect()
+        }
+    }
+
+    /// Whether any request is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut WeightedFairQueue<u32>) {
+        while q.dequeue().is_some() {}
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WeightedFairQueue::<u32>::new(vec![]).is_err());
+        assert!(WeightedFairQueue::<u32>::new(vec![0.0]).is_err());
+        assert!(WeightedFairQueue::<u32>::new(vec![-1.0]).is_err());
+        let mut q = WeightedFairQueue::new(vec![1.0]).unwrap();
+        assert!(q.enqueue(5, 0_u32, 1.0).is_err());
+        assert!(q.enqueue(0, 0_u32, 0.0).is_err());
+    }
+
+    #[test]
+    fn backlogged_clients_get_weighted_shares() {
+        let mut q = WeightedFairQueue::new(vec![0.7, 0.2, 0.1]).unwrap();
+        for i in 0..3000_u32 {
+            for c in 0..3 {
+                q.enqueue(c, i, 1.0).unwrap();
+            }
+        }
+        drain(&mut q);
+        // With finite backlogs every queue eventually drains completely, so
+        // check shares at a prefix instead: re-run with interleaved
+        // enqueue/dequeue to stay in steady state.
+        // Keep every client backlogged: enqueue three per round, serve one.
+        let mut q = WeightedFairQueue::new(vec![0.7, 0.2, 0.1]).unwrap();
+        for i in 0..10_000_u32 {
+            for c in 0..3 {
+                q.enqueue(c, i, 1.0).unwrap();
+            }
+            q.dequeue();
+        }
+        let shares = q.service_shares();
+        assert!((shares[0] - 0.7).abs() < 0.03, "{shares:?}");
+        assert!((shares[1] - 0.2).abs() < 0.03, "{shares:?}");
+        assert!((shares[2] - 0.1).abs() < 0.03, "{shares:?}");
+    }
+
+    #[test]
+    fn work_conserving_when_client_idle() {
+        let mut q = WeightedFairQueue::new(vec![0.5, 0.5]).unwrap();
+        for i in 0..10_u32 {
+            q.enqueue(0, i, 1.0).unwrap();
+        }
+        // Client 1 never enqueues; client 0 gets everything.
+        let mut served = 0;
+        while let Some((c, _)) = q.dequeue() {
+            assert_eq!(c, 0);
+            served += 1;
+        }
+        assert_eq!(served, 10);
+    }
+
+    #[test]
+    fn fifo_within_a_client() {
+        let mut q = WeightedFairQueue::new(vec![1.0]).unwrap();
+        for i in 0..5_u32 {
+            q.enqueue(0, i, 1.0).unwrap();
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.dequeue().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn variable_costs_count_toward_service() {
+        let mut q = WeightedFairQueue::new(vec![1.0, 1.0]).unwrap();
+        q.enqueue(0, 0_u32, 3.0).unwrap();
+        q.enqueue(1, 1_u32, 1.0).unwrap();
+        // Equal weights: the cheap request finishes first in virtual time.
+        assert_eq!(q.dequeue().unwrap().0, 1);
+        assert_eq!(q.dequeue().unwrap().0, 0);
+        assert_eq!(q.service(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = WeightedFairQueue::new(vec![1.0]).unwrap();
+        assert!(q.is_empty());
+        q.enqueue(0, 1_u32, 1.0).unwrap();
+        assert_eq!(q.len(), 1);
+        q.dequeue();
+        assert!(q.is_empty());
+        assert!(q.dequeue().is_none());
+        assert_eq!(q.service_shares(), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_service_shares_are_zero() {
+        let q = WeightedFairQueue::<u32>::new(vec![1.0, 1.0]).unwrap();
+        assert_eq!(q.service_shares(), vec![0.0, 0.0]);
+    }
+}

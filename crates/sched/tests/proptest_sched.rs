@@ -1,0 +1,81 @@
+//! Property-based tests for the proportional-share schedulers.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ref_sched::{LotteryScheduler, StrideScheduler, WeightedFairQueue};
+
+fn weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05..5.0f64, 2..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stride scheduling achieves the target proportions with bounded
+    /// error for arbitrary weights.
+    #[test]
+    fn stride_converges_for_random_weights(w in weights()) {
+        let total: f64 = w.iter().sum();
+        let mut s = StrideScheduler::new(w.clone()).unwrap();
+        let quanta = 20_000;
+        for _ in 0..quanta {
+            s.next_quantum();
+        }
+        for (share, weight) in s.service_shares().iter().zip(&w) {
+            prop_assert!((share - weight / total).abs() < 5e-3, "{share} vs {}", weight / total);
+        }
+    }
+
+    /// Backlogged WFQ achieves the target proportions for arbitrary
+    /// weights.
+    #[test]
+    fn wfq_converges_for_random_weights(w in weights()) {
+        let total: f64 = w.iter().sum();
+        let mut q: WeightedFairQueue<u32> = WeightedFairQueue::new(w.clone()).unwrap();
+        for i in 0..20_000u32 {
+            for c in 0..w.len() {
+                q.enqueue(c, i, 1.0).unwrap();
+            }
+            q.dequeue();
+        }
+        for (share, weight) in q.service_shares().iter().zip(&w) {
+            prop_assert!((share - weight / total).abs() < 0.02);
+        }
+    }
+
+    /// Lottery wins always sum to the number of draws, and empirical
+    /// shares approach tickets.
+    #[test]
+    fn lottery_accounting_and_convergence(w in weights(), seed in 0u64..1_000) {
+        let total: f64 = w.iter().sum();
+        let mut s = LotteryScheduler::new(w.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let draws = 30_000u64;
+        for _ in 0..draws {
+            s.draw(&mut rng);
+        }
+        prop_assert_eq!(s.wins().iter().sum::<u64>(), draws);
+        for (share, weight) in s.service_shares().iter().zip(&w) {
+            prop_assert!((share - weight / total).abs() < 0.03);
+        }
+    }
+
+    /// WFQ never serves an empty queue and preserves FIFO per client.
+    #[test]
+    fn wfq_fifo_within_client(w in weights(), items in 1u32..50) {
+        let mut q: WeightedFairQueue<u32> = WeightedFairQueue::new(w.clone()).unwrap();
+        for i in 0..items {
+            q.enqueue(0, i, 1.0).unwrap();
+        }
+        let mut last: Option<u32> = None;
+        while let Some((c, v)) = q.dequeue() {
+            prop_assert_eq!(c, 0);
+            if let Some(prev) = last {
+                prop_assert!(v > prev);
+            }
+            last = Some(v);
+        }
+        prop_assert!(q.is_empty());
+    }
+}

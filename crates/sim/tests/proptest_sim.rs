@@ -1,0 +1,126 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use ref_sim::cache::{partition_ways, SetAssociativeCache};
+use ref_sim::config::{Bandwidth, PlatformConfig};
+use ref_sim::dram::Dram;
+use ref_sim::system::SingleCoreSystem;
+use ref_sim::trace::Op;
+
+fn addresses() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1 << 20), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counter consistency on arbitrary streams.
+    #[test]
+    fn cache_stats_are_consistent(addrs in addresses()) {
+        let mut c = SetAssociativeCache::new(16, 4, 64);
+        for &a in &addrs {
+            let _ = c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert_eq!(s.misses(), s.accesses - s.hits);
+        prop_assert!((0.0..=1.0).contains(&s.hit_rate()));
+    }
+
+    /// The most recently accessed block is always resident afterwards.
+    #[test]
+    fn last_access_is_resident(addrs in addresses()) {
+        let mut c = SetAssociativeCache::new(8, 2, 64);
+        for &a in &addrs {
+            let _ = c.access(a);
+            prop_assert!(c.probe(a), "block of {a} evicted immediately");
+        }
+    }
+
+    /// LRU inclusion: a larger cache (same sets, more ways) hits at least
+    /// as often on any stream.
+    #[test]
+    fn more_ways_never_hurt(addrs in addresses()) {
+        let mut small = SetAssociativeCache::new(16, 2, 64);
+        let mut large = SetAssociativeCache::new(16, 8, 64);
+        for &a in &addrs {
+            let _ = small.access(a);
+            let _ = large.access(a);
+        }
+        prop_assert!(large.stats().hits >= small.stats().hits);
+    }
+
+    /// Way partitioning conserves ways and respects minimums.
+    #[test]
+    fn partition_ways_conserves(
+        shares in prop::collection::vec(0.01..10.0f64, 1..8),
+        extra in 0usize..16,
+    ) {
+        let total = shares.len() + extra;
+        let ways = partition_ways(total, &shares);
+        prop_assert_eq!(ways.iter().sum::<usize>(), total);
+        prop_assert!(ways.iter().all(|&w| w >= 1));
+    }
+
+    /// Larger shares never receive fewer ways.
+    #[test]
+    fn partition_ways_is_monotone(a in 0.1..5.0f64, b in 0.1..5.0f64) {
+        let ways = partition_ways(16, &[a, b]);
+        if a > b {
+            prop_assert!(ways[0] >= ways[1]);
+        } else if b > a {
+            prop_assert!(ways[1] >= ways[0]);
+        }
+    }
+
+    /// DRAM completions never precede arrival plus the access latency, and
+    /// per-agent counters add up.
+    #[test]
+    fn dram_completion_lower_bound(
+        reqs in prop::collection::vec((0u64..1 << 16, 0u64..10_000), 1..100),
+    ) {
+        let p = PlatformConfig::asplos14();
+        let mut d = Dram::new(&p.dram, p.core.clock_hz, &[0.5, 0.5]);
+        let mut count = [0u64; 2];
+        for (i, &(addr, now)) in reqs.iter().enumerate() {
+            let agent = i % 2;
+            let done = d.access(agent, addr * 64, now);
+            count[agent] += 1;
+            prop_assert!(done >= now + p.dram.access_latency_cycles);
+        }
+        prop_assert_eq!(d.agent_requests(0), count[0]);
+        prop_assert_eq!(d.agent_requests(1), count[1]);
+        prop_assert_eq!(d.stats().requests, reqs.len() as u64);
+    }
+
+    /// IPC is always within (0, issue width] for any nonempty run.
+    #[test]
+    fn ipc_bounds(seed in 0u64..1000) {
+        let p = PlatformConfig::asplos14().with_bandwidth(Bandwidth::from_gb_per_sec(3.2));
+        let mut sys = SingleCoreSystem::new(&p);
+        let stream = (0..u64::MAX).map(move |i| {
+            if (i + seed) % 3 == 0 {
+                Op::Load(((i * 2654435761 + seed) % (1 << 22)) & !63)
+            } else {
+                Op::Compute
+            }
+        });
+        let r = sys.run(stream, 5_000);
+        prop_assert!(r.ipc() > 0.0);
+        prop_assert!(r.ipc() <= f64::from(p.core.issue_width) + 1e-9);
+        prop_assert_eq!(r.instructions, 5_000);
+    }
+
+    /// Warmup intervals compose: a run with warmup reports exactly the
+    /// instructions of the measured interval.
+    #[test]
+    fn warmup_interval_accounting(warm in 0u64..3000, measured in 1u64..3000) {
+        let p = PlatformConfig::asplos14();
+        let mut sys = SingleCoreSystem::new(&p);
+        let stream = (0..u64::MAX).map(|i| Op::Load((i * 64) % (1 << 20)));
+        let r = sys.run_with_warmup(stream, warm, measured);
+        prop_assert_eq!(r.instructions, measured);
+        prop_assert!(r.cycles > 0.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Log-barrier interior-point method for inequality-constrained convex
+//! minimization.
+//!
+//! Solves `minimize f0(x) subject to f_i(x) <= 0` where `f0` and every `f_i`
+//! implement [`Objective`] and are convex. This is the engine behind the
+//! geometric-programming layer ([`crate::gp`]) that replaces CVX in the REF
+//! paper's evaluation.
+//!
+//! The implementation follows the classic two-phase scheme (Boyd &
+//! Vandenberghe, ch. 11): a phase-I problem finds a strictly feasible point
+//! when the caller's start is not, and the central path is then traced by
+//! minimizing `t f0(x) + phi(x)` with damped Newton for geometrically
+//! increasing `t`, where `phi(x) = -sum_i log(-f_i(x))`.
+
+use crate::error::{Result, SolverError};
+use crate::func::Objective;
+use crate::matrix::Matrix;
+use crate::newton::{self, NewtonOptions};
+
+/// Options controlling the interior-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierOptions {
+    /// Factor by which the path parameter `t` grows each outer iteration.
+    pub mu: f64,
+    /// Initial path parameter.
+    pub t0: f64,
+    /// Target duality gap `m / t`.
+    pub tolerance: f64,
+    /// Maximum number of outer (centering) iterations.
+    pub max_outer_iterations: usize,
+    /// Options for the inner Newton solves.
+    pub newton: NewtonOptions,
+    /// Margin by which phase I must clear zero to declare strict
+    /// feasibility.
+    pub feasibility_margin: f64,
+}
+
+impl Default for BarrierOptions {
+    fn default() -> BarrierOptions {
+        BarrierOptions {
+            mu: 20.0,
+            t0: 1.0,
+            tolerance: 1e-6,
+            max_outer_iterations: 100,
+            newton: NewtonOptions {
+                tolerance: 1e-9,
+                max_iterations: 300,
+                ..NewtonOptions::default()
+            },
+            feasibility_margin: 1e-9,
+        }
+    }
+}
+
+/// Outcome of a barrier-method minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierResult {
+    /// Minimizer.
+    pub x: Vec<f64>,
+    /// Objective value at the minimizer.
+    pub value: f64,
+    /// Number of outer (centering) iterations.
+    pub outer_iterations: usize,
+}
+
+/// The barrier-augmented objective `t f0(x) - sum_i log(-f_i(x))`.
+struct BarrierObjective<'a> {
+    t: f64,
+    f0: &'a dyn Objective,
+    constraints: &'a [&'a dyn Objective],
+}
+
+impl Objective for BarrierObjective<'_> {
+    fn dim(&self) -> usize {
+        self.f0.dim()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut v = self.t * self.f0.value(x);
+        for c in self.constraints {
+            let fi = c.value(x);
+            if fi >= 0.0 || !fi.is_finite() {
+                return f64::INFINITY;
+            }
+            v -= (-fi).ln();
+        }
+        v
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let mut g: Vec<f64> = self.f0.gradient(x).iter().map(|v| v * self.t).collect();
+        for c in self.constraints {
+            let fi = c.value(x);
+            let gi = c.gradient(x);
+            let w = -1.0 / fi; // fi < 0 at feasible points
+            for (gj, gij) in g.iter_mut().zip(&gi) {
+                *gj += w * gij;
+            }
+        }
+        g
+    }
+
+    fn hessian(&self, x: &[f64]) -> Matrix {
+        let mut h = self.f0.hessian(x).scaled(self.t);
+        for c in self.constraints {
+            let fi = c.value(x);
+            let gi = c.gradient(x);
+            let hi = c.hessian(x);
+            let w1 = 1.0 / (fi * fi);
+            let w2 = -1.0 / fi;
+            h.rank_one_update(w1, &gi);
+            let scaled = hi.scaled(w2);
+            h = h.add_matrix(&scaled).expect("dimensions agree");
+        }
+        h
+    }
+}
+
+/// Phase-I objective over the extended variable `(x, s)`: minimize `s`.
+struct PhaseIObjective {
+    n: usize,
+}
+
+impl Objective for PhaseIObjective {
+    fn dim(&self) -> usize {
+        self.n + 1
+    }
+
+    fn value(&self, z: &[f64]) -> f64 {
+        z[self.n]
+    }
+
+    fn gradient(&self, _z: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; self.n + 1];
+        g[self.n] = 1.0;
+        g
+    }
+
+    fn hessian(&self, _z: &[f64]) -> Matrix {
+        Matrix::zeros(self.n + 1, self.n + 1)
+    }
+}
+
+/// Phase-I constraint `f_i(x) - s <= 0` over the extended variable.
+struct PhaseIConstraint<'a> {
+    inner: &'a dyn Objective,
+    n: usize,
+}
+
+impl Objective for PhaseIConstraint<'_> {
+    fn dim(&self) -> usize {
+        self.n + 1
+    }
+
+    fn value(&self, z: &[f64]) -> f64 {
+        self.inner.value(&z[..self.n]) - z[self.n]
+    }
+
+    fn gradient(&self, z: &[f64]) -> Vec<f64> {
+        let mut g = self.inner.gradient(&z[..self.n]);
+        g.push(-1.0);
+        g
+    }
+
+    fn hessian(&self, z: &[f64]) -> Matrix {
+        let hi = self.inner.hessian(&z[..self.n]);
+        let mut h = Matrix::zeros(self.n + 1, self.n + 1);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                h[(i, j)] = hi[(i, j)];
+            }
+        }
+        h
+    }
+}
+
+/// Returns the largest constraint value at `x`, or `None` when there are no
+/// constraints.
+pub fn max_violation(constraints: &[&dyn Objective], x: &[f64]) -> Option<f64> {
+    constraints
+        .iter()
+        .map(|c| c.value(x))
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// Minimizes `f0` subject to `f_i(x) <= 0` for every constraint.
+///
+/// `x0` is any starting point in the domain of the functions; a phase-I
+/// solve is performed automatically if it is not strictly feasible.
+///
+/// # Errors
+///
+/// - [`SolverError::Infeasible`] if no strictly feasible point exists.
+/// - [`SolverError::MaxIterationsExceeded`] if the central path does not
+///   reach the target gap.
+/// - Errors propagated from the inner Newton solves.
+///
+/// # Examples
+///
+/// Minimize `x + y` subject to `x^2 + y^2 <= 1` (optimum at
+/// `(-1/sqrt 2, -1/sqrt 2)`):
+///
+/// ```
+/// use ref_solver::barrier::{minimize, BarrierOptions};
+/// use ref_solver::func::{Affine, Objective, Quadratic};
+/// use ref_solver::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// struct Disk;
+/// impl Objective for Disk {
+///     fn dim(&self) -> usize { 2 }
+///     fn value(&self, x: &[f64]) -> f64 { x[0] * x[0] + x[1] * x[1] - 1.0 }
+///     fn gradient(&self, x: &[f64]) -> Vec<f64> { vec![2.0 * x[0], 2.0 * x[1]] }
+///     fn hessian(&self, _x: &[f64]) -> Matrix { Matrix::diagonal(&[2.0, 2.0]) }
+/// }
+/// let objective = Affine::new(vec![1.0, 1.0], 0.0);
+/// let disk = Disk;
+/// let constraints: Vec<&dyn Objective> = vec![&disk];
+/// let r = minimize(&objective, &constraints, &[0.0, 0.0], &BarrierOptions::default())?;
+/// let s = 1.0 / 2.0_f64.sqrt();
+/// assert!((r.x[0] + s).abs() < 1e-4);
+/// assert!((r.x[1] + s).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimize(
+    f0: &dyn Objective,
+    constraints: &[&dyn Objective],
+    x0: &[f64],
+    opts: &BarrierOptions,
+) -> Result<BarrierResult> {
+    if x0.len() != f0.dim() {
+        return Err(SolverError::InvalidArgument(format!(
+            "start point has dimension {}, objective expects {}",
+            x0.len(),
+            f0.dim()
+        )));
+    }
+    for c in constraints {
+        if c.dim() != f0.dim() {
+            return Err(SolverError::InvalidArgument(
+                "constraint dimension differs from objective dimension".to_string(),
+            ));
+        }
+    }
+    let x_start = match max_violation(constraints, x0) {
+        Some(v) if v >= -opts.feasibility_margin => phase_one(constraints, x0, opts)?,
+        _ => x0.to_vec(),
+    };
+    central_path(f0, constraints, &x_start, opts)
+}
+
+fn central_path(
+    f0: &dyn Objective,
+    constraints: &[&dyn Objective],
+    x0: &[f64],
+    opts: &BarrierOptions,
+) -> Result<BarrierResult> {
+    let m = constraints.len();
+    if m == 0 {
+        // Unconstrained: a single Newton solve suffices.
+        let r = newton::minimize(f0, x0, &opts.newton)?;
+        return Ok(BarrierResult {
+            x: r.x,
+            value: r.value,
+            outer_iterations: 1,
+        });
+    }
+    let mut x = x0.to_vec();
+    let mut t = opts.t0;
+    for outer in 0..opts.max_outer_iterations {
+        let barrier = BarrierObjective {
+            t,
+            f0,
+            constraints,
+        };
+        let r = newton::minimize(&barrier, &x, &opts.newton)?;
+        x = r.x;
+        if m as f64 / t < opts.tolerance {
+            return Ok(BarrierResult {
+                x: x.clone(),
+                value: f0.value(&x),
+                outer_iterations: outer + 1,
+            });
+        }
+        t *= opts.mu;
+    }
+    Err(SolverError::MaxIterationsExceeded {
+        iterations: opts.max_outer_iterations,
+    })
+}
+
+/// Solves the phase-I problem to find a strictly feasible point.
+fn phase_one(
+    constraints: &[&dyn Objective],
+    x0: &[f64],
+    opts: &BarrierOptions,
+) -> Result<Vec<f64>> {
+    let n = x0.len();
+    let worst = max_violation(constraints, x0).unwrap_or(0.0);
+    if !worst.is_finite() {
+        return Err(SolverError::InvalidArgument(
+            "phase-I start point is outside the constraint domain".to_string(),
+        ));
+    }
+    let mut z0 = x0.to_vec();
+    z0.push(worst + 1.0);
+
+    let objective = PhaseIObjective { n };
+    let wrapped: Vec<PhaseIConstraint> = constraints
+        .iter()
+        .map(|c| PhaseIConstraint { inner: *c, n })
+        .collect();
+    // Keep the subproblem bounded. Without these the phase-I centering
+    // problem need not have a minimizer: s >= -1 (any s < 0 already proves
+    // strict feasibility), and a generous box |x_j - x0_j| <= B around the
+    // start (B is huge relative to any sensible problem scaling, so it
+    // never hides a feasible point in practice).
+    const BOX: f64 = 50.0;
+    let mut bounds: Vec<crate::func::Affine> = Vec::with_capacity(2 * n + 1);
+    let mut s_coeffs = vec![0.0; n + 1];
+    s_coeffs[n] = -1.0;
+    bounds.push(crate::func::Affine::new(s_coeffs, -1.0));
+    for j in 0..n {
+        let mut up = vec![0.0; n + 1];
+        up[j] = 1.0;
+        bounds.push(crate::func::Affine::new(up, -(x0[j] + BOX)));
+        let mut down = vec![0.0; n + 1];
+        down[j] = -1.0;
+        bounds.push(crate::func::Affine::new(down, x0[j] - BOX));
+    }
+    let mut refs: Vec<&dyn Objective> = wrapped.iter().map(|c| c as &dyn Objective).collect();
+    for b in &bounds {
+        refs.push(b as &dyn Objective);
+    }
+
+    // Trace the phase-I central path, stopping early once s is comfortably
+    // negative.
+    let m = refs.len().max(1) as f64;
+    let mut z = z0;
+    let mut t = opts.t0;
+    for _ in 0..opts.max_outer_iterations {
+        let barrier = BarrierObjective {
+            t,
+            f0: &objective,
+            constraints: &refs,
+        };
+        let r = newton::minimize(&barrier, &z, &opts.newton)?;
+        z = r.x;
+        let s = z[n];
+        if s < -10.0 * opts.feasibility_margin.max(1e-12) {
+            return Ok(z[..n].to_vec());
+        }
+        if m / t < opts.tolerance {
+            // Converged with s >= 0: no strictly feasible point.
+            return Err(SolverError::Infeasible);
+        }
+        t *= opts.mu;
+    }
+    Err(SolverError::MaxIterationsExceeded {
+        iterations: opts.max_outer_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Affine, LogSumExpAffine};
+
+    #[test]
+    fn linear_program_box() {
+        // minimize -x - 2y s.t. x <= 1, y <= 1, -x <= 0, -y <= 0.
+        let f0 = Affine::new(vec![-1.0, -2.0], 0.0);
+        let c1 = Affine::new(vec![1.0, 0.0], -1.0);
+        let c2 = Affine::new(vec![0.0, 1.0], -1.0);
+        let c3 = Affine::new(vec![-1.0, 0.0], 0.0);
+        let c4 = Affine::new(vec![0.0, -1.0], 0.0);
+        let cons: Vec<&dyn Objective> = vec![&c1, &c2, &c3, &c4];
+        let r = minimize(&f0, &cons, &[0.5, 0.5], &BarrierOptions::default()).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.value + 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phase_one_recovers_feasibility() {
+        // Start outside the box; phase I should pull the iterate inside.
+        let f0 = Affine::new(vec![1.0, 0.0], 0.0);
+        let c1 = Affine::new(vec![1.0, 0.0], -1.0);
+        let c2 = Affine::new(vec![-1.0, 0.0], 0.0);
+        let c3 = Affine::new(vec![0.0, 1.0], -1.0);
+        let c4 = Affine::new(vec![0.0, -1.0], 0.0);
+        let cons: Vec<&dyn Objective> = vec![&c1, &c2, &c3, &c4];
+        let r = minimize(&f0, &cons, &[5.0, 5.0], &BarrierOptions::default()).unwrap();
+        assert!(r.x[0].abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        // x <= -1 and -x <= -1 cannot both hold.
+        let f0 = Affine::new(vec![1.0], 0.0);
+        let c1 = Affine::new(vec![1.0], 1.0); // x + 1 <= 0
+        let c2 = Affine::new(vec![-1.0], 1.0); // -x + 1 <= 0
+        let cons: Vec<&dyn Objective> = vec![&c1, &c2];
+        assert!(matches!(
+            minimize(&f0, &cons, &[0.0], &BarrierOptions::default()),
+            Err(SolverError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn unconstrained_falls_back_to_newton() {
+        let a = Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap();
+        let f = LogSumExpAffine::new(a, vec![0.0, 0.0]);
+        let r = minimize(&f, &[], &[3.0], &BarrierOptions::default()).unwrap();
+        assert!(r.x[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn lse_constraint_respected() {
+        // minimize -x - y subject to log(e^x + e^y) <= 0, i.e. e^x + e^y <= 1.
+        let f0 = Affine::new(vec![-1.0, -1.0], 0.0);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let lse = LogSumExpAffine::new(a, vec![0.0, 0.0]);
+        let cons: Vec<&dyn Objective> = vec![&lse];
+        let r = minimize(&f0, &cons, &[-2.0, -2.0], &BarrierOptions::default()).unwrap();
+        // Symmetric optimum at x = y = log(1/2).
+        let expect = 0.5_f64.ln();
+        assert!((r.x[0] - expect).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] - expect).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let f0 = Affine::new(vec![1.0], 0.0);
+        let c = Affine::new(vec![1.0, 1.0], 0.0);
+        let cons: Vec<&dyn Objective> = vec![&c];
+        assert!(minimize(&f0, &cons, &[0.0], &BarrierOptions::default()).is_err());
+        assert!(minimize(&f0, &[], &[0.0, 0.0], &BarrierOptions::default()).is_err());
+    }
+
+    #[test]
+    fn max_violation_reports_worst() {
+        let c1 = Affine::new(vec![1.0], -2.0);
+        let c2 = Affine::new(vec![-1.0], 0.5);
+        let cons: Vec<&dyn Objective> = vec![&c1, &c2];
+        let v = max_violation(&cons, &[1.0]).unwrap();
+        assert_eq!(v, -0.5);
+        assert!(max_violation(&[], &[1.0]).is_none());
+    }
+}

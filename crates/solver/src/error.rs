@@ -1,0 +1,98 @@
+//! Error types shared by every solver in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra and optimization routines.
+///
+/// Every fallible public function in this crate returns
+/// [`Result<T, SolverError>`](crate::Result). The variants distinguish
+/// structural problems (shape mismatches), numerical failures (singular or
+/// non-positive-definite systems), and optimization outcomes (infeasibility,
+/// iteration limits).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// Operand shapes are incompatible, e.g. multiplying a `2x3` matrix by a
+    /// `2x2` matrix. Carries a human-readable description of the mismatch.
+    ShapeMismatch(String),
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// A factorization required a (numerically) non-singular matrix.
+    Singular,
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite,
+    /// The least-squares system is rank deficient.
+    RankDeficient,
+    /// An optimization problem has no strictly feasible point.
+    Infeasible,
+    /// The iteration limit was reached before convergence.
+    MaxIterationsExceeded {
+        /// The limit that was exhausted.
+        iterations: usize,
+    },
+    /// An argument was outside its documented domain (e.g. a non-positive
+    /// value where positivity is required).
+    InvalidArgument(String),
+    /// A numerical operation produced a non-finite value.
+    NonFinite(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            SolverError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            SolverError::Singular => write!(f, "matrix is singular to working precision"),
+            SolverError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            SolverError::RankDeficient => write!(f, "least-squares system is rank deficient"),
+            SolverError::Infeasible => {
+                write!(f, "optimization problem has no strictly feasible point")
+            }
+            SolverError::MaxIterationsExceeded { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            SolverError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SolverError::NonFinite(msg) => write!(f, "non-finite value encountered: {msg}"),
+        }
+    }
+}
+
+impl Error for SolverError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SolverError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = SolverError::NotSquare { rows: 2, cols: 3 };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+        let e = SolverError::ShapeMismatch("2x3 * 2x2".to_string());
+        assert!(e.to_string().contains("2x3 * 2x2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn Error> = Box::new(SolverError::Singular);
+        assert!(e.to_string().contains("singular"));
+    }
+}

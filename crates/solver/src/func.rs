@@ -1,0 +1,323 @@
+//! Twice-differentiable scalar functions of a vector argument.
+//!
+//! The [`Objective`] trait is the interface between problem formulations
+//! (e.g. the log-space form of a geometric program, [`crate::gp`]) and the
+//! minimizers ([`crate::newton`], [`crate::barrier`]). Implementations
+//! provided here cover everything the REF reproduction needs: affine
+//! functions, convex quadratics, and log-sum-exp compositions of affine
+//! functions.
+
+use crate::matrix::Matrix;
+use crate::vec_ops;
+
+/// A twice-differentiable scalar function `f: R^n -> R`.
+///
+/// Minimizers call [`value`](Objective::value) during line searches and
+/// [`gradient`](Objective::gradient) / [`hessian`](Objective::hessian) at
+/// feasible iterates. `value` may return `f64::INFINITY` to signal that a
+/// point is outside the function's domain (used by barrier compositions);
+/// `gradient` and `hessian` are only invoked at points with finite value.
+pub trait Objective {
+    /// Dimension `n` of the argument vector.
+    fn dim(&self) -> usize;
+
+    /// Function value at `x`, or `f64::INFINITY` outside the domain.
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Gradient at `x` (caller guarantees `value(x)` is finite).
+    fn gradient(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Hessian at `x` (caller guarantees `value(x)` is finite).
+    fn hessian(&self, x: &[f64]) -> Matrix;
+}
+
+/// Affine function `a . x + b`.
+///
+/// # Examples
+///
+/// ```
+/// use ref_solver::func::{Affine, Objective};
+///
+/// let f = Affine::new(vec![2.0, -1.0], 0.5);
+/// assert_eq!(f.value(&[1.0, 1.0]), 1.5);
+/// assert_eq!(f.gradient(&[0.0, 0.0]), vec![2.0, -1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affine {
+    a: Vec<f64>,
+    b: f64,
+}
+
+impl Affine {
+    /// Creates the affine function `a . x + b`.
+    pub fn new(a: Vec<f64>, b: f64) -> Affine {
+        Affine { a, b }
+    }
+
+    /// Linear coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Constant offset.
+    pub fn offset(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Objective for Affine {
+    fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        vec_ops::dot(&self.a, x) + self.b
+    }
+
+    fn gradient(&self, _x: &[f64]) -> Vec<f64> {
+        self.a.clone()
+    }
+
+    fn hessian(&self, _x: &[f64]) -> Matrix {
+        Matrix::zeros(self.a.len(), self.a.len())
+    }
+}
+
+/// Convex quadratic `0.5 x^T Q x + c . x` with symmetric `Q`.
+///
+/// Primarily used to exercise the minimizers in tests; Newton converges on a
+/// quadratic in one step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quadratic {
+    q: Matrix,
+    c: Vec<f64>,
+}
+
+impl Quadratic {
+    /// Creates `0.5 x^T Q x + c . x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not square or its dimension differs from `c.len()`.
+    pub fn new(q: Matrix, c: Vec<f64>) -> Quadratic {
+        assert!(q.is_square(), "quadratic form requires a square matrix");
+        assert_eq!(q.rows(), c.len(), "dimension mismatch");
+        Quadratic { q, c }
+    }
+}
+
+impl Objective for Quadratic {
+    fn dim(&self) -> usize {
+        self.c.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let qx = self.q.matvec(x).expect("dimension checked at construction");
+        0.5 * vec_ops::dot(x, &qx) + vec_ops::dot(&self.c, x)
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let mut qx = self.q.matvec(x).expect("dimension checked at construction");
+        vec_ops::axpy(1.0, &self.c, &mut qx);
+        qx
+    }
+
+    fn hessian(&self, _x: &[f64]) -> Matrix {
+        self.q.clone()
+    }
+}
+
+/// Log-sum-exp of affine functions: `f(x) = log sum_i exp(a_i . x + b_i)`.
+///
+/// This is the log-space image of a posynomial and the building block of
+/// geometric programming ([`crate::gp`]). It is smooth and convex; with a
+/// single term it degenerates to an affine function.
+///
+/// # Examples
+///
+/// ```
+/// use ref_solver::func::{LogSumExpAffine, Objective};
+/// use ref_solver::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[1.0], &[-1.0]])?;
+/// let f = LogSumExpAffine::new(a, vec![0.0, 0.0]);
+/// // log(e^x + e^-x) is minimized at 0 with value log 2.
+/// assert!((f.value(&[0.0]) - 2.0_f64.ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogSumExpAffine {
+    a: Matrix,
+    b: Vec<f64>,
+}
+
+impl LogSumExpAffine {
+    /// Creates `log sum_i exp(a_i . x + b_i)` where `a_i` is row `i` of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the row count of `a`.
+    pub fn new(a: Matrix, b: Vec<f64>) -> LogSumExpAffine {
+        assert_eq!(a.rows(), b.len(), "one offset per affine term");
+        LogSumExpAffine { a, b }
+    }
+
+    /// Number of exponential terms.
+    pub fn terms(&self) -> usize {
+        self.b.len()
+    }
+
+    /// The exponents of each term evaluated at `x`, i.e. `a_i . x + b_i`.
+    fn exponents_at(&self, x: &[f64]) -> Vec<f64> {
+        let mut e = self.a.matvec(x).expect("dimension checked by caller");
+        vec_ops::axpy(1.0, &self.b, &mut e);
+        e
+    }
+
+    /// Softmax weights of the terms at `x`.
+    fn weights_at(&self, x: &[f64]) -> Vec<f64> {
+        let e = self.exponents_at(x);
+        let lse = vec_ops::log_sum_exp(&e);
+        e.iter().map(|v| (v - lse).exp()).collect()
+    }
+}
+
+impl Objective for LogSumExpAffine {
+    fn dim(&self) -> usize {
+        self.a.cols()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        vec_ops::log_sum_exp(&self.exponents_at(x))
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let w = self.weights_at(x);
+        self.a
+            .matvec_transposed(&w)
+            .expect("dimension checked at construction")
+    }
+
+    fn hessian(&self, x: &[f64]) -> Matrix {
+        let w = self.weights_at(x);
+        let n = self.dim();
+        let mut h = Matrix::zeros(n, n);
+        for (i, &wi) in w.iter().enumerate() {
+            h.rank_one_update(wi, self.a.row(i));
+        }
+        let g = self
+            .a
+            .matvec_transposed(&w)
+            .expect("dimension checked at construction");
+        h.rank_one_update(-1.0, &g);
+        h
+    }
+}
+
+/// Numerical gradient by central differences, for testing analytic
+/// derivatives.
+pub fn numerical_gradient(f: &dyn Objective, x: &[f64], h: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = f.value(&xp);
+        xp[i] = orig - h;
+        let fm = f.value(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_basics() {
+        let f = Affine::new(vec![1.0, 2.0], 3.0);
+        assert_eq!(f.dim(), 2);
+        assert_eq!(f.value(&[1.0, 1.0]), 6.0);
+        assert_eq!(f.hessian(&[0.0, 0.0]).max_abs(), 0.0);
+        assert_eq!(f.coefficients(), &[1.0, 2.0]);
+        assert_eq!(f.offset(), 3.0);
+    }
+
+    #[test]
+    fn quadratic_value_and_gradient() {
+        let q = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let f = Quadratic::new(q, vec![-1.0, 0.0]);
+        assert_eq!(f.value(&[1.0, 1.0]), 0.5 * (2.0 + 4.0) - 1.0);
+        assert_eq!(f.gradient(&[1.0, 1.0]), vec![1.0, 4.0]);
+        assert_eq!(f.hessian(&[0.0, 0.0])[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn lse_gradient_matches_numerical() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[-0.5, 1.0], &[0.0, -1.0]]).unwrap();
+        let f = LogSumExpAffine::new(a, vec![0.1, -0.2, 0.3]);
+        let x = [0.4, -0.7];
+        let g = f.gradient(&x);
+        let gn = numerical_gradient(&f, &x, 1e-6);
+        for (a, b) in g.iter().zip(&gn) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lse_hessian_matches_numerical() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[-0.5, 1.0]]).unwrap();
+        let f = LogSumExpAffine::new(a, vec![0.0, 0.5]);
+        let x = [0.2, 0.1];
+        let h = f.hessian(&x);
+        // Differentiate the analytic gradient numerically.
+        let eps = 1e-6;
+        for j in 0..2 {
+            let mut xp = x.to_vec();
+            xp[j] += eps;
+            let gp = f.gradient(&xp);
+            xp[j] -= 2.0 * eps;
+            let gm = f.gradient(&xp);
+            for i in 0..2 {
+                let num = (gp[i] - gm[i]) / (2.0 * eps);
+                assert!((h[(i, j)] - num).abs() < 1e-5, "H[{i}{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn lse_single_term_is_affine() {
+        let a = Matrix::from_rows(&[&[3.0, -1.0]]).unwrap();
+        let f = LogSumExpAffine::new(a, vec![0.7]);
+        let aff = Affine::new(vec![3.0, -1.0], 0.7);
+        let x = [0.3, 0.9];
+        assert!((f.value(&x) - aff.value(&x)).abs() < 1e-12);
+        assert!((f.gradient(&x)[0] - 3.0).abs() < 1e-12);
+        assert!(f.hessian(&x).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn lse_hessian_is_positive_semidefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let f = LogSumExpAffine::new(a, vec![0.0; 3]);
+        let h = f.hessian(&[0.3, -0.2]);
+        // Check v^T H v >= 0 for a few directions.
+        for v in [[1.0, 0.0], [0.0, 1.0], [1.0, -1.0], [0.3, 0.7]] {
+            let hv = h.matvec(&v).unwrap();
+            assert!(vec_ops::dot(&v, &hv) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn lse_stable_for_large_inputs() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let f = LogSumExpAffine::new(a, vec![0.0, 0.0]);
+        let v = f.value(&[800.0]);
+        assert!((v - (800.0 + 2.0_f64.ln())).abs() < 1e-9);
+        assert!(f.gradient(&[800.0])[0].is_finite());
+    }
+}

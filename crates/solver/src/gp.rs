@@ -1,0 +1,555 @@
+//! Geometric programming in standard form.
+//!
+//! A geometric program (GP) minimizes a posynomial subject to posynomial
+//! inequality constraints `p_i(x) <= 1` over strictly positive variables.
+//! With the substitution `x_j = exp(t_j)` every posynomial becomes a
+//! log-sum-exp of affine functions and the program becomes convex; it is then
+//! solved by the interior-point method in [`crate::barrier`].
+//!
+//! The REF paper's welfare mechanisms are all expressible as GPs:
+//! Cobb-Douglas utilities are monomials, so Nash-welfare maximization,
+//! max-min (equal slowdown) and the fairness constraints (SI, EF) are
+//! monomial/posynomial constraints. See `ref-core`'s mechanism modules for
+//! the formulations.
+
+use crate::barrier::{self, BarrierOptions};
+use crate::error::{Result, SolverError};
+use crate::func::{Affine, LogSumExpAffine, Objective};
+use crate::matrix::Matrix;
+
+/// A monomial `c * prod_j x_j^{a_j}` with positive coefficient `c`.
+///
+/// Exponents may be any real numbers (negative exponents express ratios).
+///
+/// # Examples
+///
+/// ```
+/// use ref_solver::gp::Monomial;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 2 * x^0.6 * y^0.4
+/// let m = Monomial::new(2.0, vec![0.6, 0.4])?;
+/// assert!((m.eval(&[1.0, 1.0]) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial {
+    coefficient: f64,
+    exponents: Vec<f64>,
+}
+
+impl Monomial {
+    /// Creates `c * prod_j x_j^{a_j}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidArgument`] if `coefficient` is not
+    /// strictly positive and finite, or any exponent is non-finite.
+    pub fn new(coefficient: f64, exponents: Vec<f64>) -> Result<Monomial> {
+        if !(coefficient > 0.0 && coefficient.is_finite()) {
+            return Err(SolverError::InvalidArgument(format!(
+                "monomial coefficient must be positive and finite, got {coefficient}"
+            )));
+        }
+        if exponents.iter().any(|e| !e.is_finite()) {
+            return Err(SolverError::InvalidArgument(
+                "monomial exponents must be finite".to_string(),
+            ));
+        }
+        Ok(Monomial {
+            coefficient,
+            exponents,
+        })
+    }
+
+    /// A monomial equal to the single variable `x_j` among `n` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidArgument`] if `j >= n`.
+    pub fn variable(n: usize, j: usize) -> Result<Monomial> {
+        if j >= n {
+            return Err(SolverError::InvalidArgument(format!(
+                "variable index {j} out of range for {n} variables"
+            )));
+        }
+        let mut exponents = vec![0.0; n];
+        exponents[j] = 1.0;
+        Monomial::new(1.0, exponents)
+    }
+
+    /// The positive coefficient `c`.
+    pub fn coefficient(&self) -> f64 {
+        self.coefficient
+    }
+
+    /// The per-variable exponents.
+    pub fn exponents(&self) -> &[f64] {
+        &self.exponents
+    }
+
+    /// Evaluates the monomial at strictly positive `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of exponents.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.exponents.len(), "dimension mismatch");
+        self.coefficient
+            * x.iter()
+                .zip(&self.exponents)
+                .map(|(&xi, &ai)| xi.powf(ai))
+                .product::<f64>()
+    }
+
+    /// The log-space affine image: `(a, log c)` such that
+    /// `log m(e^t) = a . t + log c`.
+    fn log_affine(&self) -> (Vec<f64>, f64) {
+        (self.exponents.clone(), self.coefficient.ln())
+    }
+
+    /// The reciprocal monomial `1 / m`, itself a monomial.
+    pub fn reciprocal(&self) -> Monomial {
+        Monomial {
+            coefficient: 1.0 / self.coefficient,
+            exponents: self.exponents.iter().map(|e| -e).collect(),
+        }
+    }
+
+    /// The product of two monomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn product(&self, other: &Monomial) -> Monomial {
+        assert_eq!(
+            self.exponents.len(),
+            other.exponents.len(),
+            "dimension mismatch"
+        );
+        Monomial {
+            coefficient: self.coefficient * other.coefficient,
+            exponents: self
+                .exponents
+                .iter()
+                .zip(&other.exponents)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+/// A posynomial: a sum of monomials over the same variables.
+///
+/// # Examples
+///
+/// ```
+/// use ref_solver::gp::{Monomial, Posynomial};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Posynomial::from_monomials(vec![
+///     Monomial::new(1.0, vec![1.0, 0.0])?,
+///     Monomial::new(1.0, vec![0.0, 1.0])?,
+/// ])?;
+/// assert!((p.eval(&[2.0, 3.0]) - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posynomial {
+    terms: Vec<Monomial>,
+}
+
+impl Posynomial {
+    /// Creates a posynomial from its monomial terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidArgument`] if `terms` is empty or the
+    /// terms disagree on dimension.
+    pub fn from_monomials(terms: Vec<Monomial>) -> Result<Posynomial> {
+        if terms.is_empty() {
+            return Err(SolverError::InvalidArgument(
+                "posynomial needs at least one term".to_string(),
+            ));
+        }
+        let n = terms[0].exponents.len();
+        if terms.iter().any(|t| t.exponents.len() != n) {
+            return Err(SolverError::InvalidArgument(
+                "posynomial terms must share a dimension".to_string(),
+            ));
+        }
+        Ok(Posynomial { terms })
+    }
+
+    /// The monomial terms.
+    pub fn terms(&self) -> &[Monomial] {
+        &self.terms
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.terms[0].exponents.len()
+    }
+
+    /// Evaluates the posynomial at strictly positive `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the posynomial's dimension.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.terms.iter().map(|t| t.eval(x)).sum()
+    }
+
+    /// Log-space image as a [`LogSumExpAffine`].
+    fn to_lse(&self) -> LogSumExpAffine {
+        let n = self.dim();
+        let mut a = Matrix::zeros(self.terms.len(), n);
+        let mut b = Vec::with_capacity(self.terms.len());
+        for (i, t) in self.terms.iter().enumerate() {
+            let (row, off) = t.log_affine();
+            for (j, v) in row.iter().enumerate() {
+                a[(i, j)] = *v;
+            }
+            b.push(off);
+        }
+        LogSumExpAffine::new(a, b)
+    }
+}
+
+impl From<Monomial> for Posynomial {
+    fn from(m: Monomial) -> Posynomial {
+        Posynomial { terms: vec![m] }
+    }
+}
+
+/// A geometric program in standard form.
+///
+/// ```text
+/// minimize    p_0(x)
+/// subject to  p_i(x) <= 1,   i = 1..m
+///             x > 0
+/// ```
+///
+/// # Examples
+///
+/// Maximize `x y` subject to `x + y <= 2` (optimum `x = y = 1`): maximizing
+/// a monomial is minimizing its reciprocal.
+///
+/// ```
+/// use ref_solver::gp::{GeometricProgram, Monomial, Posynomial};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let xy = Monomial::new(1.0, vec![1.0, 1.0])?;
+/// let mut gp = GeometricProgram::minimize(2, xy.reciprocal().into())?;
+/// gp.add_constraint(Posynomial::from_monomials(vec![
+///     Monomial::new(0.5, vec![1.0, 0.0])?,
+///     Monomial::new(0.5, vec![0.0, 1.0])?,
+/// ])?)?;
+/// let sol = gp.solve(&[0.5, 0.5])?;
+/// assert!((sol.x[0] - 1.0).abs() < 1e-3);
+/// assert!((sol.x[1] - 1.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeometricProgram {
+    n: usize,
+    objective: Posynomial,
+    constraints: Vec<Posynomial>,
+    options: BarrierOptions,
+}
+
+/// Solution of a geometric program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpSolution {
+    /// Optimal (strictly positive) variable values.
+    pub x: Vec<f64>,
+    /// Objective posynomial value at the optimum.
+    pub objective_value: f64,
+    /// Outer interior-point iterations used.
+    pub outer_iterations: usize,
+}
+
+impl GeometricProgram {
+    /// Creates a GP minimizing `objective` over `n` positive variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ShapeMismatch`] if the objective dimension is
+    /// not `n`.
+    pub fn minimize(n: usize, objective: Posynomial) -> Result<GeometricProgram> {
+        if objective.dim() != n {
+            return Err(SolverError::ShapeMismatch(format!(
+                "objective has dimension {}, expected {n}",
+                objective.dim()
+            )));
+        }
+        Ok(GeometricProgram {
+            n,
+            objective,
+            constraints: Vec::new(),
+            options: BarrierOptions::default(),
+        })
+    }
+
+    /// Adds the constraint `p(x) <= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ShapeMismatch`] if the constraint dimension
+    /// differs from the program's.
+    pub fn add_constraint(&mut self, p: Posynomial) -> Result<&mut GeometricProgram> {
+        if p.dim() != self.n {
+            return Err(SolverError::ShapeMismatch(format!(
+                "constraint has dimension {}, expected {}",
+                p.dim(),
+                self.n
+            )));
+        }
+        self.constraints.push(p);
+        Ok(self)
+    }
+
+    /// Adds the monomial equality `m(x) = 1`, encoded as the relaxed band
+    /// `1 - eps <= m(x) <= 1 + eps` with `eps = 1e-6`.
+    ///
+    /// An exact equality has no strict interior, which a log-barrier method
+    /// cannot center in; the relaxation perturbs the optimum by at most
+    /// `O(eps)`, far below the solver's duality-gap tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ShapeMismatch`] on dimension mismatch.
+    pub fn add_monomial_equality(&mut self, m: Monomial) -> Result<&mut GeometricProgram> {
+        self.add_monomial_equality_with_tolerance(m, 1e-6)
+    }
+
+    /// As [`add_monomial_equality`](GeometricProgram::add_monomial_equality)
+    /// with an explicit relaxation half-width `eps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidArgument`] unless `0 < eps < 1`, and
+    /// [`SolverError::ShapeMismatch`] on dimension mismatch.
+    pub fn add_monomial_equality_with_tolerance(
+        &mut self,
+        m: Monomial,
+        eps: f64,
+    ) -> Result<&mut GeometricProgram> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(SolverError::InvalidArgument(format!(
+                "equality relaxation must be in (0, 1), got {eps}"
+            )));
+        }
+        let upper = Monomial {
+            coefficient: m.coefficient / (1.0 + eps),
+            exponents: m.exponents.clone(),
+        };
+        let mut lower = m.reciprocal();
+        lower.coefficient *= 1.0 - eps;
+        self.add_constraint(upper.into())?;
+        self.add_constraint(lower.into())?;
+        Ok(self)
+    }
+
+    /// Overrides the interior-point options.
+    pub fn set_options(&mut self, options: BarrierOptions) -> &mut GeometricProgram {
+        self.options = options;
+        self
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.n
+    }
+
+    /// Number of posynomial constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Solves the program starting from the strictly positive point `x0`.
+    ///
+    /// `x0` need not be feasible (a phase-I solve runs automatically) but
+    /// every entry must be positive because the solve happens in log space.
+    ///
+    /// # Errors
+    ///
+    /// - [`SolverError::InvalidArgument`] if `x0` has the wrong length or a
+    ///   non-positive entry.
+    /// - [`SolverError::Infeasible`] if no strictly feasible point exists.
+    /// - Errors propagated from the interior-point method.
+    pub fn solve(&self, x0: &[f64]) -> Result<GpSolution> {
+        if x0.len() != self.n {
+            return Err(SolverError::InvalidArgument(format!(
+                "start point has length {}, expected {}",
+                x0.len(),
+                self.n
+            )));
+        }
+        if x0.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+            return Err(SolverError::InvalidArgument(
+                "start point must be strictly positive".to_string(),
+            ));
+        }
+        let t0: Vec<f64> = x0.iter().map(|v| v.ln()).collect();
+        // Log-space objective. A one-term posynomial maps to an affine
+        // objective, which keeps Newton exact for monomial objectives.
+        let obj_lse = self.objective.to_lse();
+        let obj_affine;
+        let objective: &dyn Objective = if self.objective.terms().len() == 1 {
+            let (a, b) = self.objective.terms()[0].log_affine();
+            obj_affine = Affine::new(a, b);
+            &obj_affine
+        } else {
+            &obj_lse
+        };
+        let lses: Vec<LogSumExpAffine> = self.constraints.iter().map(|c| c.to_lse()).collect();
+        let refs: Vec<&dyn Objective> = lses.iter().map(|c| c as &dyn Objective).collect();
+        let r = barrier::minimize(objective, &refs, &t0, &self.options)?;
+        let x: Vec<f64> = r.x.iter().map(|t| t.exp()).collect();
+        let objective_value = self.objective.eval(&x);
+        Ok(GpSolution {
+            x,
+            objective_value,
+            outer_iterations: r.outer_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomial_validation() {
+        assert!(Monomial::new(0.0, vec![1.0]).is_err());
+        assert!(Monomial::new(-1.0, vec![1.0]).is_err());
+        assert!(Monomial::new(1.0, vec![f64::NAN]).is_err());
+        assert!(Monomial::new(2.5, vec![0.3, -0.7]).is_ok());
+        assert!(Monomial::variable(2, 2).is_err());
+    }
+
+    #[test]
+    fn monomial_eval_and_algebra() {
+        let m = Monomial::new(2.0, vec![0.5, -1.0]).unwrap();
+        assert!((m.eval(&[4.0, 2.0]) - 2.0).abs() < 1e-12);
+        let r = m.reciprocal();
+        assert!((m.eval(&[4.0, 2.0]) * r.eval(&[4.0, 2.0]) - 1.0).abs() < 1e-12);
+        let p = m.product(&r);
+        assert!((p.eval(&[3.0, 7.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posynomial_validation() {
+        assert!(Posynomial::from_monomials(vec![]).is_err());
+        let mismatch = Posynomial::from_monomials(vec![
+            Monomial::new(1.0, vec![1.0]).unwrap(),
+            Monomial::new(1.0, vec![1.0, 2.0]).unwrap(),
+        ]);
+        assert!(mismatch.is_err());
+    }
+
+    #[test]
+    fn maximize_product_under_budget() {
+        // max x y s.t. x + y <= 2 -> x = y = 1.
+        let xy = Monomial::new(1.0, vec![1.0, 1.0]).unwrap();
+        let mut gp = GeometricProgram::minimize(2, xy.reciprocal().into()).unwrap();
+        gp.add_constraint(
+            Posynomial::from_monomials(vec![
+                Monomial::new(0.5, vec![1.0, 0.0]).unwrap(),
+                Monomial::new(0.5, vec![0.0, 1.0]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let sol = gp.solve(&[0.2, 1.5]).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-3, "{:?}", sol.x);
+        assert!((sol.x[1] - 1.0).abs() < 1e-3, "{:?}", sol.x);
+        assert!((sol.objective_value - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weighted_nash_bargaining_matches_closed_form() {
+        // max x^0.6 y^0.4 * u^0.2 v^0.8 with x + u <= 24, y + v <= 12
+        // (the paper's running example). Closed form: x = 18, y = 4,
+        // u = 6, v = 8. Variables ordered (x, y, u, v).
+        let welfare = Monomial::new(1.0, vec![0.6, 0.4, 0.2, 0.8]).unwrap();
+        let mut gp = GeometricProgram::minimize(4, welfare.reciprocal().into()).unwrap();
+        gp.add_constraint(
+            Posynomial::from_monomials(vec![
+                Monomial::new(1.0 / 24.0, vec![1.0, 0.0, 0.0, 0.0]).unwrap(),
+                Monomial::new(1.0 / 24.0, vec![0.0, 0.0, 1.0, 0.0]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        gp.add_constraint(
+            Posynomial::from_monomials(vec![
+                Monomial::new(1.0 / 12.0, vec![0.0, 1.0, 0.0, 0.0]).unwrap(),
+                Monomial::new(1.0 / 12.0, vec![0.0, 0.0, 0.0, 1.0]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let sol = gp.solve(&[6.0, 3.0, 6.0, 3.0]).unwrap();
+        assert!((sol.x[0] - 18.0).abs() < 0.02, "{:?}", sol.x);
+        assert!((sol.x[1] - 4.0).abs() < 0.01, "{:?}", sol.x);
+        assert!((sol.x[2] - 6.0).abs() < 0.02, "{:?}", sol.x);
+        assert!((sol.x[3] - 8.0).abs() < 0.01, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn monomial_equality_pins_value() {
+        // minimize x subject to x y = 4, y <= 2 -> y = 2, x = 2.
+        let x = Monomial::variable(2, 0).unwrap();
+        let mut gp = GeometricProgram::minimize(2, x.into()).unwrap();
+        gp.add_monomial_equality(Monomial::new(0.25, vec![1.0, 1.0]).unwrap())
+            .unwrap();
+        gp.add_constraint(Monomial::new(0.5, vec![0.0, 1.0]).unwrap().into())
+            .unwrap();
+        let sol = gp.solve(&[4.0, 1.0]).unwrap();
+        assert!((sol.x[1] - 2.0).abs() < 1e-2, "{:?}", sol.x);
+        assert!((sol.x[0] - 2.0).abs() < 1e-2, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn rejects_bad_start_points() {
+        let gp = GeometricProgram::minimize(
+            1,
+            Monomial::new(1.0, vec![1.0]).unwrap().into(),
+        )
+        .unwrap();
+        assert!(gp.solve(&[]).is_err());
+        assert!(gp.solve(&[-1.0]).is_err());
+        assert!(gp.solve(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn infeasible_gp_detected() {
+        // x <= 1/2 and 1/x <= 1/2 (i.e. x >= 2) conflict.
+        let x = Monomial::variable(1, 0).unwrap();
+        let mut gp = GeometricProgram::minimize(1, x.clone().into()).unwrap();
+        gp.add_constraint(Monomial::new(2.0, vec![1.0]).unwrap().into())
+            .unwrap();
+        gp.add_constraint(Monomial::new(2.0, vec![-1.0]).unwrap().into())
+            .unwrap();
+        assert!(matches!(gp.solve(&[1.0]), Err(SolverError::Infeasible)));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let bad = GeometricProgram::minimize(2, Monomial::new(1.0, vec![1.0]).unwrap().into());
+        assert!(bad.is_err());
+        let mut gp = GeometricProgram::minimize(
+            1,
+            Monomial::new(1.0, vec![1.0]).unwrap().into(),
+        )
+        .unwrap();
+        assert!(gp
+            .add_constraint(Monomial::new(1.0, vec![1.0, 1.0]).unwrap().into())
+            .is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Damped Newton minimization of smooth convex functions.
+//!
+//! Used as the inner loop of the barrier method ([`crate::barrier`]). Each
+//! iteration solves `H d = -g` (with a Levenberg ridge when `H` loses
+//! definiteness to round-off) and backtracks until the Armijo condition
+//! holds. Convergence is declared when the Newton decrement
+//! `lambda^2 = -g . d` falls below tolerance.
+
+use crate::cholesky::solve_regularized;
+use crate::error::{Result, SolverError};
+use crate::func::Objective;
+use crate::vec_ops;
+
+/// Options controlling the Newton iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonOptions {
+    /// Stop when the Newton decrement `lambda^2 / 2` falls below this value.
+    pub tolerance: f64,
+    /// Maximum number of Newton iterations.
+    pub max_iterations: usize,
+    /// Armijo sufficient-decrease constant in `(0, 0.5)`.
+    pub armijo: f64,
+    /// Backtracking shrink factor in `(0, 1)`.
+    pub backtrack: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> NewtonOptions {
+        NewtonOptions {
+            tolerance: 1e-10,
+            max_iterations: 200,
+            armijo: 0.25,
+            backtrack: 0.5,
+        }
+    }
+}
+
+/// Outcome of a Newton minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonResult {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at the final iterate.
+    pub value: f64,
+    /// Number of Newton iterations performed.
+    pub iterations: usize,
+}
+
+/// Minimizes a smooth convex function with damped Newton steps.
+///
+/// The objective may return `f64::INFINITY` outside its domain (e.g. a
+/// log-barrier); the line search rejects such points, so iterates remain in
+/// the domain provided `x0` starts there.
+///
+/// # Errors
+///
+/// - [`SolverError::InvalidArgument`] if `x0` has the wrong dimension or an
+///   infinite starting value.
+/// - [`SolverError::MaxIterationsExceeded`] if the decrement never reaches
+///   tolerance.
+/// - [`SolverError::NonFinite`] if derivatives become non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use ref_solver::func::Quadratic;
+/// use ref_solver::newton::{minimize, NewtonOptions};
+/// use ref_solver::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]])?;
+/// let f = Quadratic::new(q, vec![-2.0, -4.0]);
+/// let r = minimize(&f, &[0.0, 0.0], &NewtonOptions::default())?;
+/// assert!((r.x[0] - 1.0).abs() < 1e-8);
+/// assert!((r.x[1] - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimize(f: &dyn Objective, x0: &[f64], opts: &NewtonOptions) -> Result<NewtonResult> {
+    if x0.len() != f.dim() {
+        return Err(SolverError::InvalidArgument(format!(
+            "start point has dimension {}, objective expects {}",
+            x0.len(),
+            f.dim()
+        )));
+    }
+    let mut x = x0.to_vec();
+    let mut fx = f.value(&x);
+    if !fx.is_finite() {
+        return Err(SolverError::InvalidArgument(
+            "starting point is outside the objective's domain".to_string(),
+        ));
+    }
+    let mut stalled = 0_u32;
+    for iter in 0..opts.max_iterations {
+        let g = f.gradient(&x);
+        if !vec_ops::all_finite(&g) {
+            return Err(SolverError::NonFinite("gradient".to_string()));
+        }
+        let h = f.hessian(&x);
+        if !h.is_finite() {
+            return Err(SolverError::NonFinite("hessian".to_string()));
+        }
+        let neg_g: Vec<f64> = g.iter().map(|v| -v).collect();
+        let d = solve_regularized(&h.symmetrized(), &neg_g)?;
+        let decrement = -vec_ops::dot(&g, &d);
+        if decrement <= 0.0 {
+            // Direction is not a descent direction (can happen when the
+            // ridge dominates); fall back to steepest descent.
+            let gd = vec_ops::dot(&g, &g);
+            if gd.sqrt() <= opts.tolerance {
+                return Ok(NewtonResult {
+                    x,
+                    value: fx,
+                    iterations: iter,
+                });
+            }
+        }
+        if decrement / 2.0 <= opts.tolerance {
+            return Ok(NewtonResult {
+                x,
+                value: fx,
+                iterations: iter,
+            });
+        }
+        // Backtracking line search with domain guard.
+        let gd = vec_ops::dot(&g, &d);
+        let mut t = 1.0;
+        let mut accepted = false;
+        for _ in 0..80 {
+            let cand = vec_ops::add_scaled(&x, t, &d);
+            let fc = f.value(&cand);
+            if fc.is_finite() && fc <= fx + opts.armijo * t * gd {
+                // Track progress relative to the function's scale; once
+                // decreases fall below round-off several times in a row we
+                // are at the arithmetic floor.
+                if (fx - fc).abs() <= 1e-13 * (1.0 + fx.abs()) {
+                    stalled += 1;
+                } else {
+                    stalled = 0;
+                }
+                x = cand;
+                fx = fc;
+                accepted = true;
+                break;
+            }
+            t *= opts.backtrack;
+        }
+        if stalled >= 3 {
+            return Ok(NewtonResult {
+                x,
+                value: fx,
+                iterations: iter,
+            });
+        }
+        if !accepted {
+            // Step collapsed to nothing: we are as converged as arithmetic
+            // permits.
+            return Ok(NewtonResult {
+                x,
+                value: fx,
+                iterations: iter,
+            });
+        }
+    }
+    Err(SolverError::MaxIterationsExceeded {
+        iterations: opts.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{LogSumExpAffine, Quadratic};
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn quadratic_converges_in_one_step() {
+        let q = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let f = Quadratic::new(q, vec![1.0, -2.0]);
+        let r = minimize(&f, &[5.0, -5.0], &NewtonOptions::default()).unwrap();
+        // Optimum solves Qx = -c.
+        let g = f.gradient(&r.x);
+        assert!(vec_ops::norm_inf(&g) < 1e-8);
+        assert!(r.iterations <= 3);
+    }
+
+    #[test]
+    fn minimizes_log_sum_exp() {
+        // log(e^{x} + e^{-x} + e^{y} + e^{-y}) minimized at origin.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[-1.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, -1.0],
+        ])
+        .unwrap();
+        let f = LogSumExpAffine::new(a, vec![0.0; 4]);
+        let r = minimize(&f, &[2.0, -3.0], &NewtonOptions::default()).unwrap();
+        assert!(vec_ops::norm_inf(&r.x) < 1e-6);
+        assert!((r.value - 4.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wrong_dimension() {
+        let f = Quadratic::new(Matrix::identity(2), vec![0.0, 0.0]);
+        assert!(matches!(
+            minimize(&f, &[0.0], &NewtonOptions::default()),
+            Err(SolverError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_infeasible_start() {
+        // A barrier-like objective that is infinite everywhere except near 0.
+        struct Barrier;
+        impl Objective for Barrier {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn value(&self, x: &[f64]) -> f64 {
+                if x[0].abs() < 1.0 {
+                    -(1.0 - x[0] * x[0]).ln()
+                } else {
+                    f64::INFINITY
+                }
+            }
+            fn gradient(&self, x: &[f64]) -> Vec<f64> {
+                vec![2.0 * x[0] / (1.0 - x[0] * x[0])]
+            }
+            fn hessian(&self, x: &[f64]) -> Matrix {
+                let d = 1.0 - x[0] * x[0];
+                Matrix::from_vec(1, 1, vec![(2.0 * d + 4.0 * x[0] * x[0]) / (d * d)]).unwrap()
+            }
+        }
+        assert!(matches!(
+            minimize(&Barrier, &[5.0], &NewtonOptions::default()),
+            Err(SolverError::InvalidArgument(_))
+        ));
+        // Feasible start converges to the unconstrained minimum at 0.
+        let r = minimize(&Barrier, [0.9, ][..1].to_vec().as_slice(), &NewtonOptions::default())
+            .unwrap();
+        assert!(r.x[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_iteration_limit() {
+        let q = Matrix::identity(2);
+        let f = Quadratic::new(q, vec![1.0, 1.0]);
+        let opts = NewtonOptions {
+            max_iterations: 0,
+            ..NewtonOptions::default()
+        };
+        assert!(matches!(
+            minimize(&f, &[10.0, 10.0], &opts),
+            Err(SolverError::MaxIterationsExceeded { .. })
+        ));
+    }
+}

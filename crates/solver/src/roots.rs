@@ -1,0 +1,157 @@
+//! One-dimensional root finding and minimization.
+//!
+//! Small utilities used by analyses that reduce to a scalar search, e.g.
+//! locating crossings of the contract curve in `ref-core`'s Edgeworth
+//! geometry.
+
+use crate::error::{Result, SolverError};
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (either may be zero).
+///
+/// # Errors
+///
+/// - [`SolverError::InvalidArgument`] if `lo >= hi` or the endpoint values
+///   do not bracket a root.
+/// - [`SolverError::MaxIterationsExceeded`] if the interval does not shrink
+///   below tolerance in `max_iters` steps (practically unreachable with
+///   sensible tolerances).
+///
+/// # Examples
+///
+/// ```
+/// use ref_solver::roots::bisect;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<f64> {
+    if !(lo < hi) {
+        return Err(SolverError::InvalidArgument(format!(
+            "invalid bracket [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(SolverError::InvalidArgument(
+            "endpoints do not bracket a root".to_string(),
+        ));
+    }
+    for _ in 0..max_iters {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a) / 2.0 < tol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Err(SolverError::MaxIterationsExceeded {
+        iterations: max_iters,
+    })
+}
+
+/// Minimizes a unimodal function on `[lo, hi]` by golden-section search.
+///
+/// # Errors
+///
+/// Returns [`SolverError::InvalidArgument`] if `lo >= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use ref_solver::roots::golden_section_min;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = golden_section_min(|x| (x - 1.5) * (x - 1.5), 0.0, 4.0, 1e-10)?;
+/// assert!((x - 1.5).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> Result<f64> {
+    if !(lo < hi) {
+        return Err(SolverError::InvalidArgument(format!(
+            "invalid interval [{lo}, {hi}]"
+        )));
+    }
+    let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_cubic_root() {
+        let r = bisect(|x| x * x * x - x - 2.0, 1.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r * r * r - r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_returns_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+        assert!(bisect(|x| x, 1.0, 0.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn golden_section_finds_minimum() {
+        let x = golden_section_min(|x| x.cos(), 2.0, 4.5, 1e-10).unwrap();
+        assert!((x - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_rejects_bad_interval() {
+        assert!(golden_section_min(|x| x, 1.0, 1.0, 1e-10).is_err());
+    }
+}

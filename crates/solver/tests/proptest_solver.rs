@@ -1,0 +1,132 @@
+//! Property-based tests for the numerical kernels.
+
+use proptest::prelude::*;
+use ref_solver::gp::{GeometricProgram, Monomial, Posynomial};
+use ref_solver::vec_ops;
+use ref_solver::{lstsq, Cholesky, Matrix, Qr};
+
+/// A strategy for well-conditioned matrix entries.
+fn entry() -> impl Strategy<Value = f64> {
+    (-100i32..=100).prop_map(|v| v as f64 / 10.0)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(entry(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized buffer"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstructs_random_matrices(m in matrix(6, 4)) {
+        let qr = Qr::new(&m).unwrap();
+        let recon = qr.q().matmul(&qr.r()).unwrap();
+        let diff = recon.sub_matrix(&m).unwrap();
+        prop_assert!(diff.max_abs() < 1e-9 * (1.0 + m.max_abs()));
+    }
+
+    #[test]
+    fn qr_q_is_orthonormal(m in matrix(7, 3)) {
+        let q = Qr::new(&m).unwrap().q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        let eye = Matrix::identity(3);
+        let diff = qtq.sub_matrix(&eye).unwrap();
+        prop_assert!(diff.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal(
+        m in matrix(8, 3),
+        b in prop::collection::vec(entry(), 8),
+    ) {
+        let qr = Qr::new(&m).unwrap();
+        let x = match qr.solve_least_squares(&b) {
+            Ok(x) => x,
+            // Random matrices can be rank deficient; that is a valid
+            // outcome, not a property failure.
+            Err(_) => return Ok(()),
+        };
+        let ax = m.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let atr = m.matvec_transposed(&r).unwrap();
+        let scale = 1.0 + vec_ops::norm_inf(&b) + m.max_abs();
+        prop_assert!(vec_ops::norm_inf(&atr) < 1e-7 * scale * scale);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(a in matrix(5, 5), b in prop::collection::vec(entry(), 5)) {
+        // A A^T + I is symmetric positive definite.
+        let mut spd = a.matmul(&a.transpose()).unwrap();
+        for i in 0..5 {
+            spd[(i, i)] += 1.0;
+        }
+        let x = Cholesky::new(&spd).unwrap().solve(&b).unwrap();
+        let ax = spd.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-6 * (1.0 + spd.max_abs() * vec_ops::norm_inf(&b)));
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(v in prop::collection::vec(-50.0..50.0f64, 1..10)) {
+        let lse = vec_ops::log_sum_exp(&v);
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (v.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_linear_models(
+        c0 in entry(),
+        c1 in entry(),
+        c2 in entry(),
+    ) {
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![(i % 4) as f64, (i / 2) as f64 * 1.5])
+            .collect();
+        let x = lstsq::design_with_intercept(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| c0 + c1 * r[0] + c2 * r[1]).collect();
+        let fit = lstsq::fit(&x, &y).unwrap();
+        prop_assert!((fit.coefficients()[0] - c0).abs() < 1e-8);
+        prop_assert!((fit.coefficients()[1] - c1).abs() < 1e-8);
+        prop_assert!((fit.coefficients()[2] - c2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gp_budget_problem_matches_closed_form(
+        a1 in 0.1..1.0f64,
+        a2 in 0.1..1.0f64,
+        budget in 1.0..50.0f64,
+    ) {
+        // maximize x^a1 y^a2 s.t. (x + y)/budget <= 1
+        // has closed form x = a1/(a1+a2) * budget.
+        let obj = Monomial::new(1.0, vec![a1, a2]).unwrap();
+        let mut gp = GeometricProgram::minimize(2, obj.reciprocal().into()).unwrap();
+        gp.add_constraint(
+            Posynomial::from_monomials(vec![
+                Monomial::new(1.0 / budget, vec![1.0, 0.0]).unwrap(),
+                Monomial::new(1.0 / budget, vec![0.0, 1.0]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let sol = gp.solve(&[budget / 3.0, budget / 3.0]).unwrap();
+        let expect_x = a1 / (a1 + a2) * budget;
+        prop_assert!(
+            (sol.x[0] - expect_x).abs() < 1e-2 * budget,
+            "x {} expected {expect_x}",
+            sol.x[0]
+        );
+    }
+
+    #[test]
+    fn monomial_reciprocal_inverts(coeff in 0.1..10.0f64, e1 in -2.0..2.0f64, e2 in -2.0..2.0f64) {
+        let m = Monomial::new(coeff, vec![e1, e2]).unwrap();
+        let r = m.reciprocal();
+        for (x, y) in [(0.5, 2.0), (3.0, 0.25), (1.0, 1.0)] {
+            let prod = m.eval(&[x, y]) * r.eval(&[x, y]);
+            prop_assert!((prod - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The 28 named benchmark profiles.
+//!
+//! Each entry stands in for one benchmark from the paper's PARSEC,
+//! SPLASH-2x and Phoenix suites. Parameters were chosen so the *fitted
+//! elasticities* reproduce the paper's Figure 9 spectrum: `raytrace` at the
+//! cache-elastic end, `ocean_cp` at the bandwidth-elastic end, `radiosity`
+//! nearly flat (negligible IPC variance, hence the paper's low R-squared),
+//! and the C/M classification of Table 2's workloads preserved.
+
+use crate::generator::{SyntheticWorkload, WorkloadParams};
+
+/// Source suite of a benchmark, as named in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// PARSEC 3.0.
+    Parsec,
+    /// SPLASH-2x.
+    Splash2x,
+    /// Phoenix MapReduce.
+    Phoenix,
+}
+
+/// Resource preference class from the paper's §5.3: `C` demands cache
+/// capacity (`alpha_cache > 0.5`), `M` demands memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreferenceClass {
+    /// Cache-capacity preferring.
+    Cache,
+    /// Memory-bandwidth preferring.
+    Memory,
+}
+
+/// One named benchmark profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Benchmark {
+    /// Benchmark name as it appears in the paper.
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Generator parameters.
+    pub params: WorkloadParams,
+    /// The class the paper assigns (our fitted elasticities must agree).
+    pub expected_class: PreferenceClass,
+}
+
+impl Benchmark {
+    /// Builds the deterministic instruction stream for this benchmark.
+    ///
+    /// The seed is mixed with the benchmark name so distinct benchmarks
+    /// never share a stream even with equal seeds.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: all table entries validate by construction (covered by
+    /// tests).
+    pub fn stream(&self, seed: u64) -> SyntheticWorkload {
+        let mixed = seed ^ fnv1a(self.name);
+        SyntheticWorkload::new(self.params, mixed).expect("table parameters are valid")
+    }
+}
+
+/// FNV-1a hash for stable name-to-seed mixing.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+const fn params(
+    memory_fraction: f64,
+    hot_fraction: f64,
+    streaming_fraction: f64,
+    working_set_bytes: u64,
+    store_fraction: f64,
+    dependent_fraction: f64,
+) -> WorkloadParams {
+    WorkloadParams {
+        memory_fraction,
+        hot_fraction,
+        streaming_fraction,
+        working_set_bytes,
+        store_fraction,
+        dependent_fraction,
+    }
+}
+
+/// The full benchmark table, ordered from most cache-elastic to most
+/// bandwidth-elastic (the paper's Figure 9 spectrum).
+pub const BENCHMARKS: [Benchmark; 28] = [
+    Benchmark {
+        name: "raytrace",
+        suite: Suite::Parsec,
+        params: params(0.30, 0.30, 0.00, 2 * MIB, 0.10, 0.90),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "water_spatial",
+        suite: Suite::Splash2x,
+        params: params(0.25, 0.35, 0.02, 2 * MIB, 0.20, 0.85),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "histogram",
+        suite: Suite::Phoenix,
+        params: params(0.35, 0.30, 0.03, 2 * MIB, 0.15, 0.85),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "lu_ncb",
+        suite: Suite::Splash2x,
+        params: params(0.30, 0.30, 0.05, 2 * MIB, 0.30, 0.85),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "linear_regression",
+        suite: Suite::Phoenix,
+        params: params(0.45, 0.30, 0.05, 2 * MIB, 0.10, 0.85),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "freqmine",
+        suite: Suite::Parsec,
+        params: params(0.06, 0.45, 0.02, 3 * MIB / 2, 0.20, 0.85),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "water_nsquared",
+        suite: Suite::Splash2x,
+        params: params(0.25, 0.35, 0.05, 2 * MIB, 0.18, 0.80),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "bodytrack",
+        suite: Suite::Parsec,
+        params: params(0.28, 0.35, 0.06, 2 * MIB, 0.18, 0.80),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "radiosity",
+        suite: Suite::Splash2x,
+        params: params(0.06, 0.70, 0.00, 768 * KIB, 0.20, 0.85),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "word_count",
+        suite: Suite::Phoenix,
+        params: params(0.30, 0.35, 0.10, 3 * MIB / 2, 0.15, 0.80),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "cholesky",
+        suite: Suite::Splash2x,
+        params: params(0.28, 0.35, 0.08, 3 * MIB / 2, 0.20, 0.80),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "volrend",
+        suite: Suite::Splash2x,
+        params: params(0.22, 0.40, 0.08, MIB, 0.10, 0.80),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "swaptions",
+        suite: Suite::Parsec,
+        params: params(0.10, 0.60, 0.01, MIB, 0.10, 0.85),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "fmm",
+        suite: Suite::Splash2x,
+        params: params(0.25, 0.35, 0.08, 3 * MIB / 2, 0.18, 0.76),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "barnes",
+        suite: Suite::Splash2x,
+        params: params(0.35, 0.28, 0.08, 3 * MIB / 2, 0.18, 0.78),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "ferret",
+        suite: Suite::Parsec,
+        params: params(0.30, 0.30, 0.11, MIB, 0.18, 0.76),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "x264",
+        suite: Suite::Parsec,
+        params: params(0.28, 0.35, 0.10, MIB, 0.20, 0.72),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "blackscholes",
+        suite: Suite::Parsec,
+        params: params(0.12, 0.55, 0.02, MIB, 0.10, 0.80),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "fft",
+        suite: Suite::Splash2x,
+        params: params(0.30, 0.28, 0.13, MIB, 0.20, 0.68),
+        expected_class: PreferenceClass::Cache,
+    },
+    Benchmark {
+        name: "streamcluster",
+        suite: Suite::Parsec,
+        params: params(0.33, 0.20, 0.55, 512 * KIB, 0.10, 0.15),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "canneal",
+        suite: Suite::Parsec,
+        params: params(0.04, 0.30, 0.10, 256 * KIB, 0.10, 0.25),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "rtview",
+        suite: Suite::Parsec,
+        params: params(0.30, 0.25, 0.45, 512 * KIB, 0.15, 0.20),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "lu_cb",
+        suite: Suite::Splash2x,
+        params: params(0.32, 0.25, 0.45, 512 * KIB, 0.30, 0.20),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "fluidanimate",
+        suite: Suite::Parsec,
+        params: params(0.30, 0.20, 0.50, 512 * KIB, 0.25, 0.15),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "facesim",
+        suite: Suite::Parsec,
+        params: params(0.32, 0.20, 0.55, 512 * KIB, 0.25, 0.15),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "dedup",
+        suite: Suite::Parsec,
+        params: params(0.36, 0.15, 0.60, 256 * KIB, 0.30, 0.12),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "string_match",
+        suite: Suite::Phoenix,
+        params: params(0.35, 0.15, 0.65, 256 * KIB, 0.10, 0.10),
+        expected_class: PreferenceClass::Memory,
+    },
+    Benchmark {
+        name: "ocean_cp",
+        suite: Suite::Splash2x,
+        params: params(0.38, 0.10, 0.70, 256 * KIB, 0.30, 0.10),
+        expected_class: PreferenceClass::Memory,
+    },
+];
+
+/// Looks up a benchmark by its paper name.
+///
+/// # Examples
+///
+/// ```
+/// use ref_workloads::profiles::{by_name, PreferenceClass};
+///
+/// let dedup = by_name("dedup").unwrap();
+/// assert_eq!(dedup.expected_class, PreferenceClass::Memory);
+/// assert!(by_name("doom") .is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_parameters_validate() {
+        for b in &BENCHMARKS {
+            assert!(
+                b.params.validate().is_ok(),
+                "{} has invalid parameters: {:?}",
+                b.name,
+                b.params.validate()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = BENCHMARKS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BENCHMARKS.len());
+    }
+
+    #[test]
+    fn class_counts_match_paper_spectrum() {
+        let cache = BENCHMARKS
+            .iter()
+            .filter(|b| b.expected_class == PreferenceClass::Cache)
+            .count();
+        assert_eq!(cache, 19);
+        assert_eq!(BENCHMARKS.len() - cache, 9);
+    }
+
+    #[test]
+    fn paper_named_examples_have_expected_classes() {
+        for (name, class) in [
+            ("histogram", PreferenceClass::Cache),
+            ("barnes", PreferenceClass::Cache),
+            ("freqmine", PreferenceClass::Cache),
+            ("linear_regression", PreferenceClass::Cache),
+            ("raytrace", PreferenceClass::Cache),
+            ("dedup", PreferenceClass::Memory),
+            ("canneal", PreferenceClass::Memory),
+            ("streamcluster", PreferenceClass::Memory),
+            ("facesim", PreferenceClass::Memory),
+            ("fluidanimate", PreferenceClass::Memory),
+        ] {
+            assert_eq!(by_name(name).unwrap().expected_class, class, "{name}");
+        }
+    }
+
+    #[test]
+    fn memory_class_streams_more() {
+        // Aggregate streaming appetite must be higher in the M group.
+        let avg = |class: PreferenceClass| {
+            let v: Vec<f64> = BENCHMARKS
+                .iter()
+                .filter(|b| b.expected_class == class)
+                .map(|b| b.params.streaming_fraction)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(PreferenceClass::Memory) > 3.0 * avg(PreferenceClass::Cache));
+    }
+
+    #[test]
+    fn streams_differ_across_benchmarks_with_same_seed() {
+        let a: Vec<_> = by_name("dedup").unwrap().stream(1).take(200).collect();
+        let b: Vec<_> = by_name("facesim").unwrap().stream(1).take(200).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_exact() {
+        assert!(by_name("Dedup").is_none());
+        assert!(by_name("dedup").is_some());
+    }
+}

@@ -1,0 +1,330 @@
+//! High-level co-location workflow: profile → fit → allocate → verify →
+//! enforcement weights, in one call.
+//!
+//! This is the turnkey API tying the workspace together. Pick tenants (by
+//! benchmark name or with explicit utilities), a machine, and a mechanism;
+//! [`Colocation::run`] executes the paper's full pipeline and returns an
+//! auditable [`ColocationOutcome`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ref_fairness::colocation::Colocation;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let outcome = Colocation::new()
+//!     .tenant("histogram")
+//!     .tenant("dedup")
+//!     .machine(24.0, 12.0)
+//!     .profiling_instructions(5_000, 5_000) // doctest-fast; default is larger
+//!     .run()?;
+//! assert_eq!(outcome.allocation.num_agents(), 2);
+//! assert!(outcome.report.sharing_incentives());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ref_core::fitting::{fit_cobb_douglas, FitPoint};
+use ref_core::mechanism::{Mechanism, ProportionalElasticity};
+use ref_core::properties::FairnessReport;
+use ref_core::resource::{Allocation, Capacity};
+use ref_core::utility::CobbDouglas;
+use ref_workloads::profiler::{profile, ProfilerOptions};
+use ref_workloads::profiles::by_name;
+
+/// Error from the co-location workflow.
+#[derive(Debug)]
+pub struct ColocationError(String);
+
+impl fmt::Display for ColocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "colocation failed: {}", self.0)
+    }
+}
+
+impl Error for ColocationError {}
+
+/// One tenant: either a named benchmark to profile, or a pre-fitted
+/// utility supplied directly.
+#[derive(Debug, Clone)]
+enum Tenant {
+    Benchmark(String),
+    Fitted { label: String, utility: CobbDouglas },
+}
+
+/// Builder for a co-location run.
+///
+/// Defaults: the REF proportional-elasticity mechanism, the paper's
+/// 24 GB/s + 12 MB machine, and a profile length suitable for interactive
+/// use.
+pub struct Colocation {
+    tenants: Vec<Tenant>,
+    capacity: Capacity,
+    mechanism: Box<dyn Mechanism>,
+    warmup_instructions: u64,
+    instructions: u64,
+}
+
+impl fmt::Debug for Colocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Colocation")
+            .field("tenants", &self.tenants)
+            .field("capacity", &self.capacity)
+            .field("mechanism", &self.mechanism.name())
+            .field("warmup_instructions", &self.warmup_instructions)
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+impl Default for Colocation {
+    fn default() -> Colocation {
+        Colocation::new()
+    }
+}
+
+impl Colocation {
+    /// Creates a builder with the paper's defaults.
+    pub fn new() -> Colocation {
+        Colocation {
+            tenants: Vec::new(),
+            capacity: Capacity::new(vec![24.0, 12.0]).expect("static capacities are valid"),
+            mechanism: Box::new(ProportionalElasticity),
+            warmup_instructions: 60_000,
+            instructions: 100_000,
+        }
+    }
+
+    /// Adds a tenant by benchmark name (profiled and fitted at
+    /// [`run`](Colocation::run) time).
+    pub fn tenant(mut self, benchmark: &str) -> Colocation {
+        self.tenants.push(Tenant::Benchmark(benchmark.to_string()));
+        self
+    }
+
+    /// Adds a tenant with a known utility (skipping profiling), e.g. from
+    /// a previous run or an online estimator.
+    pub fn tenant_with_utility(mut self, label: &str, utility: CobbDouglas) -> Colocation {
+        self.tenants.push(Tenant::Fitted {
+            label: label.to_string(),
+            utility,
+        });
+        self
+    }
+
+    /// Sets the shared machine: bandwidth in GB/s and cache in MB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is not strictly positive and finite.
+    pub fn machine(mut self, bandwidth_gbs: f64, cache_mb: f64) -> Colocation {
+        self.capacity =
+            Capacity::new(vec![bandwidth_gbs, cache_mb]).expect("capacities must be positive");
+        self
+    }
+
+    /// Replaces the allocation mechanism (default: proportional
+    /// elasticity).
+    pub fn mechanism(mut self, mechanism: Box<dyn Mechanism>) -> Colocation {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Overrides the per-configuration profile length.
+    pub fn profiling_instructions(mut self, warmup: u64, measured: u64) -> Colocation {
+        self.warmup_instructions = warmup;
+        self.instructions = measured;
+        self
+    }
+
+    /// Executes the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColocationError`] if no tenants were added, a benchmark
+    /// name is unknown, or fitting/allocation fails.
+    pub fn run(self) -> Result<ColocationOutcome, ColocationError> {
+        if self.tenants.is_empty() {
+            return Err(ColocationError("no tenants added".to_string()));
+        }
+        let opts = ProfilerOptions {
+            warmup_instructions: self.warmup_instructions,
+            instructions: self.instructions,
+            ..ProfilerOptions::default()
+        };
+        let mut fit_cache: HashMap<String, (CobbDouglas, f64)> = HashMap::new();
+        let mut labels = Vec::new();
+        let mut utilities = Vec::new();
+        let mut r_squared = Vec::new();
+        for t in &self.tenants {
+            match t {
+                Tenant::Fitted { label, utility } => {
+                    labels.push(label.clone());
+                    utilities.push(utility.clone());
+                    r_squared.push(None);
+                }
+                Tenant::Benchmark(name) => {
+                    let (u, r2) = match fit_cache.get(name) {
+                        Some(hit) => hit.clone(),
+                        None => {
+                            let bench = by_name(name).ok_or_else(|| {
+                                ColocationError(format!("unknown benchmark '{name}'"))
+                            })?;
+                            let grid = profile(bench, &opts);
+                            let points: Vec<FitPoint> = grid
+                                .points
+                                .iter()
+                                .map(|p| {
+                                    FitPoint::new(
+                                        vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()],
+                                        p.ipc,
+                                    )
+                                })
+                                .collect::<Result<_, _>>()
+                                .map_err(|e| ColocationError(e.to_string()))?;
+                            let fit = fit_cobb_douglas(&points)
+                                .map_err(|e| ColocationError(e.to_string()))?;
+                            let entry = (fit.utility().clone(), fit.r_squared());
+                            fit_cache.insert(name.clone(), entry.clone());
+                            entry
+                        }
+                    };
+                    labels.push(name.clone());
+                    utilities.push(u);
+                    r_squared.push(Some(r2));
+                }
+            }
+        }
+        let allocation = self
+            .mechanism
+            .allocate(&utilities, &self.capacity)
+            .map_err(|e| ColocationError(e.to_string()))?;
+        let report =
+            FairnessReport::check_with_tolerance(&utilities, &allocation, &self.capacity, 1e-3);
+        let shares = allocation.shares(&self.capacity);
+        let bandwidth_weights = shares.iter().map(|s| s[0]).collect();
+        let cache_weights = shares.iter().map(|s| s[1]).collect();
+        Ok(ColocationOutcome {
+            labels,
+            utilities,
+            r_squared,
+            capacity: self.capacity,
+            allocation,
+            report,
+            bandwidth_weights,
+            cache_weights,
+        })
+    }
+}
+
+/// Everything the workflow produced, ready for inspection or enforcement.
+#[derive(Debug, Clone)]
+pub struct ColocationOutcome {
+    /// Tenant labels, in input order.
+    pub labels: Vec<String>,
+    /// The (fitted or supplied) utilities.
+    pub utilities: Vec<CobbDouglas>,
+    /// Fit quality per tenant; `None` for utilities supplied directly.
+    pub r_squared: Vec<Option<f64>>,
+    /// The machine the allocation was computed for.
+    pub capacity: Capacity,
+    /// The computed allocation.
+    pub allocation: Allocation,
+    /// SI / EF / PE verification.
+    pub report: FairnessReport,
+    /// Bandwidth shares, ready as scheduler weights
+    /// (see `ref_sched::enforce`).
+    pub bandwidth_weights: Vec<f64>,
+    /// Cache shares, ready for way partitioning
+    /// (see `ref_sim::cache::partition_ways`).
+    pub cache_weights: Vec<f64>,
+}
+
+impl ColocationOutcome {
+    /// Weighted system throughput of the outcome (Eq. 17).
+    pub fn weighted_throughput(&self) -> f64 {
+        ref_core::welfare::weighted_system_throughput(
+            &self.utilities,
+            &self.allocation,
+            &self.capacity,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ref_core::mechanism::EqualShare;
+
+    #[test]
+    fn profiles_and_allocates_named_tenants() {
+        let outcome = Colocation::new()
+            .tenant("histogram")
+            .tenant("dedup")
+            .profiling_instructions(20_000, 30_000)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.labels, vec!["histogram", "dedup"]);
+        assert!(outcome.report.is_fair_with_si(), "{:?}", outcome.report);
+        // Preferences drive shares the right way.
+        assert!(outcome.cache_weights[0] > outcome.cache_weights[1]);
+        assert!(outcome.bandwidth_weights[1] > outcome.bandwidth_weights[0]);
+        assert!(outcome.r_squared[0].unwrap() > 0.5);
+        assert!(outcome.weighted_throughput() > 0.0);
+    }
+
+    #[test]
+    fn duplicate_tenants_profile_once_and_split_evenly() {
+        let outcome = Colocation::new()
+            .tenant("dedup")
+            .tenant("dedup")
+            .profiling_instructions(20_000, 30_000)
+            .run()
+            .unwrap();
+        assert!((outcome.cache_weights[0] - outcome.cache_weights[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_utilities_skip_profiling() {
+        let outcome = Colocation::new()
+            .tenant_with_utility("a", CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap())
+            .tenant_with_utility("b", CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap())
+            .run()
+            .unwrap();
+        assert_eq!(outcome.r_squared, vec![None, None]);
+        assert!((outcome.allocation.bundle(0).get(0) - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternative_mechanism_is_honored() {
+        let outcome = Colocation::new()
+            .tenant_with_utility("a", CobbDouglas::new(1.0, vec![0.9, 0.1]).unwrap())
+            .tenant_with_utility("b", CobbDouglas::new(1.0, vec![0.1, 0.9]).unwrap())
+            .mechanism(Box::new(EqualShare))
+            .run()
+            .unwrap();
+        assert!((outcome.bandwidth_weights[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Colocation::new().run().is_err());
+        let e = Colocation::new().tenant("not_a_benchmark").run().unwrap_err();
+        assert!(e.to_string().contains("not_a_benchmark"));
+    }
+
+    #[test]
+    fn custom_machine_capacity() {
+        let outcome = Colocation::new()
+            .tenant_with_utility("a", CobbDouglas::new(1.0, vec![0.5, 0.5]).unwrap())
+            .machine(100.0, 50.0)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.capacity.as_slice(), &[100.0, 50.0]);
+        assert_eq!(outcome.allocation.bundle(0).get(0), 100.0);
+    }
+}

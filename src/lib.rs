@@ -1,0 +1,17 @@
+//! Facade crate for the REF (Resource Elasticity Fairness) reproduction.
+//!
+//! Re-exports every workspace crate under one roof and provides the
+//! high-level [`colocation`] workflow (profile → fit → allocate → verify →
+//! enforcement weights in one builder call).
+//!
+//! See [`ref_core`] for the paper's contribution (mechanisms and property
+//! checkers), and the substrate crates [`ref_sim`], [`ref_workloads`],
+//! [`ref_solver`], [`ref_sched`].
+
+pub mod colocation;
+
+pub use ref_core as core;
+pub use ref_sched as sched;
+pub use ref_sim as sim;
+pub use ref_solver as solver;
+pub use ref_workloads as workloads;

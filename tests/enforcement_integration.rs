@@ -1,0 +1,76 @@
+//! Integration between the allocation mechanism and the enforcement
+//! schedulers.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ref_fairness::core::mechanism::{Mechanism, ProportionalElasticity};
+use ref_fairness::core::resource::Capacity;
+use ref_fairness::core::utility::CobbDouglas;
+use ref_fairness::sched::enforce::{enforcement_comparison, weights_for_resource};
+use ref_fairness::sched::{LotteryScheduler, StrideScheduler, WeightedFairQueue};
+
+fn allocation_weights() -> (Vec<f64>, Vec<f64>) {
+    let agents = vec![
+        CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+        CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+        CobbDouglas::new(1.0, vec![0.4, 0.6]).unwrap(),
+    ];
+    let c = Capacity::new(vec![24.0, 12.0]).unwrap();
+    let alloc = ProportionalElasticity.allocate(&agents, &c).unwrap();
+    (
+        weights_for_resource(&alloc, &c, 0).unwrap(),
+        weights_for_resource(&alloc, &c, 1).unwrap(),
+    )
+}
+
+#[test]
+fn all_schedulers_enforce_both_resources() {
+    let (bw, cache) = allocation_weights();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for weights in [bw, cache] {
+        let outcomes = enforcement_comparison(&weights, 50_000, &mut rng).unwrap();
+        for o in outcomes {
+            assert!(
+                o.max_deviation < 0.01,
+                "{} deviation {}",
+                o.scheduler,
+                o.max_deviation
+            );
+        }
+    }
+}
+
+#[test]
+fn schedulers_agree_on_long_run_shares() {
+    let (bw, _) = allocation_weights();
+    let mut wfq: WeightedFairQueue<u64> = WeightedFairQueue::new(bw.clone()).unwrap();
+    for q in 0..30_000_u64 {
+        for c in 0..bw.len() {
+            wfq.enqueue(c, q, 1.0).unwrap();
+        }
+        wfq.dequeue();
+    }
+    let mut stride = StrideScheduler::new(bw.clone()).unwrap();
+    for _ in 0..30_000 {
+        stride.next_quantum();
+    }
+    let mut lottery = LotteryScheduler::new(bw.clone()).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for _ in 0..30_000 {
+        lottery.draw(&mut rng);
+    }
+    let w = wfq.service_shares();
+    let s = stride.service_shares();
+    let l = lottery.service_shares();
+    for i in 0..bw.len() {
+        assert!((w[i] - s[i]).abs() < 0.01, "wfq {w:?} vs stride {s:?}");
+        assert!((s[i] - l[i]).abs() < 0.02, "stride {s:?} vs lottery {l:?}");
+    }
+}
+
+#[test]
+fn weights_for_each_resource_sum_to_one() {
+    let (bw, cache) = allocation_weights();
+    assert!((bw.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!((cache.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,120 @@
+//! Cross-mechanism integration: the §5.5 comparison invariants on fitted
+//! utilities.
+
+use ref_fairness::core::mechanism::{
+    EqualShare, EqualSlowdown, MaxWelfare, Mechanism, ProportionalElasticity,
+};
+use ref_fairness::core::properties::FairnessReport;
+use ref_fairness::core::resource::Capacity;
+use ref_fairness::core::utility::CobbDouglas;
+use ref_fairness::core::welfare::{
+    egalitarian_welfare, nash_welfare, unfairness_index, weighted_system_throughput,
+};
+
+/// Heterogeneous four-agent population with unnormalized elasticities, as
+/// fitting produces.
+fn agents() -> Vec<CobbDouglas> {
+    vec![
+        CobbDouglas::new(0.9, vec![0.15, 0.45]).unwrap(),
+        CobbDouglas::new(1.4, vec![0.50, 0.10]).unwrap(),
+        CobbDouglas::new(0.6, vec![0.30, 0.30]).unwrap(),
+        CobbDouglas::new(1.1, vec![0.55, 0.25]).unwrap(),
+    ]
+}
+
+fn capacity() -> Capacity {
+    Capacity::new(vec![24.0, 12.0]).unwrap()
+}
+
+#[test]
+fn fair_mechanisms_satisfy_all_properties() {
+    let (agents, c) = (agents(), capacity());
+    for m in [
+        Box::new(ProportionalElasticity) as Box<dyn Mechanism>,
+        Box::new(MaxWelfare::with_fairness()),
+    ] {
+        let alloc = m.allocate(&agents, &c).unwrap();
+        let report = FairnessReport::check_with_tolerance(&agents, &alloc, &c, 2e-3);
+        assert!(
+            report.sharing_incentives() && report.envy_free(),
+            "{}: {report:?}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn unconstrained_nash_maximizes_nash_welfare() {
+    let (agents, c) = (agents(), capacity());
+    let unfair = MaxWelfare::without_fairness().allocate(&agents, &c).unwrap();
+    for other in [
+        ProportionalElasticity.allocate(&agents, &c).unwrap(),
+        EqualShare.allocate(&agents, &c).unwrap(),
+        EqualSlowdown::new().allocate(&agents, &c).unwrap(),
+    ] {
+        assert!(
+            nash_welfare(&agents, &unfair, &c) >= nash_welfare(&agents, &other, &c) * (1.0 - 1e-3)
+        );
+    }
+}
+
+#[test]
+fn equal_slowdown_maximizes_the_minimum() {
+    let (agents, c) = (agents(), capacity());
+    let slowdown = EqualSlowdown::new().allocate(&agents, &c).unwrap();
+    let best_min = egalitarian_welfare(&agents, &slowdown, &c);
+    for other in [
+        ProportionalElasticity.allocate(&agents, &c).unwrap(),
+        EqualShare.allocate(&agents, &c).unwrap(),
+        MaxWelfare::without_fairness().allocate(&agents, &c).unwrap(),
+    ] {
+        assert!(best_min >= egalitarian_welfare(&agents, &other, &c) * (1.0 - 1e-3));
+    }
+    // And it drives the unfairness index toward 1.
+    assert!(unfairness_index(&agents, &slowdown, &c) < 1.01);
+}
+
+#[test]
+fn fairness_penalty_is_bounded() {
+    // The paper's headline: fairness costs < 10% throughput.
+    let (agents, c) = (agents(), capacity());
+    let fair = MaxWelfare::with_fairness().allocate(&agents, &c).unwrap();
+    let unfair = MaxWelfare::without_fairness().allocate(&agents, &c).unwrap();
+    let t_fair = weighted_system_throughput(&agents, &fair, &c);
+    let t_unfair = weighted_system_throughput(&agents, &unfair, &c);
+    assert!(
+        t_fair >= 0.9 * t_unfair,
+        "fairness penalty too large: {t_fair} vs {t_unfair}"
+    );
+}
+
+#[test]
+fn fair_mechanisms_agree_with_each_other() {
+    // "Among the two mechanisms that provide fairness ... no performance
+    // difference" (§5.5).
+    let (agents, c) = (agents(), capacity());
+    let a = ProportionalElasticity.allocate(&agents, &c).unwrap();
+    let b = MaxWelfare::with_fairness().allocate(&agents, &c).unwrap();
+    let ta = weighted_system_throughput(&agents, &a, &c);
+    let tb = weighted_system_throughput(&agents, &b, &c);
+    assert!((ta - tb).abs() < 0.05 * ta.max(tb), "{ta} vs {tb}");
+}
+
+#[test]
+fn every_mechanism_respects_capacity() {
+    let (agents, c) = (agents(), capacity());
+    let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(ProportionalElasticity),
+        Box::new(EqualShare),
+        Box::new(MaxWelfare::with_fairness()),
+        Box::new(MaxWelfare::without_fairness()),
+        Box::new(EqualSlowdown::new()),
+    ];
+    for m in mechanisms {
+        let alloc = m.allocate(&agents, &c).unwrap();
+        for r in 0..2 {
+            let used: f64 = alloc.bundles().iter().map(|b| b.get(r)).sum();
+            assert!(used <= c.get(r) * (1.0 + 1e-6), "{} resource {r}", m.name());
+        }
+    }
+}
