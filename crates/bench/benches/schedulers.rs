@@ -14,8 +14,7 @@ fn bench_schedulers(c: &mut Criterion) {
 
     group.bench_function("wfq", |b| {
         b.iter(|| {
-            let mut q: WeightedFairQueue<u64> =
-                WeightedFairQueue::new(weights.clone()).unwrap();
+            let mut q: WeightedFairQueue<u64> = WeightedFairQueue::new(weights.clone()).unwrap();
             for i in 0..decisions {
                 for cl in 0..weights.len() {
                     q.enqueue(cl, i, 1.0).unwrap();

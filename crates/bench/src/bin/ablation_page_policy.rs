@@ -29,8 +29,7 @@ fn profile_with_policy(
             let warmup = (opts.warmup_instructions as f64
                 * (0.30 / bench.params.memory_fraction).max(1.0)) as u64;
             let mut system = SingleCoreSystem::new(&platform);
-            let report =
-                system.run_with_warmup(bench.stream(opts.seed), warmup, opts.instructions);
+            let report = system.run_with_warmup(bench.stream(opts.seed), warmup, opts.instructions);
             points.push(ProfilePoint {
                 cache,
                 bandwidth,

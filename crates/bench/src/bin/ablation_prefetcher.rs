@@ -13,11 +13,7 @@ use ref_sim::system::SingleCoreSystem;
 use ref_workloads::profiler::{ProfileGrid, ProfilePoint, ProfilerOptions};
 use ref_workloads::profiles::{by_name, Benchmark};
 
-fn profile_with_prefetch(
-    bench: &Benchmark,
-    opts: &ProfilerOptions,
-    prefetch: bool,
-) -> ProfileGrid {
+fn profile_with_prefetch(bench: &Benchmark, opts: &ProfilerOptions, prefetch: bool) -> ProfileGrid {
     let base = PlatformConfig::asplos14().with_next_line_prefetch(prefetch);
     let mut points = Vec::new();
     for &bandwidth in &opts.bandwidths {
@@ -27,8 +23,7 @@ fn profile_with_prefetch(
             let warmup = (opts.warmup_instructions as f64
                 * (0.30 / bench.params.memory_fraction).max(1.0)) as u64;
             let mut system = SingleCoreSystem::new(&platform);
-            let report =
-                system.run_with_warmup(bench.stream(opts.seed), warmup, opts.instructions);
+            let report = system.run_with_warmup(bench.stream(opts.seed), warmup, opts.instructions);
             points.push(ProfilePoint {
                 cache,
                 bandwidth,
@@ -48,7 +43,13 @@ fn main() {
         instructions: 150_000,
         ..ProfilerOptions::default()
     };
-    let workloads = ["raytrace", "histogram", "streamcluster", "dedup", "ocean_cp"];
+    let workloads = [
+        "raytrace",
+        "histogram",
+        "streamcluster",
+        "dedup",
+        "ocean_cp",
+    ];
 
     println!("Ablation: next-line prefetcher off vs on");
     println!();

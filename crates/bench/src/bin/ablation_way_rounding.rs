@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for total_ways in [4_usize, 8, 16, 32] {
         let ways = partition_ways(total_ways, &cache_shares);
-        let rounded_shares: Vec<f64> = ways
-            .iter()
-            .map(|&w| w as f64 / total_ways as f64)
-            .collect();
+        let rounded_shares: Vec<f64> = ways.iter().map(|&w| w as f64 / total_ways as f64).collect();
         let mut worst_loss: f64 = 0.0;
         for (i, agent) in agents.iter().enumerate() {
             let exact = agent.value(continuous.bundle(i));

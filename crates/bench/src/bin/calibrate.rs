@@ -12,18 +12,36 @@ fn main() {
         instructions: 150_000,
         ..ProfilerOptions::default()
     };
-    println!("{:<18} {:>7} {:>7} {:>6}  class(exp)", "workload", "a_mem", "a_cache", "R2");
+    println!(
+        "{:<18} {:>7} {:>7} {:>6}  class(exp)",
+        "workload", "a_mem", "a_cache", "R2"
+    );
     for b in &BENCHMARKS {
         let grid = profile(b, &opts);
-        let pts: Vec<FitPoint> = grid.points.iter().map(|p| {
-            FitPoint::new(vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()], p.ipc).unwrap()
-        }).collect();
+        let pts: Vec<FitPoint> = grid
+            .points
+            .iter()
+            .map(|p| {
+                FitPoint::new(vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()], p.ipc).unwrap()
+            })
+            .collect();
         let fit = fit_cobb_douglas(&pts).unwrap();
         let u = fit.utility().rescaled();
         let class = if u.elasticity(1) > 0.5 { "C" } else { "M" };
-        let exp = match b.expected_class { PreferenceClass::Cache => "C", PreferenceClass::Memory => "M" };
+        let exp = match b.expected_class {
+            PreferenceClass::Cache => "C",
+            PreferenceClass::Memory => "M",
+        };
         let mark = if class == exp { "" } else { "  <-- MISMATCH" };
-        println!("{:<18} {:>7.3} {:>7.3} {:>6.3}  {}({}){}", b.name,
-            u.elasticity(0), u.elasticity(1), fit.r_squared(), class, exp, mark);
+        println!(
+            "{:<18} {:>7.3} {:>7.3} {:>6.3}  {}({}){}",
+            b.name,
+            u.elasticity(0),
+            u.elasticity(1),
+            fit.r_squared(),
+            class,
+            exp,
+            mark
+        );
     }
 }

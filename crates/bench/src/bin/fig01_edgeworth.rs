@@ -28,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
-    println!(
-        "{:>6} {:>6} | {:>8} {:>8}",
-        "x1", "y1", "u1", "u2"
-    );
+    println!("{:>6} {:>6} | {:>8} {:>8}", "x1", "y1", "u1", "u2");
     for i in 0..=6 {
         for j in 0..=6 {
             let p = BoxPoint {

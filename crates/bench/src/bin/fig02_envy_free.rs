@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BoxPoint { x: 0.0, y: 12.0 },
     ] {
         assert!(eb.envy_free_for_1(p) && eb.envy_free_for_2(p));
-        println!(
-            "  ({:>4.1} GB/s, {:>4.1} MB)  EF for both users",
-            p.x, p.y
-        );
+        println!("  ({:>4.1} GB/s, {:>4.1} MB)  EF for both users", p.x, p.y);
     }
     Ok(())
 }

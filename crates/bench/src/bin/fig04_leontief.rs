@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("no substitution: extra resources beyond the 2:1 ratio are wasted");
     for (x, y) in [(4.0, 2.0), (10.0, 2.0), (4.0, 10.0)] {
-        println!("  u({x:>4.1} GB/s, {y:>4.1} MB) = {:.3}", u.value_slice(&[x, y]));
+        println!(
+            "  u({x:>4.1} GB/s, {y:>4.1} MB) = {:.3}",
+            u.value_slice(&[x, y])
+        );
     }
 
     println!();

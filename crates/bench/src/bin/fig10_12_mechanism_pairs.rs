@@ -41,7 +41,11 @@ fn report_line(
         "    SI {}   EF {}   PE {}",
         verdict(report.sharing_incentives(), &si_detail(&report, names)),
         verdict(report.envy_free(), &ef_detail(&report, names)),
-        if report.pareto_efficient { "yes" } else { "no " }
+        if report.pareto_efficient {
+            "yes"
+        } else {
+            "no "
+        }
     );
 }
 
@@ -103,9 +107,7 @@ fn main() {
             Err(e) => println!("  equal slowdown failed: {e}"),
         }
         match ProportionalElasticity.allocate(&agents, &capacity) {
-            Ok(alloc) => {
-                report_line("proportional elasticity", names, &agents, &alloc, &capacity)
-            }
+            Ok(alloc) => report_line("proportional elasticity", names, &agents, &alloc, &capacity),
             Err(e) => println!("  proportional elasticity failed: {e}"),
         }
         println!();

@@ -51,7 +51,10 @@ fn main() {
         println!();
         if let (Some(fair), Some(unfair)) = (row[0], row[2]) {
             let penalty = (1.0 - fair / unfair) * 100.0;
-            println!("{:<14}   fairness penalty vs upper bound: {penalty:.1}%", "");
+            println!(
+                "{:<14}   fairness penalty vs upper bound: {penalty:.1}%",
+                ""
+            );
         }
     }
 }

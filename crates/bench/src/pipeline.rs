@@ -54,11 +54,8 @@ pub fn fit_points(grid: &ProfileGrid) -> Vec<FitPoint> {
     grid.points
         .iter()
         .map(|p| {
-            FitPoint::new(
-                vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()],
-                p.ipc,
-            )
-            .expect("profiled IPC is positive")
+            FitPoint::new(vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()], p.ipc)
+                .expect("profiled IPC is positive")
         })
         .collect()
 }

@@ -68,10 +68,7 @@ fn demand(agent: &CobbDouglas, budget: f64, prices: &[f64]) -> Vec<f64> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn competitive_equilibrium(
-    agents: &[CobbDouglas],
-    capacity: &Capacity,
-) -> Result<Equilibrium> {
+pub fn competitive_equilibrium(agents: &[CobbDouglas], capacity: &Capacity) -> Result<Equilibrium> {
     if agents.is_empty() {
         return Err(CoreError::InvalidArgument(
             "need at least one agent".to_string(),
@@ -286,7 +283,10 @@ mod tests {
                 let x = spend_x / eq.prices[0];
                 let y = (1.0 - spend_x) / eq.prices[1];
                 let u = a.value_slice(&[x, y]);
-                assert!(u <= own * (1.0 + 1e-9), "agent {i} affords better: {u} > {own}");
+                assert!(
+                    u <= own * (1.0 + 1e-9),
+                    "agent {i} affords better: {u} > {own}"
+                );
             }
         }
     }

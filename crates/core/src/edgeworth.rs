@@ -187,10 +187,7 @@ impl EdgeworthBox {
     pub fn ref_allocation(&self) -> BoxPoint {
         use crate::mechanism::{Mechanism, ProportionalElasticity};
         let alloc = ProportionalElasticity
-            .allocate(
-                &[self.u1.clone(), self.u2.clone()],
-                &self.capacity,
-            )
+            .allocate(&[self.u1.clone(), self.u2.clone()], &self.capacity)
             .expect("box construction validated the inputs");
         BoxPoint {
             x: alloc.bundle(0).get(0),
@@ -344,9 +341,7 @@ mod tests {
         let alloc = eb.to_allocation(p).unwrap();
         assert_eq!(alloc.bundle(0).as_slice(), &[18.0, 4.0]);
         assert_eq!(alloc.bundle(1).as_slice(), &[6.0, 8.0]);
-        assert!(eb
-            .to_allocation(BoxPoint { x: 25.0, y: 1.0 })
-            .is_err());
+        assert!(eb.to_allocation(BoxPoint { x: 25.0, y: 1.0 }).is_err());
     }
 
     #[test]

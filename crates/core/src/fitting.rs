@@ -269,9 +269,6 @@ mod tests {
         let pts: Vec<FitPoint> = (0..6)
             .map(|i| FitPoint::new(vec![2.0, 2.0], 1.0 + i as f64 * 0.1).unwrap())
             .collect();
-        assert!(matches!(
-            fit_cobb_douglas(&pts),
-            Err(CoreError::Solver(_))
-        ));
+        assert!(matches!(fit_cobb_douglas(&pts), Err(CoreError::Solver(_))));
     }
 }

@@ -130,13 +130,7 @@ impl Mechanism for EqualSlowdown {
         x0[t_var] = (min_u * 0.5).max(1e-12);
         let sol = gp.solve(&x0)?;
         let bundles: Result<Vec<Bundle>> = (0..n)
-            .map(|i| {
-                Bundle::new(
-                    (0..r_count)
-                        .map(|r| sol.x[i * r_count + r])
-                        .collect(),
-                )
-            })
+            .map(|i| Bundle::new((0..r_count).map(|r| sol.x[i * r_count + r]).collect()))
             .collect();
         Allocation::new(bundles?, capacity)
     }
@@ -222,9 +216,7 @@ mod tests {
         let alloc_b = EqualSlowdown::new().allocate(&b, &c).unwrap();
         for i in 0..2 {
             for r in 0..2 {
-                assert!(
-                    (alloc_a.bundle(i).get(r) - alloc_b.bundle(i).get(r)).abs() < 0.05
-                );
+                assert!((alloc_a.bundle(i).get(r) - alloc_b.bundle(i).get(r)).abs() < 0.05);
             }
         }
     }
@@ -237,7 +229,9 @@ mod tests {
             CobbDouglas::new(0.7, vec![0.2, 0.6]).unwrap(),
         ];
         let c = paper_capacity();
-        let alloc = EqualSlowdown::with_fairness().allocate(&agents, &c).unwrap();
+        let alloc = EqualSlowdown::with_fairness()
+            .allocate(&agents, &c)
+            .unwrap();
         let report = FairnessReport::check_with_tolerance(&agents, &alloc, &c, 2e-3);
         assert!(report.sharing_incentives(), "{report:?}");
         assert!(report.envy_free(), "{report:?}");
@@ -245,23 +239,31 @@ mod tests {
 
     #[test]
     fn fairness_variant_is_a_lower_bound_on_fair_welfare() {
-        use crate::welfare::weighted_system_throughput;
         use crate::mechanism::MaxWelfare;
+        use crate::welfare::weighted_system_throughput;
         let agents = vec![
             CobbDouglas::new(1.2, vec![0.8, 0.3]).unwrap(),
             CobbDouglas::new(0.7, vec![0.2, 0.6]).unwrap(),
         ];
         let c = paper_capacity();
-        let egal = EqualSlowdown::with_fairness().allocate(&agents, &c).unwrap();
+        let egal = EqualSlowdown::with_fairness()
+            .allocate(&agents, &c)
+            .unwrap();
         let util = MaxWelfare::with_fairness().allocate(&agents, &c).unwrap();
         let t_egal = weighted_system_throughput(&agents, &egal, &c);
         let t_util = weighted_system_throughput(&agents, &util, &c);
-        assert!(t_egal <= t_util * (1.0 + 1e-3), "egal {t_egal} util {t_util}");
+        assert!(
+            t_egal <= t_util * (1.0 + 1e-3),
+            "egal {t_egal} util {t_util}"
+        );
     }
 
     #[test]
     fn variant_names_differ() {
-        assert_ne!(EqualSlowdown::new().name(), EqualSlowdown::with_fairness().name());
+        assert_ne!(
+            EqualSlowdown::new().name(),
+            EqualSlowdown::with_fairness().name()
+        );
         assert!(EqualSlowdown::with_fairness().fairness());
         assert!(!EqualSlowdown::new().fairness());
     }

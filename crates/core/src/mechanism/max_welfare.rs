@@ -16,7 +16,7 @@ pub(crate) const PE_BAND: f64 = 1e-3;
 
 /// Relaxation applied to the EF and SI constraints: `u_i(x_j) <= (1 + eps)
 /// u_i(x_i)`. Exact constraints can have an empty strict interior (e.g.
-/// identical agents, for whom the equal split is the unique fair point), 
+/// identical agents, for whom the equal split is the unique fair point),
 /// which a log-barrier method cannot center in. The relaxation is an order
 /// of magnitude below the tolerance the property checkers use.
 const FAIRNESS_SLACK: f64 = 1e-4;
@@ -244,13 +244,7 @@ impl Mechanism for MaxWelfare {
         }
         let sol = gp.solve(&x0)?;
         let bundles: Result<Vec<Bundle>> = (0..n)
-            .map(|i| {
-                Bundle::new(
-                    (0..r_count)
-                        .map(|r| sol.x[idx(i, r, r_count)])
-                        .collect(),
-                )
-            })
+            .map(|i| Bundle::new((0..r_count).map(|r| sol.x[idx(i, r, r_count)]).collect()))
             .collect();
         Allocation::new(bundles?, capacity)
     }
@@ -294,7 +288,9 @@ mod tests {
             CobbDouglas::new(1.0, vec![0.1, 0.4]).unwrap(),
         ];
         let c = paper_capacity();
-        let nash = MaxWelfare::without_fairness().allocate(&agents, &c).unwrap();
+        let nash = MaxWelfare::without_fairness()
+            .allocate(&agents, &c)
+            .unwrap();
         let ref_alloc = ProportionalElasticity.allocate(&agents, &c).unwrap();
         // Raw Nash bandwidth split 1.2 : 0.1 -> ~22.15 GB/s.
         assert!((nash.bundle(0).get(0) - 24.0 * 1.2 / 1.3).abs() < 0.1);

@@ -70,10 +70,37 @@ impl OnlineEstimator {
         })
     }
 
+    /// Rebuilds an estimator by replaying recorded observations.
+    ///
+    /// Replay is deterministic: the same observation sequence produces the
+    /// same refit count, the same fitted utility (bit for bit) and the same
+    /// goodness of fit, which is what lets a restarted service resume a
+    /// market mid-run from a serialized observation log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if `num_resources == 0` or any
+    /// observation fails the checks [`OnlineEstimator::observe`] applies.
+    pub fn from_observations(
+        num_resources: usize,
+        observations: &[FitPoint],
+    ) -> Result<OnlineEstimator> {
+        let mut est = OnlineEstimator::new(num_resources)?;
+        for obs in observations {
+            est.observe(obs.inputs.clone(), obs.output)?;
+        }
+        Ok(est)
+    }
+
     /// The current utility estimate (the naive prior until the first
     /// successful refit).
     pub fn utility(&self) -> &CobbDouglas {
         &self.current
+    }
+
+    /// The accumulated observations, in arrival order.
+    pub fn observations(&self) -> &[FitPoint] {
+        &self.observations
     }
 
     /// Number of accumulated observations.
@@ -112,7 +139,21 @@ impl OnlineEstimator {
                 self.num_resources
             )));
         }
-        self.observations.push(FitPoint::new(allocation, performance)?);
+        // Reject non-finite measurements up front: a NaN or infinite sample
+        // must never reach the regression (where it would poison every
+        // subsequent refit through the accumulated design).
+        if !performance.is_finite() {
+            return Err(CoreError::InvalidArgument(format!(
+                "performance observation must be finite, got {performance}"
+            )));
+        }
+        if let Some(q) = allocation.iter().find(|q| !q.is_finite()) {
+            return Err(CoreError::InvalidArgument(format!(
+                "allocation quantities must be finite, got {q}"
+            )));
+        }
+        self.observations
+            .push(FitPoint::new(allocation, performance)?);
         if self.observations.len() <= self.num_resources + 1 {
             return Ok(false);
         }
@@ -188,6 +229,66 @@ mod tests {
     }
 
     #[test]
+    fn rejects_non_finite_observations_without_poisoning_state() {
+        let mut est = OnlineEstimator::new(2).unwrap();
+        // Seed some good data first.
+        for i in 0..3_u32 {
+            let x = 1.0 + f64::from(i);
+            est.observe(vec![x, 2.0 * x], x).unwrap();
+        }
+        let before = est.clone();
+        for bad_perf in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                est.observe(vec![1.0, 1.0], bad_perf),
+                Err(CoreError::InvalidArgument(_))
+            ));
+        }
+        for bad_alloc in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                est.observe(vec![bad_alloc, 1.0], 1.0),
+                Err(CoreError::InvalidArgument(_))
+            ));
+        }
+        // The rejected samples must leave the estimator untouched: same
+        // observation count, same utility, and future refits still work.
+        assert_eq!(est.num_observations(), before.num_observations());
+        assert_eq!(
+            est.utility().elasticities(),
+            before.utility().elasticities()
+        );
+        for i in 3..8_u32 {
+            let x = 1.0 + f64::from(i % 4);
+            let y = 0.5 + f64::from(i % 3);
+            est.observe(vec![x, y], x.powf(0.7) * y.powf(0.3)).unwrap();
+        }
+        assert!(est.refits() > 0, "regression must stay usable");
+    }
+
+    #[test]
+    fn replay_reconstructs_estimator_exactly() {
+        let truth = CobbDouglas::new(0.9, vec![0.4, 0.6]).unwrap();
+        let mut est = OnlineEstimator::new(2).unwrap();
+        for i in 0..9_u32 {
+            let x = 1.0 + f64::from(i % 4);
+            let y = 0.5 + f64::from(i % 3);
+            est.observe(vec![x, y], truth.value_slice(&[x, y])).unwrap();
+        }
+        let replayed = OnlineEstimator::from_observations(2, est.observations()).unwrap();
+        assert_eq!(replayed.num_observations(), est.num_observations());
+        assert_eq!(replayed.refits(), est.refits());
+        assert_eq!(replayed.r_squared(), est.r_squared());
+        // Bit-exact: replay runs the identical regression on identical data.
+        assert_eq!(
+            replayed.utility().elasticities(),
+            est.utility().elasticities()
+        );
+        assert_eq!(
+            replayed.utility().scale().to_bits(),
+            est.utility().scale().to_bits()
+        );
+    }
+
+    #[test]
     fn adaptive_allocation_loop_converges_to_true_ref_point() {
         // Closed loop: the system allocates by current estimates, each
         // agent observes its true performance (plus allocation jitter for
@@ -206,7 +307,9 @@ mod tests {
         for round in 0..30_u32 {
             let reported: Vec<CobbDouglas> =
                 estimators.iter().map(|e| e.utility().clone()).collect();
-            let alloc = ProportionalElasticity.allocate(&reported, &capacity).unwrap();
+            let alloc = ProportionalElasticity
+                .allocate(&reported, &capacity)
+                .unwrap();
             for (i, est) in estimators.iter_mut().enumerate() {
                 // Deterministic excitation so the design gains rank.
                 let jitter = 0.85 + 0.1 * ((round as f64 * 1.7 + i as f64).sin() + 1.0);

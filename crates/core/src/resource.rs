@@ -335,10 +335,7 @@ mod tests {
     #[test]
     fn round_off_tolerated() {
         let c = Capacity::new(vec![1.0]).unwrap();
-        let a = Allocation::new(
-            vec![Bundle::new(vec![1.0 + 1e-12]).unwrap()],
-            &c,
-        );
+        let a = Allocation::new(vec![Bundle::new(vec![1.0 + 1e-12]).unwrap()], &c);
         assert!(a.is_ok());
     }
 }

@@ -16,15 +16,13 @@ fn elasticity() -> impl Strategy<Value = f64> {
 
 /// A population of `n` agents over `r` resources.
 fn agents(n: usize, r: usize) -> impl Strategy<Value = Vec<CobbDouglas>> {
-    prop::collection::vec(
-        (0.1..3.0f64, prop::collection::vec(elasticity(), r)),
-        n,
+    prop::collection::vec((0.1..3.0f64, prop::collection::vec(elasticity(), r)), n).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(scale, es)| CobbDouglas::new(scale, es).expect("valid by construction"))
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|(scale, es)| CobbDouglas::new(scale, es).expect("valid by construction"))
-            .collect()
-    })
 }
 
 fn capacity(r: usize) -> impl Strategy<Value = Capacity> {

@@ -11,11 +11,7 @@ use ref_core::utility::CobbDouglas;
 use ref_core::welfare::{egalitarian_welfare, nash_welfare};
 
 fn agents(n: usize) -> impl Strategy<Value = Vec<CobbDouglas>> {
-    prop::collection::vec(
-        (0.2..2.0f64, 0.1..1.0f64, 0.1..1.0f64),
-        n,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((0.2..2.0f64, 0.1..1.0f64, 0.1..1.0f64), n).prop_map(|rows| {
         rows.into_iter()
             .map(|(s, a, b)| CobbDouglas::new(s, vec![a, b]).expect("valid"))
             .collect()
@@ -23,8 +19,7 @@ fn agents(n: usize) -> impl Strategy<Value = Vec<CobbDouglas>> {
 }
 
 fn capacity() -> impl Strategy<Value = Capacity> {
-    (5.0..50.0f64, 2.0..30.0f64)
-        .prop_map(|(x, y)| Capacity::new(vec![x, y]).expect("positive"))
+    (5.0..50.0f64, 2.0..30.0f64).prop_map(|(x, y)| Capacity::new(vec![x, y]).expect("positive"))
 }
 
 proptest! {

@@ -1,0 +1,920 @@
+//! The market engine: an epoch loop over a churning agent population.
+//!
+//! [`MarketEngine::pump`] drains the event queue in submission order.
+//! Membership events (`AgentJoined`, `AgentLeft`, `DemandChanged`) mutate
+//! the population immediately; each `EpochTick` then runs one epoch:
+//!
+//! 1. collect the *reported* utilities (each agent's fitted Cobb-Douglas
+//!    estimate, re-scaled per Eq. 12);
+//! 2. fingerprint the population (agent ids + quantized elasticities) and
+//!    recompute fair shares with proportional elasticity only when the
+//!    fingerprint moved — otherwise reuse the cached allocation;
+//! 3. audit the granted allocation for SI/EF/PE against the reported
+//!    utilities;
+//! 4. enforce each resource's shares with a stride scheduler and record
+//!    the achieved service;
+//! 5. produce one performance observation per engine-driven agent (hidden
+//!    ground truth or the cycle-level simulator) at a deterministically
+//!    jittered allocation, feeding each agent's online estimator.
+//!
+//! Every random choice is derived from `(seed, epoch, agent id)`, never
+//! from engine call history, so a market restored from a
+//! [snapshot](crate::snapshot) replays the exact observation stream — and
+//! therefore the exact allocations — the original would have produced.
+
+use std::collections::BTreeMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ref_core::mechanism::{Mechanism, ProportionalElasticity};
+use ref_core::online::OnlineEstimator;
+use ref_core::properties::FairnessReport;
+use ref_core::resource::{Allocation, Capacity};
+use ref_core::utility::{CobbDouglas, Utility};
+use ref_sched::StrideScheduler;
+use ref_sim::config::{Bandwidth, CacheSize, PlatformConfig};
+use ref_sim::MulticoreSystem;
+use ref_workloads::profiles::by_name;
+
+use crate::agent::{AgentId, AgentState, ObservationSource};
+use crate::audit::Auditor;
+use crate::epoch::{EnforcementSummary, EpochReport, ReallocationOutcome};
+use crate::error::{MarketError, Result};
+use crate::events::{EventQueue, MarketEvent};
+use crate::metrics::MarketMetrics;
+use crate::snapshot::{AgentSnapshot, MarketSnapshot, SNAPSHOT_VERSION};
+
+/// Smallest scheduler weight granted to an agent whose fitted elasticity
+/// collapsed to (near) zero for a resource; keeps the stride scheduler
+/// constructible without materially distorting service.
+const MIN_STRIDE_WEIGHT: f64 = 1e-9;
+
+/// Floor applied to simulated cache/bandwidth shares so the partitioned
+/// system stays constructible even for vanishing fitted shares.
+const MIN_SIM_SHARE: f64 = 0.005;
+
+/// Static configuration of a market.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketConfig {
+    /// Total capacity of each resource. For markets with simulated agents
+    /// the layout is `[bandwidth GB/s, cache MB]` (the paper's platform).
+    pub capacity: Capacity,
+    /// Reallocation tolerance: fitted elasticities are quantized to this
+    /// grid when fingerprinting the population, so estimate drift below
+    /// the tolerance reuses the cached allocation.
+    pub realloc_tolerance: f64,
+    /// Relative tolerance for the per-epoch SI/EF/PE audit. Must absorb
+    /// the drift incremental reallocation permits: a cache-hit epoch may
+    /// serve an allocation computed from utilities up to
+    /// `realloc_tolerance` stale, so this should sit comfortably above
+    /// that (the default is an order of magnitude over the default
+    /// reallocation tolerance).
+    pub audit_tolerance: f64,
+    /// Epochs after a membership or demand change during which audit
+    /// violations are excused (estimators are re-converging).
+    pub warmup_epochs: u64,
+    /// Relative amplitude of the allocation jitter used to excite the
+    /// estimators' regression designs (0 disables excitation — estimators
+    /// then starve on collinear observations and keep their priors).
+    pub excitation: f64,
+    /// Stride-scheduler quanta simulated per resource per epoch
+    /// (0 disables enforcement reporting).
+    pub enforcement_quanta: u64,
+    /// Instructions each simulated agent retires per epoch.
+    pub sim_instructions: u64,
+    /// Root seed for all per-epoch deterministic randomness.
+    pub seed: u64,
+}
+
+impl MarketConfig {
+    /// Creates a configuration with default tuning.
+    pub fn new(capacity: Capacity) -> MarketConfig {
+        MarketConfig {
+            capacity,
+            realloc_tolerance: 1e-3,
+            audit_tolerance: 1e-2,
+            warmup_epochs: 8,
+            excitation: 0.1,
+            enforcement_quanta: 2_000,
+            sim_instructions: 30_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the reallocation tolerance.
+    pub fn with_realloc_tolerance(mut self, tol: f64) -> MarketConfig {
+        self.realloc_tolerance = tol;
+        self
+    }
+
+    /// Sets the audit tolerance.
+    pub fn with_audit_tolerance(mut self, tol: f64) -> MarketConfig {
+        self.audit_tolerance = tol;
+        self
+    }
+
+    /// Sets the audit warm-up window.
+    pub fn with_warmup_epochs(mut self, epochs: u64) -> MarketConfig {
+        self.warmup_epochs = epochs;
+        self
+    }
+
+    /// Sets the excitation amplitude.
+    pub fn with_excitation(mut self, excitation: f64) -> MarketConfig {
+        self.excitation = excitation;
+        self
+    }
+
+    /// Sets the per-epoch enforcement quanta.
+    pub fn with_enforcement_quanta(mut self, quanta: u64) -> MarketConfig {
+        self.enforcement_quanta = quanta;
+        self
+    }
+
+    /// Sets the per-epoch simulated instruction budget.
+    pub fn with_sim_instructions(mut self, instructions: u64) -> MarketConfig {
+        self.sim_instructions = instructions;
+        self
+    }
+
+    /// Sets the root randomness seed.
+    pub fn with_seed(mut self, seed: u64) -> MarketConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the tuning parameters.
+    pub(crate) fn validate(&self) -> Result<()> {
+        if !(self.realloc_tolerance.is_finite() && self.realloc_tolerance > 0.0) {
+            return Err(MarketError::InvalidArgument(format!(
+                "realloc tolerance must be positive and finite, got {}",
+                self.realloc_tolerance
+            )));
+        }
+        if !(self.audit_tolerance.is_finite() && self.audit_tolerance > 0.0) {
+            return Err(MarketError::InvalidArgument(format!(
+                "audit tolerance must be positive and finite, got {}",
+                self.audit_tolerance
+            )));
+        }
+        if !(self.excitation.is_finite() && (0.0..0.5).contains(&self.excitation)) {
+            return Err(MarketError::InvalidArgument(format!(
+                "excitation must lie in [0, 0.5), got {}",
+                self.excitation
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Identity of a population for reallocation caching: which agents are
+/// live, their fitted elasticities on a `realloc_tolerance` grid, and the
+/// capacity. Equal fingerprints guarantee the mechanism would produce an
+/// allocation within tolerance of the cached one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    pub(crate) ids: Vec<AgentId>,
+    pub(crate) quantized: Vec<i64>,
+    pub(crate) capacity_bits: Vec<u64>,
+}
+
+impl Fingerprint {
+    fn compute(
+        ids: &[AgentId],
+        reported: &[CobbDouglas],
+        capacity: &Capacity,
+        tolerance: f64,
+    ) -> Fingerprint {
+        let quantized = reported
+            .iter()
+            .flat_map(|u| {
+                u.elasticities()
+                    .iter()
+                    .map(|a| (a / tolerance).round() as i64)
+            })
+            .collect();
+        Fingerprint {
+            ids: ids.to_vec(),
+            quantized,
+            capacity_bits: capacity.as_slice().iter().map(|c| c.to_bits()).collect(),
+        }
+    }
+}
+
+/// The long-running allocation engine.
+///
+/// See the [crate docs](crate) for the epoch loop and a quickstart.
+#[derive(Debug)]
+pub struct MarketEngine {
+    config: MarketConfig,
+    population: BTreeMap<AgentId, AgentState>,
+    queue: EventQueue,
+    epoch: u64,
+    stable_since: u64,
+    cache: Option<(Fingerprint, Allocation)>,
+    auditor: Auditor,
+    metrics: MarketMetrics,
+}
+
+impl MarketEngine {
+    /// Creates an empty market.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::InvalidArgument`] for out-of-range tuning
+    /// parameters.
+    pub fn new(config: MarketConfig) -> Result<MarketEngine> {
+        config.validate()?;
+        Ok(MarketEngine {
+            config,
+            population: BTreeMap::new(),
+            queue: EventQueue::new(),
+            epoch: 0,
+            stable_since: 0,
+            cache: None,
+            auditor: Auditor::new(),
+            metrics: MarketMetrics::new(),
+        })
+    }
+
+    /// Enqueues an event; nothing happens until [`MarketEngine::pump`].
+    pub fn submit(&mut self, event: MarketEvent) {
+        self.queue.push(event);
+    }
+
+    /// Enqueues a batch of events in order.
+    pub fn submit_all<I: IntoIterator<Item = MarketEvent>>(&mut self, events: I) {
+        for e in events {
+            self.queue.push(e);
+        }
+    }
+
+    /// Processes every pending event in submission order and returns one
+    /// report per `EpochTick` executed.
+    ///
+    /// Processing is fail-fast: on the first invalid event (duplicate
+    /// join, unknown agent, malformed observation) the event is dropped,
+    /// [`MarketMetrics::rejected_events`] is bumped, the error is returned
+    /// and the remaining events stay queued for a later pump.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first event's [`MarketError`]; the engine state remains
+    /// consistent (the failed event has no partial effect).
+    pub fn pump(&mut self) -> Result<Vec<EpochReport>> {
+        let mut reports = Vec::new();
+        while let Some(event) = self.queue.pop() {
+            match self.apply(event) {
+                Ok(Some(report)) => reports.push(report),
+                Ok(None) => {}
+                Err(e) => {
+                    self.metrics.rejected_events += 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    fn apply(&mut self, event: MarketEvent) -> Result<Option<EpochReport>> {
+        self.metrics.events += 1;
+        match event {
+            MarketEvent::AgentJoined { id, source } => {
+                if self.population.contains_key(&id) {
+                    return Err(MarketError::DuplicateAgent(id));
+                }
+                let agent =
+                    AgentState::new(id, self.epoch, source, self.config.capacity.num_resources())?;
+                self.population.insert(id, agent);
+                self.metrics.joins += 1;
+                self.stable_since = self.epoch;
+                Ok(None)
+            }
+            MarketEvent::AgentLeft { id } => {
+                if self.population.remove(&id).is_none() {
+                    return Err(MarketError::UnknownAgent(id));
+                }
+                self.metrics.leaves += 1;
+                self.stable_since = self.epoch;
+                Ok(None)
+            }
+            MarketEvent::DemandChanged { id, new_truth } => {
+                let num_resources = self.config.capacity.num_resources();
+                let agent = self
+                    .population
+                    .get_mut(&id)
+                    .ok_or(MarketError::UnknownAgent(id))?;
+                if let Some(truth) = new_truth {
+                    if !matches!(agent.source, ObservationSource::GroundTruth(_)) {
+                        return Err(MarketError::InvalidArgument(format!(
+                            "agent {id} has no ground truth to replace"
+                        )));
+                    }
+                    let source = ObservationSource::GroundTruth(truth);
+                    source.validate(num_resources)?;
+                    agent.source = source;
+                }
+                agent.estimator = OnlineEstimator::new(num_resources)?;
+                self.metrics.demand_changes += 1;
+                self.stable_since = self.epoch;
+                Ok(None)
+            }
+            MarketEvent::ObservationReported {
+                id,
+                allocation,
+                performance,
+            } => {
+                let agent = self
+                    .population
+                    .get_mut(&id)
+                    .ok_or(MarketError::UnknownAgent(id))?;
+                if agent.source != ObservationSource::External {
+                    return Err(MarketError::InvalidArgument(format!(
+                        "agent {id} is engine-driven and cannot accept external observations"
+                    )));
+                }
+                let refit = agent.estimator.observe(allocation, performance)?;
+                self.metrics.external_observations += 1;
+                self.metrics.refits += u64::from(refit);
+                Ok(None)
+            }
+            MarketEvent::EpochTick => self.run_epoch().map(Some),
+        }
+    }
+
+    fn run_epoch(&mut self) -> Result<EpochReport> {
+        let epoch = self.epoch;
+        let warm = epoch.saturating_sub(self.stable_since) < self.config.warmup_epochs;
+        let ids: Vec<AgentId> = self.population.keys().copied().collect();
+        self.epoch += 1;
+        self.metrics.epochs += 1;
+        if ids.is_empty() {
+            return Ok(EpochReport {
+                epoch,
+                agents: ids,
+                realloc: ReallocationOutcome::EmptyMarket,
+                allocation: None,
+                fairness: None,
+                enforcement: Vec::new(),
+                warm,
+                observations: 0,
+                refits: 0,
+            });
+        }
+
+        let reported: Vec<CobbDouglas> = self
+            .population
+            .values()
+            .map(AgentState::reported_utility)
+            .collect();
+        let fingerprint = Fingerprint::compute(
+            &ids,
+            &reported,
+            &self.config.capacity,
+            self.config.realloc_tolerance,
+        );
+        let (allocation, realloc) = match &self.cache {
+            Some((cached_fp, cached_alloc)) if *cached_fp == fingerprint => {
+                self.metrics.cache_hits += 1;
+                (cached_alloc.clone(), ReallocationOutcome::CacheHit)
+            }
+            _ => {
+                let alloc = ProportionalElasticity.allocate(&reported, &self.config.capacity)?;
+                self.cache = Some((fingerprint, alloc.clone()));
+                self.metrics.reallocations += 1;
+                (alloc, ReallocationOutcome::Reallocated)
+            }
+        };
+
+        let fairness = FairnessReport::check_with_tolerance(
+            &reported,
+            &allocation,
+            &self.config.capacity,
+            self.config.audit_tolerance,
+        );
+        self.auditor.record(&fairness, warm);
+
+        let enforcement = self.enforce(&allocation)?;
+        let (observations, refits) = self.collect_observations(epoch, &allocation)?;
+        self.metrics.refits += refits as u64;
+
+        Ok(EpochReport {
+            epoch,
+            agents: ids,
+            realloc,
+            allocation: Some(allocation),
+            fairness: Some(fairness),
+            enforcement,
+            warm,
+            observations,
+            refits,
+        })
+    }
+
+    /// Drives a stride scheduler per resource against the granted shares.
+    fn enforce(&self, allocation: &Allocation) -> Result<Vec<EnforcementSummary>> {
+        let mut out = Vec::new();
+        if self.config.enforcement_quanta == 0 {
+            return Ok(out);
+        }
+        let capacity = &self.config.capacity;
+        for resource in 0..capacity.num_resources() {
+            let target: Vec<f64> = allocation
+                .bundles()
+                .iter()
+                .map(|b| b.get(resource) / capacity.get(resource))
+                .collect();
+            let weights: Vec<f64> = target.iter().map(|w| w.max(MIN_STRIDE_WEIGHT)).collect();
+            let mut stride = StrideScheduler::new(weights).map_err(MarketError::InvalidArgument)?;
+            for _ in 0..self.config.enforcement_quanta {
+                stride.next_quantum();
+            }
+            let achieved = stride.service_shares();
+            let max_deviation = achieved
+                .iter()
+                .zip(&target)
+                .map(|(a, t)| (a - t).abs())
+                .fold(0.0, f64::max);
+            out.push(EnforcementSummary {
+                resource,
+                target,
+                achieved,
+                max_deviation,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Produces one observation per engine-driven agent at a jittered
+    /// allocation and feeds the online estimators.
+    fn collect_observations(
+        &mut self,
+        epoch: u64,
+        allocation: &Allocation,
+    ) -> Result<(usize, usize)> {
+        let config = self.config.clone();
+
+        // Simulated agents run jointly in one partitioned multicore system.
+        let mut simulated: Vec<(usize, AgentId, String)> = Vec::new();
+        for (i, agent) in self.population.values().enumerate() {
+            if let ObservationSource::Simulated { benchmark } = &agent.source {
+                simulated.push((i, agent.id, benchmark.clone()));
+            }
+        }
+        let sim_results = if simulated.is_empty() {
+            BTreeMap::new()
+        } else {
+            run_simulated(&config, epoch, &simulated, allocation)?
+        };
+
+        let mut observations = 0;
+        let mut refits = 0;
+        for (i, agent) in self.population.values_mut().enumerate() {
+            match &agent.source {
+                ObservationSource::GroundTruth(truth) => {
+                    let truth = truth.clone();
+                    let mut rng = ChaCha8Rng::seed_from_u64(mix(config.seed, epoch, agent.id));
+                    let jittered: Vec<f64> = allocation
+                        .bundle(i)
+                        .as_slice()
+                        .iter()
+                        .map(|q| {
+                            let f = 1.0 - config.excitation
+                                + 2.0 * config.excitation * rng.gen::<f64>();
+                            (q * f).max(1e-9)
+                        })
+                        .collect();
+                    let perf = truth.value_slice(&jittered);
+                    if perf.is_finite() && perf > 0.0 {
+                        refits += usize::from(agent.estimator.observe(jittered, perf)?);
+                        observations += 1;
+                    }
+                }
+                ObservationSource::Simulated { .. } => {
+                    if let Some((inputs, ipc)) = sim_results.get(&agent.id) {
+                        if *ipc > 0.0 {
+                            refits += usize::from(agent.estimator.observe(inputs.clone(), *ipc)?);
+                            observations += 1;
+                        }
+                    }
+                }
+                ObservationSource::External => {}
+            }
+        }
+        Ok((observations, refits))
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// The next epoch number to execute.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live agents.
+    pub fn num_live_agents(&self) -> usize {
+        self.population.len()
+    }
+
+    /// Live agent ids in ascending order (allocation bundle order).
+    pub fn live_agents(&self) -> Vec<AgentId> {
+        self.population.keys().copied().collect()
+    }
+
+    /// A live agent's state, if present.
+    pub fn agent(&self, id: AgentId) -> Option<&AgentState> {
+        self.population.get(&id)
+    }
+
+    /// Events submitted but not yet pumped.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The fairness auditor.
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// Lifetime service counters.
+    pub fn metrics(&self) -> &MarketMetrics {
+        &self.metrics
+    }
+
+    /// Captures the full market state (population, observation logs,
+    /// allocation cache, counters) as a versioned snapshot.
+    ///
+    /// Pending events are *not* captured — pump before snapshotting to
+    /// checkpoint between batches.
+    pub fn snapshot(&self) -> MarketSnapshot {
+        MarketSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            epoch: self.epoch,
+            stable_since: self.stable_since,
+            auditor: self.auditor.clone(),
+            metrics: self.metrics.clone(),
+            cache: self.cache.clone(),
+            agents: self
+                .population
+                .values()
+                .map(|a| AgentSnapshot {
+                    id: a.id,
+                    joined_epoch: a.joined_epoch,
+                    source: a.source.clone(),
+                    observations: a.estimator.observations().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a market from a snapshot.
+    ///
+    /// Estimators are reconstructed by deterministically replaying each
+    /// agent's observation log, and the allocation cache is restored
+    /// bit-exactly, so the restored market's next epoch produces the same
+    /// allocation — bit for bit — as the original would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::Snapshot`] for an unsupported version and
+    /// propagates validation failures from the snapshotted state.
+    pub fn restore(snapshot: &MarketSnapshot) -> Result<MarketEngine> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(MarketError::Snapshot(format!(
+                "unsupported snapshot version {} (supported: {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        snapshot.config.validate()?;
+        let num_resources = snapshot.config.capacity.num_resources();
+        let mut population = BTreeMap::new();
+        for a in &snapshot.agents {
+            a.source.validate(num_resources)?;
+            let estimator = OnlineEstimator::from_observations(num_resources, &a.observations)?;
+            let state = AgentState {
+                id: a.id,
+                joined_epoch: a.joined_epoch,
+                source: a.source.clone(),
+                estimator,
+            };
+            if population.insert(a.id, state).is_some() {
+                return Err(MarketError::DuplicateAgent(a.id));
+            }
+        }
+        Ok(MarketEngine {
+            config: snapshot.config.clone(),
+            population,
+            queue: EventQueue::new(),
+            epoch: snapshot.epoch,
+            stable_since: snapshot.stable_since,
+            cache: snapshot.cache.clone(),
+            auditor: snapshot.auditor.clone(),
+            metrics: snapshot.metrics.clone(),
+        })
+    }
+}
+
+/// Runs all simulated agents jointly through the cycle-level simulator at
+/// their (jittered) granted shares; returns each agent's observation as
+/// `(resource quantities, achieved IPC)`.
+fn run_simulated(
+    config: &MarketConfig,
+    epoch: u64,
+    simulated: &[(usize, AgentId, String)],
+    allocation: &Allocation,
+) -> Result<BTreeMap<AgentId, (Vec<f64>, f64)>> {
+    let capacity = &config.capacity;
+    let platform = PlatformConfig::asplos14()
+        .with_bandwidth(Bandwidth::from_gb_per_sec(capacity.get(0)))
+        .with_l2_size(CacheSize::from_bytes(
+            (capacity.get(1) * 1024.0 * 1024.0) as u64,
+        ));
+
+    let mut bw_shares = Vec::with_capacity(simulated.len());
+    let mut cache_shares = Vec::with_capacity(simulated.len());
+    let mut dependent = Vec::with_capacity(simulated.len());
+    let mut streams = Vec::with_capacity(simulated.len());
+    let mut inputs = Vec::with_capacity(simulated.len());
+    for (i, id, name) in simulated {
+        let bench = by_name(name)
+            .ok_or_else(|| MarketError::InvalidArgument(format!("unknown benchmark {name:?}")))?;
+        // Jitter only downward so the shares stay jointly feasible.
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(config.seed, epoch, *id));
+        let f_bw = 1.0 - 2.0 * config.excitation * rng.gen::<f64>();
+        let f_cache = 1.0 - 2.0 * config.excitation * rng.gen::<f64>();
+        let bw = (allocation.bundle(*i).get(0) / capacity.get(0) * f_bw).max(MIN_SIM_SHARE);
+        let cache = (allocation.bundle(*i).get(1) / capacity.get(1) * f_cache).max(MIN_SIM_SHARE);
+        bw_shares.push(bw);
+        cache_shares.push(cache);
+        dependent.push(bench.params.dependent_fraction);
+        streams.push(bench.stream(mix(config.seed, epoch, *id)));
+        inputs.push(vec![bw * capacity.get(0), cache * capacity.get(1)]);
+    }
+
+    let mut system = MulticoreSystem::new(&platform, &cache_shares, &bw_shares)
+        .with_dependent_load_fractions(dependent);
+    let reports = system.run(streams, config.sim_instructions);
+
+    Ok(simulated
+        .iter()
+        .zip(inputs)
+        .zip(reports)
+        .map(|(((_, id, _), input), report)| (*id, (input, report.ipc())))
+        .collect())
+}
+
+/// Deterministic per-(seed, epoch, agent) stream seed.
+fn mix(seed: u64, epoch: u64, id: AgentId) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for v in [epoch, id] {
+        h ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.rotate_left(23).wrapping_mul(0x94D0_49BB_1331_11EB);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(e0: f64, e1: f64) -> ObservationSource {
+        ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![e0, e1]).unwrap())
+    }
+
+    fn two_agent_market() -> MarketEngine {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: truth(0.6, 0.4),
+        });
+        market.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: truth(0.2, 0.8),
+        });
+        market
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_tuning() {
+        let cap = Capacity::new(vec![10.0]).unwrap();
+        assert!(MarketEngine::new(MarketConfig::new(cap.clone()).with_excitation(0.7)).is_err());
+        assert!(MarketEngine::new(MarketConfig::new(cap).with_realloc_tolerance(0.0)).is_err());
+    }
+
+    #[test]
+    fn empty_market_ticks_without_allocating() {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::EpochTick);
+        let reports = market.pump().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].realloc, ReallocationOutcome::EmptyMarket);
+        assert!(reports[0].allocation.is_none());
+        assert_eq!(market.metrics().epochs, 1);
+    }
+
+    #[test]
+    fn converges_to_true_ref_point_with_churn_free_population() {
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 25));
+        let reports = market.pump().unwrap();
+        let last = reports.last().unwrap();
+        let alloc = last.allocation.as_ref().unwrap();
+        // True REF point of the hidden utilities: (18, 4) / (6, 8).
+        assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.5, "{alloc:?}");
+        assert!((alloc.bundle(1).get(1) - 8.0).abs() < 0.5, "{alloc:?}");
+        // Fitted elasticities approach ground truth.
+        let fitted = market.agent(1).unwrap().reported_utility();
+        assert!((fitted.elasticity(0) - 0.6).abs() < 0.02, "{fitted:?}");
+        assert!(market.auditor().clean_after_warmup());
+    }
+
+    #[test]
+    fn converged_market_serves_epochs_from_the_cache() {
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 40));
+        market.pump().unwrap();
+        let m = market.metrics();
+        assert!(m.cache_hits > 20, "{m}");
+        assert!(m.reallocations < 15, "{m}");
+        // Churn invalidates the fingerprint.
+        market.submit(MarketEvent::AgentJoined {
+            id: 3,
+            source: truth(0.5, 0.5),
+        });
+        market.submit(MarketEvent::EpochTick);
+        let reports = market.pump().unwrap();
+        assert_eq!(reports[0].realloc, ReallocationOutcome::Reallocated);
+        assert_eq!(reports[0].agents, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn membership_errors_are_fail_fast_and_leave_queue_intact() {
+        let mut market = two_agent_market();
+        market.pump().unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: truth(0.5, 0.5),
+        });
+        market.submit(MarketEvent::EpochTick);
+        assert!(matches!(market.pump(), Err(MarketError::DuplicateAgent(1))));
+        assert_eq!(market.pending_events(), 1);
+        assert_eq!(market.metrics().rejected_events, 1);
+        market.submit(MarketEvent::AgentLeft { id: 99 });
+        assert!(matches!(
+            market.pump().unwrap_err(),
+            MarketError::UnknownAgent(99)
+        ));
+    }
+
+    #[test]
+    fn demand_change_resets_the_estimator_and_swaps_truth() {
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 12));
+        market.pump().unwrap();
+        assert!(market.agent(1).unwrap().estimator.num_observations() > 0);
+        market.submit(MarketEvent::DemandChanged {
+            id: 1,
+            new_truth: Some(CobbDouglas::new(1.0, vec![0.3, 0.7]).unwrap()),
+        });
+        market.pump().unwrap();
+        let agent = market.agent(1).unwrap();
+        assert_eq!(agent.estimator.num_observations(), 0);
+        assert_eq!(agent.reported_utility().elasticities(), &[0.5, 0.5]);
+        // The market re-converges to the new truth's REF point.
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 20));
+        let reports = market.pump().unwrap();
+        let alloc = reports.last().unwrap().allocation.as_ref().unwrap();
+        // Rescaled elasticities (0.3, 0.7) and (0.2, 0.8): x_00 = 0.3/0.5*24.
+        assert!((alloc.bundle(0).get(0) - 14.4).abs() < 0.5, "{alloc:?}");
+        assert!(market.auditor().clean_after_warmup());
+        // Swapping truth on a non-ground-truth agent is rejected.
+        market.submit(MarketEvent::AgentJoined {
+            id: 7,
+            source: ObservationSource::External,
+        });
+        market.submit(MarketEvent::DemandChanged {
+            id: 7,
+            new_truth: Some(CobbDouglas::new(1.0, vec![0.5, 0.5]).unwrap()),
+        });
+        assert!(market.pump().is_err());
+    }
+
+    #[test]
+    fn external_agents_learn_only_from_reported_observations() {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::External,
+        });
+        market.submit(MarketEvent::EpochTick);
+        market.pump().unwrap();
+        assert_eq!(market.agent(1).unwrap().estimator.num_observations(), 0);
+        let hidden = CobbDouglas::new(1.0, vec![0.7, 0.3]).unwrap();
+        for k in 0..8_u32 {
+            let x = 1.0 + f64::from(k % 4);
+            let y = 0.5 + f64::from(k % 3);
+            market.submit(MarketEvent::ObservationReported {
+                id: 1,
+                allocation: vec![x, y],
+                performance: hidden.value_slice(&[x, y]),
+            });
+        }
+        market.pump().unwrap();
+        let fitted = market.agent(1).unwrap().reported_utility();
+        assert!((fitted.elasticity(0) - 0.7).abs() < 1e-6, "{fitted:?}");
+        assert_eq!(market.metrics().external_observations, 8);
+        // Non-finite measurements are rejected before touching the log.
+        market.submit(MarketEvent::ObservationReported {
+            id: 1,
+            allocation: vec![1.0, 1.0],
+            performance: f64::NAN,
+        });
+        assert!(market.pump().is_err());
+        assert_eq!(market.agent(1).unwrap().estimator.num_observations(), 8);
+        // Ground-truth agents refuse external reports.
+        market.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: truth(0.5, 0.5),
+        });
+        market.submit(MarketEvent::ObservationReported {
+            id: 2,
+            allocation: vec![1.0, 1.0],
+            performance: 1.0,
+        });
+        assert!(market.pump().is_err());
+    }
+
+    #[test]
+    fn simulated_agents_learn_from_the_cycle_level_simulator() {
+        // Unlike the offline pipeline's full capacity sweep, the online
+        // fit only sees jittered points near the granted shares, so it
+        // measures *local* sensitivity at the operating point. The market
+        // guarantees the learning loop itself: every epoch yields one
+        // observation per simulated agent, the estimators refit off the
+        // achieved IPC, and the allocation stays fair for the fits.
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap())
+            .with_sim_instructions(12_000)
+            .with_warmup_epochs(4);
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::Simulated {
+                benchmark: "histogram".to_string(),
+            },
+        });
+        market.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: ObservationSource::Simulated {
+                benchmark: "dedup".to_string(),
+            },
+        });
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 10));
+        let reports = market.pump().unwrap();
+        assert!(reports.iter().all(|r| r.observations == 2));
+        for id in [1, 2] {
+            let agent = market.agent(id).unwrap();
+            assert!(agent.estimator.refits() > 0, "agent {id} never refit");
+            let u = agent.reported_utility();
+            assert!((u.elasticity_sum() - 1.0).abs() < 1e-9, "{u:?}");
+        }
+        assert!(market.auditor().clean_after_warmup());
+    }
+
+    #[test]
+    fn enforcement_tracks_granted_shares() {
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 15));
+        let reports = market.pump().unwrap();
+        let last = reports.last().unwrap();
+        assert_eq!(last.enforcement.len(), 2);
+        assert!(
+            last.worst_enforcement_deviation() < 0.01,
+            "{:?}",
+            last.enforcement
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_markets() {
+        let run = || {
+            let mut market = two_agent_market();
+            market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 20));
+            let reports = market.pump().unwrap();
+            reports.last().unwrap().allocation.as_ref().unwrap().clone()
+        };
+        let (a, b) = (run(), run());
+        for (x, y) in a.bundles().iter().zip(b.bundles()) {
+            for r in 0..x.num_resources() {
+                assert_eq!(x.get(r).to_bits(), y.get(r).to_bits());
+            }
+        }
+    }
+}

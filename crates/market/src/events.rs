@@ -1,0 +1,104 @@
+//! The market's event API.
+//!
+//! Clients do not call into the engine synchronously; they submit events
+//! which the engine processes in submission order when pumped. Membership
+//! events between two `EpochTick`s take effect at the next tick, so a batch
+//! of joins/leaves triggers at most one reallocation.
+
+use std::collections::VecDeque;
+
+use ref_core::utility::CobbDouglas;
+
+use crate::agent::{AgentId, ObservationSource};
+
+/// An event submitted to the market.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarketEvent {
+    /// A new agent requests admission.
+    AgentJoined {
+        /// Stable id chosen by the client; must not collide with a live agent.
+        id: AgentId,
+        /// How the agent's performance observations are produced.
+        source: ObservationSource,
+    },
+    /// A live agent departs; its share is redistributed at the next tick.
+    AgentLeft {
+        /// The departing agent.
+        id: AgentId,
+    },
+    /// An agent's demand changed: its observation history is stale. The
+    /// engine flushes the estimator back to the naive prior and, for
+    /// ground-truth agents, swaps the hidden utility.
+    DemandChanged {
+        /// The agent whose demand changed.
+        id: AgentId,
+        /// Replacement ground truth for
+        /// [`ObservationSource::GroundTruth`] agents; `None` keeps the
+        /// current source (external/simulated agents just reset).
+        new_truth: Option<CobbDouglas>,
+    },
+    /// An externally measured `(allocation, performance)` sample for an
+    /// [`ObservationSource::External`] agent.
+    ObservationReported {
+        /// The measured agent.
+        id: AgentId,
+        /// Resource quantities the measurement was taken at.
+        allocation: Vec<f64>,
+        /// Measured performance (e.g. IPC); must be finite and positive.
+        performance: f64,
+    },
+    /// Advance the market by one epoch: refit, reallocate, enforce, audit,
+    /// observe.
+    EpochTick,
+}
+
+/// FIFO queue of pending events.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    pending: VecDeque<MarketEvent>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: MarketEvent) {
+        self.pending.push_back(event);
+    }
+
+    /// Removes and returns the oldest pending event.
+    pub fn pop(&mut self) -> Option<MarketEvent> {
+        self.pending.pop_front()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_preserves_submission_order() {
+        let mut q = EventQueue::new();
+        q.push(MarketEvent::AgentLeft { id: 2 });
+        q.push(MarketEvent::EpochTick);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(MarketEvent::AgentLeft { id: 2 }));
+        assert_eq!(q.pop(), Some(MarketEvent::EpochTick));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Service counters: what the market did, at a glance.
+
+use std::fmt;
+
+/// Cumulative counters over the market's lifetime.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MarketMetrics {
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Events processed (all kinds).
+    pub events: u64,
+    /// Agents admitted.
+    pub joins: u64,
+    /// Agents departed.
+    pub leaves: u64,
+    /// Demand-change flushes applied.
+    pub demand_changes: u64,
+    /// External observations ingested.
+    pub external_observations: u64,
+    /// Epochs that recomputed the allocation.
+    pub reallocations: u64,
+    /// Epochs that reused the cached allocation (fingerprint unchanged).
+    pub cache_hits: u64,
+    /// Successful estimator refits across all agents.
+    pub refits: u64,
+    /// Events rejected with an error.
+    pub rejected_events: u64,
+}
+
+impl MarketMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> MarketMetrics {
+        MarketMetrics::default()
+    }
+
+    /// Fraction of epochs served from the allocation cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let decisions = self.reallocations + self.cache_hits;
+        if decisions == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / decisions as f64
+        }
+    }
+}
+
+impl fmt::Display for MarketMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epochs {} | events {} (join {} / leave {} / demand {} / obs {} / rejected {}) | \
+             realloc {} + cached {} ({:.0}% hit) | refits {}",
+            self.epochs,
+            self.events,
+            self.joins,
+            self.leaves,
+            self.demand_changes,
+            self.external_observations,
+            self.rejected_events,
+            self.reallocations,
+            self.cache_hits,
+            100.0 * self.cache_hit_rate(),
+            self.refits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hit_rate_handles_empty_history() {
+        assert_eq!(MarketMetrics::new().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes_counters() {
+        let m = MarketMetrics {
+            epochs: 10,
+            reallocations: 4,
+            cache_hits: 6,
+            ..MarketMetrics::new()
+        };
+        let s = m.to_string();
+        assert!(s.contains("epochs 10"), "{s}");
+        assert!(s.contains("60% hit"), "{s}");
+    }
+}

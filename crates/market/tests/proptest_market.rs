@@ -1,0 +1,102 @@
+//! Property tests: random join/leave/tick interleavings never oversubscribe
+//! capacity and never starve a live agent.
+
+use proptest::prelude::*;
+
+use ref_core::resource::Capacity;
+use ref_core::utility::CobbDouglas;
+use ref_market::{MarketConfig, MarketEngine, MarketEvent, ObservationSource};
+
+/// Decoded op: 0 = join, 1 = leave, 2 = tick.
+fn drive(ops: &[(u32, u32, u32)], capacity: &[f64], seed: u64) -> Result<(), TestCaseError> {
+    let capacity = Capacity::new(capacity.to_vec()).expect("positive capacity");
+    let config = MarketConfig::new(capacity.clone()).with_seed(seed);
+    let mut market = MarketEngine::new(config).expect("valid config");
+
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    for &(kind, pick, frac) in ops {
+        match kind {
+            0 => {
+                // Join with a fresh id and strictly interior elasticities,
+                // so every live agent demands every resource.
+                let e0 = f64::from(frac) / 100.0;
+                let source = ObservationSource::GroundTruth(
+                    CobbDouglas::new(1.0, vec![e0, 1.0 - e0]).expect("interior elasticities"),
+                );
+                next_id += 1;
+                live.push(next_id);
+                market.submit(MarketEvent::AgentJoined {
+                    id: next_id,
+                    source,
+                });
+            }
+            1 => {
+                if !live.is_empty() {
+                    let id = live.remove(pick as usize % live.len());
+                    market.submit(MarketEvent::AgentLeft { id });
+                }
+            }
+            _ => market.submit(MarketEvent::EpochTick),
+        }
+    }
+    // Always finish on a tick so the final population gets an allocation.
+    market.submit(MarketEvent::EpochTick);
+
+    let reports = market.pump().expect("all submitted events are valid");
+    prop_assert!(!reports.is_empty());
+    for report in &reports {
+        let Some(alloc) = &report.allocation else {
+            prop_assert!(report.agents.is_empty());
+            continue;
+        };
+        prop_assert_eq!(alloc.num_agents(), report.agents.len());
+        // Total allocated never exceeds capacity.
+        for r in 0..capacity.num_resources() {
+            let used: f64 = alloc.bundles().iter().map(|b| b.get(r)).sum();
+            prop_assert!(
+                used <= capacity.get(r) * (1.0 + 1e-9),
+                "epoch {}: resource {r} oversubscribed: {used} > {}",
+                report.epoch,
+                capacity.get(r)
+            );
+        }
+        // Every live agent holds a strictly positive share of everything.
+        for (i, bundle) in alloc.bundles().iter().enumerate() {
+            for r in 0..bundle.num_resources() {
+                prop_assert!(
+                    bundle.get(r) > 0.0,
+                    "epoch {}: agent {} starved on resource {r}",
+                    report.epoch,
+                    report.agents[i]
+                );
+            }
+        }
+    }
+    // The final population matches the locally tracked live set.
+    let mut expected = live.clone();
+    expected.sort_unstable();
+    prop_assert_eq!(market.live_agents(), expected);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interleavings_never_oversubscribe_or_starve(
+        ops in proptest::collection::vec((0u32..3, 0u32..16, 1u32..100), 1..40),
+        seed in 0u64..1_000_000,
+    ) {
+        drive(&ops, &[24.0, 12.0], seed)?;
+    }
+
+    #[test]
+    fn interleavings_hold_on_asymmetric_capacities(
+        ops in proptest::collection::vec((0u32..3, 0u32..16, 1u32..100), 1..25),
+        cap0 in 1.0f64..100.0,
+        cap1 in 0.5f64..50.0,
+    ) {
+        drive(&ops, &[cap0, cap1], 11)?;
+    }
+}

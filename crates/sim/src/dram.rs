@@ -159,7 +159,9 @@ impl Dram {
         };
         let port = &mut self.ports[agent];
         let token_ready = port.next_token.max(now as f64);
-        let start = (token_ready.ceil() as u64).max(self.bank_free[bank]).max(now);
+        let start = (token_ready.ceil() as u64)
+            .max(self.bank_free[bank])
+            .max(now);
         let completion = start + latency;
         self.bank_free[bank] = start + self.bank_occupancy.min(latency);
         port.next_token = start as f64 + port.cycles_per_burst;
@@ -299,7 +301,7 @@ mod tests {
         let p = PlatformConfig::asplos14().with_page_policy(PagePolicy::OpenPage);
         let mut d = Dram::new(&p.dram, p.core.clock_hz, &[1.0]);
         let a = d.access(0, 0, 0); // opens row 0 in bank 0
-        // Block 1024 blocks later: same bank (1024 % 16 == 0), row 32.
+                                   // Block 1024 blocks later: same bank (1024 % 16 == 0), row 32.
         let b = d.access(0, 1024 * 64, a);
         assert_eq!(b - a, 126, "row conflict re-opens");
         assert_eq!(d.stats().row_hits, 0);

@@ -269,11 +269,7 @@ fn central_path(
     let mut x = x0.to_vec();
     let mut t = opts.t0;
     for outer in 0..opts.max_outer_iterations {
-        let barrier = BarrierObjective {
-            t,
-            f0,
-            constraints,
-        };
+        let barrier = BarrierObjective { t, f0, constraints };
         let r = newton::minimize(&barrier, &x, &opts.newton)?;
         x = r.x;
         if m as f64 / t < opts.tolerance {

@@ -109,10 +109,7 @@ impl Cholesky {
 
     /// Log-determinant of `A`, i.e. `2 * sum_i log L_ii`.
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows())
-            .map(|i| self.l[(i, i)].ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 }
 

@@ -517,11 +517,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_start_points() {
-        let gp = GeometricProgram::minimize(
-            1,
-            Monomial::new(1.0, vec![1.0]).unwrap().into(),
-        )
-        .unwrap();
+        let gp =
+            GeometricProgram::minimize(1, Monomial::new(1.0, vec![1.0]).unwrap().into()).unwrap();
         assert!(gp.solve(&[]).is_err());
         assert!(gp.solve(&[-1.0]).is_err());
         assert!(gp.solve(&[0.0]).is_err());
@@ -543,11 +540,8 @@ mod tests {
     fn dimension_checks() {
         let bad = GeometricProgram::minimize(2, Monomial::new(1.0, vec![1.0]).unwrap().into());
         assert!(bad.is_err());
-        let mut gp = GeometricProgram::minimize(
-            1,
-            Monomial::new(1.0, vec![1.0]).unwrap().into(),
-        )
-        .unwrap();
+        let mut gp =
+            GeometricProgram::minimize(1, Monomial::new(1.0, vec![1.0]).unwrap().into()).unwrap();
         assert!(gp
             .add_constraint(Monomial::new(1.0, vec![1.0, 1.0]).unwrap().into())
             .is_err());

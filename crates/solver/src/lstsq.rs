@@ -182,14 +182,8 @@ mod tests {
 
     #[test]
     fn noisy_fit_r_squared_between_zero_and_one() {
-        let x = design_with_intercept(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.0],
-            vec![3.0],
-            vec![4.0],
-        ])
-        .unwrap();
+        let x = design_with_intercept(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]])
+            .unwrap();
         let y = [0.1, 1.2, 1.8, 3.3, 3.9];
         let f = fit(&x, &y).unwrap();
         assert!(f.r_squared() > 0.9 && f.r_squared() < 1.0);

@@ -196,8 +196,7 @@ mod tests {
     #[test]
     fn solves_with_pivoting() {
         // Leading zero forces a row swap.
-        let a = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, 0.0, 1.0], &[1.0, 1.0, 1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, 0.0, 1.0], &[1.0, 1.0, 1.0]]).unwrap();
         let x = solve(&a, &[8.0, 7.0, 6.0]).unwrap();
         let ax = a.matvec(&x).unwrap();
         for (got, want) in ax.iter().zip(&[8.0, 7.0, 6.0]) {
@@ -252,12 +251,8 @@ mod tests {
 
     #[test]
     fn agrees_with_qr_on_random_system() {
-        let a = Matrix::from_rows(&[
-            &[3.0, -1.0, 2.0],
-            &[1.0, 4.0, -2.0],
-            &[-2.0, 1.5, 5.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, -2.0], &[-2.0, 1.5, 5.0]]).unwrap();
         let b = [1.0, -2.0, 3.5];
         let x_lu = solve(&a, &b).unwrap();
         let x_qr = crate::qr::solve(&a, &b).unwrap();

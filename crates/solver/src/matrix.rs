@@ -512,7 +512,8 @@ impl Add for &Matrix {
     /// Panics if the shapes differ; use [`Matrix::add_matrix`] for a fallible
     /// version.
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.add_matrix(rhs).expect("matrix addition shape mismatch")
+        self.add_matrix(rhs)
+            .expect("matrix addition shape mismatch")
     }
 }
 

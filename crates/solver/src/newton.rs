@@ -188,13 +188,7 @@ mod tests {
     #[test]
     fn minimizes_log_sum_exp() {
         // log(e^{x} + e^{-x} + e^{y} + e^{-y}) minimized at origin.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[-1.0, 0.0],
-            &[0.0, 1.0],
-            &[0.0, -1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).unwrap();
         let f = LogSumExpAffine::new(a, vec![0.0; 4]);
         let r = minimize(&f, &[2.0, -3.0], &NewtonOptions::default()).unwrap();
         assert!(vec_ops::norm_inf(&r.x) < 1e-6);
@@ -238,8 +232,12 @@ mod tests {
             Err(SolverError::InvalidArgument(_))
         ));
         // Feasible start converges to the unconstrained minimum at 0.
-        let r = minimize(&Barrier, [0.9, ][..1].to_vec().as_slice(), &NewtonOptions::default())
-            .unwrap();
+        let r = minimize(
+            &Barrier,
+            [0.9][..1].to_vec().as_slice(),
+            &NewtonOptions::default(),
+        )
+        .unwrap();
         assert!(r.x[0].abs() < 1e-6);
     }
 

@@ -308,13 +308,7 @@ mod tests {
     #[test]
     fn least_squares_matches_normal_equations() {
         // Fit y = c0 + c1 t to four points.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let b = [1.0, 2.9, 5.1, 7.0];
         let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
         // Normal equations solution computed by hand:
@@ -326,13 +320,7 @@ mod tests {
 
     #[test]
     fn residual_orthogonal_to_columns() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-            &[2.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[1.0, 0.0], &[2.0, 1.0]]).unwrap();
         let b = [1.0, -1.0, 0.5, 2.0];
         let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -346,10 +334,7 @@ mod tests {
     #[test]
     fn rejects_wide_matrix() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(
-            Qr::new(&a),
-            Err(SolverError::ShapeMismatch(_))
-        ));
+        assert!(matches!(Qr::new(&a), Err(SolverError::ShapeMismatch(_))));
     }
 
     #[test]

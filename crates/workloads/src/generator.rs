@@ -245,10 +245,19 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a: Vec<_> = SyntheticWorkload::new(params(), 7).unwrap().take(500).collect();
-        let b: Vec<_> = SyntheticWorkload::new(params(), 7).unwrap().take(500).collect();
+        let a: Vec<_> = SyntheticWorkload::new(params(), 7)
+            .unwrap()
+            .take(500)
+            .collect();
+        let b: Vec<_> = SyntheticWorkload::new(params(), 7)
+            .unwrap()
+            .take(500)
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<_> = SyntheticWorkload::new(params(), 8).unwrap().take(500).collect();
+        let c: Vec<_> = SyntheticWorkload::new(params(), 8)
+            .unwrap()
+            .take(500)
+            .collect();
         assert_ne!(a, c);
     }
 
@@ -267,19 +276,22 @@ mod tests {
     #[test]
     fn store_fraction_is_respected() {
         let n = 50_000;
-        let ops: Vec<_> = SyntheticWorkload::new(params(), 1).unwrap().take(n).collect();
+        let ops: Vec<_> = SyntheticWorkload::new(params(), 1)
+            .unwrap()
+            .take(n)
+            .collect();
         let mem = ops.iter().filter(|op| op.is_memory()).count();
-        let stores = ops
-            .iter()
-            .filter(|op| matches!(op, Op::Store(_)))
-            .count();
+        let stores = ops.iter().filter(|op| matches!(op, Op::Store(_))).count();
         let frac = stores as f64 / mem as f64;
         assert!((frac - 0.25).abs() < 0.03, "store fraction {frac}");
     }
 
     #[test]
     fn address_populations_land_in_their_regions() {
-        let ops: Vec<_> = SyntheticWorkload::new(params(), 3).unwrap().take(100_000).collect();
+        let ops: Vec<_> = SyntheticWorkload::new(params(), 3)
+            .unwrap()
+            .take(100_000)
+            .collect();
         let addrs: Vec<u64> = ops.iter().filter_map(|op| op.address()).collect();
         let hot = addrs.iter().filter(|&&a| a < RESIDENT_BASE).count();
         let resident = addrs

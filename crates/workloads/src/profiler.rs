@@ -120,11 +120,8 @@ pub fn profile(benchmark: &Benchmark, opts: &ProfilerOptions) -> ProfileGrid {
                 * (0.30 / benchmark.params.memory_fraction).max(1.0))
                 as u64;
             let mut system = SingleCoreSystem::new(&platform);
-            let report = system.run_with_warmup(
-                benchmark.stream(opts.seed),
-                warmup,
-                opts.instructions,
-            );
+            let report =
+                system.run_with_warmup(benchmark.stream(opts.seed), warmup, opts.instructions);
             points.push(ProfilePoint {
                 cache,
                 bandwidth,
@@ -162,10 +159,7 @@ mod tests {
     fn peak_is_best_corner() {
         let grid = profile(by_name("histogram").unwrap(), &quick_opts());
         let corner = grid
-            .ipc_at(
-                CacheSize::from_mib(2),
-                PlatformConfig::bandwidth_sweep()[4],
-            )
+            .ipc_at(CacheSize::from_mib(2), PlatformConfig::bandwidth_sweep()[4])
             .unwrap();
         assert_eq!(grid.peak_ipc(), corner);
     }

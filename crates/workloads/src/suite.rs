@@ -235,7 +235,11 @@ mod tests {
                 Some(pos) => mix.paper_annotation[..pos].parse().unwrap(),
                 None => 0,
             };
-            let slack = if mix.id == "WD4" || mix.id == "WD5" { 1 } else { 0 };
+            let slack = if mix.id == "WD4" || mix.id == "WD5" {
+                1
+            } else {
+                0
+            };
             assert!(
                 (c as i64 - annotated_c as i64).unsigned_abs() as usize <= slack,
                 "{}: ours {c}C vs paper {annotated_c}C",

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // 1. Profile and fit each co-located application.
-    println!("profiling {} applications on the Table-1 grid...", names.len());
+    println!(
+        "profiling {} applications on the Table-1 grid...",
+        names.len()
+    );
     let mut agents: Vec<CobbDouglas> = Vec::new();
     for name in names {
         let bench = by_name(name).expect("known benchmark");
@@ -36,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let points: Vec<FitPoint> = grid
             .points
             .iter()
-            .map(|p| {
-                FitPoint::new(vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()], p.ipc)
-            })
+            .map(|p| FitPoint::new(vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()], p.ipc))
             .collect::<Result<_, _>>()?;
         let fit = fit_cobb_douglas(&points)?;
         let u = fit.utility().rescaled();

@@ -1,0 +1,148 @@
+//! A long-running REF market with agent churn (§4.4 as a service).
+//!
+//! Four agents with hidden Cobb-Douglas utilities join a two-resource
+//! market (24 GB/s bandwidth, 12 MB cache) in two waves. Each epoch the
+//! engine refits every agent's utility from performance observations,
+//! recomputes fair shares only when the fitted population actually moved
+//! (incremental reallocation), audits SI/EF/PE, and enforces the shares
+//! with a stride scheduler. Mid-run the market is snapshotted, serialized,
+//! restored, and shown to allocate bit-identically. Finally one agent
+//! leaves and another changes demand, and the market re-converges.
+//!
+//! Run with: `cargo run --example market_service`
+
+use ref_fairness::core::resource::Capacity;
+use ref_fairness::core::utility::CobbDouglas;
+use ref_fairness::market::{
+    MarketConfig, MarketEngine, MarketEvent, MarketSnapshot, ObservationSource,
+};
+
+fn truth(e0: f64, e1: f64) -> ObservationSource {
+    ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![e0, e1]).expect("valid utility"))
+}
+
+fn tick(market: &mut MarketEngine, epochs: usize) -> Vec<ref_fairness::market::EpochReport> {
+    market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, epochs));
+    market.pump().expect("valid events")
+}
+
+fn print_state(market: &MarketEngine, truths: &[(u64, [f64; 2])]) {
+    for &(id, t) in truths {
+        let Some(agent) = market.agent(id) else {
+            continue;
+        };
+        let u = agent.reported_utility();
+        println!(
+            "    agent {id}: fitted ({:.3}, {:.3})  true ({:.2}, {:.2})  refits {}",
+            u.elasticity(0),
+            u.elasticity(1),
+            t[0],
+            t[1],
+            agent.estimator.refits()
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let capacity = Capacity::new(vec![24.0, 12.0])?;
+    let mut market = MarketEngine::new(MarketConfig::new(capacity).with_seed(7))?;
+
+    println!("=== Phase 1: two agents join, 20 epochs ===");
+    market.submit(MarketEvent::AgentJoined {
+        id: 1,
+        source: truth(0.6, 0.4),
+    });
+    market.submit(MarketEvent::AgentJoined {
+        id: 2,
+        source: truth(0.2, 0.8),
+    });
+    let reports = tick(&mut market, 20);
+    let truths = [(1, [0.6, 0.4]), (2, [0.2, 0.8])];
+    print_state(&market, &truths);
+    let alloc = reports.last().unwrap().allocation.as_ref().unwrap();
+    println!(
+        "    allocation: agent 1 ({:.2} GB/s, {:.2} MB), agent 2 ({:.2} GB/s, {:.2} MB)",
+        alloc.bundle(0).get(0),
+        alloc.bundle(0).get(1),
+        alloc.bundle(1).get(0),
+        alloc.bundle(1).get(1)
+    );
+    // The paper's running example: the true REF point is (18, 4) / (6, 8).
+    assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.5);
+    assert!((alloc.bundle(1).get(1) - 8.0).abs() < 0.5);
+
+    println!("\n=== Phase 2: two more join (4-agent market), 20 epochs ===");
+    market.submit(MarketEvent::AgentJoined {
+        id: 3,
+        source: truth(0.5, 0.5),
+    });
+    market.submit(MarketEvent::AgentJoined {
+        id: 4,
+        source: truth(0.75, 0.25),
+    });
+    tick(&mut market, 20);
+    let truths = [
+        (1, [0.6, 0.4]),
+        (2, [0.2, 0.8]),
+        (3, [0.5, 0.5]),
+        (4, [0.75, 0.25]),
+    ];
+    print_state(&market, &truths);
+    for &(id, t) in &truths {
+        let fitted = market.agent(id).unwrap().reported_utility();
+        assert!(
+            (fitted.elasticity(0) - t[0]).abs() < 0.05,
+            "agent {id} did not converge: {fitted:?}"
+        );
+    }
+
+    println!("\n=== Snapshot / restore round-trip ===");
+    let text = market.snapshot().encode();
+    println!(
+        "    serialized market: {} bytes, {} agents",
+        text.len(),
+        market.num_live_agents()
+    );
+    let mut restored = MarketEngine::restore(&MarketSnapshot::decode(&text)?)?;
+    let (a, b) = (
+        tick(&mut market, 1).pop().unwrap(),
+        tick(&mut restored, 1).pop().unwrap(),
+    );
+    let (x, y) = (a.allocation.unwrap(), b.allocation.unwrap());
+    for (bx, by) in x.bundles().iter().zip(y.bundles()) {
+        for r in 0..bx.num_resources() {
+            assert_eq!(
+                bx.get(r).to_bits(),
+                by.get(r).to_bits(),
+                "restored allocation diverged"
+            );
+        }
+    }
+    println!("    next-epoch allocations are bit-identical ✓");
+
+    println!("\n=== Phase 3: agent 2 leaves, agent 1 changes demand, 15 epochs ===");
+    market.submit(MarketEvent::AgentLeft { id: 2 });
+    market.submit(MarketEvent::DemandChanged {
+        id: 1,
+        new_truth: Some(CobbDouglas::new(1.0, vec![0.3, 0.7])?),
+    });
+    tick(&mut market, 15);
+    print_state(
+        &market,
+        &[(1, [0.3, 0.7]), (3, [0.5, 0.5]), (4, [0.75, 0.25])],
+    );
+
+    println!("\n=== Service summary after {} epochs ===", market.epoch());
+    println!("    {}", market.metrics());
+    let audit = market.auditor();
+    println!(
+        "    audited {} epochs: SI violations after warm-up = {}",
+        audit.epochs_audited,
+        audit.si_violations_after_warmup()
+    );
+    assert!(market.epoch() >= 50, "ran {} epochs", market.epoch());
+    assert_eq!(audit.si_violations_after_warmup(), 0);
+    assert!(audit.clean_after_warmup());
+    println!("    all post-warm-up epochs satisfied SI, EF and PE ✓");
+    Ok(())
+}

@@ -24,10 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("round | est. elasticities (bw) | allocation of user 1 (bw, cache)");
     for round in 0..12_u32 {
-        let reported: Vec<CobbDouglas> = estimators
-            .iter()
-            .map(|e| e.utility().rescaled())
-            .collect();
+        let reported: Vec<CobbDouglas> =
+            estimators.iter().map(|e| e.utility().rescaled()).collect();
         let alloc = ProportionalElasticity.allocate(&reported, &capacity)?;
         println!(
             "{round:>5} | u1 bw {:.3}, u2 bw {:.3}   | ({:>5.2} GB/s, {:>5.2} MB)",

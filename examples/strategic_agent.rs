@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = [0.8, 0.2];
     let capacity = [100.0, 12.0]; // a large server: >100 GB/s, 12 MB
 
-    println!("strategic tenant with true elasticities (bw {:.1}, cache {:.1})", truth[0], truth[1]);
+    println!(
+        "strategic tenant with true elasticities (bw {:.1}, cache {:.1})",
+        truth[0], truth[1]
+    );
     println!();
     println!(
         "{:>8} {:>22} {:>14} {:>12}",

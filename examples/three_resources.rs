@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example three_resources`
 
-use ref_fairness::core::mechanism::{
-    EqualSlowdown, MaxWelfare, Mechanism, ProportionalElasticity,
-};
+use ref_fairness::core::mechanism::{EqualSlowdown, MaxWelfare, Mechanism, ProportionalElasticity};
 use ref_fairness::core::properties::FairnessReport;
 use ref_fairness::core::resource::Capacity;
 use ref_fairness::core::utility::CobbDouglas;

@@ -313,7 +313,10 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         assert!(Colocation::new().run().is_err());
-        let e = Colocation::new().tenant("not_a_benchmark").run().unwrap_err();
+        let e = Colocation::new()
+            .tenant("not_a_benchmark")
+            .run()
+            .unwrap_err();
         assert!(e.to_string().contains("not_a_benchmark"));
     }
 

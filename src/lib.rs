@@ -5,12 +5,14 @@
 //! enforcement weights in one builder call).
 //!
 //! See [`ref_core`] for the paper's contribution (mechanisms and property
-//! checkers), and the substrate crates [`ref_sim`], [`ref_workloads`],
+//! checkers), [`ref_market`] for the long-running epoch-driven allocation
+//! service, and the substrate crates [`ref_sim`], [`ref_workloads`],
 //! [`ref_solver`], [`ref_sched`].
 
 pub mod colocation;
 
 pub use ref_core as core;
+pub use ref_market as market;
 pub use ref_sched as sched;
 pub use ref_sim as sim;
 pub use ref_solver as solver;

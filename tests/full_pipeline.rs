@@ -26,7 +26,10 @@ fn fit_named(name: &str) -> CobbDouglas {
         .iter()
         .map(|p| FitPoint::new(vec![p.bandwidth.gb_per_sec(), p.cache.mib_f64()], p.ipc).unwrap())
         .collect();
-    fit_cobb_douglas(&pts).expect("grid is full rank").utility().clone()
+    fit_cobb_douglas(&pts)
+        .expect("grid is full rank")
+        .utility()
+        .clone()
 }
 
 #[test]
@@ -66,7 +69,10 @@ fn enforced_allocation_reflects_preferences_in_simulator() {
         .collect();
     let mut system = MulticoreSystem::new(&platform, &cache_shares, &bw_shares)
         .with_dependent_load_fractions(deps);
-    let streams: Vec<_> = names.iter().map(|n| by_name(n).unwrap().stream(3)).collect();
+    let streams: Vec<_> = names
+        .iter()
+        .map(|n| by_name(n).unwrap().stream(3))
+        .collect();
     let reports = system.run(streams, 120_000);
 
     // The cache-preferring agent received most of the L2 and should enjoy

@@ -46,7 +46,9 @@ fn fair_mechanisms_satisfy_all_properties() {
 #[test]
 fn unconstrained_nash_maximizes_nash_welfare() {
     let (agents, c) = (agents(), capacity());
-    let unfair = MaxWelfare::without_fairness().allocate(&agents, &c).unwrap();
+    let unfair = MaxWelfare::without_fairness()
+        .allocate(&agents, &c)
+        .unwrap();
     for other in [
         ProportionalElasticity.allocate(&agents, &c).unwrap(),
         EqualShare.allocate(&agents, &c).unwrap(),
@@ -66,7 +68,9 @@ fn equal_slowdown_maximizes_the_minimum() {
     for other in [
         ProportionalElasticity.allocate(&agents, &c).unwrap(),
         EqualShare.allocate(&agents, &c).unwrap(),
-        MaxWelfare::without_fairness().allocate(&agents, &c).unwrap(),
+        MaxWelfare::without_fairness()
+            .allocate(&agents, &c)
+            .unwrap(),
     ] {
         assert!(best_min >= egalitarian_welfare(&agents, &other, &c) * (1.0 - 1e-3));
     }
@@ -79,7 +83,9 @@ fn fairness_penalty_is_bounded() {
     // The paper's headline: fairness costs < 10% throughput.
     let (agents, c) = (agents(), capacity());
     let fair = MaxWelfare::with_fairness().allocate(&agents, &c).unwrap();
-    let unfair = MaxWelfare::without_fairness().allocate(&agents, &c).unwrap();
+    let unfair = MaxWelfare::without_fairness()
+        .allocate(&agents, &c)
+        .unwrap();
     let t_fair = weighted_system_throughput(&agents, &fair, &c);
     let t_unfair = weighted_system_throughput(&agents, &unfair, &c);
     assert!(

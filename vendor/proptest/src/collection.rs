@@ -1,0 +1,101 @@
+//! Collection strategies: `vec` with a size or size range.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive range of collection sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, end: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            end: r.end() + 1,
+        }
+    }
+}
+
+/// Strategy generating `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_size_from_usize() {
+        let mut rng = TestRng::for_test("collection::fixed");
+        let s = vec(0.0..1.0f64, 4usize);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn ranged_size_spans_support() {
+        let mut rng = TestRng::for_test("collection::ranged");
+        let s = vec(0u64..10, 1..4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn nested_tuples_inside_vec() {
+        let mut rng = TestRng::for_test("collection::nested");
+        let s = vec((0u64..16, 0u64..100), 1..5);
+        let v = s.new_value(&mut rng);
+        assert!(v.iter().all(|&(a, b)| a < 16 && b < 100));
+    }
+}

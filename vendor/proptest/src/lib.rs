@@ -1,0 +1,196 @@
+//! A vendored, offline subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace ships the
+//! slice of proptest its test suites actually use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! - numeric range strategies, tuple strategies, and
+//!   [`collection::vec`],
+//! - [`ProptestConfig`](test_runner::ProptestConfig) with `with_cases`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test's module path and name) and there
+//! is **no shrinking** — a failing case reports the generated values and
+//! panics immediately. That trade keeps the implementation small while
+//! preserving the load-bearing property: every invariant is exercised
+//! against hundreds of pseudo-random inputs on every `cargo test` run.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+
+/// Mirrors `proptest::prelude::prop` far enough for `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports used by test files.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// that runs `body` against `config.cases` pseudo-random draws from the
+/// argument strategies. The body may use `prop_assert!`-family macros and
+/// may `return Ok(())` to accept a case early.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strat = ( $( $strat, )+ );
+            for case in 0..config.cases {
+                let ( $( $arg, )+ ) =
+                    $crate::strategy::Strategy::new_value(&strat, &mut rng);
+                let described = format!(
+                    concat!( $( stringify!($arg), " = {:?}, ", )+ ),
+                    $( &$arg ),+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        described
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 2.0..7.5f64, n in 1u32..9) {
+            prop_assert!((2.0..7.5).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in collection::vec(0.0..1.0f64, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+        }
+
+        #[test]
+        fn prop_map_applies(sq in (0i32..100).prop_map(|v| v * v)) {
+            let root = (sq as f64).sqrt().round() as i32;
+            prop_assert_eq!(root * root, sq);
+        }
+
+        #[test]
+        fn early_return_accepts(case in 0u64..10) {
+            if case % 2 == 0 {
+                return Ok(());
+            }
+            prop_assert!(case % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test() {
+        use crate::strategy::Strategy;
+        let s = (0.0..1.0f64, crate::collection::vec(0u64..100, 2..5));
+        let mut a = crate::test_runner::TestRng::for_test("same::name");
+        let mut b = crate::test_runner::TestRng::for_test("same::name");
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}
