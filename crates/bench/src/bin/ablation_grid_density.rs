@@ -5,7 +5,7 @@
 //! reports how much the re-scaled elasticities move — quantifying how much
 //! profiling effort the mechanism actually needs.
 
-use ref_bench::pipeline::fit_points;
+use ref_bench::pipeline::{fit_points, init_jobs};
 use ref_core::fitting::fit_cobb_douglas;
 use ref_sim::config::{Bandwidth, CacheSize};
 use ref_workloads::profiler::{profile, ProfilerOptions};
@@ -18,6 +18,7 @@ fn geometric_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 }
 
 fn main() {
+    init_jobs();
     let workloads = ["raytrace", "histogram", "canneal", "dedup", "fft"];
     // 5x5 (the paper's grid) first so sparser/denser grids report drift
     // against it.

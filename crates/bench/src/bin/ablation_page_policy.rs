@@ -6,7 +6,7 @@
 //! C/M classification move — probing whether REF's inputs are robust to
 //! the memory controller's policy.
 
-use ref_bench::pipeline::fit_points;
+use ref_bench::pipeline::{fit_points, init_jobs};
 use ref_core::fitting::fit_cobb_douglas;
 use ref_sim::config::{PagePolicy, PlatformConfig};
 use ref_sim::system::SingleCoreSystem;
@@ -44,6 +44,7 @@ fn profile_with_policy(
 }
 
 fn main() {
+    init_jobs();
     let opts = ProfilerOptions {
         warmup_instructions: 80_000,
         instructions: 150_000,

@@ -6,7 +6,7 @@
 //! move — probing whether REF's inputs are robust to the core's prefetch
 //! configuration.
 
-use ref_bench::pipeline::fit_points;
+use ref_bench::pipeline::{fit_points, init_jobs};
 use ref_core::fitting::fit_cobb_douglas;
 use ref_sim::config::PlatformConfig;
 use ref_sim::system::SingleCoreSystem;
@@ -38,6 +38,7 @@ fn profile_with_prefetch(bench: &Benchmark, opts: &ProfilerOptions, prefetch: bo
 }
 
 fn main() {
+    init_jobs();
     let opts = ProfilerOptions {
         warmup_instructions: 80_000,
         instructions: 150_000,

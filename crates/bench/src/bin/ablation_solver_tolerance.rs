@@ -6,8 +6,8 @@
 //! to the closed form and iteration counts — validating both the solver and
 //! the paper's "computationally trivial" contrast.
 
+use ref_bench::pipeline::capacity_for_agents;
 use ref_core::mechanism::{Mechanism, ProportionalElasticity};
-use ref_core::resource::Capacity;
 use ref_core::utility::CobbDouglas;
 use ref_solver::barrier::BarrierOptions;
 use ref_solver::gp::{GeometricProgram, Monomial, Posynomial};
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CobbDouglas::new(1.0, vec![0.2, 0.8])?,
         CobbDouglas::new(1.0, vec![0.5, 0.5])?,
     ];
-    let capacity = Capacity::new(vec![24.0, 12.0])?;
+    let capacity = capacity_for_agents(4);
     let exact = ProportionalElasticity.allocate(&agents, &capacity)?;
 
     println!("Ablation: interior-point tolerance vs REF closed form");

@@ -5,8 +5,9 @@
 //! and 32-way partitions and reports each agent's utility loss relative to
 //! the continuous allocation — the cost of coarse partitioning hardware.
 
+use ref_bench::pipeline::capacity_for_agents;
 use ref_core::mechanism::{Mechanism, ProportionalElasticity};
-use ref_core::resource::{Bundle, Capacity};
+use ref_core::resource::Bundle;
 use ref_core::utility::{CobbDouglas, Utility};
 use ref_sim::cache::partition_ways;
 
@@ -17,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CobbDouglas::new(1.0, vec![0.55, 0.45])?,
         CobbDouglas::new(1.0, vec![0.45, 0.55])?,
     ];
-    let capacity = Capacity::new(vec![24.0, 12.0])?;
+    let capacity = capacity_for_agents(4);
     let continuous = ProportionalElasticity.allocate(&agents, &capacity)?;
     let cache_shares: Vec<f64> = continuous
         .bundles()

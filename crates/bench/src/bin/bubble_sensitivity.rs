@@ -4,10 +4,12 @@
 //! prints each target's IPC degradation curve — the alternative profiling
 //! route the paper cites for machines without partitionable hardware.
 
+use ref_bench::pipeline::init_jobs;
 use ref_workloads::bubble::bubble_profile;
 use ref_workloads::profiles::by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    init_jobs();
     let pressures = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let targets = ["raytrace", "histogram", "canneal", "dedup", "radiosity"];
 

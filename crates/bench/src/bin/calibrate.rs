@@ -2,11 +2,13 @@
 //! spectrum with expected-class agreement. Used to tune the synthetic
 //! workload parameters; `fig09_elasticities` is the paper-facing version.
 
+use ref_bench::pipeline::init_jobs;
 use ref_core::fitting::{fit_cobb_douglas, FitPoint};
 use ref_workloads::profiler::{profile, ProfilerOptions};
 use ref_workloads::profiles::{PreferenceClass, BENCHMARKS};
 
 fn main() {
+    init_jobs();
     let opts = ProfilerOptions {
         warmup_instructions: 80_000,
         instructions: 150_000,

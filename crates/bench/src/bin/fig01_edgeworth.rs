@@ -4,15 +4,15 @@
 //! (user 1 takes 6 GB/s + 8 MB, leaving 18 GB/s + 4 MB), and a coarse grid
 //! of feasible allocations with both users' utilities.
 
+use ref_bench::pipeline::capacity_for_agents;
 use ref_core::edgeworth::{BoxPoint, EdgeworthBox};
-use ref_core::resource::Capacity;
 use ref_core::utility::CobbDouglas;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eb = EdgeworthBox::new(
         CobbDouglas::new(1.0, vec![0.6, 0.4])?,
         CobbDouglas::new(1.0, vec![0.2, 0.8])?,
-        Capacity::new(vec![24.0, 12.0])?,
+        capacity_for_agents(4),
     )?;
 
     println!("Figure 1: Edgeworth box (24 GB/s memory bandwidth x 12 MB cache)");

@@ -4,15 +4,15 @@
 //! cache interval in which each user is envy-free, plus the three
 //! always-EF points the paper calls out (midpoint and the two corners).
 
+use ref_bench::pipeline::capacity_for_agents;
 use ref_core::edgeworth::{BoxPoint, EdgeworthBox};
-use ref_core::resource::Capacity;
 use ref_core::utility::CobbDouglas;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eb = EdgeworthBox::new(
         CobbDouglas::new(1.0, vec![0.6, 0.4])?,
         CobbDouglas::new(1.0, vec![0.2, 0.8])?,
-        Capacity::new(vec![24.0, 12.0])?,
+        capacity_for_agents(4),
     )?;
 
     println!("Figure 2: envy-free (EF) regions");

@@ -3,15 +3,16 @@
 //! Prints the curve (tangency of the users' marginal rates of substitution,
 //! Eq. 10) and verifies the tangency along it.
 
+use ref_bench::pipeline::capacity_for_agents;
 use ref_core::edgeworth::EdgeworthBox;
-use ref_core::resource::{Bundle, Capacity};
+use ref_core::resource::Bundle;
 use ref_core::utility::CobbDouglas;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eb = EdgeworthBox::new(
         CobbDouglas::new(1.0, vec![0.6, 0.4])?,
         CobbDouglas::new(1.0, vec![0.2, 0.8])?,
-        Capacity::new(vec![24.0, 12.0])?,
+        capacity_for_agents(4),
     )?;
 
     println!("Figure 5: contract curve (Pareto-efficient set)");

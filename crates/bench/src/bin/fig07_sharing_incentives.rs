@@ -4,15 +4,15 @@
 //! without the SI constraint (Eqs. 4–5) and shows the REF point satisfies
 //! all three.
 
+use ref_bench::pipeline::capacity_for_agents;
 use ref_core::edgeworth::EdgeworthBox;
-use ref_core::resource::Capacity;
 use ref_core::utility::CobbDouglas;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eb = EdgeworthBox::new(
         CobbDouglas::new(1.0, vec![0.6, 0.4])?,
         CobbDouglas::new(1.0, vec![0.2, 0.8])?,
-        Capacity::new(vec![24.0, 12.0])?,
+        capacity_for_agents(4),
     )?;
 
     println!("Figure 7: sharing incentives (SI) shrink the fair set");

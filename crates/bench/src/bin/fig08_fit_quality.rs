@@ -8,11 +8,12 @@
 //! - Fig. 8c: the same for low-R-squared workloads (radiosity,
 //!   string_match).
 
-use ref_bench::pipeline::{experiment_options, fit_benchmark};
+use ref_bench::pipeline::{experiment_options, fit_benchmark, fit_benchmarks, init_jobs};
 use ref_sim::config::PlatformConfig;
-use ref_workloads::profiles::{by_name, BENCHMARKS};
+use ref_workloads::profiles::{by_name, Benchmark, BENCHMARKS};
 
 fn main() {
+    init_jobs();
     let p = PlatformConfig::asplos14();
     println!("Table 1: platform parameters");
     println!(
@@ -49,11 +50,10 @@ fn main() {
     let opts = experiment_options();
     println!("Figure 8a: coefficient of determination per workload");
     println!("{:<18} {:>8}", "workload", "R^2");
-    let mut fits = Vec::new();
-    for b in &BENCHMARKS {
-        let f = fit_benchmark(b, &opts);
+    let refs: Vec<&Benchmark> = BENCHMARKS.iter().collect();
+    let fits = fit_benchmarks(&refs, &opts);
+    for f in &fits {
         println!("{:<18} {:>8.3}", f.name, f.r_squared);
-        fits.push(f);
     }
     let good = fits.iter().filter(|f| f.r_squared >= 0.7).count();
     println!(

@@ -4,10 +4,11 @@
 //! elasticities (Eq. 12) and the derived preference class: `C` when
 //! `alpha_cache > 0.5`, `M` otherwise.
 
-use ref_bench::pipeline::{experiment_options, fit_benchmark};
-use ref_workloads::profiles::{PreferenceClass, BENCHMARKS};
+use ref_bench::pipeline::{experiment_options, fit_benchmarks, init_jobs};
+use ref_workloads::profiles::{Benchmark, PreferenceClass, BENCHMARKS};
 
 fn main() {
+    init_jobs();
     let opts = experiment_options();
     println!("Figure 9: re-scaled elasticities (Eq. 12) and C/M classes");
     println!();
@@ -16,8 +17,8 @@ fn main() {
         "workload", "a_cache", "a_mem", "class", "expected"
     );
     let mut agree = 0;
-    for b in &BENCHMARKS {
-        let f = fit_benchmark(b, &opts);
+    let refs: Vec<&Benchmark> = BENCHMARKS.iter().collect();
+    for (b, f) in BENCHMARKS.iter().zip(fit_benchmarks(&refs, &opts)) {
         let (a_mem, a_cache) = f.rescaled_elasticities();
         let expected = match b.expected_class {
             PreferenceClass::Cache => "C",

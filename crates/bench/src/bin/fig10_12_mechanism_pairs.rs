@@ -11,7 +11,7 @@
 //! For each pair and mechanism, prints the allocation as a percentage of
 //! total capacity and the SI / EF / PE verdicts.
 
-use ref_bench::pipeline::{experiment_options, fit_benchmark};
+use ref_bench::pipeline::{capacity_for_agents, experiment_options, fit_benchmark, init_jobs};
 use ref_core::mechanism::{EqualSlowdown, Mechanism, ProportionalElasticity};
 use ref_core::properties::FairnessReport;
 use ref_core::resource::{Allocation, Capacity};
@@ -74,9 +74,10 @@ fn ef_detail(r: &FairnessReport, names: [&str; 2]) -> String {
 }
 
 fn main() {
+    init_jobs();
     let opts = experiment_options();
     // The paper's pair studies use a chip with 24 GB/s and 12 MB (§5.4).
-    let capacity = Capacity::new(vec![24.0, 12.0]).expect("positive capacities");
+    let capacity = capacity_for_agents(4);
 
     let cases = [
         ("Figure 10", ["histogram", "dedup"], "C-M pair"),

@@ -6,13 +6,14 @@
 //! the two fair mechanisms coincide; the price of game-theoretic fairness
 //! stays under ~10%.
 
-use ref_bench::pipeline::{capacity_for_agents, experiment_options, fit_mix};
+use ref_bench::pipeline::{capacity_for_agents, experiment_options, fit_mix, init_jobs};
 use ref_core::mechanism::{EqualSlowdown, MaxWelfare, Mechanism, ProportionalElasticity};
 use ref_core::utility::CobbDouglas;
 use ref_core::welfare::weighted_system_throughput;
 use ref_workloads::suite::four_core_mixes;
 
 fn main() {
+    init_jobs();
     let opts = experiment_options();
     let capacity = capacity_for_agents(4);
     let mechanisms: Vec<Box<dyn Mechanism>> = vec![

@@ -1,0 +1,142 @@
+//! Performance-trajectory harness: times the profiling pipeline serial
+//! vs parallel, measures raw simulator throughput, exercises the
+//! simulation memo, and emits `BENCH_pipeline.json` so successive
+//! revisions can be compared.
+//!
+//! ```text
+//! cargo run --release -p ref-bench --bin perf_report           # full
+//! cargo run --release -p ref-bench --bin perf_report -- --quick
+//! cargo run --release -p ref-bench --bin perf_report -- --jobs 8
+//! ```
+//!
+//! The parallel sweep is checked bit-for-bit against the serial sweep
+//! before any timing is reported; a divergence aborts the run. On a
+//! single-core host the speedup column degenerates to ~1.0x — the JSON
+//! records `host_threads` so downstream tooling can tell "no speedup"
+//! from "no parallelism available".
+
+use std::time::Instant;
+
+use ref_bench::pipeline::init_jobs;
+use ref_sim::config::PlatformConfig;
+use ref_sim::system::SingleCoreSystem;
+use ref_workloads::memo;
+use ref_workloads::profiler::{profile, ProfileGrid, ProfilerOptions};
+use ref_workloads::profiles::{Benchmark, BENCHMARKS};
+
+/// Benchmarks covered by the sweep timings: a slice of the suite large
+/// enough to keep every worker busy.
+const SWEEP_BENCHMARKS: usize = 8;
+
+fn sweep_options(quick: bool, threads: Option<usize>, use_memo: bool) -> ProfilerOptions {
+    let (warmup, instructions) = if quick {
+        (20_000, 30_000)
+    } else {
+        (80_000, 150_000)
+    };
+    ProfilerOptions {
+        warmup_instructions: warmup,
+        instructions,
+        threads,
+        use_memo,
+        ..ProfilerOptions::default()
+    }
+}
+
+fn sweep(benches: &[&Benchmark], opts: &ProfilerOptions) -> (Vec<ProfileGrid>, f64) {
+    let start = Instant::now();
+    let grids = benches.iter().map(|b| profile(b, opts)).collect();
+    (grids, start.elapsed().as_secs_f64())
+}
+
+fn grids_identical(a: &[ProfileGrid], b: &[ProfileGrid]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.workload == y.workload
+                && x.points.len() == y.points.len()
+                && x.points
+                    .iter()
+                    .zip(&y.points)
+                    .all(|(p, q)| p.ipc.to_bits() == q.ipc.to_bits())
+        })
+}
+
+/// Raw simulator throughput: simulated cycles per wall-clock second on
+/// the Table-1 platform.
+fn sim_cycles_per_sec(quick: bool) -> f64 {
+    let instructions = if quick { 200_000 } else { 1_000_000 };
+    let platform = PlatformConfig::asplos14();
+    let bench = &BENCHMARKS[0];
+    let start = Instant::now();
+    let mut system = SingleCoreSystem::new(&platform);
+    let report = system.run(bench.stream(1), instructions);
+    report.cycles / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let rest = init_jobs();
+    let quick = rest.iter().any(|a| a == "--quick");
+    if let Some(unknown) = rest.iter().find(|a| *a != "--quick") {
+        eprintln!("unknown argument {unknown:?}; supported: --quick, --jobs N");
+        std::process::exit(2);
+    }
+    let threads = ref_pool::threads();
+    let benches: Vec<&Benchmark> = BENCHMARKS.iter().take(SWEEP_BENCHMARKS).collect();
+    println!(
+        "perf_report: {} benchmarks x 25-point grid, pool width {threads}{}",
+        benches.len(),
+        if quick { " (quick)" } else { "" }
+    );
+
+    let cps = sim_cycles_per_sec(quick);
+    println!(
+        "simulator throughput: {:.2}M simulated cycles/sec",
+        cps / 1e6
+    );
+
+    let (serial_grids, serial_secs) = sweep(&benches, &sweep_options(quick, Some(1), false));
+    println!("serial sweep   (1 thread):  {serial_secs:.3} s");
+
+    let (parallel_grids, parallel_secs) = sweep(&benches, &sweep_options(quick, None, false));
+    println!("parallel sweep ({threads} threads): {parallel_secs:.3} s");
+
+    if !grids_identical(&serial_grids, &parallel_grids) {
+        eprintln!("FATAL: parallel sweep diverged from serial sweep");
+        std::process::exit(1);
+    }
+    let speedup = serial_secs / parallel_secs;
+    println!("speedup: {speedup:.2}x (bit-identical grids verified)");
+
+    // Memo: a cold pass populates it, a warm pass should be ~free.
+    memo::clear();
+    let memo_opts = sweep_options(quick, None, true);
+    let (_, cold_secs) = sweep(&benches, &memo_opts);
+    let (warm_grids, warm_secs) = sweep(&benches, &memo_opts);
+    let stats = memo::stats();
+    if !grids_identical(&serial_grids, &warm_grids) {
+        eprintln!("FATAL: memoised sweep diverged from serial sweep");
+        std::process::exit(1);
+    }
+    println!(
+        "memo: cold {cold_secs:.3} s, warm {warm_secs:.3} s, {} hits / {} misses ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"host_threads\": {threads},\n  \
+         \"benchmarks\": {},\n  \"grid_points\": 25,\n  \
+         \"sim_cycles_per_sec\": {cps:.0},\n  \
+         \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"memo_cold_secs\": {cold_secs:.6},\n  \"memo_warm_secs\": {warm_secs:.6},\n  \
+         \"memo_hits\": {},\n  \"memo_misses\": {},\n  \
+         \"bit_identical\": true\n}}\n",
+        benches.len(),
+        stats.hits,
+        stats.misses
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

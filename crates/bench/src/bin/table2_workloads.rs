@@ -4,26 +4,34 @@
 //! classification (see EXPERIMENTS.md for the two mixes where the paper's
 //! own annotation disagrees with its §5.3 classification).
 
-use ref_bench::pipeline::{experiment_options, fit_benchmark};
-use ref_workloads::profiles::by_name;
+use std::collections::HashMap;
+
+use ref_bench::pipeline::{experiment_options, fit_benchmarks, init_jobs};
+use ref_workloads::profiles::{by_name, Benchmark};
 use ref_workloads::suite::all_mixes;
 
 fn main() {
+    init_jobs();
     let opts = experiment_options();
     println!("Table 2: workload characterization");
     println!();
-    let mut cache = std::collections::HashMap::new();
+    // Fit every distinct member across all mixes in one parallel batch.
+    let mut names: Vec<&'static str> = Vec::new();
     for mix in all_mixes() {
-        let classes: Vec<&'static str> = mix
-            .members
-            .iter()
-            .map(|name| {
-                *cache.entry(*name).or_insert_with(|| {
-                    let f = fit_benchmark(by_name(name).expect("known"), &opts);
-                    f.class()
-                })
-            })
-            .collect();
+        for name in mix.members.iter() {
+            if !names.contains(name) {
+                names.push(name);
+            }
+        }
+    }
+    let benches: Vec<&Benchmark> = names.iter().map(|n| by_name(n).expect("known")).collect();
+    let cache: HashMap<&str, &'static str> = names
+        .iter()
+        .copied()
+        .zip(fit_benchmarks(&benches, &opts).iter().map(|f| f.class()))
+        .collect();
+    for mix in all_mixes() {
+        let classes: Vec<&'static str> = mix.members.iter().map(|name| cache[name]).collect();
         let c = classes.iter().filter(|c| **c == "C").count();
         let m = classes.len() - c;
         println!(

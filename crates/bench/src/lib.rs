@@ -11,4 +11,6 @@
 
 pub mod pipeline;
 
-pub use pipeline::{capacity_for_agents, fit_benchmark, fit_mix, FittedWorkload};
+pub use pipeline::{
+    capacity_for_agents, fit_benchmark, fit_benchmarks, fit_mix, init_jobs, FittedWorkload,
+};

@@ -78,18 +78,64 @@ pub fn fit_benchmark(benchmark: &Benchmark, opts: &ProfilerOptions) -> FittedWor
     }
 }
 
-/// Profiles and fits every member of a mix, caching repeated members.
+/// Profiles and fits a set of benchmarks concurrently, one pool task per
+/// benchmark. Each task's inner grid sweep runs serially (nested pool use
+/// is inline), so parallelism comes from the benchmark fan-out without
+/// oversubscribing. Output order matches input order and every fit is
+/// bit-identical to [`fit_benchmark`] run serially.
+pub fn fit_benchmarks(benchmarks: &[&Benchmark], opts: &ProfilerOptions) -> Vec<FittedWorkload> {
+    ref_pool::par_map(benchmarks.len(), |i| fit_benchmark(benchmarks[i], opts))
+}
+
+/// Profiles and fits every member of a mix. Distinct members are fitted
+/// concurrently; repeated members are fitted once and cloned.
 pub fn fit_mix(mix: &WorkloadMix, opts: &ProfilerOptions) -> Vec<FittedWorkload> {
-    let mut cache: HashMap<&str, FittedWorkload> = HashMap::new();
-    mix.benchmarks()
+    let members = mix.benchmarks();
+    let mut unique: Vec<&Benchmark> = Vec::new();
+    for b in &members {
+        if !unique.iter().any(|u| u.name == b.name) {
+            unique.push(b);
+        }
+    }
+    let fitted: HashMap<&str, FittedWorkload> = unique
+        .iter()
+        .map(|b| b.name)
+        .zip(fit_benchmarks(&unique, opts))
+        .collect();
+    members
         .into_iter()
-        .map(|b| {
-            cache
-                .entry(b.name)
-                .or_insert_with(|| fit_benchmark(b, opts))
-                .clone()
-        })
+        .map(|b| fitted[b.name].clone())
         .collect()
+}
+
+/// Applies a `--jobs N` / `--jobs=N` / `-j N` command-line override of
+/// the worker-pool width (0 or the flag's absence keeps the default:
+/// `REF_THREADS`, then host parallelism) and returns the remaining
+/// arguments, program name excluded.
+///
+/// # Panics
+///
+/// Panics with a usage message if the flag is present without a count.
+pub fn init_jobs() -> Vec<String> {
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{arg} requires a thread count"));
+            ref_pool::set_threads(n);
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            let n = v
+                .parse()
+                .unwrap_or_else(|_| panic!("--jobs= requires a thread count, got {v:?}"));
+            ref_pool::set_threads(n);
+        } else {
+            rest.push(arg);
+        }
+    }
+    rest
 }
 
 /// System capacity for an `N`-agent experiment: `(6 N GB/s, 3 N MB)`.

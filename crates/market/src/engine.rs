@@ -413,13 +413,16 @@ impl MarketEngine {
     }
 
     /// Drives a stride scheduler per resource against the granted shares.
+    /// Resources are independent schedulers, so they fan out across the
+    /// worker pool; summaries are returned in resource order regardless of
+    /// the thread count.
     fn enforce(&self, allocation: &Allocation) -> Result<Vec<EnforcementSummary>> {
-        let mut out = Vec::new();
         if self.config.enforcement_quanta == 0 {
-            return Ok(out);
+            return Ok(Vec::new());
         }
         let capacity = &self.config.capacity;
-        for resource in 0..capacity.num_resources() {
+        let quanta = self.config.enforcement_quanta;
+        ref_pool::par_map(capacity.num_resources(), |resource| {
             let target: Vec<f64> = allocation
                 .bundles()
                 .iter()
@@ -427,7 +430,7 @@ impl MarketEngine {
                 .collect();
             let weights: Vec<f64> = target.iter().map(|w| w.max(MIN_STRIDE_WEIGHT)).collect();
             let mut stride = StrideScheduler::new(weights).map_err(MarketError::InvalidArgument)?;
-            for _ in 0..self.config.enforcement_quanta {
+            for _ in 0..quanta {
                 stride.next_quantum();
             }
             let achieved = stride.service_shares();
@@ -436,14 +439,15 @@ impl MarketEngine {
                 .zip(&target)
                 .map(|(a, t)| (a - t).abs())
                 .fold(0.0, f64::max);
-            out.push(EnforcementSummary {
+            Ok(EnforcementSummary {
                 resource,
                 target,
                 achieved,
                 max_deviation,
-            });
-        }
-        Ok(out)
+            })
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Produces one observation per engine-driven agent at a jittered
@@ -468,39 +472,28 @@ impl MarketEngine {
             run_simulated(&config, epoch, &simulated, allocation)?
         };
 
+        // Each agent's observation and refit touches only that agent's
+        // estimator, so the per-agent work fans out across the worker
+        // pool: `work` hands every slot's `&mut AgentState` to exactly
+        // one pool task. Outcomes are folded in agent-id order, so the
+        // counters — and the first error, if any — are identical at every
+        // thread count.
+        type ObservationSlot<'a> = (Vec<f64>, &'a mut AgentState, Result<(usize, usize)>);
+        let mut work: Vec<ObservationSlot<'_>> = self
+            .population
+            .values_mut()
+            .enumerate()
+            .map(|(i, agent)| (allocation.bundle(i).as_slice().to_vec(), agent, Ok((0, 0))))
+            .collect();
+        ref_pool::par_for_each_mut(&mut work, |_, (bundle, agent, outcome)| {
+            *outcome = observe_agent(&config, epoch, bundle, agent, &sim_results);
+        });
         let mut observations = 0;
         let mut refits = 0;
-        for (i, agent) in self.population.values_mut().enumerate() {
-            match &agent.source {
-                ObservationSource::GroundTruth(truth) => {
-                    let truth = truth.clone();
-                    let mut rng = ChaCha8Rng::seed_from_u64(mix(config.seed, epoch, agent.id));
-                    let jittered: Vec<f64> = allocation
-                        .bundle(i)
-                        .as_slice()
-                        .iter()
-                        .map(|q| {
-                            let f = 1.0 - config.excitation
-                                + 2.0 * config.excitation * rng.gen::<f64>();
-                            (q * f).max(1e-9)
-                        })
-                        .collect();
-                    let perf = truth.value_slice(&jittered);
-                    if perf.is_finite() && perf > 0.0 {
-                        refits += usize::from(agent.estimator.observe(jittered, perf)?);
-                        observations += 1;
-                    }
-                }
-                ObservationSource::Simulated { .. } => {
-                    if let Some((inputs, ipc)) = sim_results.get(&agent.id) {
-                        if *ipc > 0.0 {
-                            refits += usize::from(agent.estimator.observe(inputs.clone(), *ipc)?);
-                            observations += 1;
-                        }
-                    }
-                }
-                ObservationSource::External => {}
-            }
+        for (_, _, outcome) in work {
+            let (obs, refit) = outcome?;
+            observations += obs;
+            refits += refit;
         }
         Ok((observations, refits))
     }
@@ -616,6 +609,47 @@ impl MarketEngine {
             auditor: snapshot.auditor.clone(),
             metrics: snapshot.metrics.clone(),
         })
+    }
+}
+
+/// One agent's per-epoch observation: derives the jittered measurement
+/// point from `(seed, epoch, agent id)` alone and feeds the agent's own
+/// estimator. Returns `(observations, refits)` contributed by this agent.
+fn observe_agent(
+    config: &MarketConfig,
+    epoch: u64,
+    bundle: &[f64],
+    agent: &mut AgentState,
+    sim_results: &BTreeMap<AgentId, (Vec<f64>, f64)>,
+) -> Result<(usize, usize)> {
+    match &agent.source {
+        ObservationSource::GroundTruth(truth) => {
+            let truth = truth.clone();
+            let mut rng = ChaCha8Rng::seed_from_u64(mix(config.seed, epoch, agent.id));
+            let jittered: Vec<f64> = bundle
+                .iter()
+                .map(|q| {
+                    let f = 1.0 - config.excitation + 2.0 * config.excitation * rng.gen::<f64>();
+                    (q * f).max(1e-9)
+                })
+                .collect();
+            let perf = truth.value_slice(&jittered);
+            if perf.is_finite() && perf > 0.0 {
+                let refit = agent.estimator.observe(jittered, perf)?;
+                return Ok((1, usize::from(refit)));
+            }
+            Ok((0, 0))
+        }
+        ObservationSource::Simulated { .. } => {
+            if let Some((inputs, ipc)) = sim_results.get(&agent.id) {
+                if *ipc > 0.0 {
+                    let refit = agent.estimator.observe(inputs.clone(), *ipc)?;
+                    return Ok((1, usize::from(refit)));
+                }
+            }
+            Ok((0, 0))
+        }
+        ObservationSource::External => Ok((0, 0)),
     }
 }
 

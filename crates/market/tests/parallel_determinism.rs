@@ -1,0 +1,55 @@
+//! The epoch loop must be bit-deterministic at any pool width: per-agent
+//! observations fan out across workers, but every random choice is keyed
+//! by `(seed, epoch, agent id)` and outcomes fold in agent-id order.
+//!
+//! This file holds a single test: it flips the process-wide
+//! `ref_pool::set_threads` override, which would race against unrelated
+//! tests running in the same binary.
+
+use ref_core::resource::Capacity;
+use ref_core::utility::CobbDouglas;
+use ref_market::{MarketConfig, MarketEngine, MarketEvent, ObservationSource};
+
+fn final_allocation_bits() -> Vec<u64> {
+    let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap())
+        .with_sim_instructions(8_000)
+        .with_warmup_epochs(4);
+    let mut market = MarketEngine::new(config).unwrap();
+    market.submit(MarketEvent::AgentJoined {
+        id: 1,
+        source: ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap()),
+    });
+    market.submit(MarketEvent::AgentJoined {
+        id: 2,
+        source: ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap()),
+    });
+    market.submit(MarketEvent::AgentJoined {
+        id: 3,
+        source: ObservationSource::Simulated {
+            benchmark: "histogram".to_string(),
+        },
+    });
+    market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 15));
+    let reports = market.pump().unwrap();
+    let alloc = reports.last().unwrap().allocation.as_ref().unwrap();
+    alloc
+        .bundles()
+        .iter()
+        .flat_map(|b| b.as_slice().iter().map(|q| q.to_bits()))
+        .collect()
+}
+
+#[test]
+fn epoch_loop_is_bit_identical_across_pool_widths() {
+    ref_pool::set_threads(1);
+    let serial = final_allocation_bits();
+    for width in [2, 5] {
+        ref_pool::set_threads(width);
+        assert_eq!(
+            serial,
+            final_allocation_bits(),
+            "market diverged at {width} workers"
+        );
+    }
+    ref_pool::set_threads(0); // restore the default resolution order
+}

@@ -1,0 +1,140 @@
+//! Pool torture tests: nesting, panics, degenerate input sizes, and
+//! heavy stealing under skewed task costs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+#[test]
+fn zero_length_input_returns_empty() {
+    let out: Vec<u64> = ref_pool::par_map_threads(0, 8, |_| unreachable!("no work to run"));
+    assert!(out.is_empty());
+}
+
+#[test]
+fn single_element_input_runs_inline() {
+    let out = ref_pool::par_map_threads(1, 8, |i| {
+        assert!(!ref_pool::inside_pool(), "one task must not spawn workers");
+        i + 41
+    });
+    assert_eq!(out, vec![41]);
+}
+
+#[test]
+fn nested_par_map_runs_serially_and_correctly() {
+    let inner_parallel = AtomicUsize::new(0);
+    let grid = ref_pool::par_map_threads(8, 4, |row| {
+        ref_pool::par_map_threads(8, 4, |col| {
+            if ref_pool::inside_pool() {
+                // The outer pool is active; the inner map must not have
+                // spawned its own workers on top of it.
+                inner_parallel.fetch_add(0, Ordering::Relaxed);
+            }
+            row * 8 + col
+        })
+    });
+    for (row, cols) in grid.iter().enumerate() {
+        let expected: Vec<usize> = (0..8).map(|col| row * 8 + col).collect();
+        assert_eq!(*cols, expected);
+    }
+}
+
+#[test]
+fn deeply_nested_maps_terminate() {
+    let v = ref_pool::par_map_threads(4, 4, |a| {
+        ref_pool::par_map_threads(4, 4, |b| {
+            ref_pool::par_map_threads(4, 4, |c| a + b + c)
+                .into_iter()
+                .sum::<usize>()
+        })
+        .into_iter()
+        .sum::<usize>()
+    });
+    // sum over b,c of (a + b + c) = 16a + 4*6 + 4*6.
+    assert_eq!(v, vec![48, 64, 80, 96]);
+}
+
+#[test]
+fn worker_panic_propagates_without_deadlock() {
+    let completed = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        ref_pool::par_map_threads(64, 4, |i| {
+            if i == 17 {
+                panic!("task 17 exploded");
+            }
+            completed.fetch_add(1, Ordering::Relaxed);
+            i
+        })
+    }));
+    let payload = result.expect_err("panic must propagate to the caller");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(message.contains("task 17 exploded"), "got {message:?}");
+    // The surviving workers drained the rest of the queue.
+    assert!(completed.load(Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn panic_on_caller_worker_restores_nesting_flag() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        ref_pool::par_map_threads(8, 4, |i| {
+            if i == 0 {
+                panic!("first stripe task panics on the caller thread");
+            }
+            i
+        })
+    }));
+    assert!(result.is_err());
+    assert!(
+        !ref_pool::inside_pool(),
+        "a panicking task must not leave the caller marked as a pool worker"
+    );
+    // The pool remains usable afterwards.
+    let out = ref_pool::par_map_threads(16, 4, |i| i * 2);
+    assert_eq!(out[15], 30);
+}
+
+#[test]
+fn skewed_task_costs_are_stolen() {
+    // One pathologically slow stripe: without stealing the run takes
+    // ~16 * 20ms on the unlucky worker; with stealing the other workers
+    // drain it. We only assert correctness — timing is the perf report's
+    // job — but the skew exercises the steal path deterministically.
+    let out = ref_pool::par_map_threads(64, 4, |i| {
+        if i < 16 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        i as u64 * 3
+    });
+    let expected: Vec<u64> = (0..64).map(|i| i * 3).collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn par_for_each_mut_with_panic_keeps_disjointness() {
+    let mut items = vec![0u64; 32];
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        ref_pool::par_for_each_mut_threads(&mut items, 4, |i, item| {
+            if i == 31 {
+                panic!("last element panics");
+            }
+            *item = i as u64 + 1;
+        });
+    }));
+    assert!(result.is_err());
+    // Every element was written at most once.
+    for (i, item) in items.iter().enumerate().take(31) {
+        assert!(*item == 0 || *item == i as u64 + 1);
+    }
+}
+
+#[test]
+fn huge_fanout_with_tiny_tasks() {
+    let out = ref_pool::par_map_threads(10_000, 8, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+    assert_eq!(out.len(), 10_000);
+    assert_eq!(out[9_999], 9_999u64.wrapping_mul(0x9E37_79B9));
+}

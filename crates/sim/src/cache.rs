@@ -30,7 +30,7 @@ pub struct CacheStats {
 impl CacheStats {
     /// Misses (`accesses - hits`).
     pub fn misses(&self) -> u64 {
-        self.accesses - self.hits
+        self.accesses.saturating_sub(self.hits)
     }
 
     /// Counter difference `self - earlier`, for measuring an interval after
@@ -88,6 +88,12 @@ pub struct SetAssociativeCache {
     sets: usize,
     ways: usize,
     block_bytes: u64,
+    /// `log2(block_bytes)`: block index by shift instead of division.
+    block_shift: u32,
+    /// `log2(sets)` when the set count is a power of two, letting the
+    /// set/tag split run as mask/shift index arithmetic on the hot path;
+    /// `None` falls back to division for odd geometries.
+    set_shift: Option<u32>,
     /// `sets * ways` tag slots; `u64::MAX` marks an invalid way.
     tags: Vec<u64>,
     /// Last-touch stamps for LRU, parallel to `tags`.
@@ -119,11 +125,27 @@ impl SetAssociativeCache {
             sets,
             ways,
             block_bytes,
+            block_shift: block_bytes.trailing_zeros(),
+            set_shift: sets.is_power_of_two().then(|| sets.trailing_zeros()),
             tags: vec![INVALID_TAG; sets * ways],
             stamps: vec![0; sets * ways],
             dirty: vec![false; sets * ways],
             clock: 0,
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Splits an address into `(set index, tag)` with shift/mask
+    /// arithmetic when the geometry allows it.
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.block_shift;
+        match self.set_shift {
+            Some(shift) => ((block & (self.sets as u64 - 1)) as usize, block >> shift),
+            None => (
+                (block % self.sets as u64) as usize,
+                block / self.sets as u64,
+            ),
         }
     }
 
@@ -148,34 +170,38 @@ impl SetAssociativeCache {
     /// and reports any dirty block the fill displaced.
     pub fn access_rw(&mut self, addr: u64, write: bool) -> AccessResponse {
         self.clock += 1;
-        self.stats.accesses += 1;
-        let block = addr / self.block_bytes;
-        let set = (block % self.sets as u64) as usize;
-        let tag = block / self.sets as u64;
+        self.stats.accesses = self.stats.accesses.saturating_add(1);
+        let (set, tag) = self.locate(addr);
         let base = set * self.ways;
-        let slots = &mut self.tags[base..base + self.ways];
-        if let Some(w) = slots.iter().position(|&t| t == tag) {
-            self.stamps[base + w] = self.clock;
-            self.dirty[base + w] |= write;
-            self.stats.hits += 1;
-            return AccessResponse {
-                result: AccessResult::Hit,
-                writeback: None,
-            };
+        // Single pass over the set: find the matching way and, for the
+        // miss path, the first invalid way and the LRU way in the same
+        // sweep (the previous code re-scanned the set up to three times).
+        let mut invalid = usize::MAX;
+        let mut lru = 0;
+        let mut lru_stamp = u64::MAX;
+        for w in 0..self.ways {
+            let slot = base + w;
+            let t = self.tags[slot];
+            if t == tag {
+                self.stamps[slot] = self.clock;
+                self.dirty[slot] |= write;
+                self.stats.hits = self.stats.hits.saturating_add(1);
+                return AccessResponse {
+                    result: AccessResult::Hit,
+                    writeback: None,
+                };
+            }
+            if t == INVALID_TAG {
+                if invalid == usize::MAX {
+                    invalid = w;
+                }
+            } else if self.stamps[slot] < lru_stamp {
+                lru_stamp = self.stamps[slot];
+                lru = w;
+            }
         }
         // Fill: pick an invalid way, else the LRU way.
-        let victim = match slots.iter().position(|&t| t == INVALID_TAG) {
-            Some(w) => w,
-            None => {
-                let mut lru = 0;
-                for w in 1..self.ways {
-                    if self.stamps[base + w] < self.stamps[base + lru] {
-                        lru = w;
-                    }
-                }
-                lru
-            }
-        };
+        let victim = if invalid != usize::MAX { invalid } else { lru };
         let writeback = if self.tags[base + victim] != INVALID_TAG && self.dirty[base + victim] {
             let victim_block = self.tags[base + victim] * self.sets as u64 + set as u64;
             Some(victim_block * self.block_bytes)
@@ -194,9 +220,7 @@ impl SetAssociativeCache {
     /// Whether the block containing `addr` is currently resident (no side
     /// effects, no stat updates).
     pub fn probe(&self, addr: u64) -> bool {
-        let block = addr / self.block_bytes;
-        let set = (block % self.sets as u64) as usize;
-        let tag = block / self.sets as u64;
+        let (set, tag) = self.locate(addr);
         let base = set * self.ways;
         self.tags[base..base + self.ways].contains(&tag)
     }
@@ -440,5 +464,18 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_block() {
         let _ = SetAssociativeCache::new(2, 2, 48);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_fall_back_to_division() {
+        // 3 sets exercises the division path of `locate`; behaviour must
+        // match the modular mapping exactly.
+        let mut c = SetAssociativeCache::new(3, 1, 64);
+        assert_eq!(c.access(0), AccessResult::Miss); // block 0 -> set 0
+        assert_eq!(c.access(3 * 64), AccessResult::Miss); // block 3 -> set 0, evicts
+        assert!(!c.probe(0));
+        assert!(c.probe(3 * 64));
+        assert_eq!(c.access(4 * 64), AccessResult::Miss); // block 4 -> set 1
+        assert_eq!(c.access(4 * 64), AccessResult::Hit);
     }
 }

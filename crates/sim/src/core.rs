@@ -15,9 +15,6 @@
 //! DRAM trips) and with bandwidth (earlier completions), with diminishing
 //! returns in both — the Cobb-Douglas shape the paper fits.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::cache::{AccessResult, CacheStats, SetAssociativeCache};
 use crate::config::{CoreConfig, PlatformConfig};
 use crate::dram::Dram;
@@ -73,6 +70,59 @@ impl SimReport {
     }
 }
 
+/// Outstanding-miss completion times, bounded by the MSHR count.
+///
+/// Replaces the previous `BinaryHeap<Reverse<u64>>`: the entry count is
+/// tiny (Table 1 uses 8 MSHRs), so linear scans beat heap maintenance,
+/// and the backing storage is allocated once per core — the per-access
+/// path never touches the heap allocator.
+#[derive(Debug, Clone)]
+struct MissQueue {
+    completions: Vec<u64>,
+}
+
+impl MissQueue {
+    fn with_capacity(entries: usize) -> MissQueue {
+        MissQueue {
+            completions: Vec::with_capacity(entries),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.completions.len()
+    }
+
+    fn push(&mut self, completion: u64) {
+        self.completions.push(completion);
+    }
+
+    /// Removes and returns the earliest completion.
+    fn pop_earliest(&mut self) -> Option<u64> {
+        let at = self
+            .completions
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)?;
+        Some(self.completions.swap_remove(at))
+    }
+
+    /// Drops every entry that completed at or before `now`.
+    fn drain_completed(&mut self, now: u64) {
+        self.completions.retain(|&t| t > now);
+    }
+
+    /// Empties the queue, returning the earliest completion: retirement
+    /// resumes once the oldest MSHR frees, so `finish` waits only for
+    /// that entry (the historical drain semantics; changing it would
+    /// shift every calibrated IPC in EXPERIMENTS.md).
+    fn drain_earliest(&mut self) -> Option<u64> {
+        let earliest = self.completions.iter().copied().min();
+        self.completions.clear();
+        earliest
+    }
+}
+
 /// One core with private L1 and (a partition of) L2, issuing to a shared
 /// DRAM channel.
 #[derive(Debug, Clone)]
@@ -85,7 +135,7 @@ pub struct Core {
     instructions: u64,
     dram_requests: u64,
     prefetches: u64,
-    outstanding: BinaryHeap<Reverse<u64>>,
+    outstanding: MissQueue,
     rng: u64,
 }
 
@@ -106,7 +156,7 @@ impl Core {
             instructions: 0,
             dram_requests: 0,
             prefetches: 0,
-            outstanding: BinaryHeap::new(),
+            outstanding: MissQueue::with_capacity(platform.core.mshr_entries),
             rng: 0x9E37_79B9_7F4A_7C15,
         }
     }
@@ -115,7 +165,7 @@ impl Core {
     ///
     /// `agent` is this core's index on the shared DRAM channel.
     pub fn step(&mut self, op: Op, dram: &mut Dram, agent: usize) {
-        self.instructions += 1;
+        self.instructions = self.instructions.saturating_add(1);
         self.now += 1.0 / f64::from(self.cfg.issue_width);
         let addr = match op.address() {
             Some(a) => a,
@@ -139,17 +189,17 @@ impl Core {
         }
         // L2 miss: issue to DRAM, bounded by MSHR occupancy.
         if self.outstanding.len() >= self.cfg.mshr_entries {
-            if let Some(Reverse(earliest)) = self.outstanding.pop() {
+            if let Some(earliest) = self.outstanding.pop_earliest() {
                 self.now = self.now.max(earliest as f64);
             }
         }
         let completion = dram.access(agent, addr, self.now.ceil() as u64);
-        self.dram_requests += 1;
+        self.dram_requests = self.dram_requests.saturating_add(1);
         // A displaced dirty line consumes write bandwidth; the core never
         // waits on it.
         if let Some(wb_addr) = l2.writeback {
             let _ = dram.access(agent, wb_addr, self.now.ceil() as u64);
-            self.dram_requests += 1;
+            self.dram_requests = self.dram_requests.saturating_add(1);
         }
         // Next-line prefetch: on a demand miss, pull the sequential
         // neighbor into the L2 if absent. The fetch consumes bandwidth but
@@ -159,30 +209,27 @@ impl Core {
             let pf = self.l2.access_rw(next, false);
             if pf.result == AccessResult::Miss {
                 let _ = dram.access(agent, next, self.now.ceil() as u64);
-                self.dram_requests += 1;
-                self.prefetches += 1;
+                self.dram_requests = self.dram_requests.saturating_add(1);
+                self.prefetches = self.prefetches.saturating_add(1);
                 if let Some(wb_addr) = pf.writeback {
                     let _ = dram.access(agent, wb_addr, self.now.ceil() as u64);
-                    self.dram_requests += 1;
+                    self.dram_requests = self.dram_requests.saturating_add(1);
                 }
             }
         }
         if dependent {
             self.now = self.now.max(completion as f64);
             // A dependent miss drains naturally; drop completed entries.
-            let now_u = self.now as u64;
-            while matches!(self.outstanding.peek(), Some(Reverse(t)) if *t <= now_u) {
-                self.outstanding.pop();
-            }
+            self.outstanding.drain_completed(self.now as u64);
         } else {
-            self.outstanding.push(Reverse(completion));
+            self.outstanding.push(completion);
         }
     }
 
     /// Drains outstanding misses and returns the final report.
     pub fn finish(&mut self) -> SimReport {
-        if let Some(Reverse(latest)) = self.outstanding.drain().max() {
-            self.now = self.now.max(latest as f64);
+        if let Some(earliest) = self.outstanding.drain_earliest() {
+            self.now = self.now.max(earliest as f64);
         }
         self.report()
     }

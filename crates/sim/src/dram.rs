@@ -69,11 +69,18 @@ impl DramStats {
 pub struct Dram {
     access_latency: u64,
     bank_occupancy: u64,
-    burst_bytes: u64,
+    /// `log2(burst bytes)`: bank striping by shift instead of division.
+    burst_shift: u32,
+    /// `bank count - 1` when the bank count is a power of two; `None`
+    /// falls back to modulo on the request path.
+    bank_mask: Option<u64>,
     page_policy: PagePolicy,
     row_hit_latency: u64,
     row_bytes: u64,
+    /// `log2(row_bytes)` when the row size is a power of two.
+    row_shift: Option<u32>,
     /// Cycle at which each bank becomes free, indexed `rank * banks + bank`.
+    /// Allocated once at construction; the request path never allocates.
     bank_free: Vec<u64>,
     /// Open row per bank (`u64::MAX` = closed), only used under
     /// [`PagePolicy::OpenPage`].
@@ -114,15 +121,21 @@ impl Dram {
                 requests: 0,
             })
             .collect();
+        let nbanks = cfg.ranks * cfg.banks_per_rank;
         Dram {
             access_latency: cfg.access_latency_cycles,
             bank_occupancy: cfg.bank_occupancy_cycles,
-            burst_bytes,
+            burst_shift: burst_bytes.trailing_zeros(),
+            bank_mask: (nbanks as u64).is_power_of_two().then(|| nbanks as u64 - 1),
             page_policy: cfg.page_policy,
             row_hit_latency: cfg.row_hit_latency_cycles,
             row_bytes: cfg.row_bytes,
-            bank_free: vec![0; cfg.ranks * cfg.banks_per_rank],
-            open_rows: vec![u64::MAX; cfg.ranks * cfg.banks_per_rank],
+            row_shift: cfg
+                .row_bytes
+                .is_power_of_two()
+                .then(|| cfg.row_bytes.trailing_zeros()),
+            bank_free: vec![0; nbanks],
+            open_rows: vec![u64::MAX; nbanks],
             ports,
             stats: DramStats::default(),
         }
@@ -141,15 +154,24 @@ impl Dram {
     /// Panics if `agent` is out of range.
     pub fn access(&mut self, agent: usize, addr: u64, now: u64) -> u64 {
         assert!(agent < self.ports.len(), "agent {agent} out of range");
-        let nbanks = self.bank_free.len() as u64;
-        // Bank interleave on block address bits (rank-then-bank striping).
-        let bank = ((addr / self.burst_bytes) % nbanks) as usize;
-        let row = addr / self.row_bytes;
+        // Bank interleave on block address bits (rank-then-bank striping),
+        // by shift/mask when the geometry is a power of two.
+        let block = addr >> self.burst_shift;
+        let bank = match self.bank_mask {
+            Some(mask) => (block & mask) as usize,
+            None => (block % self.bank_free.len() as u64) as usize,
+        };
         let latency = match self.page_policy {
             PagePolicy::ClosedPage => self.access_latency,
             PagePolicy::OpenPage => {
+                // The row id is only needed here, off the closed-page
+                // (Table-1) hot path.
+                let row = match self.row_shift {
+                    Some(shift) => addr >> shift,
+                    None => addr / self.row_bytes,
+                };
                 if self.open_rows[bank] == row {
-                    self.stats.row_hits += 1;
+                    self.stats.row_hits = self.stats.row_hits.saturating_add(1);
                     self.row_hit_latency
                 } else {
                     self.open_rows[bank] = row;
@@ -165,9 +187,12 @@ impl Dram {
         let completion = start + latency;
         self.bank_free[bank] = start + self.bank_occupancy.min(latency);
         port.next_token = start as f64 + port.cycles_per_burst;
-        port.requests += 1;
-        self.stats.requests += 1;
-        self.stats.total_latency_cycles += completion - now;
+        port.requests = port.requests.saturating_add(1);
+        self.stats.requests = self.stats.requests.saturating_add(1);
+        self.stats.total_latency_cycles = self
+            .stats
+            .total_latency_cycles
+            .saturating_add(completion.saturating_sub(now));
         completion
     }
 

@@ -13,6 +13,8 @@
 //!   profiling sweep of §5.1.
 //! - [`bubble`] — Bubble-Up-style tunable-pressure co-runner profiling
 //!   (§4.4's first offline alternative).
+//! - [`memo`] — a process-wide simulation memo that deduplicates
+//!   identical grid-point simulations across figures and mixes.
 //!
 //! # Examples
 //!
@@ -33,12 +35,14 @@
 
 pub mod bubble;
 pub mod generator;
+pub mod memo;
 pub mod profiler;
 pub mod profiles;
 pub mod suite;
 
 pub use bubble::{bubble_profile, Bubble, BubbleCurve, BubblePoint};
 pub use generator::{SyntheticWorkload, WorkloadParams};
+pub use memo::{MemoStats, SimKey};
 pub use profiler::{profile, ProfileGrid, ProfilePoint, ProfilerOptions};
 pub use profiles::{by_name, Benchmark, PreferenceClass, BENCHMARKS};
 pub use suite::{all_mixes, eight_core_mixes, four_core_mixes, WorkloadMix};

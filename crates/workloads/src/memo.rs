@@ -1,0 +1,223 @@
+//! Process-wide simulation memo: repeated sweeps skip identical sims.
+//!
+//! The profiling sweep is a pure function: the IPC measured at one grid
+//! point is fully determined by the benchmark (name, generator
+//! parameters), the stream seed, the warmup/measure instruction budgets,
+//! and the **complete** [`PlatformConfig`] (the allocation under test is
+//! expressed through the platform's L2 capacity and DRAM bandwidth, and
+//! the dependence structure through `core.dependent_load_fraction`).
+//! Experiment binaries re-profile the same benchmarks across figures and
+//! mixes; the memo turns every repeat into a hash lookup.
+//!
+//! Why the key must include the full `PlatformConfig` and not just the
+//! `(cache, bandwidth)` allocation pair: ablation binaries sweep page
+//! policy, prefetcher and grid shape on the *same* benchmarks, and the
+//! market overrides `dependent_load_fraction` per agent. Keying on the
+//! allocation alone would alias those runs and silently serve stale IPC
+//! from a different machine model. Every field is captured bit-exactly
+//! (`f64::to_bits`), so two configurations collide only when the
+//! simulated machine is genuinely identical — in which case the sim
+//! output is too (the simulator is deterministic).
+//!
+//! The memo is shared across threads behind a mutex; workers only touch
+//! it twice per grid point (lookup, insert), which is noise next to a
+//! multi-millisecond simulation. Entries are one `f64` each, so even a
+//! full 28-benchmark x 25-point x several-figure session stays in the
+//! kilobytes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use ref_sim::config::PlatformConfig;
+
+use crate::generator::WorkloadParams;
+
+/// Exact identity of one simulation run (see the module docs for why
+/// every field participates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    /// Benchmark name (owned: the key outlives the profile call).
+    pub workload: String,
+    /// Generator parameters, bit-exact.
+    params: [u64; 6],
+    /// Stream seed.
+    seed: u64,
+    /// Warmup instructions actually replayed.
+    warmup: u64,
+    /// Measured instructions.
+    instructions: u64,
+    /// The complete platform, bit-exact.
+    platform: [u64; 21],
+}
+
+impl SimKey {
+    /// Builds the key for one profiling run.
+    pub fn new(
+        workload: &str,
+        params: &WorkloadParams,
+        seed: u64,
+        warmup: u64,
+        instructions: u64,
+        platform: &PlatformConfig,
+    ) -> SimKey {
+        SimKey {
+            workload: workload.to_string(),
+            params: [
+                params.memory_fraction.to_bits(),
+                params.hot_fraction.to_bits(),
+                params.streaming_fraction.to_bits(),
+                params.working_set_bytes,
+                params.store_fraction.to_bits(),
+                params.dependent_fraction.to_bits(),
+            ],
+            seed,
+            warmup,
+            instructions,
+            platform: platform_bits(platform),
+        }
+    }
+}
+
+/// Every field of the platform as raw bits, in declaration order.
+fn platform_bits(p: &PlatformConfig) -> [u64; 21] {
+    [
+        p.core.clock_hz.to_bits(),
+        u64::from(p.core.issue_width),
+        p.core.mshr_entries as u64,
+        p.core.dependent_load_fraction.to_bits(),
+        u64::from(p.core.next_line_prefetch),
+        p.l1.size.bytes(),
+        p.l1.ways as u64,
+        p.l1.block_bytes,
+        p.l1.latency_cycles,
+        p.l2.size.bytes(),
+        p.l2.ways as u64,
+        p.l2.block_bytes,
+        p.l2.latency_cycles,
+        p.dram.bandwidth.bytes_per_sec().to_bits(),
+        p.dram.ranks as u64,
+        p.dram.banks_per_rank as u64,
+        p.dram.access_latency_cycles,
+        p.dram.bank_occupancy_cycles,
+        p.dram.page_policy as u64,
+        p.dram.row_hit_latency_cycles,
+        p.dram.row_bytes,
+    ]
+}
+
+/// Hit/miss counters for the memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Hit rate in `[0, 1]`; `0.0` with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.saturating_add(self.misses);
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+static MEMO: OnceLock<Mutex<HashMap<SimKey, f64>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn table() -> &'static Mutex<HashMap<SimKey, f64>> {
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the memoised IPC for `key`, or computes it with `sim`,
+/// records it, and returns it. `sim` runs outside the lock so concurrent
+/// grid points never serialize on the memo.
+pub fn ipc_or_insert_with<F: FnOnce() -> f64>(key: SimKey, sim: F) -> f64 {
+    if let Some(&ipc) = table().lock().expect("sim memo poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return ipc;
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let ipc = sim();
+    table().lock().expect("sim memo poisoned").insert(key, ipc);
+    ipc
+}
+
+/// Accumulated hit/miss counters.
+pub fn stats() -> MemoStats {
+    MemoStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of memoised grid points.
+pub fn len() -> usize {
+    table().lock().expect("sim memo poisoned").len()
+}
+
+/// Empties the memo and zeroes the counters (used by benchmarks that
+/// need cold-cache timings).
+pub fn clear() {
+    table().lock().expect("sim memo poisoned").clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ref_sim::config::{Bandwidth, CacheSize};
+
+    fn key(seed: u64, platform: &PlatformConfig) -> SimKey {
+        let params = crate::profiles::by_name("fft").unwrap().params;
+        SimKey::new("fft", &params, seed, 100, 200, platform)
+    }
+
+    #[test]
+    fn identical_runs_share_an_entry() {
+        let p = PlatformConfig::asplos14();
+        let a = key(1, &p);
+        let b = key(1, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn platform_fields_distinguish_keys() {
+        let p = PlatformConfig::asplos14();
+        assert_ne!(key(1, &p), key(2, &p));
+        assert_ne!(
+            key(1, &p),
+            key(1, &p.with_l2_size(CacheSize::from_kib(128)))
+        );
+        assert_ne!(
+            key(1, &p),
+            key(1, &p.with_bandwidth(Bandwidth::from_gb_per_sec(0.8)))
+        );
+        assert_ne!(key(1, &p), key(1, &p.with_next_line_prefetch(true)));
+        let mut q = p;
+        q.core.dependent_load_fraction = 0.111;
+        assert_ne!(key(1, &p), key(1, &q));
+    }
+
+    #[test]
+    fn memo_round_trips() {
+        let p = PlatformConfig::asplos14();
+        let k = key(0xDEAD, &p);
+        let first = ipc_or_insert_with(k.clone(), || 1.25);
+        let second = ipc_or_insert_with(k, || unreachable!("must be memoised"));
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert!(stats().hits >= 1);
+    }
+
+    #[test]
+    fn hit_rate_is_safe_on_empty() {
+        assert_eq!(MemoStats::default().hit_rate(), 0.0);
+    }
+}

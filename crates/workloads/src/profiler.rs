@@ -8,6 +8,7 @@
 use ref_sim::config::{Bandwidth, CacheSize, PlatformConfig};
 use ref_sim::system::SingleCoreSystem;
 
+use crate::memo::{self, SimKey};
 use crate::profiles::Benchmark;
 
 /// IPC measured at one (cache size, bandwidth) configuration.
@@ -73,6 +74,14 @@ pub struct ProfilerOptions {
     pub cache_sizes: Vec<CacheSize>,
     /// Bandwidths to sweep.
     pub bandwidths: Vec<Bandwidth>,
+    /// Worker threads for the sweep: `None` uses the global `ref-pool`
+    /// width ([`ref_pool::threads`]), `Some(1)` forces a serial sweep.
+    /// Results are bit-identical at every width — each grid point is an
+    /// independent simulation placed by index.
+    pub threads: Option<usize>,
+    /// Consult the process-wide simulation memo before simulating a grid
+    /// point. Disable for timing runs that need cold-path measurements.
+    pub use_memo: bool,
 }
 
 impl Default for ProfilerOptions {
@@ -85,6 +94,8 @@ impl Default for ProfilerOptions {
             seed: 0xA5F0_5EED,
             cache_sizes: PlatformConfig::l2_sweep().to_vec(),
             bandwidths: PlatformConfig::bandwidth_sweep().to_vec(),
+            threads: None,
+            use_memo: true,
         }
     }
 }
@@ -105,30 +116,53 @@ impl Default for ProfilerOptions {
 /// ```
 pub fn profile(benchmark: &Benchmark, opts: &ProfilerOptions) -> ProfileGrid {
     let base = PlatformConfig::asplos14();
-    let mut points = Vec::with_capacity(opts.cache_sizes.len() * opts.bandwidths.len());
-    for &bandwidth in &opts.bandwidths {
-        for &cache in &opts.cache_sizes {
-            let mut platform = base.with_l2_size(cache).with_bandwidth(bandwidth);
-            // Dependence structure is a property of the workload's code,
-            // not the platform.
-            platform.core.dependent_load_fraction = benchmark.params.dependent_fraction;
-            // Warm the caches for a fixed number of *memory accesses*:
-            // compute-heavy workloads touch memory rarely, so a fixed
-            // instruction budget would leave their working sets cold and
-            // bias the fit toward cold-miss bandwidth noise.
-            let warmup = (opts.warmup_instructions as f64
-                * (0.30 / benchmark.params.memory_fraction).max(1.0))
-                as u64;
+    // Warm the caches for a fixed number of *memory accesses*:
+    // compute-heavy workloads touch memory rarely, so a fixed
+    // instruction budget would leave their working sets cold and
+    // bias the fit toward cold-miss bandwidth noise.
+    let warmup = (opts.warmup_instructions as f64
+        * (0.30 / benchmark.params.memory_fraction).max(1.0)) as u64;
+    let n_cache = opts.cache_sizes.len();
+    let simulate = |k: usize| {
+        // Bandwidth-major flat index: matches the historical nested-loop
+        // emission order, so a grid built at any thread count is
+        // byte-identical to the serial one.
+        let bandwidth = opts.bandwidths[k / n_cache];
+        let cache = opts.cache_sizes[k % n_cache];
+        let mut platform = base.with_l2_size(cache).with_bandwidth(bandwidth);
+        // Dependence structure is a property of the workload's code,
+        // not the platform.
+        platform.core.dependent_load_fraction = benchmark.params.dependent_fraction;
+        let run = || {
             let mut system = SingleCoreSystem::new(&platform);
-            let report =
-                system.run_with_warmup(benchmark.stream(opts.seed), warmup, opts.instructions);
-            points.push(ProfilePoint {
-                cache,
-                bandwidth,
-                ipc: report.ipc(),
-            });
+            system
+                .run_with_warmup(benchmark.stream(opts.seed), warmup, opts.instructions)
+                .ipc()
+        };
+        let ipc = if opts.use_memo {
+            let key = SimKey::new(
+                benchmark.name,
+                &benchmark.params,
+                opts.seed,
+                warmup,
+                opts.instructions,
+                &platform,
+            );
+            memo::ipc_or_insert_with(key, run)
+        } else {
+            run()
+        };
+        ProfilePoint {
+            cache,
+            bandwidth,
+            ipc,
         }
-    }
+    };
+    let len = n_cache * opts.bandwidths.len();
+    let points = match opts.threads {
+        Some(n) => ref_pool::par_map_threads(len, n, simulate),
+        None => ref_pool::par_map(len, simulate),
+    };
     ProfileGrid {
         workload: benchmark.name.to_string(),
         points,

@@ -1,0 +1,27 @@
+//! Cross-revision bit-identity canary: FNV-64 over every profile IPC bit
+//! pattern for the first six benchmarks. Any simulator or profiler change
+//! that alters a single output bit changes the printed hash, so run this
+//! before and after touching `ref-sim`/`ref-workloads` hot paths.
+//!
+//! Reference hash at the PR-1 seed and after the PR-2 optimisations:
+//! `997e25ef0800992e`.
+
+use ref_fairness::workloads::profiler::{profile, ProfilerOptions};
+use ref_fairness::workloads::profiles::BENCHMARKS;
+
+fn main() {
+    let opts = ProfilerOptions {
+        warmup_instructions: 20_000,
+        instructions: 30_000,
+        ..ProfilerOptions::default()
+    };
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in BENCHMARKS.iter().take(6) {
+        let g = profile(b, &opts);
+        for p in &g.points {
+            h ^= p.ipc.to_bits();
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    println!("hash {h:016x}");
+}
