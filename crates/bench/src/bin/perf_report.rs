@@ -139,4 +139,40 @@ fn main() {
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
+
+    aggregate_report(&json);
+}
+
+/// Folds the serving benchmark (if `BENCH_serve.json` exists next to us —
+/// produced by `cargo run --release -p ref-serve --bin loadgen`) together
+/// with the pipeline numbers into one `BENCH_report.json`, so a single
+/// artifact tracks both the offline pipeline and the online front-end.
+fn aggregate_report(pipeline_json: &str) {
+    use ref_serve::json::Value;
+
+    let pipeline = Value::parse(pipeline_json).expect("pipeline JSON is valid");
+    let serve = match std::fs::read_to_string("BENCH_serve.json") {
+        Ok(text) => match Value::parse(text.trim()) {
+            Ok(v) => {
+                let levels = v
+                    .get("levels")
+                    .and_then(Value::as_array)
+                    .map_or(0, <[_]>::len);
+                println!("aggregating BENCH_serve.json ({levels} load levels)");
+                v
+            }
+            Err(e) => {
+                eprintln!("FATAL: BENCH_serve.json exists but is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no BENCH_serve.json found; report covers the pipeline only");
+            Value::Null
+        }
+    };
+    let report = Value::obj(vec![("pipeline", pipeline), ("serve", serve)]);
+    std::fs::write("BENCH_report.json", format!("{}\n", report.encode()))
+        .expect("write BENCH_report.json");
+    println!("wrote BENCH_report.json");
 }

@@ -277,6 +277,33 @@ impl MarketEngine {
         Ok(reports)
     }
 
+    /// Applies one event immediately, bypassing the queue.
+    ///
+    /// This is the per-event entry point for transports (ref-serve) that
+    /// need to map each event's outcome back to the request that carried
+    /// it. Applying a sequence of events through `apply_now` — continuing
+    /// past errors — leaves the engine in exactly the state that
+    /// [`MarketEngine::submit_all`] followed by [`MarketEngine::pump`]
+    /// retried to completion would: both paths apply events one at a time
+    /// in order and bump [`MarketMetrics::rejected_events`] on failure.
+    /// Events already queued via [`MarketEngine::submit`] stay queued and
+    /// are *not* reordered relative to this call; mixing the two styles on
+    /// one engine is almost never what you want.
+    ///
+    /// # Errors
+    ///
+    /// Returns the event's [`MarketError`]; the failed event has no
+    /// partial effect.
+    pub fn apply_now(&mut self, event: MarketEvent) -> Result<Option<EpochReport>> {
+        match self.apply(event) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.metrics.rejected_events += 1;
+                Err(e)
+            }
+        }
+    }
+
     fn apply(&mut self, event: MarketEvent) -> Result<Option<EpochReport>> {
         self.metrics.events += 1;
         match event {
@@ -933,6 +960,162 @@ mod tests {
             last.worst_enforcement_deviation() < 0.01,
             "{:?}",
             last.enforcement
+        );
+    }
+
+    // --- Same-batch event-ordering semantics -------------------------
+    //
+    // Events between two ticks apply strictly in submission order, one at
+    // a time, with no coalescing. These tests pin the edge cases a
+    // network transport can produce by interleaving clients.
+
+    #[test]
+    fn same_batch_join_then_leave_is_a_clean_noop() {
+        let mut market = two_agent_market();
+        market.submit(MarketEvent::AgentJoined {
+            id: 9,
+            source: truth(0.5, 0.5),
+        });
+        market.submit(MarketEvent::AgentLeft { id: 9 });
+        market.submit(MarketEvent::EpochTick);
+        let reports = market.pump().unwrap();
+        // The transient never reaches an allocation, but both counters
+        // record it and the warm-up window restarts.
+        assert_eq!(reports[0].agents, vec![1, 2]);
+        assert_eq!(market.metrics().joins, 3);
+        assert_eq!(market.metrics().leaves, 1);
+        assert!(reports[0].warm);
+    }
+
+    #[test]
+    fn same_batch_leave_then_rejoin_resets_the_estimator() {
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 12));
+        market.pump().unwrap();
+        let converged = market.agent(1).unwrap().estimator.num_observations();
+        assert!(converged > 0);
+        // Leave + join with the same id in one batch is a legal rejoin:
+        // the new incarnation starts from the uniform prior.
+        market.submit(MarketEvent::AgentLeft { id: 1 });
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: truth(0.8, 0.2),
+        });
+        market.pump().unwrap();
+        let agent = market.agent(1).unwrap();
+        assert_eq!(agent.estimator.num_observations(), 0);
+        assert_eq!(agent.reported_utility().elasticities(), &[0.5, 0.5]);
+        assert_eq!(agent.joined_epoch, 12);
+    }
+
+    #[test]
+    fn same_batch_join_then_rejoin_is_a_duplicate() {
+        // Join + join (without an intervening leave) is rejected even
+        // inside one batch: the first join wins, the second is dropped.
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 5,
+            source: truth(0.6, 0.4),
+        });
+        market.submit(MarketEvent::AgentJoined {
+            id: 5,
+            source: truth(0.3, 0.7),
+        });
+        assert!(matches!(market.pump(), Err(MarketError::DuplicateAgent(5))));
+        // The first incarnation survives untouched.
+        assert_eq!(market.num_live_agents(), 1);
+        assert_eq!(market.metrics().joins, 1);
+        assert_eq!(market.metrics().rejected_events, 1);
+    }
+
+    #[test]
+    fn same_batch_leave_then_observe_rejects_only_the_observation() {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::External,
+        });
+        market.pump().unwrap();
+        // Leave followed by a late observation for the same agent: the
+        // leave applies, the observation is unknown-agent, and the events
+        // after it stay queued (fail-fast).
+        market.submit(MarketEvent::AgentLeft { id: 1 });
+        market.submit(MarketEvent::ObservationReported {
+            id: 1,
+            allocation: vec![1.0, 1.0],
+            performance: 1.0,
+        });
+        market.submit(MarketEvent::EpochTick);
+        assert!(matches!(market.pump(), Err(MarketError::UnknownAgent(1))));
+        assert_eq!(market.num_live_agents(), 0);
+        assert_eq!(market.pending_events(), 1);
+        // The retried pump drains the tick; the market is now empty.
+        let reports = market.pump().unwrap();
+        assert_eq!(reports[0].realloc, ReallocationOutcome::EmptyMarket);
+    }
+
+    #[test]
+    fn same_batch_observe_then_leave_keeps_the_observation_effect() {
+        // The mirrored order is legal: the observation lands first, then
+        // the agent departs. Counters must reflect both.
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::External,
+        });
+        market.submit(MarketEvent::ObservationReported {
+            id: 1,
+            allocation: vec![2.0, 1.0],
+            performance: 1.5,
+        });
+        market.submit(MarketEvent::AgentLeft { id: 1 });
+        market.pump().unwrap();
+        assert_eq!(market.metrics().external_observations, 1);
+        assert_eq!(market.num_live_agents(), 0);
+    }
+
+    #[test]
+    fn apply_now_matches_submit_all_pump_to_completion() {
+        let events = || {
+            vec![
+                MarketEvent::AgentJoined {
+                    id: 1,
+                    source: truth(0.6, 0.4),
+                },
+                MarketEvent::AgentJoined {
+                    id: 1, // duplicate: rejected on both paths
+                    source: truth(0.5, 0.5),
+                },
+                MarketEvent::AgentJoined {
+                    id: 2,
+                    source: truth(0.2, 0.8),
+                },
+                MarketEvent::EpochTick,
+                MarketEvent::AgentLeft { id: 7 }, // unknown: rejected
+                MarketEvent::EpochTick,
+            ]
+        };
+        let config = || MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+
+        let mut direct = MarketEngine::new(config()).unwrap();
+        for event in events() {
+            let _ = direct.apply_now(event);
+        }
+
+        let mut queued = MarketEngine::new(config()).unwrap();
+        queued.submit_all(events());
+        // A clean pump drains everything; keep retrying past errors.
+        while queued.pump().is_err() {}
+
+        assert_eq!(direct.metrics(), queued.metrics());
+        assert_eq!(direct.epoch(), queued.epoch());
+        assert_eq!(
+            direct.snapshot().encode(),
+            queued.snapshot().encode(),
+            "apply_now and pump-to-completion diverged"
         );
     }
 

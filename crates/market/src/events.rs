@@ -4,6 +4,32 @@
 //! which the engine processes in submission order when pumped. Membership
 //! events between two `EpochTick`s take effect at the next tick, so a batch
 //! of joins/leaves triggers at most one reallocation.
+//!
+//! ## Same-batch ordering semantics
+//!
+//! Events are applied strictly one at a time in submission order — there
+//! is no coalescing, and every edge case a concurrent transport can
+//! produce reduces to sequential application:
+//!
+//! - **join then leave** (same agent, same batch): a clean no-op for the
+//!   next allocation, but both counters advance and the warm-up window
+//!   restarts (the population *did* churn).
+//! - **leave then join** (same id): a legal rejoin; the new incarnation
+//!   starts from the uniform prior with a fresh `joined_epoch`.
+//! - **join then join** (same id, no leave between): the second join is a
+//!   [`DuplicateAgent`](crate::error::MarketError::DuplicateAgent) error;
+//!   the first incarnation is untouched.
+//! - **leave then observe** (same agent): the observation is an
+//!   [`UnknownAgent`](crate::error::MarketError::UnknownAgent) error —
+//!   departure is immediate, not end-of-epoch. The mirrored
+//!   **observe then leave** order applies the observation first and is
+//!   fully effective.
+//!
+//! Error handling differs by entry point: [`pump`](crate::MarketEngine::pump)
+//! is fail-fast (the failed event is dropped, the rest stay queued), while
+//! [`apply_now`](crate::MarketEngine::apply_now) surfaces each event's
+//! outcome individually. Applying the same sequence through either path —
+//! retrying `pump` past errors — yields bit-identical engine state.
 
 use std::collections::VecDeque;
 

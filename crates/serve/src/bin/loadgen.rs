@@ -1,0 +1,303 @@
+//! Closed-loop load generator for ref-serve.
+//!
+//! Boots an in-process server (or targets `--addr`), drives it at three
+//! offered-load levels with `N` closed-loop client threads each, and
+//! writes `BENCH_serve.json` with throughput, p50/p99 latency, and the
+//! rejection rate per level. With an in-process server it finishes by
+//! draining and replaying the journal, proving the run byte-identical to
+//! an offline `submit_all` — a corrupted run exits non-zero.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--duration-ms 700] [--out BENCH_serve.json]
+//!         [--levels 2,8,32]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ref_core::resource::Capacity;
+use ref_market::MarketConfig;
+use ref_serve::{Client, ClientError, LatencyHistogram, Quotas, ServeConfig, Server, Value};
+
+struct Args {
+    addr: Option<String>,
+    duration_ms: u64,
+    out: String,
+    levels: Vec<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        duration_ms: 700,
+        out: "BENCH_serve.json".to_string(),
+        levels: vec![2, 8, 32],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-ms: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--levels" => {
+                args.levels = value("--levels")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad --levels: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.levels.is_empty() {
+        return Err("--levels must name at least one level".to_string());
+    }
+    Ok(args)
+}
+
+fn market() -> MarketConfig {
+    MarketConfig::new(Capacity::new(vec![64.0, 32.0]).expect("static capacity"))
+}
+
+/// Per-level aggregate counters, shared across client threads.
+#[derive(Default)]
+struct LevelStats {
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct LevelResult {
+    clients: usize,
+    elapsed: Duration,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    p50_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+}
+
+impl LevelResult {
+    fn to_json(&self) -> Value {
+        let total = self.ok + self.rejected;
+        let rejection_rate = if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        };
+        let throughput = self.ok as f64 / self.elapsed.as_secs_f64();
+        Value::obj(vec![
+            ("clients", Value::from_u64(self.clients as u64)),
+            (
+                "duration_ms",
+                Value::from_u64(self.elapsed.as_millis() as u64),
+            ),
+            ("ok", Value::from_u64(self.ok)),
+            ("rejected", Value::from_u64(self.rejected)),
+            ("errors", Value::from_u64(self.errors)),
+            ("rejection_rate", Value::Num(rejection_rate)),
+            ("throughput_rps", Value::Num(throughput)),
+            ("p50_us", Value::from_u64(self.p50_us)),
+            ("p99_us", Value::from_u64(self.p99_us)),
+            ("mean_us", Value::Num(self.mean_us)),
+        ])
+    }
+}
+
+/// One closed-loop client: joins its own agent, then hammers a fixed op
+/// mix until the deadline. Overload rejections back off politely and are
+/// counted; they are backpressure, not failures.
+fn run_client(
+    addr: &str,
+    worker: usize,
+    level: usize,
+    deadline: Instant,
+    stats: &LevelStats,
+    latency: &LatencyHistogram,
+) {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let agent = (level * 1000 + worker + 1) as u64;
+    // Join outside the measured loop; a duplicate rejoin after a prior
+    // level is impossible because ids are level-scoped.
+    if client.join_external(agent).is_err() {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let observe = Value::obj(vec![
+        ("op", Value::str("observe")),
+        ("agent", Value::from_u64(agent)),
+        ("allocation", Value::num_array(&[1.5, 0.75])),
+        ("performance", Value::Num(1.0 + worker as f64 * 0.01)),
+    ]);
+    let query = Value::obj(vec![
+        ("op", Value::str("query")),
+        ("agent", Value::from_u64(agent)),
+    ]);
+    let mut i = 0u64;
+    while Instant::now() < deadline {
+        let request = if i % 3 == 2 { &query } else { &observe };
+        let started = Instant::now();
+        match client.call(request) {
+            Ok(_) => {
+                let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                latency.record_us(us);
+                stats.ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e @ ClientError::Server { .. }) if e.code() == Some("overloaded") => {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                let backoff = match e {
+                    ClientError::Server { retry_after_ms, .. } => retry_after_ms.unwrap_or(1),
+                    _ => 1,
+                };
+                std::thread::sleep(Duration::from_millis(backoff.max(1)));
+            }
+            Err(ClientError::Server { .. }) => {
+                // Market-level rejections (e.g. racing a shutdown) count
+                // as errors: the op mix should never produce them.
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        i += 1;
+    }
+    let _ = client.leave(agent);
+}
+
+fn run_level(addr: &str, clients: usize, level: usize, duration: Duration) -> LevelResult {
+    let stats = LevelStats::default();
+    let latency = LatencyHistogram::new();
+    let started = Instant::now();
+    let deadline = started + duration;
+    // One OS thread per closed-loop client: the default pool width would
+    // serialize clients, turning offered load into a fiction.
+    ref_pool::par_map_threads(clients, clients, |worker| {
+        run_client(addr, worker, level, deadline, &stats, &latency);
+    });
+    let elapsed = started.elapsed();
+    let snap = latency.snapshot();
+    LevelResult {
+        clients,
+        elapsed,
+        ok: stats.ok.load(Ordering::Relaxed),
+        rejected: stats.rejected.load(Ordering::Relaxed),
+        errors: stats.errors.load(Ordering::Relaxed),
+        p50_us: snap.quantile_us(0.50),
+        p99_us: snap.quantile_us(0.99),
+        mean_us: snap.mean_us(),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Self-booted servers get deliberately tight observe/query quotas so
+    // the top load level genuinely over-offers and exercises rejection.
+    let local = if args.addr.is_none() {
+        let config = ServeConfig::new(market())
+            .with_epoch_interval(Some(Duration::from_millis(2)))
+            .with_quotas(Quotas {
+                control: 256,
+                observe: 8,
+                query: 8,
+            })
+            .with_max_connections(1024);
+        match Server::start("127.0.0.1:0", config) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("loadgen: failed to boot server: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &local) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    let duration = Duration::from_millis(args.duration_ms);
+    let mut results = Vec::new();
+    for (level, &clients) in args.levels.iter().enumerate() {
+        eprintln!("loadgen: level {level}: {clients} closed-loop clients for {duration:?}");
+        let result = run_level(&addr, clients, level, duration);
+        eprintln!(
+            "loadgen:   ok={} rejected={} errors={} p50={}us p99={}us",
+            result.ok, result.rejected, result.errors, result.p50_us, result.p99_us
+        );
+        results.push(result);
+    }
+
+    let client_errors: u64 = results.iter().map(|r| r.errors).sum();
+
+    // Drain the local server and prove the run replayable bit-for-bit.
+    let mut replay_identical = Value::Null;
+    let mut protocol_errors = Value::Null;
+    if let Some(server) = local {
+        let report = server.shutdown();
+        protocol_errors = Value::from_u64(report.metrics.protocol_errors);
+        let identical = if report.journal_overflowed {
+            eprintln!("loadgen: journal overflowed; raise the limit for replay checks");
+            false
+        } else {
+            match ref_serve::replay(market(), &report.journal) {
+                Ok(engine) => engine.snapshot().encode() == report.snapshot,
+                Err(_) => false,
+            }
+        };
+        replay_identical = Value::Bool(identical);
+        if !identical {
+            eprintln!("loadgen: FATAL: journal replay does not match the live snapshot");
+        }
+        if report.metrics.protocol_errors > 0 {
+            eprintln!(
+                "loadgen: FATAL: {} protocol errors",
+                report.metrics.protocol_errors
+            );
+        }
+        if !identical || report.metrics.protocol_errors > 0 {
+            std::process::exit(1);
+        }
+    }
+
+    let doc = Value::obj(vec![
+        ("bench", Value::str("serve")),
+        ("duration_ms", Value::from_u64(args.duration_ms)),
+        (
+            "levels",
+            Value::Arr(results.iter().map(LevelResult::to_json).collect()),
+        ),
+        ("replay_identical", replay_identical),
+        ("protocol_errors", protocol_errors),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", doc.encode())) {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("loadgen: wrote {}", args.out);
+    if client_errors > 0 {
+        eprintln!("loadgen: FATAL: {client_errors} client-side errors");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,256 @@
+//! The bounded MPSC event bus between connection readers and the ticker.
+//!
+//! A single global FIFO preserves cross-client arrival order (the engine's
+//! determinism contract needs one total order), while **per-class quotas**
+//! bound each admission class independently: a flood of `query`s can fill
+//! the query quota and start bouncing, but `observe` and control traffic
+//! keep flowing until their own quotas fill. Rejection is immediate and
+//! explicit — `try_send` never blocks — so backpressure surfaces to the
+//! client as an `overloaded` response with a `retry_after_ms` hint rather
+//! than as unbounded queueing or silent drops.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{Class, NUM_CLASSES};
+
+/// Why an item was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The item's class quota is exhausted; retry after the hint.
+    Full(Class),
+    /// The bus is closed (server shutting down).
+    Closed,
+}
+
+/// Per-class queue quotas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quotas {
+    /// Maximum queued `Control` items.
+    pub control: usize,
+    /// Maximum queued `Observe` items.
+    pub observe: usize,
+    /// Maximum queued `Query` items.
+    pub query: usize,
+}
+
+impl Quotas {
+    fn limit(&self, class: Class) -> usize {
+        match class {
+            Class::Control => self.control,
+            Class::Observe => self.observe,
+            Class::Query => self.query,
+        }
+    }
+}
+
+impl Default for Quotas {
+    fn default() -> Quotas {
+        Quotas {
+            control: 256,
+            observe: 1024,
+            query: 256,
+        }
+    }
+}
+
+struct BusState<T> {
+    queue: VecDeque<(Class, T)>,
+    counts: [usize; NUM_CLASSES],
+    closed: bool,
+    depth_max: usize,
+}
+
+/// A bounded multi-producer single-consumer queue with class quotas.
+pub struct Bus<T> {
+    state: Mutex<BusState<T>>,
+    available: Condvar,
+    quotas: Quotas,
+}
+
+impl<T> std::fmt::Debug for Bus<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bus").field("quotas", &self.quotas).finish()
+    }
+}
+
+impl<T> Bus<T> {
+    /// Creates an open bus with the given quotas.
+    pub fn new(quotas: Quotas) -> Bus<T> {
+        Bus {
+            state: Mutex::new(BusState {
+                queue: VecDeque::new(),
+                counts: [0; NUM_CLASSES],
+                closed: false,
+                depth_max: 0,
+            }),
+            available: Condvar::new(),
+            quotas,
+        }
+    }
+
+    /// The configured quotas.
+    pub fn quotas(&self) -> Quotas {
+        self.quotas
+    }
+
+    /// Admits one item, or rejects immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Full`] when the item's class quota is exhausted,
+    /// [`SendError::Closed`] once [`Bus::close`] has been called.
+    pub fn try_send(&self, class: Class, item: T) -> Result<(), SendError> {
+        let mut state = self.state.lock().expect("bus lock poisoned");
+        if state.closed {
+            return Err(SendError::Closed);
+        }
+        if state.counts[class as usize] >= self.quotas.limit(class) {
+            return Err(SendError::Full(class));
+        }
+        state.counts[class as usize] += 1;
+        state.queue.push_back((class, item));
+        state.depth_max = state.depth_max.max(state.queue.len());
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Removes and returns every queued item in arrival order.
+    pub fn drain(&self) -> Vec<(Class, T)> {
+        let mut state = self.state.lock().expect("bus lock poisoned");
+        state.counts = [0; NUM_CLASSES];
+        state.queue.drain(..).collect()
+    }
+
+    /// Blocks until the bus is non-empty, closed, or `timeout` elapses.
+    /// Returns `true` when items are (probably) available.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let state = self.state.lock().expect("bus lock poisoned");
+        if !state.queue.is_empty() || state.closed {
+            return !state.queue.is_empty();
+        }
+        let (state, _) = self
+            .available
+            .wait_timeout(state, timeout)
+            .expect("bus lock poisoned");
+        !state.queue.is_empty()
+    }
+
+    /// Closes the bus: subsequent `try_send`s fail with
+    /// [`SendError::Closed`]; already-queued items remain drainable.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("bus lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Whether the bus is closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("bus lock poisoned").closed
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("bus lock poisoned").queue.len()
+    }
+
+    /// High-water mark of the queue depth since creation.
+    pub fn depth_max(&self) -> usize {
+        self.state.lock().expect("bus lock poisoned").depth_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn preserves_global_fifo_order_across_classes() {
+        let bus: Bus<u32> = Bus::new(Quotas::default());
+        bus.try_send(Class::Query, 1).unwrap();
+        bus.try_send(Class::Control, 2).unwrap();
+        bus.try_send(Class::Observe, 3).unwrap();
+        let drained: Vec<u32> = bus.drain().into_iter().map(|(_, x)| x).collect();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert_eq!(bus.depth(), 0);
+        assert_eq!(bus.depth_max(), 3);
+    }
+
+    #[test]
+    fn full_class_rejects_without_blocking_other_classes() {
+        let bus: Bus<u32> = Bus::new(Quotas {
+            control: 2,
+            observe: 1,
+            query: 1,
+        });
+        bus.try_send(Class::Query, 0).unwrap();
+        // The query quota is exhausted; queries bounce with the class.
+        assert_eq!(
+            bus.try_send(Class::Query, 1),
+            Err(SendError::Full(Class::Query))
+        );
+        // Other classes are unaffected by the full query quota.
+        bus.try_send(Class::Observe, 2).unwrap();
+        bus.try_send(Class::Control, 3).unwrap();
+        bus.try_send(Class::Control, 4).unwrap();
+        assert_eq!(
+            bus.try_send(Class::Control, 5),
+            Err(SendError::Full(Class::Control))
+        );
+        // Draining resets every quota.
+        assert_eq!(bus.drain().len(), 4);
+        bus.try_send(Class::Query, 6).unwrap();
+    }
+
+    #[test]
+    fn close_rejects_new_items_but_keeps_queued_ones() {
+        let bus: Bus<u32> = Bus::new(Quotas::default());
+        bus.try_send(Class::Control, 1).unwrap();
+        bus.close();
+        assert_eq!(bus.try_send(Class::Control, 2), Err(SendError::Closed));
+        assert!(bus.is_closed());
+        assert_eq!(bus.drain().len(), 1);
+    }
+
+    #[test]
+    fn wait_wakes_on_send_and_expires_on_timeout() {
+        let bus: Arc<Bus<u32>> = Arc::new(Bus::new(Quotas::default()));
+        assert!(!bus.wait(Duration::from_millis(10)));
+        let sender = Arc::clone(&bus);
+        let handle = std::thread::spawn(move || {
+            sender.try_send(Class::Observe, 7).unwrap();
+        });
+        assert!(bus.wait(Duration::from_secs(5)));
+        handle.join().unwrap();
+        assert_eq!(bus.drain().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_respect_the_quota_exactly() {
+        let bus: Arc<Bus<usize>> = Arc::new(Bus::new(Quotas {
+            control: 256,
+            observe: 50,
+            query: 256,
+        }));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let bus = Arc::clone(&bus);
+            handles.push(std::thread::spawn(move || {
+                let mut admitted = 0;
+                for i in 0..100 {
+                    if bus.try_send(Class::Observe, t * 100 + i).is_ok() {
+                        admitted += 1;
+                    }
+                }
+                admitted
+            }));
+        }
+        let admitted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(admitted, 50, "quota must bound admissions exactly");
+        assert_eq!(bus.drain().len(), 50);
+    }
+}

@@ -1,0 +1,357 @@
+//! A blocking, line-oriented ref-serve client.
+//!
+//! One connection carries one outstanding request at a time (the protocol
+//! is a closed loop), so the client is a thin synchronous wrapper: encode
+//! a line, write it, read one line back. [`Client::call_retrying`] adds
+//! the polite reaction to backpressure — sleep for the server's
+//! `retry_after_ms` hint and resubmit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Value;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or closed mid-call.
+    Io(std::io::Error),
+    /// The server's reply was not valid protocol JSON.
+    Protocol(String),
+    /// The server replied `{"ok":false,...}`.
+    Server {
+        /// The protocol error code (`overloaded`, `market`, ...).
+        code: String,
+        /// Optional human-readable detail.
+        detail: Option<String>,
+        /// Backoff hint attached to `overloaded` rejections.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, detail, .. } => match detail {
+                Some(d) => write!(f, "server error {code}: {d}"),
+                None => write!(f, "server error {code}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The error code when the server rejected the request, if any.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a ref-serve instance.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw protocol line and returns the raw reply value,
+    /// whether or not it is `ok`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connection failure, [`ClientError::Protocol`]
+    /// if the reply line is not valid JSON.
+    pub fn call_line(&mut self, line: &str) -> Result<Value, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Value::parse(reply.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one request value and returns the reply, turning
+    /// `{"ok":false}` replies into [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let reply = self.call_line(&request.encode())?;
+        match reply.get("ok") {
+            Some(&Value::Bool(true)) => Ok(reply),
+            Some(&Value::Bool(false)) => Err(ClientError::Server {
+                code: reply
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                detail: reply
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                retry_after_ms: reply.get("retry_after_ms").and_then(Value::as_u64),
+            }),
+            _ => Err(ClientError::Protocol(format!(
+                "reply missing \"ok\" field: {reply}"
+            ))),
+        }
+    }
+
+    /// Like [`Client::call`], but sleeps out `overloaded` rejections
+    /// (using the server's `retry_after_ms` hint) up to `max_attempts`
+    /// times. Returns the number of retries alongside the reply.
+    ///
+    /// # Errors
+    ///
+    /// The final error once attempts are exhausted, or any non-overload
+    /// error immediately.
+    pub fn call_retrying(
+        &mut self,
+        request: &Value,
+        max_attempts: usize,
+    ) -> Result<(Value, u64), ClientError> {
+        let mut retries = 0;
+        loop {
+            match self.call(request) {
+                Ok(reply) => return Ok((reply, retries)),
+                Err(e @ ClientError::Server { .. }) if e.code() == Some("overloaded") => {
+                    if retries as usize + 1 >= max_attempts {
+                        return Err(e);
+                    }
+                    let backoff = match &e {
+                        ClientError::Server { retry_after_ms, .. } => {
+                            retry_after_ms.unwrap_or(1).max(1)
+                        }
+                        _ => 1,
+                    };
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Joins agent `agent` with a hidden Cobb-Douglas ground truth.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn join_truth(
+        &mut self,
+        agent: u64,
+        scale: f64,
+        elasticities: &[f64],
+    ) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![
+            ("op", Value::str("join")),
+            ("agent", Value::from_u64(agent)),
+            (
+                "source",
+                Value::obj(vec![
+                    ("kind", Value::str("truth")),
+                    ("scale", Value::Num(scale)),
+                    ("elasticities", Value::num_array(elasticities)),
+                ]),
+            ),
+        ]))
+    }
+
+    /// Joins agent `agent` with externally-reported observations.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn join_external(&mut self, agent: u64) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![
+            ("op", Value::str("join")),
+            ("agent", Value::from_u64(agent)),
+            ("source", Value::obj(vec![("kind", Value::str("external"))])),
+        ]))
+    }
+
+    /// Removes agent `agent` from the market.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn leave(&mut self, agent: u64) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![
+            ("op", Value::str("leave")),
+            ("agent", Value::from_u64(agent)),
+        ]))
+    }
+
+    /// Resets agent `agent`'s estimator, optionally with a new truth.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn demand(
+        &mut self,
+        agent: u64,
+        truth: Option<(f64, &[f64])>,
+    ) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![
+            ("op", Value::str("demand")),
+            ("agent", Value::from_u64(agent)),
+            (
+                "truth",
+                truth.map_or(Value::Null, |(scale, e)| {
+                    Value::obj(vec![
+                        ("scale", Value::Num(scale)),
+                        ("elasticities", Value::num_array(e)),
+                    ])
+                }),
+            ),
+        ]))
+    }
+
+    /// Reports an external `(allocation, performance)` measurement.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn observe(
+        &mut self,
+        agent: u64,
+        allocation: &[f64],
+        performance: f64,
+    ) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![
+            ("op", Value::str("observe")),
+            ("agent", Value::from_u64(agent)),
+            ("allocation", Value::num_array(allocation)),
+            ("performance", Value::Num(performance)),
+        ]))
+    }
+
+    /// Runs one epoch now.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn tick(&mut self) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![("op", Value::str("tick"))]))
+    }
+
+    /// Market-wide state: epoch, live agents, last epoch report.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn query(&mut self) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![("op", Value::str("query"))]))
+    }
+
+    /// One agent's state: elasticities, observation counts, bundle.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn query_agent(&mut self, agent: u64) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![
+            ("op", Value::str("query")),
+            ("agent", Value::from_u64(agent)),
+        ]))
+    }
+
+    /// The full market snapshot in its text wire format.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn snapshot(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(&Value::obj(vec![("op", Value::str("snapshot"))]))?;
+        reply
+            .get("snapshot")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("snapshot reply missing text".to_string()))
+    }
+
+    /// Market and server metrics as JSON sections.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![("op", Value::str("metrics"))]))
+    }
+
+    /// Market and server metrics as scrapeable text.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(&Value::obj(vec![
+            ("op", Value::str("metrics")),
+            ("format", Value::str("text")),
+        ]))?;
+        reply
+            .get("text")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics reply missing text".to_string()))
+    }
+
+    /// The accepted-event journal.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; `journal_overflow` if the server dropped it.
+    pub fn journal(&mut self) -> Result<Vec<Value>, ClientError> {
+        let reply = self.call(&Value::obj(vec![("op", Value::str("journal"))]))?;
+        reply
+            .get("events")
+            .and_then(Value::as_array)
+            .map(<[Value]>::to_vec)
+            .ok_or_else(|| ClientError::Protocol("journal reply missing events".to_string()))
+    }
+
+    /// Asks the server to drain and stop; the reply carries the final
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![("op", Value::str("shutdown"))]))
+    }
+}

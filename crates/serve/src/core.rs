@@ -1,0 +1,352 @@
+//! The sans-IO service core: one [`MarketEngine`] plus the accepted-event
+//! journal, driven by parsed [`Request`]s.
+//!
+//! The network layer is a pure transport around this type: every request
+//! the server admits is handled here, single-threaded, in admission
+//! order. That makes the server's behaviour replayable — feeding the
+//! journal back through [`replay`] reconstructs the exact engine state,
+//! bit for bit — and makes the core testable without opening a socket.
+
+use std::time::Instant;
+
+use ref_market::{EpochReport, Result as MarketResult};
+use ref_market::{MarketConfig, MarketEngine, MarketEvent};
+
+use crate::json::Value;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{error_response, event_to_value, ok_response, Request};
+
+/// How many journal entries the core retains before it stops recording.
+///
+/// The journal exists so a run can be audited offline (replay equals the
+/// live engine, byte for byte). It must not become an unbounded memory
+/// leak under sustained load, so past the cap the core keeps serving but
+/// marks the journal overflowed; `journal` requests then fail loudly
+/// instead of returning a silently truncated history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalLimit(pub usize);
+
+impl Default for JournalLimit {
+    fn default() -> JournalLimit {
+        JournalLimit(1 << 20)
+    }
+}
+
+/// The engine, its journal, and the last epoch's report.
+#[derive(Debug)]
+pub struct ServiceCore {
+    engine: MarketEngine,
+    journal: Vec<MarketEvent>,
+    journal_limit: usize,
+    journal_overflowed: bool,
+    last_report: Option<EpochReport>,
+}
+
+impl ServiceCore {
+    /// Creates a core around a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MarketEngine::new`] configuration errors.
+    pub fn new(config: MarketConfig, journal_limit: JournalLimit) -> MarketResult<ServiceCore> {
+        Ok(ServiceCore {
+            engine: MarketEngine::new(config)?,
+            journal: Vec::new(),
+            journal_limit: journal_limit.0,
+            journal_overflowed: false,
+            last_report: None,
+        })
+    }
+
+    /// The wrapped engine (read-only).
+    pub fn engine(&self) -> &MarketEngine {
+        &self.engine
+    }
+
+    /// The accepted-event journal (empty once overflowed — check
+    /// [`ServiceCore::journal_overflowed`]).
+    pub fn journal(&self) -> &[MarketEvent] {
+        &self.journal
+    }
+
+    /// Whether the journal hit its cap and stopped recording.
+    pub fn journal_overflowed(&self) -> bool {
+        self.journal_overflowed
+    }
+
+    /// The most recent epoch report, if any epoch has run.
+    pub fn last_report(&self) -> Option<&EpochReport> {
+        self.last_report.as_ref()
+    }
+
+    fn record(&mut self, event: &MarketEvent) {
+        if self.journal_overflowed {
+            return;
+        }
+        if self.journal.len() >= self.journal_limit {
+            self.journal_overflowed = true;
+            self.journal = Vec::new();
+            return;
+        }
+        self.journal.push(event.clone());
+    }
+
+    /// Applies one event-bearing request to the engine, journaling it
+    /// first (rejected events are journaled too — the rejection bumps an
+    /// engine counter, so replay must see it to stay bit-identical).
+    fn apply_event(&mut self, event: MarketEvent, metrics: &ServeMetrics) -> Value {
+        self.record(&event);
+        let is_tick = matches!(event, MarketEvent::EpochTick);
+        let started = Instant::now();
+        match self.engine.apply_now(event) {
+            Ok(report) => {
+                let epoch = self.engine.epoch();
+                if is_tick {
+                    metrics
+                        .epoch_latency
+                        .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    ServeMetrics::bump(&metrics.epochs);
+                }
+                let mut fields = vec![("epoch", Value::from_u64(epoch))];
+                if let Some(report) = report {
+                    fields.push((
+                        "report",
+                        Value::parse(&report.to_json()).expect("report JSON is valid"),
+                    ));
+                    self.last_report = Some(report);
+                }
+                ok_response(fields)
+            }
+            Err(e) => error_response("market", Some(&e.to_string()), None),
+        }
+    }
+
+    /// Handles one admitted request and produces its response.
+    ///
+    /// `Shutdown` is *not* handled here — the transport intercepts it to
+    /// sequence the drain — but every other op is.
+    pub fn handle(&mut self, request: &Request, metrics: &ServeMetrics) -> Value {
+        if let Some(event) = request.to_event() {
+            return self.apply_event(event, metrics);
+        }
+        match request {
+            Request::Query { agent: None } => {
+                let mut fields = vec![
+                    ("epoch", Value::from_u64(self.engine.epoch())),
+                    (
+                        "agents",
+                        Value::Arr(
+                            self.engine
+                                .live_agents()
+                                .into_iter()
+                                .map(Value::from_u64)
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if let Some(report) = &self.last_report {
+                    fields.push((
+                        "report",
+                        Value::parse(&report.to_json()).expect("report JSON is valid"),
+                    ));
+                }
+                ok_response(fields)
+            }
+            Request::Query { agent: Some(id) } => match self.engine.agent(*id) {
+                None => error_response("market", Some(&format!("unknown agent {id}")), None),
+                Some(agent) => {
+                    let utility = agent.reported_utility();
+                    let bundle = self.last_report.as_ref().and_then(|r| {
+                        let slot = r.agents.iter().position(|a| a == id)?;
+                        let alloc = r.allocation.as_ref()?;
+                        Some(Value::num_array(alloc.bundle(slot).as_slice()))
+                    });
+                    ok_response(vec![
+                        ("epoch", Value::from_u64(self.engine.epoch())),
+                        ("agent", Value::from_u64(*id)),
+                        ("joined_epoch", Value::from_u64(agent.joined_epoch)),
+                        ("elasticities", Value::num_array(utility.elasticities())),
+                        (
+                            "observations",
+                            Value::from_u64(agent.estimator.num_observations() as u64),
+                        ),
+                        ("refits", Value::from_u64(agent.estimator.refits() as u64)),
+                        ("bundle", bundle.unwrap_or(Value::Null)),
+                    ])
+                }
+            },
+            Request::Snapshot => ok_response(vec![(
+                "snapshot",
+                Value::str(self.engine.snapshot().encode()),
+            )]),
+            Request::Metrics { text } => {
+                let server = metrics.snapshot();
+                if *text {
+                    let mut out = self.engine.metrics().to_text();
+                    out.push_str(&server.to_text());
+                    ok_response(vec![("text", Value::str(out))])
+                } else {
+                    ok_response(vec![
+                        (
+                            "market",
+                            Value::parse(&self.engine.metrics().to_json())
+                                .expect("metrics JSON is valid"),
+                        ),
+                        ("server", server.to_json_value()),
+                    ])
+                }
+            }
+            Request::Journal => {
+                if self.journal_overflowed {
+                    error_response(
+                        "journal_overflow",
+                        Some("journal exceeded its retention limit and was dropped"),
+                        None,
+                    )
+                } else {
+                    ok_response(vec![(
+                        "events",
+                        Value::Arr(self.journal.iter().map(event_to_value).collect()),
+                    )])
+                }
+            }
+            Request::Shutdown => error_response(
+                "protocol",
+                Some("shutdown is handled by the transport"),
+                None,
+            ),
+            // Event-bearing ops were dispatched above.
+            Request::Join { .. }
+            | Request::Leave { .. }
+            | Request::Demand { .. }
+            | Request::Observe { .. }
+            | Request::Tick => unreachable!("event-bearing request fell through"),
+        }
+    }
+
+    /// Final snapshot text, for the shutdown drain.
+    pub fn final_snapshot(&self) -> String {
+        self.engine.snapshot().encode()
+    }
+}
+
+/// Replays a journal against a fresh engine with `config`, continuing
+/// past rejected events exactly as the live core does.
+///
+/// The result is bit-identical to the engine that produced the journal:
+/// `replay(config, core.journal()).snapshot().encode() ==
+/// core.final_snapshot()`.
+///
+/// # Errors
+///
+/// Propagates only [`MarketEngine::new`] configuration errors; event
+/// rejections are part of faithful replay and are swallowed.
+pub fn replay(config: MarketConfig, journal: &[MarketEvent]) -> MarketResult<MarketEngine> {
+    let mut engine = MarketEngine::new(config)?;
+    for event in journal {
+        let _ = engine.apply_now(event.clone());
+    }
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ref_core::resource::Capacity;
+    use ref_core::utility::CobbDouglas;
+    use ref_market::ObservationSource;
+
+    fn config() -> MarketConfig {
+        MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap())
+    }
+
+    fn join(agent: u64, e0: f64) -> Request {
+        Request::Join {
+            agent,
+            source: ObservationSource::GroundTruth(
+                CobbDouglas::new(1.0, vec![e0, 1.0 - e0]).unwrap(),
+            ),
+        }
+    }
+
+    #[test]
+    fn core_journal_replays_bit_identically() {
+        let metrics = ServeMetrics::new();
+        let mut core = ServiceCore::new(config(), JournalLimit::default()).unwrap();
+        core.handle(&join(1, 0.6), &metrics);
+        core.handle(&join(2, 0.2), &metrics);
+        core.handle(&join(1, 0.5), &metrics); // duplicate: rejected, journaled
+        for _ in 0..12 {
+            core.handle(&Request::Tick, &metrics);
+        }
+        core.handle(&Request::Leave { agent: 2 }, &metrics);
+        core.handle(&Request::Leave { agent: 99 }, &metrics); // unknown: rejected
+        core.handle(&Request::Tick, &metrics);
+
+        let replayed = replay(config(), core.journal()).unwrap();
+        assert_eq!(replayed.snapshot().encode(), core.final_snapshot());
+        assert_eq!(metrics.snapshot().epochs, 13);
+    }
+
+    #[test]
+    fn queries_report_allocation_bundles() {
+        let metrics = ServeMetrics::new();
+        let mut core = ServiceCore::new(config(), JournalLimit::default()).unwrap();
+        core.handle(&join(1, 0.6), &metrics);
+        core.handle(&join(2, 0.2), &metrics);
+        for _ in 0..20 {
+            core.handle(&Request::Tick, &metrics);
+        }
+        let reply = core.handle(&Request::Query { agent: Some(1) }, &metrics);
+        assert_eq!(reply.get("ok"), Some(&Value::Bool(true)));
+        let bundle = reply.get("bundle").unwrap().as_array().unwrap();
+        assert_eq!(bundle.len(), 2);
+        assert!((bundle[0].as_f64().unwrap() - 18.0).abs() < 0.6, "{reply}");
+        let market_wide = core.handle(&Request::Query { agent: None }, &metrics);
+        assert_eq!(
+            market_wide.get("agents").unwrap().as_array().unwrap().len(),
+            2
+        );
+        let unknown = core.handle(&Request::Query { agent: Some(9) }, &metrics);
+        assert_eq!(unknown.get("ok"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn journal_overflow_fails_loudly_not_silently() {
+        let metrics = ServeMetrics::new();
+        let mut core = ServiceCore::new(config(), JournalLimit(3)).unwrap();
+        core.handle(&join(1, 0.6), &metrics);
+        core.handle(&Request::Tick, &metrics);
+        core.handle(&Request::Tick, &metrics);
+        assert!(!core.journal_overflowed());
+        core.handle(&Request::Tick, &metrics); // 4th event: overflow
+        assert!(core.journal_overflowed());
+        assert!(core.journal().is_empty());
+        let reply = core.handle(&Request::Journal, &metrics);
+        assert_eq!(
+            reply.get("error").and_then(Value::as_str),
+            Some("journal_overflow")
+        );
+        // The engine keeps serving regardless.
+        let tick = core.handle(&Request::Tick, &metrics);
+        assert_eq!(tick.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn metrics_reply_carries_market_and_server_sections() {
+        let metrics = ServeMetrics::new();
+        let mut core = ServiceCore::new(config(), JournalLimit::default()).unwrap();
+        core.handle(&join(1, 0.6), &metrics);
+        core.handle(&Request::Tick, &metrics);
+        let reply = core.handle(&Request::Metrics { text: false }, &metrics);
+        assert_eq!(
+            reply.get("market").unwrap().get("epochs").unwrap().as_u64(),
+            Some(1)
+        );
+        assert!(reply.get("server").unwrap().get("epochs").is_some());
+        let text = core.handle(&Request::Metrics { text: true }, &metrics);
+        let body = text.get("text").unwrap().as_str().unwrap();
+        assert!(body.contains("refmarket_epochs 1\n"), "{body}");
+        assert!(body.contains("refserve_epochs"), "{body}");
+    }
+}

@@ -1,0 +1,70 @@
+//! ref-serve: a batching, backpressured network front-end for the REF
+//! market.
+//!
+//! The [`ref_market`] engine is an in-process, single-threaded state
+//! machine. This crate puts it on the wire without giving up its
+//! determinism contract:
+//!
+//! * **Transport** ([`server`]): a std-only TCP server speaking
+//!   newline-delimited JSON ([`protocol`]). An acceptor thread spawns one
+//!   reader per connection; readers parse and *admit* requests, they
+//!   never touch the engine.
+//! * **Backpressure** ([`bus`]): admitted requests enter a bounded FIFO
+//!   with per-class quotas (control / observe / query). When a class
+//!   quota is full, the client gets an immediate `overloaded` rejection
+//!   with a `retry_after_ms` hint — queueing is never unbounded and
+//!   rejection is never silent.
+//! * **Batching** ([`server`]'s ticker): a single thread drains the bus
+//!   in arrival order, applies each request to the engine, runs timed
+//!   epochs, and fans replies back over per-request channels. One thread,
+//!   one total order — the engine stays deterministic.
+//! * **Replayability** ([`core`]): every event submitted to the engine is
+//!   journaled; [`core::replay`] reconstructs the final engine state
+//!   byte-for-byte from the journal, making the server a *pure
+//!   transport*: accepted events in, the same allocations an offline
+//!   `submit_all` would produce out.
+//! * **Observability** ([`metrics`]): lock-free server counters and a
+//!   log2 epoch-latency histogram, served next to the market's own
+//!   [`ref_market::MarketMetrics`] in stable JSON or scrape-style text.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ref_core::resource::Capacity;
+//! use ref_market::MarketConfig;
+//! use ref_serve::{Client, ServeConfig, Server};
+//!
+//! let market = MarketConfig::new(Capacity::new(vec![16.0, 8.0]).unwrap());
+//! // `epoch_interval: None` runs epochs only on explicit `tick` requests
+//! // (deterministic mode); pass `Some(interval)` for timed epochs.
+//! let config = ServeConfig::new(market).with_epoch_interval(None);
+//! let server = Server::start("127.0.0.1:0", config).unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! client.join_truth(1, 1.0, &[0.7, 0.3]).unwrap();
+//! client.tick().unwrap();
+//! let reply = client.query_agent(1).unwrap();
+//! assert!(reply.get("bundle").is_some());
+//!
+//! let report = server.shutdown();
+//! assert!(report.snapshot.starts_with("refmarket-snapshot"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod client;
+pub mod core;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use bus::{Bus, Quotas, SendError};
+pub use client::{Client, ClientError};
+pub use core::{replay, JournalLimit, ServiceCore};
+pub use json::Value;
+pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, ServeMetricsSnapshot};
+pub use protocol::{parse_request, Class, Envelope, Request};
+pub use server::{ServeConfig, Server, ShutdownReport};

@@ -1,0 +1,300 @@
+//! Server-side counters and the epoch-latency histogram.
+//!
+//! All counters are atomics so connection readers, the acceptor and the
+//! ticker update them without a lock; [`ServeMetrics::snapshot`] takes a
+//! point-in-time copy for serialization. The histogram uses power-of-two
+//! microsecond buckets — coarse, but monotone and allocation-free — and
+//! reports conservative (upper-bound) percentile estimates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Value;
+
+/// Number of log2 microsecond buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` µs, except bucket 0 (`< 2` µs) and the last bucket
+/// (everything from ~67 s up).
+pub const HISTOGRAM_BUCKETS: usize = 27;
+
+/// A fixed-bucket log2 latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        ((64 - us.max(1).leading_zeros() as usize) - 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of bucket `i` in microseconds.
+    fn bucket_upper_us(i: usize) -> u64 {
+        1u64 << (i + 1)
+    }
+
+    /// Conservative `q`-quantile estimate in microseconds (the upper edge
+    /// of the bucket containing the quantile), or 0 with no samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_us(i);
+            }
+        }
+        Self::bucket_upper_us(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean sample in microseconds (0 with no samples).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Stable JSON form: count, sum, p50/p99 estimates, non-empty buckets
+    /// as `[index, count]` pairs.
+    pub fn to_json_value(&self) -> Value {
+        let nonzero: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| Value::Arr(vec![Value::from_u64(i as u64), Value::from_u64(*n)]))
+            .collect();
+        Value::obj(vec![
+            ("count", Value::from_u64(self.count)),
+            ("sum_us", Value::from_u64(self.sum_us)),
+            ("p50_us", Value::from_u64(self.quantile_us(0.50))),
+            ("p99_us", Value::from_u64(self.quantile_us(0.99))),
+            ("buckets", Value::Arr(nonzero)),
+        ])
+    }
+}
+
+/// Shared server counters, updated lock-free from every thread.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Requests admitted to the bus.
+    pub accepted: AtomicU64,
+    /// Requests bounced by a full class quota.
+    pub rejected_overload: AtomicU64,
+    /// Requests dropped in-queue past their deadline.
+    pub rejected_deadline: AtomicU64,
+    /// Requests bounced because the server was draining.
+    pub rejected_shutdown: AtomicU64,
+    /// Lines that failed to parse or validate.
+    pub protocol_errors: AtomicU64,
+    /// Epochs executed by the ticker.
+    pub epochs: AtomicU64,
+    /// High-water mark of queue depth observed at drain time.
+    pub queue_depth_max: AtomicU64,
+    /// Wall-clock latency of each epoch's pump.
+    pub epoch_latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises `queue_depth_max` to at least `depth`.
+    pub fn observe_depth(&self, depth: u64) {
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        ServeMetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            epochs: self.epochs.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            epoch_latency: self.epoch_latency.snapshot(),
+        }
+    }
+}
+
+/// A plain copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeMetricsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests admitted to the bus.
+    pub accepted: u64,
+    /// Requests bounced by quota.
+    pub rejected_overload: u64,
+    /// Requests expired in-queue.
+    pub rejected_deadline: u64,
+    /// Requests bounced during drain.
+    pub rejected_shutdown: u64,
+    /// Unparseable or invalid lines.
+    pub protocol_errors: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Queue depth high-water mark.
+    pub queue_depth_max: u64,
+    /// Epoch pump latency distribution.
+    pub epoch_latency: HistogramSnapshot,
+}
+
+impl ServeMetricsSnapshot {
+    /// Stable JSON form with fixed field order.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("connections", Value::from_u64(self.connections)),
+            ("accepted", Value::from_u64(self.accepted)),
+            ("rejected_overload", Value::from_u64(self.rejected_overload)),
+            ("rejected_deadline", Value::from_u64(self.rejected_deadline)),
+            ("rejected_shutdown", Value::from_u64(self.rejected_shutdown)),
+            ("protocol_errors", Value::from_u64(self.protocol_errors)),
+            ("epochs", Value::from_u64(self.epochs)),
+            ("queue_depth_max", Value::from_u64(self.queue_depth_max)),
+            ("epoch_latency", self.epoch_latency.to_json_value()),
+        ])
+    }
+
+    /// Stable `name value` text form for scrape endpoints.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in [
+            ("refserve_connections", self.connections),
+            ("refserve_accepted", self.accepted),
+            ("refserve_rejected_overload", self.rejected_overload),
+            ("refserve_rejected_deadline", self.rejected_deadline),
+            ("refserve_rejected_shutdown", self.rejected_shutdown),
+            ("refserve_protocol_errors", self.protocol_errors),
+            ("refserve_epochs", self.epochs),
+            ("refserve_queue_depth_max", self.queue_depth_max),
+            ("refserve_epoch_latency_count", self.epoch_latency.count),
+            ("refserve_epoch_latency_sum_us", self.epoch_latency.sum_us),
+            (
+                "refserve_epoch_latency_p50_us",
+                self.epoch_latency.quantile_us(0.50),
+            ),
+            (
+                "refserve_epoch_latency_p99_us",
+                self.epoch_latency.quantile_us(0.99),
+            ),
+        ] {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_the_microsecond_range() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            HISTOGRAM_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record_us(100); // bucket 6: [64, 128)
+        }
+        h.record_us(1_000_000); // bucket 19
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.quantile_us(0.50), 128);
+        assert_eq!(snap.quantile_us(0.99), 128);
+        assert_eq!(snap.quantile_us(1.0), 1 << 20);
+        assert!(snap.mean_us() > 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.quantile_us(0.5), 0);
+        assert_eq!(snap.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_and_text_have_fixed_shapes() {
+        let m = ServeMetrics::new();
+        ServeMetrics::bump(&m.accepted);
+        ServeMetrics::bump(&m.accepted);
+        ServeMetrics::bump(&m.rejected_overload);
+        m.observe_depth(17);
+        m.epoch_latency.record_us(50);
+        let snap = m.snapshot();
+        let json = snap.to_json_value().encode();
+        assert!(
+            json.starts_with("{\"connections\":0,\"accepted\":2,"),
+            "{json}"
+        );
+        assert!(json.contains("\"queue_depth_max\":17"), "{json}");
+        assert!(json.contains("\"epoch_latency\":{\"count\":1,"), "{json}");
+        let text = snap.to_text();
+        assert!(text.contains("refserve_accepted 2\n"), "{text}");
+        assert_eq!(text.lines().count(), 12);
+    }
+}

@@ -1,0 +1,479 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, strictly in order — a
+//! connection is a closed loop with a single outstanding request. The
+//! grammar (DESIGN.md §8 has the full spec):
+//!
+//! ```text
+//! request  = { "op": op, ...op fields..., "deadline_ms"?: number } "\n"
+//! op       = "join" | "leave" | "demand" | "observe" | "tick"
+//!          | "query" | "snapshot" | "metrics" | "journal" | "shutdown"
+//! response = { "ok": true,  ...result fields... } "\n"
+//!          | { "ok": false, "error": code, "detail"?: string,
+//!              "retry_after_ms"?: number } "\n"
+//! code     = "protocol" | "overloaded" | "deadline" | "market"
+//!          | "shutting_down" | "timeout" | "journal_overflow"
+//! ```
+//!
+//! Every op maps to an admission [`Class`] so backpressure can be applied
+//! per class: a flood of cheap `query`s cannot crowd out `observe`s, and
+//! vice versa.
+
+use ref_core::utility::CobbDouglas;
+use ref_market::{AgentId, MarketEvent, ObservationSource};
+
+use crate::json::Value;
+
+/// Admission class of a request, used for per-class queue quotas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Membership and epoch control: `join`, `leave`, `demand`, `tick`,
+    /// `shutdown`.
+    Control = 0,
+    /// Telemetry ingest: `observe`.
+    Observe = 1,
+    /// Read-only inspection: `query`, `snapshot`, `metrics`, `journal`.
+    Query = 2,
+}
+
+/// Number of admission classes.
+pub const NUM_CLASSES: usize = 3;
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit an agent.
+    Join {
+        /// The joining agent's id.
+        agent: AgentId,
+        /// Observation source for the agent.
+        source: ObservationSource,
+    },
+    /// Remove an agent.
+    Leave {
+        /// The departing agent's id.
+        agent: AgentId,
+    },
+    /// Reset an agent's estimator (optionally swapping ground truth).
+    Demand {
+        /// The agent whose demand changed.
+        agent: AgentId,
+        /// Replacement hidden truth for ground-truth agents.
+        truth: Option<CobbDouglas>,
+    },
+    /// Report an external `(allocation, performance)` measurement.
+    Observe {
+        /// The measured agent.
+        agent: AgentId,
+        /// Resource quantities of the measurement.
+        allocation: Vec<f64>,
+        /// Measured performance.
+        performance: f64,
+    },
+    /// Run one epoch now.
+    Tick,
+    /// Inspect the market (or one agent).
+    Query {
+        /// Restrict the answer to this agent.
+        agent: Option<AgentId>,
+    },
+    /// Fetch the full market snapshot (text wire format).
+    Snapshot,
+    /// Fetch market + server metrics.
+    Metrics {
+        /// `true` for the Prometheus-style text form.
+        text: bool,
+    },
+    /// Fetch the accepted-event journal.
+    Journal,
+    /// Drain and stop the server; the reply carries the final snapshot.
+    Shutdown,
+}
+
+impl Request {
+    /// The request's admission class.
+    pub fn class(&self) -> Class {
+        match self {
+            Request::Join { .. }
+            | Request::Leave { .. }
+            | Request::Demand { .. }
+            | Request::Tick
+            | Request::Shutdown => Class::Control,
+            Request::Observe { .. } => Class::Observe,
+            Request::Query { .. }
+            | Request::Snapshot
+            | Request::Metrics { .. }
+            | Request::Journal => Class::Query,
+        }
+    }
+
+    /// The market event this request submits, if it is event-bearing.
+    pub fn to_event(&self) -> Option<MarketEvent> {
+        match self {
+            Request::Join { agent, source } => Some(MarketEvent::AgentJoined {
+                id: *agent,
+                source: source.clone(),
+            }),
+            Request::Leave { agent } => Some(MarketEvent::AgentLeft { id: *agent }),
+            Request::Demand { agent, truth } => Some(MarketEvent::DemandChanged {
+                id: *agent,
+                new_truth: truth.clone(),
+            }),
+            Request::Observe {
+                agent,
+                allocation,
+                performance,
+            } => Some(MarketEvent::ObservationReported {
+                id: *agent,
+                allocation: allocation.clone(),
+                performance: *performance,
+            }),
+            Request::Tick => Some(MarketEvent::EpochTick),
+            _ => None,
+        }
+    }
+}
+
+/// A request plus its transport envelope (deadline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The request itself.
+    pub request: Request,
+    /// Maximum queueing delay the client tolerates, in milliseconds;
+    /// `None` means unbounded.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses one protocol line into an envelope.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation; callers
+/// wrap it in an `"error":"protocol"` response.
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    let value = Value::parse(line).map_err(|e| format!("bad json: {e}"))?;
+    if !matches!(value, Value::Obj(_)) {
+        return Err("request must be a json object".to_string());
+    }
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field \"op\"".to_string())?;
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| "\"deadline_ms\" must be a non-negative integer".to_string())?,
+        ),
+    };
+    let agent = |required: bool| -> Result<Option<AgentId>, String> {
+        match value.get("agent") {
+            Some(v) => Ok(Some(v.as_u64().ok_or_else(|| {
+                "\"agent\" must be a non-negative integer below 2^53".to_string()
+            })?)),
+            None if required => Err("missing field \"agent\"".to_string()),
+            None => Ok(None),
+        }
+    };
+    let request = match op {
+        "join" => {
+            let source = value
+                .get("source")
+                .ok_or_else(|| "join needs a \"source\" object".to_string())?;
+            Request::Join {
+                agent: agent(true)?.unwrap(),
+                source: parse_source(source)?,
+            }
+        }
+        "leave" => Request::Leave {
+            agent: agent(true)?.unwrap(),
+        },
+        "demand" => {
+            let truth = match value.get("truth") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(parse_cobb_douglas(v)?),
+            };
+            Request::Demand {
+                agent: agent(true)?.unwrap(),
+                truth,
+            }
+        }
+        "observe" => {
+            let allocation = f64_array(
+                value
+                    .get("allocation")
+                    .ok_or_else(|| "observe needs an \"allocation\" array".to_string())?,
+            )?;
+            let performance = value
+                .get("performance")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| "observe needs a numeric \"performance\"".to_string())?;
+            Request::Observe {
+                agent: agent(true)?.unwrap(),
+                allocation,
+                performance,
+            }
+        }
+        "tick" => Request::Tick,
+        "query" => Request::Query {
+            agent: agent(false)?,
+        },
+        "snapshot" => Request::Snapshot,
+        "metrics" => Request::Metrics {
+            text: value.get("format").and_then(Value::as_str) == Some("text"),
+        },
+        "journal" => Request::Journal,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Envelope {
+        request,
+        deadline_ms,
+    })
+}
+
+fn f64_array(v: &Value) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or_else(|| "expected an array of numbers".to_string())?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| "expected an array of numbers".to_string())
+        })
+        .collect()
+}
+
+fn parse_cobb_douglas(v: &Value) -> Result<CobbDouglas, String> {
+    let scale = v.get("scale").and_then(Value::as_f64).unwrap_or(1.0);
+    let elasticities = f64_array(
+        v.get("elasticities")
+            .ok_or_else(|| "utility needs an \"elasticities\" array".to_string())?,
+    )?;
+    CobbDouglas::new(scale, elasticities).map_err(|e| e.to_string())
+}
+
+fn parse_source(v: &Value) -> Result<ObservationSource, String> {
+    match v.get("kind").and_then(Value::as_str) {
+        Some("truth") => Ok(ObservationSource::GroundTruth(parse_cobb_douglas(v)?)),
+        Some("sim") => Ok(ObservationSource::Simulated {
+            benchmark: v
+                .get("benchmark")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "sim source needs a \"benchmark\" string".to_string())?
+                .to_string(),
+        }),
+        Some("external") => Ok(ObservationSource::External),
+        _ => Err("source \"kind\" must be truth|sim|external".to_string()),
+    }
+}
+
+/// Serializes a market event to its journal JSON form (the same shapes
+/// the request grammar uses, so a journal line is replayable by hand).
+pub fn event_to_value(event: &MarketEvent) -> Value {
+    match event {
+        MarketEvent::AgentJoined { id, source } => Value::obj(vec![
+            ("op", Value::str("join")),
+            ("agent", Value::from_u64(*id)),
+            ("source", source_to_value(source)),
+        ]),
+        MarketEvent::AgentLeft { id } => Value::obj(vec![
+            ("op", Value::str("leave")),
+            ("agent", Value::from_u64(*id)),
+        ]),
+        MarketEvent::DemandChanged { id, new_truth } => Value::obj(vec![
+            ("op", Value::str("demand")),
+            ("agent", Value::from_u64(*id)),
+            (
+                "truth",
+                new_truth
+                    .as_ref()
+                    .map_or(Value::Null, cobb_douglas_to_value),
+            ),
+        ]),
+        MarketEvent::ObservationReported {
+            id,
+            allocation,
+            performance,
+        } => Value::obj(vec![
+            ("op", Value::str("observe")),
+            ("agent", Value::from_u64(*id)),
+            ("allocation", Value::num_array(allocation)),
+            ("performance", Value::Num(*performance)),
+        ]),
+        MarketEvent::EpochTick => Value::obj(vec![("op", Value::str("tick"))]),
+        // MarketEvent is non_exhaustive upstream; unknown variants cannot
+        // be journaled faithfully, so refuse loudly rather than silently.
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unjournalable market event {other:?}"),
+    }
+}
+
+/// Parses a journal JSON value back into a market event.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn value_to_event(v: &Value) -> Result<MarketEvent, String> {
+    let envelope = parse_request(&v.encode())?;
+    envelope
+        .request
+        .to_event()
+        .ok_or_else(|| "journal entry is not an event".to_string())
+}
+
+fn cobb_douglas_to_value(u: &CobbDouglas) -> Value {
+    Value::obj(vec![
+        ("scale", Value::Num(u.scale())),
+        ("elasticities", Value::num_array(u.elasticities())),
+    ])
+}
+
+fn source_to_value(source: &ObservationSource) -> Value {
+    match source {
+        ObservationSource::GroundTruth(u) => Value::obj(vec![
+            ("kind", Value::str("truth")),
+            ("scale", Value::Num(u.scale())),
+            ("elasticities", Value::num_array(u.elasticities())),
+        ]),
+        ObservationSource::Simulated { benchmark } => Value::obj(vec![
+            ("kind", Value::str("sim")),
+            ("benchmark", Value::str(benchmark.clone())),
+        ]),
+        ObservationSource::External => Value::obj(vec![("kind", Value::str("external"))]),
+    }
+}
+
+/// Builds the `{"ok":true,...}` success response.
+pub fn ok_response(fields: Vec<(&str, Value)>) -> Value {
+    let mut pairs = vec![("ok", Value::Bool(true))];
+    pairs.extend(fields);
+    Value::obj(pairs)
+}
+
+/// Builds the `{"ok":false,"error":code,...}` failure response.
+pub fn error_response(code: &str, detail: Option<&str>, retry_after_ms: Option<u64>) -> Value {
+    let mut pairs = vec![("ok", Value::Bool(false)), ("error", Value::str(code))];
+    if let Some(d) = detail {
+        pairs.push(("detail", Value::str(d)));
+    }
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms", Value::from_u64(ms)));
+    }
+    Value::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_with_classes() {
+        let cases = [
+            (
+                r#"{"op":"join","agent":1,"source":{"kind":"truth","elasticities":[0.6,0.4]}}"#,
+                Class::Control,
+            ),
+            (r#"{"op":"leave","agent":2}"#, Class::Control),
+            (
+                r#"{"op":"observe","agent":1,"allocation":[1,2],"performance":1.5}"#,
+                Class::Observe,
+            ),
+            (r#"{"op":"tick"}"#, Class::Control),
+            (r#"{"op":"query"}"#, Class::Query),
+            (r#"{"op":"query","agent":3}"#, Class::Query),
+            (r#"{"op":"snapshot"}"#, Class::Query),
+            (r#"{"op":"metrics","format":"text"}"#, Class::Query),
+            (r#"{"op":"journal"}"#, Class::Query),
+            (r#"{"op":"shutdown"}"#, Class::Control),
+        ];
+        for (line, class) in cases {
+            let env = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(env.request.class(), class, "{line}");
+        }
+    }
+
+    #[test]
+    fn deadlines_parse_and_default_to_none() {
+        let env = parse_request(r#"{"op":"tick","deadline_ms":250}"#).unwrap();
+        assert_eq!(env.deadline_ms, Some(250));
+        assert_eq!(parse_request(r#"{"op":"tick"}"#).unwrap().deadline_ms, None);
+        assert!(parse_request(r#"{"op":"tick","deadline_ms":-1}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"join","agent":1}"#,
+            r#"{"op":"join","agent":1,"source":{"kind":"nope"}}"#,
+            r#"{"op":"join","agent":-1,"source":{"kind":"external"}}"#,
+            r#"{"op":"leave"}"#,
+            r#"{"op":"observe","agent":1,"allocation":[1,"x"],"performance":1}"#,
+            r#"{"op":"observe","agent":1,"allocation":[1,2]}"#,
+            r#"{"op":"join","agent":1,"source":{"kind":"truth","elasticities":[2.0,-1.0]}}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_journal_values() {
+        let events = vec![
+            MarketEvent::AgentJoined {
+                id: 1,
+                source: ObservationSource::GroundTruth(
+                    CobbDouglas::new(1.5, vec![0.6, 0.4]).unwrap(),
+                ),
+            },
+            MarketEvent::AgentJoined {
+                id: 2,
+                source: ObservationSource::Simulated {
+                    benchmark: "histogram".to_string(),
+                },
+            },
+            MarketEvent::AgentJoined {
+                id: 3,
+                source: ObservationSource::External,
+            },
+            MarketEvent::DemandChanged {
+                id: 1,
+                new_truth: Some(CobbDouglas::new(1.0, vec![0.3, 0.7]).unwrap()),
+            },
+            MarketEvent::DemandChanged {
+                id: 3,
+                new_truth: None,
+            },
+            MarketEvent::ObservationReported {
+                id: 3,
+                allocation: vec![1.0 / 3.0, 2.5],
+                performance: 1.25,
+            },
+            MarketEvent::AgentLeft { id: 2 },
+            MarketEvent::EpochTick,
+        ];
+        for event in events {
+            let value = event_to_value(&event);
+            let back = value_to_event(&value).unwrap_or_else(|e| panic!("{value}: {e}"));
+            assert_eq!(back, event, "{value}");
+        }
+    }
+
+    #[test]
+    fn responses_have_fixed_shape() {
+        assert_eq!(
+            ok_response(vec![("epoch", Value::from_u64(3))]).encode(),
+            "{\"ok\":true,\"epoch\":3}"
+        );
+        assert_eq!(
+            error_response("overloaded", None, Some(5)).encode(),
+            "{\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":5}"
+        );
+        assert_eq!(
+            error_response("market", Some("unknown agent 7"), None).encode(),
+            "{\"ok\":false,\"error\":\"market\",\"detail\":\"unknown agent 7\"}"
+        );
+    }
+}

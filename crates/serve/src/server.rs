@@ -1,0 +1,616 @@
+//! The TCP transport: acceptor, per-connection readers, and the ticker.
+//!
+//! Thread model (one server):
+//!
+//! ```text
+//!            ┌──────────┐   lines    ┌─────────────┐  admitted   ┌─────────┐
+//!  TCP  ────▶│ acceptor │──spawns──▶ │ reader (xN) │──try_send──▶│   bus   │
+//!            └──────────┘            │ parse/admit │  (bounded,  └────┬────┘
+//!                                    │ await reply │  per-class)      │ drain
+//!                                    └─────────────┘                  ▼
+//!                                          ▲                    ┌──────────┐
+//!                                          │ reply via mpsc     │  ticker  │
+//!                                          └────────────────────│ (engine) │
+//!                                                               └──────────┘
+//! ```
+//!
+//! Readers never touch the engine: they parse, classify, and either admit
+//! the request to the bounded bus or bounce it (`overloaded`,
+//! `shutting_down`). The single ticker thread owns the [`ServiceCore`],
+//! drains the bus in arrival order, drops requests whose in-queue
+//! deadline expired, runs timed epochs, and fans each response back
+//! through the per-request channel. Graceful shutdown (the `shutdown` op
+//! or [`Server::shutdown`]) closes the bus, finishes every admitted
+//! request, flushes a final snapshot, and joins every thread.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ref_market::{MarketConfig, MarketEvent};
+
+use crate::bus::{Bus, Quotas, SendError};
+use crate::core::{JournalLimit, ServiceCore};
+use crate::json::Value;
+use crate::metrics::{ServeMetrics, ServeMetricsSnapshot};
+use crate::protocol::{error_response, ok_response, parse_request, Request};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The market the server fronts.
+    pub market: MarketConfig,
+    /// Timer-driven epoch cadence; `None` runs epochs only on `tick`
+    /// requests (deterministic mode for tests and examples).
+    pub epoch_interval: Option<Duration>,
+    /// Per-class bus quotas (the backpressure bound).
+    pub quotas: Quotas,
+    /// Retry hint attached to `overloaded` responses, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Maximum simultaneously open connections; further accepts are
+    /// bounced with `overloaded`.
+    pub max_connections: usize,
+    /// Journal retention cap (see [`JournalLimit`]).
+    pub journal_limit: JournalLimit,
+    /// Reader poll interval: how long a blocked read waits before
+    /// re-checking the shutdown flag.
+    pub read_timeout: Duration,
+    /// How long a reader waits for the ticker's reply before giving up
+    /// with a `timeout` response.
+    pub reply_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// A configuration with default serving knobs around `market`.
+    pub fn new(market: MarketConfig) -> ServeConfig {
+        ServeConfig {
+            market,
+            epoch_interval: Some(Duration::from_millis(10)),
+            quotas: Quotas::default(),
+            retry_after_ms: 5,
+            max_connections: 256,
+            journal_limit: JournalLimit::default(),
+            read_timeout: Duration::from_millis(50),
+            reply_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Sets the epoch cadence (`None` = tick-on-request only).
+    pub fn with_epoch_interval(mut self, interval: Option<Duration>) -> ServeConfig {
+        self.epoch_interval = interval;
+        self
+    }
+
+    /// Sets the per-class quotas.
+    pub fn with_quotas(mut self, quotas: Quotas) -> ServeConfig {
+        self.quotas = quotas;
+        self
+    }
+
+    /// Sets the journal retention cap.
+    pub fn with_journal_limit(mut self, limit: JournalLimit) -> ServeConfig {
+        self.journal_limit = limit;
+        self
+    }
+
+    /// Sets the maximum simultaneous connections.
+    pub fn with_max_connections(mut self, max: usize) -> ServeConfig {
+        self.max_connections = max;
+        self
+    }
+}
+
+/// One admitted request riding the bus.
+struct Item {
+    request: Request,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Value>,
+}
+
+/// Everything the ticker hands back when the server stops.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Final market snapshot (text wire format), taken after the drain.
+    pub snapshot: String,
+    /// The accepted-event journal (empty if it overflowed).
+    pub journal: Vec<MarketEvent>,
+    /// Whether the journal overflowed its retention cap.
+    pub journal_overflowed: bool,
+    /// Server counters at shutdown.
+    pub metrics: ServeMetricsSnapshot,
+    /// Market counters at shutdown, as their stable JSON line.
+    pub market_metrics_json: String,
+}
+
+struct Shared {
+    bus: Bus<Item>,
+    metrics: ServeMetrics,
+    stop: AtomicBool,
+    open_connections: AtomicUsize,
+    retired: Mutex<Option<ServiceCore>>,
+}
+
+/// A running ref-serve instance.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    acceptor: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and ticker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, or an invalid [`MarketConfig`] as
+    /// [`std::io::ErrorKind::InvalidInput`].
+    pub fn start(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let core = ServiceCore::new(config.market.clone(), config.journal_limit)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            bus: Bus::new(config.quotas),
+            metrics: ServeMetrics::new(),
+            stop: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            retired: Mutex::new(None),
+        });
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let ticker = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("ref-serve-ticker".to_string())
+                .spawn(move || ticker_loop(core, &shared, &config))
+                .expect("spawn ticker")
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("ref-serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &shared, &readers, &config))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            config,
+            acceptor: Some(acceptor),
+            ticker: Some(ticker),
+            readers,
+        })
+    }
+
+    /// The bound address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Point-in-time server counters.
+    pub fn metrics(&self) -> ServeMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Current bus depth (queued, un-drained requests).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.bus.depth()
+    }
+
+    /// Gracefully stops the server: drains every admitted request, runs
+    /// no further epochs, flushes a final snapshot, joins all threads.
+    pub fn shutdown(self) -> ShutdownReport {
+        // Ask the ticker to drain via a synthetic shutdown item; if the
+        // bus already closed (a wire shutdown won), this is a no-op.
+        let (tx, _rx) = mpsc::channel();
+        let _ = self.shared.bus.try_send(
+            Request::Shutdown.class(),
+            Item {
+                request: Request::Shutdown,
+                deadline: None,
+                reply: tx,
+            },
+        );
+        self.collect()
+    }
+
+    /// Blocks until a wire `shutdown` request drains the server, then
+    /// joins the transport threads and returns the report. Unlike
+    /// [`Server::shutdown`], this does not stop the server itself.
+    pub fn wait(mut self) -> ShutdownReport {
+        if let Some(handle) = self.ticker.take() {
+            let _ = handle.join();
+        }
+        self.collect()
+    }
+
+    fn collect(mut self) -> ShutdownReport {
+        self.join_threads();
+        let core = self
+            .shared
+            .retired
+            .lock()
+            .expect("retired lock poisoned")
+            .take()
+            .expect("ticker always retires the core");
+        ShutdownReport {
+            snapshot: core.final_snapshot(),
+            journal: core.journal().to_vec(),
+            journal_overflowed: core.journal_overflowed(),
+            metrics: self.shared.metrics.snapshot(),
+            market_metrics_json: core.engine().metrics().to_json(),
+        }
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.ticker.take() {
+            let _ = handle.join();
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.readers.lock().expect("readers lock poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.ticker.is_some() || self.acceptor.is_some() {
+            self.shared.bus.close();
+            self.join_threads();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: &ServeConfig,
+) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                ServeMetrics::bump(&shared.metrics.connections);
+                if shared.open_connections.load(Ordering::SeqCst) >= config.max_connections {
+                    ServeMetrics::bump(&shared.metrics.rejected_overload);
+                    let mut stream = stream;
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        error_response(
+                            "overloaded",
+                            Some("connection limit reached"),
+                            Some(config.retry_after_ms),
+                        )
+                    );
+                    continue;
+                }
+                shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                let config = config.clone();
+                let handle = std::thread::Builder::new()
+                    .name("ref-serve-conn".to_string())
+                    .spawn(move || {
+                        reader_loop(stream, &shared, &config);
+                        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn reader");
+                readers.lock().expect("readers lock poisoned").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(&line, shared, config);
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Parses, admits and awaits one request line; always produces a response.
+fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
+    let envelope = match parse_request(line) {
+        Ok(envelope) => envelope,
+        Err(detail) => {
+            ServeMetrics::bump(&shared.metrics.protocol_errors);
+            return error_response("protocol", Some(&detail), None);
+        }
+    };
+    let class = envelope.request.class();
+    let deadline = envelope
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (tx, rx) = mpsc::channel();
+    let item = Item {
+        request: envelope.request,
+        deadline,
+        reply: tx,
+    };
+    match shared.bus.try_send(class, item) {
+        Ok(()) => {
+            ServeMetrics::bump(&shared.metrics.accepted);
+            let wait = envelope
+                .deadline_ms
+                .map(|ms| Duration::from_millis(ms) + config.reply_timeout)
+                .unwrap_or(config.reply_timeout);
+            match rx.recv_timeout(wait) {
+                Ok(response) => response,
+                Err(_) => error_response("timeout", Some("no reply from the epoch loop"), None),
+            }
+        }
+        Err(SendError::Full(_)) => {
+            ServeMetrics::bump(&shared.metrics.rejected_overload);
+            error_response("overloaded", None, Some(config.retry_after_ms))
+        }
+        Err(SendError::Closed) => {
+            ServeMetrics::bump(&shared.metrics.rejected_shutdown);
+            error_response("shutting_down", None, None)
+        }
+    }
+}
+
+fn ticker_loop(mut core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig) {
+    let mut next_tick = config.epoch_interval.map(|i| Instant::now() + i);
+    let mut shutdown_replies: Vec<mpsc::Sender<Value>> = Vec::new();
+    let mut draining = false;
+    loop {
+        if !draining {
+            let park = match next_tick {
+                Some(at) => at.saturating_duration_since(Instant::now()),
+                None => Duration::from_millis(50),
+            };
+            if !park.is_zero() {
+                shared.bus.wait(park);
+            }
+        }
+
+        let batch = shared.bus.drain();
+        shared.metrics.observe_depth(batch.len() as u64);
+        for (_, item) in batch {
+            if let Some(deadline) = item.deadline {
+                if Instant::now() > deadline {
+                    ServeMetrics::bump(&shared.metrics.rejected_deadline);
+                    let _ = item.reply.send(error_response(
+                        "deadline",
+                        Some("expired while queued"),
+                        None,
+                    ));
+                    continue;
+                }
+            }
+            if matches!(item.request, Request::Shutdown) {
+                if !draining {
+                    draining = true;
+                    // Stop admitting; everything already on the bus is
+                    // still served below.
+                    shared.bus.close();
+                }
+                shutdown_replies.push(item.reply);
+                continue;
+            }
+            let response = core.handle(&item.request, &shared.metrics);
+            let _ = item.reply.send(response);
+        }
+
+        if draining {
+            // One more race-free drain: items admitted between our drain
+            // and the close are served, not dropped.
+            if shared.bus.depth() > 0 {
+                continue;
+            }
+            let snapshot = core.final_snapshot();
+            for reply in shutdown_replies.drain(..) {
+                let _ = reply.send(ok_response(vec![
+                    ("snapshot", Value::str(snapshot.clone())),
+                    ("server", shared.metrics.snapshot().to_json_value()),
+                ]));
+            }
+            shared.stop.store(true, Ordering::SeqCst);
+            *shared.retired.lock().expect("retired lock poisoned") = Some(core);
+            return;
+        }
+
+        if let (Some(interval), Some(at)) = (config.epoch_interval, next_tick) {
+            if Instant::now() >= at {
+                let _ = core.handle(&Request::Tick, &shared.metrics);
+                next_tick = Some(Instant::now() + interval);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use ref_core::resource::Capacity;
+
+    fn tick_on_demand_config() -> ServeConfig {
+        let market = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        ServeConfig::new(market).with_epoch_interval(None)
+    }
+
+    #[test]
+    fn server_round_trips_a_basic_session() {
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.join_truth(1, 1.0, &[0.6, 0.4]).unwrap();
+        client.join_truth(2, 1.0, &[0.2, 0.8]).unwrap();
+        for _ in 0..20 {
+            client.tick().unwrap();
+        }
+        let reply = client.query_agent(1).unwrap();
+        let bundle = reply.get("bundle").unwrap().as_array().unwrap();
+        assert!((bundle[0].as_f64().unwrap() - 18.0).abs() < 0.6, "{reply}");
+        client.leave(2).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.metrics.protocol_errors, 0);
+        assert!(report.snapshot.starts_with("refmarket-snapshot"));
+        // join, join, 20 ticks, query is not journaled, leave.
+        assert_eq!(report.journal.len(), 23);
+    }
+
+    #[test]
+    fn malformed_lines_get_protocol_errors_and_do_not_kill_the_connection() {
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = client.call_line("this is not json").unwrap();
+        assert_eq!(reply.get("error").and_then(Value::as_str), Some("protocol"));
+        let reply = client.call_line(r#"{"op":"warp"}"#).unwrap();
+        assert_eq!(reply.get("error").and_then(Value::as_str), Some("protocol"));
+        // The connection still works.
+        client.join_external(9).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.metrics.protocol_errors, 2);
+        assert_eq!(report.journal.len(), 1);
+    }
+
+    #[test]
+    fn wire_shutdown_returns_final_snapshot_and_bounces_stragglers() {
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        a.join_truth(1, 1.0, &[0.5, 0.5]).unwrap();
+        a.tick().unwrap();
+        let reply = b.shutdown().unwrap();
+        let snapshot = reply.get("snapshot").unwrap().as_str().unwrap();
+        assert!(snapshot.starts_with("refmarket-snapshot"));
+        // Post-shutdown requests are refused at admission.
+        let late = a.call_line(r#"{"op":"tick"}"#).unwrap();
+        assert_eq!(
+            late.get("error").and_then(Value::as_str),
+            Some("shutting_down")
+        );
+        let report = server.wait();
+        assert_eq!(report.metrics.rejected_shutdown, 1);
+        assert_eq!(report.snapshot, snapshot);
+    }
+
+    #[test]
+    fn wait_blocks_until_a_wire_shutdown_not_before() {
+        // Regression: `wait` must passively await a wire shutdown, not
+        // inject a synthetic one and drain the server out from under
+        // its clients.
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        let addr = server.addr();
+        let driver = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.join_truth(1, 1.0, &[0.5, 0.5]).unwrap();
+            client.tick().unwrap();
+            client.shutdown().unwrap();
+        });
+        let report = server.wait();
+        driver.join().unwrap();
+        // Had wait() shut the server down itself, the driver's requests
+        // would have bounced with `shutting_down` and panicked above.
+        assert_eq!(report.journal.len(), 2);
+    }
+
+    #[test]
+    fn expired_deadlines_are_dropped_in_queue() {
+        // No epoch timer and a tick that takes long enough to let the
+        // queued request expire: enforce with a tiny deadline.
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.join_truth(1, 1.0, &[0.5, 0.5]).unwrap();
+        // Deadline 0 ms: expired by the time the ticker sees it.
+        let reply = client
+            .call_line(r#"{"op":"query","deadline_ms":0}"#)
+            .unwrap();
+        assert_eq!(reply.get("error").and_then(Value::as_str), Some("deadline"));
+        let report = server.shutdown();
+        assert_eq!(report.metrics.rejected_deadline, 1);
+    }
+
+    #[test]
+    fn timed_epochs_advance_without_tick_requests() {
+        let market = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let config = ServeConfig::new(market).with_epoch_interval(Some(Duration::from_millis(1)));
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.join_truth(1, 1.0, &[0.6, 0.4]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let reply = client.query().unwrap();
+            if reply.get("epoch").unwrap().as_u64().unwrap() >= 5 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "timed epochs never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = server.shutdown();
+        assert!(report.metrics.epochs >= 5);
+        assert!(report.metrics.epoch_latency.count >= 5);
+    }
+}

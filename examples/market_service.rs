@@ -1,148 +1,179 @@
-//! A long-running REF market with agent churn (§4.4 as a service).
+//! A long-running REF market behind its network front-end (§4.4 served).
 //!
-//! Four agents with hidden Cobb-Douglas utilities join a two-resource
-//! market (24 GB/s bandwidth, 12 MB cache) in two waves. Each epoch the
-//! engine refits every agent's utility from performance observations,
-//! recomputes fair shares only when the fitted population actually moved
-//! (incremental reallocation), audits SI/EF/PE, and enforces the shares
-//! with a stride scheduler. Mid-run the market is snapshotted, serialized,
-//! restored, and shown to allocate bit-identically. Finally one agent
-//! leaves and another changes demand, and the market re-converges.
+//! The same churn story as before — four agents with hidden Cobb-Douglas
+//! utilities join a two-resource market (24 GB/s bandwidth, 12 MB cache)
+//! in two waves, converge, then churn — but now the market runs inside a
+//! **ref-serve** server and every interaction goes over TCP as
+//! newline-delimited JSON: `join`, `tick`, `query`, `snapshot`,
+//! `metrics`, `leave`, `demand`. The example finishes by proving the
+//! server is a pure transport: the snapshot fetched over the wire
+//! restores to an engine that allocates bit-identically, and the journal
+//! replays offline into the exact final state.
 //!
 //! Run with: `cargo run --example market_service`
 
 use ref_fairness::core::resource::Capacity;
-use ref_fairness::core::utility::CobbDouglas;
-use ref_fairness::market::{
-    MarketConfig, MarketEngine, MarketEvent, MarketSnapshot, ObservationSource,
-};
+use ref_fairness::market::{MarketConfig, MarketEngine, MarketSnapshot};
+use ref_fairness::serve::{replay, Client, ServeConfig, Server, Value};
 
-fn truth(e0: f64, e1: f64) -> ObservationSource {
-    ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![e0, e1]).expect("valid utility"))
+fn market_config() -> Result<MarketConfig, Box<dyn std::error::Error>> {
+    Ok(MarketConfig::new(Capacity::new(vec![24.0, 12.0])?).with_seed(7))
 }
 
-fn tick(market: &mut MarketEngine, epochs: usize) -> Vec<ref_fairness::market::EpochReport> {
-    market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, epochs));
-    market.pump().expect("valid events")
-}
-
-fn print_state(market: &MarketEngine, truths: &[(u64, [f64; 2])]) {
+fn print_fits(client: &mut Client, truths: &[(u64, [f64; 2])]) {
     for &(id, t) in truths {
-        let Some(agent) = market.agent(id) else {
+        let Ok(reply) = client.query_agent(id) else {
             continue;
         };
-        let u = agent.reported_utility();
+        let e = reply.get("elasticities").unwrap().as_array().unwrap();
         println!(
             "    agent {id}: fitted ({:.3}, {:.3})  true ({:.2}, {:.2})  refits {}",
-            u.elasticity(0),
-            u.elasticity(1),
+            e[0].as_f64().unwrap(),
+            e[1].as_f64().unwrap(),
             t[0],
             t[1],
-            agent.estimator.refits()
+            reply.get("refits").unwrap().as_u64().unwrap()
         );
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let capacity = Capacity::new(vec![24.0, 12.0])?;
-    let mut market = MarketEngine::new(MarketConfig::new(capacity).with_seed(7))?;
+fn bundle(client: &mut Client, id: u64) -> Vec<f64> {
+    let reply = client.query_agent(id).expect("live agent");
+    reply
+        .get("bundle")
+        .and_then(Value::as_array)
+        .expect("allocated agent has a bundle")
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect()
+}
 
-    println!("=== Phase 1: two agents join, 20 epochs ===");
-    market.submit(MarketEvent::AgentJoined {
-        id: 1,
-        source: truth(0.6, 0.4),
-    });
-    market.submit(MarketEvent::AgentJoined {
-        id: 2,
-        source: truth(0.2, 0.8),
-    });
-    let reports = tick(&mut market, 20);
-    let truths = [(1, [0.6, 0.4]), (2, [0.2, 0.8])];
-    print_state(&market, &truths);
-    let alloc = reports.last().unwrap().allocation.as_ref().unwrap();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Tick-on-demand: epochs run only when a client asks, so the run is
+    // exactly reproducible. Pass `Some(interval)` for wall-clock epochs.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig::new(market_config()?).with_epoch_interval(None),
+    )?;
+    println!("=== ref-serve listening on {} ===", server.addr());
+    let mut client = Client::connect(server.addr())?;
+
+    println!("\n=== Phase 1: two agents join over the wire, 20 epochs ===");
+    client.join_truth(1, 1.0, &[0.6, 0.4])?;
+    client.join_truth(2, 1.0, &[0.2, 0.8])?;
+    for _ in 0..20 {
+        client.tick()?;
+    }
+    print_fits(&mut client, &[(1, [0.6, 0.4]), (2, [0.2, 0.8])]);
+    let (b1, b2) = (bundle(&mut client, 1), bundle(&mut client, 2));
     println!(
         "    allocation: agent 1 ({:.2} GB/s, {:.2} MB), agent 2 ({:.2} GB/s, {:.2} MB)",
-        alloc.bundle(0).get(0),
-        alloc.bundle(0).get(1),
-        alloc.bundle(1).get(0),
-        alloc.bundle(1).get(1)
+        b1[0], b1[1], b2[0], b2[1]
     );
     // The paper's running example: the true REF point is (18, 4) / (6, 8).
-    assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.5);
-    assert!((alloc.bundle(1).get(1) - 8.0).abs() < 0.5);
+    assert!((b1[0] - 18.0).abs() < 0.5);
+    assert!((b2[1] - 8.0).abs() < 0.5);
 
     println!("\n=== Phase 2: two more join (4-agent market), 20 epochs ===");
-    market.submit(MarketEvent::AgentJoined {
-        id: 3,
-        source: truth(0.5, 0.5),
-    });
-    market.submit(MarketEvent::AgentJoined {
-        id: 4,
-        source: truth(0.75, 0.25),
-    });
-    tick(&mut market, 20);
+    client.join_truth(3, 1.0, &[0.5, 0.5])?;
+    client.join_truth(4, 1.0, &[0.75, 0.25])?;
+    for _ in 0..20 {
+        client.tick()?;
+    }
     let truths = [
         (1, [0.6, 0.4]),
         (2, [0.2, 0.8]),
         (3, [0.5, 0.5]),
         (4, [0.75, 0.25]),
     ];
-    print_state(&market, &truths);
+    print_fits(&mut client, &truths);
     for &(id, t) in &truths {
-        let fitted = market.agent(id).unwrap().reported_utility();
+        let reply = client.query_agent(id)?;
+        let e = reply.get("elasticities").unwrap().as_array().unwrap();
         assert!(
-            (fitted.elasticity(0) - t[0]).abs() < 0.05,
-            "agent {id} did not converge: {fitted:?}"
+            (e[0].as_f64().unwrap() - t[0]).abs() < 0.05,
+            "agent {id} did not converge"
         );
     }
 
-    println!("\n=== Snapshot / restore round-trip ===");
-    let text = market.snapshot().encode();
-    println!(
-        "    serialized market: {} bytes, {} agents",
-        text.len(),
-        market.num_live_agents()
-    );
+    println!("\n=== Wire snapshot / offline restore round-trip ===");
+    let text = client.snapshot()?;
+    println!("    snapshot over the wire: {} bytes", text.len());
     let mut restored = MarketEngine::restore(&MarketSnapshot::decode(&text)?)?;
-    let (a, b) = (
-        tick(&mut market, 1).pop().unwrap(),
-        tick(&mut restored, 1).pop().unwrap(),
-    );
-    let (x, y) = (a.allocation.unwrap(), b.allocation.unwrap());
-    for (bx, by) in x.bundles().iter().zip(y.bundles()) {
-        for r in 0..bx.num_resources() {
+    // Tick the server and the restored engine one epoch each; the served
+    // market must allocate bit-identically to its offline twin.
+    let served = client.tick()?;
+    let offline = {
+        use ref_fairness::market::MarketEvent;
+        restored.submit(MarketEvent::EpochTick);
+        restored.pump()?.pop().unwrap()
+    };
+    let wire_alloc = served
+        .get("report")
+        .and_then(|r| r.get("allocation"))
+        .and_then(Value::as_array)
+        .expect("tick reply carries the allocation");
+    let offline_alloc = offline.allocation.expect("offline tick allocates");
+    for (slot, row) in wire_alloc.iter().enumerate() {
+        for (r, v) in row.as_array().unwrap().iter().enumerate() {
             assert_eq!(
-                bx.get(r).to_bits(),
-                by.get(r).to_bits(),
-                "restored allocation diverged"
+                v.as_f64().unwrap().to_bits(),
+                offline_alloc.bundle(slot).get(r).to_bits(),
+                "served allocation diverged from the restored engine"
             );
         }
     }
     println!("    next-epoch allocations are bit-identical ✓");
 
     println!("\n=== Phase 3: agent 2 leaves, agent 1 changes demand, 15 epochs ===");
-    market.submit(MarketEvent::AgentLeft { id: 2 });
-    market.submit(MarketEvent::DemandChanged {
-        id: 1,
-        new_truth: Some(CobbDouglas::new(1.0, vec![0.3, 0.7])?),
-    });
-    tick(&mut market, 15);
-    print_state(
-        &market,
+    client.leave(2)?;
+    client.demand(1, Some((1.0, &[0.3, 0.7])))?;
+    for _ in 0..15 {
+        client.tick()?;
+    }
+    print_fits(
+        &mut client,
         &[(1, [0.3, 0.7]), (3, [0.5, 0.5]), (4, [0.75, 0.25])],
     );
 
-    println!("\n=== Service summary after {} epochs ===", market.epoch());
-    println!("    {}", market.metrics());
-    let audit = market.auditor();
+    println!("\n=== Service summary ===");
+    let metrics = client.metrics()?;
+    let epochs = metrics
+        .get("market")
+        .and_then(|m| m.get("epochs"))
+        .and_then(Value::as_u64)
+        .unwrap();
     println!(
-        "    audited {} epochs: SI violations after warm-up = {}",
-        audit.epochs_audited,
-        audit.si_violations_after_warmup()
+        "    market metrics: {}",
+        metrics.get("market").unwrap().encode()
     );
-    assert!(market.epoch() >= 50, "ran {} epochs", market.epoch());
-    assert_eq!(audit.si_violations_after_warmup(), 0);
-    assert!(audit.clean_after_warmup());
-    println!("    all post-warm-up epochs satisfied SI, EF and PE ✓");
+    println!(
+        "    server accepted {} requests, rejected {} (overload)",
+        metrics
+            .get("server")
+            .and_then(|s| s.get("accepted"))
+            .and_then(Value::as_u64)
+            .unwrap(),
+        metrics
+            .get("server")
+            .and_then(|s| s.get("rejected_overload"))
+            .and_then(Value::as_u64)
+            .unwrap()
+    );
+    assert!(epochs >= 50, "ran {epochs} epochs");
+
+    println!("\n=== Graceful drain + offline journal replay ===");
+    let report = server.shutdown();
+    assert_eq!(report.metrics.protocol_errors, 0);
+    let replayed = replay(market_config()?, &report.journal)?;
+    assert_eq!(
+        replayed.snapshot().encode(),
+        report.snapshot,
+        "journal replay must be byte-identical"
+    );
+    println!(
+        "    {} journaled events replay into the exact final state ✓",
+        report.journal.len()
+    );
     Ok(())
 }

@@ -6,7 +6,8 @@
 //!
 //! See [`ref_core`] for the paper's contribution (mechanisms and property
 //! checkers), [`ref_market`] for the long-running epoch-driven allocation
-//! service, and the substrate crates [`ref_sim`], [`ref_workloads`],
+//! service, [`ref_serve`] for its batching, backpressured network
+//! front-end, and the substrate crates [`ref_sim`], [`ref_workloads`],
 //! [`ref_solver`], [`ref_sched`].
 
 pub mod colocation;
@@ -14,6 +15,7 @@ pub mod colocation;
 pub use ref_core as core;
 pub use ref_market as market;
 pub use ref_sched as sched;
+pub use ref_serve as serve;
 pub use ref_sim as sim;
 pub use ref_solver as solver;
 pub use ref_workloads as workloads;
