@@ -227,17 +227,10 @@ impl Server {
     /// Gracefully stops the server: drains every admitted request, runs
     /// no further epochs, flushes a final snapshot, joins all threads.
     pub fn shutdown(self) -> ShutdownReport {
-        // Ask the ticker to drain via a synthetic shutdown item; if the
-        // bus already closed (a wire shutdown won), this is a no-op.
-        let (tx, _rx) = mpsc::channel();
-        let _ = self.shared.bus.try_send(
-            Request::Shutdown.class(),
-            Item {
-                request: Request::Shutdown,
-                deadline: None,
-                reply: tx,
-            },
-        );
+        // Closing the bus is the drain signal: unlike a synthetic
+        // shutdown item, it cannot be bounced by a full control quota,
+        // and it is a no-op if a wire shutdown already closed the bus.
+        self.shared.bus.close();
         self.collect()
     }
 
@@ -304,6 +297,7 @@ fn acceptor_loop(
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
+        reap_finished_readers(readers);
         match listener.accept() {
             Ok((stream, _)) => {
                 ServeMetrics::bump(&shared.metrics.connections);
@@ -341,6 +335,22 @@ fn acceptor_loop(
     }
 }
 
+/// Joins and discards handles of reader threads that have already
+/// exited, so the registry stays bounded by *open* connections rather
+/// than growing with every connection ever accepted.
+fn reap_finished_readers(readers: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut handles = readers.lock().expect("readers lock poisoned");
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            // Joining a finished thread returns immediately.
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
@@ -351,9 +361,19 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
+        // `read_line` appends, so bytes delivered before a read timeout
+        // stay in `line` and the next pass resumes the same line; `line`
+        // is only cleared once a complete line has been processed.
         match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF
+            Ok(0) => {
+                // EOF; a final unterminated line is still one request.
+                if !line.trim().is_empty() {
+                    let response = dispatch(&line, shared, config);
+                    let _ = writeln!(writer, "{response}");
+                    let _ = writer.flush();
+                }
+                return;
+            }
             Ok(_) => {}
             Err(e)
                 if matches!(
@@ -369,12 +389,14 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
             Err(_) => return,
         }
         if line.trim().is_empty() {
+            line.clear();
             continue;
         }
         let response = dispatch(&line, shared, config);
         if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
             return;
         }
+        line.clear();
     }
 }
 
@@ -461,6 +483,13 @@ fn ticker_loop(mut core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig
             }
             let response = core.handle(&item.request, &shared.metrics);
             let _ = item.reply.send(response);
+        }
+
+        // Bus closure ([`Server::shutdown`] or Drop) is a drain signal
+        // too: nothing further can be admitted, so serve what is queued,
+        // retire the core, and exit rather than spin forever.
+        if !draining && shared.bus.is_closed() {
+            draining = true;
         }
 
         if draining {
@@ -591,6 +620,99 @@ mod tests {
         assert_eq!(reply.get("error").and_then(Value::as_str), Some("deadline"));
         let report = server.shutdown();
         assert_eq!(report.metrics.rejected_deadline, 1);
+    }
+
+    #[test]
+    fn dropping_a_running_server_does_not_hang() {
+        // Regression: Drop closes the bus; the ticker must treat the
+        // closure itself as the drain signal and exit, not wait for a
+        // Shutdown item that can no longer be admitted.
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.join_truth(1, 1.0, &[0.5, 0.5]).unwrap();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            drop(server);
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("Drop deadlocked: the ticker never exited on bus closure");
+    }
+
+    #[test]
+    fn shutdown_succeeds_even_with_a_zero_control_quota() {
+        // Regression: shutdown() used a synthetic Shutdown item that a
+        // full (here: zero) control quota could bounce, leaving collect()
+        // joining a ticker that never drained.
+        let market = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let config = ServeConfig::new(market)
+            .with_epoch_interval(None)
+            .with_quotas(Quotas {
+                control: 0,
+                observe: 1,
+                query: 1,
+            });
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let report = server.shutdown();
+            let _ = tx.send(report);
+        });
+        let report = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("shutdown hung with an exhausted control quota");
+        assert!(report.snapshot.starts_with("refmarket-snapshot"));
+    }
+
+    #[test]
+    fn fragmented_request_lines_survive_read_timeouts() {
+        // Regression: a writer that pauses mid-line (longer than the
+        // reader's 50ms poll timeout) must not have the partial prefix
+        // discarded and the suffix parsed as its own request.
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let line = r#"{"op":"tick"}"#;
+        let (head, tail) = line.split_at(6);
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        stream.write_all(tail.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let reply = Value::parse(reply.trim_end()).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Value::Bool(true)), "{reply}");
+        let report = server.shutdown();
+        assert_eq!(report.metrics.protocol_errors, 0);
+        assert_eq!(report.metrics.epochs, 1);
+    }
+
+    #[test]
+    fn finished_reader_handles_are_reaped_while_running() {
+        // Regression: the reader registry must not grow with every
+        // connection ever accepted — closed connections are reaped by
+        // the acceptor, not hoarded until shutdown.
+        let server = Server::start("127.0.0.1:0", tick_on_demand_config()).unwrap();
+        for agent in 0..4 {
+            let mut client = Client::connect(server.addr()).unwrap();
+            client.join_external(agent).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let live = server.readers.lock().unwrap().len();
+            if live == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{live} finished reader handles were never reaped"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let report = server.shutdown();
+        assert_eq!(report.journal.len(), 4);
     }
 
     #[test]
