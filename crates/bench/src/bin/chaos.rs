@@ -1,0 +1,353 @@
+//! Kill-and-recover chaos harness for the durable ref-serve front-end.
+//!
+//! The parent process spawns itself (`--child`) as a WAL-backed server
+//! that hammers its own market with client threads, lets it run for a
+//! while, then SIGKILLs it mid-flight. After every kill the parent:
+//!
+//! 1. opens the WAL offline and computes the expected post-crash state
+//!    (newest checkpoint + replayed tail, torn final record truncated),
+//! 2. when the log is still contiguous from seq 0, cross-checks that a
+//!    flat `replay` of the raw event log reaches the same snapshot,
+//! 3. boots `Server::recover` on the same directory and demands the
+//!    served snapshot be byte-identical to the offline expectation.
+//!
+//! Odd-numbered rounds additionally shear 1..32 bytes off the live
+//! segment tail before recovery, simulating a torn final write on top
+//! of the process kill. Any divergence exits non-zero; a clean run
+//! writes `BENCH_chaos.json`.
+//!
+//! ```text
+//! cargo run --release -p ref-bench --bin chaos -- [--rounds 6]
+//!     [--duration-ms 250] [--out BENCH_chaos.json] [--quick]
+//! ```
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use ref_core::resource::Capacity;
+use ref_market::{MarketConfig, MarketEngine};
+use ref_serve::json::Value;
+use ref_serve::{wal, CallOpts, Client, FaultPlan, ServeConfig, Server, Wal, WalConfig};
+
+/// Checkpoint cadence for the chaos server: small enough that every
+/// round spans several checkpoint-and-truncate cycles.
+const CHECKPOINT_EVERY: u64 = 32;
+
+/// Closed-loop client threads the child drives against itself.
+const CHILD_CLIENTS: usize = 4;
+
+fn market() -> MarketConfig {
+    MarketConfig::new(Capacity::new(vec![16.0, 8.0]).expect("static capacity"))
+}
+
+fn wal_config(dir: &Path) -> WalConfig {
+    // Sized so the first round stays within one segment (history intact,
+    // flat-replay cross-check runs) while a multi-round run rolls
+    // segments and checkpoints genuinely prune — later rounds then
+    // recover from a checkpoint alone.
+    WalConfig::new(dir)
+        .with_checkpoint_every(CHECKPOINT_EVERY)
+        .with_segment_max_bytes(192 * 1024)
+}
+
+// ---------------------------------------------------------------------
+// Child: a WAL-backed server under self-inflicted load, run until
+// killed.
+// ---------------------------------------------------------------------
+
+/// One self-load thread: join an agent (a duplicate rejoin after a
+/// recovery is expected and fine), then hammer observe/query/demand
+/// until the process is killed.
+fn child_client(addr: &str, worker: usize) {
+    let Ok(mut client) = Client::connect(addr) else {
+        return;
+    };
+    let agent = worker as u64 + 1;
+    // `market` = duplicate join after recovery; anything else is fatal
+    // for this thread only — the parent judges disk state, not us.
+    let _ = client.join_external(agent);
+    let observe = Value::obj(vec![
+        ("op", Value::str("observe")),
+        ("agent", Value::from_u64(agent)),
+        ("allocation", Value::num_array(&[1.5, 0.75])),
+        ("performance", Value::Num(1.0 + worker as f64 * 0.01)),
+    ]);
+    let query = Value::obj(vec![
+        ("op", Value::str("query")),
+        ("agent", Value::from_u64(agent)),
+    ]);
+    let opts = CallOpts::default().with_seed(agent);
+    let mut i = 0u64;
+    loop {
+        let outcome = if i % 7 == 6 {
+            let elasticity = [0.4 + worker as f64 * 0.05, 0.5];
+            client
+                .demand(agent, Some((1.0, &elasticity[..])))
+                .map(|_| ())
+        } else if i % 3 == 2 {
+            client.call_with(&query, &opts).map(|_| ())
+        } else {
+            client.call_with(&observe, &opts).map(|_| ())
+        };
+        if let Err(e) = outcome {
+            // The server died under us (parent kill); exit quietly.
+            if e.code().is_none() {
+                return;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Child entry: boot (or recover) the durable server, announce the
+/// address, and generate load until SIGKILLed.
+fn run_child(dir: &Path) -> ! {
+    let config = ServeConfig::new(market())
+        .with_epoch_interval(Some(Duration::from_millis(1)))
+        .with_wal(wal_config(dir));
+    let server = if wal::dir_has_state(dir).expect("probe wal dir") {
+        Server::recover("127.0.0.1:0", config)
+    } else {
+        Server::start("127.0.0.1:0", config)
+    }
+    .expect("boot chaos child server");
+    // The parent parses this line to know the child is live.
+    println!("ADDR {}", server.addr());
+    let addr = server.addr().to_string();
+    let workers: Vec<_> = (0..CHILD_CLIENTS)
+        .map(|worker| {
+            let addr = addr.clone();
+            std::thread::spawn(move || child_client(&addr, worker))
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    // Load threads only return when the server is gone; the expected
+    // exit is the parent's SIGKILL long before this point.
+    std::process::exit(0);
+}
+
+// ---------------------------------------------------------------------
+// Parent: kill, shear, recover, compare.
+// ---------------------------------------------------------------------
+
+struct Args {
+    rounds: usize,
+    duration_ms: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rounds: 6,
+        duration_ms: 250,
+        out: "BENCH_chaos.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--rounds" => {
+                args.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?;
+            }
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-ms: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--quick" => {
+                args.rounds = 3;
+                args.duration_ms = 150;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.rounds == 0 {
+        return Err("--rounds must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn spawn_child(dir: &Path) -> std::io::Result<(Child, String)> {
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe)
+        .arg("--child")
+        .arg("--dir")
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line)?;
+    match line.strip_prefix("ADDR ") {
+        Some(addr) => Ok((child, addr.trim().to_string())),
+        None => {
+            let _ = child.kill();
+            Err(std::io::Error::other(format!(
+                "child failed to announce its address: {line:?}"
+            )))
+        }
+    }
+}
+
+/// Shear `bytes` off the live segment tail, returning how many bytes
+/// were actually removed (an empty or missing segment shrinks by 0).
+fn shear_tail(dir: &Path, bytes: u64) -> u64 {
+    let Ok(Some(path)) = wal::last_segment_path(dir) else {
+        return 0;
+    };
+    let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let cut = bytes.min(len);
+    if cut == 0 {
+        return 0;
+    }
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .and_then(|f| f.set_len(len - cut))
+        .expect("shear segment tail");
+    cut
+}
+
+/// Open the WAL offline and rebuild the expected post-crash state:
+/// newest checkpoint plus replayed tail. Returns (seq, snapshot text,
+/// bytes the open truncated as a torn final record).
+fn offline_expectation(dir: &Path) -> (u64, String, u64) {
+    let rec = Wal::open(wal_config(dir), FaultPlan::none()).expect("offline wal open");
+    let mut engine = match &rec.checkpoint {
+        Some((_, snapshot)) => MarketEngine::restore(snapshot).expect("restore checkpoint"),
+        None => MarketEngine::new(market()).expect("fresh engine"),
+    };
+    for event in &rec.tail {
+        // Engine-level rejections were journaled too; replay ignores
+        // them exactly as the live server did.
+        let _ = engine.apply_now(event.clone());
+    }
+    (
+        rec.wal.next_seq(),
+        engine.snapshot().encode(),
+        rec.truncated_bytes,
+    )
+}
+
+fn main() {
+    // Child mode: `chaos --child --dir <wal-dir>`.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|a| a == "--child") {
+        let dir = argv
+            .iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| argv.get(i + 1))
+            .map(PathBuf::from)
+            .expect("--child needs --dir");
+        run_child(&dir);
+    }
+
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("ref-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "chaos: {} rounds x {}ms, wal dir {}",
+        args.rounds,
+        args.duration_ms,
+        dir.display()
+    );
+
+    let mut rounds = Vec::new();
+    for round in 0..args.rounds {
+        let (mut child, addr) = match spawn_child(&dir) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("chaos: FATAL: cannot spawn child: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("chaos: round {round}: child up at {addr}");
+        std::thread::sleep(Duration::from_millis(args.duration_ms));
+        child.kill().expect("SIGKILL child");
+        child.wait().expect("reap child");
+
+        // Odd rounds shear the tail on top of the kill: a torn final
+        // write is the worst crash the durability contract admits.
+        let shear = if round % 2 == 1 {
+            shear_tail(&dir, 1 + (round as u64 * 7) % 31)
+        } else {
+            0
+        };
+
+        let (seq, expected, torn) = offline_expectation(&dir);
+
+        // Cross-check: while no checkpoint has pruned history, a flat
+        // replay of the raw log must agree with checkpoint + tail.
+        let (first, events) = wal::read_events(&dir).expect("read wal events");
+        let replay_checked = first == 0;
+        if replay_checked {
+            let replayed = ref_serve::replay(market(), &events).expect("flat replay");
+            if replayed.snapshot().encode() != expected {
+                eprintln!("chaos: FATAL: round {round}: flat replay diverges from checkpoint+tail");
+                std::process::exit(1);
+            }
+        }
+
+        // Live recovery must land on the offline expectation exactly.
+        let recovered = Server::recover(
+            "127.0.0.1:0",
+            ServeConfig::new(market())
+                .with_epoch_interval(None)
+                .with_wal(wal_config(&dir)),
+        )
+        .expect("recover server");
+        let mut client = Client::connect(recovered.addr()).expect("connect recovered");
+        let served = client.snapshot().expect("snapshot recovered");
+        recovered.shutdown();
+        if served != expected {
+            eprintln!(
+                "chaos: FATAL: round {round}: recovered snapshot diverges from offline expectation"
+            );
+            std::process::exit(1);
+        }
+
+        eprintln!(
+            "chaos: round {round}: seq {seq}, sheared {shear}B, torn {torn}B, \
+             replay_checked={replay_checked}: recovered bit-identical"
+        );
+        rounds.push(Value::obj(vec![
+            ("round", Value::from_u64(round as u64)),
+            ("recovered_seq", Value::from_u64(seq)),
+            ("sheared_bytes", Value::from_u64(shear)),
+            ("torn_bytes", Value::from_u64(torn)),
+            ("replay_checked", Value::Bool(replay_checked)),
+            ("identical", Value::Bool(true)),
+        ]));
+    }
+
+    let doc = Value::obj(vec![
+        ("bench", Value::str("chaos")),
+        ("rounds", Value::Arr(rounds)),
+        ("duration_ms", Value::from_u64(args.duration_ms)),
+        ("checkpoint_every", Value::from_u64(CHECKPOINT_EVERY)),
+        ("identical", Value::Bool(true)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", doc.encode())) {
+        eprintln!("chaos: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "chaos: all {} kill-and-recover rounds bit-identical; wrote {}",
+        args.rounds, args.out
+    );
+}

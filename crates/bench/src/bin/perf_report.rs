@@ -143,10 +143,13 @@ fn main() {
     aggregate_report(&json);
 }
 
-/// Folds the serving benchmark (if `BENCH_serve.json` exists next to us —
-/// produced by `cargo run --release -p ref-serve --bin loadgen`) together
-/// with the pipeline numbers into one `BENCH_report.json`, so a single
-/// artifact tracks both the offline pipeline and the online front-end.
+/// Folds the serving benchmark (`BENCH_serve.json`, produced by
+/// `cargo run --release -p ref-serve --bin loadgen`) and the chaos
+/// harness (`BENCH_chaos.json`, produced by
+/// `cargo run --release -p ref-bench --bin chaos`) together with the
+/// pipeline numbers into one `BENCH_report.json`, so a single artifact
+/// tracks the offline pipeline, the online front-end, and crash
+/// recovery.
 fn aggregate_report(pipeline_json: &str) {
     use ref_serve::json::Value;
 
@@ -171,7 +174,35 @@ fn aggregate_report(pipeline_json: &str) {
             Value::Null
         }
     };
-    let report = Value::obj(vec![("pipeline", pipeline), ("serve", serve)]);
+    let chaos = match std::fs::read_to_string("BENCH_chaos.json") {
+        Ok(text) => match Value::parse(text.trim()) {
+            Ok(v) => {
+                if v.get("identical").and_then(Value::as_bool) != Some(true) {
+                    eprintln!("FATAL: BENCH_chaos.json records a recovery divergence");
+                    std::process::exit(1);
+                }
+                let rounds = v
+                    .get("rounds")
+                    .and_then(Value::as_array)
+                    .map_or(0, <[_]>::len);
+                println!("aggregating BENCH_chaos.json ({rounds} kill-and-recover rounds)");
+                v
+            }
+            Err(e) => {
+                eprintln!("FATAL: BENCH_chaos.json exists but is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no BENCH_chaos.json found; report skips crash recovery");
+            Value::Null
+        }
+    };
+    let report = Value::obj(vec![
+        ("pipeline", pipeline),
+        ("serve", serve),
+        ("chaos", chaos),
+    ]);
     std::fs::write("BENCH_report.json", format!("{}\n", report.encode()))
         .expect("write BENCH_report.json");
     println!("wrote BENCH_report.json");

@@ -45,6 +45,8 @@ pub struct OnlineEstimator {
     current: CobbDouglas,
     refits: usize,
     last_r_squared: Option<f64>,
+    degenerate_refits: usize,
+    consecutive_degenerate: usize,
 }
 
 impl OnlineEstimator {
@@ -67,6 +69,8 @@ impl OnlineEstimator {
             current: prior,
             refits: 0,
             last_r_squared: None,
+            degenerate_refits: 0,
+            consecutive_degenerate: 0,
         })
     }
 
@@ -118,6 +122,22 @@ impl OnlineEstimator {
         self.last_r_squared
     }
 
+    /// Total refit attempts that produced a *degenerate* model — finite
+    /// data whose regression yields a utility Cobb-Douglas cannot
+    /// represent (e.g. an overflowed scale). Each one kept the previous
+    /// estimate. Collinear designs are expected early on and are *not*
+    /// counted here.
+    pub fn degenerate_refits(&self) -> usize {
+        self.degenerate_refits
+    }
+
+    /// Degenerate refits since the last successful one; a run of these
+    /// means new data keeps failing to produce a usable model, which is
+    /// what callers use to quarantine the estimate.
+    pub fn consecutive_degenerate(&self) -> usize {
+        self.consecutive_degenerate
+    }
+
     /// Records a performance observation and refits if the data allows.
     ///
     /// Returns `true` if the utility estimate was updated. Refitting
@@ -162,11 +182,23 @@ impl OnlineEstimator {
                 self.current = fit.utility().clone();
                 self.last_r_squared = Some(fit.r_squared());
                 self.refits += 1;
+                self.consecutive_degenerate = 0;
                 Ok(true)
             }
             // A collinear design is expected early on; keep the prior.
             Err(CoreError::Solver(_)) => Ok(false),
-            Err(e) => Err(e),
+            // Any other failure is a *degenerate* fit: individually valid
+            // points whose aggregate regression produces an unusable
+            // model (e.g. `exp(intercept)` overflowing the scale). Keep
+            // the last good estimate and count it, instead of erroring —
+            // the point is already in the log, so an error here would
+            // leave a log that [`OnlineEstimator::from_observations`]
+            // cannot replay.
+            Err(_) => {
+                self.degenerate_refits += 1;
+                self.consecutive_degenerate += 1;
+                Ok(false)
+            }
         }
     }
 }
@@ -262,6 +294,57 @@ mod tests {
             est.observe(vec![x, y], x.powf(0.7) * y.powf(0.3)).unwrap();
         }
         assert!(est.refits() > 0, "regression must stay usable");
+    }
+
+    #[test]
+    fn degenerate_fits_keep_last_good_estimate_and_stay_replayable() {
+        // A family of observations that is individually valid (finite,
+        // positive) but whose exact log-linear fit has intercept 800:
+        // the fitted scale `exp(800)` overflows, so the fit is degenerate
+        // even though every point passed validation.
+        let huge = |x: f64, y: f64| (800.0 + 20.0 * x.ln() + 20.0 * y.ln()).exp();
+        let pts = [(0.01, 0.01), (0.02, 0.01), (0.01, 0.03), (0.05, 0.02)];
+        let mut est = OnlineEstimator::new(2).unwrap();
+        for &(x, y) in &pts {
+            assert!(huge(x, y).is_finite(), "({x},{y})");
+            let updated = est.observe(vec![x, y], huge(x, y)).unwrap();
+            assert!(!updated);
+        }
+        // The first fit attempt (4th point) is degenerate: the naive
+        // prior survives and the failure is counted, not erred.
+        assert_eq!(est.utility().elasticities(), &[0.5, 0.5]);
+        assert_eq!(est.degenerate_refits(), 1);
+        assert_eq!(est.consecutive_degenerate(), 1);
+        for &(x, y) in &[(0.03, 0.04), (0.02, 0.05)] {
+            assert!(!est.observe(vec![x, y], huge(x, y)).unwrap());
+        }
+        assert_eq!(est.degenerate_refits(), 3);
+        assert_eq!(est.consecutive_degenerate(), 3);
+        assert_eq!(est.num_observations(), 6);
+        // Regression: the log must stay replayable with degenerate points
+        // in it — `from_observations` used to propagate the fit error,
+        // breaking snapshot restore of any agent that ever hit one.
+        let replayed = OnlineEstimator::from_observations(2, est.observations()).unwrap();
+        assert_eq!(replayed.degenerate_refits(), est.degenerate_refits());
+        assert_eq!(replayed.consecutive_degenerate(), 3);
+        assert_eq!(
+            replayed.utility().elasticities(),
+            est.utility().elasticities()
+        );
+        // Enough sane data pulls the blended fit back to a finite scale;
+        // success clears the consecutive run but not the lifetime total.
+        let mut fixed = false;
+        for i in 0..24_u32 {
+            let x = 1.0 + f64::from(i % 5);
+            let y = 0.5 + f64::from(i % 4);
+            if est.observe(vec![x, y], x.powf(0.7) * y.powf(0.3)).unwrap() {
+                fixed = true;
+                break;
+            }
+        }
+        assert!(fixed, "blended design never produced a finite fit");
+        assert_eq!(est.consecutive_degenerate(), 0);
+        assert!(est.degenerate_refits() >= 3);
     }
 
     #[test]

@@ -9,6 +9,13 @@ use crate::error::{MarketError, Result};
 /// Stable identity of a market participant.
 pub type AgentId = u64;
 
+/// Consecutive degenerate refits after which an agent is quarantined:
+/// its estimator stops ingesting observations (the last good fit keeps
+/// driving allocation) until a demand change resets it. Three in a row
+/// distinguishes a workload that has genuinely gone pathological from a
+/// single unlucky measurement.
+pub const QUARANTINE_THRESHOLD: usize = 3;
+
 /// Where an agent's per-epoch performance observations come from.
 ///
 /// The market itself never sees ground truth — it always allocates from the
@@ -100,6 +107,17 @@ impl AgentState {
     /// fitted estimate with elasticities re-scaled to sum to one (Eq. 12).
     pub fn reported_utility(&self) -> CobbDouglas {
         self.estimator.utility().rescaled()
+    }
+
+    /// Whether the agent's online refit has repeatedly produced a
+    /// degenerate (non-finite or invalid) Cobb-Douglas fit and is held on
+    /// its last good estimate. Quarantined agents keep their current
+    /// allocation behavior but stop ingesting observations; a
+    /// `DemandChanged` event resets the estimator and lifts the
+    /// quarantine. Derived from the estimator's consecutive-degenerate
+    /// counter, so it survives snapshot/restore without extra state.
+    pub fn quarantined(&self) -> bool {
+        self.estimator.consecutive_degenerate() >= QUARANTINE_THRESHOLD
     }
 }
 

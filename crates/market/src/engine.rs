@@ -361,9 +361,20 @@ impl MarketEngine {
                         "agent {id} is engine-driven and cannot accept external observations"
                     )));
                 }
+                if agent.quarantined() {
+                    return Err(MarketError::QuarantinedAgent(id));
+                }
+                let degen_before = agent.estimator.degenerate_refits();
                 let refit = agent.estimator.observe(allocation, performance)?;
                 self.metrics.external_observations += 1;
                 self.metrics.refits += u64::from(refit);
+                self.metrics.degenerate_refits +=
+                    (agent.estimator.degenerate_refits() - degen_before) as u64;
+                // The agent was not quarantined on entry, so crossing the
+                // threshold here is exactly one transition.
+                if agent.quarantined() {
+                    self.metrics.quarantines += 1;
+                }
                 Ok(None)
             }
             MarketEvent::EpochTick => self.run_epoch().map(Some),
@@ -423,8 +434,11 @@ impl MarketEngine {
         self.auditor.record(&fairness, warm);
 
         let enforcement = self.enforce(&allocation)?;
-        let (observations, refits) = self.collect_observations(epoch, &allocation)?;
+        let (observations, refits, degenerate, quarantines) =
+            self.collect_observations(epoch, &allocation)?;
         self.metrics.refits += refits as u64;
+        self.metrics.degenerate_refits += degenerate;
+        self.metrics.quarantines += quarantines;
 
         Ok(EpochReport {
             epoch,
@@ -478,12 +492,14 @@ impl MarketEngine {
     }
 
     /// Produces one observation per engine-driven agent at a jittered
-    /// allocation and feeds the online estimators.
+    /// allocation and feeds the online estimators. Returns
+    /// `(observations, refits, degenerate refit delta, quarantine
+    /// transitions)` for this epoch.
     fn collect_observations(
         &mut self,
         epoch: u64,
         allocation: &Allocation,
-    ) -> Result<(usize, usize)> {
+    ) -> Result<(usize, usize, u64, u64)> {
         let config = self.config.clone();
 
         // Simulated agents run jointly in one partitioned multicore system.
@@ -505,24 +521,40 @@ impl MarketEngine {
         // one pool task. Outcomes are folded in agent-id order, so the
         // counters — and the first error, if any — are identical at every
         // thread count.
-        type ObservationSlot<'a> = (Vec<f64>, &'a mut AgentState, Result<(usize, usize)>);
+        struct ObservationSlot<'a> {
+            bundle: Vec<f64>,
+            was_quarantined: bool,
+            degen_before: usize,
+            agent: &'a mut AgentState,
+            outcome: Result<(usize, usize)>,
+        }
         let mut work: Vec<ObservationSlot<'_>> = self
             .population
             .values_mut()
             .enumerate()
-            .map(|(i, agent)| (allocation.bundle(i).as_slice().to_vec(), agent, Ok((0, 0))))
+            .map(|(i, agent)| ObservationSlot {
+                bundle: allocation.bundle(i).as_slice().to_vec(),
+                was_quarantined: agent.quarantined(),
+                degen_before: agent.estimator.degenerate_refits(),
+                agent,
+                outcome: Ok((0, 0)),
+            })
             .collect();
-        ref_pool::par_for_each_mut(&mut work, |_, (bundle, agent, outcome)| {
-            *outcome = observe_agent(&config, epoch, bundle, agent, &sim_results);
+        ref_pool::par_for_each_mut(&mut work, |_, slot| {
+            slot.outcome = observe_agent(&config, epoch, &slot.bundle, slot.agent, &sim_results);
         });
         let mut observations = 0;
         let mut refits = 0;
-        for (_, _, outcome) in work {
-            let (obs, refit) = outcome?;
+        let mut degenerate = 0u64;
+        let mut quarantines = 0u64;
+        for slot in work {
+            let (obs, refit) = slot.outcome?;
             observations += obs;
             refits += refit;
+            degenerate += (slot.agent.estimator.degenerate_refits() - slot.degen_before) as u64;
+            quarantines += u64::from(!slot.was_quarantined && slot.agent.quarantined());
         }
-        Ok((observations, refits))
+        Ok((observations, refits, degenerate, quarantines))
     }
 
     /// The static configuration.
@@ -649,6 +681,13 @@ fn observe_agent(
     agent: &mut AgentState,
     sim_results: &BTreeMap<AgentId, (Vec<f64>, f64)>,
 ) -> Result<(usize, usize)> {
+    // A quarantined agent is held on its last good fit: feeding the
+    // estimator more points would only grow a log whose aggregate fit is
+    // already degenerate. The skip is a pure function of the observation
+    // log, so snapshot replay makes the same choice.
+    if agent.quarantined() {
+        return Ok((0, 0));
+    }
     match &agent.source {
         ObservationSource::GroundTruth(truth) => {
             let truth = truth.clone();
@@ -911,6 +950,79 @@ mod tests {
             performance: 1.0,
         });
         assert!(market.pump().is_err());
+    }
+
+    #[test]
+    fn repeated_degenerate_fits_quarantine_an_external_agent() {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::External,
+        });
+        market.pump().unwrap();
+        // Individually valid points whose exact log-linear fit has
+        // intercept 800: the fitted scale overflows, every refit attempt
+        // is degenerate, and after three in a row the agent quarantines.
+        let huge = |x: f64, y: f64| (800.0 + 20.0 * x.ln() + 20.0 * y.ln()).exp();
+        let pts = [
+            (0.01, 0.01),
+            (0.02, 0.01),
+            (0.01, 0.03),
+            (0.05, 0.02),
+            (0.03, 0.04),
+            (0.02, 0.05),
+        ];
+        for &(x, y) in &pts {
+            market.submit(MarketEvent::ObservationReported {
+                id: 1,
+                allocation: vec![x, y],
+                performance: huge(x, y),
+            });
+        }
+        market.pump().unwrap();
+        let agent = market.agent(1).unwrap();
+        assert!(agent.quarantined());
+        // The last good estimate (here: the prior) still drives allocation.
+        assert_eq!(agent.reported_utility().elasticities(), &[0.5, 0.5]);
+        assert_eq!(market.metrics().degenerate_refits, 3);
+        assert_eq!(market.metrics().quarantines, 1);
+        // Further observations for the quarantined agent are refused.
+        market.submit(MarketEvent::ObservationReported {
+            id: 1,
+            allocation: vec![1.0, 1.0],
+            performance: 1.0,
+        });
+        assert!(matches!(
+            market.pump(),
+            Err(MarketError::QuarantinedAgent(1))
+        ));
+        assert_eq!(market.metrics().rejected_events, 1);
+        // An epoch tick neither feeds the agent nor recounts transitions.
+        market.submit(MarketEvent::EpochTick);
+        market.pump().unwrap();
+        assert_eq!(market.metrics().quarantines, 1);
+        // Quarantine is derived from the observation log, so it survives
+        // snapshot/restore without extra persisted state.
+        let restored = MarketEngine::restore(&market.snapshot()).unwrap();
+        assert!(restored.agent(1).unwrap().quarantined());
+        assert_eq!(restored.metrics().quarantines, 1);
+        // A demand change resets the estimator and lifts the quarantine.
+        market.submit(MarketEvent::DemandChanged {
+            id: 1,
+            new_truth: None,
+        });
+        market.pump().unwrap();
+        let agent = market.agent(1).unwrap();
+        assert!(!agent.quarantined());
+        assert_eq!(agent.estimator.num_observations(), 0);
+        market.submit(MarketEvent::ObservationReported {
+            id: 1,
+            allocation: vec![2.0, 1.0],
+            performance: 1.5,
+        });
+        market.pump().unwrap();
+        assert_eq!(market.agent(1).unwrap().estimator.num_observations(), 1);
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub enum MarketError {
     UnknownAgent(AgentId),
     /// An `AgentJoined` event reused a live agent's id.
     DuplicateAgent(AgentId),
+    /// An observation was reported for an agent whose estimator is
+    /// quarantined after repeated degenerate refits; a `DemandChanged`
+    /// reset lifts the quarantine.
+    QuarantinedAgent(AgentId),
     /// An argument violated a documented invariant.
     InvalidArgument(String),
     /// A snapshot could not be encoded or decoded.
@@ -28,6 +32,11 @@ impl fmt::Display for MarketError {
         match self {
             MarketError::UnknownAgent(id) => write!(f, "unknown agent {id}"),
             MarketError::DuplicateAgent(id) => write!(f, "agent {id} is already live"),
+            MarketError::QuarantinedAgent(id) => write!(
+                f,
+                "agent {id} is quarantined after repeated degenerate refits; \
+                 reset it with a demand change"
+            ),
             MarketError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             MarketError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             MarketError::Core(e) => write!(f, "core error: {e}"),

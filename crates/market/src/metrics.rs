@@ -59,6 +59,13 @@ pub struct MarketMetrics {
     pub refits: u64,
     /// Events rejected with an error.
     pub rejected_events: u64,
+    /// Refit attempts that produced a degenerate (non-finite or invalid)
+    /// fit and were discarded in favor of the agent's last good estimate.
+    pub degenerate_refits: u64,
+    /// Agents that crossed the consecutive-degenerate threshold and were
+    /// quarantined (counted per transition into quarantine, not per
+    /// quarantined epoch).
+    pub quarantines: u64,
 }
 
 impl MarketMetrics {
@@ -85,7 +92,8 @@ impl MarketMetrics {
             "{{\"epochs\":{},\"events\":{},\"joins\":{},\"leaves\":{},\
              \"demand_changes\":{},\"external_observations\":{},\
              \"reallocations\":{},\"cache_hits\":{},\"refits\":{},\
-             \"rejected_events\":{},\"cache_hit_rate\":{}}}",
+             \"rejected_events\":{},\"degenerate_refits\":{},\
+             \"quarantines\":{},\"cache_hit_rate\":{}}}",
             self.epochs,
             self.events,
             self.joins,
@@ -96,6 +104,8 @@ impl MarketMetrics {
             self.cache_hits,
             self.refits,
             self.rejected_events,
+            self.degenerate_refits,
+            self.quarantines,
             json_f64(self.cache_hit_rate())
         )
     }
@@ -118,6 +128,8 @@ impl MarketMetrics {
             ("refmarket_cache_hits", self.cache_hits),
             ("refmarket_refits", self.refits),
             ("refmarket_rejected_events", self.rejected_events),
+            ("refmarket_degenerate_refits", self.degenerate_refits),
+            ("refmarket_quarantines", self.quarantines),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }
@@ -217,7 +229,8 @@ impl fmt::Display for MarketMetrics {
         write!(
             f,
             "epochs {} | events {} (join {} / leave {} / demand {} / obs {} / rejected {}) | \
-             realloc {} + cached {} ({:.0}% hit) | refits {}",
+             realloc {} + cached {} ({:.0}% hit) | refits {} \
+             (degenerate {} / quarantines {})",
             self.epochs,
             self.events,
             self.joins,
@@ -228,7 +241,9 @@ impl fmt::Display for MarketMetrics {
             self.reallocations,
             self.cache_hits,
             100.0 * self.cache_hit_rate(),
-            self.refits
+            self.refits,
+            self.degenerate_refits,
+            self.quarantines
         )
     }
 }
@@ -268,15 +283,18 @@ mod tests {
             cache_hits: 6,
             refits: 9,
             rejected_events: 5,
+            degenerate_refits: 2,
+            quarantines: 1,
         };
         assert_eq!(
             m.to_json(),
             "{\"epochs\":10,\"events\":42,\"joins\":3,\"leaves\":1,\
              \"demand_changes\":2,\"external_observations\":7,\
              \"reallocations\":4,\"cache_hits\":6,\"refits\":9,\
-             \"rejected_events\":5,\"cache_hit_rate\":0.6}"
+             \"rejected_events\":5,\"degenerate_refits\":2,\
+             \"quarantines\":1,\"cache_hit_rate\":0.6}"
         );
-        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 11);
+        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 13);
     }
 
     #[test]
@@ -288,8 +306,8 @@ mod tests {
         };
         let text = m.to_text();
         assert!(text.starts_with("refmarket_epochs 2\nrefmarket_events 3\n"));
-        assert_eq!(text.lines().count(), 10);
-        assert!(text.ends_with("refmarket_rejected_events 0\n"));
+        assert_eq!(text.lines().count(), 12);
+        assert!(text.ends_with("refmarket_quarantines 0\n"));
     }
 
     #[test]

@@ -117,7 +117,7 @@ impl MarketSnapshot {
         let m = &self.metrics;
         let _ = writeln!(
             out,
-            "metrics {} {} {} {} {} {} {} {} {} {}",
+            "metrics {} {} {} {} {} {} {} {} {} {} {} {}",
             m.epochs,
             m.events,
             m.joins,
@@ -127,7 +127,9 @@ impl MarketSnapshot {
             m.reallocations,
             m.cache_hits,
             m.refits,
-            m.rejected_events
+            m.rejected_events,
+            m.degenerate_refits,
+            m.quarantines
         );
 
         match &self.cache {
@@ -233,7 +235,7 @@ impl MarketSnapshot {
             ef_after_warmup: a[5],
             pe_after_warmup: a[6],
         };
-        let m = lines.tagged_u64s("metrics", 10)?;
+        let m = lines.tagged_u64s("metrics", 12)?;
         let metrics = MarketMetrics {
             epochs: m[0],
             events: m[1],
@@ -245,6 +247,8 @@ impl MarketSnapshot {
             cache_hits: m[7],
             refits: m[8],
             rejected_events: m[9],
+            degenerate_refits: m[10],
+            quarantines: m[11],
         };
 
         let cache = match lines.tagged("cache")? {

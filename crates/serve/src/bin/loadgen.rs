@@ -17,7 +17,9 @@ use std::time::{Duration, Instant};
 
 use ref_core::resource::Capacity;
 use ref_market::MarketConfig;
-use ref_serve::{Client, ClientError, LatencyHistogram, Quotas, ServeConfig, Server, Value};
+use ref_serve::{
+    CallOpts, Client, ClientError, LatencyHistogram, Quotas, ServeConfig, Server, Value,
+};
 
 struct Args {
     addr: Option<String>,
@@ -110,8 +112,10 @@ impl LevelResult {
 }
 
 /// One closed-loop client: joins its own agent, then hammers a fixed op
-/// mix until the deadline. Overload rejections back off politely and are
-/// counted; they are backpressure, not failures.
+/// mix until the deadline. Overload rejections are absorbed by the
+/// client's jittered retry loop ([`CallOpts`]) and counted; they are
+/// backpressure, not failures. Measured latency is the latency a
+/// retrying caller actually experiences — backoff sleeps included.
 fn run_client(
     addr: &str,
     worker: usize,
@@ -144,23 +148,27 @@ fn run_client(
         ("op", Value::str("query")),
         ("agent", Value::from_u64(agent)),
     ]);
+    // Per-client jitter seed so retry schedules desynchronize instead of
+    // stampeding the server in lockstep.
+    let opts = CallOpts::default().with_seed(agent);
     let mut i = 0u64;
     while Instant::now() < deadline {
         let request = if i % 3 == 2 { &query } else { &observe };
         let started = Instant::now();
-        match client.call(request) {
-            Ok(_) => {
+        match client.call_with(request, &opts) {
+            Ok((_, retries)) => {
                 let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 latency.record_us(us);
                 stats.ok.fetch_add(1, Ordering::Relaxed);
+                // Each absorbed retry was one overload rejection.
+                stats.rejected.fetch_add(retries, Ordering::Relaxed);
             }
             Err(e @ ClientError::Server { .. }) if e.code() == Some("overloaded") => {
-                stats.rejected.fetch_add(1, Ordering::Relaxed);
-                let backoff = match e {
-                    ClientError::Server { retry_after_ms, .. } => retry_after_ms.unwrap_or(1),
-                    _ => 1,
-                };
-                std::thread::sleep(Duration::from_millis(backoff.max(1)));
+                // Retries exhausted: the first attempt and every retry
+                // were rejected.
+                stats
+                    .rejected
+                    .fetch_add(u64::from(opts.retries) + 1, Ordering::Relaxed);
             }
             Err(ClientError::Server { .. }) => {
                 // Market-level rejections (e.g. racing a shutdown) count

@@ -2,15 +2,93 @@
 //!
 //! One connection carries one outstanding request at a time (the protocol
 //! is a closed loop), so the client is a thin synchronous wrapper: encode
-//! a line, write it, read one line back. [`Client::call_retrying`] adds
-//! the polite reaction to backpressure — sleep for the server's
-//! `retry_after_ms` hint and resubmit.
+//! a line, write it, read one line back. [`Client::call_with`] adds the
+//! polite reaction to backpressure — seeded, jittered exponential backoff
+//! floored at the server's `retry_after_ms` hint, under a total-deadline
+//! budget — and [`Client::call_retrying`] is its minimal older sibling.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::json::Value;
+
+/// Retry policy for [`Client::call_with`].
+///
+/// Backoff for attempt *n* is `min(max_delay, base_delay << n)`, scaled
+/// by a deterministic jitter in `[0.5, 1.0]` drawn from `seed` (so two
+/// clients given different seeds desynchronize instead of stampeding),
+/// and floored at the server's `retry_after_ms` hint when one is
+/// attached to the rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOpts {
+    /// Maximum retries after the first attempt (0 = call once).
+    pub retries: u32,
+    /// Total budget across all attempts and sleeps; `None` is unbounded.
+    /// When the budget would be exceeded by the next backoff sleep, the
+    /// call gives up with the last server error instead of oversleeping.
+    pub deadline: Option<Duration>,
+    /// First backoff step.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed; vary per client for desynchronized retries.
+    pub seed: u64,
+}
+
+impl Default for CallOpts {
+    fn default() -> CallOpts {
+        CallOpts {
+            retries: 8,
+            deadline: None,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(200),
+            seed: 0x005e_ed0f_ca11,
+        }
+    }
+}
+
+impl CallOpts {
+    /// Sets the retry count.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> CallOpts {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the total-deadline budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> CallOpts {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> CallOpts {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff before retry `attempt` (0-based), already jittered;
+    /// `hint_ms` is the server's `retry_after_ms` floor. Pure, so tests
+    /// can pin the schedule.
+    pub fn backoff(&self, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        let base = self.base_delay.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(20)) as f64;
+        let capped = exp.min(self.max_delay.as_millis() as f64);
+        // splitmix64: cheap, seedable, good enough for jitter.
+        let mut x = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = capped * (0.5 + 0.5 * unit);
+        Duration::from_millis((jittered as u64).max(hint_ms.unwrap_or(0)))
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -161,6 +239,49 @@ impl Client {
                     };
                     std::thread::sleep(Duration::from_millis(backoff));
                     retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Like [`Client::call`], but rides out `overloaded` rejections with
+    /// the [`CallOpts`] backoff policy: seeded jittered exponential
+    /// delays floored at the server's `retry_after_ms` hint, all under
+    /// an optional total-deadline budget. Returns the number of retries
+    /// taken alongside the reply.
+    ///
+    /// # Errors
+    ///
+    /// The last `overloaded` error once retries or the deadline budget
+    /// are exhausted; any other error immediately.
+    pub fn call_with(
+        &mut self,
+        request: &Value,
+        opts: &CallOpts,
+    ) -> Result<(Value, u64), ClientError> {
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.call(request) {
+                Ok(reply) => return Ok((reply, u64::from(attempt))),
+                Err(e @ ClientError::Server { .. }) if e.code() == Some("overloaded") => {
+                    if attempt >= opts.retries {
+                        return Err(e);
+                    }
+                    let hint = match &e {
+                        ClientError::Server { retry_after_ms, .. } => *retry_after_ms,
+                        _ => None,
+                    };
+                    let backoff = opts.backoff(attempt, hint);
+                    if let Some(deadline) = opts.deadline {
+                        // Give up rather than oversleep the budget.
+                        if started.elapsed() + backoff > deadline {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                    attempt += 1;
                 }
                 Err(e) => return Err(e),
             }
@@ -353,5 +474,41 @@ impl Client {
     /// See [`ClientError`].
     pub fn shutdown(&mut self) -> Result<Value, ClientError> {
         self.call(&Value::obj(vec![("op", Value::str("shutdown"))]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_floored() {
+        let opts = CallOpts::default().with_seed(42);
+        // Same seed, same attempt: same delay (replayable schedules).
+        assert_eq!(opts.backoff(3, None), opts.backoff(3, None));
+        // Jitter never exceeds the cap and never undershoots half the
+        // exponential step.
+        for attempt in 0..16 {
+            let d = opts.backoff(attempt, None);
+            assert!(d <= opts.max_delay, "attempt {attempt}: {d:?}");
+        }
+        assert!(opts.backoff(0, None) >= opts.base_delay / 2);
+        // The server's retry_after_ms hint is a floor.
+        assert!(opts.backoff(0, Some(500)) >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_before_the_cap() {
+        let opts = CallOpts {
+            retries: 4,
+            deadline: None,
+            base_delay: Duration::from_millis(8),
+            max_delay: Duration::from_secs(10),
+            seed: 7,
+        };
+        // Worst-case jitter of attempt n+2 (half scale) still beats
+        // best-case jitter of attempt n (full scale): 2^(n+2)/2 = 2^(n+1).
+        assert!(opts.backoff(4, None) > opts.backoff(2, None));
+        assert!(opts.backoff(6, None) > opts.backoff(4, None));
     }
 }

@@ -12,17 +12,22 @@ use std::time::Instant;
 use ref_market::{EpochReport, Result as MarketResult};
 use ref_market::{MarketConfig, MarketEngine, MarketEvent};
 
+use crate::fault::FaultPlan;
 use crate::json::Value;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{error_response, event_to_value, ok_response, Request};
+use crate::wal::{Wal, WalConfig};
 
-/// How many journal entries the core retains before it stops recording.
+/// How many journal entries the core retains in memory before it stops
+/// recording.
 ///
 /// The journal exists so a run can be audited offline (replay equals the
 /// live engine, byte for byte). It must not become an unbounded memory
 /// leak under sustained load, so past the cap the core keeps serving but
-/// marks the journal overflowed; `journal` requests then fail loudly
-/// instead of returning a silently truncated history.
+/// marks the in-memory journal overflowed. Without a WAL, `journal`
+/// requests then fail loudly instead of returning a silently truncated
+/// history; with a WAL the cap is only a cache bound — `journal`
+/// requests fall back to reading the log from disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalLimit(pub usize);
 
@@ -32,7 +37,8 @@ impl Default for JournalLimit {
     }
 }
 
-/// The engine, its journal, and the last epoch's report.
+/// The engine, its journal, the optional write-ahead log, and the last
+/// epoch's report.
 #[derive(Debug)]
 pub struct ServiceCore {
     engine: MarketEngine,
@@ -40,10 +46,17 @@ pub struct ServiceCore {
     journal_limit: usize,
     journal_overflowed: bool,
     last_report: Option<EpochReport>,
+    /// Durable log; when present, every event is appended here *before*
+    /// it is applied, and an append failure means the event is rejected.
+    wal: Option<Wal>,
+    /// Events ever applied to the engine, including those replayed
+    /// during recovery — equals the WAL sequence when a WAL is attached.
+    events_applied: u64,
+    faults: FaultPlan,
 }
 
 impl ServiceCore {
-    /// Creates a core around a fresh engine.
+    /// Creates a core around a fresh engine (no durability).
     ///
     /// # Errors
     ///
@@ -55,12 +68,99 @@ impl ServiceCore {
             journal_limit: journal_limit.0,
             journal_overflowed: false,
             last_report: None,
+            wal: None,
+            events_applied: 0,
+            faults: FaultPlan::default(),
+        })
+    }
+
+    /// Arms a fault-injection plan (testing seam; the default plan
+    /// injects nothing). Append-time faults on a durable core are set
+    /// through [`ServiceCore::recover`] instead, which threads the plan
+    /// into the WAL writer.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> ServiceCore {
+        self.faults = faults;
+        self
+    }
+
+    /// Opens (creating or recovering) a durable core: the WAL directory
+    /// is recovered — newest valid checkpoint restored, tail replayed,
+    /// torn final record truncated — and every future event is appended
+    /// to the log before it is applied.
+    ///
+    /// The resulting state is bit-identical to replaying the full event
+    /// history offline.
+    ///
+    /// # Errors
+    ///
+    /// I/O and corruption errors from [`Wal::open`]; an invalid
+    /// [`MarketConfig`] or a checkpoint belonging to a *different*
+    /// market configuration as [`std::io::ErrorKind::InvalidInput`].
+    pub fn recover(
+        config: MarketConfig,
+        journal_limit: JournalLimit,
+        wal_config: WalConfig,
+        faults: FaultPlan,
+    ) -> std::io::Result<ServiceCore> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        let recovery = Wal::open(wal_config, faults.clone())?;
+        let mut engine = match &recovery.checkpoint {
+            Some((_, snapshot)) => {
+                if snapshot.config != config {
+                    return Err(invalid(
+                        "wal directory belongs to a different market configuration".to_string(),
+                    ));
+                }
+                MarketEngine::restore(snapshot).map_err(|e| invalid(e.to_string()))?
+            }
+            None => MarketEngine::new(config).map_err(|e| invalid(e.to_string()))?,
+        };
+        // Replay the tail exactly as the live core does: rejections are
+        // part of faithful replay.
+        for event in &recovery.tail {
+            let _ = engine.apply_now(event.clone());
+        }
+        let wal = recovery.wal;
+        let events_applied = wal.next_seq();
+
+        // Re-warm the in-memory journal cache when the log still holds
+        // the complete history and it fits; otherwise the cache starts
+        // overflowed and `journal` requests stream from the WAL.
+        let mut journal = Vec::new();
+        let mut journal_overflowed = true;
+        if let Ok((0, events)) = wal.read_events() {
+            if events.len() as u64 == events_applied && events.len() <= journal_limit.0 {
+                journal = events;
+                journal_overflowed = false;
+            }
+        }
+
+        Ok(ServiceCore {
+            engine,
+            journal,
+            journal_limit: journal_limit.0,
+            journal_overflowed,
+            last_report: None,
+            wal: Some(wal),
+            events_applied,
+            faults,
         })
     }
 
     /// The wrapped engine (read-only).
     pub fn engine(&self) -> &MarketEngine {
         &self.engine
+    }
+
+    /// The attached write-ahead log, if the core is durable.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Events ever applied to the engine (including recovery replay).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
     }
 
     /// The accepted-event journal (empty once overflowed — check
@@ -91,14 +191,33 @@ impl ServiceCore {
         self.journal.push(event.clone());
     }
 
-    /// Applies one event-bearing request to the engine, journaling it
-    /// first (rejected events are journaled too — the rejection bumps an
-    /// engine counter, so replay must see it to stay bit-identical).
+    /// Applies one event-bearing request to the engine, logging it
+    /// durably and journaling it first (rejected events are logged too —
+    /// the rejection bumps an engine counter, so replay must see it to
+    /// stay bit-identical).
+    ///
+    /// Append-before-apply, fail-closed: if the WAL append fails the
+    /// event is *not* applied and the client gets a `wal` error — engine
+    /// state is never ahead of the log.
     fn apply_event(&mut self, event: MarketEvent, metrics: &ServeMetrics) -> Value {
+        let seq = self.events_applied;
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.append(&event) {
+                ServeMetrics::bump(&metrics.wal_errors);
+                return error_response("wal", Some(&format!("append failed: {e}")), None);
+            }
+            ServeMetrics::bump(&metrics.wal_appends);
+        }
+        if self.faults.panic_on_event == Some(seq) {
+            // After the append, before the apply: the record is durable
+            // but orphaned; recovery must replay it.
+            panic!("injected panic applying event seq {seq}");
+        }
         self.record(&event);
+        self.events_applied += 1;
         let is_tick = matches!(event, MarketEvent::EpochTick);
         let started = Instant::now();
-        match self.engine.apply_now(event) {
+        let response = match self.engine.apply_now(event) {
             Ok(report) => {
                 let epoch = self.engine.epoch();
                 if is_tick {
@@ -118,6 +237,25 @@ impl ServiceCore {
                 ok_response(fields)
             }
             Err(e) => error_response("market", Some(&e.to_string()), None),
+        };
+        self.maybe_checkpoint(metrics);
+        response
+    }
+
+    /// Takes a snapshot checkpoint when the configured cadence is due;
+    /// a failed checkpoint is logged in metrics but never fatal — the
+    /// WAL tail simply stays longer.
+    fn maybe_checkpoint(&mut self, metrics: &ServeMetrics) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let every = wal.checkpoint_every();
+        if every == 0 || !self.events_applied.is_multiple_of(every) {
+            return;
+        }
+        match wal.checkpoint(&self.engine.snapshot().encode()) {
+            Ok(()) => ServeMetrics::bump(&metrics.checkpoints),
+            Err(_) => ServeMetrics::bump(&metrics.wal_errors),
         }
     }
 
@@ -171,6 +309,7 @@ impl ServiceCore {
                             Value::from_u64(agent.estimator.num_observations() as u64),
                         ),
                         ("refits", Value::from_u64(agent.estimator.refits() as u64)),
+                        ("quarantined", Value::Bool(agent.quarantined())),
                         ("bundle", bundle.unwrap_or(Value::Null)),
                     ])
                 }
@@ -197,17 +336,39 @@ impl ServiceCore {
                 }
             }
             Request::Journal => {
-                if self.journal_overflowed {
-                    error_response(
+                if !self.journal_overflowed {
+                    return ok_response(vec![(
+                        "events",
+                        Value::Arr(self.journal.iter().map(event_to_value).collect()),
+                    )]);
+                }
+                // The in-memory cache overflowed; with a WAL that is not
+                // a correctness limit — stream the history from disk, as
+                // long as the log still reaches back to event 0.
+                let Some(wal) = &self.wal else {
+                    return error_response(
                         "journal_overflow",
                         Some("journal exceeded its retention limit and was dropped"),
                         None,
-                    )
-                } else {
-                    ok_response(vec![(
-                        "events",
-                        Value::Arr(self.journal.iter().map(event_to_value).collect()),
-                    )])
+                    );
+                };
+                match wal.read_events() {
+                    Ok((0, events)) if events.len() as u64 == self.events_applied => {
+                        ok_response(vec![(
+                            "events",
+                            Value::Arr(events.iter().map(event_to_value).collect()),
+                        )])
+                    }
+                    Ok(_) => error_response(
+                        "journal_truncated",
+                        Some(
+                            "checkpoint pruning dropped the event prefix; only snapshots cover it",
+                        ),
+                        None,
+                    ),
+                    Err(e) => {
+                        error_response("wal", Some(&format!("journal read failed: {e}")), None)
+                    }
                 }
             }
             Request::Shutdown => error_response(

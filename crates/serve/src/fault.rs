@@ -1,0 +1,50 @@
+//! Deterministic fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] is plain data threaded through the WAL writer and the
+//! request path. Every trigger is counted against a deterministic event
+//! ordinal (the WAL append sequence, or an explicit line token), so a
+//! test that injects "fail the 7th append" fails the same append on
+//! every run. The default plan injects nothing and costs two branch
+//! checks per append — it is always compiled, never feature-gated, so
+//! the production code path *is* the tested code path.
+
+/// A deterministic schedule of injected faults. `Default` injects none.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the append of WAL record `seq` (no bytes written): the write
+    /// path reports an I/O error and the event must not be applied. Fires
+    /// once — a retry of the same sequence succeeds, modeling a transient
+    /// disk error.
+    pub fail_append_at: Option<u64>,
+    /// Tear the append of WAL record `seq`: write only the first `bytes`
+    /// bytes of the framed record, then report an I/O error and poison
+    /// the log (as a dying disk would). Recovery must truncate the torn
+    /// tail back to the last complete record.
+    pub torn_append_at: Option<(u64, usize)>,
+    /// Fail the fsync after WAL record `seq`; treated like a failed
+    /// append — the written bytes are rolled back and the event is not
+    /// applied. Fires once, like `fail_append_at`.
+    pub fail_sync_at: Option<u64>,
+    /// Panic the ticker while applying WAL record `seq`, *after* the
+    /// record is durable but *before* the engine applies it. Exercises
+    /// the supervised-ticker path: the server must degrade, keep serving
+    /// reads, and recovery must replay the orphaned record.
+    pub panic_on_event: Option<u64>,
+    /// Panic the reader thread whose request line contains this token,
+    /// exercising connection isolation: the poisoned connection dies
+    /// alone and every other connection keeps working.
+    pub panic_on_line_token: Option<String>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (same as `Default`).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether any fault is armed (used to skip per-request checks in
+    /// the common case).
+    pub fn is_armed(&self) -> bool {
+        *self != FaultPlan::default()
+    }
+}

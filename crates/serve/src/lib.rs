@@ -26,6 +26,16 @@
 //! * **Observability** ([`metrics`]): lock-free server counters and a
 //!   log2 epoch-latency histogram, served next to the market's own
 //!   [`ref_market::MarketMetrics`] in stable JSON or scrape-style text.
+//! * **Durability** ([`wal`]): an optional segmented, checksummed
+//!   write-ahead log. Every admitted event is appended before it is
+//!   applied; periodic snapshot checkpoints truncate old segments; and
+//!   [`Server::recover`] resumes after a crash — tolerating a torn final
+//!   record — with state bit-identical to an offline replay.
+//! * **Supervision** ([`server`]): reader threads and the ticker run
+//!   under `catch_unwind`. A panicking connection dies alone; a ticker
+//!   panic flips the server into a degraded mode that refuses mutations
+//!   but keeps serving reads. A deterministic [`fault::FaultPlan`]
+//!   injects crashes, torn writes, and failed syncs for testing.
 //!
 //! # Quickstart
 //!
@@ -56,15 +66,19 @@
 pub mod bus;
 pub mod client;
 pub mod core;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod wal;
 
 pub use bus::{Bus, Quotas, SendError};
-pub use client::{Client, ClientError};
+pub use client::{CallOpts, Client, ClientError};
 pub use core::{replay, JournalLimit, ServiceCore};
+pub use fault::FaultPlan;
 pub use json::Value;
 pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, ServeMetricsSnapshot};
 pub use protocol::{parse_request, Class, Envelope, Request};
 pub use server::{ServeConfig, Server, ShutdownReport};
+pub use wal::{Recovery, Wal, WalConfig};

@@ -132,6 +132,20 @@ pub struct ServeMetrics {
     pub epochs: AtomicU64,
     /// High-water mark of queue depth observed at drain time.
     pub queue_depth_max: AtomicU64,
+    /// Events appended durably to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Failed WAL appends/checkpoints (each one rejected an event or
+    /// postponed a checkpoint — never silently dropped).
+    pub wal_errors: AtomicU64,
+    /// Snapshot checkpoints taken.
+    pub checkpoints: AtomicU64,
+    /// Reader threads that died to a panic (connections lost alone).
+    pub reader_panics: AtomicU64,
+    /// Ticker panics caught by the supervisor.
+    pub ticker_panics: AtomicU64,
+    /// Degraded-mode gauge: 1 after a ticker panic (mutations refused,
+    /// reads still served), 0 in normal operation.
+    pub degraded: AtomicU64,
     /// Wall-clock latency of each epoch's pump.
     pub epoch_latency: LatencyHistogram,
 }
@@ -163,6 +177,12 @@ impl ServeMetrics {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             epochs: self.epochs.load(Ordering::Relaxed),
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_errors: self.wal_errors.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            reader_panics: self.reader_panics.load(Ordering::Relaxed),
+            ticker_panics: self.ticker_panics.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             epoch_latency: self.epoch_latency.snapshot(),
         }
     }
@@ -187,6 +207,18 @@ pub struct ServeMetricsSnapshot {
     pub epochs: u64,
     /// Queue depth high-water mark.
     pub queue_depth_max: u64,
+    /// Durable WAL appends.
+    pub wal_appends: u64,
+    /// Failed WAL appends/checkpoints.
+    pub wal_errors: u64,
+    /// Snapshot checkpoints taken.
+    pub checkpoints: u64,
+    /// Reader threads lost to panics.
+    pub reader_panics: u64,
+    /// Ticker panics caught by the supervisor.
+    pub ticker_panics: u64,
+    /// Degraded-mode gauge (1 = mutations refused).
+    pub degraded: u64,
     /// Epoch pump latency distribution.
     pub epoch_latency: HistogramSnapshot,
 }
@@ -203,6 +235,12 @@ impl ServeMetricsSnapshot {
             ("protocol_errors", Value::from_u64(self.protocol_errors)),
             ("epochs", Value::from_u64(self.epochs)),
             ("queue_depth_max", Value::from_u64(self.queue_depth_max)),
+            ("wal_appends", Value::from_u64(self.wal_appends)),
+            ("wal_errors", Value::from_u64(self.wal_errors)),
+            ("checkpoints", Value::from_u64(self.checkpoints)),
+            ("reader_panics", Value::from_u64(self.reader_panics)),
+            ("ticker_panics", Value::from_u64(self.ticker_panics)),
+            ("degraded", Value::from_u64(self.degraded)),
             ("epoch_latency", self.epoch_latency.to_json_value()),
         ])
     }
@@ -220,6 +258,12 @@ impl ServeMetricsSnapshot {
             ("refserve_protocol_errors", self.protocol_errors),
             ("refserve_epochs", self.epochs),
             ("refserve_queue_depth_max", self.queue_depth_max),
+            ("refserve_wal_appends", self.wal_appends),
+            ("refserve_wal_errors", self.wal_errors),
+            ("refserve_checkpoints", self.checkpoints),
+            ("refserve_reader_panics", self.reader_panics),
+            ("refserve_ticker_panics", self.ticker_panics),
+            ("refserve_degraded", self.degraded),
             ("refserve_epoch_latency_count", self.epoch_latency.count),
             ("refserve_epoch_latency_sum_us", self.epoch_latency.sum_us),
             (
@@ -295,6 +339,8 @@ mod tests {
         assert!(json.contains("\"epoch_latency\":{\"count\":1,"), "{json}");
         let text = snap.to_text();
         assert!(text.contains("refserve_accepted 2\n"), "{text}");
-        assert_eq!(text.lines().count(), 12);
+        assert!(text.contains("refserve_wal_appends 0\n"), "{text}");
+        assert!(text.contains("refserve_degraded 0\n"), "{text}");
+        assert_eq!(text.lines().count(), 18);
     }
 }

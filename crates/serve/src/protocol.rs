@@ -13,6 +13,7 @@
 //!              "retry_after_ms"?: number } "\n"
 //! code     = "protocol" | "overloaded" | "deadline" | "market"
 //!          | "shutting_down" | "timeout" | "journal_overflow"
+//!          | "journal_truncated" | "wal" | "degraded" | "internal"
 //! ```
 //!
 //! Every op maps to an admission [`Class`] so backpressure can be applied

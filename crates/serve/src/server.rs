@@ -25,6 +25,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -34,9 +35,11 @@ use ref_market::{MarketConfig, MarketEvent};
 
 use crate::bus::{Bus, Quotas, SendError};
 use crate::core::{JournalLimit, ServiceCore};
+use crate::fault::FaultPlan;
 use crate::json::Value;
 use crate::metrics::{ServeMetrics, ServeMetricsSnapshot};
 use crate::protocol::{error_response, ok_response, parse_request, Request};
+use crate::wal::{self, WalConfig};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -61,6 +64,13 @@ pub struct ServeConfig {
     /// How long a reader waits for the ticker's reply before giving up
     /// with a `timeout` response.
     pub reply_timeout: Duration,
+    /// Durability: when set, every admitted event is appended to this
+    /// write-ahead log before it is applied, and [`Server::recover`]
+    /// can resume the market after a crash.
+    pub wal: Option<WalConfig>,
+    /// Deterministic fault injection (testing seam; injects nothing by
+    /// default).
+    pub faults: FaultPlan,
 }
 
 impl ServeConfig {
@@ -75,6 +85,8 @@ impl ServeConfig {
             journal_limit: JournalLimit::default(),
             read_timeout: Duration::from_millis(50),
             reply_timeout: Duration::from_secs(30),
+            wal: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -99,6 +111,18 @@ impl ServeConfig {
     /// Sets the maximum simultaneous connections.
     pub fn with_max_connections(mut self, max: usize) -> ServeConfig {
         self.max_connections = max;
+        self
+    }
+
+    /// Attaches a write-ahead log for durability.
+    pub fn with_wal(mut self, wal: WalConfig) -> ServeConfig {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> ServeConfig {
+        self.faults = faults;
         self
     }
 }
@@ -154,15 +178,65 @@ impl std::fmt::Debug for Shared {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor and ticker threads.
+    /// acceptor and ticker threads with a *fresh* market.
     ///
     /// # Errors
     ///
-    /// Returns the bind error, or an invalid [`MarketConfig`] as
-    /// [`std::io::ErrorKind::InvalidInput`].
+    /// Returns the bind error, an invalid [`MarketConfig`] as
+    /// [`std::io::ErrorKind::InvalidInput`], or — when a WAL is
+    /// configured and its directory already holds state — an
+    /// `InvalidInput` error directing the caller to [`Server::recover`],
+    /// so a fresh boot can never silently shadow recoverable history.
     pub fn start(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
-        let core = ServiceCore::new(config.market.clone(), config.journal_limit)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        if let Some(wal_config) = &config.wal {
+            if wal::dir_has_state(&wal_config.dir)? {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "wal directory {:?} already holds state; use Server::recover",
+                        wal_config.dir
+                    ),
+                ));
+            }
+        }
+        Server::launch(addr, config)
+    }
+
+    /// Binds `addr` and resumes the market persisted in the configured
+    /// WAL directory: newest valid checkpoint restored, WAL tail
+    /// replayed (a torn final record is truncated away), state
+    /// bit-identical to an offline replay of the full history. An empty
+    /// directory starts a fresh market, so recover-on-boot is always
+    /// safe.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Server::start`] returns, plus recovery failures:
+    /// interior WAL corruption, or a checkpoint from a different market
+    /// configuration ([`std::io::ErrorKind::InvalidData`] /
+    /// [`std::io::ErrorKind::InvalidInput`]).
+    pub fn recover(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        if config.wal.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Server::recover needs a WAL (ServeConfig::with_wal)",
+            ));
+        }
+        Server::launch(addr, config)
+    }
+
+    fn launch(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let core = match &config.wal {
+            Some(wal_config) => ServiceCore::recover(
+                config.market.clone(),
+                config.journal_limit,
+                wal_config.clone(),
+                config.faults.clone(),
+            )?,
+            None => ServiceCore::new(config.market.clone(), config.journal_limit)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?
+                .with_faults(config.faults.clone()),
+        };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -321,8 +395,16 @@ fn acceptor_loop(
                 let handle = std::thread::Builder::new()
                     .name("ref-serve-conn".to_string())
                     .spawn(move || {
-                        reader_loop(stream, &shared, &config);
-                        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+                        // The slot guard releases the connection count even
+                        // if the reader panics, and the panic is contained
+                        // here: a poisoned connection dies alone.
+                        let _slot = ConnectionSlot(Arc::clone(&shared));
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            reader_loop(stream, &shared, &config);
+                        }));
+                        if outcome.is_err() {
+                            ServeMetrics::bump(&shared.metrics.reader_panics);
+                        }
                     })
                     .expect("spawn reader");
                 readers.lock().expect("readers lock poisoned").push(handle);
@@ -332,6 +414,17 @@ fn acceptor_loop(
             }
             Err(_) => return,
         }
+    }
+}
+
+/// Releases one open-connection slot when a reader thread exits — by
+/// return *or* by panic — so a poisoned connection cannot leak its slot
+/// and slowly strangle the accept limit.
+struct ConnectionSlot(Arc<Shared>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.open_connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -402,6 +495,13 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
 
 /// Parses, admits and awaits one request line; always produces a response.
 fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
+    if config.faults.is_armed() {
+        if let Some(token) = &config.faults.panic_on_line_token {
+            if line.contains(token.as_str()) {
+                panic!("injected reader panic on line containing {token:?}");
+            }
+        }
+    }
     let envelope = match parse_request(line) {
         Ok(envelope) => envelope,
         Err(detail) => {
@@ -428,7 +528,17 @@ fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
                 .unwrap_or(config.reply_timeout);
             match rx.recv_timeout(wait) {
                 Ok(response) => response,
-                Err(_) => error_response("timeout", Some("no reply from the epoch loop"), None),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    error_response("timeout", Some("no reply from the epoch loop"), None)
+                }
+                // The ticker dropped the reply sender without answering —
+                // it panicked mid-batch. The supervisor restarts it in
+                // degraded mode; this request is the one casualty.
+                Err(mpsc::RecvTimeoutError::Disconnected) => error_response(
+                    "internal",
+                    Some("request dropped by a ticker failure"),
+                    None,
+                ),
             }
         }
         Err(SendError::Full(_)) => {
@@ -442,81 +552,139 @@ fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
     }
 }
 
-fn ticker_loop(mut core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig) {
-    let mut next_tick = config.epoch_interval.map(|i| Instant::now() + i);
-    let mut shutdown_replies: Vec<mpsc::Sender<Value>> = Vec::new();
-    let mut draining = false;
+/// Mutable ticker state kept *outside* the supervised pass, so a caught
+/// panic loses at most the request being handled: drain progress and
+/// pending shutdown replies survive into the next pass.
+struct TickerState {
+    next_tick: Option<Instant>,
+    shutdown_replies: Vec<mpsc::Sender<Value>>,
+    draining: bool,
+    degraded: bool,
+}
+
+fn ticker_loop(core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig) {
+    // Held in an Option so the retiring pass can move the core into the
+    // shared slot; `Some` until the pass that returns `true`.
+    let mut core = Some(core);
+    let mut state = TickerState {
+        next_tick: config.epoch_interval.map(|i| Instant::now() + i),
+        shutdown_replies: Vec::new(),
+        draining: false,
+        degraded: false,
+    };
     loop {
-        if !draining {
-            let park = match next_tick {
-                Some(at) => at.saturating_duration_since(Instant::now()),
-                None => Duration::from_millis(50),
-            };
-            if !park.is_zero() {
-                shared.bus.wait(park);
-            }
-        }
-
-        let batch = shared.bus.drain();
-        shared.metrics.observe_depth(batch.len() as u64);
-        for (_, item) in batch {
-            if let Some(deadline) = item.deadline {
-                if Instant::now() > deadline {
-                    ServeMetrics::bump(&shared.metrics.rejected_deadline);
-                    let _ = item.reply.send(error_response(
-                        "deadline",
-                        Some("expired while queued"),
-                        None,
-                    ));
-                    continue;
-                }
-            }
-            if matches!(item.request, Request::Shutdown) {
-                if !draining {
-                    draining = true;
-                    // Stop admitting; everything already on the bus is
-                    // still served below.
-                    shared.bus.close();
-                }
-                shutdown_replies.push(item.reply);
-                continue;
-            }
-            let response = core.handle(&item.request, &shared.metrics);
-            let _ = item.reply.send(response);
-        }
-
-        // Bus closure ([`Server::shutdown`] or Drop) is a drain signal
-        // too: nothing further can be admitted, so serve what is queued,
-        // retire the core, and exit rather than spin forever.
-        if !draining && shared.bus.is_closed() {
-            draining = true;
-        }
-
-        if draining {
-            // One more race-free drain: items admitted between our drain
-            // and the close are served, not dropped.
-            if shared.bus.depth() > 0 {
-                continue;
-            }
-            let snapshot = core.final_snapshot();
-            for reply in shutdown_replies.drain(..) {
-                let _ = reply.send(ok_response(vec![
-                    ("snapshot", Value::str(snapshot.clone())),
-                    ("server", shared.metrics.snapshot().to_json_value()),
-                ]));
-            }
-            shared.stop.store(true, Ordering::SeqCst);
-            *shared.retired.lock().expect("retired lock poisoned") = Some(core);
-            return;
-        }
-
-        if let (Some(interval), Some(at)) = (config.epoch_interval, next_tick) {
-            if Instant::now() >= at {
-                let _ = core.handle(&Request::Tick, &shared.metrics);
-                next_tick = Some(Instant::now() + interval);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            ticker_pass(&mut core, &mut state, shared, config)
+        }));
+        match outcome {
+            Ok(true) => return,
+            Ok(false) => {}
+            Err(_) => {
+                // Fail fast into degraded mode. The engine may have
+                // missed an event the WAL already holds, so mutations
+                // are refused from here on — the durable log, not this
+                // process, is the source of truth — but reads keep
+                // serving the pre-panic state and shutdown still drains.
+                ServeMetrics::bump(&shared.metrics.ticker_panics);
+                shared.metrics.degraded.store(1, Ordering::Relaxed);
+                state.degraded = true;
             }
         }
     }
+}
+
+/// One supervised pass of the ticker: park, drain, serve, maybe run a
+/// timed epoch. Returns `true` once the core is retired (exit signal).
+fn ticker_pass(
+    slot: &mut Option<ServiceCore>,
+    state: &mut TickerState,
+    shared: &Arc<Shared>,
+    config: &ServeConfig,
+) -> bool {
+    let core = slot.as_mut().expect("core retired but ticker re-entered");
+    if !state.draining {
+        let park = match state.next_tick {
+            Some(at) => at.saturating_duration_since(Instant::now()),
+            None => Duration::from_millis(50),
+        };
+        if !park.is_zero() {
+            shared.bus.wait(park);
+        }
+    }
+
+    let batch = shared.bus.drain();
+    shared.metrics.observe_depth(batch.len() as u64);
+    for (_, item) in batch {
+        if let Some(deadline) = item.deadline {
+            if Instant::now() > deadline {
+                ServeMetrics::bump(&shared.metrics.rejected_deadline);
+                let _ = item.reply.send(error_response(
+                    "deadline",
+                    Some("expired while queued"),
+                    None,
+                ));
+                continue;
+            }
+        }
+        if matches!(item.request, Request::Shutdown) {
+            if !state.draining {
+                state.draining = true;
+                // Stop admitting; everything already on the bus is
+                // still served below.
+                shared.bus.close();
+            }
+            state.shutdown_replies.push(item.reply);
+            continue;
+        }
+        if state.degraded && item.request.to_event().is_some() {
+            let _ = item.reply.send(error_response(
+                "degraded",
+                Some("ticker failed; mutations refused, reads still served"),
+                None,
+            ));
+            continue;
+        }
+        let response = core.handle(&item.request, &shared.metrics);
+        let _ = item.reply.send(response);
+    }
+
+    // Bus closure ([`Server::shutdown`] or Drop) is a drain signal
+    // too: nothing further can be admitted, so serve what is queued,
+    // retire the core, and exit rather than spin forever.
+    if !state.draining && shared.bus.is_closed() {
+        state.draining = true;
+    }
+
+    if state.draining {
+        // One more race-free drain: items admitted between our drain
+        // and the close are served, not dropped.
+        if shared.bus.depth() > 0 {
+            return false;
+        }
+        let snapshot = core.final_snapshot();
+        for reply in state.shutdown_replies.drain(..) {
+            let _ = reply.send(ok_response(vec![
+                ("snapshot", Value::str(snapshot.clone())),
+                ("server", shared.metrics.snapshot().to_json_value()),
+            ]));
+        }
+        shared.stop.store(true, Ordering::SeqCst);
+        *shared.retired.lock().expect("retired lock poisoned") = slot.take();
+        return true;
+    }
+
+    if let (Some(interval), Some(at)) = (config.epoch_interval, state.next_tick) {
+        if Instant::now() >= at {
+            // A degraded ticker stops advancing epochs: the engine is
+            // behind its log, and piling ticks on top would widen the
+            // divergence recovery has to repair.
+            if !state.degraded {
+                let _ = core.handle(&Request::Tick, &shared.metrics);
+            }
+            state.next_tick = Some(Instant::now() + interval);
+        }
+    }
+    false
 }
 
 #[cfg(test)]

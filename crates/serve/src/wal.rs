@@ -1,0 +1,1049 @@
+//! A segmented, checksummed write-ahead log for market events.
+//!
+//! Durability contract (DESIGN.md §9): the ticker appends every admitted
+//! event here *before* applying it to the engine, and a failed append
+//! means the event is not applied — on disk, the WAL is always exactly
+//! the sequence of applied events (never behind, and self-healed so it
+//! is never ahead either, except for a torn tail left by a crash).
+//! Recovery loads the newest valid checkpoint, replays the WAL tail, and
+//! lands bit-identical to what [`crate::core::replay`] would produce
+//! from the full event list.
+//!
+//! On-disk layout, one directory per market:
+//!
+//! ```text
+//! segment-<first_seq:016x>.wal     framed event records
+//! checkpoint-<seq:016x>.ckpt       full engine snapshot after `seq` events
+//! ```
+//!
+//! Record framing is length + checksum + payload, little-endian:
+//!
+//! ```text
+//! [ len: u32 ][ crc32(payload): u32 ][ payload: len bytes ]
+//! ```
+//!
+//! where the payload is the event's journal JSON (the
+//! [`crate::protocol::event_to_value`] form — bit-exact for `f64`s).
+//! Sequence numbers are implicit: a segment's file name carries the
+//! sequence of its first record, and records are densely numbered from
+//! there. A checkpoint file holds the versioned market snapshot text
+//! plus its own CRC; checkpoints are written to a temp file and renamed,
+//! so a crash mid-checkpoint leaves the previous one intact. After a
+//! successful checkpoint, segments and checkpoints wholly covered by it
+//! are deleted (unless [`WalConfig::retain_history`] keeps them).
+//!
+//! Corruption policy: a short or checksum-failing record in the *last*
+//! segment is a torn tail — expected after a crash — and recovery
+//! truncates the file back to the last complete record. The same damage
+//! in any earlier segment is real corruption and recovery refuses it.
+//!
+//! One process at a time owns a WAL directory; there is no lock file.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ref_market::{MarketEvent, MarketSnapshot};
+
+use crate::fault::FaultPlan;
+use crate::json::Value;
+use crate::protocol::{event_to_value, value_to_event};
+
+/// Per-record framing overhead in bytes (length + checksum).
+pub const RECORD_HEADER_BYTES: usize = 8;
+
+/// Records larger than this are treated as corruption, not allocation
+/// requests — a sane event payload is a few hundred bytes.
+const MAX_RECORD_BYTES: u32 = 1 << 26;
+
+const CHECKPOINT_MAGIC: &str = "refserve-checkpoint v1";
+
+/// Durability knobs for a [`Wal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Directory holding segments and checkpoints (created on open).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_max_bytes: u64,
+    /// Take a snapshot checkpoint every this many appended events
+    /// (0 disables checkpointing).
+    pub checkpoint_every: u64,
+    /// `fsync` each record before reporting it durable. Off by default:
+    /// the tests kill processes, not machines, and the page cache
+    /// survives `SIGKILL`.
+    pub fsync: bool,
+    /// Keep segments and checkpoints that a newer checkpoint covers,
+    /// instead of deleting them. Needed when the full event history
+    /// must stay readable (e.g. the `journal` op after an in-memory
+    /// overflow, or offline audits).
+    pub retain_history: bool,
+}
+
+impl WalConfig {
+    /// A configuration with default durability knobs around `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            segment_max_bytes: 1 << 20,
+            checkpoint_every: 4096,
+            fsync: false,
+            retain_history: false,
+        }
+    }
+
+    /// Sets the segment rotation size.
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> WalConfig {
+        self.segment_max_bytes = bytes;
+        self
+    }
+
+    /// Sets the checkpoint cadence (0 disables).
+    pub fn with_checkpoint_every(mut self, events: u64) -> WalConfig {
+        self.checkpoint_every = events;
+        self
+    }
+
+    /// Enables per-record fsync.
+    pub fn with_fsync(mut self, fsync: bool) -> WalConfig {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Keeps covered segments/checkpoints instead of pruning them.
+    pub fn with_retain_history(mut self, retain: bool) -> WalConfig {
+        self.retain_history = retain;
+        self
+    }
+}
+
+// IEEE CRC32 (reflected, polynomial 0xEDB88320), table-driven. Hand
+// rolled because the build is std-only; bit-compatible with zlib's
+// crc32 so external tooling can verify records.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 of `bytes` (zlib-compatible).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("segment-{first_seq:016x}.wal"))
+}
+
+fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:016x}.ckpt"))
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_event(event: &MarketEvent) -> Vec<u8> {
+    event_to_value(event).encode().into_bytes()
+}
+
+fn corrupt(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+/// What `parse_records` found in one segment's bytes.
+struct SegmentScan {
+    events: Vec<MarketEvent>,
+    /// Byte offset of the first incomplete/invalid record, if the tail
+    /// is torn; `None` when the segment parsed cleanly to EOF.
+    torn_at: Option<u64>,
+}
+
+/// Parses framed records from `bytes`, stopping at the first torn or
+/// invalid record (reported via `torn_at`, judged by the caller).
+fn parse_records(bytes: &[u8]) -> SegmentScan {
+    let mut events = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < RECORD_HEADER_BYTES {
+            return SegmentScan {
+                events,
+                torn_at: Some(offset as u64),
+            };
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let body = &rest[RECORD_HEADER_BYTES..];
+        if len > MAX_RECORD_BYTES || (body.len() as u64) < u64::from(len) {
+            return SegmentScan {
+                events,
+                torn_at: Some(offset as u64),
+            };
+        }
+        let payload = &body[..len as usize];
+        if crc32(payload) != crc {
+            return SegmentScan {
+                events,
+                torn_at: Some(offset as u64),
+            };
+        }
+        let event = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| Value::parse(text).ok())
+            .and_then(|v| value_to_event(&v).ok());
+        match event {
+            Some(event) => events.push(event),
+            // A checksum-valid record that does not decode is treated
+            // like a torn record: the caller decides whether a tail may
+            // be dropped here or the segment is corrupt.
+            None => {
+                return SegmentScan {
+                    events,
+                    torn_at: Some(offset as u64),
+                }
+            }
+        }
+        offset += RECORD_HEADER_BYTES + len as usize;
+    }
+    SegmentScan {
+        events,
+        torn_at: None,
+    }
+}
+
+/// `(first_seq_or_seq, path)` pairs in ascending sequence order.
+type SeqPaths = Vec<(u64, PathBuf)>;
+
+fn list_dir(dir: &Path) -> io::Result<(SeqPaths, SeqPaths)> {
+    let mut segments = Vec::new();
+    let mut checkpoints = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(seq) = name
+            .strip_prefix("segment-")
+            .and_then(|r| r.strip_suffix(".wal"))
+            .and_then(|r| u64::from_str_radix(r, 16).ok())
+        {
+            segments.push((seq, path));
+        } else if let Some(seq) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|r| r.strip_suffix(".ckpt"))
+            .and_then(|r| u64::from_str_radix(r, 16).ok())
+        {
+            checkpoints.push((seq, path));
+        }
+        // Anything else (including leftover .tmp files) is ignored.
+    }
+    segments.sort_unstable_by_key(|(seq, _)| *seq);
+    checkpoints.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok((segments, checkpoints))
+}
+
+fn read_checkpoint_file(path: &Path) -> io::Result<(u64, MarketSnapshot)> {
+    let text = fs::read_to_string(path)?;
+    let mut rest = text.as_str();
+    let mut take_line = |what: &str| -> io::Result<&str> {
+        let (line, tail) = rest
+            .split_once('\n')
+            .ok_or_else(|| corrupt(format!("checkpoint missing {what} line")))?;
+        rest = tail;
+        Ok(line)
+    };
+    let magic = take_line("magic")?;
+    if magic != CHECKPOINT_MAGIC {
+        return Err(corrupt(format!("bad checkpoint magic {magic:?}")));
+    }
+    let seq = take_line("seq")?
+        .strip_prefix("seq ")
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| corrupt("bad checkpoint seq line"))?;
+    let crc = take_line("crc")?
+        .strip_prefix("crc ")
+        .and_then(|s| u32::from_str_radix(s, 16).ok())
+        .ok_or_else(|| corrupt("bad checkpoint crc line"))?;
+    if crc32(rest.as_bytes()) != crc {
+        return Err(corrupt("checkpoint body fails its checksum"));
+    }
+    let snapshot =
+        MarketSnapshot::decode(rest).map_err(|e| corrupt(format!("checkpoint snapshot: {e}")))?;
+    Ok((seq, snapshot))
+}
+
+/// The outcome of opening (and, if needed, repairing) a WAL directory.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The opened log, positioned for appends.
+    pub wal: Wal,
+    /// The newest valid checkpoint, if any: the engine state after the
+    /// first `seq` events.
+    pub checkpoint: Option<(u64, MarketSnapshot)>,
+    /// Events at and after the checkpoint sequence, to be replayed on
+    /// top of it (or from scratch when there is no checkpoint).
+    pub tail: Vec<MarketEvent>,
+    /// Bytes of torn tail truncated from the last segment.
+    pub truncated_bytes: u64,
+}
+
+/// A write-ahead log open for appending.
+#[derive(Debug)]
+pub struct Wal {
+    config: WalConfig,
+    faults: FaultPlan,
+    file: File,
+    /// On-disk segments in ascending first-sequence order; the last one
+    /// is the open segment `file` appends to.
+    segments: Vec<(u64, PathBuf)>,
+    /// Size in bytes of the open segment.
+    segment_bytes: u64,
+    /// Records already in the open segment.
+    segment_records: u64,
+    next_seq: u64,
+    poisoned: bool,
+    appends: u64,
+    checkpoints_taken: u64,
+}
+
+impl Wal {
+    /// Opens (creating or recovering) the WAL directory in `config` and
+    /// returns the log plus everything needed to rebuild engine state.
+    ///
+    /// An empty or missing directory yields a fresh log at sequence 0.
+    /// A directory with prior state is recovered: newest valid
+    /// checkpoint, tail replayed, torn final record truncated away.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and [`io::ErrorKind::InvalidData`] for corruption
+    /// that recovery must not paper over (a bad record in a non-final
+    /// segment, or a sequence gap).
+    pub fn open(config: WalConfig, faults: FaultPlan) -> io::Result<Recovery> {
+        fs::create_dir_all(&config.dir)?;
+        let (disk_segments, disk_checkpoints) = list_dir(&config.dir)?;
+
+        // Newest structurally-valid checkpoint wins; damaged ones are
+        // skipped (a crash mid-rename can leave none — that is fine, the
+        // segments still hold everything).
+        let mut checkpoint = None;
+        for (seq, path) in disk_checkpoints.iter().rev() {
+            match read_checkpoint_file(path) {
+                Ok((file_seq, snapshot)) if file_seq == *seq => {
+                    checkpoint = Some((*seq, snapshot));
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        let ckpt_seq = checkpoint.as_ref().map_or(0, |(seq, _)| *seq);
+
+        // Replay starts in the newest segment that begins at or before
+        // the checkpoint; earlier segments are fully covered by it.
+        let start = match disk_segments
+            .iter()
+            .rposition(|(first, _)| *first <= ckpt_seq)
+        {
+            Some(i) => i,
+            None if disk_segments.is_empty() => 0,
+            None => {
+                return Err(corrupt(format!(
+                    "no segment reaches back to checkpoint seq {ckpt_seq}: history is missing"
+                )))
+            }
+        };
+
+        let mut tail = Vec::new();
+        let mut truncated_bytes = 0u64;
+        let mut cursor = disk_segments
+            .get(start)
+            .map_or(ckpt_seq, |(first, _)| *first);
+        let mut kept_segments: Vec<(u64, PathBuf)> = disk_segments[..start].to_vec();
+        let mut last_bytes = 0u64;
+        let mut last_records = 0u64;
+        for (i, (first, path)) in disk_segments[start..].iter().enumerate() {
+            let is_last = start + i == disk_segments.len() - 1;
+            if *first != cursor {
+                return Err(corrupt(format!(
+                    "sequence gap: segment {path:?} starts at {first}, expected {cursor}"
+                )));
+            }
+            let bytes = fs::read(path)?;
+            let scan = parse_records(&bytes);
+            let parsed_bytes: u64 =
+                bytes.len() as u64 - scan.torn_at.map_or(0, |at| bytes.len() as u64 - at);
+            if let Some(at) = scan.torn_at {
+                if !is_last {
+                    return Err(corrupt(format!(
+                        "corrupt record at byte {at} of non-final segment {path:?}"
+                    )));
+                }
+                // Torn tail: truncate the file back to the last complete
+                // record so future appends extend a clean log.
+                truncated_bytes = bytes.len() as u64 - at;
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(at)?;
+                file.sync_all()?;
+            }
+            for (j, event) in scan.events.iter().enumerate() {
+                let seq = first + j as u64;
+                if seq >= ckpt_seq {
+                    tail.push(event.clone());
+                }
+            }
+            cursor = first + scan.events.len() as u64;
+            kept_segments.push((*first, path.clone()));
+            if is_last {
+                last_bytes = parsed_bytes;
+                last_records = scan.events.len() as u64;
+            }
+        }
+
+        // A deliberately-truncated tail can land the log *behind* the
+        // checkpoint; the checkpoint is authoritative, so resume from it
+        // in a fresh segment. The stale segments can never replay up to
+        // the checkpoint again (the record between them and the fresh
+        // segment exists only inside the checkpoint), so they are
+        // dropped to keep the on-disk log gap-free — unless history is
+        // retained, in which case they stay behind for forensics.
+        let next_seq = cursor.max(ckpt_seq);
+        let fresh_segment = disk_segments.is_empty() || cursor < ckpt_seq;
+        if cursor < ckpt_seq && !config.retain_history {
+            for (_, path) in kept_segments.drain(..) {
+                let _ = fs::remove_file(path);
+            }
+        }
+        let (file, segment_bytes, segment_records) = if fresh_segment {
+            let path = segment_path(&config.dir, next_seq);
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            kept_segments.push((next_seq, path));
+            (file, 0, 0)
+        } else {
+            let path = kept_segments.last().expect("non-empty").1.clone();
+            let mut file = OpenOptions::new().append(true).open(&path)?;
+            file.seek(SeekFrom::End(0))?;
+            (file, last_bytes, last_records)
+        };
+
+        Ok(Recovery {
+            wal: Wal {
+                config,
+                faults,
+                file,
+                segments: kept_segments,
+                segment_bytes,
+                segment_records,
+                next_seq,
+                poisoned: false,
+                appends: 0,
+                checkpoints_taken: 0,
+            },
+            checkpoint,
+            tail,
+            truncated_bytes,
+        })
+    }
+
+    /// The sequence number the next appended record will get (equals
+    /// the number of events ever logged).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// First sequence still present on disk (0 unless pruned).
+    pub fn first_retained_seq(&self) -> u64 {
+        self.segments.first().map_or(self.next_seq, |(s, _)| *s)
+    }
+
+    /// Successful appends since this handle was opened.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Checkpoints taken since this handle was opened.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Whether a failed write poisoned the log (further appends refuse).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// The configured checkpoint cadence (0 = never).
+    pub fn checkpoint_every(&self) -> u64 {
+        self.config.checkpoint_every
+    }
+
+    /// Appends one event durably; the event may be applied only after
+    /// this returns `Ok`. Returns the record's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// On any write failure (real or injected) the log self-heals by
+    /// truncating back to the previous record boundary, so an event
+    /// whose append failed is guaranteed absent from the log; if even
+    /// the truncation fails the log is poisoned and refuses appends.
+    pub fn append(&mut self, event: &MarketEvent) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(io::Error::other("wal poisoned by an earlier failed write"));
+        }
+        let seq = self.next_seq;
+        if self.faults.fail_append_at == Some(seq) {
+            // Transient by design: the fault fires once, so a retry of
+            // the same sequence (the caller never advanced) succeeds.
+            self.faults.fail_append_at = None;
+            return Err(io::Error::other(format!(
+                "injected append failure at seq {seq}"
+            )));
+        }
+        if self.segment_records > 0 && self.segment_bytes >= self.config.segment_max_bytes {
+            self.rotate()?;
+        }
+        let record = frame(&encode_event(event));
+        if let Some((torn_seq, bytes)) = self.faults.torn_append_at {
+            if torn_seq == seq {
+                // Simulate dying mid-write: leave a partial record on
+                // disk and refuse all further writes.
+                let cut = bytes.min(record.len().saturating_sub(1)).max(1);
+                let _ = self.file.write_all(&record[..cut]);
+                let _ = self.file.sync_data();
+                self.poisoned = true;
+                return Err(io::Error::other(format!(
+                    "injected torn write at seq {seq}"
+                )));
+            }
+        }
+        let inject_sync_failure = self.faults.fail_sync_at == Some(seq);
+        if inject_sync_failure {
+            // Transient, like `fail_append_at`.
+            self.faults.fail_sync_at = None;
+        }
+        let outcome = self.file.write_all(&record).and_then(|()| {
+            if inject_sync_failure {
+                return Err(io::Error::other(format!(
+                    "injected fsync failure at seq {seq}"
+                )));
+            }
+            if self.config.fsync {
+                self.file.sync_data()?;
+            }
+            Ok(())
+        });
+        if let Err(e) = outcome {
+            // Self-heal: drop whatever partial bytes landed so the log
+            // never runs ahead of the applied state.
+            let healed = self
+                .file
+                .set_len(self.segment_bytes)
+                .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()));
+            if healed.is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.segment_bytes += record.len() as u64;
+        self.segment_records += 1;
+        self.next_seq += 1;
+        self.appends += 1;
+        Ok(seq)
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        let path = segment_path(&self.config.dir, self.next_seq);
+        self.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.segments.push((self.next_seq, path));
+        self.segment_bytes = 0;
+        self.segment_records = 0;
+        Ok(())
+    }
+
+    /// Writes a checkpoint of `snapshot_text` (the engine state after
+    /// all `next_seq` logged events), then prunes segments and
+    /// checkpoints it covers (unless history is retained). Written via
+    /// temp file + rename, so a crash leaves the previous checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the log itself is unaffected by a failed
+    /// checkpoint (appends continue, recovery just replays more tail).
+    pub fn checkpoint(&mut self, snapshot_text: &str) -> io::Result<()> {
+        let seq = self.next_seq;
+        let body_crc = crc32(snapshot_text.as_bytes());
+        let content = format!("{CHECKPOINT_MAGIC}\nseq {seq}\ncrc {body_crc:08x}\n{snapshot_text}");
+        let path = checkpoint_path(&self.config.dir, seq);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, content)?;
+        fs::rename(&tmp, &path)?;
+        self.checkpoints_taken += 1;
+        if !self.config.retain_history {
+            self.prune(seq)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes checkpoints older than `seq` and segments wholly below
+    /// `seq` (a segment is deletable when the *next* segment starts at
+    /// or before `seq`, so the segment containing `seq` survives).
+    fn prune(&mut self, seq: u64) -> io::Result<()> {
+        let (_, checkpoints) = list_dir(&self.config.dir)?;
+        for (ckpt_seq, path) in checkpoints {
+            if ckpt_seq < seq {
+                let _ = fs::remove_file(path);
+            }
+        }
+        while self.segments.len() > 1 && self.segments[1].0 <= seq {
+            let (_, path) = self.segments.remove(0);
+            let _ = fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Reads every decodable event still on disk, in order, together
+    /// with the sequence number of the first one. Tolerates a torn tail
+    /// (stops there) without modifying any file — safe to call while
+    /// the log is open for appends, since the ticker is the only writer.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`io::ErrorKind::InvalidData`] for interior
+    /// corruption or sequence gaps.
+    pub fn read_events(&self) -> io::Result<(u64, Vec<MarketEvent>)> {
+        read_events(&self.config.dir)
+    }
+}
+
+/// Reads all decodable events from a WAL directory (see
+/// [`Wal::read_events`]); usable offline, e.g. for audits or the chaos
+/// harness's independent verification.
+///
+/// # Errors
+///
+/// I/O failures, or [`io::ErrorKind::InvalidData`] for interior
+/// corruption or sequence gaps.
+pub fn read_events(dir: &Path) -> io::Result<(u64, Vec<MarketEvent>)> {
+    let (segments, _) = list_dir(dir)?;
+    let Some(&(first_seq, _)) = segments.first() else {
+        return Ok((0, Vec::new()));
+    };
+    let mut events = Vec::new();
+    let mut cursor = first_seq;
+    for (i, (first, path)) in segments.iter().enumerate() {
+        if *first != cursor {
+            return Err(corrupt(format!(
+                "sequence gap: segment {path:?} starts at {first}, expected {cursor}"
+            )));
+        }
+        let bytes = fs::read(path)?;
+        let scan = parse_records(&bytes);
+        if scan.torn_at.is_some() && i != segments.len() - 1 {
+            return Err(corrupt(format!(
+                "corrupt record in non-final segment {path:?}"
+            )));
+        }
+        cursor = first + scan.events.len() as u64;
+        events.extend(scan.events);
+    }
+    Ok((first_seq, events))
+}
+
+/// Whether `dir` already holds WAL state (any non-empty segment or any
+/// checkpoint). [`crate::Server::start`] refuses such a directory so a
+/// fresh boot cannot silently shadow recoverable history.
+///
+/// # Errors
+///
+/// Propagates directory-listing failures.
+pub fn dir_has_state(dir: &Path) -> io::Result<bool> {
+    if !dir.exists() {
+        return Ok(false);
+    }
+    let (segments, checkpoints) = list_dir(dir)?;
+    if !checkpoints.is_empty() {
+        return Ok(true);
+    }
+    for (_, path) in &segments {
+        if fs::metadata(path)?.len() > 0 {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Reads a file's raw bytes — test/chaos helper for poking at segments.
+///
+/// # Errors
+///
+/// Propagates the read failure.
+pub fn read_raw(path: &Path) -> io::Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Path of the newest (highest first-sequence) segment in `dir`, if
+/// any — the one a torn-write test would truncate.
+///
+/// # Errors
+///
+/// Propagates directory-listing failures.
+pub fn last_segment_path(dir: &Path) -> io::Result<Option<PathBuf>> {
+    let (segments, _) = list_dir(dir)?;
+    Ok(segments.into_iter().next_back().map(|(_, path)| path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ref_market::ObservationSource;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Self-cleaning unique temp directory (no tempfile crate).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("ref-wal-{tag}-{}-{n}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn join(id: u64) -> MarketEvent {
+        MarketEvent::AgentJoined {
+            id,
+            source: ObservationSource::External,
+        }
+    }
+
+    fn observe(id: u64, a0: f64) -> MarketEvent {
+        MarketEvent::ObservationReported {
+            id,
+            allocation: vec![a0, 1.0],
+            performance: 1.5,
+        }
+    }
+
+    fn events(n: usize) -> Vec<MarketEvent> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => join(i as u64),
+                1 => observe((i as u64).saturating_sub(1), 0.5 + i as f64),
+                _ => MarketEvent::EpochTick,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // zlib's crc32("123456789") — the standard check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_recover_round_trips_every_event() {
+        let dir = TempDir::new("roundtrip");
+        let all = events(17);
+        {
+            let mut wal = Wal::open(WalConfig::new(dir.path()), FaultPlan::none())
+                .unwrap()
+                .wal;
+            for (i, e) in all.iter().enumerate() {
+                assert_eq!(wal.append(e).unwrap(), i as u64);
+            }
+        }
+        let rec = Wal::open(WalConfig::new(dir.path()), FaultPlan::none()).unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert_eq!(rec.tail, all);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.wal.next_seq(), 17);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_reads_stay_contiguous() {
+        let dir = TempDir::new("rotate");
+        let all = events(40);
+        let config = WalConfig::new(dir.path()).with_segment_max_bytes(128);
+        {
+            let mut wal = Wal::open(config.clone(), FaultPlan::none()).unwrap().wal;
+            for e in &all {
+                wal.append(e).unwrap();
+            }
+            assert!(wal.segments.len() > 2, "tiny segments must rotate");
+        }
+        let (first, read) = read_events(dir.path()).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(read, all);
+        // Appending after recovery continues the same numbering.
+        let mut rec = Wal::open(config, FaultPlan::none()).unwrap();
+        assert_eq!(rec.wal.next_seq(), 40);
+        assert_eq!(rec.wal.append(&MarketEvent::EpochTick).unwrap(), 40);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_complete_record() {
+        let dir = TempDir::new("torn");
+        let all = events(9);
+        {
+            let mut wal = Wal::open(WalConfig::new(dir.path()), FaultPlan::none())
+                .unwrap()
+                .wal;
+            for e in &all {
+                wal.append(e).unwrap();
+            }
+        }
+        // Chop 3 bytes off the single segment: the final record is torn.
+        let path = segment_path(dir.path(), 0);
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let rec = Wal::open(WalConfig::new(dir.path()), FaultPlan::none()).unwrap();
+        assert_eq!(rec.tail, all[..8].to_vec());
+        assert_eq!(rec.wal.next_seq(), 8);
+        assert!(rec.truncated_bytes > 0);
+        // The file itself was repaired: a second recovery is clean.
+        let rec2 = Wal::open(WalConfig::new(dir.path()), FaultPlan::none()).unwrap();
+        assert_eq!(rec2.truncated_bytes, 0);
+        assert_eq!(rec2.tail, all[..8].to_vec());
+    }
+
+    #[test]
+    fn interior_corruption_is_refused_not_repaired() {
+        let dir = TempDir::new("interior");
+        let config = WalConfig::new(dir.path()).with_segment_max_bytes(64);
+        {
+            let mut wal = Wal::open(config.clone(), FaultPlan::none()).unwrap().wal;
+            for e in events(30) {
+                wal.append(&e).unwrap();
+            }
+            assert!(wal.segments.len() >= 3);
+        }
+        // Flip a payload byte in the FIRST segment: not a torn tail.
+        let path = segment_path(dir.path(), 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        let err = Wal::open(config, FaultPlan::none()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn injected_append_failure_leaves_no_bytes() {
+        let dir = TempDir::new("failinj");
+        let faults = FaultPlan {
+            fail_append_at: Some(1),
+            ..FaultPlan::default()
+        };
+        let mut wal = Wal::open(WalConfig::new(dir.path()), faults).unwrap().wal;
+        wal.append(&join(1)).unwrap();
+        let before = fs::metadata(segment_path(dir.path(), 0)).unwrap().len();
+        assert!(wal.append(&join(2)).is_err());
+        let after = fs::metadata(segment_path(dir.path(), 0)).unwrap().len();
+        assert_eq!(before, after, "failed append must not leave bytes");
+        assert!(!wal.poisoned());
+        // seq 1 is retried successfully (the fault fires once by seq).
+        assert_eq!(wal.append(&join(2)).unwrap(), 1);
+    }
+
+    #[test]
+    fn injected_torn_append_poisons_and_recovery_repairs() {
+        let dir = TempDir::new("torninj");
+        let faults = FaultPlan {
+            torn_append_at: Some((2, 5)),
+            ..FaultPlan::default()
+        };
+        let all = events(4);
+        let mut wal = Wal::open(WalConfig::new(dir.path()), faults).unwrap().wal;
+        wal.append(&all[0]).unwrap();
+        wal.append(&all[1]).unwrap();
+        assert!(wal.append(&all[2]).is_err());
+        assert!(wal.poisoned());
+        assert!(wal.append(&all[3]).is_err(), "poisoned log refuses appends");
+        drop(wal);
+        let rec = Wal::open(WalConfig::new(dir.path()), FaultPlan::none()).unwrap();
+        assert_eq!(rec.tail, all[..2].to_vec());
+        assert!(rec.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn checkpoints_prune_covered_segments() {
+        use ref_core::resource::Capacity;
+        use ref_market::{MarketConfig, MarketEngine};
+
+        let dir = TempDir::new("ckpt");
+        let market = MarketConfig::new(Capacity::new(vec![8.0, 4.0]).unwrap());
+        let config = WalConfig::new(dir.path()).with_segment_max_bytes(96);
+        let mut engine = MarketEngine::new(market.clone()).unwrap();
+        let all = events(24);
+        {
+            let mut wal = Wal::open(config.clone(), FaultPlan::none()).unwrap().wal;
+            for e in &all {
+                wal.append(e).unwrap();
+                let _ = engine.apply_now(e.clone());
+            }
+            wal.checkpoint(&engine.snapshot().encode()).unwrap();
+            assert_eq!(wal.segments.len(), 1, "covered segments pruned");
+            assert!(wal.first_retained_seq() > 0);
+        }
+        // Recovery restores from the checkpoint with an empty tail and
+        // lands bit-identical to the live engine.
+        let rec = Wal::open(config, FaultPlan::none()).unwrap();
+        let (seq, snapshot) = rec.checkpoint.expect("checkpoint survives");
+        assert_eq!(seq, 24);
+        assert!(rec.tail.is_empty());
+        let restored = MarketEngine::restore(&snapshot).unwrap();
+        assert_eq!(
+            restored.snapshot().encode(),
+            engine.snapshot().encode(),
+            "checkpointed state must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn tail_torn_behind_a_checkpoint_drops_stale_segments() {
+        use ref_core::resource::Capacity;
+        use ref_market::{MarketConfig, MarketEngine};
+
+        let dir = TempDir::new("ckptbehind");
+        let market = MarketConfig::new(Capacity::new(vec![8.0, 4.0]).unwrap());
+        let config = WalConfig::new(dir.path());
+        let mut engine = MarketEngine::new(market).unwrap();
+        let all = events(8);
+        {
+            let mut wal = Wal::open(config.clone(), FaultPlan::none()).unwrap().wal;
+            for e in &all {
+                wal.append(e).unwrap();
+                let _ = engine.apply_now(e.clone());
+            }
+            wal.checkpoint(&engine.snapshot().encode()).unwrap();
+        }
+        // Tear the final record: the log now ends at seq 7, *behind* the
+        // checkpoint at 8 — that record survives only inside the
+        // checkpoint.
+        let last = last_segment_path(dir.path()).unwrap().unwrap();
+        let len = fs::metadata(&last).unwrap().len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&last)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        // The checkpoint is authoritative; the stale segment (which can
+        // no longer reach it) is dropped so the log stays gap-free.
+        let rec = Wal::open(config, FaultPlan::none()).unwrap();
+        assert_eq!(rec.wal.next_seq(), 8);
+        assert!(rec.tail.is_empty());
+        let (seq, snapshot) = rec.checkpoint.expect("checkpoint survives");
+        assert_eq!(seq, 8);
+        let restored = MarketEngine::restore(&snapshot).unwrap();
+        assert_eq!(restored.snapshot().encode(), engine.snapshot().encode());
+        let (first, read) = read_events(dir.path()).unwrap();
+        assert_eq!((first, read.len()), (8, 0), "no gap left behind");
+    }
+
+    #[test]
+    fn retained_history_survives_checkpoints_for_full_reads() {
+        use ref_core::resource::Capacity;
+        use ref_market::{MarketConfig, MarketEngine};
+
+        let dir = TempDir::new("retain");
+        let market = MarketConfig::new(Capacity::new(vec![8.0, 4.0]).unwrap());
+        let config = WalConfig::new(dir.path())
+            .with_segment_max_bytes(96)
+            .with_retain_history(true);
+        let mut engine = MarketEngine::new(market).unwrap();
+        let all = events(24);
+        let mut wal = Wal::open(config, FaultPlan::none()).unwrap().wal;
+        for e in &all {
+            wal.append(e).unwrap();
+            let _ = engine.apply_now(e.clone());
+        }
+        wal.checkpoint(&engine.snapshot().encode()).unwrap();
+        let (first, read) = wal.read_events().unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(read, all);
+    }
+
+    #[test]
+    fn damaged_checkpoint_falls_back_to_older_one() {
+        use ref_core::resource::Capacity;
+        use ref_market::{MarketConfig, MarketEngine};
+
+        let dir = TempDir::new("ckptfall");
+        let market = MarketConfig::new(Capacity::new(vec![8.0, 4.0]).unwrap());
+        let config = WalConfig::new(dir.path()).with_retain_history(true);
+        let mut engine = MarketEngine::new(market).unwrap();
+        let all = events(10);
+        {
+            let mut wal = Wal::open(config.clone(), FaultPlan::none()).unwrap().wal;
+            for (i, e) in all.iter().enumerate() {
+                wal.append(e).unwrap();
+                let _ = engine.apply_now(e.clone());
+                if i == 4 {
+                    wal.checkpoint(&engine.snapshot().encode()).unwrap();
+                }
+            }
+            wal.checkpoint(&engine.snapshot().encode()).unwrap();
+        }
+        // Corrupt the newest checkpoint; recovery must fall back to the
+        // older one and replay the longer tail.
+        let newest = checkpoint_path(dir.path(), 10);
+        let mut text = fs::read_to_string(&newest).unwrap();
+        text.push_str("garbage\n");
+        fs::write(&newest, text).unwrap();
+        let rec = Wal::open(config, FaultPlan::none()).unwrap();
+        let (seq, _) = rec.checkpoint.expect("older checkpoint");
+        assert_eq!(seq, 5);
+        assert_eq!(rec.tail, all[5..].to_vec());
+    }
+}

@@ -7,11 +7,38 @@
 //! own `submit_all` + pump-to-completion — and both must match the
 //! server's final snapshot byte for byte.
 
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use proptest::prelude::*;
 
 use ref_core::resource::Capacity;
 use ref_market::{MarketConfig, MarketEngine, MarketEvent};
-use ref_serve::{Client, ClientError, JournalLimit, ServeConfig, Server};
+use ref_serve::{wal, Client, ClientError, JournalLimit, ServeConfig, Server, WalConfig};
+
+/// Self-cleaning unique temp directory (no tempfile crate).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ref-purity-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -96,6 +123,44 @@ proptest! {
         offline.submit_all(report.journal.iter().cloned());
         while offline.pump().is_err() {}
         prop_assert_eq!(offline.snapshot().encode(), report.snapshot);
+    }
+
+    #[test]
+    fn wal_enabled_server_stays_a_pure_transport(
+        ops in proptest::collection::vec(op_strategy(), 1..32)
+    ) {
+        // Transport purity must hold with durability on: the WAL records
+        // exactly the admitted events, in order, and a cold recovery
+        // from disk lands on the same state as the live server.
+        let dir = TempDir::new("wal");
+        let serve_config = ServeConfig::new(config())
+            .with_epoch_interval(None)
+            .with_wal(WalConfig::new(dir.path()).with_checkpoint_every(7));
+        let server = Server::start("127.0.0.1:0", serve_config).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for op in &ops {
+            issue(&mut client, op);
+        }
+        let report = server.shutdown();
+        prop_assert_eq!(report.metrics.protocol_errors, 0);
+
+        // The on-disk log IS the journal.
+        let (first, events) = wal::read_events(dir.path()).unwrap();
+        if first == 0 {
+            prop_assert_eq!(&events, &report.journal);
+        }
+        // Cold recovery (checkpoint + tail) matches the live snapshot.
+        let recovered = Server::recover(
+            "127.0.0.1:0",
+            ServeConfig::new(config())
+                .with_epoch_interval(None)
+                .with_wal(WalConfig::new(dir.path()).with_checkpoint_every(7)),
+        )
+        .unwrap();
+        let mut client = Client::connect(recovered.addr()).unwrap();
+        let recovered_snapshot = client.snapshot().unwrap();
+        prop_assert_eq!(recovered_snapshot, report.snapshot);
+        recovered.shutdown();
     }
 
     #[test]
