@@ -1,0 +1,520 @@
+//! Kill-and-promote failover harness for the replicated ref-serve pair.
+//!
+//! The parent spawns itself (`--child`) as a WAL-backed *primary* with a
+//! replication listener and synchronous acks, attaches an in-process
+//! *standby* (auto-promotion armed), then drives closed-loop client
+//! load against the primary while sampling replication lag. Mid-epoch
+//! it SIGKILLs the primary and measures how long the standby takes to
+//! promote itself. After every round the parent demands:
+//!
+//! 1. **zero acked-event loss** — every mutation the primary confirmed
+//!    (synchronous replication: the reply implies a standby ack) is
+//!    present in the promoted node's log,
+//! 2. **bit-identical prefix** — replaying the dead primary's WAL up to
+//!    the standby's promotion point reproduces the promoted state byte
+//!    for byte (checked while both logs are contiguous from seq 0),
+//! 3. **durable promotion** — the promoted server's final snapshot
+//!    equals an offline checkpoint-plus-tail rebuild of its own WAL,
+//! 4. the promoted node actually takes writes.
+//!
+//! A final round arms `FaultPlan::corrupt_standby_at` on the standby:
+//! the fork must be *detected* (divergence fingerprint mismatch) and
+//! the replica *fenced* — it must never promote, even once the primary
+//! is killed and its election timer lapses. Any violation exits
+//! non-zero; a clean run writes `BENCH_failover.json`.
+//!
+//! ```text
+//! cargo run --release -p ref-bench --bin failover -- [--rounds 5]
+//!     [--duration-ms 300] [--out BENCH_failover.json] [--quick]
+//! ```
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ref_core::resource::Capacity;
+use ref_market::{MarketConfig, MarketEngine, MarketEvent};
+use ref_serve::json::Value;
+use ref_serve::{
+    wal, CallOpts, Client, FaultPlan, ReplConfig, Role, ServeConfig, Server, Wal, WalConfig,
+};
+
+/// Client threads the parent drives against the primary.
+const LOAD_CLIENTS: usize = 3;
+
+/// Checkpoint cadence: large enough that a round's history usually
+/// stays contiguous from seq 0, so the prefix cross-check can run.
+const CHECKPOINT_EVERY: u64 = 4096;
+
+fn market() -> MarketConfig {
+    MarketConfig::new(Capacity::new(vec![16.0, 8.0]).expect("static capacity"))
+}
+
+fn wal_config(dir: &Path) -> WalConfig {
+    WalConfig::new(dir).with_checkpoint_every(CHECKPOINT_EVERY)
+}
+
+// ---------------------------------------------------------------------
+// Child: the primary, run until SIGKILLed.
+// ---------------------------------------------------------------------
+
+/// Child entry: boot the replicated primary, announce both addresses,
+/// and idle until killed — the parent generates the load so it can
+/// count exactly which events were acknowledged.
+fn run_child(dir: &Path) -> ! {
+    let config = ServeConfig::new(market())
+        .with_epoch_interval(Some(Duration::from_millis(2)))
+        .with_wal(wal_config(dir))
+        .with_repl(
+            ReplConfig::primary("127.0.0.1:0")
+                .with_heartbeat_interval(Duration::from_millis(10))
+                .with_sync(true),
+        );
+    let server = Server::start("127.0.0.1:0", config).expect("boot failover child primary");
+    println!("ADDR {}", server.addr());
+    println!(
+        "REPL {}",
+        server.repl_addr().expect("primary repl listener")
+    );
+    // Expected exit is the parent's SIGKILL.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parent: load, kill, measure promotion, audit the promoted state.
+// ---------------------------------------------------------------------
+
+struct Args {
+    rounds: usize,
+    duration_ms: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rounds: 5,
+        duration_ms: 300,
+        out: "BENCH_failover.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--rounds" => {
+                args.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?;
+            }
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-ms: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--quick" => {
+                args.rounds = 3;
+                args.duration_ms = 150;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.rounds == 0 {
+        return Err("--rounds must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn spawn_child(dir: &Path) -> std::io::Result<(Child, String, String)> {
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe)
+        .arg("--child")
+        .arg("--dir")
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let mut reader = BufReader::new(stdout);
+    let mut read_tagged = |tag: &str| -> std::io::Result<String> {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        line.strip_prefix(tag)
+            .map(|a| a.trim().to_string())
+            .ok_or_else(|| std::io::Error::other(format!("expected {tag:?} line, got {line:?}")))
+    };
+    match (read_tagged("ADDR "), read_tagged("REPL ")) {
+        (Ok(addr), Ok(repl)) => Ok((child, addr, repl)),
+        (a, b) => {
+            let _ = child.kill();
+            Err(std::io::Error::other(format!(
+                "child failed to announce itself: {a:?} / {b:?}"
+            )))
+        }
+    }
+}
+
+/// One closed-loop load thread: join an agent, then hammer observes
+/// until the primary dies. Every `Ok` reply was synchronously
+/// replicated before it was sent, so `acked` counts events the promoted
+/// standby *must* hold.
+fn load_client(addr: &str, worker: usize, acked: &AtomicU64) {
+    let Ok(mut client) = Client::connect(addr) else {
+        return;
+    };
+    let agent = worker as u64 + 1;
+    if client.join_external(agent).is_ok() {
+        acked.fetch_add(1, Ordering::Relaxed);
+    }
+    let observe = Value::obj(vec![
+        ("op", Value::str("observe")),
+        ("agent", Value::from_u64(agent)),
+        ("allocation", Value::num_array(&[1.5, 0.75])),
+        ("performance", Value::Num(1.0 + worker as f64 * 0.01)),
+    ]);
+    let opts = CallOpts::default().with_retries(0).with_seed(agent);
+    loop {
+        match client.call_with(&observe, &opts) {
+            Ok(_) => {
+                acked.fetch_add(1, Ordering::Relaxed);
+            }
+            // `repl` = applied locally but unconfirmed (not acked, keep
+            // going); any transport error means the primary is gone.
+            Err(e) if e.code().is_some() => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Rebuilds the expected state of a WAL directory offline: newest
+/// checkpoint plus replayed tail.
+fn offline_expectation(dir: &Path) -> (u64, String) {
+    let rec = Wal::open(wal_config(dir), FaultPlan::none()).expect("offline wal open");
+    let mut engine = match &rec.checkpoint {
+        Some((_, snapshot)) => MarketEngine::restore(snapshot).expect("restore checkpoint"),
+        None => MarketEngine::new(market()).expect("fresh engine"),
+    };
+    for event in &rec.tail {
+        let _ = engine.apply_now(event.clone());
+    }
+    (rec.wal.next_seq(), engine.snapshot().encode())
+}
+
+/// Replays `events` through a fresh engine and returns the snapshot.
+fn replay_snapshot(events: &[MarketEvent]) -> String {
+    let mut engine = MarketEngine::new(market()).expect("fresh engine");
+    for event in events {
+        let _ = engine.apply_now(event.clone());
+    }
+    engine.snapshot().encode()
+}
+
+fn fatal(round: usize, what: &str) -> ! {
+    eprintln!("failover: FATAL: round {round}: {what}");
+    std::process::exit(1);
+}
+
+struct RoundOutcome {
+    failover_ms: f64,
+    acked: u64,
+    present: u64,
+    promoted_seq: u64,
+    prefix_checked: bool,
+    lag_max: u64,
+    lag_mean: f64,
+}
+
+/// One kill-and-promote round. Returns the audited outcome or exits.
+fn run_round(
+    round: usize,
+    duration_ms: u64,
+    primary_dir: &Path,
+    standby_dir: &Path,
+) -> RoundOutcome {
+    let _ = std::fs::remove_dir_all(primary_dir);
+    let _ = std::fs::remove_dir_all(standby_dir);
+    let (mut child, addr, repl_addr) = match spawn_child(primary_dir) {
+        Ok(t) => t,
+        Err(e) => fatal(round, &format!("cannot spawn child: {e}")),
+    };
+    eprintln!("failover: round {round}: primary up at {addr} (repl {repl_addr})");
+
+    let standby = Server::start(
+        "127.0.0.1:0",
+        ServeConfig::new(market())
+            .with_epoch_interval(Some(Duration::from_millis(2)))
+            .with_wal(wal_config(standby_dir))
+            .with_repl(
+                ReplConfig::standby("127.0.0.1:0", repl_addr)
+                    .with_heartbeat_interval(Duration::from_millis(10))
+                    .with_election_timeout(Duration::from_millis(150)),
+            ),
+    )
+    .expect("boot in-process standby");
+
+    // Drive load while sampling replication lag (primary seq - standby
+    // seq) roughly every 10ms.
+    let acked = AtomicU64::new(0);
+    let (lag_max, lag_sum, lag_n) = std::thread::scope(|scope| {
+        for worker in 0..LOAD_CLIENTS {
+            let (addr, acked) = (addr.clone(), &acked);
+            scope.spawn(move || load_client(&addr, worker, acked));
+        }
+        let mut pping = Client::connect(&*addr).expect("lag probe: primary");
+        let mut sping = Client::connect(standby.addr()).expect("lag probe: standby");
+        let seq_of = |c: &mut Client| {
+            c.ping()
+                .ok()
+                .and_then(|r| r.get("wal_seq").and_then(Value::as_u64))
+        };
+        let (mut lag_max, mut lag_sum, mut lag_n) = (0u64, 0u64, 0u64);
+        let deadline = Instant::now() + Duration::from_millis(duration_ms);
+        while Instant::now() < deadline {
+            if let (Some(p), Some(s)) = (seq_of(&mut pping), seq_of(&mut sping)) {
+                let lag = p.saturating_sub(s);
+                lag_max = lag_max.max(lag);
+                lag_sum += lag;
+                lag_n += 1;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Mid-epoch murder; the load threads die with the connection.
+        child.kill().expect("SIGKILL primary");
+        child.wait().expect("reap primary");
+        (lag_max, lag_sum, lag_n)
+    });
+    let killed_at = Instant::now();
+
+    // The standby's election timer lapses and it promotes itself.
+    let promote_deadline = killed_at + Duration::from_secs(10);
+    while standby.role() != Role::Primary {
+        if Instant::now() > promote_deadline {
+            fatal(round, "standby never auto-promoted");
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let failover_ms = killed_at.elapsed().as_secs_f64() * 1e3;
+    let mut probe = Client::connect(standby.addr()).expect("connect promoted");
+    let promoted_seq = probe
+        .ping()
+        .ok()
+        .and_then(|r| r.get("wal_seq").and_then(Value::as_u64))
+        .expect("promoted wal_seq");
+
+    // The promoted node takes writes.
+    probe
+        .join_external(90 + round as u64)
+        .expect("promoted join");
+    probe
+        .observe(90 + round as u64, &[1.0, 1.0], 2.0)
+        .expect("promoted observe");
+
+    // Durable promotion: the final snapshot equals an offline rebuild
+    // of the promoted node's own WAL.
+    let report = standby.shutdown();
+    let (_, own_expected) = offline_expectation(standby_dir);
+    if report.snapshot != own_expected {
+        fatal(round, "promoted snapshot diverges from its own WAL rebuild");
+    }
+
+    // Bit-identical prefix: the promoted log is an exact copy of the
+    // dead primary's log up to the promotion point (both contiguous
+    // from seq 0 at this checkpoint cadence).
+    let (s_first, s_events) = wal::read_events(standby_dir).expect("read standby wal");
+    let (p_first, p_events) = wal::read_events(primary_dir).expect("read primary wal");
+    let n = promoted_seq as usize;
+    let prefix_checked = s_first == 0 && p_first == 0 && s_events.len() >= n && p_events.len() >= n;
+    if prefix_checked && replay_snapshot(&s_events[..n]) != replay_snapshot(&p_events[..n]) {
+        fatal(round, "promoted prefix diverges from the primary's WAL");
+    }
+
+    // Zero acked-event loss: every synchronously confirmed mutation is
+    // in the promoted prefix (epoch ticks excluded from the count).
+    let acked = acked.load(Ordering::Relaxed);
+    let present = s_events[..n.min(s_events.len())]
+        .iter()
+        .filter(|e| !matches!(e, MarketEvent::EpochTick))
+        .count() as u64;
+    if acked > present {
+        fatal(
+            round,
+            &format!("acked-event loss: {acked} acked, only {present} present after promotion"),
+        );
+    }
+
+    RoundOutcome {
+        failover_ms,
+        acked,
+        present,
+        promoted_seq,
+        prefix_checked,
+        lag_max,
+        lag_mean: if lag_n == 0 {
+            0.0
+        } else {
+            lag_sum as f64 / lag_n as f64
+        },
+    }
+}
+
+/// The divergence round: a standby that silently drops a replicated
+/// record must be fenced, and must never promote itself.
+fn run_divergence_round(duration_ms: u64, primary_dir: &Path, standby_dir: &Path) {
+    let _ = std::fs::remove_dir_all(primary_dir);
+    let _ = std::fs::remove_dir_all(standby_dir);
+    let (mut child, addr, repl_addr) = match spawn_child(primary_dir) {
+        Ok(t) => t,
+        Err(e) => fatal(usize::MAX, &format!("cannot spawn child: {e}")),
+    };
+    eprintln!("failover: divergence round: primary up at {addr}");
+
+    let standby = Server::start(
+        "127.0.0.1:0",
+        ServeConfig::new(market())
+            .with_epoch_interval(Some(Duration::from_millis(2)))
+            .with_wal(wal_config(standby_dir))
+            .with_repl(
+                ReplConfig::standby("127.0.0.1:0", repl_addr)
+                    .with_heartbeat_interval(Duration::from_millis(10))
+                    .with_election_timeout(Duration::from_millis(150)),
+            )
+            .with_faults(FaultPlan {
+                corrupt_standby_at: Some(4),
+                ..FaultPlan::default()
+            }),
+    )
+    .expect("boot divergent standby");
+
+    let acked = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..LOAD_CLIENTS {
+            let (addr, acked) = (addr.clone(), &acked);
+            scope.spawn(move || load_client(&addr, worker, acked));
+        }
+        // The fork is caught at the next epoch fingerprint exchange.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while standby.role() != Role::Fenced {
+            if Instant::now() > deadline {
+                child.kill().ok();
+                fatal(usize::MAX, "divergent standby was never fenced");
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(duration_ms.min(100)));
+        child.kill().expect("SIGKILL primary");
+        child.wait().expect("reap primary");
+    });
+
+    // Primary dead, election timer armed — and the fenced replica must
+    // still refuse the throne.
+    std::thread::sleep(Duration::from_millis(500));
+    if standby.role() != Role::Fenced {
+        fatal(usize::MAX, "fenced divergent standby changed role");
+    }
+    let metrics = standby.metrics();
+    if metrics.promotions != 0 || metrics.fenced != 1 {
+        fatal(usize::MAX, "divergent standby promoted itself");
+    }
+    standby.shutdown();
+    eprintln!("failover: divergence round: fork detected, replica fenced, never promoted");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|a| a == "--child") {
+        let dir = argv
+            .iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| argv.get(i + 1))
+            .map(PathBuf::from)
+            .expect("--child needs --dir");
+        run_child(&dir);
+    }
+
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("failover: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let base = std::env::temp_dir().join(format!("ref-failover-{}", std::process::id()));
+    let (primary_dir, standby_dir) = (base.join("primary"), base.join("standby"));
+    eprintln!(
+        "failover: {} rounds x {}ms + divergence round, dirs under {}",
+        args.rounds,
+        args.duration_ms,
+        base.display()
+    );
+
+    let mut rounds = Vec::new();
+    let (mut lat_min, mut lat_max, mut lat_sum) = (f64::MAX, 0.0f64, 0.0);
+    for round in 0..args.rounds {
+        let o = run_round(round, args.duration_ms, &primary_dir, &standby_dir);
+        eprintln!(
+            "failover: round {round}: promoted in {:.1}ms at seq {}, \
+             {} acked / {} present, prefix_checked={}, lag max {} mean {:.1}",
+            o.failover_ms,
+            o.promoted_seq,
+            o.acked,
+            o.present,
+            o.prefix_checked,
+            o.lag_max,
+            o.lag_mean
+        );
+        lat_min = lat_min.min(o.failover_ms);
+        lat_max = lat_max.max(o.failover_ms);
+        lat_sum += o.failover_ms;
+        rounds.push(Value::obj(vec![
+            ("round", Value::from_u64(round as u64)),
+            ("failover_ms", Value::Num(o.failover_ms)),
+            ("promoted_seq", Value::from_u64(o.promoted_seq)),
+            ("acked_events", Value::from_u64(o.acked)),
+            ("present_events", Value::from_u64(o.present)),
+            ("events_lost", Value::from_u64(0)),
+            ("prefix_checked", Value::Bool(o.prefix_checked)),
+            ("repl_lag_max", Value::from_u64(o.lag_max)),
+            ("repl_lag_mean", Value::Num(o.lag_mean)),
+            ("identical", Value::Bool(true)),
+        ]));
+    }
+
+    run_divergence_round(args.duration_ms, &primary_dir, &standby_dir);
+
+    let doc = Value::obj(vec![
+        ("bench", Value::str("failover")),
+        ("rounds", Value::Arr(rounds)),
+        ("duration_ms", Value::from_u64(args.duration_ms)),
+        ("events_lost", Value::from_u64(0)),
+        (
+            "failover_ms",
+            Value::obj(vec![
+                ("min", Value::Num(lat_min)),
+                ("mean", Value::Num(lat_sum / args.rounds as f64)),
+                ("max", Value::Num(lat_max)),
+            ]),
+        ),
+        (
+            "divergence",
+            Value::obj(vec![
+                ("detected", Value::Bool(true)),
+                ("promoted", Value::Bool(false)),
+            ]),
+        ),
+        ("identical", Value::Bool(true)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", doc.encode())) {
+        eprintln!("failover: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    eprintln!(
+        "failover: all {} kill-and-promote rounds clean (zero acked loss, \
+         bit-identical prefixes), divergent replica fenced; wrote {}",
+        args.rounds, args.out
+    );
+}

@@ -144,12 +144,14 @@ fn main() {
 }
 
 /// Folds the serving benchmark (`BENCH_serve.json`, produced by
-/// `cargo run --release -p ref-serve --bin loadgen`) and the chaos
+/// `cargo run --release -p ref-serve --bin loadgen`), the chaos
 /// harness (`BENCH_chaos.json`, produced by
-/// `cargo run --release -p ref-bench --bin chaos`) together with the
-/// pipeline numbers into one `BENCH_report.json`, so a single artifact
-/// tracks the offline pipeline, the online front-end, and crash
-/// recovery.
+/// `cargo run --release -p ref-bench --bin chaos`), and the failover
+/// harness (`BENCH_failover.json`, produced by
+/// `cargo run --release -p ref-bench --bin failover`) together with
+/// the pipeline numbers into one `BENCH_report.json`, so a single
+/// artifact tracks the offline pipeline, the online front-end, crash
+/// recovery, and replicated failover.
 fn aggregate_report(pipeline_json: &str) {
     use ref_serve::json::Value;
 
@@ -198,10 +200,37 @@ fn aggregate_report(pipeline_json: &str) {
             Value::Null
         }
     };
+    let failover = match std::fs::read_to_string("BENCH_failover.json") {
+        Ok(text) => match Value::parse(text.trim()) {
+            Ok(v) => {
+                if v.get("identical").and_then(Value::as_bool) != Some(true)
+                    || v.get("events_lost").and_then(Value::as_u64) != Some(0)
+                {
+                    eprintln!("FATAL: BENCH_failover.json records divergence or event loss");
+                    std::process::exit(1);
+                }
+                let rounds = v
+                    .get("rounds")
+                    .and_then(Value::as_array)
+                    .map_or(0, <[_]>::len);
+                println!("aggregating BENCH_failover.json ({rounds} kill-and-promote rounds)");
+                v
+            }
+            Err(e) => {
+                eprintln!("FATAL: BENCH_failover.json exists but is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no BENCH_failover.json found; report skips failover");
+            Value::Null
+        }
+    };
     let report = Value::obj(vec![
         ("pipeline", pipeline),
         ("serve", serve),
         ("chaos", chaos),
+        ("failover", failover),
     ]);
     std::fs::write("BENCH_report.json", format!("{}\n", report.encode()))
         .expect("write BENCH_report.json");

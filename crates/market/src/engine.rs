@@ -624,6 +624,14 @@ impl MarketEngine {
         }
     }
 
+    /// The [`MarketSnapshot::fingerprint`] of the current state — a
+    /// cheap-to-compare 64-bit digest of the full serialized market.
+    /// Bit-identical replicas agree; any divergence (one event skipped,
+    /// one float perturbed) disagrees with overwhelming probability.
+    pub fn state_fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
+    }
+
     /// Rebuilds a market from a snapshot.
     ///
     /// Estimators are reconstructed by deterministically replaying each

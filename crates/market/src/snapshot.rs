@@ -76,6 +76,17 @@ fn hex(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 
+/// 64-bit FNV-1a over `bytes` (offset basis 0xcbf29ce484222325,
+/// prime 0x100000001b3).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 fn push_hexes(line: &mut String, values: &[f64]) {
     for v in values {
         let _ = write!(line, " {}", hex(*v));
@@ -187,6 +198,17 @@ impl MarketSnapshot {
         }
         let _ = writeln!(out, "end");
         out
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the encoded snapshot text.
+    ///
+    /// Two engines whose histories diverged — even by one bit of one
+    /// `f64` — produce different fingerprints with overwhelming
+    /// probability, while bit-identical replicas always agree. Used by
+    /// the replication layer to detect standby divergence per epoch
+    /// without shipping full snapshots.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(self.encode().as_bytes())
     }
 
     /// Parses a snapshot from the text wire format.

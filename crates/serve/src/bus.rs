@@ -117,6 +117,29 @@ impl<T> Bus<T> {
         Ok(())
     }
 
+    /// Admits one item *bypassing its class quota* (still refused once
+    /// the bus is closed). Reserved for internal producers with their
+    /// own flow control — the replication puller is paced by TCP and by
+    /// the primary, so bouncing its records with `overloaded` would turn
+    /// backpressure into replica divergence. External client traffic
+    /// must keep using [`Bus::try_send`].
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] once [`Bus::close`] has been called.
+    pub fn push(&self, class: Class, item: T) -> Result<(), SendError> {
+        let mut state = self.state.lock().expect("bus lock poisoned");
+        if state.closed {
+            return Err(SendError::Closed);
+        }
+        state.counts[class as usize] += 1;
+        state.queue.push_back((class, item));
+        state.depth_max = state.depth_max.max(state.queue.len());
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
     /// Removes and returns every queued item in arrival order.
     pub fn drain(&self) -> Vec<(Class, T)> {
         let mut state = self.state.lock().expect("bus lock poisoned");
@@ -204,6 +227,24 @@ mod tests {
         // Draining resets every quota.
         assert_eq!(bus.drain().len(), 4);
         bus.try_send(Class::Query, 6).unwrap();
+    }
+
+    #[test]
+    fn push_bypasses_quota_but_not_closure() {
+        let bus: Bus<u32> = Bus::new(Quotas {
+            control: 1,
+            observe: 1,
+            query: 1,
+        });
+        bus.try_send(Class::Control, 1).unwrap();
+        assert_eq!(
+            bus.try_send(Class::Control, 2),
+            Err(SendError::Full(Class::Control))
+        );
+        bus.push(Class::Control, 3).unwrap();
+        assert_eq!(bus.drain().len(), 2);
+        bus.close();
+        assert_eq!(bus.push(Class::Control, 4), Err(SendError::Closed));
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! polite reaction to backpressure — seeded, jittered exponential backoff
 //! floored at the server's `retry_after_ms` hint, under a total-deadline
 //! budget — and [`Client::call_retrying`] is its minimal older sibling.
+//!
+//! [`Client::call_with`] also rides out *node* failure, not just
+//! overload: on a broken connection it re-dials (its own address, or a
+//! [`Client::connect_seeds`] seed list), and on a `not_primary` redirect
+//! or a `fenced`/`shutting_down` rejection it walks the seeds — guided
+//! by the reply's `leader` hint and each node's `ping` role — until it
+//! finds the primary. Re-sending over a new connection is at-least-once
+//! delivery: a mutation whose reply was lost in the failure may be
+//! applied twice, which the market tolerates (duplicate joins are
+//! rejected, duplicate observations only add weight).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -105,6 +115,8 @@ pub enum ClientError {
         detail: Option<String>,
         /// Backoff hint attached to `overloaded` rejections.
         retry_after_ms: Option<u64>,
+        /// Leader address attached to `not_primary` redirects.
+        leader: Option<String>,
     },
 }
 
@@ -144,6 +156,12 @@ impl ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The address of the current connection.
+    current: String,
+    /// Alternative node addresses for failover (may be empty).
+    seeds: Vec<String>,
+    /// Where the cluster last said the primary lives.
+    leader_hint: Option<String>,
 }
 
 impl Client {
@@ -152,14 +170,109 @@ impl Client {
     /// # Errors
     ///
     /// Propagates connection errors.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+    pub fn connect(addr: impl ToSocketAddrs + ToString) -> std::io::Result<Client> {
+        let current = addr.to_string();
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            current,
+            seeds: Vec::new(),
+            leader_hint: None,
         })
+    }
+
+    /// Connects to the first reachable node of a replicated deployment
+    /// and remembers the whole list: [`Client::call_with`] fails over
+    /// across it when the current node dies or stops being the primary.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error if no seed is reachable.
+    pub fn connect_seeds(seeds: &[String]) -> std::io::Result<Client> {
+        let mut last = None;
+        for addr in seeds {
+            match Client::connect(addr.as_str()) {
+                Ok(mut client) => {
+                    client.seeds = seeds.to_vec();
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty seed list")
+        }))
+    }
+
+    /// The address of the node this client is currently connected to.
+    pub fn current_addr(&self) -> &str {
+        &self.current
+    }
+
+    /// Drops the current connection and dials the best node it can
+    /// find: the last `leader` hint first, then the current address,
+    /// then every seed. A node whose `ping` reports `role:"primary"` is
+    /// adopted immediately (one level of `leader` redirect is followed);
+    /// otherwise the first reachable node is kept, so reads still work
+    /// during an election.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when no candidate is reachable.
+    pub fn redial(&mut self) -> Result<(), ClientError> {
+        let mut worklist: Vec<String> = Vec::new();
+        let push = |list: &mut Vec<String>, addr: String| {
+            if !addr.is_empty() && !list.contains(&addr) {
+                list.push(addr);
+            }
+        };
+        if let Some(hint) = self.leader_hint.take() {
+            push(&mut worklist, hint);
+        }
+        push(&mut worklist, self.current.clone());
+        for seed in self.seeds.clone() {
+            push(&mut worklist, seed);
+        }
+        let mut fallback: Option<(Client, String)> = None;
+        let mut i = 0;
+        while i < worklist.len() {
+            let addr = worklist[i].clone();
+            i += 1;
+            let Ok(mut probe) = Client::connect(addr.as_str()) else {
+                continue;
+            };
+            let Ok(reply) = probe.ping() else {
+                continue;
+            };
+            let role = reply.get("role").and_then(Value::as_str).unwrap_or("");
+            if role == "primary" {
+                self.adopt(probe, addr);
+                return Ok(());
+            }
+            if let Some(leader) = reply.get("leader").and_then(Value::as_str) {
+                push(&mut worklist, leader.to_string());
+            }
+            if fallback.is_none() {
+                fallback = Some((probe, addr));
+            }
+        }
+        if let Some((probe, addr)) = fallback {
+            self.adopt(probe, addr);
+            return Ok(());
+        }
+        Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            "no reachable server among the seeds",
+        )))
+    }
+
+    fn adopt(&mut self, probe: Client, addr: String) {
+        self.reader = probe.reader;
+        self.writer = probe.writer;
+        self.current = addr;
     }
 
     /// Sends one raw protocol line and returns the raw reply value,
@@ -203,6 +316,10 @@ impl Client {
                     .and_then(Value::as_str)
                     .map(str::to_string),
                 retry_after_ms: reply.get("retry_after_ms").and_then(Value::as_u64),
+                leader: reply
+                    .get("leader")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
             }),
             _ => Err(ClientError::Protocol(format!(
                 "reply missing \"ok\" field: {reply}"
@@ -246,15 +363,21 @@ impl Client {
     }
 
     /// Like [`Client::call`], but rides out `overloaded` rejections with
-    /// the [`CallOpts`] backoff policy: seeded jittered exponential
+    /// the [`CallOpts`] backoff policy — seeded jittered exponential
     /// delays floored at the server's `retry_after_ms` hint, all under
-    /// an optional total-deadline budget. Returns the number of retries
-    /// taken alongside the reply.
+    /// an optional total-deadline budget — *and* fails over: a broken
+    /// connection, a `not_primary` redirect, or a `fenced` /
+    /// `shutting_down` rejection triggers a [`Client::redial`] (guided
+    /// by the reply's `leader` hint and the seed list) before the retry.
+    /// Returns the number of retries taken alongside the reply.
+    ///
+    /// Re-sending after a connection loss is at-least-once delivery:
+    /// the lost call may have been applied before its reply vanished.
     ///
     /// # Errors
     ///
-    /// The last `overloaded` error once retries or the deadline budget
-    /// are exhausted; any other error immediately.
+    /// The last retryable error once retries or the deadline budget are
+    /// exhausted; any other error immediately.
     pub fn call_with(
         &mut self,
         request: &Value,
@@ -263,29 +386,79 @@ impl Client {
         let started = Instant::now();
         let mut attempt: u32 = 0;
         loop {
-            match self.call(request) {
+            let error = match self.call(request) {
                 Ok(reply) => return Ok((reply, u64::from(attempt))),
-                Err(e @ ClientError::Server { .. }) if e.code() == Some("overloaded") => {
-                    if attempt >= opts.retries {
-                        return Err(e);
-                    }
-                    let hint = match &e {
-                        ClientError::Server { retry_after_ms, .. } => *retry_after_ms,
-                        _ => None,
-                    };
-                    let backoff = opts.backoff(attempt, hint);
-                    if let Some(deadline) = opts.deadline {
-                        // Give up rather than oversleep the budget.
-                        if started.elapsed() + backoff > deadline {
-                            return Err(e);
-                        }
-                    }
-                    std::thread::sleep(backoff);
-                    attempt += 1;
+                Err(e) => e,
+            };
+            let failover = match &error {
+                // The node died mid-call: re-dial before retrying.
+                ClientError::Io(_) => true,
+                // The node is alive but will never take this request:
+                // find the primary instead of hammering it.
+                ClientError::Server { code, .. } => {
+                    matches!(code.as_str(), "not_primary" | "fenced" | "shutting_down")
                 }
-                Err(e) => return Err(e),
+                ClientError::Protocol(_) => return Err(error),
+            };
+            let overloaded = error.code() == Some("overloaded");
+            if !failover && !overloaded {
+                return Err(error);
             }
+            if attempt >= opts.retries {
+                return Err(error);
+            }
+            let hint = match &error {
+                ClientError::Server {
+                    retry_after_ms,
+                    leader,
+                    ..
+                } => {
+                    if let Some(leader) = leader {
+                        self.leader_hint = Some(leader.clone());
+                    }
+                    *retry_after_ms
+                }
+                _ => None,
+            };
+            let backoff = opts.backoff(attempt, hint);
+            if let Some(deadline) = opts.deadline {
+                // Give up rather than oversleep the budget.
+                if started.elapsed() + backoff > deadline {
+                    return Err(error);
+                }
+            }
+            std::thread::sleep(backoff);
+            if failover {
+                // Best-effort: when every candidate is down, keep the
+                // old (broken) connection and let the next attempt's
+                // error burn a retry rather than erroring out here —
+                // the cluster may still be mid-election.
+                let _ = self.redial();
+            }
+            attempt += 1;
         }
+    }
+
+    /// Liveness / role probe: answered on the server's reader thread
+    /// even when the request bus is saturated. The reply carries `role`,
+    /// `term`, `epoch`, `wal_seq`, `uptime_ms`, and (on a replica that
+    /// knows one) the `leader` address.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn ping(&mut self) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![("op", Value::str("ping"))]))
+    }
+
+    /// Asks a standby to promote itself to primary (fails on a fenced
+    /// node; idempotent on a primary).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn promote(&mut self) -> Result<Value, ClientError> {
+        self.call(&Value::obj(vec![("op", Value::str("promote"))]))
     }
 
     /// Joins agent `agent` with a hidden Cobb-Douglas ground truth.

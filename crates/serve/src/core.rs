@@ -7,15 +7,17 @@
 //! journal back through [`replay`] reconstructs the exact engine state,
 //! bit for bit — and makes the core testable without opening a socket.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ref_market::{EpochReport, Result as MarketResult};
-use ref_market::{MarketConfig, MarketEngine, MarketEvent};
+use ref_market::{MarketConfig, MarketEngine, MarketEvent, MarketSnapshot};
 
 use crate::fault::FaultPlan;
 use crate::json::Value;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{error_response, event_to_value, ok_response, Request};
+use crate::repl::{AckWait, ReplShared, Role};
 use crate::wal::{Wal, WalConfig};
 
 /// How many journal entries the core retains in memory before it stops
@@ -53,6 +55,10 @@ pub struct ServiceCore {
     /// during recovery — equals the WAL sequence when a WAL is attached.
     events_applied: u64,
     faults: FaultPlan,
+    /// Replication state, when this core is one node of a replicated
+    /// pair: as a primary it streams every appended record and keeps
+    /// per-epoch fingerprints; as a standby it applies the stream.
+    repl: Option<Arc<ReplShared>>,
 }
 
 impl ServiceCore {
@@ -71,6 +77,7 @@ impl ServiceCore {
             wal: None,
             events_applied: 0,
             faults: FaultPlan::default(),
+            repl: None,
         })
     }
 
@@ -145,7 +152,14 @@ impl ServiceCore {
             wal: Some(wal),
             events_applied,
             faults,
+            repl: None,
         })
+    }
+
+    /// Attaches replication state; the core will stream appended records
+    /// (as a primary) and track per-epoch state fingerprints.
+    pub(crate) fn attach_repl(&mut self, repl: Arc<ReplShared>) {
+        self.repl = Some(repl);
     }
 
     /// The wrapped engine (read-only).
@@ -213,6 +227,12 @@ impl ServiceCore {
             // but orphaned; recovery must replay it.
             panic!("injected panic applying event seq {seq}");
         }
+        // Stream to standbys right after the durable append, before the
+        // local apply, so replication overlaps the engine work.
+        if let Some(repl) = self.repl.as_ref().filter(|r| r.role() == Role::Primary) {
+            repl.publish_record(seq, &event);
+            ServeMetrics::bump(&metrics.repl_records_sent);
+        }
         self.record(&event);
         self.events_applied += 1;
         let is_tick = matches!(event, MarketEvent::EpochTick);
@@ -225,6 +245,9 @@ impl ServiceCore {
                         .epoch_latency
                         .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                     ServeMetrics::bump(&metrics.epochs);
+                    if let Some(repl) = &self.repl {
+                        repl.push_epoch_fp(epoch, self.engine.state_fingerprint());
+                    }
                 }
                 let mut fields = vec![("epoch", Value::from_u64(epoch))];
                 if let Some(report) = report {
@@ -239,6 +262,28 @@ impl ServiceCore {
             Err(e) => error_response("market", Some(&e.to_string()), None),
         };
         self.maybe_checkpoint(metrics);
+        // Synchronous replication: hold the reply until a standby has
+        // applied this record, so an acked mutation survives failover.
+        // With no standby connected the primary degrades to async (a
+        // lone node must stay available); on timeout the client gets a
+        // loud `repl` error — the event *is* applied locally, but its
+        // replication was never confirmed.
+        if let Some(repl) = self
+            .repl
+            .as_ref()
+            .filter(|r| r.sync() && r.role() == Role::Primary)
+        {
+            match repl.wait_applied(self.events_applied, repl.ack_timeout()) {
+                AckWait::Acked | AckWait::NoStandby => {}
+                AckWait::TimedOut => {
+                    return error_response(
+                        "repl",
+                        Some("applied locally but the standby ack timed out; not confirmed replicated"),
+                        None,
+                    );
+                }
+            }
+        }
         response
     }
 
@@ -257,6 +302,88 @@ impl ServiceCore {
             Ok(()) => ServeMetrics::bump(&metrics.checkpoints),
             Err(_) => ServeMetrics::bump(&metrics.wal_errors),
         }
+    }
+
+    /// Applies one *replicated* record on a standby: the same
+    /// append-before-apply path as a primary mutation, entered at a
+    /// known sequence. Replays (`seq` below the applied count) are
+    /// skipped but still acknowledged; a sequence from the future means
+    /// the stream has a hole and the puller must resynchronize.
+    pub(crate) fn apply_repl(
+        &mut self,
+        seq: u64,
+        event: MarketEvent,
+        metrics: &ServeMetrics,
+    ) -> ReplApply {
+        if seq < self.events_applied {
+            return ReplApply::Skipped;
+        }
+        if seq > self.events_applied {
+            return ReplApply::Gap;
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.append(&event).is_err() {
+                // Counted in `wal_errors`; the puller resynchronizes.
+                ServeMetrics::bump(&metrics.wal_errors);
+                return ReplApply::WalError;
+            }
+            ServeMetrics::bump(&metrics.wal_appends);
+        }
+        // Divergence injection: log and acknowledge the record but skip
+        // the engine apply, exactly like a buggy replica would.
+        let skip_apply = self.faults.corrupt_standby_at == Some(seq);
+        self.record(&event);
+        self.events_applied += 1;
+        let is_tick = matches!(event, MarketEvent::EpochTick);
+        let started = Instant::now();
+        if !skip_apply {
+            // Rejections are part of faithful replay, same as recovery.
+            let _ = self.engine.apply_now(event);
+        }
+        let mut epoch_fp = None;
+        if is_tick {
+            metrics
+                .epoch_latency
+                .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            ServeMetrics::bump(&metrics.epochs);
+            // Fingerprint whatever state we actually have — a corrupted
+            // apply must produce a *wrong* fingerprint, not none.
+            epoch_fp = Some((self.engine.epoch(), self.engine.state_fingerprint()));
+        }
+        self.maybe_checkpoint(metrics);
+        ReplApply::Applied { epoch_fp }
+    }
+
+    /// Resets the standby to a bootstrap checkpoint from the primary:
+    /// engine restored from the snapshot text, WAL rewritten to start at
+    /// that checkpoint, journal invalidated.
+    ///
+    /// # Errors
+    ///
+    /// An undecodable snapshot or one for a different market
+    /// configuration as [`std::io::ErrorKind::InvalidInput`]; WAL reset
+    /// I/O errors verbatim.
+    pub(crate) fn restore_from_snapshot(
+        &mut self,
+        seq: u64,
+        snapshot_text: &str,
+    ) -> std::io::Result<()> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        let snapshot = MarketSnapshot::decode(snapshot_text).map_err(|e| invalid(e.to_string()))?;
+        if &snapshot.config != self.engine.config() {
+            return Err(invalid(
+                "replication snapshot belongs to a different market configuration".to_string(),
+            ));
+        }
+        self.engine = MarketEngine::restore(&snapshot).map_err(|e| invalid(e.to_string()))?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.reset_to_checkpoint(seq, snapshot_text)?;
+        }
+        self.journal = Vec::new();
+        self.journal_overflowed = seq > 0;
+        self.last_report = None;
+        self.events_applied = seq;
+        Ok(())
     }
 
     /// Handles one admitted request and produces its response.
@@ -376,6 +503,16 @@ impl ServiceCore {
                 Some("shutdown is handled by the transport"),
                 None,
             ),
+            // Like Shutdown: the transport answers these (ping straight
+            // on the reader thread, promote in the ticker's role logic).
+            Request::Ping => {
+                error_response("protocol", Some("ping is handled by the transport"), None)
+            }
+            Request::Promote => error_response(
+                "protocol",
+                Some("promote is handled by the transport"),
+                None,
+            ),
             // Event-bearing ops were dispatched above.
             Request::Join { .. }
             | Request::Leave { .. }
@@ -389,6 +526,25 @@ impl ServiceCore {
     pub fn final_snapshot(&self) -> String {
         self.engine.snapshot().encode()
     }
+}
+
+/// Outcome of applying one replicated record on a standby.
+#[derive(Debug)]
+pub(crate) enum ReplApply {
+    /// Applied (and logged); when the record closed an epoch, the
+    /// standby's post-epoch state fingerprint rides back on the ack.
+    Applied {
+        /// `(epoch, fingerprint)` when the record was an epoch tick.
+        epoch_fp: Option<(u64, u64)>,
+    },
+    /// Already applied (stream replay after a reconnect); ack anyway.
+    Skipped,
+    /// The record skips ahead of this standby's history: unrecoverable
+    /// in-stream, the puller must reconnect and catch up.
+    Gap,
+    /// The local append failed (counted in `wal_errors`); the record
+    /// was *not* applied.
+    WalError,
 }
 
 /// Replays a journal against a fresh engine with `config`, continuing

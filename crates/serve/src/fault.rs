@@ -34,6 +34,13 @@ pub struct FaultPlan {
     /// exercising connection isolation: the poisoned connection dies
     /// alone and every other connection keeps working.
     pub panic_on_line_token: Option<String>,
+    /// On a *standby*, silently skip applying the replicated record
+    /// `seq` to the engine (the record is still logged and acknowledged,
+    /// as a buggy or bit-flipped replica would). The standby's state
+    /// then diverges from the primary's, and the per-epoch fingerprint
+    /// carried on its acks must catch it: the primary fences the replica
+    /// instead of ever promoting it.
+    pub corrupt_standby_at: Option<u64>,
 }
 
 impl FaultPlan {

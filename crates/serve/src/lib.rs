@@ -36,6 +36,12 @@
 //!   panic flips the server into a degraded mode that refuses mutations
 //!   but keeps serving reads. A deterministic [`fault::FaultPlan`]
 //!   injects crashes, torn writes, and failed syncs for testing.
+//! * **Replication** ([`repl`]): an optional hot standby fed by WAL
+//!   shipping over the same checksummed record framing. Automatic (or
+//!   `promote`-driven) failover with monotone terms and fencing, and
+//!   per-epoch state fingerprints that detect a divergent replica and
+//!   fence it rather than ever promote it. [`Client`] fails over across
+//!   a seed list by following `not_primary` redirects and `ping`.
 //!
 //! # Quickstart
 //!
@@ -70,6 +76,7 @@ pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod wal;
 
@@ -80,5 +87,6 @@ pub use fault::FaultPlan;
 pub use json::Value;
 pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, ServeMetricsSnapshot};
 pub use protocol::{parse_request, Class, Envelope, Request};
+pub use repl::{decode_frame, encode_frame, FrameDecode, ReplConfig, ReplShared, Role};
 pub use server::{ServeConfig, Server, ShutdownReport};
 pub use wal::{Recovery, Wal, WalConfig};

@@ -139,6 +139,27 @@ pub struct ServeMetrics {
     pub wal_errors: AtomicU64,
     /// Snapshot checkpoints taken.
     pub checkpoints: AtomicU64,
+    /// WAL segments currently retained on disk (gauge).
+    pub wal_segments: AtomicU64,
+    /// Total bytes across retained WAL segments (gauge).
+    pub wal_bytes: AtomicU64,
+    /// Size of the newest checkpoint file in bytes (gauge).
+    pub checkpoint_bytes: AtomicU64,
+    /// Records the slowest connected standby still trails the primary
+    /// by (gauge; 0 with no standby or when fully caught up).
+    pub repl_lag_records: AtomicU64,
+    /// Standby replicas currently connected to this primary (gauge).
+    pub standby_connected: AtomicU64,
+    /// Replication records streamed to standbys (counter).
+    pub repl_records_sent: AtomicU64,
+    /// Standby-to-primary promotions this process performed (counter).
+    pub promotions: AtomicU64,
+    /// Standby state-fingerprint mismatches detected (counter); each one
+    /// fenced a divergent replica instead of ever promoting it.
+    pub divergences: AtomicU64,
+    /// Fenced gauge: 1 once this node saw a higher term (or diverged)
+    /// and refuses mutations, 0 otherwise.
+    pub fenced: AtomicU64,
     /// Reader threads that died to a panic (connections lost alone).
     pub reader_panics: AtomicU64,
     /// Ticker panics caught by the supervisor.
@@ -180,6 +201,15 @@ impl ServeMetrics {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_errors: self.wal_errors.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            wal_segments: self.wal_segments.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            repl_lag_records: self.repl_lag_records.load(Ordering::Relaxed),
+            standby_connected: self.standby_connected.load(Ordering::Relaxed),
+            repl_records_sent: self.repl_records_sent.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            divergences: self.divergences.load(Ordering::Relaxed),
+            fenced: self.fenced.load(Ordering::Relaxed),
             reader_panics: self.reader_panics.load(Ordering::Relaxed),
             ticker_panics: self.ticker_panics.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
@@ -213,6 +243,24 @@ pub struct ServeMetricsSnapshot {
     pub wal_errors: u64,
     /// Snapshot checkpoints taken.
     pub checkpoints: u64,
+    /// WAL segments retained on disk.
+    pub wal_segments: u64,
+    /// Bytes across retained WAL segments.
+    pub wal_bytes: u64,
+    /// Newest checkpoint file size in bytes.
+    pub checkpoint_bytes: u64,
+    /// Records the slowest connected standby trails by.
+    pub repl_lag_records: u64,
+    /// Connected standby replicas.
+    pub standby_connected: u64,
+    /// Replication records streamed to standbys.
+    pub repl_records_sent: u64,
+    /// Standby-to-primary promotions performed.
+    pub promotions: u64,
+    /// Divergent standbys detected (and fenced).
+    pub divergences: u64,
+    /// Fenced gauge (1 = deposed/diverged, mutations refused).
+    pub fenced: u64,
     /// Reader threads lost to panics.
     pub reader_panics: u64,
     /// Ticker panics caught by the supervisor.
@@ -238,6 +286,15 @@ impl ServeMetricsSnapshot {
             ("wal_appends", Value::from_u64(self.wal_appends)),
             ("wal_errors", Value::from_u64(self.wal_errors)),
             ("checkpoints", Value::from_u64(self.checkpoints)),
+            ("wal_segments", Value::from_u64(self.wal_segments)),
+            ("wal_bytes", Value::from_u64(self.wal_bytes)),
+            ("checkpoint_bytes", Value::from_u64(self.checkpoint_bytes)),
+            ("repl_lag_records", Value::from_u64(self.repl_lag_records)),
+            ("standby_connected", Value::from_u64(self.standby_connected)),
+            ("repl_records_sent", Value::from_u64(self.repl_records_sent)),
+            ("promotions", Value::from_u64(self.promotions)),
+            ("divergences", Value::from_u64(self.divergences)),
+            ("fenced", Value::from_u64(self.fenced)),
             ("reader_panics", Value::from_u64(self.reader_panics)),
             ("ticker_panics", Value::from_u64(self.ticker_panics)),
             ("degraded", Value::from_u64(self.degraded)),
@@ -261,6 +318,15 @@ impl ServeMetricsSnapshot {
             ("refserve_wal_appends", self.wal_appends),
             ("refserve_wal_errors", self.wal_errors),
             ("refserve_checkpoints", self.checkpoints),
+            ("refserve_wal_segments", self.wal_segments),
+            ("refserve_wal_bytes", self.wal_bytes),
+            ("refserve_checkpoint_bytes", self.checkpoint_bytes),
+            ("refserve_repl_lag_records", self.repl_lag_records),
+            ("refserve_standby_connected", self.standby_connected),
+            ("refserve_repl_records_sent", self.repl_records_sent),
+            ("refserve_promotions", self.promotions),
+            ("refserve_divergences", self.divergences),
+            ("refserve_fenced", self.fenced),
             ("refserve_reader_panics", self.reader_panics),
             ("refserve_ticker_panics", self.ticker_panics),
             ("refserve_degraded", self.degraded),
@@ -341,6 +407,9 @@ mod tests {
         assert!(text.contains("refserve_accepted 2\n"), "{text}");
         assert!(text.contains("refserve_wal_appends 0\n"), "{text}");
         assert!(text.contains("refserve_degraded 0\n"), "{text}");
-        assert_eq!(text.lines().count(), 18);
+        assert!(text.contains("refserve_wal_segments 0\n"), "{text}");
+        assert!(text.contains("refserve_standby_connected 0\n"), "{text}");
+        assert!(text.contains("refserve_divergences 0\n"), "{text}");
+        assert_eq!(text.lines().count(), 27);
     }
 }

@@ -7,14 +7,23 @@
 //! ```text
 //! request  = { "op": op, ...op fields..., "deadline_ms"?: number } "\n"
 //! op       = "join" | "leave" | "demand" | "observe" | "tick"
-//!          | "query" | "snapshot" | "metrics" | "journal" | "shutdown"
+//!          | "query" | "snapshot" | "metrics" | "journal" | "ping"
+//!          | "promote" | "shutdown"
 //! response = { "ok": true,  ...result fields... } "\n"
 //!          | { "ok": false, "error": code, "detail"?: string,
-//!              "retry_after_ms"?: number } "\n"
+//!              "retry_after_ms"?: number, "leader"?: string } "\n"
 //! code     = "protocol" | "overloaded" | "deadline" | "market"
 //!          | "shutting_down" | "timeout" | "journal_overflow"
-//!          | "journal_truncated" | "wal" | "degraded" | "internal"
+//!          | "journal_truncated" | "wal" | "degraded" | "not_primary"
+//!          | "fenced" | "repl" | "internal"
 //! ```
+//!
+//! `ping` is answered directly on the reader thread from shared atomics
+//! (it must work even when the epoch loop is wedged) and returns
+//! `{role, term, epoch, wal_seq, uptime_ms, ...}` for health checks and
+//! leader discovery. `not_primary` rejections carry a `"leader"` hint
+//! (the current leader's client address, when known) so clients can
+//! fail over without walking their whole seed list.
 //!
 //! Every op maps to an admission [`Class`] so backpressure can be applied
 //! per class: a flood of cheap `query`s cannot crowd out `observe`s, and
@@ -87,6 +96,11 @@ pub enum Request {
     },
     /// Fetch the accepted-event journal.
     Journal,
+    /// Health-check: role, term, epoch, WAL sequence, uptime. Answered
+    /// on the reader thread without touching the epoch loop.
+    Ping,
+    /// Promote this server from standby to primary (bumps the term).
+    Promote,
     /// Drain and stop the server; the reply carries the final snapshot.
     Shutdown,
 }
@@ -99,12 +113,14 @@ impl Request {
             | Request::Leave { .. }
             | Request::Demand { .. }
             | Request::Tick
+            | Request::Promote
             | Request::Shutdown => Class::Control,
             Request::Observe { .. } => Class::Observe,
             Request::Query { .. }
             | Request::Snapshot
             | Request::Metrics { .. }
-            | Request::Journal => Class::Query,
+            | Request::Journal
+            | Request::Ping => Class::Query,
         }
     }
 
@@ -224,6 +240,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             text: value.get("format").and_then(Value::as_str) == Some("text"),
         },
         "journal" => Request::Journal,
+        "ping" => Request::Ping,
+        "promote" => Request::Promote,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown op {other:?}")),
     };
@@ -351,6 +369,24 @@ pub fn ok_response(fields: Vec<(&str, Value)>) -> Value {
     Value::obj(pairs)
 }
 
+/// Builds the `not_primary` rejection a standby sends for mutations,
+/// carrying the current leader's client address when known so clients
+/// can fail over directly instead of walking their seed list.
+pub fn not_primary_response(leader: Option<&str>) -> Value {
+    let mut pairs = vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::str("not_primary")),
+        (
+            "detail",
+            Value::str("this node is a standby; send mutations to the primary"),
+        ),
+    ];
+    if let Some(addr) = leader {
+        pairs.push(("leader", Value::str(addr)));
+    }
+    Value::obj(pairs)
+}
+
 /// Builds the `{"ok":false,"error":code,...}` failure response.
 pub fn error_response(code: &str, detail: Option<&str>, retry_after_ms: Option<u64>) -> Value {
     let mut pairs = vec![("ok", Value::Bool(false)), ("error", Value::str(code))];
@@ -385,6 +421,8 @@ mod tests {
             (r#"{"op":"snapshot"}"#, Class::Query),
             (r#"{"op":"metrics","format":"text"}"#, Class::Query),
             (r#"{"op":"journal"}"#, Class::Query),
+            (r#"{"op":"ping"}"#, Class::Query),
+            (r#"{"op":"promote"}"#, Class::Control),
             (r#"{"op":"shutdown"}"#, Class::Control),
         ];
         for (line, class) in cases {

@@ -1,0 +1,1338 @@
+//! Primary/standby replication: WAL shipping, promotion, fencing, and
+//! divergence detection (DESIGN.md §10).
+//!
+//! A primary streams its durable history — an optional bootstrap
+//! checkpoint followed by every WAL record — over a dedicated TCP
+//! listener to any number of standbys. Frames reuse the WAL's record
+//! envelope (`[len:u32][crc32:u32][payload]`, [`wal::frame`]) with a
+//! one-line JSON payload per message, so the stream inherits the log's
+//! corruption detection: a truncated or bit-flipped frame is caught by
+//! the length or CRC check and never half-applied.
+//!
+//! ```text
+//!   standby ──hello{term,have_seq}──▶ primary
+//!   standby ◀──meta{term,client_addr}── primary      (or refuse{reason})
+//!   standby ◀──snap{seq,snapshot}── primary           (only when behind
+//!                                                      the retained log)
+//!   standby ◀──rec{seq,event}──── primary             (catch-up + live)
+//!   standby ◀──hb{term,seq}────── primary             (heartbeat)
+//!   standby ──ack{have,epoch?,fp?}─▶ primary
+//!   standby ◀──diverged{epoch}─── primary             (fingerprint split)
+//! ```
+//!
+//! The standby applies every record through the same single-threaded
+//! service core as the primary (its own append-before-apply WAL
+//! included), so a caught-up standby is *bit-identical* — the same
+//! snapshot text, byte for byte. To keep that claim honest rather than
+//! assumed, each epoch's ack carries a 64-bit fingerprint of the
+//! standby's full serialized state; the primary compares it against its
+//! own fingerprint for that epoch and, on any mismatch, counts a
+//! divergence, tells the replica, and drops it. A diverged replica
+//! fences itself — it will refuse promotion — because serving *wrong*
+//! allocations is strictly worse than serving none.
+//!
+//! Roles and terms: a node is `primary`, `standby`, or `fenced`. Terms
+//! are monotone; promotion (explicit `promote` op, or automatic once the
+//! primary's heartbeat lapses past [`ReplConfig::election_timeout`])
+//! bumps the term, and any node that sees a higher term than its own in
+//! a replication `hello` fences itself — a deposed primary refuses
+//! mutations from that moment on, closing the split-brain window to the
+//! election timeout.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ref_market::MarketEvent;
+
+use crate::json::Value;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{event_to_value, value_to_event, Class};
+use crate::server::{Item, Shared};
+use crate::wal::{self, crc32, MAX_FRAME_BYTES, RECORD_HEADER_BYTES};
+
+/// How a node currently participates in the replicated pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts mutations, streams its WAL to standbys.
+    Primary = 0,
+    /// Applies the primary's stream; serves reads; refuses mutations.
+    Standby = 1,
+    /// Deposed (saw a higher term) or diverged: refuses mutations *and*
+    /// promotion. Terminal until the process is restarted.
+    Fenced = 2,
+}
+
+impl Role {
+    /// Wire/JSON name of the role.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Standby => "standby",
+            Role::Fenced => "fenced",
+        }
+    }
+
+    fn from_u8(x: u8) -> Role {
+        match x {
+            0 => Role::Primary,
+            1 => Role::Standby,
+            _ => Role::Fenced,
+        }
+    }
+}
+
+/// Replication knobs for one node of a primary/standby pair.
+#[derive(Debug, Clone)]
+pub struct ReplConfig {
+    /// Bind address of the replication listener (use port 0 for an
+    /// ephemeral port; [`crate::Server::repl_addr`] reports the bound
+    /// address).
+    pub listen: String,
+    /// When set, boot as a standby following the primary whose
+    /// *replication* listener is at this address; when `None`, boot as
+    /// the primary.
+    pub standby_of: Option<String>,
+    /// Primary heartbeat cadence on the replication stream.
+    pub heartbeat_interval: Duration,
+    /// A standby that hears nothing (no records, no heartbeats) for this
+    /// long considers the primary dead.
+    pub election_timeout: Duration,
+    /// Automatically promote once the election timeout lapses. Disable
+    /// for operator-driven failover via the `promote` op.
+    pub auto_promote: bool,
+    /// Synchronous replication: the primary withholds each mutation's
+    /// reply until a connected standby acknowledges *applying* it, so an
+    /// acked event can never be lost by failing over. With no standby
+    /// connected the primary degrades to async rather than stalling.
+    pub sync: bool,
+    /// How long a sync-mode reply may wait for the standby ack before
+    /// the client gets a `repl` error (the event *is* applied locally).
+    pub ack_timeout: Duration,
+}
+
+impl ReplConfig {
+    fn new(listen: impl Into<String>, standby_of: Option<String>) -> ReplConfig {
+        ReplConfig {
+            listen: listen.into(),
+            standby_of,
+            heartbeat_interval: Duration::from_millis(25),
+            election_timeout: Duration::from_millis(300),
+            auto_promote: true,
+            sync: false,
+            ack_timeout: Duration::from_secs(1),
+        }
+    }
+
+    /// A primary configuration listening for standbys on `listen`.
+    pub fn primary(listen: impl Into<String>) -> ReplConfig {
+        ReplConfig::new(listen, None)
+    }
+
+    /// A standby configuration following the primary's replication
+    /// listener at `of`.
+    pub fn standby(listen: impl Into<String>, of: impl Into<String>) -> ReplConfig {
+        ReplConfig::new(listen, Some(of.into()))
+    }
+
+    /// Sets the heartbeat cadence.
+    #[must_use]
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> ReplConfig {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Sets the election timeout.
+    #[must_use]
+    pub fn with_election_timeout(mut self, timeout: Duration) -> ReplConfig {
+        self.election_timeout = timeout;
+        self
+    }
+
+    /// Enables or disables automatic promotion.
+    #[must_use]
+    pub fn with_auto_promote(mut self, auto: bool) -> ReplConfig {
+        self.auto_promote = auto;
+        self
+    }
+
+    /// Enables or disables synchronous replication.
+    #[must_use]
+    pub fn with_sync(mut self, sync: bool) -> ReplConfig {
+        self.sync = sync;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame codec: the WAL record envelope on a socket.
+// ---------------------------------------------------------------------
+
+/// Frames one replication payload exactly like a WAL record:
+/// `[len:u32][crc32:u32][payload]`, little-endian.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    wal::frame(payload)
+}
+
+/// The outcome of [`decode_frame`] on a byte prefix of the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameDecode {
+    /// One whole frame: its payload and the bytes it consumed.
+    Complete {
+        /// The checksummed payload.
+        payload: Vec<u8>,
+        /// Bytes of `buf` this frame occupied (header + payload).
+        consumed: usize,
+    },
+    /// Not enough bytes yet for a verdict; read more.
+    Incomplete,
+    /// The prefix can never become a valid frame (oversized length or
+    /// checksum mismatch); the connection must be dropped.
+    Corrupt(String),
+}
+
+/// Decodes the first frame from `buf`, if one is complete.
+///
+/// A frame is only ever surfaced whole and checksum-verified: arbitrary
+/// truncation yields [`FrameDecode::Incomplete`], and a flipped bit in
+/// the header or payload yields [`FrameDecode::Corrupt`] (up to CRC32
+/// collision odds) — a partial or damaged record is never applied.
+pub fn decode_frame(buf: &[u8]) -> FrameDecode {
+    if buf.len() < RECORD_HEADER_BYTES {
+        return FrameDecode::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return FrameDecode::Corrupt(format!("frame length {len} exceeds {MAX_FRAME_BYTES}"));
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let body = &buf[RECORD_HEADER_BYTES..];
+    if (body.len() as u64) < u64::from(len) {
+        return FrameDecode::Incomplete;
+    }
+    let payload = &body[..len as usize];
+    if crc32(payload) != crc {
+        return FrameDecode::Corrupt("frame payload fails its checksum".to_string());
+    }
+    FrameDecode::Complete {
+        payload: payload.to_vec(),
+        consumed: RECORD_HEADER_BYTES + len as usize,
+    }
+}
+
+fn message(t: &str, fields: Vec<(&str, Value)>) -> Vec<u8> {
+    let mut pairs = vec![("t", Value::str(t))];
+    pairs.extend(fields);
+    encode_frame(Value::obj(pairs).encode().as_bytes())
+}
+
+fn parse_message(payload: &[u8]) -> Option<Value> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let value = Value::parse(text).ok()?;
+    value.get("t")?;
+    Some(value)
+}
+
+fn kind(msg: &Value) -> &str {
+    msg.get("t").and_then(Value::as_str).unwrap_or("")
+}
+
+/// Incremental frame reader over a socket with a short read timeout, so
+/// callers can interleave shutdown/role checks between frames.
+struct FrameConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameConn {
+    fn new(stream: TcpStream) -> FrameConn {
+        FrameConn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads until one whole frame is available (`Ok(Some)`), the read
+    /// times out with no complete frame (`Ok(None)`), or the stream is
+    /// closed/corrupt (`Err`).
+    fn read_frame(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        loop {
+            match decode_frame(&self.buf) {
+                FrameDecode::Complete { payload, consumed } => {
+                    self.buf.drain(..consumed);
+                    return Ok(Some(payload));
+                }
+                FrameDecode::Corrupt(detail) => {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, detail));
+                }
+                FrameDecode::Incomplete => {}
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "replication peer closed the connection",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads one frame within `deadline`, tolerating timeout ticks.
+    fn read_frame_deadline(&mut self, deadline: Duration) -> std::io::Result<Vec<u8>> {
+        let until = Instant::now() + deadline;
+        loop {
+            if let Some(payload) = self.read_frame()? {
+                return Ok(payload);
+            }
+            if Instant::now() >= until {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "replication peer sent no frame within the deadline",
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared replication state.
+// ---------------------------------------------------------------------
+
+/// A replicated record or raw frame queued for one standby connection.
+enum SinkMsg {
+    /// A live WAL record; `seq` lets the sender skip records the disk
+    /// catch-up already covered.
+    Rec { seq: u64, frame: Vec<u8> },
+    /// A pre-framed control message (heartbeat, diverged notice).
+    Raw(Vec<u8>),
+}
+
+/// One connected standby, from the primary's point of view.
+#[derive(Debug)]
+struct Sink {
+    id: u64,
+    tx: mpsc::SyncSender<SinkMsg>,
+    acked: Arc<AtomicU64>,
+    alive: Arc<AtomicBool>,
+}
+
+struct SinkHandle {
+    id: u64,
+    rx: mpsc::Receiver<SinkMsg>,
+    tx: mpsc::SyncSender<SinkMsg>,
+    acked: Arc<AtomicU64>,
+    alive: Arc<AtomicBool>,
+}
+
+/// What a sync-mode wait for a standby ack concluded.
+pub(crate) enum AckWait {
+    /// A standby confirmed applying up to the target.
+    Acked,
+    /// No standby is connected; replication degrades to async.
+    NoStandby,
+    /// The timeout lapsed with the standby still behind.
+    TimedOut,
+}
+
+/// Per-epoch fingerprints the primary keeps for divergence checks.
+const FP_RING: usize = 8192;
+
+/// How many queued records a standby connection may fall behind before
+/// the primary drops it (it reconnects and catches up from disk).
+const SINK_QUEUE: usize = 4096;
+
+/// Replication state shared between the ticker, the transport threads,
+/// and the replication threads.
+#[derive(Debug)]
+pub struct ReplShared {
+    config: ReplConfig,
+    wal_dir: PathBuf,
+    role: AtomicU8,
+    term: AtomicU64,
+    /// Standby: set when the stream hit an unrecoverable ordering gap
+    /// and the puller must reconnect to resynchronize.
+    resync: AtomicBool,
+    self_client: Mutex<String>,
+    self_repl: Mutex<String>,
+    leader_client: Mutex<Option<String>>,
+    leader_repl: Mutex<Option<String>>,
+    sinks: Mutex<Vec<Sink>>,
+    next_sink_id: AtomicU64,
+    /// Highest `have` acknowledged by any standby (sync-mode wait).
+    acked: Mutex<u64>,
+    ack_signal: Condvar,
+    epoch_fps: Mutex<std::collections::VecDeque<(u64, u64)>>,
+    /// Standby: channel to the ack-writer thread of the live stream.
+    ack_tx: Mutex<Option<mpsc::Sender<Vec<u8>>>>,
+    last_heard: Mutex<Instant>,
+}
+
+impl ReplShared {
+    pub(crate) fn new(config: ReplConfig, wal_dir: PathBuf) -> ReplShared {
+        let role = if config.standby_of.is_some() {
+            Role::Standby
+        } else {
+            Role::Primary
+        };
+        let leader_repl = config.standby_of.clone();
+        ReplShared {
+            config,
+            wal_dir,
+            role: AtomicU8::new(role as u8),
+            term: AtomicU64::new(0),
+            resync: AtomicBool::new(false),
+            self_client: Mutex::new(String::new()),
+            self_repl: Mutex::new(String::new()),
+            leader_client: Mutex::new(None),
+            leader_repl: Mutex::new(leader_repl),
+            sinks: Mutex::new(Vec::new()),
+            next_sink_id: AtomicU64::new(0),
+            acked: Mutex::new(0),
+            ack_signal: Condvar::new(),
+            epoch_fps: Mutex::new(std::collections::VecDeque::new()),
+            ack_tx: Mutex::new(None),
+            last_heard: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// The node's replication configuration.
+    pub fn config(&self) -> &ReplConfig {
+        &self.config
+    }
+
+    /// The node's current role.
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn set_role(&self, role: Role) {
+        self.role.store(role as u8, Ordering::SeqCst);
+    }
+
+    /// The node's current term.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_term(&self, term: u64) {
+        self.term.fetch_max(term, Ordering::SeqCst);
+    }
+
+    /// Fences this node: it saw evidence of a newer primary (term) or
+    /// of its own divergence, and refuses mutations and promotion from
+    /// now on. Loud by design — the gauge flips and stays flipped.
+    pub(crate) fn fence(&self, term: u64, metrics: &ServeMetrics) {
+        self.set_term(term);
+        self.set_role(Role::Fenced);
+        metrics.fenced.store(1, Ordering::Relaxed);
+        self.ack_signal.notify_all();
+    }
+
+    /// Standby→primary transition: bumps the term, points the leader
+    /// addresses at this node, flips the role, and returns the new term
+    /// plus the old leader's replication address (to depose it).
+    pub(crate) fn promote(&self, metrics: &ServeMetrics) -> (u64, Option<String>) {
+        let term = self.term.load(Ordering::SeqCst) + 1;
+        self.term.store(term, Ordering::SeqCst);
+        let old_leader = self
+            .leader_repl
+            .lock()
+            .expect("repl lock poisoned")
+            .replace(self.self_repl());
+        self.set_leader_client(Some(self.self_client()));
+        self.set_role(Role::Primary);
+        ServeMetrics::bump(&metrics.promotions);
+        (term, old_leader)
+    }
+
+    pub(crate) fn sync(&self) -> bool {
+        self.config.sync
+    }
+
+    pub(crate) fn ack_timeout(&self) -> Duration {
+        self.config.ack_timeout
+    }
+
+    pub(crate) fn set_self_addrs(&self, client: String, repl: String) {
+        *self.self_client.lock().expect("repl lock poisoned") = client;
+        *self.self_repl.lock().expect("repl lock poisoned") = repl;
+    }
+
+    fn self_client(&self) -> String {
+        self.self_client.lock().expect("repl lock poisoned").clone()
+    }
+
+    pub(crate) fn self_repl(&self) -> String {
+        self.self_repl.lock().expect("repl lock poisoned").clone()
+    }
+
+    /// The current leader's *client* address, as far as this node knows.
+    pub fn leader_client(&self) -> Option<String> {
+        self.leader_client
+            .lock()
+            .expect("repl lock poisoned")
+            .clone()
+    }
+
+    fn set_leader_client(&self, addr: Option<String>) {
+        *self.leader_client.lock().expect("repl lock poisoned") = addr;
+    }
+
+    fn leader_repl(&self) -> Option<String> {
+        self.leader_repl.lock().expect("repl lock poisoned").clone()
+    }
+
+    fn set_leader_repl(&self, addr: Option<String>) {
+        *self.leader_repl.lock().expect("repl lock poisoned") = addr;
+    }
+
+    fn register_sink(&self) -> SinkHandle {
+        let id = self.next_sink_id.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::sync_channel(SINK_QUEUE);
+        let acked = Arc::new(AtomicU64::new(0));
+        let alive = Arc::new(AtomicBool::new(true));
+        self.sinks.lock().expect("repl lock poisoned").push(Sink {
+            id,
+            tx: tx.clone(),
+            acked: Arc::clone(&acked),
+            alive: Arc::clone(&alive),
+        });
+        SinkHandle {
+            id,
+            rx,
+            tx,
+            acked,
+            alive,
+        }
+    }
+
+    fn drop_sink(&self, id: u64) {
+        self.sinks
+            .lock()
+            .expect("repl lock poisoned")
+            .retain(|s| s.id != id);
+        self.ack_signal.notify_all();
+    }
+
+    /// Connected (live) standby count.
+    pub(crate) fn standby_count(&self) -> u64 {
+        self.sinks
+            .lock()
+            .expect("repl lock poisoned")
+            .iter()
+            .filter(|s| s.alive.load(Ordering::SeqCst))
+            .count() as u64
+    }
+
+    /// Records the slowest live standby still trails `next_seq` by.
+    pub(crate) fn lag_records(&self, next_seq: u64) -> u64 {
+        self.sinks
+            .lock()
+            .expect("repl lock poisoned")
+            .iter()
+            .filter(|s| s.alive.load(Ordering::SeqCst))
+            .map(|s| next_seq.saturating_sub(s.acked.load(Ordering::SeqCst)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Streams one just-appended record to every live standby. A sink
+    /// whose queue is full is dropped (it reconnects and catches up from
+    /// the log) — a slow replica must never stall the primary's ticker.
+    pub(crate) fn publish_record(&self, seq: u64, event: &MarketEvent) {
+        let frame = message(
+            "rec",
+            vec![
+                ("seq", Value::from_u64(seq)),
+                ("event", event_to_value(event)),
+            ],
+        );
+        let mut dropped = false;
+        self.sinks.lock().expect("repl lock poisoned").retain(|s| {
+            if !s.alive.load(Ordering::SeqCst) {
+                dropped = true;
+                return false;
+            }
+            match s.tx.try_send(SinkMsg::Rec {
+                seq,
+                frame: frame.clone(),
+            }) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    s.alive.store(false, Ordering::SeqCst);
+                    dropped = true;
+                    false
+                }
+            }
+        });
+        if dropped {
+            self.ack_signal.notify_all();
+        }
+    }
+
+    /// Broadcasts a pre-framed control message (heartbeats).
+    pub(crate) fn publish_heartbeat(&self, term: u64, seq: u64) {
+        let frame = message(
+            "hb",
+            vec![
+                ("term", Value::from_u64(term)),
+                ("seq", Value::from_u64(seq)),
+            ],
+        );
+        self.sinks.lock().expect("repl lock poisoned").retain(|s| {
+            s.alive.load(Ordering::SeqCst) && s.tx.try_send(SinkMsg::Raw(frame.clone())).is_ok()
+        });
+    }
+
+    fn note_ack(&self, have: u64) {
+        let mut acked = self.acked.lock().expect("repl lock poisoned");
+        if have > *acked {
+            *acked = have;
+        }
+        drop(acked);
+        self.ack_signal.notify_all();
+    }
+
+    /// Blocks until some standby has applied `target` events, no standby
+    /// is connected, or `timeout` lapses.
+    pub(crate) fn wait_applied(&self, target: u64, timeout: Duration) -> AckWait {
+        let deadline = Instant::now() + timeout;
+        let mut acked = self.acked.lock().expect("repl lock poisoned");
+        loop {
+            if *acked >= target {
+                return AckWait::Acked;
+            }
+            if self.standby_count() == 0 {
+                return AckWait::NoStandby;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return AckWait::TimedOut;
+            }
+            let (guard, _) = self
+                .ack_signal
+                .wait_timeout(acked, deadline - now)
+                .expect("repl lock poisoned");
+            acked = guard;
+        }
+    }
+
+    /// Records the primary's state fingerprint right after epoch `epoch`.
+    pub(crate) fn push_epoch_fp(&self, epoch: u64, fp: u64) {
+        let mut fps = self.epoch_fps.lock().expect("repl lock poisoned");
+        fps.push_back((epoch, fp));
+        while fps.len() > FP_RING {
+            fps.pop_front();
+        }
+    }
+
+    fn fp_for_epoch(&self, epoch: u64) -> Option<u64> {
+        self.epoch_fps
+            .lock()
+            .expect("repl lock poisoned")
+            .iter()
+            .rev()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, fp)| *fp)
+    }
+
+    fn set_ack_tx(&self, tx: mpsc::Sender<Vec<u8>>) {
+        *self.ack_tx.lock().expect("repl lock poisoned") = Some(tx);
+    }
+
+    fn clear_ack_tx(&self) {
+        *self.ack_tx.lock().expect("repl lock poisoned") = None;
+    }
+
+    /// Standby: queues an apply-acknowledgement (with the per-epoch
+    /// state fingerprint when the applied record closed an epoch) for
+    /// the ack-writer thread of the live stream, if one is connected.
+    pub(crate) fn send_ack(&self, have: u64, epoch_fp: Option<(u64, u64)>) {
+        let mut fields = vec![("have", Value::from_u64(have))];
+        if let Some((epoch, fp)) = epoch_fp {
+            fields.push(("epoch", Value::from_u64(epoch)));
+            fields.push(("fp", Value::str(format!("{fp:016x}"))));
+        }
+        let frame = message("ack", fields);
+        if let Some(tx) = self.ack_tx.lock().expect("repl lock poisoned").as_ref() {
+            let _ = tx.send(frame);
+        }
+    }
+
+    pub(crate) fn note_heard(&self) {
+        *self.last_heard.lock().expect("repl lock poisoned") = Instant::now();
+    }
+
+    fn silence(&self) -> Duration {
+        self.last_heard
+            .lock()
+            .expect("repl lock poisoned")
+            .elapsed()
+    }
+
+    pub(crate) fn request_resync(&self) {
+        self.resync.store(true, Ordering::SeqCst);
+    }
+
+    fn take_resync(&self) -> bool {
+        self.resync.swap(false, Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primary side: accept standbys, catch them up, stream, verify acks.
+// ---------------------------------------------------------------------
+
+/// Accept loop of the replication listener. Mirrors the client
+/// acceptor: non-blocking accepts, one handler thread per standby,
+/// finished handles reaped as it goes.
+pub(crate) fn repl_acceptor_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut live = handlers.lock().expect("repl handlers lock poisoned");
+            let mut i = 0;
+            while i < live.len() {
+                if live[i].is_finished() {
+                    let _ = live.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("ref-serve-repl".to_string())
+                    .spawn(move || handle_standby(stream, &shared))
+                    .expect("spawn repl handler");
+                handlers
+                    .lock()
+                    .expect("repl handlers lock poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one standby connection end to end: handshake, disk catch-up,
+/// live streaming (on a dedicated sender thread), and the ack-reading
+/// loop with per-epoch fingerprint verification.
+fn handle_standby(stream: TcpStream, shared: &Arc<Shared>) {
+    let repl = shared.repl.as_ref().expect("repl handler without config");
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut conn = FrameConn::new(stream);
+
+    let Ok(payload) = conn.read_frame_deadline(Duration::from_secs(5)) else {
+        return;
+    };
+    let Some(hello) = parse_message(&payload) else {
+        return;
+    };
+    if kind(&hello) != "hello" {
+        return;
+    }
+    let their_term = hello.get("term").and_then(Value::as_u64).unwrap_or(0);
+    let have = hello.get("have_seq").and_then(Value::as_u64).unwrap_or(0);
+    let my_term = repl.term();
+
+    if their_term > my_term {
+        // Evidence of a newer primary: this node is deposed. Fence
+        // before answering so no mutation sneaks through the window.
+        repl.fence(their_term, &shared.metrics);
+        let _ = writer.write_all(&message(
+            "refuse",
+            vec![
+                ("reason", Value::str("fenced")),
+                ("term", Value::from_u64(their_term)),
+            ],
+        ));
+        return;
+    }
+    if repl.role() != Role::Primary {
+        let mut fields = vec![
+            ("reason", Value::str("not_primary")),
+            ("term", Value::from_u64(my_term)),
+        ];
+        if let Some(leader) = repl.leader_repl() {
+            fields.push(("leader", Value::str(leader)));
+        }
+        let _ = writer.write_all(&message("refuse", fields));
+        return;
+    }
+    if have > shared.wal_seq.load(Ordering::SeqCst) {
+        // The "standby" has more history than this primary: accepting it
+        // would mean two divergent pasts. Refuse; it fences itself.
+        let _ = writer.write_all(&message(
+            "refuse",
+            vec![
+                ("reason", Value::str("standby_ahead")),
+                ("term", Value::from_u64(my_term)),
+            ],
+        ));
+        return;
+    }
+    if writer
+        .write_all(&message(
+            "meta",
+            vec![
+                ("term", Value::from_u64(my_term)),
+                ("client_addr", Value::str(repl.self_client())),
+            ],
+        ))
+        .is_err()
+    {
+        return;
+    }
+
+    // Register the live sink *before* reading the log, then stream the
+    // disk history directly: every record appended after registration is
+    // in the sink queue, everything before the read's end is on disk,
+    // and the sender thread skips queue records the disk already
+    // covered — no gap, no duplicate.
+    let SinkHandle {
+        id,
+        rx,
+        tx,
+        acked,
+        alive,
+    } = repl.register_sink();
+    let sent_upto = match catch_up(&mut writer, repl, have) {
+        Ok(upto) => upto,
+        Err(_) => {
+            alive.store(false, Ordering::SeqCst);
+            repl.drop_sink(id);
+            return;
+        }
+    };
+    let sender = {
+        let alive = Arc::clone(&alive);
+        std::thread::Builder::new()
+            .name("ref-serve-repl-send".to_string())
+            .spawn(move || sink_sender(writer, rx, sent_upto, &alive))
+            .expect("spawn repl sender")
+    };
+
+    ack_loop(&mut conn, shared, repl, &tx, &acked, &alive);
+
+    alive.store(false, Ordering::SeqCst);
+    repl.drop_sink(id);
+    drop(tx);
+    let _ = sender.join();
+}
+
+/// Streams the snapshot (when the standby is behind the retained log)
+/// and the on-disk records from `have` onward; returns the first
+/// sequence *not* covered. Reading the live directory is safe: the
+/// ticker is the sole writer and records become visible only whole.
+fn catch_up(writer: &mut TcpStream, repl: &ReplShared, have: u64) -> std::io::Result<u64> {
+    let (first, events) = wal::read_events(&repl.wal_dir)?;
+    let mut from = have;
+    if have < first {
+        let (seq, snapshot) = wal::newest_checkpoint(&repl.wal_dir)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "standby is behind the retained log and no checkpoint covers the gap",
+            )
+        })?;
+        writer.write_all(&message(
+            "snap",
+            vec![
+                ("seq", Value::from_u64(seq)),
+                ("snapshot", Value::str(snapshot)),
+            ],
+        ))?;
+        from = seq;
+    }
+    for (i, event) in events.iter().enumerate() {
+        let seq = first + i as u64;
+        if seq < from {
+            continue;
+        }
+        writer.write_all(&message(
+            "rec",
+            vec![
+                ("seq", Value::from_u64(seq)),
+                ("event", event_to_value(event)),
+            ],
+        ))?;
+    }
+    Ok((first + events.len() as u64).max(from))
+}
+
+/// Sender thread of one standby connection: drains the sink queue,
+/// skipping records the disk catch-up already shipped.
+fn sink_sender(
+    mut writer: TcpStream,
+    rx: mpsc::Receiver<SinkMsg>,
+    mut next_send: u64,
+    alive: &AtomicBool,
+) {
+    loop {
+        let msg = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                if !alive.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let frame = match msg {
+            SinkMsg::Rec { seq, frame } => {
+                if seq < next_send {
+                    continue;
+                }
+                if seq > next_send {
+                    // A hole between disk catch-up and the live queue
+                    // should be impossible; never paper over it.
+                    alive.store(false, Ordering::SeqCst);
+                    return;
+                }
+                next_send = seq + 1;
+                frame
+            }
+            SinkMsg::Raw(frame) => frame,
+        };
+        if writer.write_all(&frame).is_err() {
+            alive.store(false, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Primary-side ack reader for one standby: tracks progress for the
+/// sync-mode wait and verifies the per-epoch state fingerprints.
+fn ack_loop(
+    conn: &mut FrameConn,
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplShared>,
+    tx: &mpsc::SyncSender<SinkMsg>,
+    acked: &AtomicU64,
+    alive: &AtomicBool,
+) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst)
+            || !alive.load(Ordering::SeqCst)
+            || repl.role() != Role::Primary
+        {
+            return;
+        }
+        let payload = match conn.read_frame() {
+            Ok(Some(payload)) => payload,
+            Ok(None) => continue,
+            Err(_) => return,
+        };
+        let Some(msg) = parse_message(&payload) else {
+            return;
+        };
+        if kind(&msg) != "ack" {
+            continue;
+        }
+        let have = msg.get("have").and_then(Value::as_u64).unwrap_or(0);
+        acked.store(have, Ordering::SeqCst);
+        repl.note_ack(have);
+        shared.metrics.repl_lag_records.store(
+            repl.lag_records(shared.wal_seq.load(Ordering::SeqCst)),
+            Ordering::Relaxed,
+        );
+        let epoch = msg.get("epoch").and_then(Value::as_u64);
+        let fp = msg
+            .get("fp")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok());
+        if let (Some(epoch), Some(fp)) = (epoch, fp) {
+            if let Some(expected) = repl.fp_for_epoch(epoch) {
+                if expected != fp {
+                    // The replica's state split from ours. Halt its
+                    // replication loudly: count it, tell it (so it
+                    // fences itself), drop it. Never promote material.
+                    ServeMetrics::bump(&shared.metrics.divergences);
+                    let _ = tx.try_send(SinkMsg::Raw(message(
+                        "diverged",
+                        vec![
+                            ("epoch", Value::from_u64(epoch)),
+                            ("expected", Value::str(format!("{expected:016x}"))),
+                            ("got", Value::str(format!("{fp:016x}"))),
+                        ],
+                    )));
+                    // The sender drains the queued notice before it
+                    // observes the flag and exits.
+                    alive.store(false, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Standby side: follow the primary, apply through the ticker, promote.
+// ---------------------------------------------------------------------
+
+/// Standby puller thread: connect to the primary, hand every frame to
+/// the ticker (the sole engine owner) via the bus, send apply-acks, and
+/// trigger promotion once the primary goes silent past the election
+/// timeout.
+pub(crate) fn standby_loop(shared: &Arc<Shared>) {
+    let repl = Arc::clone(shared.repl.as_ref().expect("standby loop without config"));
+    repl.note_heard(); // boot grace period before any election
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || repl.role() != Role::Standby {
+            return;
+        }
+        let target = repl
+            .leader_repl()
+            .or_else(|| repl.config.standby_of.clone());
+        if let Some(addr) = target {
+            if let Ok(stream) = TcpStream::connect(&addr) {
+                follow_primary(shared, &repl, stream, &addr);
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) || repl.role() != Role::Standby {
+            return;
+        }
+        maybe_auto_promote(shared, &repl);
+        if repl.role() != Role::Standby {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn maybe_auto_promote(shared: &Arc<Shared>, repl: &Arc<ReplShared>) {
+    if !repl.config.auto_promote || repl.silence() < repl.config.election_timeout {
+        return;
+    }
+    // The ticker performs the promotion so role flips are serialized
+    // with event application; we just wait for the flip.
+    if shared
+        .bus
+        .push(Class::Control, Item::Repl(ReplCommand::AutoPromote))
+        .is_err()
+    {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline
+        && repl.role() == Role::Standby
+        && !shared.stop.load(Ordering::SeqCst)
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One connected session against the primary: handshake, then pull
+/// frames into the bus until disconnect, role change, or divergence.
+fn follow_primary(shared: &Arc<Shared>, repl: &Arc<ReplShared>, stream: TcpStream, addr: &str) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut conn = FrameConn::new(stream);
+    if writer
+        .write_all(&message(
+            "hello",
+            vec![
+                ("term", Value::from_u64(repl.term())),
+                (
+                    "have_seq",
+                    Value::from_u64(shared.wal_seq.load(Ordering::SeqCst)),
+                ),
+            ],
+        ))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(payload) = conn.read_frame_deadline(Duration::from_secs(5)) else {
+        return;
+    };
+    let Some(first) = parse_message(&payload) else {
+        return;
+    };
+    match kind(&first) {
+        "meta" => {
+            let term = first.get("term").and_then(Value::as_u64).unwrap_or(0);
+            if term < repl.term() {
+                // A stale primary from a previous term; ignore it.
+                return;
+            }
+            repl.set_term(term);
+            repl.set_leader_repl(Some(addr.to_string()));
+            let leader_client = first
+                .get("client_addr")
+                .and_then(Value::as_str)
+                .map(str::to_string);
+            repl.set_leader_client(leader_client);
+        }
+        "refuse" => {
+            match first.get("reason").and_then(Value::as_str) {
+                Some("not_primary") => {
+                    // Follow the redirect when one is offered; otherwise
+                    // fall back to the configured address next round.
+                    let hint = first
+                        .get("leader")
+                        .and_then(Value::as_str)
+                        .map(str::to_string);
+                    repl.set_leader_repl(hint);
+                }
+                Some("standby_ahead") => {
+                    // Our durable history is *longer* than the primary's:
+                    // the pasts diverged and no stream can reconcile
+                    // them. Fence rather than serve either history.
+                    let term = first.get("term").and_then(Value::as_u64).unwrap_or(0);
+                    repl.fence(term.max(repl.term()), &shared.metrics);
+                }
+                _ => {
+                    repl.set_leader_repl(None);
+                }
+            }
+            return;
+        }
+        _ => return,
+    }
+    repl.note_heard();
+
+    // Dedicated ack writer so slow ack flushes never delay frame pulls.
+    let (ack_tx, ack_rx) = mpsc::channel::<Vec<u8>>();
+    repl.set_ack_tx(ack_tx);
+    let ack_writer = std::thread::Builder::new()
+        .name("ref-serve-repl-ack".to_string())
+        .spawn(move || {
+            while let Ok(frame) = ack_rx.recv() {
+                if writer.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn repl ack writer");
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || repl.role() != Role::Standby || repl.take_resync()
+        {
+            break;
+        }
+        if shared.bus.depth() > 8192 {
+            // The ticker is behind; let TCP back the primary off instead
+            // of ballooning the bus.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let payload = match conn.read_frame() {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                if repl.silence() > repl.config.election_timeout {
+                    // Connected but mute (wedged primary): treat it as
+                    // dead and let the election path take over.
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        repl.note_heard();
+        let Some(msg) = parse_message(&payload) else {
+            break;
+        };
+        match kind(&msg) {
+            "rec" => {
+                let seq = msg.get("seq").and_then(Value::as_u64);
+                let event = msg.get("event").and_then(|v| value_to_event(v).ok());
+                let (Some(seq), Some(event)) = (seq, event) else {
+                    break;
+                };
+                if shared
+                    .bus
+                    .push(
+                        Class::Control,
+                        Item::Repl(ReplCommand::Apply { seq, event }),
+                    )
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            "snap" => {
+                let seq = msg.get("seq").and_then(Value::as_u64);
+                let snapshot = msg
+                    .get("snapshot")
+                    .and_then(Value::as_str)
+                    .map(str::to_string);
+                let (Some(seq), Some(snapshot)) = (seq, snapshot) else {
+                    break;
+                };
+                if shared
+                    .bus
+                    .push(
+                        Class::Control,
+                        Item::Repl(ReplCommand::Restore { seq, snapshot }),
+                    )
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            "hb" => {
+                let term = msg.get("term").and_then(Value::as_u64).unwrap_or(0);
+                if term < repl.term() {
+                    break; // stale primary
+                }
+                repl.set_term(term);
+            }
+            "diverged" => {
+                // The primary proved our state split from its own.
+                // Never serve or promote a wrong market: fence.
+                repl.fence(repl.term(), &shared.metrics);
+                break;
+            }
+            _ => {}
+        }
+    }
+    repl.clear_ack_tx();
+    let _ = ack_writer.join();
+}
+
+/// Commands a replication stream injects into the ticker (the sole
+/// engine mutator), keeping the standby's apply path identical to the
+/// primary's.
+#[derive(Debug)]
+pub(crate) enum ReplCommand {
+    /// Reset engine + WAL to a bootstrap checkpoint from the primary.
+    Restore {
+        /// Events the snapshot already covers.
+        seq: u64,
+        /// The snapshot text.
+        snapshot: String,
+    },
+    /// Apply one replicated record.
+    Apply {
+        /// The record's WAL sequence.
+        seq: u64,
+        /// The event itself.
+        event: MarketEvent,
+    },
+    /// The election timeout lapsed; promote if still a standby.
+    AutoPromote,
+}
+
+/// Best-effort depose of an old primary after a promotion: present the
+/// new, higher term on its replication listener so it fences itself if
+/// it is somehow still alive.
+pub(crate) fn fence_notify(addr: String, term: u64) {
+    let Ok(mut stream) = TcpStream::connect(&addr) else {
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(&message(
+        "hello",
+        vec![
+            ("term", Value::from_u64(term)),
+            ("have_seq", Value::from_u64(0)),
+        ],
+    ));
+    let mut conn = FrameConn::new(stream);
+    let _ = conn.read_frame_deadline(Duration::from_millis(500));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_concatenate() {
+        let a = encode_frame(b"hello");
+        let b = encode_frame(b"");
+        let c = encode_frame(&[0xFF; 300]);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        stream.extend_from_slice(&c);
+        let mut seen = Vec::new();
+        let mut off = 0;
+        while off < stream.len() {
+            match decode_frame(&stream[off..]) {
+                FrameDecode::Complete { payload, consumed } => {
+                    seen.push(payload);
+                    off += consumed;
+                }
+                other => panic!("unexpected {other:?} at {off}"),
+            }
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], b"hello");
+        assert!(seen[1].is_empty());
+        assert_eq!(seen[2].len(), 300);
+    }
+
+    #[test]
+    fn truncation_is_incomplete_never_partial() {
+        let frame = encode_frame(b"some payload bytes");
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_frame(&frame[..cut]),
+                FrameDecode::Incomplete,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt() {
+        let mut frame = encode_frame(b"x");
+        frame[0..4].copy_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&frame), FrameDecode::Corrupt(_)));
+    }
+
+    #[test]
+    fn payload_bit_flip_is_corrupt() {
+        let mut frame = encode_frame(b"payload under test");
+        let n = frame.len();
+        frame[n - 3] ^= 0x10;
+        assert!(matches!(decode_frame(&frame), FrameDecode::Corrupt(_)));
+    }
+
+    #[test]
+    fn roles_round_trip_their_wire_names() {
+        for role in [Role::Primary, Role::Standby, Role::Fenced] {
+            assert_eq!(Role::from_u8(role as u8), role);
+        }
+        assert_eq!(Role::Primary.as_str(), "primary");
+        assert_eq!(Role::Fenced.as_str(), "fenced");
+    }
+}

@@ -26,7 +26,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,11 +34,14 @@ use std::time::{Duration, Instant};
 use ref_market::{MarketConfig, MarketEvent};
 
 use crate::bus::{Bus, Quotas, SendError};
-use crate::core::{JournalLimit, ServiceCore};
+use crate::core::{JournalLimit, ReplApply, ServiceCore};
 use crate::fault::FaultPlan;
 use crate::json::Value;
 use crate::metrics::{ServeMetrics, ServeMetricsSnapshot};
-use crate::protocol::{error_response, ok_response, parse_request, Request};
+use crate::protocol::{error_response, not_primary_response, ok_response, parse_request, Request};
+use crate::repl::{
+    fence_notify, repl_acceptor_loop, standby_loop, ReplCommand, ReplConfig, ReplShared, Role,
+};
 use crate::wal::{self, WalConfig};
 
 /// Server tuning knobs.
@@ -68,6 +71,10 @@ pub struct ServeConfig {
     /// write-ahead log before it is applied, and [`Server::recover`]
     /// can resume the market after a crash.
     pub wal: Option<WalConfig>,
+    /// Replication: when set, this node is one half of a primary/standby
+    /// pair (see [`ReplConfig`]). Requires a WAL — the replication
+    /// stream *is* WAL shipping.
+    pub repl: Option<ReplConfig>,
     /// Deterministic fault injection (testing seam; injects nothing by
     /// default).
     pub faults: FaultPlan,
@@ -86,6 +93,7 @@ impl ServeConfig {
             read_timeout: Duration::from_millis(50),
             reply_timeout: Duration::from_secs(30),
             wal: None,
+            repl: None,
             faults: FaultPlan::default(),
         }
     }
@@ -120,6 +128,12 @@ impl ServeConfig {
         self
     }
 
+    /// Makes this node one half of a replicated pair (requires a WAL).
+    pub fn with_repl(mut self, repl: ReplConfig) -> ServeConfig {
+        self.repl = Some(repl);
+        self
+    }
+
     /// Arms a deterministic fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> ServeConfig {
         self.faults = faults;
@@ -127,11 +141,21 @@ impl ServeConfig {
     }
 }
 
-/// One admitted request riding the bus.
-struct Item {
-    request: Request,
-    deadline: Option<Instant>,
-    reply: mpsc::Sender<Value>,
+/// One item riding the bus into the ticker: an admitted client request,
+/// or a command from the replication stream (the ticker is the sole
+/// engine mutator, so replicated records apply through the same queue).
+pub(crate) enum Item {
+    /// An admitted client request awaiting its reply.
+    Client {
+        /// The parsed request.
+        request: Request,
+        /// In-queue expiry, from the request's `deadline_ms`.
+        deadline: Option<Instant>,
+        /// Where the ticker sends the response.
+        reply: mpsc::Sender<Value>,
+    },
+    /// A replication-stream command (standby apply path, promotions).
+    Repl(ReplCommand),
 }
 
 /// Everything the ticker hands back when the server stops.
@@ -149,23 +173,33 @@ pub struct ShutdownReport {
     pub market_metrics_json: String,
 }
 
-struct Shared {
-    bus: Bus<Item>,
-    metrics: ServeMetrics,
-    stop: AtomicBool,
-    open_connections: AtomicUsize,
-    retired: Mutex<Option<ServiceCore>>,
+pub(crate) struct Shared {
+    pub(crate) bus: Bus<Item>,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) stop: AtomicBool,
+    pub(crate) open_connections: AtomicUsize,
+    pub(crate) retired: Mutex<Option<ServiceCore>>,
+    /// Replication state, when configured.
+    pub(crate) repl: Option<Arc<ReplShared>>,
+    /// Ticker-exported engine epoch, for the reader-thread `ping` path.
+    pub(crate) epoch: AtomicU64,
+    /// Ticker-exported WAL sequence (events applied), ditto.
+    pub(crate) wal_seq: AtomicU64,
+    pub(crate) started: Instant,
 }
 
 /// A running ref-serve instance.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
+    repl_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     config: ServeConfig,
     acceptor: Option<JoinHandle<()>>,
     ticker: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    repl_threads: Vec<JoinHandle<()>>,
+    repl_handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -226,7 +260,13 @@ impl Server {
     }
 
     fn launch(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
-        let core = match &config.wal {
+        if config.repl.is_some() && config.wal.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replication requires a write-ahead log (ServeConfig::with_wal)",
+            ));
+        }
+        let mut core = match &config.wal {
             Some(wal_config) => ServiceCore::recover(
                 config.market.clone(),
                 config.journal_limit,
@@ -241,14 +281,35 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        // Bind the replication listener before any thread starts, so a
+        // bad address fails the launch instead of a background thread.
+        let repl_setup = match &config.repl {
+            Some(repl_config) => {
+                let wal_dir = config.wal.as_ref().expect("checked above").dir.clone();
+                let repl_listener = TcpListener::bind(&repl_config.listen)?;
+                repl_listener.set_nonblocking(true)?;
+                let repl_addr = repl_listener.local_addr()?;
+                let repl = Arc::new(ReplShared::new(repl_config.clone(), wal_dir));
+                repl.set_self_addrs(addr.to_string(), repl_addr.to_string());
+                core.attach_repl(Arc::clone(&repl));
+                Some((repl, repl_listener, repl_addr))
+            }
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             bus: Bus::new(config.quotas),
             metrics: ServeMetrics::new(),
             stop: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
             retired: Mutex::new(None),
+            repl: repl_setup.as_ref().map(|(repl, _, _)| Arc::clone(repl)),
+            epoch: AtomicU64::new(core.engine().epoch()),
+            wal_seq: AtomicU64::new(core.events_applied()),
+            started: Instant::now(),
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let repl_handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let ticker = {
             let shared = Arc::clone(&shared);
@@ -268,19 +329,67 @@ impl Server {
                 .expect("spawn acceptor")
         };
 
+        let mut repl_addr = None;
+        let mut repl_threads = Vec::new();
+        if let Some((repl, repl_listener, bound)) = repl_setup {
+            repl_addr = Some(bound);
+            {
+                let shared = Arc::clone(&shared);
+                let handlers = Arc::clone(&repl_handlers);
+                repl_threads.push(
+                    std::thread::Builder::new()
+                        .name("ref-serve-repl-accept".to_string())
+                        .spawn(move || repl_acceptor_loop(repl_listener, &shared, &handlers))
+                        .expect("spawn repl acceptor"),
+                );
+            }
+            if repl.config().standby_of.is_some() {
+                let shared = Arc::clone(&shared);
+                repl_threads.push(
+                    std::thread::Builder::new()
+                        .name("ref-serve-standby".to_string())
+                        .spawn(move || standby_loop(&shared))
+                        .expect("spawn standby puller"),
+                );
+            }
+        }
+
         Ok(Server {
             addr,
+            repl_addr,
             shared,
             config,
             acceptor: Some(acceptor),
             ticker: Some(ticker),
             readers,
+            repl_threads,
+            repl_handlers,
         })
     }
 
     /// The bound address (connect clients here).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound replication listener address, when replication is
+    /// configured (point standbys here).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_addr
+    }
+
+    /// The node's current replication role (`Primary` for an
+    /// unreplicated server).
+    pub fn role(&self) -> Role {
+        self.shared
+            .repl
+            .as_ref()
+            .map_or(Role::Primary, |repl| repl.role())
+    }
+
+    /// The node's current replication term (0 when unreplicated).
+    pub fn term(&self) -> u64 {
+        self.shared.repl.as_ref().map_or(0, |repl| repl.term())
     }
 
     /// The configuration the server was started with.
@@ -346,6 +455,18 @@ impl Server {
         }
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.readers.lock().expect("readers lock poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        for handle in std::mem::take(&mut self.repl_threads) {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .repl_handlers
+                .lock()
+                .expect("repl handlers lock poisoned"),
+        );
         for handle in handles {
             let _ = handle.join();
         }
@@ -509,12 +630,19 @@ fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
             return error_response("protocol", Some(&detail), None);
         }
     };
+    if matches!(envelope.request, Request::Ping) {
+        // Answered right here on the reader thread from ticker-exported
+        // atomics: liveness probes must work even when the bus is full
+        // or the ticker is busy — that is exactly when you probe.
+        ServeMetrics::bump(&shared.metrics.accepted);
+        return ping_response(shared);
+    }
     let class = envelope.request.class();
     let deadline = envelope
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
     let (tx, rx) = mpsc::channel();
-    let item = Item {
+    let item = Item::Client {
         request: envelope.request,
         deadline,
         reply: tx,
@@ -552,11 +680,52 @@ fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
     }
 }
 
+/// Answers a `ping` from transport-visible state alone (no engine
+/// access): role, term, progress, and uptime.
+fn ping_response(shared: &Arc<Shared>) -> Value {
+    let mut fields = Vec::new();
+    match shared.repl.as_ref() {
+        Some(repl) => {
+            fields.push(("role", Value::str(repl.role().as_str())));
+            fields.push(("term", Value::from_u64(repl.term())));
+            if let Some(leader) = repl.leader_client() {
+                fields.push(("leader", Value::str(leader)));
+            }
+            fields.push(("standbys", Value::from_u64(repl.standby_count())));
+        }
+        None => {
+            fields.push(("role", Value::str("primary")));
+            fields.push(("term", Value::from_u64(0)));
+        }
+    }
+    fields.push((
+        "epoch",
+        Value::from_u64(shared.epoch.load(Ordering::SeqCst)),
+    ));
+    fields.push((
+        "wal_seq",
+        Value::from_u64(shared.wal_seq.load(Ordering::SeqCst)),
+    ));
+    fields.push((
+        "uptime_ms",
+        Value::from_u64(
+            shared
+                .started
+                .elapsed()
+                .as_millis()
+                .min(u128::from(u64::MAX)) as u64,
+        ),
+    ));
+    ok_response(fields)
+}
+
 /// Mutable ticker state kept *outside* the supervised pass, so a caught
 /// panic loses at most the request being handled: drain progress and
 /// pending shutdown replies survive into the next pass.
 struct TickerState {
     next_tick: Option<Instant>,
+    /// Next heartbeat due on the replication stream (primaries only).
+    next_hb: Option<Instant>,
     shutdown_replies: Vec<mpsc::Sender<Value>>,
     draining: bool,
     degraded: bool,
@@ -568,6 +737,13 @@ fn ticker_loop(core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig) {
     let mut core = Some(core);
     let mut state = TickerState {
         next_tick: config.epoch_interval.map(|i| Instant::now() + i),
+        // A replicated node that boots as the primary heartbeats from
+        // the first pass; a standby starts heartbeating on promotion.
+        next_hb: config
+            .repl
+            .as_ref()
+            .filter(|r| r.standby_of.is_none())
+            .map(|_| Instant::now()),
         shutdown_replies: Vec::new(),
         draining: false,
         degraded: false,
@@ -603,10 +779,13 @@ fn ticker_pass(
 ) -> bool {
     let core = slot.as_mut().expect("core retired but ticker re-entered");
     if !state.draining {
-        let park = match state.next_tick {
+        let mut park = match state.next_tick {
             Some(at) => at.saturating_duration_since(Instant::now()),
             None => Duration::from_millis(50),
         };
+        if let Some(at) = state.next_hb {
+            park = park.min(at.saturating_duration_since(Instant::now()));
+        }
         if !park.is_zero() {
             shared.bus.wait(park);
         }
@@ -615,10 +794,21 @@ fn ticker_pass(
     let batch = shared.bus.drain();
     shared.metrics.observe_depth(batch.len() as u64);
     for (_, item) in batch {
-        if let Some(deadline) = item.deadline {
+        let (request, deadline, reply) = match item {
+            Item::Client {
+                request,
+                deadline,
+                reply,
+            } => (request, deadline, reply),
+            Item::Repl(command) => {
+                handle_repl_command(core, command, state, shared, config);
+                continue;
+            }
+        };
+        if let Some(deadline) = deadline {
             if Instant::now() > deadline {
                 ServeMetrics::bump(&shared.metrics.rejected_deadline);
-                let _ = item.reply.send(error_response(
+                let _ = reply.send(error_response(
                     "deadline",
                     Some("expired while queued"),
                     None,
@@ -626,26 +816,85 @@ fn ticker_pass(
                 continue;
             }
         }
-        if matches!(item.request, Request::Shutdown) {
+        if matches!(request, Request::Shutdown) {
             if !state.draining {
                 state.draining = true;
                 // Stop admitting; everything already on the bus is
                 // still served below.
                 shared.bus.close();
             }
-            state.shutdown_replies.push(item.reply);
+            state.shutdown_replies.push(reply);
             continue;
         }
-        if state.degraded && item.request.to_event().is_some() {
-            let _ = item.reply.send(error_response(
-                "degraded",
-                Some("ticker failed; mutations refused, reads still served"),
-                None,
-            ));
+        if matches!(request, Request::Promote) {
+            let _ = reply.send(handle_promote(state, shared, config));
             continue;
         }
-        let response = core.handle(&item.request, &shared.metrics);
-        let _ = item.reply.send(response);
+        if request.to_event().is_some() {
+            // Role gate: only a primary mutates. Standbys redirect the
+            // client to the leader; a fenced node refuses outright.
+            if let Some(repl) = shared.repl.as_ref() {
+                match repl.role() {
+                    Role::Primary => {}
+                    Role::Standby => {
+                        let leader = repl.leader_client();
+                        let _ = reply.send(not_primary_response(leader.as_deref()));
+                        continue;
+                    }
+                    Role::Fenced => {
+                        let _ = reply.send(error_response(
+                            "fenced",
+                            Some("this node was deposed or diverged; it refuses mutations"),
+                            None,
+                        ));
+                        continue;
+                    }
+                }
+            }
+            if state.degraded {
+                let _ = reply.send(error_response(
+                    "degraded",
+                    Some("ticker failed; mutations refused, reads still served"),
+                    None,
+                ));
+                continue;
+            }
+        }
+        let response = core.handle(&request, &shared.metrics);
+        let _ = reply.send(response);
+    }
+
+    // Export progress for the reader-thread ping path, and refresh the
+    // durability/replication gauges, every pass.
+    shared.epoch.store(core.engine().epoch(), Ordering::SeqCst);
+    shared
+        .wal_seq
+        .store(core.events_applied(), Ordering::SeqCst);
+    if let Some(wal) = core.wal() {
+        shared
+            .metrics
+            .wal_segments
+            .store(wal.segment_count() as u64, Ordering::Relaxed);
+        shared
+            .metrics
+            .wal_bytes
+            .store(wal.total_bytes(), Ordering::Relaxed);
+        shared
+            .metrics
+            .checkpoint_bytes
+            .store(wal.checkpoint_bytes(), Ordering::Relaxed);
+    }
+    if let Some(repl) = shared.repl.as_ref() {
+        shared
+            .metrics
+            .standby_connected
+            .store(repl.standby_count(), Ordering::Relaxed);
+        if repl.role() == Role::Primary {
+            shared
+                .metrics
+                .repl_lag_records
+                .store(repl.lag_records(core.events_applied()), Ordering::Relaxed);
+        }
     }
 
     // Bus closure ([`Server::shutdown`] or Drop) is a drain signal
@@ -673,18 +922,120 @@ fn ticker_pass(
         return true;
     }
 
+    if let Some(repl) = shared.repl.as_ref() {
+        if repl.role() == Role::Primary {
+            let now = Instant::now();
+            if state.next_hb.is_none_or(|at| now >= at) {
+                repl.publish_heartbeat(repl.term(), core.events_applied());
+                state.next_hb = Some(now + repl.config().heartbeat_interval);
+            }
+        }
+    }
+
     if let (Some(interval), Some(at)) = (config.epoch_interval, state.next_tick) {
         if Instant::now() >= at {
             // A degraded ticker stops advancing epochs: the engine is
             // behind its log, and piling ticks on top would widen the
-            // divergence recovery has to repair.
-            if !state.degraded {
+            // divergence recovery has to repair. A standby does not run
+            // its own clock either — its epochs arrive on the stream.
+            let is_primary = shared
+                .repl
+                .as_ref()
+                .is_none_or(|repl| repl.role() == Role::Primary);
+            if !state.degraded && is_primary {
                 let _ = core.handle(&Request::Tick, &shared.metrics);
             }
             state.next_tick = Some(Instant::now() + interval);
         }
     }
     false
+}
+
+/// Performs a standby→primary promotion inside the ticker (so role
+/// flips are serialized with event application): bump the term, flip
+/// the role, restart timed epochs and heartbeats, and best-effort
+/// depose the old primary by presenting it the new term.
+fn handle_promote(state: &mut TickerState, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
+    let Some(repl) = shared.repl.as_ref() else {
+        return error_response("protocol", Some("replication is not configured"), None);
+    };
+    match repl.role() {
+        Role::Fenced => error_response(
+            "fenced",
+            Some("this node was deposed or diverged; it cannot be promoted"),
+            None,
+        ),
+        // Idempotent: promoting a primary reports its standing.
+        Role::Primary => ok_response(vec![
+            ("role", Value::str("primary")),
+            ("term", Value::from_u64(repl.term())),
+        ]),
+        Role::Standby => {
+            let (term, old_leader) = repl.promote(&shared.metrics);
+            state.next_tick = config.epoch_interval.map(|i| Instant::now() + i);
+            state.next_hb = Some(Instant::now());
+            if let Some(addr) = old_leader {
+                // Detached: never block the ticker on a dead peer's TCP
+                // timeout.
+                let _ = std::thread::Builder::new()
+                    .name("ref-serve-fence".to_string())
+                    .spawn(move || fence_notify(addr, term));
+            }
+            ok_response(vec![
+                ("role", Value::str("primary")),
+                ("term", Value::from_u64(term)),
+            ])
+        }
+    }
+}
+
+/// Applies one replication-stream command on the ticker thread.
+fn handle_repl_command(
+    core: &mut ServiceCore,
+    command: ReplCommand,
+    state: &mut TickerState,
+    shared: &Arc<Shared>,
+    config: &ServeConfig,
+) {
+    let Some(repl) = shared.repl.as_ref() else {
+        return;
+    };
+    // A degraded ticker must not keep applying the stream: the engine
+    // already missed an event its WAL holds.
+    if state.degraded {
+        return;
+    }
+    match command {
+        ReplCommand::AutoPromote => {
+            if repl.role() == Role::Standby {
+                let _ = handle_promote(state, shared, config);
+            }
+        }
+        ReplCommand::Restore { seq, snapshot } => {
+            if repl.role() != Role::Standby {
+                return;
+            }
+            match core.restore_from_snapshot(seq, &snapshot) {
+                Ok(()) => repl.send_ack(core.events_applied(), None),
+                Err(_) => {
+                    ServeMetrics::bump(&shared.metrics.wal_errors);
+                    repl.request_resync();
+                }
+            }
+        }
+        ReplCommand::Apply { seq, event } => {
+            if repl.role() != Role::Standby {
+                return;
+            }
+            match core.apply_repl(seq, event, &shared.metrics) {
+                ReplApply::Applied { epoch_fp } => repl.send_ack(core.events_applied(), epoch_fp),
+                ReplApply::Skipped => repl.send_ack(core.events_applied(), None),
+                // A hole or a failed append cannot be repaired
+                // in-stream: reconnect and catch up from the log.
+                ReplApply::Gap | ReplApply::WalError => repl.request_resync(),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -158,13 +158,20 @@ fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("checkpoint-{seq:016x}.ckpt"))
 }
 
-fn frame(payload: &[u8]) -> Vec<u8> {
+/// Frames `payload` as one record: `[len:u32][crc32:u32][payload]`,
+/// little-endian. Shared with the replication stream, which ships WAL
+/// records over TCP in exactly this envelope.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
+
+/// Maximum framed payload size shared by WAL records and replication
+/// frames; larger length prefixes are treated as corruption.
+pub const MAX_FRAME_BYTES: u32 = MAX_RECORD_BYTES;
 
 fn encode_event(event: &MarketEvent) -> Vec<u8> {
     event_to_value(event).encode().into_bytes()
@@ -328,6 +335,10 @@ pub struct Wal {
     poisoned: bool,
     appends: u64,
     checkpoints_taken: u64,
+    /// Total bytes across every retained segment (disk-usage gauge).
+    total_bytes: u64,
+    /// Size of the newest checkpoint file in bytes (0 when none).
+    checkpoint_bytes: u64,
 }
 
 impl Wal {
@@ -449,6 +460,15 @@ impl Wal {
             (file, last_bytes, last_records)
         };
 
+        let mut total_bytes = 0u64;
+        for (_, path) in &kept_segments {
+            total_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        }
+        let checkpoint_bytes = checkpoint
+            .as_ref()
+            .and_then(|(seq, _)| fs::metadata(checkpoint_path(&config.dir, *seq)).ok())
+            .map_or(0, |m| m.len());
+
         Ok(Recovery {
             wal: Wal {
                 config,
@@ -461,6 +481,8 @@ impl Wal {
                 poisoned: false,
                 appends: 0,
                 checkpoints_taken: 0,
+                total_bytes,
+                checkpoint_bytes,
             },
             checkpoint,
             tail,
@@ -502,6 +524,70 @@ impl Wal {
     /// The configured checkpoint cadence (0 = never).
     pub fn checkpoint_every(&self) -> u64 {
         self.config.checkpoint_every
+    }
+
+    /// Number of retained segments on disk (including the open one).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total bytes across every retained segment.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Size in bytes of the newest checkpoint file (0 when none).
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.checkpoint_bytes
+    }
+
+    /// Replaces the entire log with a checkpoint at `seq` holding
+    /// `snapshot_text`, discarding every existing segment and checkpoint
+    /// and opening a fresh segment at `seq`.
+    ///
+    /// This is the standby bootstrap path: when a primary's stream opens
+    /// with a full snapshot (the standby's history is too far behind the
+    /// primary's retained log), the standby's local WAL must restart
+    /// from that snapshot so its own durable chain matches what it now
+    /// serves. The checkpoint is written before old state is deleted, so
+    /// a crash mid-reset recovers to the new snapshot, never to nothing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the checkpoint or opening the fresh segment.
+    pub fn reset_to_checkpoint(&mut self, seq: u64, snapshot_text: &str) -> io::Result<()> {
+        let body_crc = crc32(snapshot_text.as_bytes());
+        let content = format!("{CHECKPOINT_MAGIC}\nseq {seq}\ncrc {body_crc:08x}\n{snapshot_text}");
+        let path = checkpoint_path(&self.config.dir, seq);
+        let tmp = path.with_extension("tmp");
+        let content_len = content.len() as u64;
+        fs::write(&tmp, content)?;
+        fs::rename(&tmp, &path)?;
+
+        // The new checkpoint is durable; now drop the stale history.
+        let (segments, checkpoints) = list_dir(&self.config.dir)?;
+        for (ckpt_seq, old) in checkpoints {
+            if ckpt_seq != seq {
+                let _ = fs::remove_file(old);
+            }
+        }
+        for (_, old) in segments {
+            let _ = fs::remove_file(old);
+        }
+        let segment = segment_path(&self.config.dir, seq);
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&segment)?;
+        self.segments = vec![(seq, segment)];
+        self.segment_bytes = 0;
+        self.segment_records = 0;
+        self.next_seq = seq;
+        self.poisoned = false;
+        self.total_bytes = 0;
+        self.checkpoint_bytes = content_len;
+        self.checkpoints_taken += 1;
+        Ok(())
     }
 
     /// Appends one event durably; the event may be applied only after
@@ -572,6 +658,7 @@ impl Wal {
             return Err(e);
         }
         self.segment_bytes += record.len() as u64;
+        self.total_bytes += record.len() as u64;
         self.segment_records += 1;
         self.next_seq += 1;
         self.appends += 1;
@@ -603,9 +690,11 @@ impl Wal {
         let content = format!("{CHECKPOINT_MAGIC}\nseq {seq}\ncrc {body_crc:08x}\n{snapshot_text}");
         let path = checkpoint_path(&self.config.dir, seq);
         let tmp = path.with_extension("tmp");
+        let content_len = content.len() as u64;
         fs::write(&tmp, content)?;
         fs::rename(&tmp, &path)?;
         self.checkpoints_taken += 1;
+        self.checkpoint_bytes = content_len;
         if !self.config.retain_history {
             self.prune(seq)?;
         }
@@ -624,7 +713,9 @@ impl Wal {
         }
         while self.segments.len() > 1 && self.segments[1].0 <= seq {
             let (_, path) = self.segments.remove(0);
+            let removed = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             let _ = fs::remove_file(path);
+            self.total_bytes = self.total_bytes.saturating_sub(removed);
         }
         Ok(())
     }
@@ -675,6 +766,31 @@ pub fn read_events(dir: &Path) -> io::Result<(u64, Vec<MarketEvent>)> {
         events.extend(scan.events);
     }
     Ok((first_seq, events))
+}
+
+/// The newest structurally-valid checkpoint in `dir`, if any, as
+/// `(seq, snapshot_text)`. Damaged checkpoints are skipped, exactly as
+/// [`Wal::open`] does. Safe to call while the directory's owning server
+/// is live (checkpoints are written atomically via rename), which is
+/// how a primary bootstraps a standby that is behind the retained log.
+///
+/// # Errors
+///
+/// Propagates directory-listing failures; a missing directory yields
+/// `Ok(None)`.
+pub fn newest_checkpoint(dir: &Path) -> io::Result<Option<(u64, String)>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let (_, checkpoints) = list_dir(dir)?;
+    for (seq, path) in checkpoints.iter().rev() {
+        if let Ok((file_seq, snapshot)) = read_checkpoint_file(path) {
+            if file_seq == *seq {
+                return Ok(Some((*seq, snapshot.encode())));
+            }
+        }
+    }
+    Ok(None)
 }
 
 /// Whether `dir` already holds WAL state (any non-empty segment or any

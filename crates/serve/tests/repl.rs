@@ -1,0 +1,327 @@
+//! Replication end-to-end: a live primary/standby pair over real TCP.
+//! Covers bit-identical mirroring, explicit promotion with fencing of
+//! the deposed primary, automatic promotion on heartbeat lapse with
+//! client failover, and the divergence invariant — a corrupted standby
+//! is fenced, never promoted.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ref_core::resource::Capacity;
+use ref_market::MarketConfig;
+use ref_serve::{
+    CallOpts, Client, ClientError, FaultPlan, ReplConfig, Role, ServeConfig, Server, Value,
+    WalConfig,
+};
+
+/// Self-cleaning unique temp directory (no tempfile crate).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ref-repl-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn market() -> MarketConfig {
+    MarketConfig::new(Capacity::new(vec![16.0, 8.0]).unwrap())
+}
+
+/// Polls `check` until it returns true or `deadline` elapses.
+fn wait_for(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out after {deadline:?} waiting for {what}");
+}
+
+fn ping_u64(client: &mut Client, field: &str) -> u64 {
+    client
+        .ping()
+        .unwrap()
+        .get(field)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("ping reply missing {field}"))
+}
+
+fn ping_role(client: &mut Client) -> String {
+    client
+        .ping()
+        .unwrap()
+        .get("role")
+        .and_then(Value::as_str)
+        .expect("ping reply missing role")
+        .to_string()
+}
+
+/// Starts a primary with a WAL and a replication listener.
+fn start_primary(dir: &Path, epoch: Option<Duration>) -> Server {
+    let config = ServeConfig::new(market())
+        .with_epoch_interval(epoch)
+        .with_wal(WalConfig::new(dir))
+        .with_repl(ReplConfig::primary("127.0.0.1:0"));
+    Server::start("127.0.0.1:0", config).unwrap()
+}
+
+/// Starts a standby of `primary`, with its own WAL directory.
+fn start_standby(dir: &Path, primary: &Server, repl: ReplConfig) -> Server {
+    let config = ServeConfig::new(market())
+        .with_epoch_interval(primary.config().epoch_interval)
+        .with_wal(WalConfig::new(dir))
+        .with_repl(repl);
+    Server::start("127.0.0.1:0", config).unwrap()
+}
+
+fn standby_config(primary: &Server) -> ReplConfig {
+    ReplConfig::standby("127.0.0.1:0", primary.repl_addr().unwrap().to_string())
+}
+
+#[test]
+fn standby_mirrors_the_primary_bit_identically() {
+    let (pdir, sdir) = (TempDir::new("mirror-p"), TempDir::new("mirror-s"));
+    let primary = start_primary(pdir.path(), None);
+    let standby = start_standby(
+        sdir.path(),
+        &primary,
+        standby_config(&primary).with_auto_promote(false),
+    );
+
+    let mut client = Client::connect(primary.addr()).unwrap();
+    for agent in 1u64..=3 {
+        client.join_external(agent).unwrap();
+        for i in 0..20 {
+            client
+                .observe(agent, &[1.0 + agent as f64, 2.0], 0.5 + 0.05 * i as f64)
+                .unwrap();
+        }
+    }
+
+    // Quiesce, then wait for the standby to reach the primary's tail.
+    let mut pping = Client::connect(primary.addr()).unwrap();
+    let mut sping = Client::connect(standby.addr()).unwrap();
+    let tail = ping_u64(&mut pping, "wal_seq");
+    assert!(tail >= 63, "expected 63 events, saw {tail}");
+    wait_for("standby catch-up", Duration::from_secs(10), || {
+        ping_u64(&mut sping, "wal_seq") == tail
+    });
+    assert_eq!(ping_role(&mut sping), "standby");
+    assert_eq!(ping_role(&mut pping), "primary");
+    assert_eq!(primary.metrics().standby_connected, 1);
+    assert_eq!(primary.metrics().repl_records_sent, tail);
+
+    // Same events through the same engine: snapshots are byte-identical.
+    let standby_report = standby.shutdown();
+    let primary_report = primary.shutdown();
+    assert_eq!(standby_report.snapshot, primary_report.snapshot);
+    assert_eq!(standby_report.metrics.protocol_errors, 0);
+    assert_eq!(primary_report.metrics.protocol_errors, 0);
+}
+
+#[test]
+fn late_joining_standby_catches_up_from_checkpoint_and_log() {
+    let (pdir, sdir) = (TempDir::new("late-p"), TempDir::new("late-s"));
+    let primary = start_primary(pdir.path(), None);
+
+    // History exists before the standby is even born.
+    let mut client = Client::connect(primary.addr()).unwrap();
+    client.join_external(1).unwrap();
+    for i in 0..30 {
+        client
+            .observe(1, &[2.0, 1.0], 1.0 + 0.01 * i as f64)
+            .unwrap();
+    }
+
+    let standby = start_standby(
+        sdir.path(),
+        &primary,
+        standby_config(&primary).with_auto_promote(false),
+    );
+    let mut pping = Client::connect(primary.addr()).unwrap();
+    let mut sping = Client::connect(standby.addr()).unwrap();
+    let tail = ping_u64(&mut pping, "wal_seq");
+    wait_for("late standby catch-up", Duration::from_secs(10), || {
+        ping_u64(&mut sping, "wal_seq") == tail
+    });
+
+    let standby_report = standby.shutdown();
+    let primary_report = primary.shutdown();
+    assert_eq!(standby_report.snapshot, primary_report.snapshot);
+}
+
+#[test]
+fn explicit_promote_fences_the_deposed_primary() {
+    let (pdir, sdir) = (TempDir::new("promote-p"), TempDir::new("promote-s"));
+    let primary = start_primary(pdir.path(), None);
+    let standby = start_standby(
+        sdir.path(),
+        &primary,
+        standby_config(&primary).with_auto_promote(false),
+    );
+
+    let mut client = Client::connect(primary.addr()).unwrap();
+    client.join_external(1).unwrap();
+    client.observe(1, &[1.0, 1.0], 1.0).unwrap();
+
+    let mut pping = Client::connect(primary.addr()).unwrap();
+    let mut sping = Client::connect(standby.addr()).unwrap();
+    let tail = ping_u64(&mut pping, "wal_seq");
+    wait_for("standby catch-up", Duration::from_secs(10), || {
+        ping_u64(&mut sping, "wal_seq") == tail
+    });
+
+    // Mutations against a standby are redirected, not executed.
+    let mut on_standby = Client::connect(standby.addr()).unwrap();
+    match on_standby.join_external(9) {
+        Err(ClientError::Server { code, leader, .. }) => {
+            assert_eq!(code, "not_primary");
+            assert_eq!(leader.as_deref(), Some(primary.addr().to_string().as_str()));
+        }
+        other => panic!("standby accepted a mutation: {other:?}"),
+    }
+
+    let reply = on_standby.promote().unwrap();
+    assert_eq!(reply.get("role").and_then(Value::as_str), Some("primary"));
+    assert_eq!(reply.get("term").and_then(Value::as_u64), Some(1));
+    assert_eq!(standby.role(), Role::Primary);
+
+    // The deposed primary hears the higher term and fences itself: its
+    // role flips and mutations are refused — no split brain.
+    wait_for("old primary fenced", Duration::from_secs(10), || {
+        primary.role() == Role::Fenced
+    });
+    match client.observe(1, &[1.0, 1.0], 1.0) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "fenced"),
+        other => panic!("fenced primary accepted a mutation: {other:?}"),
+    }
+    assert_eq!(primary.metrics().fenced, 1);
+
+    // The new primary takes writes.
+    on_standby.join_external(9).unwrap();
+    on_standby.observe(9, &[1.0, 1.0], 2.0).unwrap();
+
+    standby.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn heartbeat_lapse_auto_promotes_and_the_client_fails_over() {
+    let (pdir, sdir) = (TempDir::new("auto-p"), TempDir::new("auto-s"));
+    let primary = start_primary(pdir.path(), None);
+    let standby = start_standby(
+        sdir.path(),
+        &primary,
+        standby_config(&primary)
+            .with_heartbeat_interval(Duration::from_millis(10))
+            .with_election_timeout(Duration::from_millis(150)),
+    );
+    let primary_addr = primary.addr().to_string();
+    let standby_addr = standby.addr().to_string();
+
+    let mut client = Client::connect_seeds(&[primary_addr, standby_addr.clone()]).unwrap();
+    client.join_external(1).unwrap();
+    client.observe(1, &[1.0, 1.0], 1.0).unwrap();
+
+    let mut sping = Client::connect(standby.addr()).unwrap();
+    wait_for("standby catch-up", Duration::from_secs(10), || {
+        ping_u64(&mut sping, "wal_seq") == 2
+    });
+
+    // Kill the primary: heartbeats stop, the standby's election timer
+    // lapses, and it promotes itself.
+    primary.shutdown();
+    wait_for("auto-promotion", Duration::from_secs(10), || {
+        standby.role() == Role::Primary
+    });
+    assert_eq!(standby.term(), 1);
+    assert_eq!(standby.metrics().promotions, 1);
+
+    // The client's next call walks its seed list and lands on the new
+    // primary without the caller doing anything.
+    let observe = Value::obj(vec![
+        ("op", Value::str("observe")),
+        ("agent", Value::from_u64(1)),
+        ("allocation", Value::num_array(&[2.0, 1.0])),
+        ("performance", Value::Num(1.5)),
+    ]);
+    let opts = CallOpts::default()
+        .with_retries(50)
+        .with_deadline(Duration::from_secs(10));
+    let (reply, _retries) = client.call_with(&observe, &opts).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(client.current_addr(), standby_addr);
+
+    let report = standby.shutdown();
+    assert_eq!(report.metrics.protocol_errors, 0);
+}
+
+#[test]
+fn divergent_standby_is_fenced_never_promoted() {
+    let (pdir, sdir) = (TempDir::new("diverge-p"), TempDir::new("diverge-s"));
+    // Epochs run so the fingerprint channel is live.
+    let primary = start_primary(pdir.path(), Some(Duration::from_millis(2)));
+    // The standby silently drops its 3rd replicated record: its state
+    // forks from the primary's while its WAL looks healthy.
+    let standby_cfg = ServeConfig::new(market())
+        .with_epoch_interval(Some(Duration::from_millis(2)))
+        .with_wal(WalConfig::new(sdir.path()))
+        .with_repl(
+            standby_config(&primary)
+                .with_heartbeat_interval(Duration::from_millis(10))
+                .with_election_timeout(Duration::from_millis(150)),
+        )
+        .with_faults(FaultPlan {
+            corrupt_standby_at: Some(3),
+            ..FaultPlan::default()
+        });
+    let standby = Server::start("127.0.0.1:0", standby_cfg).unwrap();
+
+    let mut client = Client::connect(primary.addr()).unwrap();
+    client.join_external(1).unwrap();
+    for i in 0..20 {
+        client
+            .observe(1, &[1.0, 1.0], 1.0 + 0.1 * i as f64)
+            .unwrap();
+    }
+
+    // The next epoch fingerprint the standby acks is wrong: the primary
+    // detects the fork and fences the replica instead of trusting it.
+    wait_for("divergence detected", Duration::from_secs(10), || {
+        primary.metrics().divergences >= 1
+    });
+    wait_for("standby fenced", Duration::from_secs(10), || {
+        standby.role() == Role::Fenced
+    });
+    assert_eq!(primary.metrics().standby_connected, 0);
+
+    // Even with the primary gone and auto-promotion armed, a fenced
+    // replica must never seize leadership.
+    primary.shutdown();
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(standby.role(), Role::Fenced);
+    let mut on_standby = Client::connect(standby.addr()).unwrap();
+    match on_standby.promote() {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "fenced"),
+        other => panic!("fenced standby promoted: {other:?}"),
+    }
+    standby.shutdown();
+}
