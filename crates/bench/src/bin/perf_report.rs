@@ -146,12 +146,14 @@ fn main() {
 /// Folds the serving benchmark (`BENCH_serve.json`, produced by
 /// `cargo run --release -p ref-serve --bin loadgen`), the chaos
 /// harness (`BENCH_chaos.json`, produced by
-/// `cargo run --release -p ref-bench --bin chaos`), and the failover
+/// `cargo run --release -p ref-bench --bin chaos`), the failover
 /// harness (`BENCH_failover.json`, produced by
-/// `cargo run --release -p ref-bench --bin failover`) together with
+/// `cargo run --release -p ref-bench --bin failover`), and the sharded
+/// scale harness (`BENCH_shard.json`, produced by
+/// `cargo run --release -p ref-bench --bin shard_scale`) together with
 /// the pipeline numbers into one `BENCH_report.json`, so a single
 /// artifact tracks the offline pipeline, the online front-end, crash
-/// recovery, and replicated failover.
+/// recovery, replicated failover, and shard scaling.
 fn aggregate_report(pipeline_json: &str) {
     use ref_serve::json::Value;
 
@@ -226,11 +228,37 @@ fn aggregate_report(pipeline_json: &str) {
             Value::Null
         }
     };
+    let shard = match std::fs::read_to_string("BENCH_shard.json") {
+        Ok(text) => match Value::parse(text.trim()) {
+            Ok(v) => {
+                if v.get("replay_identical").and_then(Value::as_bool) != Some(true) {
+                    eprintln!("FATAL: BENCH_shard.json records a per-shard replay divergence");
+                    std::process::exit(1);
+                }
+                let speedup = v
+                    .get("scaling")
+                    .and_then(|s| s.get("speedup"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                println!("aggregating BENCH_shard.json ({speedup:.2}x shard speedup)");
+                v
+            }
+            Err(e) => {
+                eprintln!("FATAL: BENCH_shard.json exists but is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no BENCH_shard.json found; report skips shard scaling");
+            Value::Null
+        }
+    };
     let report = Value::obj(vec![
         ("pipeline", pipeline),
         ("serve", serve),
         ("chaos", chaos),
         ("failover", failover),
+        ("shard", shard),
     ]);
     std::fs::write("BENCH_report.json", format!("{}\n", report.encode()))
         .expect("write BENCH_report.json");

@@ -1,0 +1,469 @@
+//! Sharded-serving scale harness: aggregate throughput and capacity.
+//!
+//! Two phases, one `BENCH_shard.json`:
+//!
+//! 1. **Scaling**: boots the same loadgen-style server twice — once with
+//!    a single market shard, once with `--shards N` (default 4) — joins
+//!    the same truthful population into each, and drives a closed-loop
+//!    tick-heavy client for a fixed wall-clock window. The per-epoch
+//!    fairness audit is O(n^2) pairwise envy checks, so splitting `n`
+//!    agents across `k` shards cuts the audit bill to `1/k` of the
+//!    monolith's — the sharded server must clear `>= 3x` the aggregate
+//!    request rate on the same single-core host. The final tick's merged
+//!    report must pass SI/EF/PE and the cross-shard drift bound.
+//! 2. **Capacity**: boots the sharded server in deterministic mode and
+//!    registers a million external agents (pipelined joins over one
+//!    socket), then proves every shard's journal replays bit-identically
+//!    to its final snapshot.
+//!
+//! Any replay divergence, protocol error, or (in full mode) a speedup
+//! below 3x exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p ref-bench --bin shard_scale -- [--quick]
+//!     [--out BENCH_shard.json] [--shards 4] [--agents 3600]
+//!     [--duration-ms 6000] [--capacity-agents 1000000]
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ref_core::resource::Capacity;
+use ref_market::MarketConfig;
+use ref_serve::json::Value;
+use ref_serve::{
+    shard_market_config, Client, JournalLimit, Quotas, ServeConfig, Server, ShutdownReport,
+};
+
+/// Full-mode speedup floor: the sharded server must beat the monolith by
+/// at least this factor on the same machine and load.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+struct Args {
+    out: String,
+    quick: bool,
+    shards: usize,
+    agents: usize,
+    duration_ms: u64,
+    capacity_agents: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_shard.json".to_string(),
+        quick: false,
+        shards: 4,
+        agents: 3600,
+        duration_ms: 6000,
+        capacity_agents: 1_000_000,
+    };
+    let mut explicit_agents = false;
+    let mut explicit_duration = false;
+    let mut explicit_capacity = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--quick" => args.quick = true,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if args.shards < 2 {
+                    return Err("--shards must be at least 2".to_string());
+                }
+            }
+            "--agents" => {
+                args.agents = value("--agents")?
+                    .parse()
+                    .map_err(|e| format!("bad --agents: {e}"))?;
+                explicit_agents = true;
+            }
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-ms: {e}"))?;
+                explicit_duration = true;
+            }
+            "--capacity-agents" => {
+                args.capacity_agents = value("--capacity-agents")?
+                    .parse()
+                    .map_err(|e| format!("bad --capacity-agents: {e}"))?;
+                explicit_capacity = true;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.quick {
+        // CI-sized run: small enough to finish in seconds. At this scale
+        // fixed per-request costs dilute the O(n^2) audit advantage, so
+        // quick mode reports the speedup without enforcing the floor.
+        if !explicit_agents {
+            args.agents = 256;
+        }
+        if !explicit_duration {
+            args.duration_ms = 800;
+        }
+        if !explicit_capacity {
+            args.capacity_agents = 50_000;
+        }
+    }
+    Ok(args)
+}
+
+fn market() -> MarketConfig {
+    // Light stride enforcement: the harness measures how epoch auditing
+    // and serving scale with shard count, and the default 2000 quanta
+    // would add a flat ~ms of scheduler work per shard-epoch that has
+    // nothing to do with population size. Both configs share this
+    // market, so the comparison stays apples-to-apples.
+    MarketConfig::new(Capacity::new(vec![64.0, 32.0]).expect("static capacity"))
+        .with_enforcement_quanta(200)
+}
+
+fn serve_config(shards: usize) -> ServeConfig {
+    // Deterministic mode: epochs run on explicit `tick` requests, which
+    // fan to every shard and run the coordination step — the measured
+    // unit of work. Generous control quota for the pipelined joins.
+    ServeConfig::new(market())
+        .with_epoch_interval(None)
+        .with_shards(shards)
+        .with_quotas(Quotas {
+            control: 4096,
+            observe: 256,
+            query: 256,
+        })
+        .with_journal_limit(JournalLimit(1 << 21))
+}
+
+/// Streams `lines` over one socket in bounded pipelined batches (stay
+/// under the control quota so joins are never load-shed) and counts ok
+/// replies. One round trip per batch instead of per line.
+fn pipeline_lines(addr: &str, mut lines: impl Iterator<Item = String>) -> Result<u64, String> {
+    const BATCH: usize = 1024;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut ok = 0u64;
+    loop {
+        let mut sent = 0usize;
+        for line in lines.by_ref().take(BATCH) {
+            writer
+                .write_all(line.as_bytes())
+                .map_err(|e| e.to_string())?;
+            writer.write_all(b"\n").map_err(|e| e.to_string())?;
+            sent += 1;
+        }
+        if sent == 0 {
+            return Ok(ok);
+        }
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        for _ in 0..sent {
+            reply.clear();
+            if reader.read_line(&mut reply).map_err(|e| e.to_string())? == 0 {
+                return Err("server closed the connection mid-batch".to_string());
+            }
+            if reply.contains("\"ok\":true") {
+                ok += 1;
+            }
+        }
+    }
+}
+
+/// A truthful join line; elasticities vary per agent so allocations (and
+/// the audit) are non-degenerate.
+fn join_truth_line(agent: u64) -> String {
+    let e0 = 0.2 + 0.6 * ((agent % 101) as f64) / 101.0;
+    format!(
+        "{{\"op\":\"join\",\"agent\":{agent},\"source\":{{\"kind\":\"truth\",\
+         \"scale\":1,\"elasticities\":[{e0},{}]}}}}",
+        1.0 - e0
+    )
+}
+
+fn join_external_line(agent: u64) -> String {
+    format!("{{\"op\":\"join\",\"agent\":{agent},\"source\":{{\"kind\":\"external\"}}}}")
+}
+
+/// Replays every shard journal offline against the shard's starting
+/// config; sharded servers start from the equal capacity split and the
+/// journaled `CapacityRealloted` events carry the coordinator's moves.
+fn shards_replay_identical(report: &ShutdownReport, shards: usize) -> bool {
+    report.shards.iter().all(|shard| {
+        if shard.journal_overflowed {
+            eprintln!("shard_scale: shard {} journal overflowed", shard.shard);
+            return false;
+        }
+        match ref_serve::replay(shard_market_config(&market(), shards), &shard.journal) {
+            Ok(engine) => engine.snapshot().encode() == shard.snapshot,
+            Err(e) => {
+                eprintln!("shard_scale: shard {} replay failed: {e}", shard.shard);
+                false
+            }
+        }
+    })
+}
+
+struct ScalingRun {
+    shards: usize,
+    ok: u64,
+    ticks: u64,
+    elapsed: Duration,
+    rps: f64,
+    last_tick: Option<Value>,
+    replay_identical: bool,
+    protocol_errors: u64,
+}
+
+impl ScalingRun {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("shards", Value::from_u64(self.shards as u64)),
+            ("ok", Value::from_u64(self.ok)),
+            ("ticks", Value::from_u64(self.ticks)),
+            (
+                "duration_ms",
+                Value::from_u64(self.elapsed.as_millis() as u64),
+            ),
+            ("throughput_rps", Value::Num(self.rps)),
+            ("replay_identical", Value::Bool(self.replay_identical)),
+            ("protocol_errors", Value::from_u64(self.protocol_errors)),
+        ])
+    }
+}
+
+/// One scaling config: join the population, hammer tick/demand for the
+/// window, grab the last tick's merged report, shut down and replay.
+fn scaling_run(shards: usize, agents: usize, duration: Duration) -> Result<ScalingRun, String> {
+    let server =
+        Server::start("127.0.0.1:0", serve_config(shards)).map_err(|e| format!("boot: {e}"))?;
+    let addr = server.addr().to_string();
+    let joined = pipeline_lines(&addr, (1..=agents as u64).map(join_truth_line))?;
+    if joined != agents as u64 {
+        return Err(format!("only {joined} of {agents} joins accepted"));
+    }
+
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let started = Instant::now();
+    let deadline = started + duration;
+    let mut ok = 0u64;
+    let mut ticks = 0u64;
+    let mut i = 0u64;
+    let mut last_tick = None;
+    while Instant::now() < deadline {
+        // Mostly ticks (the audited epoch is the unit of work), with a
+        // demand update mixed in so fingerprints move and the market
+        // genuinely reallocates rather than serving its cache.
+        if i % 7 == 3 {
+            let agent = 1 + (i % agents as u64);
+            let e0 = 0.25 + 0.5 * ((i % 17) as f64) / 17.0;
+            client
+                .demand(agent, Some((1.0, &[e0, 1.0 - e0])))
+                .map_err(|e| format!("demand: {e}"))?;
+        } else {
+            let reply = client.tick().map_err(|e| format!("tick: {e}"))?;
+            ticks += 1;
+            last_tick = Some(reply);
+        }
+        ok += 1;
+        i += 1;
+    }
+    let elapsed = started.elapsed();
+
+    let report = server.shutdown();
+    Ok(ScalingRun {
+        shards,
+        ok,
+        ticks,
+        elapsed,
+        rps: ok as f64 / elapsed.as_secs_f64(),
+        last_tick,
+        replay_identical: shards_replay_identical(&report, shards),
+        protocol_errors: report.metrics.protocol_errors,
+    })
+}
+
+/// Pulls the audit verdicts out of a tick reply: the merged cross-shard
+/// report when sharded, the plain epoch report on a monolith.
+fn audit_flags(tick: &Value) -> Value {
+    let fairness = tick.get("report").and_then(|r| r.get("fairness"));
+    let flag = |key: &str| -> Value {
+        fairness
+            .and_then(|f| f.get(key))
+            .cloned()
+            .unwrap_or(Value::Null)
+    };
+    Value::obj(vec![
+        ("sharing_incentives", flag("sharing_incentives")),
+        ("envy_free", flag("envy_free")),
+        ("pareto_efficient", flag("pareto_efficient")),
+        ("drift", tick.get("drift").cloned().unwrap_or(Value::Null)),
+        (
+            "drift_bound_ok",
+            tick.get("drift_bound_ok").cloned().unwrap_or(Value::Null),
+        ),
+    ])
+}
+
+fn audit_passes(flags: &Value, sharded: bool) -> bool {
+    let is_true = |key: &str| flags.get(key).and_then(Value::as_bool) == Some(true);
+    is_true("sharing_incentives")
+        && is_true("envy_free")
+        && is_true("pareto_efficient")
+        && (!sharded || is_true("drift_bound_ok"))
+}
+
+/// Capacity phase: a million external agents through the sharded server,
+/// no epochs — raw registration throughput plus per-shard replay.
+fn capacity_run(shards: usize, agents: usize) -> Result<Value, String> {
+    let server =
+        Server::start("127.0.0.1:0", serve_config(shards)).map_err(|e| format!("boot: {e}"))?;
+    let addr = server.addr().to_string();
+    let started = Instant::now();
+    let joined = pipeline_lines(&addr, (1..=agents as u64).map(join_external_line))?;
+    let elapsed = started.elapsed();
+    if joined != agents as u64 {
+        return Err(format!("only {joined} of {agents} joins accepted"));
+    }
+
+    let report = server.shutdown();
+    let replay_identical = shards_replay_identical(&report, shards);
+    let journaled: u64 = report.shards.iter().map(|s| s.journal.len() as u64).sum();
+    Ok(Value::obj(vec![
+        ("shards", Value::from_u64(shards as u64)),
+        ("agents", Value::from_u64(agents as u64)),
+        (
+            "join_rps",
+            Value::Num(joined as f64 / elapsed.as_secs_f64()),
+        ),
+        ("duration_ms", Value::from_u64(elapsed.as_millis() as u64)),
+        ("journaled_events", Value::from_u64(journaled)),
+        ("replay_identical", Value::Bool(replay_identical)),
+        (
+            "protocol_errors",
+            Value::from_u64(report.metrics.protocol_errors),
+        ),
+    ]))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("shard_scale: {e}");
+            std::process::exit(2);
+        }
+    };
+    let duration = Duration::from_millis(args.duration_ms);
+
+    eprintln!(
+        "shard_scale: scaling phase: {} agents, {}ms per config",
+        args.agents, args.duration_ms
+    );
+    let baseline = match scaling_run(1, args.agents, duration) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("shard_scale: baseline run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "shard_scale:   1 shard: {:.0} rps ({} ticks)",
+        baseline.rps, baseline.ticks
+    );
+    let sharded = match scaling_run(args.shards, args.agents, duration) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("shard_scale: sharded run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "shard_scale:   {} shards: {:.0} rps ({} ticks)",
+        args.shards, sharded.rps, sharded.ticks
+    );
+
+    let speedup = if baseline.rps > 0.0 {
+        sharded.rps / baseline.rps
+    } else {
+        0.0
+    };
+    let speedup_ok = speedup >= SPEEDUP_FLOOR;
+    let baseline_flags = baseline.last_tick.as_ref().map(audit_flags);
+    let sharded_flags = sharded.last_tick.as_ref().map(audit_flags);
+    let audit_ok = baseline_flags
+        .as_ref()
+        .is_some_and(|f| audit_passes(f, false))
+        && sharded_flags
+            .as_ref()
+            .is_some_and(|f| audit_passes(f, true));
+    eprintln!("shard_scale:   speedup {speedup:.2}x, audit_ok={audit_ok}");
+
+    eprintln!(
+        "shard_scale: capacity phase: {} agents over {} shards",
+        args.capacity_agents, args.shards
+    );
+    let capacity = match capacity_run(args.shards, args.capacity_agents) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("shard_scale: capacity run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let replay_identical = baseline.replay_identical
+        && sharded.replay_identical
+        && capacity.get("replay_identical").and_then(Value::as_bool) == Some(true);
+    let protocol_errors = baseline.protocol_errors
+        + sharded.protocol_errors
+        + capacity
+            .get("protocol_errors")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+
+    let doc = Value::obj(vec![
+        ("bench", Value::str("shard")),
+        ("quick", Value::Bool(args.quick)),
+        (
+            "scaling",
+            Value::obj(vec![
+                ("agents", Value::from_u64(args.agents as u64)),
+                ("baseline", baseline.to_json()),
+                ("sharded", sharded.to_json()),
+                ("speedup", Value::Num(speedup)),
+                ("speedup_ok", Value::Bool(speedup_ok)),
+                ("baseline_audit", baseline_flags.unwrap_or(Value::Null)),
+                ("sharded_audit", sharded_flags.unwrap_or(Value::Null)),
+                ("audit_ok", Value::Bool(audit_ok)),
+            ]),
+        ),
+        ("capacity", capacity),
+        ("replay_identical", Value::Bool(replay_identical)),
+        ("protocol_errors", Value::from_u64(protocol_errors)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", doc.encode())) {
+        eprintln!("shard_scale: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("shard_scale: wrote {}", args.out);
+
+    if !replay_identical {
+        eprintln!("shard_scale: FATAL: a journal replay diverged from its live snapshot");
+        std::process::exit(1);
+    }
+    if protocol_errors > 0 {
+        eprintln!("shard_scale: FATAL: {protocol_errors} protocol errors");
+        std::process::exit(1);
+    }
+    if !audit_ok {
+        eprintln!("shard_scale: FATAL: SI/EF/PE or drift-bound audit failed");
+        std::process::exit(1);
+    }
+    if !args.quick && !speedup_ok {
+        eprintln!("shard_scale: FATAL: speedup {speedup:.2}x below the {SPEEDUP_FLOOR}x floor");
+        std::process::exit(1);
+    }
+}

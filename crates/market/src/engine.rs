@@ -144,6 +144,23 @@ impl MarketConfig {
         self
     }
 
+    /// Whether two configs describe the same market up to the capacity
+    /// *values*. The sharded serving tier reallots capacity between shards
+    /// at runtime via [`MarketEvent::CapacityRealloted`], so a recovered
+    /// checkpoint may legitimately carry a different capacity than the boot
+    /// config — but every tuning knob and the resource arity must match,
+    /// or the WAL belongs to a different market.
+    pub fn compatible_with(&self, other: &MarketConfig) -> bool {
+        self.capacity.num_resources() == other.capacity.num_resources()
+            && self.realloc_tolerance == other.realloc_tolerance
+            && self.audit_tolerance == other.audit_tolerance
+            && self.warmup_epochs == other.warmup_epochs
+            && self.excitation == other.excitation
+            && self.enforcement_quanta == other.enforcement_quanta
+            && self.sim_instructions == other.sim_instructions
+            && self.seed == other.seed
+    }
+
     /// Checks the tuning parameters.
     pub(crate) fn validate(&self) -> Result<()> {
         if !(self.realloc_tolerance.is_finite() && self.realloc_tolerance > 0.0) {
@@ -377,6 +394,25 @@ impl MarketEngine {
                 }
                 Ok(None)
             }
+            MarketEvent::CapacityRealloted { capacity } => {
+                let current = self.config.capacity.num_resources();
+                if capacity.len() != current {
+                    return Err(MarketError::InvalidArgument(format!(
+                        "reallotment has {} resources, market has {current}",
+                        capacity.len()
+                    )));
+                }
+                let capacity = Capacity::new(capacity)?;
+                // The capacity participates in the allocation fingerprint,
+                // so dropping the cache here is belt-and-braces; the warmup
+                // restart mirrors membership churn — allotments settling
+                // between shards should not trip the fairness audit.
+                self.config.capacity = capacity;
+                self.cache = None;
+                self.metrics.reallotments += 1;
+                self.stable_since = self.epoch;
+                Ok(None)
+            }
             MarketEvent::EpochTick => self.run_epoch().map(Some),
         }
     }
@@ -565,6 +601,22 @@ impl MarketEngine {
     /// The next epoch number to execute.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Per-resource sum of the live agents' *reported* elasticities — the
+    /// demand summary a cross-shard coordinator exchanges to rebalance
+    /// capacity allotments between shards. Cheap (one pass over the
+    /// population) and derived purely from reported utilities, so it leaks
+    /// nothing beyond what the allocation mechanism already uses.
+    pub fn aggregate_demand(&self) -> Vec<f64> {
+        let mut demand = vec![0.0; self.config.capacity.num_resources()];
+        for agent in self.population.values() {
+            let reported = agent.reported_utility();
+            for (d, e) in demand.iter_mut().zip(reported.elasticities()) {
+                *d += e;
+            }
+        }
+        demand
     }
 
     /// Number of live agents.

@@ -74,6 +74,17 @@ pub enum MarketEvent {
         /// Measured performance (e.g. IPC); must be finite and positive.
         performance: f64,
     },
+    /// Replace the market's per-resource capacity allotment. Used by the
+    /// sharded serving tier's cross-shard coordinator to rebalance capacity
+    /// between shards between epochs; flowing the change through the event
+    /// stream (rather than mutating config out of band) keeps the WAL,
+    /// journal, and replication stream a complete record — a shard's journal
+    /// replays byte-for-byte regardless of what the coordinator did.
+    CapacityRealloted {
+        /// New per-resource capacities; must have the same arity as the
+        /// current capacity, and every entry must be finite and positive.
+        capacity: Vec<f64>,
+    },
     /// Advance the market by one epoch: refit, reallocate, enforce, audit,
     /// observe.
     EpochTick,

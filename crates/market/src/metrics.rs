@@ -66,6 +66,9 @@ pub struct MarketMetrics {
     /// quarantined (counted per transition into quarantine, not per
     /// quarantined epoch).
     pub quarantines: u64,
+    /// Capacity reallotments applied (cross-shard coordination updates
+    /// delivered as [`crate::MarketEvent::CapacityRealloted`]).
+    pub reallotments: u64,
 }
 
 impl MarketMetrics {
@@ -93,7 +96,7 @@ impl MarketMetrics {
              \"demand_changes\":{},\"external_observations\":{},\
              \"reallocations\":{},\"cache_hits\":{},\"refits\":{},\
              \"rejected_events\":{},\"degenerate_refits\":{},\
-             \"quarantines\":{},\"cache_hit_rate\":{}}}",
+             \"quarantines\":{},\"reallotments\":{},\"cache_hit_rate\":{}}}",
             self.epochs,
             self.events,
             self.joins,
@@ -106,6 +109,7 @@ impl MarketMetrics {
             self.rejected_events,
             self.degenerate_refits,
             self.quarantines,
+            self.reallotments,
             json_f64(self.cache_hit_rate())
         )
     }
@@ -130,6 +134,7 @@ impl MarketMetrics {
             ("refmarket_rejected_events", self.rejected_events),
             ("refmarket_degenerate_refits", self.degenerate_refits),
             ("refmarket_quarantines", self.quarantines),
+            ("refmarket_reallotments", self.reallotments),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }
@@ -285,6 +290,7 @@ mod tests {
             rejected_events: 5,
             degenerate_refits: 2,
             quarantines: 1,
+            reallotments: 8,
         };
         assert_eq!(
             m.to_json(),
@@ -292,9 +298,9 @@ mod tests {
              \"demand_changes\":2,\"external_observations\":7,\
              \"reallocations\":4,\"cache_hits\":6,\"refits\":9,\
              \"rejected_events\":5,\"degenerate_refits\":2,\
-             \"quarantines\":1,\"cache_hit_rate\":0.6}"
+             \"quarantines\":1,\"reallotments\":8,\"cache_hit_rate\":0.6}"
         );
-        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 13);
+        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 14);
     }
 
     #[test]
@@ -306,8 +312,8 @@ mod tests {
         };
         let text = m.to_text();
         assert!(text.starts_with("refmarket_epochs 2\nrefmarket_events 3\n"));
-        assert_eq!(text.lines().count(), 12);
-        assert!(text.ends_with("refmarket_quarantines 0\n"));
+        assert_eq!(text.lines().count(), 13);
+        assert!(text.ends_with("refmarket_reallotments 0\n"));
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl MarketSnapshot {
         let m = &self.metrics;
         let _ = writeln!(
             out,
-            "metrics {} {} {} {} {} {} {} {} {} {} {} {}",
+            "metrics {} {} {} {} {} {} {} {} {} {} {} {} {}",
             m.epochs,
             m.events,
             m.joins,
@@ -140,7 +140,8 @@ impl MarketSnapshot {
             m.refits,
             m.rejected_events,
             m.degenerate_refits,
-            m.quarantines
+            m.quarantines,
+            m.reallotments
         );
 
         match &self.cache {
@@ -257,7 +258,7 @@ impl MarketSnapshot {
             ef_after_warmup: a[5],
             pe_after_warmup: a[6],
         };
-        let m = lines.tagged_u64s("metrics", 12)?;
+        let m = lines.tagged_u64s("metrics", 13)?;
         let metrics = MarketMetrics {
             epochs: m[0],
             events: m[1],
@@ -271,6 +272,7 @@ impl MarketSnapshot {
             rejected_events: m[9],
             degenerate_refits: m[10],
             quarantines: m[11],
+            reallotments: m[12],
         };
 
         let cache = match lines.tagged("cache")? {

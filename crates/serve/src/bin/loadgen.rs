@@ -9,8 +9,13 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--duration-ms 700] [--out BENCH_serve.json]
-//!         [--levels 2,8,32]
+//!         [--levels 2,8,32] [--shards N]
 //! ```
+//!
+//! `--shards N` boots the in-process server with `N` market shards
+//! behind the consistent-hash router; the replay check then proves
+//! every shard's journal byte-identical to an offline replay of that
+//! shard alone.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -26,6 +31,7 @@ struct Args {
     duration_ms: u64,
     out: String,
     levels: Vec<usize>,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         duration_ms: 700,
         out: "BENCH_serve.json".to_string(),
         levels: vec![2, 8, 32],
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -46,6 +53,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --duration-ms: {e}"))?;
             }
             "--out" => args.out = value("--out")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
             "--levels" => {
                 args.levels = value("--levels")?
                     .split(',')
@@ -223,6 +238,7 @@ fn main() {
     let local = if args.addr.is_none() {
         let config = ServeConfig::new(market())
             .with_epoch_interval(Some(Duration::from_millis(2)))
+            .with_shards(args.shards)
             .with_quotas(Quotas {
                 control: 256,
                 observe: 8,
@@ -265,7 +281,22 @@ fn main() {
     if let Some(server) = local {
         let report = server.shutdown();
         protocol_errors = Value::from_u64(report.metrics.protocol_errors);
-        let identical = if report.journal_overflowed {
+        let identical = if args.shards > 1 {
+            // Sharded: every shard's journal must replay to that
+            // shard's snapshot against its starting (equal-split)
+            // config; coordinator reallotments are journaled events.
+            report.shards.iter().all(|shard| {
+                if shard.journal_overflowed {
+                    eprintln!("loadgen: shard {} journal overflowed", shard.shard);
+                    return false;
+                }
+                let shard_config = ref_serve::shard_market_config(&market(), args.shards);
+                match ref_serve::replay(shard_config, &shard.journal) {
+                    Ok(engine) => engine.snapshot().encode() == shard.snapshot,
+                    Err(_) => false,
+                }
+            })
+        } else if report.journal_overflowed {
             eprintln!("loadgen: journal overflowed; raise the limit for replay checks");
             false
         } else {
@@ -292,6 +323,7 @@ fn main() {
     let doc = Value::obj(vec![
         ("bench", Value::str("serve")),
         ("duration_ms", Value::from_u64(args.duration_ms)),
+        ("shards", Value::from_u64(args.shards as u64)),
         (
             "levels",
             Value::Arr(results.iter().map(LevelResult::to_json).collect()),

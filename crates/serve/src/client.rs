@@ -17,6 +17,7 @@
 //! applied twice, which the market tolerates (duplicate joins are
 //! rejected, duplicate observations only add weight).
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -117,6 +118,10 @@ pub enum ClientError {
         retry_after_ms: Option<u64>,
         /// Leader address attached to `not_primary` redirects.
         leader: Option<String>,
+        /// Shard index attached to redirects from an externally sharded
+        /// deployment (each shard is its own replicated pair; the hint
+        /// scopes the leader to that shard's routing slot).
+        shard: Option<u64>,
     },
 }
 
@@ -160,8 +165,11 @@ pub struct Client {
     current: String,
     /// Alternative node addresses for failover (may be empty).
     seeds: Vec<String>,
-    /// Where the cluster last said the primary lives.
-    leader_hint: Option<String>,
+    /// Where the cluster last said each shard's primary lives, keyed by
+    /// the redirect's `shard` tag (an untagged deployment uses slot 0).
+    /// Keeping the hints per shard means a redirect from one shard's
+    /// standby never discards what we know about the others.
+    leader_hints: HashMap<u64, String>,
 }
 
 impl Client {
@@ -180,7 +188,7 @@ impl Client {
             writer,
             current,
             seeds: Vec::new(),
-            leader_hint: None,
+            leader_hints: HashMap::new(),
         })
     }
 
@@ -223,13 +231,25 @@ impl Client {
     ///
     /// [`ClientError::Io`] when no candidate is reachable.
     pub fn redial(&mut self) -> Result<(), ClientError> {
+        self.redial_for(None)
+    }
+
+    /// [`Client::redial`] scoped to one shard's routing slot: only that
+    /// shard's leader hint is consumed, so a `not_primary` redirect
+    /// bouncing between one shard's pair leaves the hints (and thereby
+    /// the seeds) serving other shards untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when no candidate is reachable.
+    pub fn redial_for(&mut self, shard: Option<u64>) -> Result<(), ClientError> {
         let mut worklist: Vec<String> = Vec::new();
         let push = |list: &mut Vec<String>, addr: String| {
             if !addr.is_empty() && !list.contains(&addr) {
                 list.push(addr);
             }
         };
-        if let Some(hint) = self.leader_hint.take() {
+        if let Some(hint) = self.leader_hints.remove(&shard.unwrap_or(0)) {
             push(&mut worklist, hint);
         }
         push(&mut worklist, self.current.clone());
@@ -320,6 +340,7 @@ impl Client {
                     .get("leader")
                     .and_then(Value::as_str)
                     .map(str::to_string),
+                shard: reply.get("shard").and_then(Value::as_u64),
             }),
             _ => Err(ClientError::Protocol(format!(
                 "reply missing \"ok\" field: {reply}"
@@ -407,18 +428,19 @@ impl Client {
             if attempt >= opts.retries {
                 return Err(error);
             }
-            let hint = match &error {
+            let (hint, shard) = match &error {
                 ClientError::Server {
                     retry_after_ms,
                     leader,
+                    shard,
                     ..
                 } => {
                     if let Some(leader) = leader {
-                        self.leader_hint = Some(leader.clone());
+                        self.leader_hints.insert(shard.unwrap_or(0), leader.clone());
                     }
-                    *retry_after_ms
+                    (*retry_after_ms, *shard)
                 }
-                _ => None,
+                _ => (None, None),
             };
             let backoff = opts.backoff(attempt, hint);
             if let Some(deadline) = opts.deadline {
@@ -433,7 +455,7 @@ impl Client {
                 // old (broken) connection and let the next attempt's
                 // error burn a retry rather than erroring out here —
                 // the cluster may still be mid-election.
-                let _ = self.redial();
+                let _ = self.redial_for(shard);
             }
             attempt += 1;
         }
@@ -652,7 +674,89 @@ impl Client {
 
 #[cfg(test)]
 mod tests {
+    use std::net::TcpListener;
+
     use super::*;
+
+    /// A single-use fake node: accepts one connection and answers every
+    /// line with `canned`. Returns its address.
+    fn fake_node(canned: &'static str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                    if writeln!(writer, "{canned}").is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                    line.clear();
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn server_errors_carry_the_shard_tag_of_redirects() {
+        let addr =
+            fake_node(r#"{"ok":false,"error":"not_primary","leader":"127.0.0.1:9","shard":2}"#);
+        let mut client = Client::connect(addr.as_str()).unwrap();
+        let err = client.ping().unwrap_err();
+        match err {
+            ClientError::Server {
+                code,
+                leader,
+                shard,
+                ..
+            } => {
+                assert_eq!(code, "not_primary");
+                assert_eq!(leader.as_deref(), Some("127.0.0.1:9"));
+                assert_eq!(shard, Some(2));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redial_consumes_only_the_target_shards_hint() {
+        // Shard 2's hint points at a live primary; shard 0's hint is a
+        // different address that must survive the shard-2 redial intact.
+        let primary = fake_node(r#"{"ok":true,"role":"primary","term":1}"#);
+        let start = fake_node(r#"{"ok":true,"role":"primary","term":1}"#);
+        let mut client = Client::connect(start.as_str()).unwrap();
+        client.leader_hints.insert(0, "127.0.0.1:1".to_string());
+        client.leader_hints.insert(2, primary.clone());
+        client.redial_for(Some(2)).unwrap();
+        assert_eq!(client.current_addr(), primary);
+        // The other shard's knowledge was not blacklisted or consumed.
+        assert_eq!(
+            client.leader_hints.get(&0).map(String::as_str),
+            Some("127.0.0.1:1")
+        );
+        assert!(!client.leader_hints.contains_key(&2));
+    }
+
+    #[test]
+    fn failover_on_a_shardless_redirect_follows_the_leader_hint() {
+        let leader = fake_node(r#"{"ok":true,"role":"primary","term":3,"epoch":0}"#);
+        // A standby that always redirects to the leader, without a shard
+        // tag (the classic single-market deployment).
+        let canned: &'static str = Box::leak(
+            format!(r#"{{"ok":false,"error":"not_primary","leader":"{leader}"}}"#).into_boxed_str(),
+        );
+        let standby = fake_node(canned);
+        let mut client = Client::connect(standby.as_str()).unwrap();
+        let opts = CallOpts::default().with_retries(2);
+        let (reply, retries) = client
+            .call_with(&Value::obj(vec![("op", Value::str("ping"))]), &opts)
+            .unwrap();
+        assert!(retries >= 1);
+        assert_eq!(reply.get("term").and_then(Value::as_u64), Some(3));
+        assert_eq!(client.current_addr(), leader);
+    }
 
     #[test]
     fn backoff_is_deterministic_capped_and_floored() {

@@ -114,7 +114,10 @@ impl ServiceCore {
         let recovery = Wal::open(wal_config, faults.clone())?;
         let mut engine = match &recovery.checkpoint {
             Some((_, snapshot)) => {
-                if snapshot.config != config {
+                // Capacity values are excluded from the check: the
+                // sharded coordinator reallots capacity at runtime, and
+                // the journaled reallotments restore the exact split.
+                if !snapshot.config.compatible_with(&config) {
                     return Err(invalid(
                         "wal directory belongs to a different market configuration".to_string(),
                     ));
@@ -370,7 +373,7 @@ impl ServiceCore {
     ) -> std::io::Result<()> {
         let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
         let snapshot = MarketSnapshot::decode(snapshot_text).map_err(|e| invalid(e.to_string()))?;
-        if &snapshot.config != self.engine.config() {
+        if !snapshot.config.compatible_with(self.engine.config()) {
             return Err(invalid(
                 "replication snapshot belongs to a different market configuration".to_string(),
             ));
@@ -505,7 +508,7 @@ impl ServiceCore {
             ),
             // Like Shutdown: the transport answers these (ping straight
             // on the reader thread, promote in the ticker's role logic).
-            Request::Ping => {
+            Request::Ping { .. } => {
                 error_response("protocol", Some("ping is handled by the transport"), None)
             }
             Request::Promote => error_response(
@@ -518,6 +521,7 @@ impl ServiceCore {
             | Request::Leave { .. }
             | Request::Demand { .. }
             | Request::Observe { .. }
+            | Request::Reallot { .. }
             | Request::Tick => unreachable!("event-bearing request fell through"),
         }
     }

@@ -42,6 +42,13 @@
 //!   per-epoch state fingerprints that detect a divergent replica and
 //!   fence it rather than ever promote it. [`Client`] fails over across
 //!   a seed list by following `not_primary` redirects and `ping`.
+//! * **Sharding** ([`shard`] + [`server`]'s router): optionally
+//!   partitions agents across N independent market shards via a seeded
+//!   consistent-hash ring. Each shard keeps its own ticker, bus, WAL
+//!   directory and journal (crash safety and replay compose per shard
+//!   unchanged); `tick` fans out to every shard and a cross-shard
+//!   coordinator rebalances per-resource capacity between shards after
+//!   each epoch, with a temporal-drift bound audited next to SI/EF/PE.
 //!
 //! # Quickstart
 //!
@@ -78,6 +85,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod repl;
 pub mod server;
+pub mod shard;
 pub mod wal;
 
 pub use bus::{Bus, Quotas, SendError};
@@ -88,5 +96,6 @@ pub use json::Value;
 pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, ServeMetricsSnapshot};
 pub use protocol::{parse_request, Class, Envelope, Request};
 pub use repl::{decode_frame, encode_frame, FrameDecode, ReplConfig, ReplShared, Role};
-pub use server::{ServeConfig, Server, ShutdownReport};
+pub use server::{ServeConfig, Server, ShardShutdown, ShutdownReport};
+pub use shard::{shard_market_config, CoordinationStatus, Coordinator, HashRing};
 pub use wal::{Recovery, Wal, WalConfig};

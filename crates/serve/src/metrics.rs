@@ -130,6 +130,10 @@ pub struct ServeMetrics {
     pub protocol_errors: AtomicU64,
     /// Epochs executed by the ticker.
     pub epochs: AtomicU64,
+    /// Queue depth observed at the shard's last drain (gauge); on a
+    /// sharded server each shard keeps its own, so scrapes see per-shard
+    /// backlog, not just the high-water mark.
+    pub queue_depth: AtomicU64,
     /// High-water mark of queue depth observed at drain time.
     pub queue_depth_max: AtomicU64,
     /// Events appended durably to the write-ahead log.
@@ -197,6 +201,7 @@ impl ServeMetrics {
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             epochs: self.epochs.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_errors: self.wal_errors.load(Ordering::Relaxed),
@@ -235,6 +240,8 @@ pub struct ServeMetricsSnapshot {
     pub protocol_errors: u64,
     /// Epochs executed.
     pub epochs: u64,
+    /// Queue depth at the last drain (gauge).
+    pub queue_depth: u64,
     /// Queue depth high-water mark.
     pub queue_depth_max: u64,
     /// Durable WAL appends.
@@ -282,6 +289,7 @@ impl ServeMetricsSnapshot {
             ("rejected_shutdown", Value::from_u64(self.rejected_shutdown)),
             ("protocol_errors", Value::from_u64(self.protocol_errors)),
             ("epochs", Value::from_u64(self.epochs)),
+            ("queue_depth", Value::from_u64(self.queue_depth)),
             ("queue_depth_max", Value::from_u64(self.queue_depth_max)),
             ("wal_appends", Value::from_u64(self.wal_appends)),
             ("wal_errors", Value::from_u64(self.wal_errors)),
@@ -314,6 +322,7 @@ impl ServeMetricsSnapshot {
             ("refserve_rejected_shutdown", self.rejected_shutdown),
             ("refserve_protocol_errors", self.protocol_errors),
             ("refserve_epochs", self.epochs),
+            ("refserve_queue_depth", self.queue_depth),
             ("refserve_queue_depth_max", self.queue_depth_max),
             ("refserve_wal_appends", self.wal_appends),
             ("refserve_wal_errors", self.wal_errors),
@@ -410,6 +419,7 @@ mod tests {
         assert!(text.contains("refserve_wal_segments 0\n"), "{text}");
         assert!(text.contains("refserve_standby_connected 0\n"), "{text}");
         assert!(text.contains("refserve_divergences 0\n"), "{text}");
-        assert_eq!(text.lines().count(), 27);
+        assert!(text.contains("refserve_queue_depth 0\n"), "{text}");
+        assert_eq!(text.lines().count(), 28);
     }
 }

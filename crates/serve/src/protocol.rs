@@ -7,8 +7,8 @@
 //! ```text
 //! request  = { "op": op, ...op fields..., "deadline_ms"?: number } "\n"
 //! op       = "join" | "leave" | "demand" | "observe" | "tick"
-//!          | "query" | "snapshot" | "metrics" | "journal" | "ping"
-//!          | "promote" | "shutdown"
+//!          | "reallot" | "query" | "snapshot" | "metrics" | "journal"
+//!          | "ping" | "promote" | "shutdown"
 //! response = { "ok": true,  ...result fields... } "\n"
 //!          | { "ok": false, "error": code, "detail"?: string,
 //!              "retry_after_ms"?: number, "leader"?: string } "\n"
@@ -21,9 +21,12 @@
 //! `ping` is answered directly on the reader thread from shared atomics
 //! (it must work even when the epoch loop is wedged) and returns
 //! `{role, term, epoch, wal_seq, uptime_ms, ...}` for health checks and
-//! leader discovery. `not_primary` rejections carry a `"leader"` hint
-//! (the current leader's client address, when known) so clients can
-//! fail over without walking their whole seed list.
+//! leader discovery; an optional `"agent"` argument asks the sharded
+//! router which shard owns that agent. `not_primary` rejections carry a
+//! `"leader"` hint (the current leader's client address, when known) so
+//! clients can fail over without walking their whole seed list, plus an
+//! optional `"shard"` tag so a redirect from one shard's standby does
+//! not poison the client's hints for seeds serving other shards.
 //!
 //! Every op maps to an admission [`Class`] so backpressure can be applied
 //! per class: a flood of cheap `query`s cannot crowd out `observe`s, and
@@ -82,6 +85,12 @@ pub enum Request {
     },
     /// Run one epoch now.
     Tick,
+    /// Replace the market's per-resource capacity (the sharded router's
+    /// cross-shard coordinator issues these; operators may too).
+    Reallot {
+        /// New per-resource capacities.
+        capacity: Vec<f64>,
+    },
     /// Inspect the market (or one agent).
     Query {
         /// Restrict the answer to this agent.
@@ -98,7 +107,10 @@ pub enum Request {
     Journal,
     /// Health-check: role, term, epoch, WAL sequence, uptime. Answered
     /// on the reader thread without touching the epoch loop.
-    Ping,
+    Ping {
+        /// When present, the reply reports which shard owns this agent.
+        agent: Option<AgentId>,
+    },
     /// Promote this server from standby to primary (bumps the term).
     Promote,
     /// Drain and stop the server; the reply carries the final snapshot.
@@ -113,6 +125,7 @@ impl Request {
             | Request::Leave { .. }
             | Request::Demand { .. }
             | Request::Tick
+            | Request::Reallot { .. }
             | Request::Promote
             | Request::Shutdown => Class::Control,
             Request::Observe { .. } => Class::Observe,
@@ -120,7 +133,7 @@ impl Request {
             | Request::Snapshot
             | Request::Metrics { .. }
             | Request::Journal
-            | Request::Ping => Class::Query,
+            | Request::Ping { .. } => Class::Query,
         }
     }
 
@@ -146,6 +159,9 @@ impl Request {
                 performance: *performance,
             }),
             Request::Tick => Some(MarketEvent::EpochTick),
+            Request::Reallot { capacity } => Some(MarketEvent::CapacityRealloted {
+                capacity: capacity.clone(),
+            }),
             _ => None,
         }
     }
@@ -232,6 +248,13 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             }
         }
         "tick" => Request::Tick,
+        "reallot" => Request::Reallot {
+            capacity: f64_array(
+                value
+                    .get("capacity")
+                    .ok_or_else(|| "reallot needs a \"capacity\" array".to_string())?,
+            )?,
+        },
         "query" => Request::Query {
             agent: agent(false)?,
         },
@@ -240,7 +263,9 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             text: value.get("format").and_then(Value::as_str) == Some("text"),
         },
         "journal" => Request::Journal,
-        "ping" => Request::Ping,
+        "ping" => Request::Ping {
+            agent: agent(false)?,
+        },
         "promote" => Request::Promote,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown op {other:?}")),
@@ -319,6 +344,10 @@ pub fn event_to_value(event: &MarketEvent) -> Value {
             ("allocation", Value::num_array(allocation)),
             ("performance", Value::Num(*performance)),
         ]),
+        MarketEvent::CapacityRealloted { capacity } => Value::obj(vec![
+            ("op", Value::str("reallot")),
+            ("capacity", Value::num_array(capacity)),
+        ]),
         MarketEvent::EpochTick => Value::obj(vec![("op", Value::str("tick"))]),
         // MarketEvent is non_exhaustive upstream; unknown variants cannot
         // be journaled faithfully, so refuse loudly rather than silently.
@@ -371,8 +400,10 @@ pub fn ok_response(fields: Vec<(&str, Value)>) -> Value {
 
 /// Builds the `not_primary` rejection a standby sends for mutations,
 /// carrying the current leader's client address when known so clients
-/// can fail over directly instead of walking their seed list.
-pub fn not_primary_response(leader: Option<&str>) -> Value {
+/// can fail over directly instead of walking their seed list. `shard`
+/// scopes the redirect when this node serves one shard of a sharded
+/// deployment: clients then update only that shard's leader hint.
+pub fn not_primary_response(leader: Option<&str>, shard: Option<u64>) -> Value {
     let mut pairs = vec![
         ("ok", Value::Bool(false)),
         ("error", Value::str("not_primary")),
@@ -383,6 +414,9 @@ pub fn not_primary_response(leader: Option<&str>) -> Value {
     ];
     if let Some(addr) = leader {
         pairs.push(("leader", Value::str(addr)));
+    }
+    if let Some(shard) = shard {
+        pairs.push(("shard", Value::from_u64(shard)));
     }
     Value::obj(pairs)
 }
@@ -416,12 +450,14 @@ mod tests {
                 Class::Observe,
             ),
             (r#"{"op":"tick"}"#, Class::Control),
+            (r#"{"op":"reallot","capacity":[8.0,4.0]}"#, Class::Control),
             (r#"{"op":"query"}"#, Class::Query),
             (r#"{"op":"query","agent":3}"#, Class::Query),
             (r#"{"op":"snapshot"}"#, Class::Query),
             (r#"{"op":"metrics","format":"text"}"#, Class::Query),
             (r#"{"op":"journal"}"#, Class::Query),
             (r#"{"op":"ping"}"#, Class::Query),
+            (r#"{"op":"ping","agent":9}"#, Class::Query),
             (r#"{"op":"promote"}"#, Class::Control),
             (r#"{"op":"shutdown"}"#, Class::Control),
         ];
@@ -452,6 +488,8 @@ mod tests {
             r#"{"op":"leave"}"#,
             r#"{"op":"observe","agent":1,"allocation":[1,"x"],"performance":1}"#,
             r#"{"op":"observe","agent":1,"allocation":[1,2]}"#,
+            r#"{"op":"reallot"}"#,
+            r#"{"op":"reallot","capacity":[1,"x"]}"#,
             r#"{"op":"join","agent":1,"source":{"kind":"truth","elasticities":[2.0,-1.0]}}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should fail");
@@ -491,6 +529,9 @@ mod tests {
                 performance: 1.25,
             },
             MarketEvent::AgentLeft { id: 2 },
+            MarketEvent::CapacityRealloted {
+                capacity: vec![12.5, 6.0],
+            },
             MarketEvent::EpochTick,
         ];
         for event in events {
@@ -513,6 +554,12 @@ mod tests {
         assert_eq!(
             error_response("market", Some("unknown agent 7"), None).encode(),
             "{\"ok\":false,\"error\":\"market\",\"detail\":\"unknown agent 7\"}"
+        );
+        assert_eq!(
+            not_primary_response(Some("127.0.0.1:9"), Some(2)).encode(),
+            "{\"ok\":false,\"error\":\"not_primary\",\
+             \"detail\":\"this node is a standby; send mutations to the primary\",\
+             \"leader\":\"127.0.0.1:9\",\"shard\":2}"
         );
     }
 }

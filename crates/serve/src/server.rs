@@ -22,6 +22,22 @@
 //! through the per-request channel. Graceful shutdown (the `shutdown` op
 //! or [`Server::shutdown`]) closes the bus, finishes every admitted
 //! request, flushes a final snapshot, and joins every thread.
+//!
+//! ## Sharded serving
+//!
+//! With [`ServeConfig::with_shards`] the server becomes a thin routing
+//! tier over N independent shards, each owning its own [`ServiceCore`],
+//! ticker thread, bounded bus, and WAL directory. Readers hash each
+//! agent-bearing request to its owning shard through a seeded
+//! consistent-hash ring ([`crate::shard::HashRing`]); `tick` fans out to
+//! every shard in parallel and merges the per-shard epoch reports;
+//! `snapshot`/`metrics`/`journal` aggregate with shard-tagged JSON.
+//! After every fleet-wide epoch a coordinator
+//! ([`crate::shard::Coordinator`]) rebalances capacity allotments
+//! between shards from their aggregate demand, delivering each change
+//! as a journaled `reallot` event so every shard's WAL stays a
+//! complete, byte-for-byte replayable history. With one shard (the
+//! default) the wire behavior is exactly the unsharded server's.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,17 +47,20 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ref_market::{MarketConfig, MarketEvent};
+use ref_market::{AgentId, MarketConfig, MarketEvent};
 
 use crate::bus::{Bus, Quotas, SendError};
 use crate::core::{JournalLimit, ReplApply, ServiceCore};
 use crate::fault::FaultPlan;
 use crate::json::Value;
 use crate::metrics::{ServeMetrics, ServeMetricsSnapshot};
-use crate::protocol::{error_response, not_primary_response, ok_response, parse_request, Request};
+use crate::protocol::{
+    error_response, not_primary_response, ok_response, parse_request, Envelope, Request,
+};
 use crate::repl::{
     fence_notify, repl_acceptor_loop, standby_loop, ReplCommand, ReplConfig, ReplShared, Role,
 };
+use crate::shard::{shard_market_config, CoordinationStatus, Coordinator, HashRing};
 use crate::wal::{self, WalConfig};
 
 /// Server tuning knobs.
@@ -78,6 +97,25 @@ pub struct ServeConfig {
     /// Deterministic fault injection (testing seam; injects nothing by
     /// default).
     pub faults: FaultPlan,
+    /// Number of market shards. 1 (the default) is the classic
+    /// single-core server with unchanged wire behavior; above 1 the
+    /// server routes agents across independent shards (see the module
+    /// docs). Sharding currently excludes in-process replication — run
+    /// one replicated pair per shard instead.
+    pub shards: usize,
+    /// Seed of the consistent-hash ring assigning agents to shards.
+    /// Every process that agrees on `(ring_seed, shards)` agrees on
+    /// placement.
+    pub ring_seed: u64,
+    /// When this server fronts exactly one shard of an externally
+    /// sharded deployment, tags `not_primary` redirects (and `ping`)
+    /// with that shard index so clients scope their leader hints.
+    pub shard_tag: Option<u64>,
+    /// Cross-shard coordination audit: after the coordinator's warmup
+    /// rounds, the temporal drift between shard allotments and the
+    /// instantaneous fair targets must stay within this fraction of
+    /// total capacity.
+    pub drift_bound: f64,
 }
 
 impl ServeConfig {
@@ -95,6 +133,10 @@ impl ServeConfig {
             wal: None,
             repl: None,
             faults: FaultPlan::default(),
+            shards: 1,
+            ring_seed: 0x5EED,
+            shard_tag: None,
+            drift_bound: 0.25,
         }
     }
 
@@ -139,6 +181,30 @@ impl ServeConfig {
         self.faults = faults;
         self
     }
+
+    /// Sets the number of market shards (at least 1).
+    pub fn with_shards(mut self, shards: usize) -> ServeConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the consistent-hash ring seed.
+    pub fn with_ring_seed(mut self, seed: u64) -> ServeConfig {
+        self.ring_seed = seed;
+        self
+    }
+
+    /// Tags this server as one shard of an externally sharded fleet.
+    pub fn with_shard_tag(mut self, shard: u64) -> ServeConfig {
+        self.shard_tag = Some(shard);
+        self
+    }
+
+    /// Sets the cross-shard temporal-drift audit bound.
+    pub fn with_drift_bound(mut self, bound: f64) -> ServeConfig {
+        self.drift_bound = bound;
+        self
+    }
 }
 
 /// One item riding the bus into the ticker: an admitted client request,
@@ -171,13 +237,32 @@ pub struct ShutdownReport {
     pub metrics: ServeMetricsSnapshot,
     /// Market counters at shutdown, as their stable JSON line.
     pub market_metrics_json: String,
+    /// Per-shard reports, one per shard in shard order. With one shard
+    /// this holds a single entry mirroring the legacy top-level fields.
+    pub shards: Vec<ShardShutdown>,
+}
+
+/// One shard's share of a [`ShutdownReport`].
+#[derive(Debug)]
+pub struct ShardShutdown {
+    /// The shard index.
+    pub shard: usize,
+    /// The shard's final market snapshot (text wire format).
+    pub snapshot: String,
+    /// The shard's accepted-event journal (empty if it overflowed).
+    pub journal: Vec<MarketEvent>,
+    /// Whether this shard's journal overflowed its retention cap.
+    pub journal_overflowed: bool,
+    /// The shard's server counters at shutdown.
+    pub metrics: ServeMetricsSnapshot,
+    /// The shard's market counters, as their stable JSON line.
+    pub market_metrics_json: String,
 }
 
 pub(crate) struct Shared {
     pub(crate) bus: Bus<Item>,
     pub(crate) metrics: ServeMetrics,
     pub(crate) stop: AtomicBool,
-    pub(crate) open_connections: AtomicUsize,
     pub(crate) retired: Mutex<Option<ServiceCore>>,
     /// Replication state, when configured.
     pub(crate) repl: Option<Arc<ReplShared>>,
@@ -185,7 +270,49 @@ pub(crate) struct Shared {
     pub(crate) epoch: AtomicU64,
     /// Ticker-exported WAL sequence (events applied), ditto.
     pub(crate) wal_seq: AtomicU64,
+    /// Ticker-exported aggregate demand (per-resource sum of reported
+    /// elasticities), refreshed after every epoch; the cross-shard
+    /// coordinator's input.
+    pub(crate) demand: Mutex<Vec<f64>>,
+}
+
+/// Router state shared by the acceptor and every reader: the shards,
+/// the placement ring, and the cross-shard coordinator.
+pub(crate) struct Router {
+    pub(crate) shards: Vec<Arc<Shared>>,
+    pub(crate) ring: HashRing,
+    pub(crate) stop: AtomicBool,
+    pub(crate) open_connections: AtomicUsize,
     pub(crate) started: Instant,
+    pub(crate) coord: Mutex<Coordinator>,
+}
+
+impl Router {
+    /// Whether the transport should wind down: an explicit stop, or
+    /// every shard's ticker has retired its core.
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+            || self
+                .shards
+                .iter()
+                .all(|shard| shard.stop.load(Ordering::SeqCst))
+    }
+
+    /// Transport-level counters (connection accounting, protocol
+    /// errors) live on shard 0's metrics, which is also the whole
+    /// server's metrics in the single-shard case.
+    fn metrics(&self) -> &ServeMetrics {
+        &self.shards[0].metrics
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("shards", &self.shards.len())
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 /// A running ref-serve instance.
@@ -193,10 +320,11 @@ pub(crate) struct Shared {
 pub struct Server {
     addr: SocketAddr,
     repl_addr: Option<SocketAddr>,
-    shared: Arc<Shared>,
+    router: Arc<Router>,
     config: ServeConfig,
     acceptor: Option<JoinHandle<()>>,
-    ticker: Option<JoinHandle<()>>,
+    tickers: Vec<JoinHandle<()>>,
+    coordinator: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     repl_threads: Vec<JoinHandle<()>>,
     repl_handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -222,15 +350,17 @@ impl Server {
     /// `InvalidInput` error directing the caller to [`Server::recover`],
     /// so a fresh boot can never silently shadow recoverable history.
     pub fn start(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
-        if let Some(wal_config) = &config.wal {
-            if wal::dir_has_state(&wal_config.dir)? {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    format!(
-                        "wal directory {:?} already holds state; use Server::recover",
-                        wal_config.dir
-                    ),
-                ));
+        for shard in 0..config.shards.max(1) {
+            if let Some(wal_config) = shard_wal_config(&config, shard) {
+                if wal::dir_has_state(&wal_config.dir)? {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!(
+                            "wal directory {:?} already holds state; use Server::recover",
+                            wal_config.dir
+                        ),
+                    ));
+                }
             }
         }
         Server::launch(addr, config)
@@ -260,29 +390,56 @@ impl Server {
     }
 
     fn launch(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        if config.shards == 0 {
+            return Err(invalid("a server needs at least one shard"));
+        }
         if config.repl.is_some() && config.wal.is_none() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
+            return Err(invalid(
                 "replication requires a write-ahead log (ServeConfig::with_wal)",
             ));
         }
-        let mut core = match &config.wal {
-            Some(wal_config) => ServiceCore::recover(
-                config.market.clone(),
-                config.journal_limit,
-                wal_config.clone(),
-                config.faults.clone(),
-            )?,
-            None => ServiceCore::new(config.market.clone(), config.journal_limit)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?
-                .with_faults(config.faults.clone()),
-        };
+        if config.repl.is_some() && config.shards > 1 {
+            return Err(invalid(
+                "in-process replication composes per shard: run one replicated \
+                 pair per shard (ServeConfig::with_shard_tag) instead of \
+                 replicating a sharded router",
+            ));
+        }
+        let n = config.shards;
+
+        // One core per shard. Each shard's market starts from the equal
+        // capacity split (the coordinator reallots from there) and owns
+        // its own WAL directory, so crash recovery and replay stay
+        // strictly per shard.
+        let mut cores = Vec::with_capacity(n);
+        for shard in 0..n {
+            let market = if n == 1 {
+                config.market.clone()
+            } else {
+                shard_market_config(&config.market, n)
+            };
+            let core = match shard_wal_config(&config, shard) {
+                Some(wal_config) => ServiceCore::recover(
+                    market,
+                    config.journal_limit,
+                    wal_config,
+                    config.faults.clone(),
+                )?,
+                None => ServiceCore::new(market, config.journal_limit)
+                    .map_err(|e| invalid(&e.to_string()))?
+                    .with_faults(config.faults.clone()),
+            };
+            cores.push(core);
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
         // Bind the replication listener before any thread starts, so a
         // bad address fails the launch instead of a background thread.
+        // Replication is single-shard (validated above): it attaches to
+        // shard 0's core.
         let repl_setup = match &config.repl {
             Some(repl_config) => {
                 let wal_dir = config.wal.as_ref().expect("checked above").dir.clone();
@@ -291,41 +448,92 @@ impl Server {
                 let repl_addr = repl_listener.local_addr()?;
                 let repl = Arc::new(ReplShared::new(repl_config.clone(), wal_dir));
                 repl.set_self_addrs(addr.to_string(), repl_addr.to_string());
-                core.attach_repl(Arc::clone(&repl));
+                cores[0].attach_repl(Arc::clone(&repl));
                 Some((repl, repl_listener, repl_addr))
             }
             None => None,
         };
 
-        let shared = Arc::new(Shared {
-            bus: Bus::new(config.quotas),
-            metrics: ServeMetrics::new(),
+        let resources = config.market.capacity.num_resources();
+        let shards: Vec<Arc<Shared>> = cores
+            .iter()
+            .enumerate()
+            .map(|(shard, core)| {
+                Arc::new(Shared {
+                    bus: Bus::new(config.quotas),
+                    metrics: ServeMetrics::new(),
+                    stop: AtomicBool::new(false),
+                    retired: Mutex::new(None),
+                    repl: if shard == 0 {
+                        repl_setup.as_ref().map(|(repl, _, _)| Arc::clone(repl))
+                    } else {
+                        None
+                    },
+                    epoch: AtomicU64::new(core.engine().epoch()),
+                    wal_seq: AtomicU64::new(core.events_applied()),
+                    demand: Mutex::new(vec![0.0; resources]),
+                })
+            })
+            .collect();
+        let router = Arc::new(Router {
+            ring: HashRing::new(n, config.ring_seed),
             stop: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
-            retired: Mutex::new(None),
-            repl: repl_setup.as_ref().map(|(repl, _, _)| Arc::clone(repl)),
-            epoch: AtomicU64::new(core.engine().epoch()),
-            wal_seq: AtomicU64::new(core.events_applied()),
             started: Instant::now(),
+            coord: Mutex::new(Coordinator::new(
+                config.market.capacity.as_slice().to_vec(),
+                n,
+                config.drift_bound,
+            )),
+            shards,
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let repl_handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let ticker = {
-            let shared = Arc::clone(&shared);
+        // In sharded mode the shard tickers run no clocks of their own:
+        // the coordinator fans synchronized ticks to every shard, so
+        // epochs advance in lockstep fleet-wide.
+        let ticker_config = if n == 1 {
+            config.clone()
+        } else {
+            config.clone().with_epoch_interval(None)
+        };
+        let tickers: Vec<JoinHandle<()>> = cores
+            .into_iter()
+            .enumerate()
+            .map(|(shard, core)| {
+                let shared = Arc::clone(&router.shards[shard]);
+                let config = ticker_config.clone();
+                let name = if n == 1 {
+                    "ref-serve-ticker".to_string()
+                } else {
+                    format!("ref-serve-ticker-{shard}")
+                };
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || ticker_loop(core, &shared, &config))
+                    .expect("spawn ticker")
+            })
+            .collect();
+        let coordinator = if n > 1 && config.epoch_interval.is_some() {
+            let router = Arc::clone(&router);
             let config = config.clone();
-            std::thread::Builder::new()
-                .name("ref-serve-ticker".to_string())
-                .spawn(move || ticker_loop(core, &shared, &config))
-                .expect("spawn ticker")
+            Some(
+                std::thread::Builder::new()
+                    .name("ref-serve-coord".to_string())
+                    .spawn(move || coordinator_loop(&router, &config))
+                    .expect("spawn coordinator"),
+            )
+        } else {
+            None
         };
         let acceptor = {
-            let shared = Arc::clone(&shared);
+            let router = Arc::clone(&router);
             let readers = Arc::clone(&readers);
             let config = config.clone();
             std::thread::Builder::new()
                 .name("ref-serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(listener, &shared, &readers, &config))
+                .spawn(move || acceptor_loop(listener, &router, &readers, &config))
                 .expect("spawn acceptor")
         };
 
@@ -334,7 +542,7 @@ impl Server {
         if let Some((repl, repl_listener, bound)) = repl_setup {
             repl_addr = Some(bound);
             {
-                let shared = Arc::clone(&shared);
+                let shared = Arc::clone(&router.shards[0]);
                 let handlers = Arc::clone(&repl_handlers);
                 repl_threads.push(
                     std::thread::Builder::new()
@@ -344,7 +552,7 @@ impl Server {
                 );
             }
             if repl.config().standby_of.is_some() {
-                let shared = Arc::clone(&shared);
+                let shared = Arc::clone(&router.shards[0]);
                 repl_threads.push(
                     std::thread::Builder::new()
                         .name("ref-serve-standby".to_string())
@@ -357,10 +565,11 @@ impl Server {
         Ok(Server {
             addr,
             repl_addr,
-            shared,
+            router,
             config,
             acceptor: Some(acceptor),
-            ticker: Some(ticker),
+            tickers,
+            coordinator,
             readers,
             repl_threads,
             repl_handlers,
@@ -381,7 +590,7 @@ impl Server {
     /// The node's current replication role (`Primary` for an
     /// unreplicated server).
     pub fn role(&self) -> Role {
-        self.shared
+        self.router.shards[0]
             .repl
             .as_ref()
             .map_or(Role::Primary, |repl| repl.role())
@@ -389,7 +598,10 @@ impl Server {
 
     /// The node's current replication term (0 when unreplicated).
     pub fn term(&self) -> u64 {
-        self.shared.repl.as_ref().map_or(0, |repl| repl.term())
+        self.router.shards[0]
+            .repl
+            .as_ref()
+            .map_or(0, |repl| repl.term())
     }
 
     /// The configuration the server was started with.
@@ -397,14 +609,53 @@ impl Server {
         &self.config
     }
 
-    /// Point-in-time server counters.
+    /// Point-in-time server counters. On a sharded server these are
+    /// shard 0's counters, which also carry the transport-level counts
+    /// (connections, protocol errors, reader panics) for the whole
+    /// server; see [`Server::shard_metrics`] for the rest.
     pub fn metrics(&self) -> ServeMetricsSnapshot {
-        self.shared.metrics.snapshot()
+        self.router.metrics().snapshot()
     }
 
-    /// Current bus depth (queued, un-drained requests).
+    /// Point-in-time counters of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn shard_metrics(&self, shard: usize) -> ServeMetricsSnapshot {
+        self.router.shards[shard].metrics.snapshot()
+    }
+
+    /// Number of market shards this server runs.
+    pub fn shards(&self) -> usize {
+        self.router.shards.len()
+    }
+
+    /// The shard that owns `agent` under the configured ring.
+    pub fn shard_of(&self, agent: AgentId) -> usize {
+        self.router.ring.shard_of(agent)
+    }
+
+    /// The cross-shard coordinator's status, when this server is
+    /// sharded (`None` on a single-shard server, which needs no
+    /// coordination).
+    pub fn coordination(&self) -> Option<CoordinationStatus> {
+        if self.router.shards.len() == 1 {
+            return None;
+        }
+        Some(
+            self.router
+                .coord
+                .lock()
+                .expect("coord lock poisoned")
+                .status(),
+        )
+    }
+
+    /// Current bus depth (queued, un-drained requests), summed across
+    /// shards.
     pub fn queue_depth(&self) -> usize {
-        self.shared.bus.depth()
+        self.router.shards.iter().map(|s| s.bus.depth()).sum()
     }
 
     /// Gracefully stops the server: drains every admitted request, runs
@@ -413,7 +664,9 @@ impl Server {
         // Closing the bus is the drain signal: unlike a synthetic
         // shutdown item, it cannot be bounced by a full control quota,
         // and it is a no-op if a wire shutdown already closed the bus.
-        self.shared.bus.close();
+        for shared in &self.router.shards {
+            shared.bus.close();
+        }
         self.collect()
     }
 
@@ -421,7 +674,7 @@ impl Server {
     /// joins the transport threads and returns the report. Unlike
     /// [`Server::shutdown`], this does not stop the server itself.
     pub fn wait(mut self) -> ShutdownReport {
-        if let Some(handle) = self.ticker.take() {
+        for handle in std::mem::take(&mut self.tickers) {
             let _ = handle.join();
         }
         self.collect()
@@ -429,27 +682,52 @@ impl Server {
 
     fn collect(mut self) -> ShutdownReport {
         self.join_threads();
-        let core = self
-            .shared
-            .retired
-            .lock()
-            .expect("retired lock poisoned")
-            .take()
-            .expect("ticker always retires the core");
+        let shards: Vec<ShardShutdown> = self
+            .router
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, shared)| {
+                let core = shared
+                    .retired
+                    .lock()
+                    .expect("retired lock poisoned")
+                    .take()
+                    .expect("ticker always retires the core");
+                ShardShutdown {
+                    shard,
+                    snapshot: core.final_snapshot(),
+                    journal: core.journal().to_vec(),
+                    journal_overflowed: core.journal_overflowed(),
+                    metrics: shared.metrics.snapshot(),
+                    market_metrics_json: core.engine().metrics().to_json(),
+                }
+            })
+            .collect();
+        // The legacy top-level fields mirror shard 0, which for a
+        // single-shard server (the default) is the whole story.
+        let first = &shards[0];
         ShutdownReport {
-            snapshot: core.final_snapshot(),
-            journal: core.journal().to_vec(),
-            journal_overflowed: core.journal_overflowed(),
-            metrics: self.shared.metrics.snapshot(),
-            market_metrics_json: core.engine().metrics().to_json(),
+            snapshot: first.snapshot.clone(),
+            journal: first.journal.clone(),
+            journal_overflowed: first.journal_overflowed,
+            metrics: first.metrics.clone(),
+            market_metrics_json: first.market_metrics_json.clone(),
+            shards,
         }
     }
 
     fn join_threads(&mut self) {
-        if let Some(handle) = self.ticker.take() {
+        for handle in std::mem::take(&mut self.tickers) {
             let _ = handle.join();
         }
-        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+        self.router.stop.store(true, Ordering::SeqCst);
+        for shared in &self.router.shards {
+            shared.stop.store(true, Ordering::SeqCst);
+        }
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
@@ -475,29 +753,44 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.ticker.is_some() || self.acceptor.is_some() {
-            self.shared.bus.close();
+        if !self.tickers.is_empty() || self.acceptor.is_some() {
+            for shared in &self.router.shards {
+                shared.bus.close();
+            }
             self.join_threads();
         }
     }
 }
 
+/// The WAL configuration of one shard: the configured directory itself
+/// for a single-shard server (bit-compatible with every pre-sharding
+/// deployment), a `shard-<k>` subdirectory per shard otherwise.
+fn shard_wal_config(config: &ServeConfig, shard: usize) -> Option<WalConfig> {
+    let wal = config.wal.as_ref()?;
+    if config.shards <= 1 {
+        return Some(wal.clone());
+    }
+    let mut wal = wal.clone();
+    wal.dir = wal.dir.join(format!("shard-{shard}"));
+    Some(wal)
+}
+
 fn acceptor_loop(
     listener: TcpListener,
-    shared: &Arc<Shared>,
+    router: &Arc<Router>,
     readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
     config: &ServeConfig,
 ) {
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
+        if router.stopped() {
             return;
         }
         reap_finished_readers(readers);
         match listener.accept() {
             Ok((stream, _)) => {
-                ServeMetrics::bump(&shared.metrics.connections);
-                if shared.open_connections.load(Ordering::SeqCst) >= config.max_connections {
-                    ServeMetrics::bump(&shared.metrics.rejected_overload);
+                ServeMetrics::bump(&router.metrics().connections);
+                if router.open_connections.load(Ordering::SeqCst) >= config.max_connections {
+                    ServeMetrics::bump(&router.metrics().rejected_overload);
                     let mut stream = stream;
                     let _ = writeln!(
                         stream,
@@ -510,8 +803,8 @@ fn acceptor_loop(
                     );
                     continue;
                 }
-                shared.open_connections.fetch_add(1, Ordering::SeqCst);
-                let shared = Arc::clone(shared);
+                router.open_connections.fetch_add(1, Ordering::SeqCst);
+                let router = Arc::clone(router);
                 let config = config.clone();
                 let handle = std::thread::Builder::new()
                     .name("ref-serve-conn".to_string())
@@ -519,12 +812,12 @@ fn acceptor_loop(
                         // The slot guard releases the connection count even
                         // if the reader panics, and the panic is contained
                         // here: a poisoned connection dies alone.
-                        let _slot = ConnectionSlot(Arc::clone(&shared));
+                        let _slot = ConnectionSlot(Arc::clone(&router));
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            reader_loop(stream, &shared, &config);
+                            reader_loop(stream, &router, &config);
                         }));
                         if outcome.is_err() {
-                            ServeMetrics::bump(&shared.metrics.reader_panics);
+                            ServeMetrics::bump(&router.metrics().reader_panics);
                         }
                     })
                     .expect("spawn reader");
@@ -541,7 +834,7 @@ fn acceptor_loop(
 /// Releases one open-connection slot when a reader thread exits — by
 /// return *or* by panic — so a poisoned connection cannot leak its slot
 /// and slowly strangle the accept limit.
-struct ConnectionSlot(Arc<Shared>);
+struct ConnectionSlot(Arc<Router>);
 
 impl Drop for ConnectionSlot {
     fn drop(&mut self) {
@@ -565,7 +858,7 @@ fn reap_finished_readers(readers: &Mutex<Vec<JoinHandle<()>>>) {
     }
 }
 
-fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
+fn reader_loop(stream: TcpStream, router: &Arc<Router>, config: &ServeConfig) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let Ok(write_half) = stream.try_clone() else {
@@ -582,7 +875,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
             Ok(0) => {
                 // EOF; a final unterminated line is still one request.
                 if !line.trim().is_empty() {
-                    let response = dispatch(&line, shared, config);
+                    let response = dispatch(&line, router, config);
                     let _ = writeln!(writer, "{response}");
                     let _ = writer.flush();
                 }
@@ -595,7 +888,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if shared.stop.load(Ordering::SeqCst) {
+                if router.stopped() {
                     return;
                 }
                 continue;
@@ -606,7 +899,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
             line.clear();
             continue;
         }
-        let response = dispatch(&line, shared, config);
+        let response = dispatch(&line, router, config);
         if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
             return;
         }
@@ -614,8 +907,13 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, config: &ServeConfig) {
     }
 }
 
-/// Parses, admits and awaits one request line; always produces a response.
-fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
+/// Parses, admits, routes and awaits one request line; always produces a
+/// response. On a single-shard server every request goes straight to
+/// shard 0 and the wire behavior is exactly the classic server's. On a
+/// sharded server, agent-scoped requests hash to their owning shard,
+/// `tick` fans to every shard and runs the coordination step, and
+/// inspection requests aggregate shard-tagged answers.
+fn dispatch(line: &str, router: &Arc<Router>, config: &ServeConfig) -> Value {
     if config.faults.is_armed() {
         if let Some(token) = &config.faults.panic_on_line_token {
             if line.contains(token.as_str()) {
@@ -626,17 +924,55 @@ fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
     let envelope = match parse_request(line) {
         Ok(envelope) => envelope,
         Err(detail) => {
-            ServeMetrics::bump(&shared.metrics.protocol_errors);
+            ServeMetrics::bump(&router.metrics().protocol_errors);
             return error_response("protocol", Some(&detail), None);
         }
     };
-    if matches!(envelope.request, Request::Ping) {
+    if let Request::Ping { agent } = envelope.request {
         // Answered right here on the reader thread from ticker-exported
         // atomics: liveness probes must work even when the bus is full
         // or the ticker is busy — that is exactly when you probe.
-        ServeMetrics::bump(&shared.metrics.accepted);
-        return ping_response(shared);
+        ServeMetrics::bump(&router.metrics().accepted);
+        return ping_response(router, config, agent);
     }
+    if router.shards.len() == 1 {
+        return dispatch_to_shard(&router.shards[0], envelope, config);
+    }
+    match &envelope.request {
+        Request::Join { agent, .. }
+        | Request::Leave { agent }
+        | Request::Demand { agent, .. }
+        | Request::Observe { agent, .. }
+        | Request::Query { agent: Some(agent) } => {
+            let shard = router.ring.shard_of(*agent);
+            dispatch_to_shard(&router.shards[shard], envelope, config)
+        }
+        // The coordinator owns capacity splits on a sharded server; an
+        // out-of-band reallot would silently fight it.
+        Request::Reallot { .. } => {
+            ServeMetrics::bump(&router.metrics().protocol_errors);
+            error_response(
+                "protocol",
+                Some("reallot is coordinator-managed on a sharded server"),
+                None,
+            )
+        }
+        Request::Tick => fan_tick(router, envelope.deadline_ms, config),
+        Request::Query { agent: None }
+        | Request::Snapshot
+        | Request::Journal
+        | Request::Metrics { .. }
+        | Request::Promote
+        | Request::Shutdown => {
+            let replies = fan(router, &envelope.request, envelope.deadline_ms, config);
+            merge_fanned(&envelope.request, replies)
+        }
+        Request::Ping { .. } => unreachable!("ping answered above"),
+    }
+}
+
+/// Admits one request onto a single shard's bus and awaits the reply.
+fn dispatch_to_shard(shared: &Arc<Shared>, envelope: Envelope, config: &ServeConfig) -> Value {
     let class = envelope.request.class();
     let deadline = envelope
         .deadline_ms
@@ -671,7 +1007,16 @@ fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
         }
         Err(SendError::Full(_)) => {
             ServeMetrics::bump(&shared.metrics.rejected_overload);
-            error_response("overloaded", None, Some(config.retry_after_ms))
+            let depth = shared.bus.depth();
+            shared
+                .metrics
+                .queue_depth
+                .store(depth as u64, Ordering::SeqCst);
+            error_response(
+                "overloaded",
+                None,
+                Some(retry_hint(config.retry_after_ms, depth, config.quotas)),
+            )
         }
         Err(SendError::Closed) => {
             ServeMetrics::bump(&shared.metrics.rejected_shutdown);
@@ -680,11 +1025,320 @@ fn dispatch(line: &str, shared: &Arc<Shared>, config: &ServeConfig) -> Value {
     }
 }
 
+/// Scales the configured retry hint by how deep the rejecting shard's
+/// bus is relative to its total quota, capped at one second: a shard
+/// that is barely over quota asks clients back soon, a drowning one
+/// sheds them for longer.
+fn retry_hint(base_ms: u64, depth: usize, quotas: Quotas) -> u64 {
+    let base = base_ms.max(1);
+    let quota = (quotas
+        .control
+        .saturating_add(quotas.observe)
+        .saturating_add(quotas.query))
+    .max(1) as u64;
+    base.saturating_add(base.saturating_mul(depth as u64) / quota)
+        .min(1000)
+}
+
+/// Fans one request to every shard's bus (quota-exempt: fleet-wide
+/// control must not be bounced by one shard's backpressure) and collects
+/// the replies in parallel over `ref-pool`. A shard that is already
+/// shut down answers with a placeholder error instead of stalling the
+/// fan-out.
+fn fan(
+    router: &Arc<Router>,
+    request: &Request,
+    deadline_ms: Option<u64>,
+    config: &ServeConfig,
+) -> Vec<Value> {
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let wait = deadline_ms
+        .map(|ms| Duration::from_millis(ms) + config.reply_timeout)
+        .unwrap_or(config.reply_timeout);
+    // Fan in waves no wider than the worker pool: admitting every shard
+    // at once makes more tickers runnable than the host has cores, and
+    // the preempt-interleaved epochs evict each other's caches — on a
+    // single-core host that alone costs ~20% of the audit throughput.
+    // Waves keep at most `threads()` epochs in flight, which is also the
+    // most that can genuinely run in parallel.
+    let shards = router.shards.len();
+    let width = ref_pool::threads().clamp(1, shards);
+    let mut replies = Vec::with_capacity(shards);
+    for wave_start in (0..shards).step_by(width) {
+        let wave: Vec<Option<Mutex<mpsc::Receiver<Value>>>> = router.shards
+            [wave_start..(wave_start + width).min(shards)]
+            .iter()
+            .map(|shared| {
+                let (tx, rx) = mpsc::channel();
+                let item = Item::Client {
+                    request: request.clone(),
+                    deadline,
+                    reply: tx,
+                };
+                match shared.bus.push(request.class(), item) {
+                    Ok(()) => {
+                        ServeMetrics::bump(&shared.metrics.accepted);
+                        Some(Mutex::new(rx))
+                    }
+                    Err(_) => {
+                        ServeMetrics::bump(&shared.metrics.rejected_shutdown);
+                        None
+                    }
+                }
+            })
+            .collect();
+        replies.extend(ref_pool::par_map(wave.len(), |i| match &wave[i] {
+            Some(rx) => match rx
+                .lock()
+                .expect("receiver lock poisoned")
+                .recv_timeout(wait)
+            {
+                Ok(response) => response,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    error_response("timeout", Some("no reply from the epoch loop"), None)
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => error_response(
+                    "internal",
+                    Some("request dropped by a ticker failure"),
+                    None,
+                ),
+            },
+            None => error_response("shutting_down", None, None),
+        }));
+    }
+    replies
+}
+
+/// Inserts a `"shard": k` tag right after the leading `ok`/`error`
+/// marker of a shard's reply, so aggregated arrays stay attributable.
+fn tag_shard(value: Value, shard: usize) -> Value {
+    match value {
+        Value::Obj(mut pairs) => {
+            let at = pairs.len().min(1);
+            pairs.insert(at, ("shard".to_string(), Value::from_u64(shard as u64)));
+            Value::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+/// Merges fanned non-tick replies into one response: per-shard answers
+/// ride in a shard-tagged `shards` array, and the handful of scalar
+/// fields clients key on (`epoch`, `agents`) are combined.
+fn merge_fanned(request: &Request, replies: Vec<Value>) -> Value {
+    if let Request::Metrics { text: true } = request {
+        // The text form concatenates per-shard exports with each series
+        // labeled by shard, which is what a scraper wants to ingest.
+        let mut out = String::new();
+        for (shard, reply) in replies.iter().enumerate() {
+            if let Some(text) = reply.get("text").and_then(Value::as_str) {
+                for line in text.lines() {
+                    match line.split_once(' ') {
+                        Some((name, rest)) => {
+                            out.push_str(&format!("{name}{{shard=\"{shard}\"}} {rest}\n"));
+                        }
+                        None => {
+                            out.push_str(line);
+                            out.push('\n');
+                        }
+                    }
+                }
+            }
+        }
+        return ok_response(vec![("text", Value::str(out))]);
+    }
+    let mut fields: Vec<(&str, Value)> = Vec::new();
+    if let Request::Query { agent: None } = request {
+        let epoch = replies
+            .iter()
+            .filter_map(|r| r.get("epoch").and_then(Value::as_u64))
+            .max()
+            .unwrap_or(0);
+        // Live-agent id lists concatenate across shards, sorted so the
+        // merged view is stable regardless of shard reply order.
+        let mut agents: Vec<u64> = replies
+            .iter()
+            .filter_map(|r| r.get("agents").and_then(Value::as_array))
+            .flatten()
+            .filter_map(Value::as_u64)
+            .collect();
+        agents.sort_unstable();
+        fields.push(("epoch", Value::from_u64(epoch)));
+        fields.push((
+            "agents",
+            Value::Arr(agents.into_iter().map(Value::from_u64).collect()),
+        ));
+    }
+    let tagged: Vec<Value> = replies
+        .into_iter()
+        .enumerate()
+        .map(|(shard, reply)| tag_shard(reply, shard))
+        .collect();
+    fields.push(("shards", Value::Arr(tagged)));
+    ok_response(fields)
+}
+
+/// Fans an epoch tick to every shard, merges the per-shard reports into
+/// one combined report, then runs the cross-shard coordination step on
+/// the fresh demand summaries. The merged reply carries the combined
+/// report plus the coordinator's drift audit.
+fn fan_tick(router: &Arc<Router>, deadline_ms: Option<u64>, config: &ServeConfig) -> Value {
+    let replies = fan(router, &Request::Tick, deadline_ms, config);
+    let status = coordinate(router);
+    let epoch = replies
+        .iter()
+        .filter_map(|r| r.get("epoch").and_then(Value::as_u64))
+        .max()
+        .unwrap_or(0);
+    let mut fields: Vec<(&str, Value)> = vec![("epoch", Value::from_u64(epoch))];
+    if let Some(report) = merge_reports(&replies) {
+        fields.push(("report", report));
+    }
+    fields.push(("drift", Value::Num(status.drift)));
+    fields.push(("drift_bound_ok", Value::Bool(status.within_bound)));
+    let tagged: Vec<Value> = replies
+        .into_iter()
+        .enumerate()
+        .map(|(shard, reply)| tag_shard(reply, shard))
+        .collect();
+    fields.push(("shards", Value::Arr(tagged)));
+    ok_response(fields)
+}
+
+/// Exchanges per-shard aggregate demand and pushes the coordinator's
+/// capacity reallotments onto the shards that need them. Reallotments
+/// are journaled control events on each shard's own bus, so they land
+/// before the next epoch and replay bit-identically.
+fn coordinate(router: &Arc<Router>) -> CoordinationStatus {
+    let demands: Vec<Vec<f64>> = router
+        .shards
+        .iter()
+        .map(|shared| shared.demand.lock().expect("demand lock poisoned").clone())
+        .collect();
+    let mut coord = router.coord.lock().expect("coord lock poisoned");
+    let updates = coord.step(&demands);
+    let status = coord.status();
+    drop(coord);
+    for (shard, update) in updates.into_iter().enumerate() {
+        if let Some(capacity) = update {
+            let request = Request::Reallot { capacity };
+            let (tx, _rx) = mpsc::channel();
+            let item = Item::Client {
+                request: request.clone(),
+                deadline: None,
+                reply: tx,
+            };
+            // Fire and forget: the ticker applies it before the next
+            // epoch (the bus is FIFO) and journals it like any other
+            // control event. `_rx` is dropped; the ticker's reply send
+            // fails harmlessly.
+            let _ = router.shards[shard].bus.push(request.class(), item);
+        }
+    }
+    status
+}
+
+/// Combines per-shard epoch reports into a fleet-wide view: agent counts
+/// sum, warm-up ORs, fairness flags AND (with violation counts summed
+/// and the worst ratios kept), and the enforcement deviation takes the
+/// worst shard. `None` if no shard produced a report this tick.
+fn merge_reports(replies: &[Value]) -> Option<Value> {
+    let reports: Vec<&Value> = replies.iter().filter_map(|r| r.get("report")).collect();
+    if reports.is_empty() {
+        return None;
+    }
+    let u = |key: &str| -> u64 {
+        reports
+            .iter()
+            .filter_map(|r| r.get(key).and_then(Value::as_u64))
+            .sum()
+    };
+    let epoch = reports
+        .iter()
+        .filter_map(|r| r.get("epoch").and_then(Value::as_u64))
+        .max()
+        .unwrap_or(0);
+    let warm = reports
+        .iter()
+        .any(|r| r.get("warm").and_then(Value::as_bool) == Some(true));
+    let worst_dev = reports
+        .iter()
+        .filter_map(|r| r.get("worst_enforcement_deviation").and_then(Value::as_f64))
+        .fold(0.0f64, f64::max);
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("epoch", Value::from_u64(epoch)),
+        ("agents", Value::from_u64(u("agents"))),
+        ("warm", Value::Bool(warm)),
+        ("worst_enforcement_deviation", Value::Num(worst_dev)),
+    ];
+    // Fairness merges only when every shard audited this epoch: a
+    // partially-audited fleet must not claim fleet-wide fairness.
+    let fairness: Vec<&Value> = reports.iter().filter_map(|r| r.get("fairness")).collect();
+    if fairness.len() == reports.len() {
+        let all = |key: &str| {
+            fairness
+                .iter()
+                .all(|f| f.get(key).and_then(Value::as_bool) == Some(true))
+        };
+        let count = |key: &str| -> u64 {
+            fairness
+                .iter()
+                .filter_map(|f| f.get(key).and_then(Value::as_u64))
+                .sum()
+        };
+        let worst = |key: &str| -> f64 {
+            fairness
+                .iter()
+                .filter_map(|f| f.get(key).and_then(Value::as_f64))
+                .fold(0.0f64, f64::max)
+        };
+        // Per-shard reports emit `envy_edges` (violation count) and
+        // `max_mrs_mismatch`; the merged view renames them to the
+        // fleet-wide reading: total violations, worst spread anywhere.
+        fields.push((
+            "fairness",
+            Value::obj(vec![
+                ("sharing_incentives", Value::Bool(all("sharing_incentives"))),
+                ("si_violations", Value::from_u64(count("si_violations"))),
+                ("envy_free", Value::Bool(all("envy_free"))),
+                ("ef_violations", Value::from_u64(count("envy_edges"))),
+                ("pareto_efficient", Value::Bool(all("pareto_efficient"))),
+                ("max_mrs_spread", Value::Num(worst("max_mrs_mismatch"))),
+            ]),
+        ));
+    }
+    Some(Value::obj(fields))
+}
+
+/// The timed-epoch clock of a sharded server: the shard tickers run no
+/// timers of their own, so this loop fans synchronized ticks (and the
+/// coordination step after each) at the configured cadence.
+fn coordinator_loop(router: &Arc<Router>, config: &ServeConfig) {
+    let interval = config
+        .epoch_interval
+        .expect("coordinator requires timed epochs");
+    let mut next = Instant::now() + interval;
+    loop {
+        if router.stopped() || router.shards.iter().any(|s| s.bus.is_closed()) {
+            return;
+        }
+        let now = Instant::now();
+        if now < next {
+            // Short sleeps keep shutdown latency bounded.
+            std::thread::sleep((next - now).min(Duration::from_millis(20)));
+            continue;
+        }
+        let _ = fan_tick(router, None, config);
+        next = Instant::now() + interval;
+    }
+}
+
 /// Answers a `ping` from transport-visible state alone (no engine
-/// access): role, term, progress, and uptime.
-fn ping_response(shared: &Arc<Shared>) -> Value {
+/// access): role, term, progress, uptime, and shard placement.
+fn ping_response(router: &Arc<Router>, config: &ServeConfig, agent: Option<AgentId>) -> Value {
+    let first = &router.shards[0];
     let mut fields = Vec::new();
-    match shared.repl.as_ref() {
+    match first.repl.as_ref() {
         Some(repl) => {
             fields.push(("role", Value::str(repl.role().as_str())));
             fields.push(("term", Value::from_u64(repl.term())));
@@ -700,22 +1354,49 @@ fn ping_response(shared: &Arc<Shared>) -> Value {
     }
     fields.push((
         "epoch",
-        Value::from_u64(shared.epoch.load(Ordering::SeqCst)),
+        Value::from_u64(
+            router
+                .shards
+                .iter()
+                .map(|s| s.epoch.load(Ordering::SeqCst))
+                .max()
+                .unwrap_or(0),
+        ),
     ));
     fields.push((
         "wal_seq",
-        Value::from_u64(shared.wal_seq.load(Ordering::SeqCst)),
+        Value::from_u64(first.wal_seq.load(Ordering::SeqCst)),
     ));
     fields.push((
         "uptime_ms",
         Value::from_u64(
-            shared
+            router
                 .started
                 .elapsed()
                 .as_millis()
                 .min(u128::from(u64::MAX)) as u64,
         ),
     ));
+    fields.push(("shards", Value::from_u64(router.shards.len() as u64)));
+    fields.push((
+        "wal_seqs",
+        Value::Arr(
+            router
+                .shards
+                .iter()
+                .map(|s| Value::from_u64(s.wal_seq.load(Ordering::SeqCst)))
+                .collect(),
+        ),
+    ));
+    if let Some(agent) = agent {
+        fields.push((
+            "shard_of",
+            Value::from_u64(router.ring.shard_of(agent) as u64),
+        ));
+    }
+    if let Some(tag) = config.shard_tag {
+        fields.push(("shard_tag", Value::from_u64(tag)));
+    }
     ok_response(fields)
 }
 
@@ -793,6 +1474,10 @@ fn ticker_pass(
 
     let batch = shared.bus.drain();
     shared.metrics.observe_depth(batch.len() as u64);
+    shared
+        .metrics
+        .queue_depth
+        .store(batch.len() as u64, Ordering::Relaxed);
     for (_, item) in batch {
         let (request, deadline, reply) = match item {
             Item::Client {
@@ -838,7 +1523,8 @@ fn ticker_pass(
                     Role::Primary => {}
                     Role::Standby => {
                         let leader = repl.leader_client();
-                        let _ = reply.send(not_primary_response(leader.as_deref()));
+                        let _ =
+                            reply.send(not_primary_response(leader.as_deref(), config.shard_tag));
                         continue;
                     }
                     Role::Fenced => {
@@ -860,7 +1546,14 @@ fn ticker_pass(
                 continue;
             }
         }
+        let is_tick = matches!(request, Request::Tick);
         let response = core.handle(&request, &shared.metrics);
+        if is_tick {
+            // Refresh this shard's demand summary *before* replying, so
+            // the router's coordination step — which runs after all tick
+            // replies are in — reads post-epoch demand, never stale.
+            *shared.demand.lock().expect("demand lock poisoned") = core.engine().aggregate_demand();
+        }
         let _ = reply.send(response);
     }
 
@@ -1253,5 +1946,211 @@ mod tests {
         let report = server.shutdown();
         assert!(report.metrics.epochs >= 5);
         assert!(report.metrics.epoch_latency.count >= 5);
+    }
+
+    fn sharded_config(shards: usize) -> ServeConfig {
+        let market = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        ServeConfig::new(market)
+            .with_epoch_interval(None)
+            .with_shards(shards)
+    }
+
+    #[test]
+    fn sharded_server_routes_ticks_and_aggregates() {
+        let server = Server::start("127.0.0.1:0", sharded_config(4)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for agent in 0..16u64 {
+            client.join_truth(agent, 1.0, &[0.6, 0.4]).unwrap();
+        }
+        let tick = client.tick().unwrap();
+        assert_eq!(tick.get("epoch").and_then(Value::as_u64), Some(1));
+        let shards = tick.get("shards").and_then(Value::as_array).unwrap();
+        assert_eq!(shards.len(), 4);
+        assert!(tick.get("drift").is_some(), "{tick}");
+        assert_eq!(
+            tick.get("drift_bound_ok").and_then(Value::as_bool),
+            Some(true),
+            "{tick}"
+        );
+        // Market-wide query sums agents across shards and reports the
+        // fleet epoch.
+        let query = client.query().unwrap();
+        let agents = query.get("agents").and_then(Value::as_array).unwrap();
+        assert_eq!(agents.len(), 16, "{query}");
+        // Sorted merge: stable regardless of shard reply order.
+        let ids: Vec<u64> = agents.iter().filter_map(Value::as_u64).collect();
+        assert_eq!(ids, (0..16u64).collect::<Vec<_>>());
+        assert_eq!(query.get("epoch").and_then(Value::as_u64), Some(1));
+        // Per-agent queries route to the owning shard and still work.
+        let one = client.query_agent(3).unwrap();
+        assert!(one.get("bundle").is_some(), "{one}");
+        // Ping reports placement.
+        let ping = client.call_line(r#"{"op":"ping","agent":3}"#).unwrap();
+        assert_eq!(ping.get("shards").and_then(Value::as_u64), Some(4));
+        let shard_of = ping.get("shard_of").and_then(Value::as_u64).unwrap();
+        assert_eq!(shard_of, server.shard_of(3) as u64);
+        assert_eq!(
+            ping.get("wal_seqs")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(4)
+        );
+        // Metrics text carries per-shard labels.
+        let text = client.metrics_text().unwrap();
+        assert!(text.contains("refserve_accepted{shard=\"0\"}"), "{text}");
+        assert!(text.contains("refmarket_epochs{shard=\"3\"}"), "{text}");
+
+        let report = server.shutdown();
+        assert_eq!(report.shards.len(), 4);
+        // Every shard ran the same single epoch, in lockstep.
+        for shard in &report.shards {
+            assert_eq!(shard.metrics.epochs, 1);
+            assert!(shard.journal.contains(&MarketEvent::EpochTick));
+        }
+        // Each join landed exactly where the ring says it should.
+        let ring = HashRing::new(
+            4,
+            ServeConfig::new(MarketConfig::new(Capacity::new(vec![1.0]).unwrap())).ring_seed,
+        );
+        for agent in 0..16u64 {
+            let owner = ring.shard_of(agent);
+            for (k, shard) in report.shards.iter().enumerate() {
+                let has = shard
+                    .journal
+                    .iter()
+                    .any(|e| matches!(e, MarketEvent::AgentJoined { id, .. } if *id == agent));
+                assert_eq!(has, k == owner, "agent {agent} shard {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_timed_epochs_run_in_lockstep() {
+        let market = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let config = ServeConfig::new(market)
+            .with_epoch_interval(Some(Duration::from_millis(2)))
+            .with_shards(2);
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for agent in 0..6u64 {
+            client.join_truth(agent, 1.0, &[0.5, 0.5]).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let reply = client.query().unwrap();
+            if reply.get("epoch").unwrap().as_u64().unwrap() >= 5 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "coordinator never ticked");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let status = server.coordination().unwrap();
+        assert!(status.rounds >= 5, "{status:?}");
+        let report = server.shutdown();
+        // Lockstep: the two shards' epoch counts differ by at most the
+        // one round that may be in flight at shutdown.
+        let a = report.shards[0].metrics.epochs;
+        let b = report.shards[1].metrics.epochs;
+        assert!(a.abs_diff(b) <= 1, "epochs diverged: {a} vs {b}");
+    }
+
+    #[test]
+    fn wire_reallot_is_an_operator_op_single_shard_only() {
+        // Single shard: an operator reallot is a journaled control op.
+        let server = Server::start("127.0.0.1:0", sharded_config(1)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.join_truth(1, 1.0, &[0.5, 0.5]).unwrap();
+        let reply = client
+            .call_line(r#"{"op":"reallot","capacity":[30.0,10.0]}"#)
+            .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Value::Bool(true)), "{reply}");
+        client.tick().unwrap();
+        let report = server.shutdown();
+        assert!(report
+            .journal
+            .iter()
+            .any(|e| matches!(e, MarketEvent::CapacityRealloted { capacity } if capacity == &vec![30.0, 10.0])));
+
+        // Sharded: the coordinator owns the capacity split.
+        let server = Server::start("127.0.0.1:0", sharded_config(2)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = client
+            .call_line(r#"{"op":"reallot","capacity":[30.0,10.0]}"#)
+            .unwrap();
+        assert_eq!(
+            reply.get("error").and_then(Value::as_str),
+            Some("protocol"),
+            "{reply}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharding_excludes_in_process_replication() {
+        let dir =
+            std::env::temp_dir().join(format!("ref-shard-repl-{}-{}", std::process::id(), line!()));
+        let market = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let config = ServeConfig::new(market)
+            .with_shards(2)
+            .with_wal(WalConfig::new(&dir))
+            .with_repl(ReplConfig::primary("127.0.0.1:0"));
+        let err = Server::start("127.0.0.1:0", config).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_hints_scale_with_queue_depth() {
+        let quotas = Quotas {
+            control: 8,
+            observe: 8,
+            query: 8,
+        };
+        let calm = retry_hint(25, 0, quotas);
+        assert_eq!(calm, 25);
+        let busy = retry_hint(25, 24, quotas);
+        assert!(busy > calm, "busy={busy} calm={calm}");
+        // The hint saturates instead of growing without bound.
+        assert_eq!(retry_hint(25, usize::MAX, quotas), 1000);
+        // A zero configured hint still yields a positive, finite hint.
+        assert!(retry_hint(0, 5, quotas) >= 1);
+    }
+
+    #[test]
+    fn coordinator_reallotments_shift_capacity_toward_demand() {
+        // Two shards; all load on the agents of one of them. After a few
+        // coordinated epochs the loaded shard's capacity allotment must
+        // exceed the idle shard's.
+        let server = Server::start("127.0.0.1:0", sharded_config(2)).unwrap();
+        let ring = HashRing::new(2, server.config().ring_seed);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let mut joined = 0u64;
+        let mut agent = 0u64;
+        while joined < 8 {
+            if ring.shard_of(agent) == 0 {
+                client.join_truth(agent, 1.0, &[0.7, 0.3]).unwrap();
+                joined += 1;
+            }
+            agent += 1;
+        }
+        for _ in 0..12 {
+            client.tick().unwrap();
+        }
+        let status = server.coordination().unwrap();
+        assert!(status.rounds >= 12, "{status:?}");
+        let report = server.shutdown();
+        // Shard 0 received reallotments granting it more than the equal
+        // split; shard 1 was cut below it.
+        let realloted: Vec<&Vec<f64>> = report.shards[0]
+            .journal
+            .iter()
+            .filter_map(|e| match e {
+                MarketEvent::CapacityRealloted { capacity } => Some(capacity),
+                _ => None,
+            })
+            .collect();
+        assert!(!realloted.is_empty(), "coordinator never realloted");
+        let last = realloted.last().unwrap();
+        assert!(last[0] > 12.0, "loaded shard allotment {last:?}");
     }
 }
