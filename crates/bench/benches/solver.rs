@@ -1,10 +1,14 @@
 //! Solver micro-benchmarks: the numerical kernels behind fitting (QR least
 //! squares) and the geometric-programming mechanisms (Cholesky-based Newton
-//! steps, full GP solves).
+//! steps, full GP solves), plus the fast-path comparisons — incremental
+//! row-append vs from-scratch refactorization, and warm- vs cold-started
+//! GP solves. The fast-path groups assert agreement (1e-10 coefficients,
+//! 1e-6 allocations) before timing, so a numerical regression fails the
+//! bench run rather than silently shifting the numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ref_solver::gp::{GeometricProgram, Monomial, Posynomial};
-use ref_solver::{lstsq, Cholesky, Matrix, Qr};
+use ref_solver::gp::{GeometricProgram, GpWarmStart, Monomial, Posynomial};
+use ref_solver::{lstsq, Cholesky, Matrix, Qr, UpdatableLstsq};
 
 fn design_25x3() -> (Matrix, Vec<f64>) {
     let mut rows = Vec::new();
@@ -76,9 +80,127 @@ fn bench_solver(c: &mut Criterion) {
     });
 }
 
+/// Epoch-fit observation stream: raw 2-resource inputs and responses.
+fn epoch_stream(epochs: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let inputs: Vec<Vec<f64>> = (0..epochs)
+        .map(|i| {
+            let a = 1.0 + 23.0 * ((i % 7) as f64) / 6.0;
+            let b = 0.5 + 11.5 * ((i % 5) as f64) / 4.0;
+            vec![a.ln(), b.ln()]
+        })
+        .collect();
+    let ys: Vec<f64> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, row)| 0.6 * row[0] + 0.4 * row[1] + 0.01 * (1.0 + i as f64).ln())
+        .collect();
+    (inputs, ys)
+}
+
+fn bench_append_vs_refactor(c: &mut Criterion) {
+    const EPOCHS: usize = 48;
+    let (inputs, ys) = epoch_stream(EPOCHS);
+
+    // Agreement gate: the final-epoch coefficients of both paths must
+    // match to 1e-10 before any timing is trusted.
+    let design = lstsq::design_with_intercept(&inputs).unwrap();
+    let batch = lstsq::fit(&design, &ys).unwrap();
+    let mut triangle = UpdatableLstsq::new(3);
+    for (row, y) in inputs.iter().zip(&ys) {
+        triangle.append(&[1.0, row[0], row[1]], *y).unwrap();
+    }
+    let incr = triangle.solve().unwrap();
+    for (a, b) in batch.coefficients().iter().zip(incr.coefficients()) {
+        assert!(
+            (a - b).abs() < 1e-10,
+            "incremental fit diverged from batch fit: {a} vs {b}"
+        );
+    }
+
+    let mut group = c.benchmark_group("append_vs_refactor");
+    group.bench_function("refactor_every_epoch", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for m in 4..=EPOCHS {
+                let design =
+                    lstsq::design_with_intercept(std::hint::black_box(&inputs[..m])).unwrap();
+                let fit = lstsq::fit(&design, &ys[..m]).unwrap();
+                last = fit.coefficients()[1];
+            }
+            last
+        })
+    });
+    group.bench_function("append_every_epoch", |b| {
+        b.iter(|| {
+            let mut triangle = UpdatableLstsq::new(3);
+            let mut last = 0.0;
+            for (m, (row, y)) in inputs.iter().zip(&ys).enumerate() {
+                triangle
+                    .append(std::hint::black_box(&[1.0, row[0], row[1]]), *y)
+                    .unwrap();
+                if m + 1 >= 4 {
+                    last = triangle.solve().unwrap().coefficients()[1];
+                }
+            }
+            last
+        })
+    });
+    group.finish();
+}
+
+fn paper_nash_gp() -> (GeometricProgram, Vec<f64>) {
+    let welfare = Monomial::new(1.0, vec![0.6, 0.4, 0.2, 0.8]).unwrap();
+    let mut gp = GeometricProgram::minimize(4, welfare.reciprocal().into()).unwrap();
+    gp.add_constraint(
+        Posynomial::from_monomials(vec![
+            Monomial::new(1.0 / 24.0, vec![1.0, 0.0, 0.0, 0.0]).unwrap(),
+            Monomial::new(1.0 / 24.0, vec![0.0, 0.0, 1.0, 0.0]).unwrap(),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    gp.add_constraint(
+        Posynomial::from_monomials(vec![
+            Monomial::new(1.0 / 12.0, vec![0.0, 1.0, 0.0, 0.0]).unwrap(),
+            Monomial::new(1.0 / 12.0, vec![0.0, 0.0, 0.0, 1.0]).unwrap(),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    (gp, vec![6.0, 3.0, 6.0, 3.0])
+}
+
+fn bench_warm_vs_cold_gp(c: &mut Criterion) {
+    let (gp, x0) = paper_nash_gp();
+    let cold = gp.solve(&x0).unwrap();
+    let hint = GpWarmStart::from_solution(&cold);
+
+    // Agreement gate: warm-started allocations must match the cold solve
+    // to 1e-6 before any timing is trusted.
+    let warm = gp.solve_warm(&x0, Some(&hint)).unwrap();
+    for (a, b) in cold.x.iter().zip(&warm.x) {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "warm-started GP diverged from cold solve: {a} vs {b}"
+        );
+    }
+
+    let mut group = c.benchmark_group("warm_vs_cold_gp");
+    group.bench_function("cold_start", |b| {
+        b.iter(|| gp.solve(std::hint::black_box(&x0)).unwrap())
+    });
+    group.bench_function("warm_start", |b| {
+        b.iter(|| {
+            gp.solve_warm(std::hint::black_box(&x0), Some(&hint))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_solver
+    targets = bench_solver, bench_append_vs_refactor, bench_warm_vs_cold_gp
 }
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! The equal-slowdown mechanism of prior architecture work (§4.5, §5.5).
 
-use ref_solver::gp::{GeometricProgram, Monomial};
+use ref_solver::gp::{GeometricProgram, GpWarmStart, Monomial};
 
 use crate::error::Result;
 use crate::mechanism::{max_welfare, validate_inputs, Mechanism};
@@ -76,6 +76,16 @@ impl Mechanism for EqualSlowdown {
     }
 
     fn allocate(&self, agents: &[CobbDouglas], capacity: &Capacity) -> Result<Allocation> {
+        self.allocate_warm(agents, capacity, None)
+            .map(|(alloc, _)| alloc)
+    }
+
+    fn allocate_warm(
+        &self,
+        agents: &[CobbDouglas],
+        capacity: &Capacity,
+        warm: Option<&GpWarmStart>,
+    ) -> Result<(Allocation, Option<GpWarmStart>)> {
         validate_inputs(agents, capacity)?;
         let n = agents.len();
         let r_count = capacity.num_resources();
@@ -128,11 +138,12 @@ impl Mechanism for EqualSlowdown {
             }
         }
         x0[t_var] = (min_u * 0.5).max(1e-12);
-        let sol = gp.solve(&x0)?;
+        let sol = gp.solve_warm(&x0, warm)?;
+        let hint = GpWarmStart::from_solution(&sol);
         let bundles: Result<Vec<Bundle>> = (0..n)
             .map(|i| Bundle::new((0..r_count).map(|r| sol.x[i * r_count + r]).collect()))
             .collect();
-        Allocation::new(bundles?, capacity)
+        Ok((Allocation::new(bundles?, capacity)?, Some(hint)))
     }
 }
 
@@ -256,6 +267,26 @@ mod tests {
             t_egal <= t_util * (1.0 + 1e-3),
             "egal {t_egal} util {t_util}"
         );
+    }
+
+    #[test]
+    fn warm_started_allocation_agrees_with_cold() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let mech = EqualSlowdown::new();
+        let (cold, hint) = mech.allocate_warm(&agents, &c, None).unwrap();
+        let hint = hint.expect("GP mechanisms always return a hint");
+        // The hint covers the level variable `t` as well as the bundles.
+        assert_eq!(hint.x.len(), 2 * 2 + 1);
+        let (rewarmed, _) = mech.allocate_warm(&agents, &c, Some(&hint)).unwrap();
+        for i in 0..2 {
+            for r in 0..2 {
+                assert!((rewarmed.bundle(i).get(r) - cold.bundle(i).get(r)).abs() < 1e-3);
+            }
+        }
+        let u0 = weighted_utility(&agents[0], rewarmed.bundle(0), &c);
+        let u1 = weighted_utility(&agents[1], rewarmed.bundle(1), &c);
+        assert!((u0 - u1).abs() < 1e-3, "U0 {u0} U1 {u1}");
     }
 
     #[test]

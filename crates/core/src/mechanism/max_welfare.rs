@@ -1,6 +1,6 @@
 //! Nash-social-welfare maximization via geometric programming (§4.5).
 
-use ref_solver::gp::{GeometricProgram, Monomial, Posynomial};
+use ref_solver::gp::{GeometricProgram, GpWarmStart, Monomial, Posynomial};
 
 use crate::error::{CoreError, Result};
 use crate::mechanism::{validate_inputs, Mechanism};
@@ -192,6 +192,16 @@ impl Mechanism for MaxWelfare {
     }
 
     fn allocate(&self, agents: &[CobbDouglas], capacity: &Capacity) -> Result<Allocation> {
+        self.allocate_warm(agents, capacity, None)
+            .map(|(alloc, _)| alloc)
+    }
+
+    fn allocate_warm(
+        &self,
+        agents: &[CobbDouglas],
+        capacity: &Capacity,
+        warm: Option<&GpWarmStart>,
+    ) -> Result<(Allocation, Option<GpWarmStart>)> {
         validate_inputs(agents, capacity)?;
         let n = agents.len();
         let r_count = capacity.num_resources();
@@ -242,11 +252,12 @@ impl Mechanism for MaxWelfare {
                 }
             }
         }
-        let sol = gp.solve(&x0)?;
+        let sol = gp.solve_warm(&x0, warm)?;
+        let hint = GpWarmStart::from_solution(&sol);
         let bundles: Result<Vec<Bundle>> = (0..n)
             .map(|i| Bundle::new((0..r_count).map(|r| sol.x[idx(i, r, r_count)]).collect()))
             .collect();
-        Allocation::new(bundles?, capacity)
+        Ok((Allocation::new(bundles?, capacity)?, Some(hint)))
     }
 }
 
@@ -347,6 +358,52 @@ mod tests {
             let alloc = mech.allocate(&agents, &c).unwrap();
             assert_eq!(alloc.num_agents(), 4);
             assert!(alloc.is_exhaustive(&c, 1e-3), "{}", mech.name());
+        }
+    }
+
+    #[test]
+    fn warm_started_allocation_agrees_with_cold() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        for mech in [MaxWelfare::with_fairness(), MaxWelfare::without_fairness()] {
+            let (cold, hint) = mech.allocate_warm(&agents, &c, None).unwrap();
+            let hint = hint.expect("GP mechanisms always return a hint");
+            let (rewarmed, next) = mech.allocate_warm(&agents, &c, Some(&hint)).unwrap();
+            assert!(next.is_some());
+            for i in 0..2 {
+                for r in 0..2 {
+                    assert!(
+                        (rewarmed.bundle(i).get(r) - cold.bundle(i).get(r)).abs() < 1e-3,
+                        "{} agent {i} resource {r}",
+                        mech.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_hint_shape_falls_back_to_cold_start() {
+        // A hint recorded for a two-agent population is unusable once a
+        // third agent joins: the warm path must fall back to the cold
+        // start and still produce the cold answer, bit for bit.
+        let c = paper_capacity();
+        let (_, hint) = MaxWelfare::with_fairness()
+            .allocate_warm(&paper_agents(), &c, None)
+            .unwrap();
+        let mut agents = paper_agents();
+        agents.push(CobbDouglas::new(1.0, vec![0.5, 0.5]).unwrap());
+        let cold = MaxWelfare::with_fairness().allocate(&agents, &c).unwrap();
+        let (stale, _) = MaxWelfare::with_fairness()
+            .allocate_warm(&agents, &c, hint.as_ref())
+            .unwrap();
+        for i in 0..3 {
+            for r in 0..2 {
+                assert_eq!(
+                    stale.bundle(i).get(r).to_bits(),
+                    cold.bundle(i).get(r).to_bits()
+                );
+            }
         }
     }
 

@@ -21,6 +21,8 @@ pub use equal_slowdown::EqualSlowdown;
 pub use max_welfare::MaxWelfare;
 pub use proportional_elasticity::ProportionalElasticity;
 
+pub use ref_solver::gp::GpWarmStart;
+
 use crate::error::{CoreError, Result};
 use crate::resource::{Allocation, Capacity};
 use crate::utility::CobbDouglas;
@@ -41,6 +43,32 @@ pub trait Mechanism {
     /// agent lists or dimension mismatches, and may propagate solver errors
     /// for optimization-based mechanisms.
     fn allocate(&self, agents: &[CobbDouglas], capacity: &Capacity) -> Result<Allocation>;
+
+    /// Computes the allocation, optionally seeding the underlying
+    /// optimizer from a previous optimum, and returns the hint to seed the
+    /// *next* solve with.
+    ///
+    /// Optimization-backed mechanisms ([`MaxWelfare`], [`EqualSlowdown`])
+    /// thread the hint into the interior-point solver, which re-enters the
+    /// central path near where the last solve left off; an unusable hint
+    /// (wrong shape after population churn, non-positive or non-finite
+    /// values) silently falls back to the cold start. Closed-form
+    /// mechanisms ignore the hint and return `None` — there is nothing to
+    /// warm.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Mechanism::allocate`] returns: a usable warm
+    /// hint never changes which inputs are accepted.
+    fn allocate_warm(
+        &self,
+        agents: &[CobbDouglas],
+        capacity: &Capacity,
+        warm: Option<&GpWarmStart>,
+    ) -> Result<(Allocation, Option<GpWarmStart>)> {
+        let _ = warm;
+        Ok((self.allocate(agents, capacity)?, None))
+    }
 }
 
 /// Validates the common preconditions shared by all mechanisms.

@@ -11,9 +11,19 @@
 //! refits the Cobb-Douglas elasticities by the same log-linear regression
 //! the offline pipeline uses, as soon as — and whenever — the accumulated
 //! design becomes informative.
+//!
+//! Refits are *incremental*: the estimator maintains the updatable
+//! triangular factor of the log-design ([`ref_solver::update`]), so each
+//! [`OnlineEstimator::observe`] costs `O(R^2)` — one Givens row append plus
+//! a back-substitution — instead of refactorizing all `m` accumulated
+//! observations (`O(m R^2)`). [`OnlineEstimator::with_window`] bounds the
+//! design to a sliding window by downdating the oldest row as new ones
+//! arrive, so long-lived agents track drifting workloads at constant cost.
+
+use ref_solver::update::UpdatableLstsq;
 
 use crate::error::{CoreError, Result};
-use crate::fitting::{fit_cobb_douglas, FitPoint};
+use crate::fitting::FitPoint;
 use crate::utility::CobbDouglas;
 
 /// An adaptive Cobb-Douglas estimate built from run-time observations.
@@ -42,8 +52,15 @@ use crate::utility::CobbDouglas;
 pub struct OnlineEstimator {
     num_resources: usize,
     observations: Vec<FitPoint>,
+    /// Updatable triangular factor of the log-design `[1, ln x_1..ln x_R]`
+    /// with response `ln u`; mirrors `observations` row for row.
+    triangle: UpdatableLstsq,
+    /// Sliding-window bound on the design, if any (see
+    /// [`OnlineEstimator::with_window`]).
+    window: Option<usize>,
     current: CobbDouglas,
     refits: usize,
+    incremental_refits: usize,
     last_r_squared: Option<f64>,
     degenerate_refits: usize,
     consecutive_degenerate: usize,
@@ -66,12 +83,41 @@ impl OnlineEstimator {
         Ok(OnlineEstimator {
             num_resources,
             observations: Vec::new(),
+            triangle: UpdatableLstsq::new(num_resources + 1),
+            window: None,
             current: prior,
             refits: 0,
+            incremental_refits: 0,
             last_r_squared: None,
             degenerate_refits: 0,
             consecutive_degenerate: 0,
         })
+    }
+
+    /// Creates an estimator whose design is bounded to the most recent
+    /// `window` observations.
+    ///
+    /// Each observation past the bound *downdates* the oldest row out of
+    /// the triangular factor (LINPACK `dchdd`), so a long-lived agent
+    /// tracks a drifting workload at `O(R^2)` per observation and constant
+    /// memory instead of averaging over its entire history. When a
+    /// downdate would destroy the factor's conditioning the estimator
+    /// falls back to refactorizing the surviving rows from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if `num_resources == 0` or
+    /// the window is too small to ever fit (`window <= num_resources + 1`).
+    pub fn with_window(num_resources: usize, window: usize) -> Result<OnlineEstimator> {
+        let mut est = OnlineEstimator::new(num_resources)?;
+        if window <= num_resources + 1 {
+            return Err(CoreError::InvalidArgument(format!(
+                "window of {window} observations can never fit {} + 1 parameters",
+                num_resources + 1
+            )));
+        }
+        est.window = Some(window);
+        Ok(est)
     }
 
     /// Rebuilds an estimator by replaying recorded observations.
@@ -115,6 +161,21 @@ impl OnlineEstimator {
     /// Number of successful refits so far.
     pub fn refits(&self) -> usize {
         self.refits
+    }
+
+    /// Number of successful refits served by the incremental `O(R^2)`
+    /// append path (as opposed to a from-scratch refactorization). With
+    /// the current design every successful refit is incremental, so this
+    /// equals [`OnlineEstimator::refits`]; it is tracked separately so the
+    /// market can report fast-path coverage.
+    pub fn incremental_refits(&self) -> usize {
+        self.incremental_refits
+    }
+
+    /// The sliding-window bound, if this estimator was built with
+    /// [`OnlineEstimator::with_window`].
+    pub fn window(&self) -> Option<usize> {
+        self.window
     }
 
     /// Goodness of fit of the latest refit, if any.
@@ -172,34 +233,85 @@ impl OnlineEstimator {
                 "allocation quantities must be finite, got {q}"
             )));
         }
-        self.observations
-            .push(FitPoint::new(allocation, performance)?);
+        let point = FitPoint::new(allocation, performance)?;
+        self.triangle
+            .append(&Self::log_row(&point), point.output.ln())
+            .expect("validated observation rows are finite");
+        self.observations.push(point);
+        if let Some(window) = self.window {
+            if self.observations.len() > window {
+                let evicted = self.observations.remove(0);
+                if self
+                    .triangle
+                    .downdate(&Self::log_row(&evicted), evicted.output.ln())
+                    .is_err()
+                {
+                    // The factor is too close to singular to subtract the
+                    // row stably; refactorize the surviving rows instead.
+                    self.refactorize();
+                }
+            }
+        }
         if self.observations.len() <= self.num_resources + 1 {
             return Ok(false);
         }
-        match fit_cobb_douglas(&self.observations) {
-            Ok(fit) => {
-                self.current = fit.utility().clone();
+        let fit = match self.triangle.solve() {
+            Ok(fit) => fit,
+            // A collinear design is expected early on; keep the prior.
+            Err(_) => return Ok(false),
+        };
+        // Post-process exactly as the batch pipeline
+        // ([`crate::fitting::fit_cobb_douglas`]) does: exponentiate the
+        // intercept, clamp negative elasticities, and substitute a tiny
+        // uniform profile when every elasticity clamps to zero.
+        let scale = fit.coefficients()[0].exp();
+        let elasticities: Vec<f64> = fit.coefficients()[1..].iter().map(|a| a.max(0.0)).collect();
+        let utility = if elasticities.iter().all(|a| *a == 0.0) {
+            CobbDouglas::new(scale, vec![1e-9; self.num_resources])
+        } else {
+            CobbDouglas::new(scale, elasticities)
+        };
+        match utility {
+            Ok(utility) => {
+                self.current = utility;
                 self.last_r_squared = Some(fit.r_squared());
                 self.refits += 1;
+                self.incremental_refits += 1;
                 self.consecutive_degenerate = 0;
                 Ok(true)
             }
-            // A collinear design is expected early on; keep the prior.
-            Err(CoreError::Solver(_)) => Ok(false),
-            // Any other failure is a *degenerate* fit: individually valid
-            // points whose aggregate regression produces an unusable
-            // model (e.g. `exp(intercept)` overflowing the scale). Keep
-            // the last good estimate and count it, instead of erroring —
-            // the point is already in the log, so an error here would
-            // leave a log that [`OnlineEstimator::from_observations`]
-            // cannot replay.
+            // A *degenerate* fit: individually valid points whose
+            // aggregate regression produces an unusable model (e.g.
+            // `exp(intercept)` overflowing the scale). Keep the last good
+            // estimate and count it, instead of erroring — the point is
+            // already in the log, so an error here would leave a log that
+            // [`OnlineEstimator::from_observations`] cannot replay.
             Err(_) => {
                 self.degenerate_refits += 1;
                 self.consecutive_degenerate += 1;
                 Ok(false)
             }
         }
+    }
+
+    /// The log-space design row for one observation: `[1, ln x_1..ln x_R]`.
+    fn log_row(point: &FitPoint) -> Vec<f64> {
+        let mut row = Vec::with_capacity(point.inputs.len() + 1);
+        row.push(1.0);
+        row.extend(point.inputs.iter().map(|x| x.ln()));
+        row
+    }
+
+    /// Rebuilds the triangular factor from the surviving observations
+    /// (used when a window downdate is refused for conditioning).
+    fn refactorize(&mut self) {
+        let mut triangle = UpdatableLstsq::new(self.num_resources + 1);
+        for point in &self.observations {
+            triangle
+                .append(&Self::log_row(point), point.output.ln())
+                .expect("previously accepted observations are finite");
+        }
+        self.triangle = triangle;
     }
 }
 
@@ -345,6 +457,86 @@ mod tests {
         assert!(fixed, "blended design never produced a finite fit");
         assert_eq!(est.consecutive_degenerate(), 0);
         assert!(est.degenerate_refits() >= 3);
+    }
+
+    #[test]
+    fn every_successful_refit_uses_the_incremental_path() {
+        let truth = CobbDouglas::new(0.7, vec![0.3, 0.5]).unwrap();
+        let mut est = OnlineEstimator::new(2).unwrap();
+        for i in 0..12_u32 {
+            let x = 1.0 + (i % 4) as f64;
+            let y = 0.5 + (i % 3) as f64;
+            est.observe(vec![x, y], truth.value_slice(&[x, y])).unwrap();
+        }
+        assert!(est.refits() > 0);
+        assert_eq!(est.incremental_refits(), est.refits());
+        assert_eq!(est.window(), None);
+    }
+
+    #[test]
+    fn window_requires_room_for_the_parameters() {
+        assert!(OnlineEstimator::with_window(2, 3).is_err());
+        assert!(OnlineEstimator::with_window(0, 9).is_err());
+        let est = OnlineEstimator::with_window(2, 4).unwrap();
+        assert_eq!(est.window(), Some(4));
+    }
+
+    #[test]
+    fn windowed_estimator_bounds_observations_and_matches_suffix_fit() {
+        let truth = CobbDouglas::new(1.2, vec![0.6, 0.3]).unwrap();
+        let window = 8;
+        let mut bounded = OnlineEstimator::with_window(2, window).unwrap();
+        let points: Vec<(f64, f64)> = (0..24_u32)
+            .map(|i| (1.0 + (i % 5) as f64 * 1.3, 0.5 + (i % 4) as f64 * 0.9))
+            .collect();
+        for &(x, y) in &points {
+            bounded
+                .observe(vec![x, y], truth.value_slice(&[x, y]))
+                .unwrap();
+        }
+        assert_eq!(bounded.num_observations(), window);
+        // An estimator fed only the surviving suffix must land on the same
+        // model (up to downdate round-off).
+        let mut suffix = OnlineEstimator::new(2).unwrap();
+        for &(x, y) in &points[points.len() - window..] {
+            suffix
+                .observe(vec![x, y], truth.value_slice(&[x, y]))
+                .unwrap();
+        }
+        for r in 0..2 {
+            assert!(
+                (bounded.utility().elasticity(r) - suffix.utility().elasticity(r)).abs() < 1e-9
+            );
+        }
+        assert!((bounded.utility().scale() - suffix.utility().scale()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_estimator_tracks_a_drifting_workload() {
+        // The workload's true utility changes mid-run. The bounded
+        // estimator forgets the old phase and locks on to the new one; an
+        // unbounded estimator keeps averaging over both phases forever.
+        let phase_a = CobbDouglas::new(1.0, vec![0.8, 0.1]).unwrap();
+        let phase_b = CobbDouglas::new(1.0, vec![0.1, 0.8]).unwrap();
+        let mut bounded = OnlineEstimator::with_window(2, 6).unwrap();
+        let mut unbounded = OnlineEstimator::new(2).unwrap();
+        let grid = |i: u32| (1.0 + (i % 4) as f64, 0.5 + (i % 3) as f64);
+        for i in 0..12 {
+            let (x, y) = grid(i);
+            let perf = phase_a.value_slice(&[x, y]);
+            bounded.observe(vec![x, y], perf).unwrap();
+            unbounded.observe(vec![x, y], perf).unwrap();
+        }
+        for i in 12..24 {
+            let (x, y) = grid(i);
+            let perf = phase_b.value_slice(&[x, y]);
+            bounded.observe(vec![x, y], perf).unwrap();
+            unbounded.observe(vec![x, y], perf).unwrap();
+        }
+        // Once the window holds only phase-B points the fit is exact.
+        assert!((bounded.utility().elasticity(1) - 0.8).abs() < 1e-9);
+        // The unbounded estimator is stuck between the two phases.
+        assert!((unbounded.utility().elasticity(1) - 0.8).abs() > 0.05);
     }
 
     #[test]

@@ -27,7 +27,9 @@ use std::collections::BTreeMap;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use ref_core::mechanism::{Mechanism, ProportionalElasticity};
+use ref_core::mechanism::{
+    EqualSlowdown, GpWarmStart, MaxWelfare, Mechanism, ProportionalElasticity,
+};
 use ref_core::online::OnlineEstimator;
 use ref_core::properties::FairnessReport;
 use ref_core::resource::{Allocation, Capacity};
@@ -44,6 +46,7 @@ use crate::error::{MarketError, Result};
 use crate::events::{EventQueue, MarketEvent};
 use crate::metrics::MarketMetrics;
 use crate::snapshot::{AgentSnapshot, MarketSnapshot, SNAPSHOT_VERSION};
+use crate::warm::WarmStartCache;
 
 /// Smallest scheduler weight granted to an agent whose fitted elasticity
 /// collapsed to (near) zero for a resource; keeps the stride scheduler
@@ -53,6 +56,87 @@ const MIN_STRIDE_WEIGHT: f64 = 1e-9;
 /// Floor applied to simulated cache/bandwidth shares so the partitioned
 /// system stays constructible even for vanishing fitted shares.
 const MIN_SIM_SHARE: f64 = 0.005;
+
+/// Which allocation mechanism the market runs each epoch.
+///
+/// [`MechanismKind::ProportionalElasticity`] is the paper's closed-form
+/// REF mechanism and the default. The optimization-backed kinds solve a
+/// geometric program per reallocation; for those the engine keeps a
+/// [`WarmStartCache`] and seeds each solve from the previous epoch's
+/// optimum (see [`MarketMetrics::warm_start_hits`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MechanismKind {
+    /// Closed-form REF (§4.1): proportional to re-scaled elasticities.
+    ProportionalElasticity,
+    /// Nash-social-welfare maximization via GP (§4.5).
+    MaxWelfare {
+        /// Impose the SI/EF/PE constraints of Eq. 11.
+        fairness: bool,
+    },
+    /// Egalitarian max-min weighted utility via GP (§4.5, §5.5).
+    EqualSlowdown {
+        /// Impose the SI/EF/PE constraints of Eq. 11.
+        fairness: bool,
+    },
+}
+
+impl MechanismKind {
+    /// Stable wire label (used by the snapshot format and service config).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MechanismKind::ProportionalElasticity => "proportional-elasticity",
+            MechanismKind::MaxWelfare { fairness: false } => "max-welfare",
+            MechanismKind::MaxWelfare { fairness: true } => "max-welfare-fair",
+            MechanismKind::EqualSlowdown { fairness: false } => "equal-slowdown",
+            MechanismKind::EqualSlowdown { fairness: true } => "equal-slowdown-fair",
+        }
+    }
+
+    /// Parses a [`MechanismKind::label`].
+    pub fn from_label(label: &str) -> Option<MechanismKind> {
+        match label {
+            "proportional-elasticity" => Some(MechanismKind::ProportionalElasticity),
+            "max-welfare" => Some(MechanismKind::MaxWelfare { fairness: false }),
+            "max-welfare-fair" => Some(MechanismKind::MaxWelfare { fairness: true }),
+            "equal-slowdown" => Some(MechanismKind::EqualSlowdown { fairness: false }),
+            "equal-slowdown-fair" => Some(MechanismKind::EqualSlowdown { fairness: true }),
+            _ => None,
+        }
+    }
+
+    /// Whether this mechanism's solves benefit from a warm start (i.e. it
+    /// is optimization-backed). Closed-form mechanisms never consult the
+    /// cache and never touch the warm-start counters.
+    pub fn warm_startable(&self) -> bool {
+        !matches!(self, MechanismKind::ProportionalElasticity)
+    }
+
+    /// Dispatches to the mechanism implementation.
+    fn allocate_warm(
+        &self,
+        agents: &[CobbDouglas],
+        capacity: &Capacity,
+        warm: Option<&GpWarmStart>,
+    ) -> ref_core::error::Result<(Allocation, Option<GpWarmStart>)> {
+        match self {
+            MechanismKind::ProportionalElasticity => {
+                ProportionalElasticity.allocate_warm(agents, capacity, warm)
+            }
+            MechanismKind::MaxWelfare { fairness: true } => {
+                MaxWelfare::with_fairness().allocate_warm(agents, capacity, warm)
+            }
+            MechanismKind::MaxWelfare { fairness: false } => {
+                MaxWelfare::without_fairness().allocate_warm(agents, capacity, warm)
+            }
+            MechanismKind::EqualSlowdown { fairness: true } => {
+                EqualSlowdown::with_fairness().allocate_warm(agents, capacity, warm)
+            }
+            MechanismKind::EqualSlowdown { fairness: false } => {
+                EqualSlowdown::new().allocate_warm(agents, capacity, warm)
+            }
+        }
+    }
+}
 
 /// Static configuration of a market.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +169,8 @@ pub struct MarketConfig {
     pub sim_instructions: u64,
     /// Root seed for all per-epoch deterministic randomness.
     pub seed: u64,
+    /// The allocation mechanism to run each epoch.
+    pub mechanism: MechanismKind,
 }
 
 impl MarketConfig {
@@ -99,6 +185,7 @@ impl MarketConfig {
             enforcement_quanta: 2_000,
             sim_instructions: 30_000,
             seed: 0x5EED,
+            mechanism: MechanismKind::ProportionalElasticity,
         }
     }
 
@@ -144,6 +231,12 @@ impl MarketConfig {
         self
     }
 
+    /// Sets the allocation mechanism.
+    pub fn with_mechanism(mut self, mechanism: MechanismKind) -> MarketConfig {
+        self.mechanism = mechanism;
+        self
+    }
+
     /// Whether two configs describe the same market up to the capacity
     /// *values*. The sharded serving tier reallots capacity between shards
     /// at runtime via [`MarketEvent::CapacityRealloted`], so a recovered
@@ -159,6 +252,7 @@ impl MarketConfig {
             && self.enforcement_quanta == other.enforcement_quanta
             && self.sim_instructions == other.sim_instructions
             && self.seed == other.seed
+            && self.mechanism == other.mechanism
     }
 
     /// Checks the tuning parameters.
@@ -230,6 +324,7 @@ pub struct MarketEngine {
     epoch: u64,
     stable_since: u64,
     cache: Option<(Fingerprint, Allocation)>,
+    warm: WarmStartCache,
     auditor: Auditor,
     metrics: MarketMetrics,
 }
@@ -250,6 +345,7 @@ impl MarketEngine {
             epoch: 0,
             stable_since: 0,
             cache: None,
+            warm: WarmStartCache::new(),
             auditor: Auditor::new(),
             metrics: MarketMetrics::new(),
         })
@@ -339,6 +435,7 @@ impl MarketEngine {
                 if self.population.remove(&id).is_none() {
                     return Err(MarketError::UnknownAgent(id));
                 }
+                self.warm.invalidate(id);
                 self.metrics.leaves += 1;
                 self.stable_since = self.epoch;
                 Ok(None)
@@ -360,6 +457,7 @@ impl MarketEngine {
                     agent.source = source;
                 }
                 agent.estimator = OnlineEstimator::new(num_resources)?;
+                self.warm.invalidate(id);
                 self.metrics.demand_changes += 1;
                 self.stable_since = self.epoch;
                 Ok(None)
@@ -382,15 +480,19 @@ impl MarketEngine {
                     return Err(MarketError::QuarantinedAgent(id));
                 }
                 let degen_before = agent.estimator.degenerate_refits();
+                let inc_before = agent.estimator.incremental_refits();
                 let refit = agent.estimator.observe(allocation, performance)?;
                 self.metrics.external_observations += 1;
                 self.metrics.refits += u64::from(refit);
+                self.metrics.incremental_refits +=
+                    (agent.estimator.incremental_refits() - inc_before) as u64;
                 self.metrics.degenerate_refits +=
                     (agent.estimator.degenerate_refits() - degen_before) as u64;
                 // The agent was not quarantined on entry, so crossing the
                 // threshold here is exactly one transition.
                 if agent.quarantined() {
                     self.metrics.quarantines += 1;
+                    self.warm.invalidate(id);
                 }
                 Ok(None)
             }
@@ -409,6 +511,9 @@ impl MarketEngine {
                 // between shards should not trip the fairness audit.
                 self.config.capacity = capacity;
                 self.cache = None;
+                // The previous optimum lived on the old capacity frontier;
+                // it may be infeasible under the new one.
+                self.warm.clear();
                 self.metrics.reallotments += 1;
                 self.stable_since = self.epoch;
                 Ok(None)
@@ -454,7 +559,28 @@ impl MarketEngine {
                 (cached_alloc.clone(), ReallocationOutcome::CacheHit)
             }
             _ => {
-                let alloc = ProportionalElasticity.allocate(&reported, &self.config.capacity)?;
+                let kind = self.config.mechanism;
+                let num_resources = self.config.capacity.num_resources();
+                // Seed optimization-backed mechanisms from the previous
+                // epoch's optimum; the solver falls back to the cold start
+                // on any unusable hint, so a hit can only save work.
+                let hint = if kind.warm_startable() {
+                    let hint = self.warm.hint(&ids, num_resources);
+                    if hint.is_some() {
+                        self.metrics.warm_start_hits += 1;
+                    } else {
+                        self.metrics.warm_start_misses += 1;
+                    }
+                    hint
+                } else {
+                    None
+                };
+                let (alloc, next_hint) =
+                    kind.allocate_warm(&reported, &self.config.capacity, hint.as_ref())?;
+                match next_hint {
+                    Some(w) => self.warm.store(&ids, num_resources, &w),
+                    None => self.warm.clear(),
+                }
                 self.cache = Some((fingerprint, alloc.clone()));
                 self.metrics.reallocations += 1;
                 (alloc, ReallocationOutcome::Reallocated)
@@ -470,9 +596,10 @@ impl MarketEngine {
         self.auditor.record(&fairness, warm);
 
         let enforcement = self.enforce(&allocation)?;
-        let (observations, refits, degenerate, quarantines) =
+        let (observations, refits, incremental, degenerate, quarantines) =
             self.collect_observations(epoch, &allocation)?;
         self.metrics.refits += refits as u64;
+        self.metrics.incremental_refits += incremental;
         self.metrics.degenerate_refits += degenerate;
         self.metrics.quarantines += quarantines;
 
@@ -529,13 +656,13 @@ impl MarketEngine {
 
     /// Produces one observation per engine-driven agent at a jittered
     /// allocation and feeds the online estimators. Returns
-    /// `(observations, refits, degenerate refit delta, quarantine
-    /// transitions)` for this epoch.
+    /// `(observations, refits, incremental refit delta, degenerate refit
+    /// delta, quarantine transitions)` for this epoch.
     fn collect_observations(
         &mut self,
         epoch: u64,
         allocation: &Allocation,
-    ) -> Result<(usize, usize, u64, u64)> {
+    ) -> Result<(usize, usize, u64, u64, u64)> {
         let config = self.config.clone();
 
         // Simulated agents run jointly in one partitioned multicore system.
@@ -561,6 +688,7 @@ impl MarketEngine {
             bundle: Vec<f64>,
             was_quarantined: bool,
             degen_before: usize,
+            inc_before: usize,
             agent: &'a mut AgentState,
             outcome: Result<(usize, usize)>,
         }
@@ -572,6 +700,7 @@ impl MarketEngine {
                 bundle: allocation.bundle(i).as_slice().to_vec(),
                 was_quarantined: agent.quarantined(),
                 degen_before: agent.estimator.degenerate_refits(),
+                inc_before: agent.estimator.incremental_refits(),
                 agent,
                 outcome: Ok((0, 0)),
             })
@@ -581,16 +710,21 @@ impl MarketEngine {
         });
         let mut observations = 0;
         let mut refits = 0;
+        let mut incremental = 0u64;
         let mut degenerate = 0u64;
         let mut quarantines = 0u64;
         for slot in work {
             let (obs, refit) = slot.outcome?;
             observations += obs;
             refits += refit;
+            incremental += (slot.agent.estimator.incremental_refits() - slot.inc_before) as u64;
             degenerate += (slot.agent.estimator.degenerate_refits() - slot.degen_before) as u64;
-            quarantines += u64::from(!slot.was_quarantined && slot.agent.quarantined());
+            if !slot.was_quarantined && slot.agent.quarantined() {
+                quarantines += 1;
+                self.warm.invalidate(slot.agent.id);
+            }
         }
-        Ok((observations, refits, degenerate, quarantines))
+        Ok((observations, refits, incremental, degenerate, quarantines))
     }
 
     /// The static configuration.
@@ -644,6 +778,11 @@ impl MarketEngine {
         &self.auditor
     }
 
+    /// The warm-start cache seeding optimization-backed mechanisms.
+    pub fn warm_cache(&self) -> &WarmStartCache {
+        &self.warm
+    }
+
     /// Lifetime service counters.
     pub fn metrics(&self) -> &MarketMetrics {
         &self.metrics
@@ -663,6 +802,7 @@ impl MarketEngine {
             auditor: self.auditor.clone(),
             metrics: self.metrics.clone(),
             cache: self.cache.clone(),
+            warm: self.warm.clone(),
             agents: self
                 .population
                 .values()
@@ -725,6 +865,7 @@ impl MarketEngine {
             epoch: snapshot.epoch,
             stable_since: snapshot.stable_since,
             cache: snapshot.cache.clone(),
+            warm: snapshot.warm.clone(),
             auditor: snapshot.auditor.clone(),
             metrics: snapshot.metrics.clone(),
         })
@@ -1119,6 +1260,115 @@ mod tests {
             assert!((u.elasticity_sum() - 1.0).abs() < 1e-9, "{u:?}");
         }
         assert!(market.auditor().clean_after_warmup());
+    }
+
+    #[test]
+    fn gp_mechanism_market_warm_starts_between_epochs() {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap())
+            .with_mechanism(MechanismKind::MaxWelfare { fairness: true });
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: truth(0.6, 0.4),
+        });
+        market.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: truth(0.2, 0.8),
+        });
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 20));
+        let reports = market.pump().unwrap();
+        let m = market.metrics().clone();
+        // The first solve is necessarily cold; every later solve over the
+        // unchanged population is seeded from the previous optimum.
+        assert_eq!(m.warm_start_misses, 1, "{m}");
+        assert!(m.warm_start_hits > 0, "{m}");
+        assert_eq!(m.warm_start_hits + m.warm_start_misses, m.reallocations);
+        assert!(!market.warm_cache().is_empty());
+        assert!(market.auditor().clean_after_warmup());
+        // Warm-started solves still land on the REF point the fitted
+        // utilities imply (the paper example's (18, 4) / (6, 8)).
+        let alloc = reports.last().unwrap().allocation.as_ref().unwrap();
+        assert!((alloc.bundle(0).get(0) - 18.0).abs() < 0.8, "{alloc:?}");
+        assert!((alloc.bundle(1).get(1) - 8.0).abs() < 0.8, "{alloc:?}");
+        // A departure only drops the leaver's block: the survivor's cached
+        // optimum still covers the shrunken id set, so the next solve stays
+        // warm. An arrival, by contrast, changes the problem shape and
+        // forces a cold start.
+        market.submit(MarketEvent::AgentLeft { id: 2 });
+        market.submit(MarketEvent::EpochTick);
+        market.pump().unwrap();
+        assert_eq!(market.metrics().warm_start_misses, 1);
+        market.submit(MarketEvent::AgentJoined {
+            id: 3,
+            source: truth(0.5, 0.5),
+        });
+        market.submit(MarketEvent::EpochTick);
+        market.pump().unwrap();
+        assert_eq!(market.metrics().warm_start_misses, 2);
+    }
+
+    #[test]
+    fn closed_form_mechanism_never_touches_warm_counters() {
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 10));
+        market.pump().unwrap();
+        let m = market.metrics();
+        assert!(m.reallocations > 0);
+        assert_eq!(m.warm_start_hits, 0);
+        assert_eq!(m.warm_start_misses, 0);
+        assert!(market.warm_cache().is_empty());
+    }
+
+    #[test]
+    fn every_market_refit_is_served_incrementally() {
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 15));
+        market.pump().unwrap();
+        let m = market.metrics();
+        assert!(m.refits > 0);
+        assert_eq!(m.incremental_refits, m.refits, "{m}");
+    }
+
+    #[test]
+    fn rank_classification_follows_the_unified_solver_tolerance() {
+        // The estimator's collinear-vs-informative decision is governed by
+        // the documented `ref_solver::tol` thresholds. A design whose
+        // log-columns vary far below the rank tolerance is classified
+        // collinear — the prior survives, nothing is counted degenerate
+        // and the agent is never quarantined; variation well above it
+        // refits normally.
+        let run = |spread: f64| {
+            let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+            let mut market = MarketEngine::new(config).unwrap();
+            market.submit(MarketEvent::AgentJoined {
+                id: 1,
+                source: ObservationSource::External,
+            });
+            for i in 0..8_u32 {
+                let x = 2.0 * (1.0 + spread * f64::from(i));
+                let y = 3.0 * (1.0 + 0.7 * spread * f64::from((i * 3) % 5));
+                market.submit(MarketEvent::ObservationReported {
+                    id: 1,
+                    allocation: vec![x, y],
+                    performance: x.powf(0.6) * y.powf(0.4),
+                });
+            }
+            market.pump().unwrap();
+            market
+        };
+        // Spread orders of magnitude below RANK_TOL: collinear, keep prior.
+        let degenerate_spread = ref_solver::tol::RANK_TOL * 1e-3;
+        let market = run(degenerate_spread);
+        let agent = market.agent(1).unwrap();
+        assert_eq!(agent.estimator.refits(), 0);
+        assert_eq!(agent.estimator.degenerate_refits(), 0);
+        assert!(!agent.quarantined());
+        assert_eq!(agent.reported_utility().elasticities(), &[0.5, 0.5]);
+        // The same shape of design with real variation refits fine.
+        let market = run(0.1);
+        let agent = market.agent(1).unwrap();
+        assert!(agent.estimator.refits() > 0);
+        assert!((agent.reported_utility().elasticity(0) - 0.6).abs() < 1e-6);
     }
 
     #[test]

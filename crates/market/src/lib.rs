@@ -93,12 +93,14 @@ pub mod error;
 pub mod events;
 pub mod metrics;
 pub mod snapshot;
+pub mod warm;
 
 pub use agent::{AgentId, AgentState, ObservationSource};
 pub use audit::Auditor;
-pub use engine::{MarketConfig, MarketEngine};
+pub use engine::{MarketConfig, MarketEngine, MechanismKind};
 pub use epoch::{EpochReport, ReallocationOutcome};
 pub use error::{MarketError, Result};
 pub use events::MarketEvent;
 pub use metrics::MarketMetrics;
 pub use snapshot::MarketSnapshot;
+pub use warm::WarmStartCache;

@@ -69,6 +69,17 @@ pub struct MarketMetrics {
     /// Capacity reallotments applied (cross-shard coordination updates
     /// delivered as [`crate::MarketEvent::CapacityRealloted`]).
     pub reallotments: u64,
+    /// Optimization-backed reallocations seeded from the warm-start cache
+    /// (the previous epoch's optimum). Closed-form mechanisms never touch
+    /// this counter.
+    pub warm_start_hits: u64,
+    /// Optimization-backed reallocations that ran from a cold start (no
+    /// usable cached optimum: first solve, membership churn, demand
+    /// change, reallotment or quarantine invalidation).
+    pub warm_start_misses: u64,
+    /// Successful estimator refits served by the incremental `O(R^2)`
+    /// triangle-append path rather than a from-scratch refactorization.
+    pub incremental_refits: u64,
 }
 
 impl MarketMetrics {
@@ -96,7 +107,9 @@ impl MarketMetrics {
              \"demand_changes\":{},\"external_observations\":{},\
              \"reallocations\":{},\"cache_hits\":{},\"refits\":{},\
              \"rejected_events\":{},\"degenerate_refits\":{},\
-             \"quarantines\":{},\"reallotments\":{},\"cache_hit_rate\":{}}}",
+             \"quarantines\":{},\"reallotments\":{},\"warm_start_hits\":{},\
+             \"warm_start_misses\":{},\"incremental_refits\":{},\
+             \"cache_hit_rate\":{}}}",
             self.epochs,
             self.events,
             self.joins,
@@ -110,6 +123,9 @@ impl MarketMetrics {
             self.degenerate_refits,
             self.quarantines,
             self.reallotments,
+            self.warm_start_hits,
+            self.warm_start_misses,
+            self.incremental_refits,
             json_f64(self.cache_hit_rate())
         )
     }
@@ -135,6 +151,9 @@ impl MarketMetrics {
             ("refmarket_degenerate_refits", self.degenerate_refits),
             ("refmarket_quarantines", self.quarantines),
             ("refmarket_reallotments", self.reallotments),
+            ("refmarket_warm_start_hits", self.warm_start_hits),
+            ("refmarket_warm_start_misses", self.warm_start_misses),
+            ("refmarket_incremental_refits", self.incremental_refits),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }
@@ -291,6 +310,9 @@ mod tests {
             degenerate_refits: 2,
             quarantines: 1,
             reallotments: 8,
+            warm_start_hits: 11,
+            warm_start_misses: 4,
+            incremental_refits: 9,
         };
         assert_eq!(
             m.to_json(),
@@ -298,9 +320,11 @@ mod tests {
              \"demand_changes\":2,\"external_observations\":7,\
              \"reallocations\":4,\"cache_hits\":6,\"refits\":9,\
              \"rejected_events\":5,\"degenerate_refits\":2,\
-             \"quarantines\":1,\"reallotments\":8,\"cache_hit_rate\":0.6}"
+             \"quarantines\":1,\"reallotments\":8,\"warm_start_hits\":11,\
+             \"warm_start_misses\":4,\"incremental_refits\":9,\
+             \"cache_hit_rate\":0.6}"
         );
-        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 14);
+        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 17);
     }
 
     #[test]
@@ -312,8 +336,8 @@ mod tests {
         };
         let text = m.to_text();
         assert!(text.starts_with("refmarket_epochs 2\nrefmarket_events 3\n"));
-        assert_eq!(text.lines().count(), 13);
-        assert!(text.ends_with("refmarket_reallotments 0\n"));
+        assert_eq!(text.lines().count(), 16);
+        assert!(text.ends_with("refmarket_incremental_refits 0\n"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! decode → restore reproduces the original state *bit for bit* — the
 //! restored market's next epoch allocates identically to the original's.
 //! Lines are self-describing (`capacity …`, `agent …`, `o …`), parsed
-//! strictly in order, and the leading `refmarket-snapshot v1` magic
+//! strictly in order, and the leading `refmarket-snapshot v2` magic
 //! rejects foreign or future documents up front.
 
 use std::fmt::Write as _;
@@ -21,12 +21,17 @@ use ref_core::utility::CobbDouglas;
 
 use crate::agent::{AgentId, ObservationSource};
 use crate::audit::Auditor;
-use crate::engine::{Fingerprint, MarketConfig};
+use crate::engine::{Fingerprint, MarketConfig, MechanismKind};
 use crate::error::{MarketError, Result};
 use crate::metrics::MarketMetrics;
+use crate::warm::WarmStartCache;
 
 /// The snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 added the allocation mechanism to the config section, the
+/// warm-start cache section, and the warm-start/incremental-refit
+/// counters to the metrics line.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const MAGIC: &str = "refmarket-snapshot";
 
@@ -68,6 +73,11 @@ pub struct MarketSnapshot {
     /// it maps to. Restored bit-exactly so cache decisions — and with
     /// them the served allocation bits — survive a restart.
     pub cache: Option<(Fingerprint, Allocation)>,
+    /// The warm-start cache seeding optimization-backed mechanisms.
+    /// Restored bit-exactly so a restarted market's next GP solve starts
+    /// from the same point — and lands on the same bits — as the
+    /// original's would have.
+    pub warm: WarmStartCache,
     /// Live agents in ascending id order.
     pub agents: Vec<AgentSnapshot>,
 }
@@ -110,6 +120,7 @@ impl MarketSnapshot {
         let _ = writeln!(out, "quanta {}", c.enforcement_quanta);
         let _ = writeln!(out, "sim-instructions {}", c.sim_instructions);
         let _ = writeln!(out, "seed {}", c.seed);
+        let _ = writeln!(out, "mechanism {}", c.mechanism.label());
 
         let _ = writeln!(out, "epoch {}", self.epoch);
         let _ = writeln!(out, "stable-since {}", self.stable_since);
@@ -128,7 +139,7 @@ impl MarketSnapshot {
         let m = &self.metrics;
         let _ = writeln!(
             out,
-            "metrics {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "metrics {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             m.epochs,
             m.events,
             m.joins,
@@ -141,7 +152,10 @@ impl MarketSnapshot {
             m.rejected_events,
             m.degenerate_refits,
             m.quarantines,
-            m.reallotments
+            m.reallotments,
+            m.warm_start_hits,
+            m.warm_start_misses,
+            m.incremental_refits
         );
 
         match &self.cache {
@@ -172,6 +186,20 @@ impl MarketSnapshot {
                     let _ = writeln!(out, "{line}");
                 }
             }
+        }
+
+        let (warm_bundles, warm_aux, warm_t) = self.warm.parts();
+        let _ = writeln!(out, "warm {}", warm_bundles.len());
+        if !warm_bundles.is_empty() {
+            for (id, bundle) in &warm_bundles {
+                let mut line = format!("w {id}");
+                push_hexes(&mut line, bundle);
+                let _ = writeln!(out, "{line}");
+            }
+            let mut line = "warm-aux".to_string();
+            push_hexes(&mut line, warm_aux);
+            let _ = writeln!(out, "{line}");
+            let _ = writeln!(out, "warm-t {}", hex(warm_t));
         }
 
         let _ = writeln!(out, "agents {}", self.agents.len());
@@ -244,6 +272,11 @@ impl MarketSnapshot {
             enforcement_quanta: lines.tagged_u64("quanta")?,
             sim_instructions: lines.tagged_u64("sim-instructions")?,
             seed: lines.tagged_u64("seed")?,
+            mechanism: {
+                let label = lines.tagged("mechanism")?;
+                MechanismKind::from_label(label)
+                    .ok_or_else(|| bad(format!("unknown mechanism {label:?}")))?
+            },
         };
         let epoch = lines.tagged_u64("epoch")?;
         let stable_since = lines.tagged_u64("stable-since")?;
@@ -258,7 +291,7 @@ impl MarketSnapshot {
             ef_after_warmup: a[5],
             pe_after_warmup: a[6],
         };
-        let m = lines.tagged_u64s("metrics", 13)?;
+        let m = lines.tagged_u64s("metrics", 16)?;
         let metrics = MarketMetrics {
             epochs: m[0],
             events: m[1],
@@ -273,6 +306,9 @@ impl MarketSnapshot {
             degenerate_refits: m[10],
             quarantines: m[11],
             reallotments: m[12],
+            warm_start_hits: m[13],
+            warm_start_misses: m[14],
+            incremental_refits: m[15],
         };
 
         let cache = match lines.tagged("cache")? {
@@ -316,6 +352,26 @@ impl MarketSnapshot {
                 ))
             }
             other => return Err(bad(format!("cache must be present|none, got {other:?}"))),
+        };
+
+        let num_warm = lines.tagged_u64("warm")? as usize;
+        let warm = if num_warm == 0 {
+            WarmStartCache::new()
+        } else {
+            let mut bundles = Vec::with_capacity(num_warm);
+            for _ in 0..num_warm {
+                let line = lines.tagged("w")?;
+                let mut toks = line.split_whitespace();
+                let id = toks
+                    .next()
+                    .and_then(|t| t.parse::<AgentId>().ok())
+                    .ok_or_else(|| bad(format!("warm entry {line:?}")))?;
+                let values = toks.map(parse_f64).collect::<Result<Vec<_>>>()?;
+                bundles.push((id, values));
+            }
+            let aux = parse_f64s(lines.tagged("warm-aux")?)?;
+            let barrier_t = lines.tagged_f64("warm-t")?;
+            WarmStartCache::from_parts(bundles, aux, barrier_t)
         };
 
         let num_agents = lines.tagged_u64("agents")? as usize;
@@ -383,6 +439,7 @@ impl MarketSnapshot {
             auditor,
             metrics,
             cache,
+            warm,
             agents,
         })
     }
@@ -487,11 +544,66 @@ mod tests {
         market
     }
 
+    fn warm_gp_market() -> MarketEngine {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap())
+            .with_mechanism(crate::engine::MechanismKind::MaxWelfare { fairness: true });
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap()),
+        });
+        market.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap()),
+        });
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 10));
+        market.pump().unwrap();
+        market
+    }
+
     #[test]
     fn encode_decode_round_trips_exactly() {
         let snap = busy_market().snapshot();
         let decoded = MarketSnapshot::decode(&snap.encode()).unwrap();
         assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn warm_start_cache_round_trips_bit_exactly() {
+        let market = warm_gp_market();
+        assert!(!market.warm_cache().is_empty());
+        let snap = market.snapshot();
+        assert!(!snap.warm.is_empty());
+        let decoded = MarketSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.warm, snap.warm);
+    }
+
+    #[test]
+    fn restored_gp_market_stays_warm_and_allocates_bit_identically() {
+        let mut original = warm_gp_market();
+        let text = original.snapshot().encode();
+        let mut restored = MarketEngine::restore(&MarketSnapshot::decode(&text).unwrap()).unwrap();
+        assert_eq!(restored.warm_cache(), original.warm_cache());
+        // Continued epochs seed the GP solver from the restored cache on
+        // both sides, so allocations — and the hit/miss counters — must
+        // track bit for bit.
+        for _ in 0..4 {
+            original.submit(MarketEvent::EpochTick);
+            restored.submit(MarketEvent::EpochTick);
+            let a = original.pump().unwrap().pop().unwrap();
+            let b = restored.pump().unwrap().pop().unwrap();
+            assert_eq!(a.realloc, b.realloc);
+            if let (Some(x), Some(y)) = (a.allocation, b.allocation) {
+                for (bx, by) in x.bundles().iter().zip(y.bundles()) {
+                    for r in 0..bx.num_resources() {
+                        assert_eq!(bx.get(r).to_bits(), by.get(r).to_bits());
+                    }
+                }
+            }
+        }
+        assert_eq!(original.metrics(), restored.metrics());
+        assert!(restored.metrics().warm_start_hits > 0);
     }
 
     #[test]
@@ -542,7 +654,7 @@ mod tests {
     #[test]
     fn restore_rejects_unsupported_versions_and_duplicate_agents() {
         let mut snap = busy_market().snapshot();
-        snap.version = 2;
+        snap.version = 3;
         assert!(matches!(
             MarketEngine::restore(&snap),
             Err(MarketError::Snapshot(_))

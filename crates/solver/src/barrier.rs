@@ -61,6 +61,10 @@ pub struct BarrierResult {
     pub value: f64,
     /// Number of outer (centering) iterations.
     pub outer_iterations: usize,
+    /// Path parameter `t` at which the final centering converged. Feeding
+    /// it (divided by `mu`) back into [`minimize_warm`] alongside the final
+    /// `x` lets a re-solve of a nearby problem skip most of the path.
+    pub final_t: f64,
 }
 
 /// The barrier-augmented objective `t f0(x) - sum_i log(-f_i(x))`.
@@ -109,8 +113,7 @@ impl Objective for BarrierObjective<'_> {
             let w1 = 1.0 / (fi * fi);
             let w2 = -1.0 / fi;
             h.rank_one_update(w1, &gi);
-            let scaled = hi.scaled(w2);
-            h = h.add_matrix(&scaled).expect("dimensions agree");
+            h.axpy_matrix(w2, &hi).expect("dimensions agree");
         }
         h
     }
@@ -229,6 +232,38 @@ pub fn minimize(
     x0: &[f64],
     opts: &BarrierOptions,
 ) -> Result<BarrierResult> {
+    minimize_warm(f0, constraints, x0, opts, None)
+}
+
+/// [`minimize`] with an optional warm-started path parameter.
+///
+/// `t_start` overrides the initial path parameter `opts.t0`. A caller that
+/// re-solves a slightly perturbed problem passes the previous result's
+/// `x` as `x0` and something like `(prev.final_t / opts.mu).max(opts.t0)`
+/// as `t_start`: the near-optimal start is already strictly feasible (so
+/// phase I is skipped by the ordinary feasibility check) and the path
+/// resumes close to where it ended instead of from `t0`, cutting the outer
+/// iterations to one or two. With `t_start = None` this is exactly
+/// [`minimize`] — same iterates bit for bit.
+///
+/// # Errors
+///
+/// As [`minimize`], plus [`SolverError::InvalidArgument`] for a
+/// non-finite or non-positive `t_start`.
+pub fn minimize_warm(
+    f0: &dyn Objective,
+    constraints: &[&dyn Objective],
+    x0: &[f64],
+    opts: &BarrierOptions,
+    t_start: Option<f64>,
+) -> Result<BarrierResult> {
+    if let Some(t) = t_start {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(SolverError::InvalidArgument(format!(
+                "warm-start path parameter must be finite and positive, got {t}"
+            )));
+        }
+    }
     if x0.len() != f0.dim() {
         return Err(SolverError::InvalidArgument(format!(
             "start point has dimension {}, objective expects {}",
@@ -247,7 +282,7 @@ pub fn minimize(
         Some(v) if v >= -opts.feasibility_margin => phase_one(constraints, x0, opts)?,
         _ => x0.to_vec(),
     };
-    central_path(f0, constraints, &x_start, opts)
+    central_path(f0, constraints, &x_start, opts, t_start)
 }
 
 fn central_path(
@@ -255,6 +290,7 @@ fn central_path(
     constraints: &[&dyn Objective],
     x0: &[f64],
     opts: &BarrierOptions,
+    t_start: Option<f64>,
 ) -> Result<BarrierResult> {
     let m = constraints.len();
     if m == 0 {
@@ -264,10 +300,11 @@ fn central_path(
             x: r.x,
             value: r.value,
             outer_iterations: 1,
+            final_t: t_start.unwrap_or(opts.t0),
         });
     }
     let mut x = x0.to_vec();
-    let mut t = opts.t0;
+    let mut t = t_start.unwrap_or(opts.t0);
     for outer in 0..opts.max_outer_iterations {
         let barrier = BarrierObjective { t, f0, constraints };
         let r = newton::minimize(&barrier, &x, &opts.newton)?;
@@ -277,6 +314,7 @@ fn central_path(
                 x: x.clone(),
                 value: f0.value(&x),
                 outer_iterations: outer + 1,
+                final_t: t,
             });
         }
         t *= opts.mu;
@@ -424,6 +462,45 @@ mod tests {
         let expect = 0.5_f64.ln();
         assert!((r.x[0] - expect).abs() < 1e-4, "{:?}", r.x);
         assert!((r.x[1] - expect).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn warm_restart_agrees_and_skips_most_of_the_path() {
+        let f0 = Affine::new(vec![-1.0, -2.0], 0.0);
+        let c1 = Affine::new(vec![1.0, 0.0], -1.0);
+        let c2 = Affine::new(vec![0.0, 1.0], -1.0);
+        let c3 = Affine::new(vec![-1.0, 0.0], 0.0);
+        let c4 = Affine::new(vec![0.0, -1.0], 0.0);
+        let cons: Vec<&dyn Objective> = vec![&c1, &c2, &c3, &c4];
+        let opts = BarrierOptions::default();
+        let cold = minimize(&f0, &cons, &[0.5, 0.5], &opts).unwrap();
+        assert!(cold.final_t >= cons.len() as f64 / opts.tolerance / opts.mu);
+        let warm = minimize_warm(
+            &f0,
+            &cons,
+            &cold.x,
+            &opts,
+            Some((cold.final_t / opts.mu).max(opts.t0)),
+        )
+        .unwrap();
+        assert!(warm.outer_iterations <= 2, "{}", warm.outer_iterations);
+        assert!(warm.outer_iterations < cold.outer_iterations);
+        for (w, c) in warm.x.iter().zip(&cold.x) {
+            assert!((w - c).abs() < 1e-4, "{w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_path_parameter() {
+        let f0 = Affine::new(vec![1.0], 0.0);
+        let c = Affine::new(vec![1.0], -1.0);
+        let cons: Vec<&dyn Objective> = vec![&c];
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                minimize_warm(&f0, &cons, &[0.0], &BarrierOptions::default(), Some(bad)),
+                Err(SolverError::InvalidArgument(_))
+            ));
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::error::{Result, SolverError};
 use crate::matrix::Matrix;
+use crate::tol;
 
 /// Lower-triangular Cholesky factor `L` with `A = L L^T`.
 ///
@@ -51,8 +52,14 @@ impl Cholesky {
         for i in 0..n {
             for j in 0..=i {
                 let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
+                {
+                    // Row-slice the two gaxpy operands so the inner loop
+                    // runs over contiguous memory without bounds checks.
+                    let ri = &l.row(i)[..j];
+                    let rj = &l.row(j)[..j];
+                    for (x, y) in ri.iter().zip(rj) {
+                        s -= x * y;
+                    }
                 }
                 if i == j {
                     if s <= 0.0 || !s.is_finite() {
@@ -89,11 +96,12 @@ impl Cholesky {
         // Forward substitution: L y = b.
         let mut y = vec![0.0; n];
         for i in 0..n {
+            let row = self.l.row(i);
             let mut s = b[i];
             for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
+                s -= row[k] * y[k];
             }
-            y[i] = s / self.l[(i, i)];
+            y[i] = s / row[i];
         }
         // Back substitution: L^T x = y.
         let mut x = vec![0.0; n];
@@ -145,16 +153,19 @@ pub fn solve_regularized(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         Err(SolverError::NotPositiveDefinite) => {}
         Err(e) => return Err(e),
     }
-    let scale = a.max_abs().max(1.0);
-    let mut tau = 1e-12 * scale;
-    for _ in 0..40 {
-        let mut reg = a.clone();
-        for i in 0..reg.rows() {
-            reg[(i, i)] += tau;
+    // One clone serves every retry: each attempt rewrites the diagonal from
+    // the saved original, which produces the same ridged matrix as a fresh
+    // clone plus `+= tau` would.
+    let mut tau = tol::initial_ridge(a.max_abs());
+    let mut reg = a.clone();
+    let orig_diag: Vec<f64> = (0..a.rows()).map(|i| a[(i, i)]).collect();
+    for _ in 0..tol::RIDGE_RETRIES {
+        for (i, &d) in orig_diag.iter().enumerate() {
+            reg[(i, i)] = d + tau;
         }
         match Cholesky::new(&reg) {
             Ok(ch) => return ch.solve(b),
-            Err(SolverError::NotPositiveDefinite) => tau *= 10.0,
+            Err(SolverError::NotPositiveDefinite) => tau *= tol::RIDGE_GROWTH,
             Err(e) => return Err(e),
         }
     }

@@ -270,6 +270,30 @@ pub struct GpSolution {
     pub objective_value: f64,
     /// Outer interior-point iterations used.
     pub outer_iterations: usize,
+    /// Barrier path parameter at convergence; feed it back through
+    /// [`GpWarmStart`] to warm-start a nearby re-solve.
+    pub final_t: f64,
+}
+
+/// Warm-start hint for [`GeometricProgram::solve_warm`]: the optimum of a
+/// previous, nearby instance in the *original* (positive) variable space
+/// plus the barrier path parameter it converged at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpWarmStart {
+    /// Previous optimum (strictly positive, original space).
+    pub x: Vec<f64>,
+    /// `final_t` reported by the previous solve.
+    pub t: f64,
+}
+
+impl GpWarmStart {
+    /// Extracts the warm-start hint from a solution.
+    pub fn from_solution(sol: &GpSolution) -> GpWarmStart {
+        GpWarmStart {
+            x: sol.x.clone(),
+            t: sol.final_t,
+        }
+    }
 }
 
 impl GeometricProgram {
@@ -382,6 +406,25 @@ impl GeometricProgram {
     /// - [`SolverError::Infeasible`] if no strictly feasible point exists.
     /// - Errors propagated from the interior-point method.
     pub fn solve(&self, x0: &[f64]) -> Result<GpSolution> {
+        self.solve_warm(x0, None)
+    }
+
+    /// As [`solve`](GeometricProgram::solve), seeded from a previous
+    /// solution of a nearby instance when `warm` is given.
+    ///
+    /// A usable hint must match the problem's variable count, be strictly
+    /// positive and finite, and carry a finite path parameter at or above
+    /// the configured `t0` — anything else (a shape change, a poisoned
+    /// cache entry) makes the hint *ignored*, not an error: the solve
+    /// falls back to the cold path from `x0`. The warm path also falls
+    /// back to cold if it fails for any reason (e.g. the previous optimum
+    /// is infeasible for the new instance in a way phase I cannot fix from
+    /// there), so `solve_warm` never errors where `solve` would succeed.
+    ///
+    /// # Errors
+    ///
+    /// As [`solve`](GeometricProgram::solve).
+    pub fn solve_warm(&self, x0: &[f64], warm: Option<&GpWarmStart>) -> Result<GpSolution> {
         if x0.len() != self.n {
             return Err(SolverError::InvalidArgument(format!(
                 "start point has length {}, expected {}",
@@ -394,7 +437,6 @@ impl GeometricProgram {
                 "start point must be strictly positive".to_string(),
             ));
         }
-        let t0: Vec<f64> = x0.iter().map(|v| v.ln()).collect();
         // Log-space objective. A one-term posynomial maps to an affine
         // objective, which keeps Newton exact for monomial objectives.
         let obj_lse = self.objective.to_lse();
@@ -408,14 +450,41 @@ impl GeometricProgram {
         };
         let lses: Vec<LogSumExpAffine> = self.constraints.iter().map(|c| c.to_lse()).collect();
         let refs: Vec<&dyn Objective> = lses.iter().map(|c| c as &dyn Objective).collect();
+        if let Some(w) = warm {
+            if self.warm_start_usable(w) {
+                let t_warm: Vec<f64> = w.x.iter().map(|v| v.ln()).collect();
+                let t_start = (w.t / self.options.mu).max(self.options.t0);
+                if let Ok(r) =
+                    barrier::minimize_warm(objective, &refs, &t_warm, &self.options, Some(t_start))
+                {
+                    return Ok(self.finish(r));
+                }
+                // Fall through to the cold start below.
+            }
+        }
+        let t0: Vec<f64> = x0.iter().map(|v| v.ln()).collect();
         let r = barrier::minimize(objective, &refs, &t0, &self.options)?;
+        Ok(self.finish(r))
+    }
+
+    /// Whether a warm-start hint is safe to seed the barrier method with.
+    fn warm_start_usable(&self, w: &GpWarmStart) -> bool {
+        w.x.len() == self.n
+            && w.x.iter().all(|&v| v > 0.0 && v.is_finite())
+            && w.t.is_finite()
+            && w.t >= self.options.t0
+    }
+
+    /// Maps a barrier result back to the original positive variables.
+    fn finish(&self, r: barrier::BarrierResult) -> GpSolution {
         let x: Vec<f64> = r.x.iter().map(|t| t.exp()).collect();
         let objective_value = self.objective.eval(&x);
-        Ok(GpSolution {
+        GpSolution {
             x,
             objective_value,
             outer_iterations: r.outer_iterations,
-        })
+            final_t: r.final_t,
+        }
     }
 }
 
@@ -513,6 +582,83 @@ mod tests {
         let sol = gp.solve(&[4.0, 1.0]).unwrap();
         assert!((sol.x[1] - 2.0).abs() < 1e-2, "{:?}", sol.x);
         assert!((sol.x[0] - 2.0).abs() < 1e-2, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn warm_solve_agrees_with_cold_and_converges_faster() {
+        let xy = Monomial::new(1.0, vec![1.0, 1.0]).unwrap();
+        let mut gp = GeometricProgram::minimize(2, xy.reciprocal().into()).unwrap();
+        gp.add_constraint(
+            Posynomial::from_monomials(vec![
+                Monomial::new(0.5, vec![1.0, 0.0]).unwrap(),
+                Monomial::new(0.5, vec![0.0, 1.0]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let cold = gp.solve(&[0.2, 1.5]).unwrap();
+        let warm = GpWarmStart::from_solution(&cold);
+        let rewarmed = gp.solve_warm(&[0.2, 1.5], Some(&warm)).unwrap();
+        assert!(rewarmed.outer_iterations < cold.outer_iterations);
+        for (w, c) in rewarmed.x.iter().zip(&cold.x) {
+            assert!((w - c).abs() < 1e-3, "{w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn unusable_warm_hints_fall_back_to_cold_path() {
+        let xy = Monomial::new(1.0, vec![1.0, 1.0]).unwrap();
+        let mut gp = GeometricProgram::minimize(2, xy.reciprocal().into()).unwrap();
+        gp.add_constraint(
+            Posynomial::from_monomials(vec![
+                Monomial::new(0.5, vec![1.0, 0.0]).unwrap(),
+                Monomial::new(0.5, vec![0.0, 1.0]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let cold = gp.solve(&[0.2, 1.5]).unwrap();
+        let bad_hints = [
+            GpWarmStart {
+                x: vec![1.0],
+                t: 1e7,
+            }, // wrong shape
+            GpWarmStart {
+                x: vec![1.0, f64::NAN],
+                t: 1e7,
+            }, // non-finite point
+            GpWarmStart {
+                x: vec![1.0, -1.0],
+                t: 1e7,
+            }, // non-positive point
+            GpWarmStart {
+                x: vec![1.0, 1.0],
+                t: f64::NAN,
+            }, // non-finite t
+            GpWarmStart {
+                x: vec![1.0, 1.0],
+                t: 0.5,
+            }, // t below t0
+        ];
+        for hint in &bad_hints {
+            let sol = gp.solve_warm(&[0.2, 1.5], Some(hint)).unwrap();
+            // The hint is rejected up front, so the solve is the cold solve.
+            assert_eq!(sol.x, cold.x, "hint {hint:?} was not ignored");
+            assert_eq!(sol.outer_iterations, cold.outer_iterations);
+        }
+    }
+
+    #[test]
+    fn solve_delegates_to_cold_warm_path() {
+        // `solve` and `solve_warm(.., None)` must be the same computation.
+        let x = Monomial::variable(1, 0).unwrap();
+        let mut gp = GeometricProgram::minimize(1, x.into()).unwrap();
+        gp.add_constraint(Monomial::new(0.5, vec![-1.0]).unwrap().into())
+            .unwrap();
+        let a = gp.solve(&[1.0]).unwrap();
+        let b = gp.solve_warm(&[1.0], None).unwrap();
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.final_t, b.final_t);
     }
 
     #[test]

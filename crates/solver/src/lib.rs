@@ -71,9 +71,12 @@ pub mod matrix;
 pub mod newton;
 pub mod qr;
 pub mod roots;
+pub mod tol;
+pub mod update;
 pub mod vec_ops;
 
 pub use cholesky::Cholesky;
 pub use error::{Result, SolverError};
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use update::{UpdatableFit, UpdatableLstsq};

@@ -7,6 +7,7 @@
 use crate::error::{Result, SolverError};
 use crate::matrix::Matrix;
 use crate::qr::Qr;
+use crate::tol;
 use crate::vec_ops;
 
 /// Result of an ordinary least-squares fit.
@@ -78,6 +79,10 @@ impl Fit {
 
 /// Fits `y ~ X b` by ordinary least squares.
 ///
+/// The solve applies the packed Householder reflections to `y` directly
+/// (`Q^T y` then back-substitution) — the explicit `Q` factor is never
+/// reconstructed.
+///
 /// # Errors
 ///
 /// Returns [`SolverError::ShapeMismatch`] if `y.len()` differs from the row
@@ -105,7 +110,7 @@ pub fn fit(x: &Matrix, y: &[f64]) -> Result<Fit> {
         // only for models without an intercept that fit worse than the mean,
         // which we still report faithfully.
         1.0 - ss_res / ss_tot
-    } else if ss_res <= f64::EPSILON * y.len() as f64 {
+    } else if ss_res <= tol::zero_variance_rss(y.len()) {
         1.0
     } else {
         0.0

@@ -267,15 +267,28 @@ impl Matrix {
                 self.rows, self.cols, other.rows, other.cols
             )));
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                for j in 0..other.cols {
-                    out[(i, j)] += aik * other[(k, j)];
+        // Blocked over the inner dimension: each panel of `other` rows is
+        // streamed against every output row while it is cache-hot. For every
+        // output entry the k-contributions still accumulate in ascending
+        // order (panels ascend, k ascends within a panel), so the result is
+        // bit-identical to the naive triple loop.
+        const KC: usize = 64;
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        for k0 in (0..self.cols).step_by(KC) {
+            let k1 = (k0 + KC).min(self.cols);
+            for i in 0..self.rows {
+                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                let crow = &mut out.data[i * n..(i + 1) * n];
+                for k in k0..k1 {
+                    let aik = arow[k];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[k * n..(k + 1) * n];
+                    for (c, &b) in crow.iter_mut().zip(brow) {
+                        *c += aik * b;
+                    }
                 }
             }
         }
@@ -327,10 +340,10 @@ impl Matrix {
             )));
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
-            for (j, o) in out.iter_mut().enumerate() {
-                *o += self[(i, j)] * xi;
+        for (i, &xi) in x.iter().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * xi;
             }
         }
         Ok(out)
@@ -359,11 +372,38 @@ impl Matrix {
     pub fn rank_one_update(&mut self, s: f64, x: &[f64]) {
         assert!(self.is_square(), "rank-one update requires a square matrix");
         assert_eq!(x.len(), self.rows, "vector length must match dimension");
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                self[(i, j)] += s * x[i] * x[j];
+        for (i, &xi) in x.iter().enumerate() {
+            // `s * x[i] * x[j]` associates left, so hoisting `s * x[i]` out
+            // of the inner loop reproduces the same rounding.
+            let sxi = s * xi;
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (r, &xj) in row.iter_mut().zip(x) {
+                *r += sxi * xj;
             }
         }
+    }
+
+    /// In-place elementwise `self += s * other`.
+    ///
+    /// Equivalent to `self.add_matrix(&other.scaled(s))` without the two
+    /// temporaries — the Hessian accumulation in [`crate::barrier`] calls
+    /// this once per constraint per Newton step, where the allocation churn
+    /// dominated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy_matrix(&mut self, s: f64, other: &Matrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(SolverError::ShapeMismatch(format!(
+                "{}x{} vs {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+        Ok(())
     }
 
     /// Frobenius norm, the square root of the sum of squared entries.
@@ -597,6 +637,39 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
         assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_panel_boundary() {
+        // Inner dimension larger than one k-panel exercises the panel loop.
+        let k = 150;
+        let a = Matrix::from_fn(3, k, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(k, 4, |i, j| ((i * 7 + j * 29) % 11) as f64 - 5.0);
+        let c = a.matmul(&b).unwrap();
+        let mut naive = Matrix::zeros(3, 4);
+        for i in 0..3 {
+            for kk in 0..k {
+                let aik = a[(i, kk)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..4 {
+                    naive[(i, j)] += aik * b[(kk, j)];
+                }
+            }
+        }
+        assert_eq!(c, naive);
+    }
+
+    #[test]
+    fn axpy_matrix_accumulates_in_place() {
+        let mut a = sample();
+        let b = Matrix::identity(2);
+        a.axpy_matrix(2.0, &b).unwrap();
+        assert_eq!(a[(0, 0)], 3.0);
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(a[(1, 1)], 6.0);
+        assert!(a.axpy_matrix(1.0, &Matrix::zeros(3, 3)).is_err());
     }
 
     #[test]

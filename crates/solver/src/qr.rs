@@ -8,6 +8,7 @@
 
 use crate::error::{Result, SolverError};
 use crate::matrix::Matrix;
+use crate::tol;
 
 /// Packed Householder QR factorization of an `m x n` matrix with `m >= n`.
 ///
@@ -33,9 +34,6 @@ pub struct Qr {
     n: usize,
 }
 
-/// Relative tolerance below which a diagonal of `R` is treated as zero.
-const RANK_TOL: f64 = 1e-12;
-
 impl Qr {
     /// Computes the QR factorization of `a`.
     ///
@@ -56,6 +54,9 @@ impl Qr {
         }
         let mut r = a.clone();
         let mut betas = vec![0.0; n];
+        // Scratch for the trailing-panel update, allocated once per
+        // factorization rather than once per reflection.
+        let mut w = vec![0.0; n];
         for k in 0..n {
             let x0 = r[(k, k)];
             let sigma: f64 = (k + 1..m).map(|i| r[(i, k)] * r[(i, k)]).sum();
@@ -75,19 +76,35 @@ impl Qr {
             for i in k + 1..m {
                 r[(i, k)] /= v0;
             }
-            // Apply H = I - beta v v^T to the trailing columns. Column k is
-            // known analytically: v = x - mu e1 (up to scaling), so
-            // H x = mu e1.
-            for j in k + 1..n {
-                let mut w = r[(k, j)];
-                for i in k + 1..m {
-                    w += r[(i, k)] * r[(i, j)];
+            // Apply H = I - beta v v^T to the trailing panel with two row
+            // sweeps: accumulate w = beta (v^T A), then subtract the outer
+            // product v w^T. Each sweep walks rows contiguously instead of
+            // striding down a column, while the per-entry accumulation order
+            // (i ascending for every j) matches the column-at-a-time
+            // formulation bit for bit. Column k is known analytically:
+            // v = x - mu e1 (up to scaling), so H x = mu e1.
+            w[k + 1..n].copy_from_slice(&r.row(k)[k + 1..n]);
+            for i in k + 1..m {
+                let rowi = r.row(i);
+                let vi = rowi[k];
+                for j in k + 1..n {
+                    w[j] += vi * rowi[j];
                 }
-                w *= beta;
-                r[(k, j)] -= w;
-                for i in k + 1..m {
-                    let vik = r[(i, k)];
-                    r[(i, j)] -= w * vik;
+            }
+            for wj in &mut w[k + 1..n] {
+                *wj *= beta;
+            }
+            {
+                let rowk = r.row_mut(k);
+                for j in k + 1..n {
+                    rowk[j] -= w[j];
+                }
+            }
+            for i in k + 1..m {
+                let rowi = r.row_mut(i);
+                let vik = rowi[k];
+                for j in k + 1..n {
+                    rowi[j] -= w[j] * vik;
                 }
             }
             r[(k, k)] = mu;
@@ -195,7 +212,7 @@ impl Qr {
         let mut x = vec![0.0; self.n];
         for i in (0..self.n).rev() {
             let rii = self.packed[(i, i)];
-            if rii.abs() <= RANK_TOL * scale.max(1.0) {
+            if rii.abs() <= tol::rank_threshold(scale) {
                 return Err(SolverError::RankDeficient);
             }
             let mut s = qtb[i];

@@ -1,0 +1,170 @@
+//! Property-based tests for the incremental least-squares path and the
+//! warm-started GP solver.
+//!
+//! The incremental properties compare an appended/downdated triangle
+//! against a from-scratch refactorization of the same surviving rows (same
+//! Givens code path) and against the batch Householder path, to 1e-10 on
+//! well-conditioned designs. The GP property checks that a warm-started
+//! solve of a randomized Cobb-Douglas market lands on the cold-started
+//! optimum within the solver's tolerance.
+
+use proptest::prelude::*;
+use ref_solver::gp::{GeometricProgram, GpWarmStart, Monomial, Posynomial};
+use ref_solver::update::UpdatableLstsq;
+use ref_solver::{lstsq, Matrix};
+
+/// Covariate rows whose columns are independent by construction: an
+/// intercept, a per-row varying term, and a nonlinear cross term, plus
+/// value jitter so no two designs coincide.
+fn design(m: usize, k: usize, jitter: &[f64]) -> Vec<Vec<f64>> {
+    (0..m)
+        .map(|i| {
+            (0..k)
+                .map(|j| match j {
+                    0 => 1.0,
+                    _ => {
+                        let base = ((i * (j + 2) + j) % 7) as f64 - 3.0;
+                        base + 0.1 * jitter[(i * k + j) % jitter.len()]
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn responses(rows: &[Vec<f64>], jitter: &[f64]) -> Vec<f64> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let trend: f64 = r
+                .iter()
+                .enumerate()
+                .map(|(j, v)| (j as f64 + 0.5) * v)
+                .sum();
+            trend + jitter[i % jitter.len()] + 0.05 * ((i * i) % 11) as f64
+        })
+        .collect()
+}
+
+fn batch_fit(rows: &[Vec<f64>], y: &[f64]) -> Option<lstsq::Fit> {
+    let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+    let x = Matrix::from_vec(rows.len(), rows[0].len(), flat).unwrap();
+    lstsq::fit(&x, y).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn append_matches_from_scratch_refactorization(
+        m in 6usize..40,
+        k in 1usize..5,
+        jitter in prop::collection::vec(-1.0..1.0f64, 8..24),
+    ) {
+        if m <= k + 1 {
+            return Ok(());
+        }
+        let rows = design(m, k, &jitter);
+        let y = responses(&rows, &jitter);
+        let mut inc = UpdatableLstsq::new(k);
+        for (r, &yi) in rows.iter().zip(&y) {
+            inc.append(r, yi).unwrap();
+        }
+        let Some(reference) = batch_fit(&rows, &y) else {
+            // Rank-deficient draw: the incremental path must agree on the
+            // classification rather than return garbage coefficients.
+            prop_assert!(inc.solve().is_err());
+            return Ok(());
+        };
+        let fit = inc.solve().unwrap();
+        for (a, b) in fit.coefficients().iter().zip(reference.coefficients()) {
+            prop_assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        prop_assert!((fit.r_squared() - reference.r_squared()).abs() < 1e-10);
+        prop_assert!(
+            (fit.residual_sum_of_squares() - reference.residual_sum_of_squares()).abs()
+                < 1e-9 * (1.0 + reference.residual_sum_of_squares())
+        );
+    }
+
+    #[test]
+    fn windowed_downdate_matches_fresh_triangle(
+        m in 10usize..40,
+        k in 1usize..4,
+        window in 6usize..12,
+        jitter in prop::collection::vec(-1.0..1.0f64, 8..24),
+    ) {
+        if window <= k + 1 || m <= window {
+            return Ok(());
+        }
+        let rows = design(m, k, &jitter);
+        let y = responses(&rows, &jitter);
+        let mut inc = UpdatableLstsq::new(k);
+        let mut ok = true;
+        for (i, (r, &yi)) in rows.iter().zip(&y).enumerate() {
+            inc.append(r, yi).unwrap();
+            if i >= window && inc.downdate(&rows[i - window], y[i - window]).is_err() {
+                // A refused downdate (near-deficient window) is a valid
+                // outcome; the caller refactorizes in that case.
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            return Ok(());
+        }
+        // From-scratch refactorization over the surviving rows, through the
+        // same Givens code path.
+        let start = rows.len() - window;
+        let mut fresh = UpdatableLstsq::new(k);
+        for (r, &yi) in rows[start..].iter().zip(&y[start..]) {
+            fresh.append(r, yi).unwrap();
+        }
+        prop_assert_eq!(inc.rows(), fresh.rows());
+        match (inc.solve(), fresh.solve()) {
+            (Ok(a), Ok(b)) => {
+                for (x, z) in a.coefficients().iter().zip(b.coefficients()) {
+                    prop_assert!((x - z).abs() < 1e-10 * (1.0 + z.abs()), "{x} vs {z}");
+                }
+                prop_assert!((a.r_squared() - b.r_squared()).abs() < 1e-8);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "classification diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_started_gp_agrees_with_cold_on_random_cobb_douglas_markets(
+        e in prop::collection::vec(0.15..0.9f64, 4),
+        cap1 in 8.0..32.0f64,
+        cap2 in 4.0..16.0f64,
+    ) {
+        // Two agents, two resources: maximize the Nash product
+        // prod_i x_i1^{e_i1} x_i2^{e_i2} under per-resource capacities.
+        // Variables ordered (x11, x12, x21, x22).
+        let welfare = Monomial::new(1.0, vec![e[0], e[1], e[2], e[3]]).unwrap();
+        let mut gp = GeometricProgram::minimize(4, welfare.reciprocal().into()).unwrap();
+        gp.add_constraint(Posynomial::from_monomials(vec![
+            Monomial::new(1.0 / cap1, vec![1.0, 0.0, 0.0, 0.0]).unwrap(),
+            Monomial::new(1.0 / cap1, vec![0.0, 0.0, 1.0, 0.0]).unwrap(),
+        ]).unwrap()).unwrap();
+        gp.add_constraint(Posynomial::from_monomials(vec![
+            Monomial::new(1.0 / cap2, vec![0.0, 1.0, 0.0, 0.0]).unwrap(),
+            Monomial::new(1.0 / cap2, vec![0.0, 0.0, 0.0, 1.0]).unwrap(),
+        ]).unwrap()).unwrap();
+        let x0 = [cap1 / 3.0, cap2 / 3.0, cap1 / 3.0, cap2 / 3.0];
+        let cold = gp.solve(&x0).unwrap();
+        let warm = gp
+            .solve_warm(&x0, Some(&GpWarmStart::from_solution(&cold)))
+            .unwrap();
+        prop_assert!(warm.outer_iterations <= cold.outer_iterations);
+        let scale = cap1.max(cap2);
+        for (w, c) in warm.x.iter().zip(&cold.x) {
+            prop_assert!((w - c).abs() < 1e-3 * scale, "{w} vs {c}");
+        }
+        prop_assert!(
+            (warm.objective_value - cold.objective_value).abs()
+                <= 1e-4 * (1.0 + cold.objective_value.abs())
+        );
+    }
+}
