@@ -1,0 +1,414 @@
+//! Temporal sharing-incentive harness for the credit market.
+//!
+//! Per-epoch REF guarantees every agent its equal-share utility *within*
+//! an epoch, but says nothing across epochs: an agent whose demand just
+//! changed is served off a stale estimate and eats the reconvergence gap
+//! with no compensation. The credit market meters exactly that gap and
+//! tilts later epochs toward under-served agents, so cumulative utility
+//! over any window tracks the cumulative equal share.
+//!
+//! This harness drives three deterministic traces through three
+//! mechanisms — per-epoch REF (`max-welfare-fair`), `equal-slowdown`,
+//! and `credit-max-welfare` — and writes `BENCH_credit.json` with
+//! temporal-SI violation counts/rates, mean and worst cumulative
+//! slowdown versus the equal share, and the final ledger drift:
+//!
+//! * **bursty**: half the population flips its demanded resource in
+//!   synchronized bursts (plus join/leave churn), so every burst opens a
+//!   reconvergence gap. Gate: credit produces *strictly fewer*
+//!   temporal-SI violations than per-epoch REF.
+//! * **steady**: fixed demands, no churn. Gate: credit produces *zero*
+//!   violations — the ledger must not invent unfairness where per-epoch
+//!   REF already suffices.
+//! * **diurnal**: slow sinusoidal drift of every agent's elasticities,
+//!   re-declared on a fixed cadence (reported, not gated).
+//!
+//! All runs must end with the ledger conserved (`|sum| <= 1e-6`). Any
+//! failed gate exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p ref-bench --bin credit_bench -- [--quick]
+//!     [--out BENCH_credit.json] [--epochs 240]
+//! ```
+
+use std::collections::BTreeMap;
+
+use ref_core::resource::Capacity;
+use ref_core::utility::{CobbDouglas, Utility};
+use ref_market::{MarketConfig, MarketEngine, MarketEvent, MechanismKind, ObservationSource};
+use ref_serve::json::Value;
+
+/// Temporal window (epochs) the ledger audits over.
+const WINDOW: u64 = 8;
+/// Slack fraction of the cumulative equal share a window may fall short
+/// by before it counts as a violation.
+const SLACK: f64 = 0.03;
+/// Warmup after any membership or demand change; must be shorter than
+/// the window or every post-burst gap would be excused as warmup.
+const WARMUP: u64 = 2;
+/// Epochs between demand bursts (bursty) / re-declarations (diurnal).
+const PERIOD: u64 = 24;
+/// Conservation bound on the final ledger sum.
+const DRIFT_BOUND: f64 = 1e-6;
+
+struct Args {
+    out: String,
+    quick: bool,
+    epochs: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_credit.json".to_string(),
+        quick: false,
+        epochs: 240,
+    };
+    let mut explicit_epochs = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--quick" => args.quick = true,
+            "--epochs" => {
+                args.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("bad --epochs: {e}"))?;
+                explicit_epochs = true;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.quick && !explicit_epochs {
+        // Four bursts still fit: enough for the gates, small enough for CI.
+        args.epochs = 96;
+    }
+    if args.epochs < 2 * PERIOD {
+        return Err(format!(
+            "--epochs must cover two bursts (>= {})",
+            2 * PERIOD
+        ));
+    }
+    Ok(args)
+}
+
+fn truth(e0: f64) -> CobbDouglas {
+    CobbDouglas::new(1.0, vec![e0, 1.0 - e0]).expect("interior elasticities")
+}
+
+fn join(id: u64, e0: f64) -> MarketEvent {
+    MarketEvent::AgentJoined {
+        id,
+        source: ObservationSource::GroundTruth(truth(e0)),
+    }
+}
+
+fn flip(id: u64, e0: f64) -> MarketEvent {
+    MarketEvent::DemandChanged {
+        id,
+        new_truth: Some(truth(e0)),
+    }
+}
+
+/// One trace: for each epoch, the control events submitted before that
+/// epoch's tick. Identical (bit for bit) across all mechanisms.
+fn build_trace(name: &str, epochs: u64) -> Vec<Vec<MarketEvent>> {
+    let mut trace: Vec<Vec<MarketEvent>> = (0..epochs).map(|_| Vec::new()).collect();
+    match name {
+        // Agents 1-3 flip between wanting resource 0 (0.8) and resource
+        // 1 (0.2) in synchronized bursts; agents 4-6 statically want
+        // resource 1. In the flipped phase all six contend for resource
+        // 1 while the stale estimates still steer 1-3 toward resource 0:
+        // a real reconvergence gap every burst. A churner joins and
+        // leaves inside each period so settlement runs under load.
+        "bursty" => {
+            for (i, e0) in [
+                (1u64, 0.8),
+                (2, 0.75),
+                (3, 0.7),
+                (4, 0.3),
+                (5, 0.25),
+                (6, 0.2),
+            ] {
+                trace[0].push(join(i, e0));
+            }
+            let mut phase = 0u32;
+            for k in 1..epochs / PERIOD + 1 {
+                let burst = k * PERIOD;
+                if burst >= epochs {
+                    break;
+                }
+                phase ^= 1;
+                for (i, e0) in [(1u64, 0.8), (2, 0.75), (3, 0.7)] {
+                    let e = if phase == 1 { 1.0 - e0 } else { e0 };
+                    trace[burst as usize].push(flip(i, e));
+                }
+                let churner = 100 + k;
+                if burst + 5 < epochs {
+                    trace[(burst + 5) as usize].push(join(churner, 0.5));
+                }
+                if burst + PERIOD - 5 < epochs {
+                    trace[(burst + PERIOD - 5) as usize]
+                        .push(MarketEvent::AgentLeft { id: churner });
+                }
+            }
+        }
+        // Fixed spread of demands, no churn: nothing to compensate.
+        "steady" => {
+            for (i, e0) in [
+                (1u64, 0.8),
+                (2, 0.65),
+                (3, 0.55),
+                (4, 0.45),
+                (5, 0.35),
+                (6, 0.2),
+            ] {
+                trace[0].push(join(i, e0));
+            }
+        }
+        // Every agent's elasticity drifts on a slow sinusoid, re-declared
+        // every PERIOD epochs with staggered phases.
+        "diurnal" => {
+            let e_at = |i: u64, t: u64| {
+                let phase =
+                    std::f64::consts::TAU * (t as f64 / (4.0 * PERIOD as f64) + i as f64 / 6.0);
+                0.5 + 0.3 * phase.sin()
+            };
+            for i in 1..=6u64 {
+                trace[0].push(join(i, e_at(i, 0)));
+            }
+            for k in 1..epochs / PERIOD + 1 {
+                let t = k * PERIOD;
+                if t >= epochs {
+                    break;
+                }
+                for i in 1..=6u64 {
+                    trace[t as usize].push(flip(i, e_at(i, t)));
+                }
+            }
+        }
+        other => unreachable!("unknown trace {other}"),
+    }
+    trace
+}
+
+struct RunStats {
+    violations: u64,
+    violation_rate: f64,
+    mean_cum_slowdown: f64,
+    worst_cum_slowdown: f64,
+    ledger_total: f64,
+    ledger_max_abs: f64,
+    credits_accrued: u64,
+    credits_spent: u64,
+    warm_start_hits: u64,
+}
+
+impl RunStats {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("temporal_si_violations", Value::from_u64(self.violations)),
+            ("violation_rate", Value::Num(self.violation_rate)),
+            ("mean_cum_slowdown", Value::Num(self.mean_cum_slowdown)),
+            ("worst_cum_slowdown", Value::Num(self.worst_cum_slowdown)),
+            ("ledger_total", Value::Num(self.ledger_total)),
+            ("ledger_max_abs", Value::Num(self.ledger_max_abs)),
+            ("credits_accrued", Value::from_u64(self.credits_accrued)),
+            ("credits_spent", Value::from_u64(self.credits_spent)),
+            ("warm_start_hits", Value::from_u64(self.warm_start_hits)),
+        ])
+    }
+}
+
+/// Drives one trace through one mechanism and measures it under ground
+/// truth: the trace is generated here, so the harness knows every
+/// agent's true utility at every epoch independent of what the market
+/// has estimated.
+fn run_trace(label: &str, trace: &[Vec<MarketEvent>]) -> Result<RunStats, String> {
+    let mechanism =
+        MechanismKind::from_label(label).ok_or_else(|| format!("unknown mechanism {label}"))?;
+    let config = MarketConfig::new(Capacity::new(vec![12.0, 6.0]).expect("static capacity"))
+        .with_mechanism(mechanism)
+        .with_seed(0x0C_0FFEE)
+        .with_warmup_epochs(WARMUP)
+        .with_temporal_window(WINDOW)
+        .with_temporal_slack(SLACK)
+        .with_enforcement_quanta(0);
+    let capacity = config.capacity.clone();
+    let mut market = MarketEngine::new(config).map_err(|e| format!("boot: {e}"))?;
+
+    // Ground truths tracked alongside the market, from the same events.
+    let mut truths: BTreeMap<u64, CobbDouglas> = BTreeMap::new();
+    // Per-agent cumulative (delivered, entitled) under ground truth.
+    let mut cumulative: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    let mut agent_epochs = 0u64;
+
+    for controls in trace {
+        for event in controls {
+            match event {
+                MarketEvent::AgentJoined {
+                    id,
+                    source: ObservationSource::GroundTruth(u),
+                } => {
+                    truths.insert(*id, u.clone());
+                }
+                MarketEvent::DemandChanged {
+                    id,
+                    new_truth: Some(u),
+                } => {
+                    truths.insert(*id, u.clone());
+                }
+                MarketEvent::AgentLeft { id } => {
+                    truths.remove(id);
+                }
+                _ => {}
+            }
+            market
+                .apply_now(event.clone())
+                .map_err(|e| format!("{label}: control event rejected: {e}"))?;
+        }
+        let report = market
+            .apply_now(MarketEvent::EpochTick)
+            .map_err(|e| format!("{label}: tick failed: {e}"))?
+            .ok_or_else(|| format!("{label}: tick produced no report"))?;
+        let Some(allocation) = &report.allocation else {
+            continue;
+        };
+        let n = report.agents.len() as f64;
+        let equal_share: Vec<f64> = capacity.as_slice().iter().map(|c| c / n).collect();
+        for (i, id) in report.agents.iter().enumerate() {
+            let u = &truths[id];
+            let (d, e) = cumulative.entry(*id).or_insert((0.0, 0.0));
+            *d += u.value_slice(allocation.bundle(i).as_slice());
+            *e += u.value_slice(&equal_share);
+            agent_epochs += 1;
+        }
+    }
+
+    // Cumulative slowdown versus the equal share: sum(entitled) /
+    // sum(delivered) per agent over its whole lifetime. 1.0 means the
+    // agent got exactly its equal-share utility in aggregate.
+    let slowdowns: Vec<f64> = cumulative
+        .values()
+        .filter(|(d, _)| *d > 0.0)
+        .map(|(d, e)| e / d)
+        .collect();
+    let mean_cum_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
+    let worst_cum_slowdown = slowdowns.iter().copied().fold(0.0, f64::max);
+
+    let metrics = market.metrics();
+    let ledger = market.ledger();
+    Ok(RunStats {
+        violations: metrics.temporal_si_violations,
+        violation_rate: metrics.temporal_si_violations as f64 / agent_epochs.max(1) as f64,
+        mean_cum_slowdown,
+        worst_cum_slowdown,
+        ledger_total: ledger.total(),
+        ledger_max_abs: ledger.max_abs(),
+        credits_accrued: metrics.credits_accrued,
+        credits_spent: metrics.credits_spent,
+        warm_start_hits: metrics.warm_start_hits,
+    })
+}
+
+const MECHANISMS: &[(&str, &str)] = &[
+    ("max_welfare_fair", "max-welfare-fair"),
+    ("equal_slowdown", "equal-slowdown"),
+    ("credit", "credit-max-welfare"),
+];
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("credit_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut traces = Vec::new();
+    let mut drift_ok = true;
+    let mut by_trace: BTreeMap<&str, BTreeMap<&str, RunStats>> = BTreeMap::new();
+    for trace_name in ["bursty", "steady", "diurnal"] {
+        let trace = build_trace(trace_name, args.epochs);
+        let mut runs = BTreeMap::new();
+        for &(key, label) in MECHANISMS {
+            let stats = match run_trace(label, &trace) {
+                Ok(stats) => stats,
+                Err(e) => {
+                    eprintln!("credit_bench: {trace_name}/{label}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "credit_bench: {trace_name:>7}/{label:<18} violations={:<4} \
+                 worst_slowdown={:.4} ledger_sum={:+.2e}",
+                stats.violations, stats.worst_cum_slowdown, stats.ledger_total
+            );
+            drift_ok &= stats.ledger_total.abs() <= DRIFT_BOUND;
+            runs.insert(key, stats);
+        }
+        by_trace.insert(trace_name, runs);
+    }
+
+    let bursty_credit = by_trace["bursty"]["credit"].violations;
+    let bursty_ref = by_trace["bursty"]["max_welfare_fair"].violations;
+    let steady_credit = by_trace["steady"]["credit"].violations;
+    let credit_beats_ref = bursty_credit < bursty_ref;
+    let steady_clean = steady_credit == 0;
+    let all_ok = credit_beats_ref && steady_clean && drift_ok;
+
+    for (trace_name, runs) in &by_trace {
+        traces.push((
+            *trace_name,
+            Value::obj(runs.iter().map(|(k, s)| (*k, s.to_json())).collect()),
+        ));
+    }
+    let doc = Value::obj(vec![
+        ("bench", Value::str("credit")),
+        ("quick", Value::Bool(args.quick)),
+        ("epochs", Value::from_u64(args.epochs)),
+        (
+            "config",
+            Value::obj(vec![
+                ("window", Value::from_u64(WINDOW)),
+                ("slack", Value::Num(SLACK)),
+                ("warmup", Value::from_u64(WARMUP)),
+                ("period", Value::from_u64(PERIOD)),
+            ]),
+        ),
+        ("traces", Value::obj(traces)),
+        (
+            "gates",
+            Value::obj(vec![
+                ("bursty_credit_violations", Value::from_u64(bursty_credit)),
+                ("bursty_ref_violations", Value::from_u64(bursty_ref)),
+                ("credit_beats_per_epoch_ref", Value::Bool(credit_beats_ref)),
+                ("steady_credit_zero", Value::Bool(steady_clean)),
+                ("ledger_drift_ok", Value::Bool(drift_ok)),
+                ("all_ok", Value::Bool(all_ok)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", doc.encode())) {
+        eprintln!("credit_bench: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("credit_bench: wrote {}", args.out);
+
+    if !credit_beats_ref {
+        eprintln!(
+            "credit_bench: FATAL: credit ({bursty_credit}) must beat per-epoch REF \
+             ({bursty_ref}) on the bursty trace"
+        );
+    }
+    if !steady_clean {
+        eprintln!("credit_bench: FATAL: {steady_credit} credit violations on the steady trace");
+    }
+    if !drift_ok {
+        eprintln!("credit_bench: FATAL: a run ended with |ledger sum| > {DRIFT_BOUND}");
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

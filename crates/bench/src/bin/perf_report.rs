@@ -411,12 +411,14 @@ fn main() {
 /// harness (`BENCH_chaos.json`, produced by
 /// `cargo run --release -p ref-bench --bin chaos`), the failover
 /// harness (`BENCH_failover.json`, produced by
-/// `cargo run --release -p ref-bench --bin failover`), and the sharded
+/// `cargo run --release -p ref-bench --bin failover`), the sharded
 /// scale harness (`BENCH_shard.json`, produced by
-/// `cargo run --release -p ref-bench --bin shard_scale`) together with
+/// `cargo run --release -p ref-bench --bin shard_scale`), and the
+/// credit-market harness (`BENCH_credit.json`, produced by
+/// `cargo run --release -p ref-bench --bin credit_bench`) together with
 /// the pipeline numbers into one `BENCH_report.json`, so a single
 /// artifact tracks the offline pipeline, the online front-end, crash
-/// recovery, replicated failover, and shard scaling.
+/// recovery, replicated failover, shard scaling, and temporal fairness.
 fn aggregate_report(pipeline_json: &str) {
     use ref_serve::json::Value;
 
@@ -516,12 +518,41 @@ fn aggregate_report(pipeline_json: &str) {
             Value::Null
         }
     };
+    let credit = match std::fs::read_to_string("BENCH_credit.json") {
+        Ok(text) => match Value::parse(text.trim()) {
+            Ok(v) => {
+                let gates = v.get("gates");
+                if gates.and_then(|g| g.get("all_ok")).and_then(Value::as_bool) != Some(true) {
+                    eprintln!("FATAL: BENCH_credit.json records a failed temporal-SI gate");
+                    std::process::exit(1);
+                }
+                let saved = gates
+                    .and_then(|g| g.get("bursty_ref_violations"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                println!(
+                    "aggregating BENCH_credit.json (credit erased {saved} bursty \
+                     temporal-SI violations)"
+                );
+                v
+            }
+            Err(e) => {
+                eprintln!("FATAL: BENCH_credit.json exists but is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no BENCH_credit.json found; report skips temporal fairness");
+            Value::Null
+        }
+    };
     let report = Value::obj(vec![
         ("pipeline", pipeline),
         ("serve", serve),
         ("chaos", chaos),
         ("failover", failover),
         ("shard", shard),
+        ("credit", credit),
     ]);
     std::fs::write("BENCH_report.json", format!("{}\n", report.encode()))
         .expect("write BENCH_report.json");

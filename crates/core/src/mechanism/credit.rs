@@ -1,0 +1,306 @@
+//! Credit-weighted allocation: an inner mechanism tilted by credit
+//! balances (Zahedi & Freeman's credit fairness, adapted to REF).
+//!
+//! REF's guarantees are *per epoch*: an agent that receives less than its
+//! fair share today is owed nothing tomorrow. The credit scheme closes
+//! that gap across epochs. A ledger (maintained by the market layer)
+//! tracks each agent's cumulative delivered-vs-entitled gap as a
+//! normalized *credit balance*; agents below their cumulative fair share
+//! carry positive credits. At allocation time those balances become
+//! per-agent weights `w_i > 0`, and the [`CreditMechanism`] maximizes the
+//! *weighted* objective of its inner mechanism — so a creditor is served
+//! above its per-epoch entitlement until the debt is repaid.
+//!
+//! The tilt is implemented by exponent scaling: a Cobb-Douglas utility
+//! raised to the power `w` is again Cobb-Douglas
+//! (`(a0 * prod x^a)^w = a0^w * prod x^{w a}`), so the weighted problem
+//! stays a geometric program and the inner solvers run unchanged:
+//!
+//! - [`MaxWelfare`] (without fairness constraints): the objective
+//!   `prod_i u_i^{w_i}` is exactly weighted Nash social welfare.
+//! - [`EqualSlowdown`]: the solver equalizes the normalized levels
+//!   `U_i^{w_i}`; since `U_i <= 1` at any feasible point, a larger
+//!   weight shrinks `U^w`, and the max-min step compensates by granting
+//!   the agent more — the same monotone tilt.
+//!
+//! Uniform weights (`w_i = 1` for all `i`) leave the problem — and for a
+//! warm-started solve, the exact iterate sequence — identical to the
+//! untilted inner mechanism.
+//!
+//! Because the tilted problem has the same variables as the untilted one
+//! (one block per agent plus the inner mechanism's auxiliaries), warm
+//! hints pass straight through: the market's `WarmStartCache` keeps
+//! seeding solves across epochs as credit balances drift.
+
+use ref_solver::gp::GpWarmStart;
+
+use crate::error::{CoreError, Result};
+use crate::mechanism::{validate_inputs, EqualSlowdown, MaxWelfare, Mechanism};
+use crate::resource::{Allocation, Capacity};
+use crate::utility::CobbDouglas;
+
+/// Which optimization-backed mechanism a [`CreditMechanism`] tilts.
+///
+/// Only the *unconstrained* inner variants are offered: the Eq. 11
+/// fairness constraints pin the solution to the per-epoch fair set,
+/// which would forbid exactly the over-/under-service the credit tilt
+/// exists to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditInner {
+    /// Weighted Nash social welfare `prod_i u_i(x_i)^{w_i}`.
+    MaxWelfare,
+    /// Weighted egalitarian max-min over normalized levels `U_i^{w_i}`.
+    EqualSlowdown,
+}
+
+impl CreditInner {
+    /// Stable lower-kebab-case label for wire formats.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CreditInner::MaxWelfare => "max-welfare",
+            CreditInner::EqualSlowdown => "equal-slowdown",
+        }
+    }
+}
+
+/// An inner mechanism tilted by per-agent credit weights.
+///
+/// # Examples
+///
+/// A creditor (weight above 1) is served strictly more than it would be
+/// under the untilted mechanism:
+///
+/// ```
+/// use ref_core::mechanism::{CreditInner, CreditMechanism, Mechanism};
+/// use ref_core::resource::Capacity;
+/// use ref_core::utility::CobbDouglas;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let agents = vec![
+///     CobbDouglas::new(1.0, vec![0.6, 0.4])?,
+///     CobbDouglas::new(1.0, vec![0.2, 0.8])?,
+/// ];
+/// let capacity = Capacity::new(vec![24.0, 12.0])?;
+/// let flat = CreditMechanism::new(CreditInner::MaxWelfare, vec![1.0, 1.0])?;
+/// let tilted = CreditMechanism::new(CreditInner::MaxWelfare, vec![1.3, 1.0])?;
+/// let base = flat.allocate(&agents, &capacity)?;
+/// let favored = tilted.allocate(&agents, &capacity)?;
+/// assert!(favored.bundle(0).get(0) > base.bundle(0).get(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreditMechanism {
+    inner: CreditInner,
+    weights: Vec<f64>,
+}
+
+impl CreditMechanism {
+    /// Creates a credit-tilted mechanism with one weight per agent (in
+    /// the same order the agents will be passed to
+    /// [`Mechanism::allocate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if `weights` is empty or
+    /// any weight is non-finite or not strictly positive (a zero weight
+    /// would erase the agent from the objective entirely).
+    pub fn new(inner: CreditInner, weights: Vec<f64>) -> Result<CreditMechanism> {
+        if weights.is_empty() {
+            return Err(CoreError::InvalidArgument(
+                "credit mechanism needs at least one weight".to_string(),
+            ));
+        }
+        if let Some(w) = weights.iter().find(|w| !(w.is_finite() && **w > 0.0)) {
+            return Err(CoreError::InvalidArgument(format!(
+                "credit weights must be positive and finite, got {w}"
+            )));
+        }
+        Ok(CreditMechanism { inner, weights })
+    }
+
+    /// The inner mechanism being tilted.
+    pub fn inner(&self) -> CreditInner {
+        self.inner
+    }
+
+    /// The per-agent weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Raises each agent's utility to its weight: `u^w` is Cobb-Douglas
+    /// with scale `a0^w` and elasticities `w * a`.
+    fn tilted(&self, agents: &[CobbDouglas]) -> Result<Vec<CobbDouglas>> {
+        if agents.len() != self.weights.len() {
+            return Err(CoreError::InvalidArgument(format!(
+                "credit mechanism holds {} weights for {} agents",
+                self.weights.len(),
+                agents.len()
+            )));
+        }
+        agents
+            .iter()
+            .zip(&self.weights)
+            .map(|(u, &w)| {
+                CobbDouglas::new(
+                    u.scale().powf(w),
+                    u.elasticities().iter().map(|a| a * w).collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl Mechanism for CreditMechanism {
+    fn name(&self) -> &str {
+        match self.inner {
+            CreditInner::MaxWelfare => "credit-max-welfare",
+            CreditInner::EqualSlowdown => "credit-equal-slowdown",
+        }
+    }
+
+    fn allocate(&self, agents: &[CobbDouglas], capacity: &Capacity) -> Result<Allocation> {
+        self.allocate_warm(agents, capacity, None)
+            .map(|(alloc, _)| alloc)
+    }
+
+    fn allocate_warm(
+        &self,
+        agents: &[CobbDouglas],
+        capacity: &Capacity,
+        warm: Option<&GpWarmStart>,
+    ) -> Result<(Allocation, Option<GpWarmStart>)> {
+        validate_inputs(agents, capacity)?;
+        let tilted = self.tilted(agents)?;
+        // The tilted problem has the same variable layout as the inner
+        // one (agent blocks plus the inner auxiliaries), so the warm
+        // hint threads through unchanged.
+        match self.inner {
+            CreditInner::MaxWelfare => {
+                MaxWelfare::without_fairness().allocate_warm(&tilted, capacity, warm)
+            }
+            CreditInner::EqualSlowdown => {
+                EqualSlowdown::new().allocate_warm(&tilted, capacity, warm)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::Utility;
+
+    fn paper_agents() -> Vec<CobbDouglas> {
+        vec![
+            CobbDouglas::new(1.0, vec![0.6, 0.4]).unwrap(),
+            CobbDouglas::new(1.0, vec![0.2, 0.8]).unwrap(),
+        ]
+    }
+
+    fn paper_capacity() -> Capacity {
+        Capacity::new(vec![24.0, 12.0]).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_weights() {
+        assert!(CreditMechanism::new(CreditInner::MaxWelfare, vec![]).is_err());
+        assert!(CreditMechanism::new(CreditInner::MaxWelfare, vec![1.0, 0.0]).is_err());
+        assert!(CreditMechanism::new(CreditInner::MaxWelfare, vec![-0.5]).is_err());
+        assert!(CreditMechanism::new(CreditInner::MaxWelfare, vec![f64::NAN]).is_err());
+        // Weight count must match the agent count at allocation time.
+        let m = CreditMechanism::new(CreditInner::MaxWelfare, vec![1.0]).unwrap();
+        assert!(m.allocate(&paper_agents(), &paper_capacity()).is_err());
+    }
+
+    #[test]
+    fn uniform_weights_match_the_inner_mechanism() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let flat = CreditMechanism::new(CreditInner::MaxWelfare, vec![1.0, 1.0]).unwrap();
+        let credit = flat.allocate(&agents, &c).unwrap();
+        let inner = MaxWelfare::without_fairness()
+            .allocate(&agents, &c)
+            .unwrap();
+        for i in 0..2 {
+            for r in 0..2 {
+                assert_eq!(
+                    credit.bundle(i).get(r).to_bits(),
+                    inner.bundle(i).get(r).to_bits(),
+                    "agent {i} resource {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn creditor_weight_buys_strictly_more_utility() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        for inner in [CreditInner::MaxWelfare, CreditInner::EqualSlowdown] {
+            let base = CreditMechanism::new(inner, vec![1.0, 1.0])
+                .unwrap()
+                .allocate(&agents, &c)
+                .unwrap();
+            let tilted = CreditMechanism::new(inner, vec![1.4, 1.0])
+                .unwrap()
+                .allocate(&agents, &c)
+                .unwrap();
+            let u0 = &agents[0];
+            assert!(
+                u0.value(tilted.bundle(0)) > u0.value(base.bundle(0)) * 1.001,
+                "{inner:?}: tilt did not favor the creditor"
+            );
+            // Capacity stays respected.
+            assert!(tilted.is_exhaustive(&c, 1e-3), "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn tilt_is_monotone_in_the_weight() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        let serve = |w0: f64| {
+            let alloc = CreditMechanism::new(CreditInner::MaxWelfare, vec![w0, 1.0])
+                .unwrap()
+                .allocate(&agents, &c)
+                .unwrap();
+            agents[0].value(alloc.bundle(0))
+        };
+        let (low, mid, high) = (serve(0.8), serve(1.0), serve(1.3));
+        assert!(low < mid && mid < high, "{low} {mid} {high}");
+    }
+
+    #[test]
+    fn warm_started_allocation_agrees_with_cold() {
+        let agents = paper_agents();
+        let c = paper_capacity();
+        for inner in [CreditInner::MaxWelfare, CreditInner::EqualSlowdown] {
+            let m = CreditMechanism::new(inner, vec![1.2, 0.9]).unwrap();
+            let (cold, hint) = m.allocate_warm(&agents, &c, None).unwrap();
+            let hint = hint.expect("credit mechanisms are optimization-backed");
+            let (rewarmed, next) = m.allocate_warm(&agents, &c, Some(&hint)).unwrap();
+            assert!(next.is_some());
+            for i in 0..2 {
+                for r in 0..2 {
+                    assert!(
+                        (rewarmed.bundle(i).get(r) - cold.bundle(i).get(r)).abs() < 1e-3,
+                        "{inner:?} agent {i} resource {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_labels_distinguish_inners() {
+        let mw = CreditMechanism::new(CreditInner::MaxWelfare, vec![1.0]).unwrap();
+        let es = CreditMechanism::new(CreditInner::EqualSlowdown, vec![1.0]).unwrap();
+        assert_ne!(mw.name(), es.name());
+        assert_eq!(CreditInner::MaxWelfare.label(), "max-welfare");
+        assert_eq!(CreditInner::EqualSlowdown.label(), "equal-slowdown");
+        assert_eq!(mw.inner(), CreditInner::MaxWelfare);
+        assert_eq!(mw.weights(), &[1.0]);
+    }
+}

@@ -9,13 +9,17 @@
 //! - [`MaxWelfare`] — Nash-social-welfare maximization via geometric
 //!   programming, with or without the game-theoretic fairness constraints;
 //! - [`EqualSlowdown`] — max-min weighted utility, the conventional
-//!   equal-slowdown objective of prior architecture work.
+//!   equal-slowdown objective of prior architecture work;
+//! - [`CreditMechanism`] — an inner mechanism tilted by per-agent credit
+//!   weights, the allocation half of cross-epoch credit fairness.
 
+mod credit;
 mod equal_share;
 mod equal_slowdown;
 mod max_welfare;
 mod proportional_elasticity;
 
+pub use credit::{CreditInner, CreditMechanism};
 pub use equal_share::EqualShare;
 pub use equal_slowdown::EqualSlowdown;
 pub use max_welfare::MaxWelfare;

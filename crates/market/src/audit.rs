@@ -31,6 +31,10 @@ pub struct Auditor {
     pub ef_after_warmup: u64,
     /// PE-violation epochs occurring after the warm-up window.
     pub pe_after_warmup: u64,
+    /// Epochs with at least one temporal (windowed) SI violation.
+    pub temporal_si_violation_epochs: u64,
+    /// Temporal-SI-violation epochs occurring after the warm-up window.
+    pub temporal_si_after_warmup: u64,
 }
 
 impl Auditor {
@@ -65,9 +69,26 @@ impl Auditor {
         }
     }
 
+    /// Records one epoch's temporal sharing-incentive verdict (whether any
+    /// agent's full delivered-vs-entitled window fell below the slack).
+    /// Called once per audited epoch, alongside [`Auditor::record`].
+    pub fn record_temporal(&mut self, violated: bool, warm: bool) {
+        if violated {
+            self.temporal_si_violation_epochs += 1;
+            if !warm {
+                self.temporal_si_after_warmup += 1;
+            }
+        }
+    }
+
     /// SI violations after warm-up (the headline service objective).
     pub fn si_violations_after_warmup(&self) -> u64 {
         self.si_after_warmup
+    }
+
+    /// Temporal SI violations after warm-up.
+    pub fn temporal_si_violations_after_warmup(&self) -> u64 {
+        self.temporal_si_after_warmup
     }
 
     /// Whether every audited epoch after warm-up satisfied all three
@@ -132,5 +153,20 @@ mod tests {
         a.record(&unfair_report(), false);
         assert_eq!(a.si_violations_after_warmup(), 1);
         assert!(!a.clean_after_warmup());
+    }
+
+    #[test]
+    fn temporal_verdicts_are_counted_separately() {
+        let mut a = Auditor::new();
+        a.record_temporal(false, false);
+        assert_eq!(a.temporal_si_violation_epochs, 0);
+        a.record_temporal(true, true);
+        assert_eq!(a.temporal_si_violation_epochs, 1);
+        assert_eq!(a.temporal_si_violations_after_warmup(), 0);
+        a.record_temporal(true, false);
+        assert_eq!(a.temporal_si_violation_epochs, 2);
+        assert_eq!(a.temporal_si_violations_after_warmup(), 1);
+        // Temporal verdicts do not touch the per-epoch SLO.
+        assert!(a.clean_after_warmup());
     }
 }

@@ -28,7 +28,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use ref_core::mechanism::{
-    EqualSlowdown, GpWarmStart, MaxWelfare, Mechanism, ProportionalElasticity,
+    CreditInner, CreditMechanism, EqualSlowdown, GpWarmStart, MaxWelfare, Mechanism,
+    ProportionalElasticity,
 };
 use ref_core::online::OnlineEstimator;
 use ref_core::properties::FairnessReport;
@@ -44,6 +45,7 @@ use crate::audit::Auditor;
 use crate::epoch::{EnforcementSummary, EpochReport, ReallocationOutcome};
 use crate::error::{MarketError, Result};
 use crate::events::{EventQueue, MarketEvent};
+use crate::ledger::CreditLedger;
 use crate::metrics::MarketMetrics;
 use crate::snapshot::{AgentSnapshot, MarketSnapshot, SNAPSHOT_VERSION};
 use crate::warm::WarmStartCache;
@@ -78,6 +80,13 @@ pub enum MechanismKind {
         /// Impose the SI/EF/PE constraints of Eq. 11.
         fairness: bool,
     },
+    /// Credit fairness: the inner mechanism tilted each epoch by the
+    /// [`CreditLedger`]'s per-agent weights, so agents cumulatively below
+    /// their fair share are repaid across epochs.
+    Credit {
+        /// The optimization-backed mechanism whose objective is tilted.
+        inner: CreditInner,
+    },
 }
 
 impl MechanismKind {
@@ -89,6 +98,12 @@ impl MechanismKind {
             MechanismKind::MaxWelfare { fairness: true } => "max-welfare-fair",
             MechanismKind::EqualSlowdown { fairness: false } => "equal-slowdown",
             MechanismKind::EqualSlowdown { fairness: true } => "equal-slowdown-fair",
+            MechanismKind::Credit {
+                inner: CreditInner::MaxWelfare,
+            } => "credit-max-welfare",
+            MechanismKind::Credit {
+                inner: CreditInner::EqualSlowdown,
+            } => "credit-equal-slowdown",
         }
     }
 
@@ -100,8 +115,20 @@ impl MechanismKind {
             "max-welfare-fair" => Some(MechanismKind::MaxWelfare { fairness: true }),
             "equal-slowdown" => Some(MechanismKind::EqualSlowdown { fairness: false }),
             "equal-slowdown-fair" => Some(MechanismKind::EqualSlowdown { fairness: true }),
+            // Bare "credit" is accepted as shorthand for the default inner.
+            "credit" | "credit-max-welfare" => Some(MechanismKind::Credit {
+                inner: CreditInner::MaxWelfare,
+            }),
+            "credit-equal-slowdown" => Some(MechanismKind::Credit {
+                inner: CreditInner::EqualSlowdown,
+            }),
             _ => None,
         }
+    }
+
+    /// Whether this kind consults the credit ledger for per-agent weights.
+    pub fn credit_weighted(&self) -> bool {
+        matches!(self, MechanismKind::Credit { .. })
     }
 
     /// Whether this mechanism's solves benefit from a warm start (i.e. it
@@ -111,12 +138,15 @@ impl MechanismKind {
         !matches!(self, MechanismKind::ProportionalElasticity)
     }
 
-    /// Dispatches to the mechanism implementation.
+    /// Dispatches to the mechanism implementation. `weights` carries the
+    /// ledger's per-agent credit weights and is consulted only by
+    /// [`MechanismKind::Credit`].
     fn allocate_warm(
         &self,
         agents: &[CobbDouglas],
         capacity: &Capacity,
         warm: Option<&GpWarmStart>,
+        weights: &[f64],
     ) -> ref_core::error::Result<(Allocation, Option<GpWarmStart>)> {
         match self {
             MechanismKind::ProportionalElasticity => {
@@ -134,6 +164,8 @@ impl MechanismKind {
             MechanismKind::EqualSlowdown { fairness: false } => {
                 EqualSlowdown::new().allocate_warm(agents, capacity, warm)
             }
+            MechanismKind::Credit { inner } => CreditMechanism::new(*inner, weights.to_vec())?
+                .allocate_warm(agents, capacity, warm),
         }
     }
 }
@@ -171,6 +203,15 @@ pub struct MarketConfig {
     pub seed: u64,
     /// The allocation mechanism to run each epoch.
     pub mechanism: MechanismKind,
+    /// Window size `W` (in epochs) of the temporal sharing-incentive
+    /// audit: over any `W` consecutive epochs an agent's cumulative
+    /// delivered utility must reach its cumulative equal-share utility
+    /// minus the slack. Agents are only judged once their ledger window
+    /// is full.
+    pub temporal_window: u64,
+    /// Relative slack of the temporal SI inequality: a violation is
+    /// `sum(delivered) < (1 - temporal_slack) * sum(entitled)`.
+    pub temporal_slack: f64,
 }
 
 impl MarketConfig {
@@ -186,6 +227,8 @@ impl MarketConfig {
             sim_instructions: 30_000,
             seed: 0x5EED,
             mechanism: MechanismKind::ProportionalElasticity,
+            temporal_window: 16,
+            temporal_slack: 0.05,
         }
     }
 
@@ -237,6 +280,18 @@ impl MarketConfig {
         self
     }
 
+    /// Sets the temporal SI audit window (epochs).
+    pub fn with_temporal_window(mut self, window: u64) -> MarketConfig {
+        self.temporal_window = window;
+        self
+    }
+
+    /// Sets the temporal SI audit slack.
+    pub fn with_temporal_slack(mut self, slack: f64) -> MarketConfig {
+        self.temporal_slack = slack;
+        self
+    }
+
     /// Whether two configs describe the same market up to the capacity
     /// *values*. The sharded serving tier reallots capacity between shards
     /// at runtime via [`MarketEvent::CapacityRealloted`], so a recovered
@@ -253,6 +308,8 @@ impl MarketConfig {
             && self.sim_instructions == other.sim_instructions
             && self.seed == other.seed
             && self.mechanism == other.mechanism
+            && self.temporal_window == other.temporal_window
+            && self.temporal_slack == other.temporal_slack
     }
 
     /// Checks the tuning parameters.
@@ -275,6 +332,17 @@ impl MarketConfig {
                 self.excitation
             )));
         }
+        if self.temporal_window == 0 {
+            return Err(MarketError::InvalidArgument(
+                "temporal window must cover at least one epoch".to_string(),
+            ));
+        }
+        if !(self.temporal_slack.is_finite() && (0.0..1.0).contains(&self.temporal_slack)) {
+            return Err(MarketError::InvalidArgument(format!(
+                "temporal slack must lie in [0, 1), got {}",
+                self.temporal_slack
+            )));
+        }
         Ok(())
     }
 }
@@ -288,6 +356,10 @@ pub struct Fingerprint {
     pub(crate) ids: Vec<AgentId>,
     pub(crate) quantized: Vec<i64>,
     pub(crate) capacity_bits: Vec<u64>,
+    /// Quantized credit weights (empty for non-credit mechanisms), so
+    /// balance drift beyond the tolerance invalidates the cached
+    /// allocation.
+    pub(crate) tilt: Vec<i64>,
 }
 
 impl Fingerprint {
@@ -296,6 +368,7 @@ impl Fingerprint {
         reported: &[CobbDouglas],
         capacity: &Capacity,
         tolerance: f64,
+        weights: &[f64],
     ) -> Fingerprint {
         let quantized = reported
             .iter()
@@ -309,6 +382,10 @@ impl Fingerprint {
             ids: ids.to_vec(),
             quantized,
             capacity_bits: capacity.as_slice().iter().map(|c| c.to_bits()).collect(),
+            tilt: weights
+                .iter()
+                .map(|w| (w / tolerance).round() as i64)
+                .collect(),
         }
     }
 }
@@ -327,6 +404,7 @@ pub struct MarketEngine {
     warm: WarmStartCache,
     auditor: Auditor,
     metrics: MarketMetrics,
+    ledger: CreditLedger,
 }
 
 impl MarketEngine {
@@ -348,6 +426,7 @@ impl MarketEngine {
             warm: WarmStartCache::new(),
             auditor: Auditor::new(),
             metrics: MarketMetrics::new(),
+            ledger: CreditLedger::new(),
         })
     }
 
@@ -427,6 +506,7 @@ impl MarketEngine {
                 let agent =
                     AgentState::new(id, self.epoch, source, self.config.capacity.num_resources())?;
                 self.population.insert(id, agent);
+                self.ledger.admit(id);
                 self.metrics.joins += 1;
                 self.stable_since = self.epoch;
                 Ok(None)
@@ -436,6 +516,7 @@ impl MarketEngine {
                     return Err(MarketError::UnknownAgent(id));
                 }
                 self.warm.invalidate(id);
+                self.ledger.settle(id);
                 self.metrics.leaves += 1;
                 self.stable_since = self.epoch;
                 Ok(None)
@@ -458,6 +539,10 @@ impl MarketEngine {
                 }
                 agent.estimator = OnlineEstimator::new(num_resources)?;
                 self.warm.invalidate(id);
+                // The estimator restart — which also lifts any quarantine —
+                // begins a new demand regime: accrual from the old one
+                // (or from quarantined epochs) must not buy future weight.
+                self.ledger.rebaseline(id);
                 self.metrics.demand_changes += 1;
                 self.stable_since = self.epoch;
                 Ok(None)
@@ -493,6 +578,7 @@ impl MarketEngine {
                 if agent.quarantined() {
                     self.metrics.quarantines += 1;
                     self.warm.invalidate(id);
+                    self.ledger.rebaseline(id);
                 }
                 Ok(None)
             }
@@ -514,6 +600,9 @@ impl MarketEngine {
                 // The previous optimum lived on the old capacity frontier;
                 // it may be infeasible under the new one.
                 self.warm.clear();
+                // Entitlements scale with capacity, so mid-window evidence
+                // mixes regimes; balances are normalized ratios and keep.
+                self.ledger.clear_windows();
                 self.metrics.reallotments += 1;
                 self.stable_since = self.epoch;
                 Ok(None)
@@ -539,6 +628,8 @@ impl MarketEngine {
                 warm,
                 observations: 0,
                 refits: 0,
+                temporal_violations: 0,
+                worst_temporal_ratio: 1.0,
             });
         }
 
@@ -547,11 +638,19 @@ impl MarketEngine {
             .values()
             .map(AgentState::reported_utility)
             .collect();
+        // Credit mechanisms tilt this epoch's objective by the balances
+        // accrued through the *previous* epoch.
+        let weights = if self.config.mechanism.credit_weighted() {
+            self.ledger.weights(&ids)
+        } else {
+            Vec::new()
+        };
         let fingerprint = Fingerprint::compute(
             &ids,
             &reported,
             &self.config.capacity,
             self.config.realloc_tolerance,
+            &weights,
         );
         let (allocation, realloc) = match &self.cache {
             Some((cached_fp, cached_alloc)) if *cached_fp == fingerprint => {
@@ -576,7 +675,7 @@ impl MarketEngine {
                     None
                 };
                 let (alloc, next_hint) =
-                    kind.allocate_warm(&reported, &self.config.capacity, hint.as_ref())?;
+                    kind.allocate_warm(&reported, &self.config.capacity, hint.as_ref(), &weights)?;
                 match next_hint {
                     Some(w) => self.warm.store(&ids, num_resources, &w),
                     None => self.warm.clear(),
@@ -594,6 +693,46 @@ impl MarketEngine {
             self.config.audit_tolerance,
         );
         self.auditor.record(&fairness, warm);
+
+        // Credit accrual and the temporal SI audit. Delivered and entitled
+        // utilities are measured under each agent's ground truth when the
+        // market holds one (reported utilities can lag a demand change —
+        // exactly the episodes temporal SI exists to catch) and under the
+        // reported fit otherwise. The equal-share entitlement is `C/N`.
+        let equal_share: Vec<f64> = self
+            .config
+            .capacity
+            .as_slice()
+            .iter()
+            .map(|c| c / ids.len() as f64)
+            .collect();
+        let measured: Vec<(AgentId, f64, f64)> = self
+            .population
+            .values()
+            .enumerate()
+            .map(|(i, agent)| {
+                let u = match &agent.source {
+                    ObservationSource::GroundTruth(truth) => truth.clone(),
+                    _ => agent.reported_utility(),
+                };
+                let delivered = u.value_slice(allocation.bundle(i).as_slice());
+                let entitled = u.value_slice(&equal_share);
+                (agent.id, delivered, entitled)
+            })
+            .collect();
+        let accrual = self
+            .ledger
+            .accrue(&measured, self.config.temporal_window as usize);
+        self.metrics.credits_accrued += accrual.accrued;
+        self.metrics.credits_spent += accrual.spent;
+        let (temporal_violations, worst_temporal_ratio) = self.ledger.temporal_check(
+            self.config.temporal_window as usize,
+            self.config.temporal_slack,
+        );
+        self.auditor.record_temporal(temporal_violations > 0, warm);
+        if !warm {
+            self.metrics.temporal_si_violations += temporal_violations as u64;
+        }
 
         let enforcement = self.enforce(&allocation)?;
         let (observations, refits, incremental, degenerate, quarantines) =
@@ -613,6 +752,8 @@ impl MarketEngine {
             warm,
             observations,
             refits,
+            temporal_violations,
+            worst_temporal_ratio,
         })
     }
 
@@ -722,6 +863,7 @@ impl MarketEngine {
             if !slot.was_quarantined && slot.agent.quarantined() {
                 quarantines += 1;
                 self.warm.invalidate(slot.agent.id);
+                self.ledger.rebaseline(slot.agent.id);
             }
         }
         Ok((observations, refits, incremental, degenerate, quarantines))
@@ -783,6 +925,13 @@ impl MarketEngine {
         &self.warm
     }
 
+    /// The credit ledger (updated every epoch regardless of mechanism, so
+    /// switching a recovered market to credit fairness starts from real
+    /// history).
+    pub fn ledger(&self) -> &CreditLedger {
+        &self.ledger
+    }
+
     /// Lifetime service counters.
     pub fn metrics(&self) -> &MarketMetrics {
         &self.metrics
@@ -803,6 +952,7 @@ impl MarketEngine {
             metrics: self.metrics.clone(),
             cache: self.cache.clone(),
             warm: self.warm.clone(),
+            ledger: self.ledger.clone(),
             agents: self
                 .population
                 .values()
@@ -858,6 +1008,13 @@ impl MarketEngine {
                 return Err(MarketError::DuplicateAgent(a.id));
             }
         }
+        // A v2 snapshot carries no ledger; open a zeroed entry for every
+        // live agent so weights and settlement behave as after a fresh
+        // admission (admit is idempotent for v3 ledgers).
+        let mut ledger = snapshot.ledger.clone();
+        for id in population.keys() {
+            ledger.admit(*id);
+        }
         Ok(MarketEngine {
             config: snapshot.config.clone(),
             population,
@@ -868,6 +1025,7 @@ impl MarketEngine {
             warm: snapshot.warm.clone(),
             auditor: snapshot.auditor.clone(),
             metrics: snapshot.metrics.clone(),
+            ledger,
         })
     }
 }
@@ -1539,6 +1697,147 @@ mod tests {
             queued.snapshot().encode(),
             "apply_now and pump-to-completion diverged"
         );
+    }
+
+    #[test]
+    fn mechanism_labels_round_trip_and_accept_bare_credit() {
+        for kind in [
+            MechanismKind::ProportionalElasticity,
+            MechanismKind::MaxWelfare { fairness: false },
+            MechanismKind::MaxWelfare { fairness: true },
+            MechanismKind::EqualSlowdown { fairness: false },
+            MechanismKind::EqualSlowdown { fairness: true },
+            MechanismKind::Credit {
+                inner: CreditInner::MaxWelfare,
+            },
+            MechanismKind::Credit {
+                inner: CreditInner::EqualSlowdown,
+            },
+        ] {
+            assert_eq!(MechanismKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(
+            MechanismKind::from_label("credit"),
+            Some(MechanismKind::Credit {
+                inner: CreditInner::MaxWelfare
+            })
+        );
+        assert!(MechanismKind::Credit {
+            inner: CreditInner::MaxWelfare
+        }
+        .warm_startable());
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_temporal_tuning() {
+        let cap = Capacity::new(vec![10.0]).unwrap();
+        assert!(MarketEngine::new(MarketConfig::new(cap.clone()).with_temporal_window(0)).is_err());
+        assert!(
+            MarketEngine::new(MarketConfig::new(cap.clone()).with_temporal_slack(1.0)).is_err()
+        );
+        assert!(MarketEngine::new(MarketConfig::new(cap).with_temporal_slack(-0.1)).is_err());
+    }
+
+    #[test]
+    fn every_market_accrues_ledger_history() {
+        // The ledger runs for every mechanism, so switching a recovered
+        // market to credit fairness starts from real history.
+        let mut market = two_agent_market();
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 10));
+        market.pump().unwrap();
+        let ledger = market.ledger();
+        assert_eq!(ledger.len(), 2);
+        assert!(!ledger.entry(1).unwrap().window.is_empty());
+        // Mean-centered accrual keeps the ledger conserved.
+        assert!(ledger.total().abs() < 1e-9, "{}", ledger.total());
+        // A leave settles the departing entry into the survivor.
+        market.submit(MarketEvent::AgentLeft { id: 2 });
+        market.pump().unwrap();
+        assert_eq!(market.ledger().len(), 1);
+    }
+
+    #[test]
+    fn credit_market_converges_and_stays_temporally_fair() {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap()).with_mechanism(
+            MechanismKind::Credit {
+                inner: CreditInner::MaxWelfare,
+            },
+        );
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: truth(0.6, 0.4),
+        });
+        market.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: truth(0.2, 0.8),
+        });
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 30));
+        let reports = market.pump().unwrap();
+        // Converged balances are small, so the tilt fades and the market
+        // lands near the untilted REF point (18, 4) / (6, 8).
+        let alloc = reports.last().unwrap().allocation.as_ref().unwrap();
+        assert!((alloc.bundle(0).get(0) - 18.0).abs() < 1.5, "{alloc:?}");
+        assert!((alloc.bundle(1).get(1) - 8.0).abs() < 1.5, "{alloc:?}");
+        // The tilted GP warm-starts across epochs like any other GP.
+        let m = market.metrics();
+        assert!(m.warm_start_hits > 0, "{m}");
+        // No post-warm-up temporal violations on a steady population.
+        assert_eq!(m.temporal_si_violations, 0, "{m}");
+        assert_eq!(market.auditor().temporal_si_violations_after_warmup(), 0);
+        assert!(reports.last().unwrap().worst_temporal_ratio > 0.9);
+    }
+
+    #[test]
+    fn lifting_quarantine_rebaselines_the_ledger_entry() {
+        // Regression: stale accrual from quarantined epochs must not buy
+        // future weight once DemandChanged lifts the quarantine.
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let mut market = MarketEngine::new(config).unwrap();
+        market.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::External,
+        });
+        market.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: truth(0.2, 0.8),
+        });
+        market.pump().unwrap();
+        // Drive agent 1 into quarantine with degenerate fits.
+        let huge = |x: f64, y: f64| (800.0 + 20.0 * x.ln() + 20.0 * y.ln()).exp();
+        for (x, y) in [
+            (0.01, 0.01),
+            (0.02, 0.01),
+            (0.01, 0.03),
+            (0.05, 0.02),
+            (0.03, 0.04),
+            (0.02, 0.05),
+        ] {
+            market.submit(MarketEvent::ObservationReported {
+                id: 1,
+                allocation: vec![x, y],
+                performance: huge(x, y),
+            });
+        }
+        market.pump().unwrap();
+        assert!(market.agent(1).unwrap().quarantined());
+        // Quarantined epochs still accrue (the agent is still served).
+        market.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 6));
+        market.pump().unwrap();
+        assert!(!market.ledger().entry(1).unwrap().window.is_empty());
+        let total_before = market.ledger().total();
+        // Lifting the quarantine re-baselines the entry: zero balance,
+        // empty window, ledger sum conserved.
+        market.submit(MarketEvent::DemandChanged {
+            id: 1,
+            new_truth: None,
+        });
+        market.pump().unwrap();
+        assert!(!market.agent(1).unwrap().quarantined());
+        let entry = market.ledger().entry(1).unwrap();
+        assert_eq!(entry.balance, 0.0);
+        assert!(entry.window.is_empty());
+        assert!((market.ledger().total() - total_before).abs() < 1e-12);
     }
 
     #[test]

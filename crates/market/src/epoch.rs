@@ -54,6 +54,14 @@ pub struct EpochReport {
     pub observations: usize,
     /// Estimator refits triggered by those observations.
     pub refits: usize,
+    /// Agents violating the temporal sharing-incentive inequality this
+    /// epoch: cumulative delivered utility over the last full
+    /// `temporal_window` epochs below `(1 - temporal_slack)` of cumulative
+    /// equal-share utility. Agents without a full window are not judged.
+    pub temporal_violations: usize,
+    /// Smallest delivered/entitled window ratio among judged agents (1.0
+    /// when no agent had a full window).
+    pub worst_temporal_ratio: f64,
 }
 
 impl EpochReport {
@@ -95,6 +103,8 @@ mod tests {
             warm: false,
             observations: 2,
             refits: 2,
+            temporal_violations: 0,
+            worst_temporal_ratio: 1.0,
         };
         assert_eq!(report.worst_enforcement_deviation(), 0.03);
     }

@@ -44,6 +44,9 @@
 //!   enforcement deviations, refits, observations.
 //! - [`audit`] — SI/EF/PE property auditing with violation counters and a
 //!   warm-up grace window.
+//! - [`ledger`] — the [`CreditLedger`](ledger::CreditLedger): cross-epoch
+//!   delivered-vs-entitled accounting that powers the credit mechanism's
+//!   weight tilt and the temporal (W-window) sharing-incentive audit.
 //! - [`snapshot`] — versioned, text-serialized full market state; a
 //!   restarted service resumes mid-market with bit-identical allocations.
 //! - [`metrics`] — service counters (events, reallocations vs cache hits,
@@ -91,6 +94,7 @@ pub mod engine;
 pub mod epoch;
 pub mod error;
 pub mod events;
+pub mod ledger;
 pub mod metrics;
 pub mod snapshot;
 pub mod warm;
@@ -101,6 +105,7 @@ pub use engine::{MarketConfig, MarketEngine, MechanismKind};
 pub use epoch::{EpochReport, ReallocationOutcome};
 pub use error::{MarketError, Result};
 pub use events::MarketEvent;
+pub use ledger::CreditLedger;
 pub use metrics::MarketMetrics;
 pub use snapshot::MarketSnapshot;
 pub use warm::WarmStartCache;

@@ -80,6 +80,15 @@ pub struct MarketMetrics {
     /// Successful estimator refits served by the incremental `O(R^2)`
     /// triangle-append path rather than a from-scratch refactorization.
     pub incremental_refits: u64,
+    /// Agent-epochs whose ledger accrual was positive (the agent fell
+    /// further below its cumulative fair share).
+    pub credits_accrued: u64,
+    /// Agent-epochs where a positive balance absorbed over-service (the
+    /// mechanism repaying accumulated credit).
+    pub credits_spent: u64,
+    /// Post-warm-up agent-epochs violating the temporal (windowed)
+    /// sharing-incentive inequality.
+    pub temporal_si_violations: u64,
 }
 
 impl MarketMetrics {
@@ -109,7 +118,8 @@ impl MarketMetrics {
              \"rejected_events\":{},\"degenerate_refits\":{},\
              \"quarantines\":{},\"reallotments\":{},\"warm_start_hits\":{},\
              \"warm_start_misses\":{},\"incremental_refits\":{},\
-             \"cache_hit_rate\":{}}}",
+             \"credits_accrued\":{},\"credits_spent\":{},\
+             \"temporal_si_violations\":{},\"cache_hit_rate\":{}}}",
             self.epochs,
             self.events,
             self.joins,
@@ -126,6 +136,9 @@ impl MarketMetrics {
             self.warm_start_hits,
             self.warm_start_misses,
             self.incremental_refits,
+            self.credits_accrued,
+            self.credits_spent,
+            self.temporal_si_violations,
             json_f64(self.cache_hit_rate())
         )
     }
@@ -154,6 +167,12 @@ impl MarketMetrics {
             ("refmarket_warm_start_hits", self.warm_start_hits),
             ("refmarket_warm_start_misses", self.warm_start_misses),
             ("refmarket_incremental_refits", self.incremental_refits),
+            ("refmarket_credits_accrued", self.credits_accrued),
+            ("refmarket_credits_spent", self.credits_spent),
+            (
+                "refmarket_temporal_si_violations",
+                self.temporal_si_violations,
+            ),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }
@@ -195,6 +214,12 @@ impl EpochReport {
         let _ = write!(out, ",\"warm\":{}", self.warm);
         let _ = write!(out, ",\"observations\":{}", self.observations);
         let _ = write!(out, ",\"refits\":{}", self.refits);
+        let _ = write!(out, ",\"temporal_violations\":{}", self.temporal_violations);
+        let _ = write!(
+            out,
+            ",\"worst_temporal_ratio\":{}",
+            json_f64(self.worst_temporal_ratio)
+        );
         match &self.allocation {
             None => out.push_str(",\"allocation\":null"),
             Some(alloc) => {
@@ -313,6 +338,9 @@ mod tests {
             warm_start_hits: 11,
             warm_start_misses: 4,
             incremental_refits: 9,
+            credits_accrued: 13,
+            credits_spent: 12,
+            temporal_si_violations: 3,
         };
         assert_eq!(
             m.to_json(),
@@ -322,9 +350,10 @@ mod tests {
              \"rejected_events\":5,\"degenerate_refits\":2,\
              \"quarantines\":1,\"reallotments\":8,\"warm_start_hits\":11,\
              \"warm_start_misses\":4,\"incremental_refits\":9,\
-             \"cache_hit_rate\":0.6}"
+             \"credits_accrued\":13,\"credits_spent\":12,\
+             \"temporal_si_violations\":3,\"cache_hit_rate\":0.6}"
         );
-        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 17);
+        assert_eq!(MarketMetrics::new().to_json().matches(':').count(), 20);
     }
 
     #[test]
@@ -336,8 +365,8 @@ mod tests {
         };
         let text = m.to_text();
         assert!(text.starts_with("refmarket_epochs 2\nrefmarket_events 3\n"));
-        assert_eq!(text.lines().count(), 16);
-        assert!(text.ends_with("refmarket_incremental_refits 0\n"));
+        assert_eq!(text.lines().count(), 19);
+        assert!(text.ends_with("refmarket_temporal_si_violations 0\n"));
     }
 
     #[test]
@@ -355,11 +384,14 @@ mod tests {
             warm: true,
             observations: 0,
             refits: 0,
+            temporal_violations: 0,
+            worst_temporal_ratio: 1.0,
         };
         assert_eq!(
             empty.to_json(),
             "{\"epoch\":0,\"agents\":[],\"realloc\":\"empty_market\",\"warm\":true,\
-             \"observations\":0,\"refits\":0,\"allocation\":null,\"fairness\":null,\
+             \"observations\":0,\"refits\":0,\"temporal_violations\":0,\
+             \"worst_temporal_ratio\":1,\"allocation\":null,\"fairness\":null,\
              \"enforcement\":[],\"worst_enforcement_deviation\":0}"
         );
 
@@ -387,11 +419,14 @@ mod tests {
             warm: false,
             observations: 2,
             refits: 1,
+            temporal_violations: 1,
+            worst_temporal_ratio: 0.875,
         };
         assert_eq!(
             report.to_json(),
             "{\"epoch\":7,\"agents\":[1,2],\"realloc\":\"cache_hit\",\"warm\":false,\
-             \"observations\":2,\"refits\":1,\"allocation\":[[18,4],[6,8]],\
+             \"observations\":2,\"refits\":1,\"temporal_violations\":1,\
+             \"worst_temporal_ratio\":0.875,\"allocation\":[[18,4],[6,8]],\
              \"fairness\":null,\
              \"enforcement\":[{\"resource\":0,\"max_deviation\":0.01}],\
              \"worst_enforcement_deviation\":0.01}"

@@ -10,9 +10,13 @@
 //! decode → restore reproduces the original state *bit for bit* — the
 //! restored market's next epoch allocates identically to the original's.
 //! Lines are self-describing (`capacity …`, `agent …`, `o …`), parsed
-//! strictly in order, and the leading `refmarket-snapshot v2` magic
-//! rejects foreign or future documents up front.
+//! strictly in order, and the leading `refmarket-snapshot v3` magic
+//! rejects foreign or future documents up front. v2 documents (written
+//! before the credit ledger existed) still decode: the missing sections
+//! take their zero/default values and the snapshot is upgraded to v3 on
+//! read, so re-encoding always writes the current format.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use ref_core::fitting::FitPoint;
@@ -23,15 +27,24 @@ use crate::agent::{AgentId, ObservationSource};
 use crate::audit::Auditor;
 use crate::engine::{Fingerprint, MarketConfig, MechanismKind};
 use crate::error::{MarketError, Result};
+use crate::ledger::{CreditLedger, LedgerEntry};
 use crate::metrics::MarketMetrics;
 use crate::warm::WarmStartCache;
 
-/// The snapshot format version this build reads and writes.
+/// The snapshot format version this build writes (it reads v2 and v3).
 ///
 /// v2 added the allocation mechanism to the config section, the
 /// warm-start cache section, and the warm-start/incremental-refit
-/// counters to the metrics line.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// counters to the metrics line. v3 added the temporal-SI audit config,
+/// the credit ledger section, the fingerprint tilt line, and the
+/// temporal/credit counters on the auditor and metrics lines.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// The previous format version, still accepted by
+/// [`MarketSnapshot::decode`] and upgraded to [`SNAPSHOT_VERSION`] on
+/// read (missing sections take zero/default values, bit-identical to a
+/// market that had never accrued credit).
+pub const SNAPSHOT_VERSION_V2: u32 = 2;
 
 const MAGIC: &str = "refmarket-snapshot";
 
@@ -78,6 +91,9 @@ pub struct MarketSnapshot {
     /// from the same point — and lands on the same bits — as the
     /// original's would have.
     pub warm: WarmStartCache,
+    /// The credit ledger: per-agent balances and delivered/entitled
+    /// windows (empty for a decoded v2 document).
+    pub ledger: CreditLedger,
     /// Live agents in ascending id order.
     pub agents: Vec<AgentSnapshot>,
 }
@@ -121,25 +137,29 @@ impl MarketSnapshot {
         let _ = writeln!(out, "sim-instructions {}", c.sim_instructions);
         let _ = writeln!(out, "seed {}", c.seed);
         let _ = writeln!(out, "mechanism {}", c.mechanism.label());
+        let _ = writeln!(out, "temporal-window {}", c.temporal_window);
+        let _ = writeln!(out, "temporal-slack {}", hex(c.temporal_slack));
 
         let _ = writeln!(out, "epoch {}", self.epoch);
         let _ = writeln!(out, "stable-since {}", self.stable_since);
         let a = &self.auditor;
         let _ = writeln!(
             out,
-            "auditor {} {} {} {} {} {} {}",
+            "auditor {} {} {} {} {} {} {} {} {}",
             a.epochs_audited,
             a.si_violation_epochs,
             a.ef_violation_epochs,
             a.pe_violation_epochs,
             a.si_after_warmup,
             a.ef_after_warmup,
-            a.pe_after_warmup
+            a.pe_after_warmup,
+            a.temporal_si_violation_epochs,
+            a.temporal_si_after_warmup
         );
         let m = &self.metrics;
         let _ = writeln!(
             out,
-            "metrics {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "metrics {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             m.epochs,
             m.events,
             m.joins,
@@ -155,7 +175,10 @@ impl MarketSnapshot {
             m.reallotments,
             m.warm_start_hits,
             m.warm_start_misses,
-            m.incremental_refits
+            m.incremental_refits,
+            m.credits_accrued,
+            m.credits_spent,
+            m.temporal_si_violations
         );
 
         match &self.cache {
@@ -179,6 +202,11 @@ impl MarketSnapshot {
                     let _ = write!(line, " {b:016x}");
                 }
                 let _ = writeln!(out, "{line}");
+                let mut line = "fp-tilt".to_string();
+                for t in &fp.tilt {
+                    let _ = write!(line, " {t}");
+                }
+                let _ = writeln!(out, "{line}");
                 let _ = writeln!(out, "bundles {}", alloc.num_agents());
                 for b in alloc.bundles() {
                     let mut line = "bundle".to_string();
@@ -200,6 +228,16 @@ impl MarketSnapshot {
             push_hexes(&mut line, warm_aux);
             let _ = writeln!(out, "{line}");
             let _ = writeln!(out, "warm-t {}", hex(warm_t));
+        }
+
+        let entries = self.ledger.parts();
+        let _ = writeln!(out, "ledger {}", entries.len());
+        for (id, entry) in entries {
+            let mut line = format!("l {id} {} {}", hex(entry.balance), entry.window.len());
+            for (delivered, entitled) in &entry.window {
+                let _ = write!(line, " {} {}", hex(*delivered), hex(*entitled));
+            }
+            let _ = writeln!(out, "{line}");
         }
 
         let _ = writeln!(out, "agents {}", self.agents.len());
@@ -255,11 +293,13 @@ impl MarketSnapshot {
             .and_then(|v| v.strip_prefix('v'))
             .and_then(|v| v.parse::<u32>().ok())
             .ok_or_else(|| bad(format!("not a {MAGIC} document: {header:?}")))?;
-        if version != SNAPSHOT_VERSION {
+        if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V2 {
             return Err(bad(format!(
-                "unsupported version {version} (supported: {SNAPSHOT_VERSION})"
+                "unsupported version {version} (supported: \
+                 {SNAPSHOT_VERSION_V2}, {SNAPSHOT_VERSION})"
             )));
         }
+        let v3 = version == SNAPSHOT_VERSION;
 
         let capacity =
             Capacity::new(lines.tagged_f64s("capacity")?).map_err(|e| bad(e.to_string()))?;
@@ -277,11 +317,23 @@ impl MarketSnapshot {
                 MechanismKind::from_label(label)
                     .ok_or_else(|| bad(format!("unknown mechanism {label:?}")))?
             },
+            // v2 documents predate the temporal audit; the defaults below
+            // must match `MarketConfig::new`.
+            temporal_window: if v3 {
+                lines.tagged_u64("temporal-window")?
+            } else {
+                16
+            },
+            temporal_slack: if v3 {
+                lines.tagged_f64("temporal-slack")?
+            } else {
+                0.05
+            },
         };
         let epoch = lines.tagged_u64("epoch")?;
         let stable_since = lines.tagged_u64("stable-since")?;
 
-        let a = lines.tagged_u64s("auditor", 7)?;
+        let a = lines.tagged_u64s("auditor", if v3 { 9 } else { 7 })?;
         let auditor = Auditor {
             epochs_audited: a[0],
             si_violation_epochs: a[1],
@@ -290,8 +342,10 @@ impl MarketSnapshot {
             si_after_warmup: a[4],
             ef_after_warmup: a[5],
             pe_after_warmup: a[6],
+            temporal_si_violation_epochs: if v3 { a[7] } else { 0 },
+            temporal_si_after_warmup: if v3 { a[8] } else { 0 },
         };
-        let m = lines.tagged_u64s("metrics", 16)?;
+        let m = lines.tagged_u64s("metrics", if v3 { 19 } else { 16 })?;
         let metrics = MarketMetrics {
             epochs: m[0],
             events: m[1],
@@ -309,6 +363,9 @@ impl MarketSnapshot {
             warm_start_hits: m[13],
             warm_start_misses: m[14],
             incremental_refits: m[15],
+            credits_accrued: if v3 { m[16] } else { 0 },
+            credits_spent: if v3 { m[17] } else { 0 },
+            temporal_si_violations: if v3 { m[18] } else { 0 },
         };
 
         let cache = match lines.tagged("cache")? {
@@ -334,6 +391,15 @@ impl MarketSnapshot {
                         u64::from_str_radix(t, 16).map_err(|e| bad(format!("fp-capacity: {e}")))
                     })
                     .collect::<Result<Vec<_>>>()?;
+                let tilt = if v3 {
+                    lines
+                        .tagged("fp-tilt")?
+                        .split_whitespace()
+                        .map(|t| t.parse::<i64>().map_err(|e| bad(format!("fp-tilt: {e}"))))
+                        .collect::<Result<Vec<_>>>()?
+                } else {
+                    Vec::new()
+                };
                 let n = lines.tagged_u64("bundles")? as usize;
                 let mut bundles = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -347,6 +413,7 @@ impl MarketSnapshot {
                         ids,
                         quantized,
                         capacity_bits,
+                        tilt,
                     },
                     alloc,
                 ))
@@ -372,6 +439,42 @@ impl MarketSnapshot {
             let aux = parse_f64s(lines.tagged("warm-aux")?)?;
             let barrier_t = lines.tagged_f64("warm-t")?;
             WarmStartCache::from_parts(bundles, aux, barrier_t)
+        };
+
+        let ledger = if v3 {
+            let num_entries = lines.tagged_u64("ledger")? as usize;
+            let mut entries = Vec::with_capacity(num_entries);
+            for _ in 0..num_entries {
+                let line = lines.tagged("l")?;
+                let mut toks = line.split_whitespace();
+                let id = toks
+                    .next()
+                    .and_then(|t| t.parse::<AgentId>().ok())
+                    .ok_or_else(|| bad(format!("ledger entry {line:?}")))?;
+                let balance = toks
+                    .next()
+                    .map(parse_f64)
+                    .transpose()?
+                    .ok_or_else(|| bad(format!("ledger entry {line:?}")))?;
+                let window_len = toks
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| bad(format!("ledger entry {line:?}")))?;
+                let pairs = toks.map(parse_f64).collect::<Result<Vec<_>>>()?;
+                if pairs.len() != 2 * window_len {
+                    return Err(bad(format!(
+                        "ledger entry for agent {id}: expected {window_len} \
+                         window pairs, got {} values",
+                        pairs.len()
+                    )));
+                }
+                let window: VecDeque<(f64, f64)> =
+                    pairs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+                entries.push((id, LedgerEntry { balance, window }));
+            }
+            CreditLedger::from_parts(entries)
+        } else {
+            CreditLedger::new()
         };
 
         let num_agents = lines.tagged_u64("agents")? as usize;
@@ -432,7 +535,10 @@ impl MarketSnapshot {
         }
 
         Ok(MarketSnapshot {
-            version,
+            // Upgrade-on-read: a decoded v2 document becomes a v3 snapshot
+            // (with zeroed ledger/counters), so re-encoding always writes
+            // the current format.
+            version: SNAPSHOT_VERSION,
             config,
             epoch,
             stable_since,
@@ -440,6 +546,7 @@ impl MarketSnapshot {
             metrics,
             cache,
             warm,
+            ledger,
             agents,
         })
     }
@@ -633,6 +740,54 @@ mod tests {
     }
 
     #[test]
+    fn restored_credit_market_keeps_its_ledger_and_allocates_bit_identically() {
+        let config = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap())
+            .with_mechanism(crate::engine::MechanismKind::Credit {
+                inner: ref_core::mechanism::CreditInner::MaxWelfare,
+            })
+            .with_warmup_epochs(2);
+        let mut original = MarketEngine::new(config).unwrap();
+        original.submit(MarketEvent::AgentJoined {
+            id: 1,
+            source: ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![0.7, 0.3]).unwrap()),
+        });
+        original.submit(MarketEvent::AgentJoined {
+            id: 2,
+            source: ObservationSource::GroundTruth(CobbDouglas::new(1.0, vec![0.3, 0.7]).unwrap()),
+        });
+        original.submit_all(std::iter::repeat_n(MarketEvent::EpochTick, 12));
+        original.pump().unwrap();
+
+        let snap = original.snapshot();
+        assert_eq!(snap.ledger.len(), 2);
+        assert!(!snap.ledger.entry(1).unwrap().window.is_empty());
+        let decoded = MarketSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.ledger, snap.ledger);
+
+        // Continued epochs read the restored balances when tilting the
+        // objective, so allocations and the ledger itself must track bit
+        // for bit.
+        let mut restored = MarketEngine::restore(&decoded).unwrap();
+        for _ in 0..4 {
+            original.submit(MarketEvent::EpochTick);
+            restored.submit(MarketEvent::EpochTick);
+            let a = original.pump().unwrap().pop().unwrap();
+            let b = restored.pump().unwrap().pop().unwrap();
+            assert_eq!(a.realloc, b.realloc);
+            assert_eq!(a.temporal_violations, b.temporal_violations);
+            let (x, y) = (a.allocation.unwrap(), b.allocation.unwrap());
+            for (bx, by) in x.bundles().iter().zip(y.bundles()) {
+                for r in 0..bx.num_resources() {
+                    assert_eq!(bx.get(r).to_bits(), by.get(r).to_bits());
+                }
+            }
+        }
+        assert_eq!(original.ledger(), restored.ledger());
+        assert_eq!(original.metrics(), restored.metrics());
+    }
+
+    #[test]
     fn decode_rejects_malformed_documents() {
         assert!(MarketSnapshot::decode("").is_err());
         assert!(MarketSnapshot::decode("not-a-snapshot v1").is_err());
@@ -654,7 +809,7 @@ mod tests {
     #[test]
     fn restore_rejects_unsupported_versions_and_duplicate_agents() {
         let mut snap = busy_market().snapshot();
-        snap.version = 3;
+        snap.version = 4;
         assert!(matches!(
             MarketEngine::restore(&snap),
             Err(MarketError::Snapshot(_))
@@ -666,5 +821,85 @@ mod tests {
             MarketEngine::restore(&snap),
             Err(MarketError::DuplicateAgent(1))
         ));
+    }
+
+    /// Rewrites a v3 document as the v2 format this build's predecessor
+    /// wrote: v2 header, no temporal config lines, 7-counter auditor,
+    /// 16-counter metrics, no fp-tilt line and no ledger section.
+    fn downgrade_to_v2(v3: &str) -> String {
+        let mut out = Vec::new();
+        let mut skip = 0usize;
+        for line in v3.lines() {
+            if skip > 0 {
+                skip -= 1;
+                continue;
+            }
+            if line.starts_with("refmarket-snapshot v3") {
+                out.push("refmarket-snapshot v2".to_string());
+            } else if line.starts_with("temporal-window")
+                || line.starts_with("temporal-slack")
+                || line.starts_with("fp-tilt")
+            {
+                continue;
+            } else if let Some(rest) = line.strip_prefix("auditor ") {
+                let kept: Vec<&str> = rest.split_whitespace().take(7).collect();
+                out.push(format!("auditor {}", kept.join(" ")));
+            } else if let Some(rest) = line.strip_prefix("metrics ") {
+                let kept: Vec<&str> = rest.split_whitespace().take(16).collect();
+                out.push(format!("metrics {}", kept.join(" ")));
+            } else if let Some(n) = line.strip_prefix("ledger ") {
+                skip = n.trim().parse::<usize>().unwrap();
+            } else {
+                out.push(line.to_string());
+            }
+        }
+        out.join("\n") + "\n"
+    }
+
+    #[test]
+    fn v2_documents_decode_and_upgrade_to_v3() {
+        let snap = busy_market().snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert!(!snap.ledger.is_empty());
+        let v2_text = downgrade_to_v2(&snap.encode());
+        assert!(v2_text.starts_with("refmarket-snapshot v2\n"));
+
+        let decoded = MarketSnapshot::decode(&v2_text).unwrap();
+        // Upgrade-on-read: the decoded document is a v3 snapshot whose
+        // new sections hold their zero/default values...
+        assert_eq!(decoded.version, SNAPSHOT_VERSION);
+        assert!(decoded.ledger.is_empty());
+        assert_eq!(decoded.config.temporal_window, 16);
+        assert_eq!(decoded.config.temporal_slack, 0.05);
+        assert_eq!(decoded.metrics.credits_accrued, 0);
+        assert_eq!(decoded.auditor.temporal_si_violation_epochs, 0);
+        // ...while everything the v2 document carried survives bit-exactly.
+        assert_eq!(decoded.agents, snap.agents);
+        assert_eq!(decoded.warm, snap.warm);
+        assert_eq!(decoded.epoch, snap.epoch);
+        let (fp_old, alloc_old) = snap.cache.as_ref().unwrap();
+        let (fp_new, alloc_new) = decoded.cache.as_ref().unwrap();
+        assert_eq!(fp_new.ids, fp_old.ids);
+        assert_eq!(fp_new.quantized, fp_old.quantized);
+        assert_eq!(alloc_new, alloc_old);
+
+        // The restored v2 market ticks: allocations stay bit-identical to
+        // the v3 original's because non-credit mechanisms never read the
+        // ledger (only the credit counters diverge, starting from zero).
+        let mut original = MarketEngine::restore(&snap).unwrap();
+        let mut restored = MarketEngine::restore(&decoded).unwrap();
+        for _ in 0..4 {
+            original.submit(MarketEvent::EpochTick);
+            restored.submit(MarketEvent::EpochTick);
+            let a = original.pump().unwrap().pop().unwrap();
+            let b = restored.pump().unwrap().pop().unwrap();
+            assert_eq!(a.realloc, b.realloc);
+            let (x, y) = (a.allocation.unwrap(), b.allocation.unwrap());
+            for (bx, by) in x.bundles().iter().zip(y.bundles()) {
+                for r in 0..bx.num_resources() {
+                    assert_eq!(bx.get(r).to_bits(), by.get(r).to_bits());
+                }
+            }
+        }
     }
 }

@@ -3,14 +3,26 @@
 
 use proptest::prelude::*;
 
+use ref_core::mechanism::CreditInner;
 use ref_core::resource::Capacity;
 use ref_core::utility::CobbDouglas;
-use ref_market::{MarketConfig, MarketEngine, MarketEvent, ObservationSource};
+use ref_market::{MarketConfig, MarketEngine, MarketEvent, MechanismKind, ObservationSource};
 
 /// Decoded op: 0 = join, 1 = leave, 2 = tick.
 fn drive(ops: &[(u32, u32, u32)], capacity: &[f64], seed: u64) -> Result<(), TestCaseError> {
+    drive_with(ops, capacity, seed, MechanismKind::ProportionalElasticity)
+}
+
+fn drive_with(
+    ops: &[(u32, u32, u32)],
+    capacity: &[f64],
+    seed: u64,
+    mechanism: MechanismKind,
+) -> Result<(), TestCaseError> {
     let capacity = Capacity::new(capacity.to_vec()).expect("positive capacity");
-    let config = MarketConfig::new(capacity.clone()).with_seed(seed);
+    let config = MarketConfig::new(capacity.clone())
+        .with_seed(seed)
+        .with_mechanism(mechanism);
     let mut market = MarketEngine::new(config).expect("valid config");
 
     let mut live: Vec<u64> = Vec::new();
@@ -77,6 +89,24 @@ fn drive(ops: &[(u32, u32, u32)], capacity: &[f64], seed: u64) -> Result<(), Tes
     let mut expected = live.clone();
     expected.sort_unstable();
     prop_assert_eq!(market.live_agents(), expected);
+
+    // Ledger conservation: accrual is mean-centered (zero-sum), settlement
+    // redistributes departing balances, and clamp residuals are handed back
+    // equally, so across any churn the balances sum to ~0 up to floating
+    // error (decay only shrinks whatever residue remains).
+    let ledger = market.ledger();
+    prop_assert_eq!(ledger.len(), market.num_live_agents());
+    let epochs = market.metrics().epochs as f64;
+    let tolerance = 1e-9 * (1.0 + epochs);
+    prop_assert!(
+        ledger.total().abs() <= tolerance,
+        "ledger drifted: sum {} over {epochs} epochs (tolerance {tolerance})",
+        ledger.total()
+    );
+    // The cap is soft: settlement spikes and clamp-residual redistribution
+    // can briefly overshoot it, but never by more than another cap's worth,
+    // and the weight tilt clamps independently.
+    prop_assert!(ledger.max_abs() <= 2.0 * ref_market::ledger::CREDIT_CAP);
     Ok(())
 }
 
@@ -98,5 +128,25 @@ proptest! {
         cap1 in 0.5f64..50.0,
     ) {
         drive(&ops, &[cap0, cap1], 11)?;
+    }
+}
+
+proptest! {
+    // The credit mechanism solves a GP per reallocation, so keep the
+    // case count modest; conservation and the cap bound are checked by
+    // the shared driver either way.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn credit_markets_conserve_the_ledger_across_churn(
+        ops in proptest::collection::vec((0u32..3, 0u32..16, 1u32..100), 1..20),
+        seed in 0u64..1_000_000,
+    ) {
+        drive_with(
+            &ops,
+            &[24.0, 12.0],
+            seed,
+            MechanismKind::Credit { inner: CreditInner::MaxWelfare },
+        )?;
     }
 }

@@ -9,19 +9,20 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--duration-ms 700] [--out BENCH_serve.json]
-//!         [--levels 2,8,32] [--shards N]
+//!         [--levels 2,8,32] [--shards N] [--mechanism LABEL]
 //! ```
 //!
 //! `--shards N` boots the in-process server with `N` market shards
 //! behind the consistent-hash router; the replay check then proves
 //! every shard's journal byte-identical to an offline replay of that
-//! shard alone.
+//! shard alone. `--mechanism LABEL` picks the allocation mechanism by
+//! its snapshot label (e.g. `credit` for the credit-weighted market).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use ref_core::resource::Capacity;
-use ref_market::MarketConfig;
+use ref_market::{MarketConfig, MechanismKind};
 use ref_serve::{
     CallOpts, Client, ClientError, LatencyHistogram, Quotas, ServeConfig, Server, Value,
 };
@@ -32,6 +33,7 @@ struct Args {
     out: String,
     levels: Vec<usize>,
     shards: usize,
+    mechanism: Option<MechanismKind>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_serve.json".to_string(),
         levels: vec![2, 8, 32],
         shards: 1,
+        mechanism: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +64,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--shards must be at least 1".to_string());
                 }
             }
+            "--mechanism" => {
+                let label = value("--mechanism")?;
+                args.mechanism = Some(MechanismKind::from_label(&label).ok_or_else(|| {
+                    format!(
+                        "unknown mechanism {label:?} (try proportional-elasticity, \
+                         max-welfare, equal-slowdown, credit)"
+                    )
+                })?);
+            }
             "--levels" => {
                 args.levels = value("--levels")?
                     .split(',')
@@ -76,8 +88,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn market() -> MarketConfig {
-    MarketConfig::new(Capacity::new(vec![64.0, 32.0]).expect("static capacity"))
+fn market(mechanism: Option<MechanismKind>) -> MarketConfig {
+    let config = MarketConfig::new(Capacity::new(vec![64.0, 32.0]).expect("static capacity"));
+    match mechanism {
+        Some(kind) => config.with_mechanism(kind),
+        None => config,
+    }
 }
 
 /// Per-level aggregate counters, shared across client threads.
@@ -236,7 +252,7 @@ fn main() {
     // Self-booted servers get deliberately tight observe/query quotas so
     // the top load level genuinely over-offers and exercises rejection.
     let local = if args.addr.is_none() {
-        let config = ServeConfig::new(market())
+        let config = ServeConfig::new(market(args.mechanism))
             .with_epoch_interval(Some(Duration::from_millis(2)))
             .with_shards(args.shards)
             .with_quotas(Quotas {
@@ -290,7 +306,8 @@ fn main() {
                     eprintln!("loadgen: shard {} journal overflowed", shard.shard);
                     return false;
                 }
-                let shard_config = ref_serve::shard_market_config(&market(), args.shards);
+                let shard_config =
+                    ref_serve::shard_market_config(&market(args.mechanism), args.shards);
                 match ref_serve::replay(shard_config, &shard.journal) {
                     Ok(engine) => engine.snapshot().encode() == shard.snapshot,
                     Err(_) => false,
@@ -300,7 +317,7 @@ fn main() {
             eprintln!("loadgen: journal overflowed; raise the limit for replay checks");
             false
         } else {
-            match ref_serve::replay(market(), &report.journal) {
+            match ref_serve::replay(market(args.mechanism), &report.journal) {
                 Ok(engine) => engine.snapshot().encode() == report.snapshot,
                 Err(_) => false,
             }

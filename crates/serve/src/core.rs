@@ -440,6 +440,7 @@ impl ServiceCore {
                         ),
                         ("refits", Value::from_u64(agent.estimator.refits() as u64)),
                         ("quarantined", Value::Bool(agent.quarantined())),
+                        ("credit", Value::num(self.engine.ledger().balance(*id))),
                         ("bundle", bundle.unwrap_or(Value::Null)),
                     ])
                 }
@@ -450,8 +451,15 @@ impl ServiceCore {
             )]),
             Request::Metrics { text } => {
                 let server = metrics.snapshot();
+                let ledger = self.engine.ledger();
                 if *text {
                     let mut out = self.engine.metrics().to_text();
+                    out.push_str(&format!(
+                        "refmarket_ledger_agents {}\nrefmarket_ledger_total {}\nrefmarket_ledger_total_abs {}\n",
+                        ledger.len(),
+                        ledger.total(),
+                        ledger.total_abs(),
+                    ));
                     out.push_str(&server.to_text());
                     ok_response(vec![("text", Value::str(out))])
                 } else {
@@ -460,6 +468,15 @@ impl ServiceCore {
                             "market",
                             Value::parse(&self.engine.metrics().to_json())
                                 .expect("metrics JSON is valid"),
+                        ),
+                        (
+                            "ledger",
+                            Value::obj(vec![
+                                ("agents", Value::from_u64(ledger.len() as u64)),
+                                ("total", Value::num(ledger.total())),
+                                ("total_abs", Value::num(ledger.total_abs())),
+                                ("max_abs", Value::num(ledger.max_abs())),
+                            ]),
                         ),
                         ("server", server.to_json_value()),
                     ])
@@ -620,6 +637,10 @@ mod tests {
         }
         let reply = core.handle(&Request::Query { agent: Some(1) }, &metrics);
         assert_eq!(reply.get("ok"), Some(&Value::Bool(true)));
+        assert!(
+            reply.get("credit").unwrap().as_f64().unwrap().is_finite(),
+            "{reply}"
+        );
         let bundle = reply.get("bundle").unwrap().as_array().unwrap();
         assert_eq!(bundle.len(), 2);
         assert!((bundle[0].as_f64().unwrap() - 18.0).abs() < 0.6, "{reply}");
@@ -665,9 +686,13 @@ mod tests {
             Some(1)
         );
         assert!(reply.get("server").unwrap().get("epochs").is_some());
+        let ledger = reply.get("ledger").unwrap();
+        assert_eq!(ledger.get("agents").unwrap().as_u64(), Some(1));
+        assert!(ledger.get("total").unwrap().as_f64().unwrap().abs() < 1e-9);
         let text = core.handle(&Request::Metrics { text: true }, &metrics);
         let body = text.get("text").unwrap().as_str().unwrap();
         assert!(body.contains("refmarket_epochs 1\n"), "{body}");
+        assert!(body.contains("refmarket_ledger_agents 1\n"), "{body}");
         assert!(body.contains("refserve_epochs"), "{body}");
     }
 }

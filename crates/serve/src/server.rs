@@ -407,6 +407,26 @@ impl Server {
             ));
         }
         let n = config.shards;
+        // A credit market meters each agent's delivered utility against
+        // the equal share of its own shard's capacity. When the equal
+        // split is inexact in floating point ((c / n) * n != c), the
+        // per-shard entitlement baselines no longer sum to the advertised
+        // cluster capacity, so cross-shard credit balances stop being
+        // comparable — reject loudly instead of serving a subtly skewed
+        // market.
+        if n > 1 && config.market.mechanism.credit_weighted() {
+            for (r, &c) in config.market.capacity.as_slice().iter().enumerate() {
+                let split = c / n as f64;
+                if split * n as f64 != c {
+                    return Err(invalid(&format!(
+                        "mechanism {} over {n} shards needs an exact capacity \
+                         split: resource {r} capacity {c} does not divide \
+                         evenly (pick a capacity divisible by the shard count)",
+                        config.market.mechanism.label()
+                    )));
+                }
+            }
+        }
 
         // One core per shard. Each shard's market starts from the equal
         // capacity split (the coordinator reallots from there) and owns
