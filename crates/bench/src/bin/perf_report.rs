@@ -415,10 +415,13 @@ fn main() {
 /// scale harness (`BENCH_shard.json`, produced by
 /// `cargo run --release -p ref-bench --bin shard_scale`), and the
 /// credit-market harness (`BENCH_credit.json`, produced by
-/// `cargo run --release -p ref-bench --bin credit_bench`) together with
+/// `cargo run --release -p ref-bench --bin credit_bench`), and the
+/// shard-chaos harness (`BENCH_shard_chaos.json`, produced by
+/// `cargo run --release -p ref-bench --bin shard_chaos`) together with
 /// the pipeline numbers into one `BENCH_report.json`, so a single
 /// artifact tracks the offline pipeline, the online front-end, crash
-/// recovery, replicated failover, shard scaling, and temporal fairness.
+/// recovery, replicated failover, shard scaling, temporal fairness,
+/// and partition tolerance.
 fn aggregate_report(pipeline_json: &str) {
     use ref_serve::json::Value;
 
@@ -546,6 +549,31 @@ fn aggregate_report(pipeline_json: &str) {
             Value::Null
         }
     };
+    let shard_chaos = match std::fs::read_to_string("BENCH_shard_chaos.json") {
+        Ok(text) => match Value::parse(text.trim()) {
+            Ok(v) => {
+                if v.get("all_ok").and_then(Value::as_bool) != Some(true) {
+                    eprintln!("FATAL: BENCH_shard_chaos.json records a failed partition gate");
+                    std::process::exit(1);
+                }
+                let restarts = v
+                    .get("recovery")
+                    .and_then(|r| r.get("shard_restarts"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                println!("aggregating BENCH_shard_chaos.json ({restarts} in-place shard restarts)");
+                v
+            }
+            Err(e) => {
+                eprintln!("FATAL: BENCH_shard_chaos.json exists but is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no BENCH_shard_chaos.json found; report skips partition tolerance");
+            Value::Null
+        }
+    };
     let report = Value::obj(vec![
         ("pipeline", pipeline),
         ("serve", serve),
@@ -553,6 +581,7 @@ fn aggregate_report(pipeline_json: &str) {
         ("failover", failover),
         ("shard", shard),
         ("credit", credit),
+        ("shard_chaos", shard_chaos),
     ]);
     std::fs::write("BENCH_report.json", format!("{}\n", report.encode()))
         .expect("write BENCH_report.json");

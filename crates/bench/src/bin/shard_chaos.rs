@@ -1,0 +1,497 @@
+//! Shard-chaos harness: partition tolerance of the sharded router.
+//!
+//! Boots a 4-shard WAL-backed fleet on timed epochs, puts it under a
+//! closed-loop agent-op load with per-request deadlines, and injects
+//! three distinct shard failures mid-run through the deterministic
+//! [`ref_serve::FaultPlan`]:
+//!
+//! * a **ticker panic** after a durable tick (the full recovery path:
+//!   degraded mode, `shard_unavailable` fast-fails, supervisor restart
+//!   from the shard's own WAL, epoch resynchronization),
+//! * a **slow tick** stalling one shard well past the router's per-shard
+//!   tick budget (Suspect/Down on timeouts, probe-driven healing),
+//! * a **dropped tick reply** (durable work done, reply lost — the
+//!   reply-loss and state-loss failure modes are decoupled).
+//!
+//! Gates (non-zero exit on any failure):
+//!
+//! 1. no client op ever waits past its deadline + grace — a down shard
+//!    must cost its clients a fast `shard_unavailable`, never a hang;
+//! 2. the fleet epoch keeps advancing while shards are down;
+//! 3. every shard returns to Healthy and the supervisor restarted at
+//!    least one of them;
+//! 4. after recovery the merged report carries a fleet-wide SI/EF/PE
+//!    audit that passes, with no `partial` stamp;
+//! 5. every shard's WAL replays offline to exactly its shutdown
+//!    snapshot — bit-identical recovery, restarts included;
+//! 6. zero protocol errors.
+//!
+//! ```text
+//! cargo run --release -p ref-bench --bin shard_chaos -- [--quick]
+//!     [--out BENCH_shard_chaos.json] [--agents 64] [--load-threads 2]
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ref_core::resource::Capacity;
+use ref_market::MarketConfig;
+use ref_serve::json::Value;
+use ref_serve::{
+    shard_market_config, Client, FaultPlan, JournalLimit, Quotas, ServeConfig, Server, ServiceCore,
+    WalConfig,
+};
+
+const SHARDS: usize = 4;
+/// Per-request deadline carried on every load op, in milliseconds.
+const OP_DEADLINE_MS: u64 = 500;
+/// Latency slack on top of the deadline before an op counts as a hang:
+/// covers the queue drain behind an injected stall plus scheduling
+/// noise on a loaded single-core host.
+const OP_GRACE_MS: u64 = 1500;
+
+struct Args {
+    out: String,
+    quick: bool,
+    agents: usize,
+    load_threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_shard_chaos.json".to_string(),
+        quick: false,
+        agents: 64,
+        load_threads: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--quick" => args.quick = true,
+            "--agents" => {
+                args.agents = value("--agents")?
+                    .parse()
+                    .map_err(|e| format!("bad --agents: {e}"))?;
+            }
+            "--load-threads" => {
+                args.load_threads = value("--load-threads")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --load-threads: {e}"))?
+                    .max(1);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.quick {
+        args.agents = args.agents.min(32);
+        args.load_threads = args.load_threads.min(2);
+    }
+    Ok(args)
+}
+
+fn market() -> MarketConfig {
+    MarketConfig::new(Capacity::new(vec![64.0, 32.0]).expect("static capacity"))
+        .with_enforcement_quanta(200)
+}
+
+/// The chaos fleet: timed epochs (the coordinator is the fleet clock), a
+/// tick budget far below the reply timeout, and one fault armed per
+/// failure mode. Fault epochs are spaced so each failure plays out —
+/// and heals — before the next begins.
+fn serve_config(quick: bool, wal_dir: &std::path::Path) -> ServeConfig {
+    let (panic_epoch, slow_epoch, drop_epoch) = if quick { (10, 40, 70) } else { (30, 80, 130) };
+    ServeConfig::new(market())
+        .with_epoch_interval(Some(Duration::from_millis(10)))
+        .with_shards(SHARDS)
+        .with_wal(WalConfig::new(wal_dir))
+        .with_quotas(Quotas {
+            control: 4096,
+            observe: 1024,
+            query: 1024,
+        })
+        .with_journal_limit(JournalLimit(1 << 21))
+        .with_shard_tick_budget(Duration::from_millis(250))
+        .with_recovery_clean_ticks(3)
+        // The drift high-water mark legitimately spikes while allotments
+        // are frozen below quorum; the recovery gate is SI/EF/PE, drift
+        // is recorded for the report.
+        .with_drift_bound(0.75)
+        .with_faults(FaultPlan {
+            panic_shard_ticker: Some((1, panic_epoch)),
+            slow_shard_tick: Some((2, slow_epoch, 400)),
+            drop_tick_reply: Some((3, drop_epoch)),
+            ..FaultPlan::default()
+        })
+}
+
+fn join_truth_line(agent: u64) -> String {
+    let e0 = 0.2 + 0.6 * ((agent % 101) as f64) / 101.0;
+    format!(
+        "{{\"op\":\"join\",\"agent\":{agent},\"source\":{{\"kind\":\"truth\",\
+         \"scale\":1,\"elasticities\":[{e0},{}]}}}}",
+        1.0 - e0
+    )
+}
+
+/// Streams join lines over one socket in pipelined batches; counts ok.
+fn pipeline_joins(addr: &str, agents: usize) -> Result<u64, String> {
+    const BATCH: usize = 512;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut ok = 0u64;
+    let mut lines = (1..=agents as u64).map(join_truth_line);
+    loop {
+        let mut sent = 0usize;
+        for line in lines.by_ref().take(BATCH) {
+            writer
+                .write_all(line.as_bytes())
+                .map_err(|e| e.to_string())?;
+            writer.write_all(b"\n").map_err(|e| e.to_string())?;
+            sent += 1;
+        }
+        if sent == 0 {
+            return Ok(ok);
+        }
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        for _ in 0..sent {
+            reply.clear();
+            if reader.read_line(&mut reply).map_err(|e| e.to_string())? == 0 {
+                return Err("server closed the connection mid-batch".to_string());
+            }
+            if reply.contains("\"ok\":true") {
+                ok += 1;
+            }
+        }
+    }
+}
+
+/// Closed-loop load: agent-scoped queries and demand updates, every one
+/// carrying a deadline. Records the worst wall-clock wait and the reply
+/// mix; a request that outlives deadline + grace is the hang the router
+/// exists to prevent.
+struct LoadStats {
+    ops: AtomicU64,
+    ok: AtomicU64,
+    unavailable: AtomicU64,
+    other_errors: AtomicU64,
+    max_wait_ms: AtomicU64,
+}
+
+fn load_loop(addr: &str, thread: usize, agents: usize, stop: &AtomicBool, stats: &LoadStats) {
+    let Ok(mut client) = Client::connect(addr) else {
+        return;
+    };
+    let mut i = thread as u64;
+    while !stop.load(Ordering::Relaxed) {
+        let agent = 1 + (i % agents as u64);
+        let line = if i % 5 == 3 {
+            let e0 = 0.25 + 0.5 * ((i % 13) as f64) / 13.0;
+            format!(
+                "{{\"op\":\"demand\",\"agent\":{agent},\"deadline_ms\":{OP_DEADLINE_MS},\
+                 \"report\":{{\"scale\":1,\"elasticities\":[{e0},{}]}}}}",
+                1.0 - e0
+            )
+        } else {
+            format!("{{\"op\":\"query\",\"agent\":{agent},\"deadline_ms\":{OP_DEADLINE_MS}}}")
+        };
+        let started = Instant::now();
+        let reply = client.call_line(&line);
+        let waited = started.elapsed().as_millis() as u64;
+        stats.max_wait_ms.fetch_max(waited, Ordering::Relaxed);
+        stats.ops.fetch_add(1, Ordering::Relaxed);
+        match reply {
+            Ok(value) => {
+                if value.get("ok") == Some(&Value::Bool(true)) {
+                    stats.ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    match value.get("error").and_then(Value::as_str) {
+                        Some("shard_unavailable") => {
+                            stats.unavailable.fetch_add(1, Ordering::Relaxed);
+                            // Honor the router's hint like a well-behaved
+                            // client would.
+                            let hint = value
+                                .get("retry_after_ms")
+                                .and_then(Value::as_u64)
+                                .unwrap_or(5);
+                            std::thread::sleep(Duration::from_millis(hint));
+                        }
+                        _ => {
+                            stats.other_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+        i += 1;
+    }
+}
+
+fn fleet_epoch(client: &mut Client) -> Result<u64, String> {
+    let ping = client.ping().map_err(|e| format!("ping: {e}"))?;
+    ping.get("epoch")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "ping reply missing epoch".to_string())
+}
+
+fn shard_health(client: &mut Client) -> Result<Vec<String>, String> {
+    let ping = client.ping().map_err(|e| format!("ping: {e}"))?;
+    Ok(ping
+        .get("shard_health")
+        .and_then(Value::as_array)
+        .map(|h| {
+            h.iter()
+                .filter_map(Value::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("shard_chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+    let wal_dir = std::env::temp_dir().join(format!("ref-shard-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let config = serve_config(args.quick, &wal_dir);
+    let server = match Server::start("127.0.0.1:0", config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("shard_chaos: boot: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr().to_string();
+
+    eprintln!(
+        "shard_chaos: joining {} agents over {SHARDS} shards",
+        args.agents
+    );
+    match pipeline_joins(&addr, args.agents) {
+        Ok(joined) if joined == args.agents as u64 => {}
+        Ok(joined) => {
+            eprintln!(
+                "shard_chaos: only {joined} of {} joins accepted",
+                args.agents
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("shard_chaos: joins: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Load runs across the whole chaos window, failures included.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(LoadStats {
+        ops: AtomicU64::new(0),
+        ok: AtomicU64::new(0),
+        unavailable: AtomicU64::new(0),
+        other_errors: AtomicU64::new(0),
+        max_wait_ms: AtomicU64::new(0),
+    });
+    let loaders: Vec<_> = (0..args.load_threads)
+        .map(|thread| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let agents = args.agents;
+            std::thread::spawn(move || load_loop(&addr, thread, agents, &stop, &stats))
+        })
+        .collect();
+
+    let mut probe = Client::connect(&addr).expect("probe connect");
+
+    // Gate 2: the fleet clock advances while the injected failures play
+    // out (the panic fires within the first second of epochs).
+    std::thread::sleep(Duration::from_millis(if args.quick { 400 } else { 800 }));
+    let epoch_a = fleet_epoch(&mut probe).unwrap_or(0);
+    std::thread::sleep(Duration::from_millis(300));
+    let epoch_b = fleet_epoch(&mut probe).unwrap_or(0);
+    let epochs_advanced = epoch_b > epoch_a;
+    eprintln!("shard_chaos: outage window epochs {epoch_a} -> {epoch_b}");
+
+    // Gate 3: every shard heals. The last fault fires around epoch
+    // 70–130 (≲2s in); allow generous wall time for restart + probes.
+    let heal_deadline = Instant::now() + Duration::from_secs(30);
+    let mut healed = false;
+    let mut last_health = Vec::new();
+    while Instant::now() < heal_deadline {
+        match shard_health(&mut probe) {
+            Ok(health) => {
+                last_health = health;
+                if last_health.len() == SHARDS && last_health.iter().all(|h| h == "healthy") {
+                    healed = true;
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("shard_chaos: health probe: {e}");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shard_chaos: healed={healed} shard_health={last_health:?}");
+
+    // Gate 4: once quorum (here: the whole fleet) is back, a merged
+    // report must pass the fleet-wide SI/EF/PE audit with no partial
+    // stamp.
+    let audit_deadline = Instant::now() + Duration::from_secs(20);
+    let mut audit_ok = false;
+    let mut last_drift = Value::Null;
+    let mut drift_bound_ok = Value::Null;
+    while healed && Instant::now() < audit_deadline {
+        let Ok(tick) = probe.tick() else { break };
+        last_drift = tick.get("drift").cloned().unwrap_or(Value::Null);
+        drift_bound_ok = tick.get("drift_bound_ok").cloned().unwrap_or(Value::Null);
+        if let Some(report) = tick.get("report") {
+            let partial = report.get("partial").and_then(Value::as_bool) == Some(true);
+            let pass = report.get("fairness").is_some_and(|f| {
+                ["sharing_incentives", "envy_free", "pareto_efficient"]
+                    .iter()
+                    .all(|key| f.get(key).and_then(Value::as_bool) == Some(true))
+            });
+            if !partial && pass {
+                audit_ok = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("shard_chaos: post-recovery audit_ok={audit_ok}");
+
+    stop.store(true, Ordering::Relaxed);
+    for loader in loaders {
+        let _ = loader.join();
+    }
+
+    let report = server.shutdown();
+    let restarts = report.metrics.shard_restarts;
+    let ticker_panics: u64 = report.shards.iter().map(|s| s.metrics.ticker_panics).sum();
+    let protocol_errors = report.metrics.protocol_errors;
+
+    // Gate 5: offline WAL recovery of every shard directory — the
+    // restarted shard's included — lands bit-identically on the live
+    // shutdown snapshot. `ServiceCore::recover` is the same machinery
+    // the supervisor used mid-run.
+    let mut replay_identical = true;
+    for (k, shard) in report.shards.iter().enumerate() {
+        let recovered = ServiceCore::recover(
+            shard_market_config(&market(), SHARDS),
+            JournalLimit(1 << 21),
+            WalConfig::new(wal_dir.join(format!("shard-{k}"))),
+            FaultPlan::none(),
+        );
+        match recovered {
+            Ok(core) if core.final_snapshot() == shard.snapshot => {}
+            Ok(_) => {
+                eprintln!("shard_chaos: shard {k} offline replay diverged from its snapshot");
+                replay_identical = false;
+            }
+            Err(e) => {
+                eprintln!("shard_chaos: shard {k} offline recovery failed: {e}");
+                replay_identical = false;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    // Gate 1: the worst op wait, measured across the whole window.
+    let max_wait_ms = stats.max_wait_ms.load(Ordering::Relaxed);
+    let wait_ok = max_wait_ms <= OP_DEADLINE_MS + OP_GRACE_MS;
+    let restarts_ok = restarts >= 1 && ticker_panics >= 1;
+
+    let gates = [
+        ("no_late_ops", wait_ok),
+        ("epochs_advanced_during_outage", epochs_advanced),
+        ("all_shards_healed", healed),
+        ("shard_restarted", restarts_ok),
+        ("post_recovery_audit", audit_ok),
+        ("replay_identical", replay_identical),
+        ("no_protocol_errors", protocol_errors == 0),
+    ];
+    let all_ok = gates.iter().all(|(_, ok)| *ok);
+
+    let doc = Value::obj(vec![
+        ("bench", Value::str("shard_chaos")),
+        ("quick", Value::Bool(args.quick)),
+        ("shards", Value::from_u64(SHARDS as u64)),
+        ("agents", Value::from_u64(args.agents as u64)),
+        ("load_threads", Value::from_u64(args.load_threads as u64)),
+        (
+            "load",
+            Value::obj(vec![
+                ("ops", Value::from_u64(stats.ops.load(Ordering::Relaxed))),
+                ("ok", Value::from_u64(stats.ok.load(Ordering::Relaxed))),
+                (
+                    "shard_unavailable",
+                    Value::from_u64(stats.unavailable.load(Ordering::Relaxed)),
+                ),
+                (
+                    "other_errors",
+                    Value::from_u64(stats.other_errors.load(Ordering::Relaxed)),
+                ),
+                ("max_wait_ms", Value::from_u64(max_wait_ms)),
+                (
+                    "deadline_plus_grace_ms",
+                    Value::from_u64(OP_DEADLINE_MS + OP_GRACE_MS),
+                ),
+            ]),
+        ),
+        (
+            "recovery",
+            Value::obj(vec![
+                ("shard_restarts", Value::from_u64(restarts)),
+                ("ticker_panics", Value::from_u64(ticker_panics)),
+                (
+                    "partial_epochs",
+                    Value::from_u64(report.metrics.partial_epochs),
+                ),
+                (
+                    "quorum_freezes",
+                    Value::from_u64(report.metrics.quorum_freezes),
+                ),
+                ("drift", last_drift),
+                ("drift_bound_ok", drift_bound_ok),
+            ]),
+        ),
+        (
+            "gates",
+            Value::obj(
+                gates
+                    .iter()
+                    .map(|(name, ok)| (*name, Value::Bool(*ok)))
+                    .collect(),
+            ),
+        ),
+        ("all_ok", Value::Bool(all_ok)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", doc.encode())) {
+        eprintln!("shard_chaos: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("shard_chaos: wrote {}", args.out);
+
+    if !all_ok {
+        for (name, ok) in gates {
+            if !ok {
+                eprintln!("shard_chaos: FATAL: gate {name} failed");
+            }
+        }
+        std::process::exit(1);
+    }
+}

@@ -383,10 +383,11 @@ impl Client {
         }
     }
 
-    /// Like [`Client::call`], but rides out `overloaded` rejections with
-    /// the [`CallOpts`] backoff policy — seeded jittered exponential
-    /// delays floored at the server's `retry_after_ms` hint, all under
-    /// an optional total-deadline budget — *and* fails over: a broken
+    /// Like [`Client::call`], but rides out `overloaded` and
+    /// `shard_unavailable` rejections with the [`CallOpts`] backoff
+    /// policy — seeded jittered exponential delays floored at the
+    /// server's `retry_after_ms` hint, all under an optional
+    /// total-deadline budget — *and* fails over: a broken
     /// connection, a `not_primary` redirect, or a `fenced` /
     /// `shutting_down` rejection triggers a [`Client::redial`] (guided
     /// by the reply's `leader` hint and the seed list) before the retry.
@@ -421,7 +422,12 @@ impl Client {
                 }
                 ClientError::Protocol(_) => return Err(error),
             };
-            let overloaded = error.code() == Some("overloaded");
+            // `shard_unavailable` is backpressure with a different
+            // cause: the owning shard is down and the router is telling
+            // us when its supervisor may have it back. Back off on the
+            // same connection — redialing cannot move an agent off its
+            // shard.
+            let overloaded = matches!(error.code(), Some("overloaded" | "shard_unavailable"));
             if !failover && !overloaded {
                 return Err(error);
             }

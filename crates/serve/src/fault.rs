@@ -41,6 +41,27 @@ pub struct FaultPlan {
     /// carried on its acks must catch it: the primary fences the replica
     /// instead of ever promoting it.
     pub corrupt_standby_at: Option<u64>,
+    /// `(shard, epoch, delay_ms)`: stall shard `shard`'s ticker for
+    /// `delay_ms` milliseconds right before it applies the tick that
+    /// would close epoch `epoch`. Models a GC pause / IO stall on one
+    /// shard: the router's per-shard tick budget must expire, the shard
+    /// must turn Suspect (then Down if the stall outlasts further
+    /// ticks), and the fleet clock must keep advancing. One-shot by
+    /// construction — the epoch ordinal only passes once.
+    pub slow_shard_tick: Option<(u64, u64, u64)>,
+    /// `(shard, epoch)`: shard `shard` applies (and journals) the tick
+    /// closing epoch `epoch` but never sends the reply, as a ticker
+    /// wedged *after* the durable work would. The router sees a tick
+    /// timeout while the shard's state stays consistent — the
+    /// reply-loss and state-loss failure modes are decoupled.
+    pub drop_tick_reply: Option<(u64, u64)>,
+    /// `(shard, epoch)`: panic shard `shard`'s ticker immediately after
+    /// it applies the tick closing epoch `epoch` (the tick is already
+    /// durable). Exercises the full shard-recovery path: degraded mode,
+    /// `shard_unavailable` fast-fails, supervisor restart from the
+    /// shard's own WAL, and epoch resynchronization. Cannot re-fire
+    /// after recovery: the recovered engine is already past `epoch`.
+    pub panic_shard_ticker: Option<(u64, u64)>,
 }
 
 impl FaultPlan {

@@ -49,6 +49,14 @@
 //!   unchanged); `tick` fans out to every shard and a cross-shard
 //!   coordinator rebalances per-resource capacity between shards after
 //!   each epoch, with a temporal-drift bound audited next to SI/EF/PE.
+//! * **Shard fault tolerance** ([`server`]'s router + supervisor): the
+//!   router tracks per-shard health (`Healthy → Suspect → Down`) from
+//!   tick timeouts and failure replies, fails agent ops to a Down shard
+//!   fast with `shard_unavailable` + `retry_after_ms`, gates cross-shard
+//!   reallotment on a reporting quorum (partial epochs are stamped
+//!   `partial: true` and never audited as fleet-wide fairness), and a
+//!   supervisor thread restarts a degraded shard in place from its own
+//!   WAL, resynchronizing it to the fleet epoch.
 //!
 //! # Quickstart
 //!
@@ -97,5 +105,7 @@ pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, ServeMetric
 pub use protocol::{parse_request, Class, Envelope, Request};
 pub use repl::{decode_frame, encode_frame, FrameDecode, ReplConfig, ReplShared, Role};
 pub use server::{ServeConfig, Server, ShardShutdown, ShutdownReport};
-pub use shard::{shard_market_config, CoordinationStatus, Coordinator, HashRing};
+pub use shard::{
+    default_quorum, shard_market_config, CoordinationStatus, Coordinator, HashRing, ShardHealth,
+};
 pub use wal::{Recovery, Wal, WalConfig};

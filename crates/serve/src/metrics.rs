@@ -171,6 +171,17 @@ pub struct ServeMetrics {
     /// Degraded-mode gauge: 1 after a ticker panic (mutations refused,
     /// reads still served), 0 in normal operation.
     pub degraded: AtomicU64,
+    /// Shards currently Down (gauge, router-wide; lives on shard 0's
+    /// metrics like the other transport-level counters).
+    pub shards_down: AtomicU64,
+    /// Shard tickers restarted in place by the supervisor (counter).
+    pub shard_restarts: AtomicU64,
+    /// Fleet epochs that completed without every shard reporting — the
+    /// merged report carried `partial: true` (counter).
+    pub partial_epochs: AtomicU64,
+    /// Coordination rounds skipped because fewer than quorum shards
+    /// reported: allotments were frozen instead (counter).
+    pub quorum_freezes: AtomicU64,
     /// Wall-clock latency of each epoch's pump.
     pub epoch_latency: LatencyHistogram,
 }
@@ -218,6 +229,10 @@ impl ServeMetrics {
             reader_panics: self.reader_panics.load(Ordering::Relaxed),
             ticker_panics: self.ticker_panics.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            shards_down: self.shards_down.load(Ordering::Relaxed),
+            shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
+            partial_epochs: self.partial_epochs.load(Ordering::Relaxed),
+            quorum_freezes: self.quorum_freezes.load(Ordering::Relaxed),
             epoch_latency: self.epoch_latency.snapshot(),
         }
     }
@@ -274,6 +289,14 @@ pub struct ServeMetricsSnapshot {
     pub ticker_panics: u64,
     /// Degraded-mode gauge (1 = mutations refused).
     pub degraded: u64,
+    /// Shards currently Down (router-wide gauge).
+    pub shards_down: u64,
+    /// Shard tickers restarted in place by the supervisor.
+    pub shard_restarts: u64,
+    /// Fleet epochs whose merged report was `partial: true`.
+    pub partial_epochs: u64,
+    /// Coordination rounds frozen for lack of quorum.
+    pub quorum_freezes: u64,
     /// Epoch pump latency distribution.
     pub epoch_latency: HistogramSnapshot,
 }
@@ -306,6 +329,10 @@ impl ServeMetricsSnapshot {
             ("reader_panics", Value::from_u64(self.reader_panics)),
             ("ticker_panics", Value::from_u64(self.ticker_panics)),
             ("degraded", Value::from_u64(self.degraded)),
+            ("shards_down", Value::from_u64(self.shards_down)),
+            ("shard_restarts", Value::from_u64(self.shard_restarts)),
+            ("partial_epochs", Value::from_u64(self.partial_epochs)),
+            ("quorum_freezes", Value::from_u64(self.quorum_freezes)),
             ("epoch_latency", self.epoch_latency.to_json_value()),
         ])
     }
@@ -339,6 +366,10 @@ impl ServeMetricsSnapshot {
             ("refserve_reader_panics", self.reader_panics),
             ("refserve_ticker_panics", self.ticker_panics),
             ("refserve_degraded", self.degraded),
+            ("refserve_shards_down", self.shards_down),
+            ("refserve_shard_restarts", self.shard_restarts),
+            ("refserve_partial_epochs", self.partial_epochs),
+            ("refserve_quorum_freezes", self.quorum_freezes),
             ("refserve_epoch_latency_count", self.epoch_latency.count),
             ("refserve_epoch_latency_sum_us", self.epoch_latency.sum_us),
             (
@@ -420,6 +451,14 @@ mod tests {
         assert!(text.contains("refserve_standby_connected 0\n"), "{text}");
         assert!(text.contains("refserve_divergences 0\n"), "{text}");
         assert!(text.contains("refserve_queue_depth 0\n"), "{text}");
-        assert_eq!(text.lines().count(), 28);
+        assert!(text.contains("refserve_shards_down 0\n"), "{text}");
+        assert!(text.contains("refserve_shard_restarts 0\n"), "{text}");
+        assert!(text.contains("refserve_partial_epochs 0\n"), "{text}");
+        assert!(text.contains("refserve_quorum_freezes 0\n"), "{text}");
+        assert!(
+            json.contains("\"quorum_freezes\":0,\"epoch_latency\":"),
+            "{json}"
+        );
+        assert_eq!(text.lines().count(), 32);
     }
 }

@@ -15,7 +15,7 @@
 //! code     = "protocol" | "overloaded" | "deadline" | "market"
 //!          | "shutting_down" | "timeout" | "journal_overflow"
 //!          | "journal_truncated" | "wal" | "degraded" | "not_primary"
-//!          | "fenced" | "repl" | "internal"
+//!          | "fenced" | "repl" | "internal" | "shard_unavailable"
 //! ```
 //!
 //! `ping` is answered directly on the reader thread from shared atomics
@@ -421,6 +421,26 @@ pub fn not_primary_response(leader: Option<&str>, shard: Option<u64>) -> Value {
     Value::obj(pairs)
 }
 
+/// Builds the `shard_unavailable` rejection the sharded router answers
+/// with when a request targets a shard whose ticker is Down (panicked,
+/// restarting, or repeatedly missing its tick budget). Fail-fast by
+/// design: the client gets the rejection — and a `retry_after_ms`
+/// backoff hint — immediately, instead of burning the reply timeout
+/// waiting on a ticker that cannot answer. The `shard` tag names the
+/// unavailable shard so fleet-wide aggregates stay attributable.
+pub fn shard_unavailable_response(shard: u64, retry_after_ms: u64) -> Value {
+    Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::str("shard_unavailable")),
+        ("shard", Value::from_u64(shard)),
+        (
+            "detail",
+            Value::str("the owning shard is down; retry after backoff"),
+        ),
+        ("retry_after_ms", Value::from_u64(retry_after_ms)),
+    ])
+}
+
 /// Builds the `{"ok":false,"error":code,...}` failure response.
 pub fn error_response(code: &str, detail: Option<&str>, retry_after_ms: Option<u64>) -> Value {
     let mut pairs = vec![("ok", Value::Bool(false)), ("error", Value::str(code))];
@@ -560,6 +580,12 @@ mod tests {
             "{\"ok\":false,\"error\":\"not_primary\",\
              \"detail\":\"this node is a standby; send mutations to the primary\",\
              \"leader\":\"127.0.0.1:9\",\"shard\":2}"
+        );
+        assert_eq!(
+            shard_unavailable_response(3, 25).encode(),
+            "{\"ok\":false,\"error\":\"shard_unavailable\",\"shard\":3,\
+             \"detail\":\"the owning shard is down; retry after backoff\",\
+             \"retry_after_ms\":25}"
         );
     }
 }

@@ -55,12 +55,15 @@ use crate::fault::FaultPlan;
 use crate::json::Value;
 use crate::metrics::{ServeMetrics, ServeMetricsSnapshot};
 use crate::protocol::{
-    error_response, not_primary_response, ok_response, parse_request, Envelope, Request,
+    error_response, not_primary_response, ok_response, parse_request, shard_unavailable_response,
+    Envelope, Request,
 };
 use crate::repl::{
     fence_notify, repl_acceptor_loop, standby_loop, ReplCommand, ReplConfig, ReplShared, Role,
 };
-use crate::shard::{shard_market_config, CoordinationStatus, Coordinator, HashRing};
+use crate::shard::{
+    default_quorum, shard_market_config, CoordinationStatus, Coordinator, HashRing, ShardHealth,
+};
 use crate::wal::{self, WalConfig};
 
 /// Server tuning knobs.
@@ -116,6 +119,18 @@ pub struct ServeConfig {
     /// instantaneous fair targets must stay within this fraction of
     /// total capacity.
     pub drift_bound: f64,
+    /// Minimum number of shards that must report a tick before the
+    /// coordinator reallots capacity; below it allotments freeze (see
+    /// the module docs). `None` (the default) uses the rounded-up
+    /// majority ⌈(N+1)/2⌉ from [`default_quorum`].
+    pub quorum: Option<usize>,
+    /// How long the router waits for any one shard's tick reply before
+    /// declaring the tick missed. A budget far below `reply_timeout`
+    /// keeps one slow shard from stalling the fleet clock.
+    pub shard_tick_budget: Duration,
+    /// Consecutive clean ticks a Suspect shard must deliver before the
+    /// router declares it Healthy again.
+    pub recovery_clean_ticks: u64,
 }
 
 impl ServeConfig {
@@ -137,6 +152,9 @@ impl ServeConfig {
             ring_seed: 0x5EED,
             shard_tag: None,
             drift_bound: 0.25,
+            quorum: None,
+            shard_tick_budget: Duration::from_secs(5),
+            recovery_clean_ticks: 3,
         }
     }
 
@@ -204,6 +222,31 @@ impl ServeConfig {
     pub fn with_drift_bound(mut self, bound: f64) -> ServeConfig {
         self.drift_bound = bound;
         self
+    }
+
+    /// Sets an explicit coordination quorum (clamped to `1..=shards`).
+    pub fn with_quorum(mut self, quorum: usize) -> ServeConfig {
+        self.quorum = Some(quorum);
+        self
+    }
+
+    /// Sets the per-shard tick budget of the fleet clock.
+    pub fn with_shard_tick_budget(mut self, budget: Duration) -> ServeConfig {
+        self.shard_tick_budget = budget;
+        self
+    }
+
+    /// Sets how many consecutive clean ticks heal a Suspect shard.
+    pub fn with_recovery_clean_ticks(mut self, ticks: u64) -> ServeConfig {
+        self.recovery_clean_ticks = ticks.max(1);
+        self
+    }
+
+    /// The quorum actually enforced: the configured one clamped to
+    /// `1..=shards`, or the rounded-up majority by default.
+    pub fn effective_quorum(&self) -> usize {
+        let n = self.shards.max(1);
+        self.quorum.unwrap_or_else(|| default_quorum(n)).clamp(1, n)
     }
 }
 
@@ -274,6 +317,29 @@ pub(crate) struct Shared {
     /// elasticities), refreshed after every epoch; the cross-shard
     /// coordinator's input.
     pub(crate) demand: Mutex<Vec<f64>>,
+    /// Router-assessed shard health ([`ShardHealth`] as its `u64`
+    /// repr), written only by the fleet-tick path and the supervisor.
+    pub(crate) health: AtomicU64,
+    /// Consecutive fleet ticks this shard failed to answer.
+    pub(crate) missed_ticks: AtomicU64,
+    /// Consecutive clean tick replies since the shard was last Suspect
+    /// (healing progress toward Healthy).
+    pub(crate) clean_ticks: AtomicU64,
+    /// Supervisor → ticker: hand over the core for a WAL restart.
+    pub(crate) restart: AtomicBool,
+    /// Ticker → supervisor: the core was dropped; its WAL dir is free
+    /// to recover from.
+    pub(crate) released: AtomicBool,
+}
+
+/// A shard's health as the router acts on it: the stored assessment,
+/// overridden to Down the instant the shard's own ticker reports itself
+/// degraded (the shard knows before any tick can time out).
+fn effective_health(shared: &Shared) -> ShardHealth {
+    if shared.metrics.degraded.load(Ordering::SeqCst) == 1 {
+        return ShardHealth::Down;
+    }
+    ShardHealth::from_u64(shared.health.load(Ordering::SeqCst))
 }
 
 /// Router state shared by the acceptor and every reader: the shards,
@@ -285,6 +351,9 @@ pub(crate) struct Router {
     pub(crate) open_connections: AtomicUsize,
     pub(crate) started: Instant,
     pub(crate) coord: Mutex<Coordinator>,
+    /// Tickers respawned by the supervisor after an in-place shard
+    /// recovery; joined at shutdown alongside the original set.
+    pub(crate) respawned: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Router {
@@ -325,6 +394,7 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     tickers: Vec<JoinHandle<()>>,
     coordinator: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     repl_threads: Vec<JoinHandle<()>>,
     repl_handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -492,6 +562,11 @@ impl Server {
                     epoch: AtomicU64::new(core.engine().epoch()),
                     wal_seq: AtomicU64::new(core.events_applied()),
                     demand: Mutex::new(vec![0.0; resources]),
+                    health: AtomicU64::new(ShardHealth::Healthy as u64),
+                    missed_ticks: AtomicU64::new(0),
+                    clean_ticks: AtomicU64::new(0),
+                    restart: AtomicBool::new(false),
+                    released: AtomicBool::new(false),
                 })
             })
             .collect();
@@ -505,6 +580,7 @@ impl Server {
                 n,
                 config.drift_bound,
             )),
+            respawned: Mutex::new(Vec::new()),
             shards,
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -531,7 +607,7 @@ impl Server {
                 };
                 std::thread::Builder::new()
                     .name(name)
-                    .spawn(move || ticker_loop(core, &shared, &config))
+                    .spawn(move || ticker_loop(core, shard, &shared, &config))
                     .expect("spawn ticker")
             })
             .collect();
@@ -543,6 +619,21 @@ impl Server {
                     .name("ref-serve-coord".to_string())
                     .spawn(move || coordinator_loop(&router, &config))
                     .expect("spawn coordinator"),
+            )
+        } else {
+            None
+        };
+        // Shard supervision is a fleet concern: on a single-shard server
+        // a ticker panic degrades to read-only (unchanged semantics); on
+        // a sharded one the supervisor restarts the shard in place.
+        let supervisor = if n > 1 {
+            let router = Arc::clone(&router);
+            let config = config.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("ref-serve-supervisor".to_string())
+                    .spawn(move || supervisor_loop(&router, &config))
+                    .expect("spawn supervisor"),
             )
         } else {
             None
@@ -590,6 +681,7 @@ impl Server {
             acceptor: Some(acceptor),
             tickers,
             coordinator,
+            supervisor,
             readers,
             repl_threads,
             repl_handlers,
@@ -651,6 +743,15 @@ impl Server {
         self.router.shards.len()
     }
 
+    /// The router's current health assessment of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        effective_health(&self.router.shards[shard])
+    }
+
     /// The shard that owns `agent` under the configured ring.
     pub fn shard_of(&self, agent: AgentId) -> usize {
         self.router.ring.shard_of(agent)
@@ -708,19 +809,27 @@ impl Server {
             .iter()
             .enumerate()
             .map(|(shard, shared)| {
-                let core = shared
-                    .retired
-                    .lock()
-                    .expect("retired lock poisoned")
-                    .take()
-                    .expect("ticker always retires the core");
-                ShardShutdown {
-                    shard,
-                    snapshot: core.final_snapshot(),
-                    journal: core.journal().to_vec(),
-                    journal_overflowed: core.journal_overflowed(),
-                    metrics: shared.metrics.snapshot(),
-                    market_metrics_json: core.engine().metrics().to_json(),
+                let core = shared.retired.lock().expect("retired lock poisoned").take();
+                match core {
+                    Some(core) => ShardShutdown {
+                        shard,
+                        snapshot: core.final_snapshot(),
+                        journal: core.journal().to_vec(),
+                        journal_overflowed: core.journal_overflowed(),
+                        metrics: shared.metrics.snapshot(),
+                        market_metrics_json: core.engine().metrics().to_json(),
+                    },
+                    // A shard caught mid-restart with no WAL to recover
+                    // offline from: report what the transport knows
+                    // rather than panic the whole shutdown.
+                    None => ShardShutdown {
+                        shard,
+                        snapshot: String::new(),
+                        journal: Vec::new(),
+                        journal_overflowed: false,
+                        metrics: shared.metrics.snapshot(),
+                        market_metrics_json: "{}".to_string(),
+                    },
                 }
             })
             .collect();
@@ -742,6 +851,21 @@ impl Server {
             let _ = handle.join();
         }
         if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+        // The supervisor goes before the respawned tickers: once it is
+        // joined, nothing else can add to the respawned set.
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        let respawned: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .router
+                .respawned
+                .lock()
+                .expect("respawned lock poisoned"),
+        );
+        for handle in respawned {
             let _ = handle.join();
         }
         self.router.stop.store(true, Ordering::SeqCst);
@@ -965,7 +1089,14 @@ fn dispatch(line: &str, router: &Arc<Router>, config: &ServeConfig) -> Value {
         | Request::Observe { agent, .. }
         | Request::Query { agent: Some(agent) } => {
             let shard = router.ring.shard_of(*agent);
-            dispatch_to_shard(&router.shards[shard], envelope, config)
+            let shared = &router.shards[shard];
+            // Fail fast instead of queueing behind a dead ticker and
+            // burning the full reply timeout: the owning shard is Down,
+            // so tell the client when to come back.
+            if effective_health(shared) == ShardHealth::Down {
+                return shard_unavailable_response(shard as u64, config.retry_after_ms);
+            }
+            dispatch_to_shard(shared, envelope, config)
         }
         // The coordinator owns capacity splits on a sharded server; an
         // out-of-band reallot would silently fight it.
@@ -984,7 +1115,17 @@ fn dispatch(line: &str, router: &Arc<Router>, config: &ServeConfig) -> Value {
         | Request::Metrics { .. }
         | Request::Promote
         | Request::Shutdown => {
-            let replies = fan(router, &envelope.request, envelope.deadline_ms, config);
+            let wait = envelope
+                .deadline_ms
+                .map(|ms| Duration::from_millis(ms) + config.reply_timeout)
+                .unwrap_or(config.reply_timeout);
+            let replies = fan(
+                router,
+                &envelope.request,
+                envelope.deadline_ms,
+                wait,
+                config,
+            );
             merge_fanned(&envelope.request, replies)
         }
         Request::Ping { .. } => unreachable!("ping answered above"),
@@ -1060,21 +1201,34 @@ fn retry_hint(base_ms: u64, depth: usize, quotas: Quotas) -> u64 {
         .min(1000)
 }
 
+/// One shard's slot in a fan-out wave: a reply channel to await, or an
+/// answer already known without asking the shard.
+enum Fanned {
+    /// The request was admitted; await the ticker's reply here.
+    Rx(Mutex<mpsc::Receiver<Value>>),
+    /// The shard was not asked (Down, or its bus closed); this is its
+    /// placeholder reply.
+    Ready(Value),
+}
+
 /// Fans one request to every shard's bus (quota-exempt: fleet-wide
 /// control must not be bounced by one shard's backpressure) and collects
-/// the replies in parallel over `ref-pool`. A shard that is already
-/// shut down answers with a placeholder error instead of stalling the
-/// fan-out.
+/// the replies within `wait` in parallel over `ref-pool`. A Down shard
+/// is answered with `shard_unavailable` instead of queueing behind a
+/// dead ticker — except for `shutdown`/`promote`, which must reach every
+/// shard's bus — and a shard that is already shut down answers with a
+/// placeholder error instead of stalling the fan-out.
 fn fan(
     router: &Arc<Router>,
     request: &Request,
     deadline_ms: Option<u64>,
+    wait: Duration,
     config: &ServeConfig,
 ) -> Vec<Value> {
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let wait = deadline_ms
-        .map(|ms| Duration::from_millis(ms) + config.reply_timeout)
-        .unwrap_or(config.reply_timeout);
+    // Shutdown must close every bus and promote must reach every
+    // ticker, even a wedged one — its queue drains on recovery.
+    let skip_down = !matches!(request, Request::Shutdown | Request::Promote);
     // Fan in waves no wider than the worker pool: admitting every shard
     // at once makes more tickers runnable than the host has cores, and
     // the preempt-interleaved epochs evict each other's caches — on a
@@ -1085,10 +1239,17 @@ fn fan(
     let width = ref_pool::threads().clamp(1, shards);
     let mut replies = Vec::with_capacity(shards);
     for wave_start in (0..shards).step_by(width) {
-        let wave: Vec<Option<Mutex<mpsc::Receiver<Value>>>> = router.shards
-            [wave_start..(wave_start + width).min(shards)]
+        let wave: Vec<Fanned> = router.shards[wave_start..(wave_start + width).min(shards)]
             .iter()
-            .map(|shared| {
+            .enumerate()
+            .map(|(i, shared)| {
+                let shard = wave_start + i;
+                if skip_down && effective_health(shared) == ShardHealth::Down {
+                    return Fanned::Ready(shard_unavailable_response(
+                        shard as u64,
+                        config.retry_after_ms,
+                    ));
+                }
                 let (tx, rx) = mpsc::channel();
                 let item = Item::Client {
                     request: request.clone(),
@@ -1098,17 +1259,17 @@ fn fan(
                 match shared.bus.push(request.class(), item) {
                     Ok(()) => {
                         ServeMetrics::bump(&shared.metrics.accepted);
-                        Some(Mutex::new(rx))
+                        Fanned::Rx(Mutex::new(rx))
                     }
                     Err(_) => {
                         ServeMetrics::bump(&shared.metrics.rejected_shutdown);
-                        None
+                        Fanned::Ready(error_response("shutting_down", None, None))
                     }
                 }
             })
             .collect();
         replies.extend(ref_pool::par_map(wave.len(), |i| match &wave[i] {
-            Some(rx) => match rx
+            Fanned::Rx(rx) => match rx
                 .lock()
                 .expect("receiver lock poisoned")
                 .recv_timeout(wait)
@@ -1123,7 +1284,7 @@ fn fan(
                     None,
                 ),
             },
-            None => error_response("shutting_down", None, None),
+            Fanned::Ready(value) => value.clone(),
         }));
     }
     replies
@@ -1202,16 +1363,98 @@ fn merge_fanned(request: &Request, replies: Vec<Value>) -> Value {
 /// one combined report, then runs the cross-shard coordination step on
 /// the fresh demand summaries. The merged reply carries the combined
 /// report plus the coordinator's drift audit.
+///
+/// This is also where shard health is assessed: each shard's tick reply
+/// (or its absence within the per-shard tick budget) drives the
+/// `Healthy → Suspect → Down` transitions, and the coordination step is
+/// quorum-gated — below quorum the allotments freeze and the merged
+/// report is marked `partial` with the missing shard ids.
 fn fan_tick(router: &Arc<Router>, deadline_ms: Option<u64>, config: &ServeConfig) -> Value {
-    let replies = fan(router, &Request::Tick, deadline_ms, config);
-    let status = coordinate(router);
+    // The tick budget caps how long any one shard may hold up the fleet
+    // clock; a client deadline can only tighten it further.
+    let wait = deadline_ms
+        .map(|ms| Duration::from_millis(ms) + config.reply_timeout)
+        .unwrap_or(config.reply_timeout)
+        .min(config.shard_tick_budget);
+    let replies = fan(router, &Request::Tick, deadline_ms, wait, config);
+    let mut delivered = vec![false; replies.len()];
+    for (shard, reply) in replies.iter().enumerate() {
+        let shared = &router.shards[shard];
+        if reply.get("ok") == Some(&Value::Bool(true)) {
+            delivered[shard] = true;
+            shared.missed_ticks.store(0, Ordering::SeqCst);
+            if ShardHealth::from_u64(shared.health.load(Ordering::SeqCst)) != ShardHealth::Healthy {
+                let clean = shared.clean_ticks.fetch_add(1, Ordering::SeqCst) + 1;
+                if clean >= config.recovery_clean_ticks {
+                    shared
+                        .health
+                        .store(ShardHealth::Healthy as u64, Ordering::SeqCst);
+                    shared.clean_ticks.store(0, Ordering::SeqCst);
+                }
+            }
+        } else {
+            match reply.get("error").and_then(Value::as_str) {
+                // A missed tick budget: Suspect on the first, Down on
+                // repeat offenses.
+                Some("timeout") => {
+                    shared.clean_ticks.store(0, Ordering::SeqCst);
+                    let missed = shared.missed_ticks.fetch_add(1, Ordering::SeqCst) + 1;
+                    let next = if missed >= 2 {
+                        ShardHealth::Down
+                    } else {
+                        ShardHealth::Suspect
+                    };
+                    shared.health.store(next as u64, Ordering::SeqCst);
+                }
+                // The ticker dropped the reply or refused the mutation:
+                // the shard itself failed, no grace period.
+                Some("internal") | Some("degraded") => {
+                    shared.clean_ticks.store(0, Ordering::SeqCst);
+                    shared
+                        .health
+                        .store(ShardHealth::Down as u64, Ordering::SeqCst);
+                }
+                // `shard_unavailable` (already Down, not asked) and
+                // `shutting_down` carry no new health signal.
+                _ => {}
+            }
+        }
+    }
+    let down = router
+        .shards
+        .iter()
+        .filter(|s| effective_health(s) == ShardHealth::Down)
+        .count();
+    router
+        .metrics()
+        .shards_down
+        .store(down as u64, Ordering::SeqCst);
+
+    let reported = delivered.iter().filter(|d| **d).count();
+    let status = if reported >= config.effective_quorum() {
+        coordinate(router, &delivered)
+    } else {
+        // Below quorum the demand picture is too partial to act on:
+        // freeze allotments rather than chase phantom imbalance.
+        ServeMetrics::bump(&router.metrics().quorum_freezes);
+        router.coord.lock().expect("coord lock poisoned").status()
+    };
+    let missing: Vec<u64> = delivered
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !**d)
+        .map(|(shard, _)| shard as u64)
+        .collect();
+    if !missing.is_empty() {
+        ServeMetrics::bump(&router.metrics().partial_epochs);
+    }
     let epoch = replies
         .iter()
         .filter_map(|r| r.get("epoch").and_then(Value::as_u64))
         .max()
         .unwrap_or(0);
     let mut fields: Vec<(&str, Value)> = vec![("epoch", Value::from_u64(epoch))];
-    if let Some(report) = merge_reports(&replies) {
+    if let Some(report) = merge_reports(&replies, &missing) {
         fields.push(("report", report));
     }
     fields.push(("drift", Value::Num(status.drift)));
@@ -1228,15 +1471,24 @@ fn fan_tick(router: &Arc<Router>, deadline_ms: Option<u64>, config: &ServeConfig
 /// Exchanges per-shard aggregate demand and pushes the coordinator's
 /// capacity reallotments onto the shards that need them. Reallotments
 /// are journaled control events on each shard's own bus, so they land
-/// before the next epoch and replay bit-identically.
-fn coordinate(router: &Arc<Router>) -> CoordinationStatus {
+/// before the next epoch and replay bit-identically. A shard that did
+/// not answer this tick (`delivered[shard] == false`) gets nothing
+/// pushed — the coordinator remembers the allotment as undelivered and
+/// re-offers it once the shard reports again.
+fn coordinate(router: &Arc<Router>, delivered: &[bool]) -> CoordinationStatus {
     let demands: Vec<Vec<f64>> = router
         .shards
         .iter()
         .map(|shared| shared.demand.lock().expect("demand lock poisoned").clone())
         .collect();
     let mut coord = router.coord.lock().expect("coord lock poisoned");
-    let updates = coord.step(&demands);
+    let mut updates = coord.step(&demands);
+    for (shard, update) in updates.iter_mut().enumerate() {
+        if update.is_some() && !delivered.get(shard).copied().unwrap_or(false) {
+            coord.mark_undelivered(shard);
+            *update = None;
+        }
+    }
     let status = coord.status();
     drop(coord);
     for (shard, update) in updates.into_iter().enumerate() {
@@ -1261,8 +1513,11 @@ fn coordinate(router: &Arc<Router>) -> CoordinationStatus {
 /// Combines per-shard epoch reports into a fleet-wide view: agent counts
 /// sum, warm-up ORs, fairness flags AND (with violation counts summed
 /// and the worst ratios kept), and the enforcement deviation takes the
-/// worst shard. `None` if no shard produced a report this tick.
-fn merge_reports(replies: &[Value]) -> Option<Value> {
+/// worst shard. `None` if no shard produced a report this tick. When
+/// any shard missed the tick (`missing` non-empty) the merged report is
+/// stamped `partial: true` with those shard ids and carries no fairness
+/// block: a fleet audit over a partial fleet would be phantom data.
+fn merge_reports(replies: &[Value], missing: &[u64]) -> Option<Value> {
     let reports: Vec<&Value> = replies.iter().filter_map(|r| r.get("report")).collect();
     if reports.is_empty() {
         return None;
@@ -1291,10 +1546,17 @@ fn merge_reports(replies: &[Value]) -> Option<Value> {
         ("warm", Value::Bool(warm)),
         ("worst_enforcement_deviation", Value::Num(worst_dev)),
     ];
+    if !missing.is_empty() {
+        fields.push(("partial", Value::Bool(true)));
+        fields.push((
+            "missing_shards",
+            Value::Arr(missing.iter().copied().map(Value::from_u64).collect()),
+        ));
+    }
     // Fairness merges only when every shard audited this epoch: a
     // partially-audited fleet must not claim fleet-wide fairness.
     let fairness: Vec<&Value> = reports.iter().filter_map(|r| r.get("fairness")).collect();
-    if fairness.len() == reports.len() {
+    if missing.is_empty() && fairness.len() == reports.len() {
         let all = |key: &str| {
             fairness
                 .iter()
@@ -1353,6 +1615,218 @@ fn coordinator_loop(router: &Arc<Router>, config: &ServeConfig) {
     }
 }
 
+/// The shard supervisor of a sharded server: sweeps the fleet, restarts
+/// degraded shards in place from their own WAL, and probes shards the
+/// router marked Down on timeouts alone (a Down shard is skipped by the
+/// fan, so without a probe it could never produce the clean replies
+/// that heal it).
+fn supervisor_loop(router: &Arc<Router>, config: &ServeConfig) {
+    // Respawned tickers run no clocks of their own, like every sharded
+    // ticker: the coordinator remains the fleet's only clock.
+    let ticker_config = config.clone().with_epoch_interval(None);
+    loop {
+        if router.stopped() || router.shards.iter().any(|s| s.bus.is_closed()) {
+            break;
+        }
+        for (shard, shared) in router.shards.iter().enumerate() {
+            if shared.stop.load(Ordering::SeqCst) {
+                continue;
+            }
+            if shared.metrics.degraded.load(Ordering::SeqCst) == 1 {
+                // Without a WAL there is nothing to recover from: the
+                // shard stays degraded and read-only, as always.
+                if shard_wal_config(config, shard).is_some() {
+                    try_restart(router, shard, &ticker_config, config);
+                }
+            } else if ShardHealth::from_u64(shared.health.load(Ordering::SeqCst))
+                == ShardHealth::Down
+            {
+                probe_shard(router, shard);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Shutdown caught a restart mid-handshake: the old ticker released
+    // the core and no new ticker owns it yet. Recover offline so the
+    // shutdown report still carries the shard's durable state.
+    for (shard, shared) in router.shards.iter().enumerate() {
+        let released = shared.released.load(Ordering::SeqCst);
+        if !released
+            || shared
+                .retired
+                .lock()
+                .expect("retired lock poisoned")
+                .is_some()
+        {
+            continue;
+        }
+        if let Some(wal_config) = shard_wal_config(config, shard) {
+            let market = shard_market_config(&config.market, config.shards);
+            if let Ok(core) =
+                ServiceCore::recover(market, config.journal_limit, wal_config, FaultPlan::none())
+            {
+                *shared.retired.lock().expect("retired lock poisoned") = Some(core);
+                shared.stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Restarts one degraded shard in place: handshake the wedged ticker
+/// out of its core, re-run WAL recovery from the shard's own directory,
+/// resynchronize the recovered core with the fleet (the coordinator's
+/// current allotment covers every `reallot` it missed; quota-exempt
+/// ticks catch its epoch up), and spawn a fresh ticker around it. Any
+/// failure leaves the flags set for the next sweep to retry.
+fn try_restart(
+    router: &Arc<Router>,
+    shard: usize,
+    ticker_config: &ServeConfig,
+    config: &ServeConfig,
+) {
+    let shared = &router.shards[shard];
+    if !shared.released.load(Ordering::SeqCst) {
+        shared.restart.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !shared.released.load(Ordering::SeqCst) {
+            if Instant::now() > deadline || shared.bus.is_closed() || router.stopped() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let wal_config = shard_wal_config(config, shard).expect("caller checked the WAL");
+    let market = shard_market_config(&config.market, config.shards);
+    // The recovered core runs with a disarmed fault plan: every armed
+    // fault already fired (that is why we are here), and re-arming
+    // append/sync faults against the replayed sequence numbers would
+    // re-break the shard on its first post-recovery event.
+    let core =
+        match ServiceCore::recover(market, config.journal_limit, wal_config, FaultPlan::none()) {
+            Ok(core) => core,
+            Err(_) => {
+                ServeMetrics::bump(&shared.metrics.wal_errors);
+                return;
+            }
+        };
+    // Resynchronize before the ticker starts: the re-offered allotment
+    // lands on the bus ahead of any client traffic that arrives once
+    // the degraded gate clears, and the catch-up ticks bring the shard
+    // to the fleet epoch (the bus is FIFO).
+    {
+        let capacity = router
+            .coord
+            .lock()
+            .expect("coord lock poisoned")
+            .resync_delivery(shard);
+        let request = Request::Reallot { capacity };
+        let (tx, _rx) = mpsc::channel();
+        let _ = shared.bus.push(
+            request.class(),
+            Item::Client {
+                request,
+                deadline: None,
+                reply: tx,
+            },
+        );
+    }
+    let fleet_epoch = router
+        .shards
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| *k != shard)
+        .map(|(_, s)| s.epoch.load(Ordering::SeqCst))
+        .max()
+        .unwrap_or(0);
+    for _ in 0..fleet_epoch.saturating_sub(core.engine().epoch()) {
+        let (tx, _rx) = mpsc::channel();
+        let _ = shared.bus.push(
+            Request::Tick.class(),
+            Item::Client {
+                request: Request::Tick,
+                deadline: None,
+                reply: tx,
+            },
+        );
+    }
+    shared.released.store(false, Ordering::SeqCst);
+    shared.restart.store(false, Ordering::SeqCst);
+    shared.metrics.degraded.store(0, Ordering::SeqCst);
+    shared
+        .health
+        .store(ShardHealth::Suspect as u64, Ordering::SeqCst);
+    shared.missed_ticks.store(0, Ordering::SeqCst);
+    shared.clean_ticks.store(0, Ordering::SeqCst);
+    ServeMetrics::bump(&router.metrics().shard_restarts);
+    let handle = std::thread::Builder::new()
+        .name(format!("ref-serve-ticker-{shard}"))
+        .spawn({
+            let shared = Arc::clone(shared);
+            let config = ticker_config.clone();
+            move || ticker_loop(core, shard, &shared, &config)
+        })
+        .expect("spawn restarted ticker");
+    router
+        .respawned
+        .lock()
+        .expect("respawned lock poisoned")
+        .push(handle);
+}
+
+/// Probes a shard the router marked Down on tick timeouts alone: its
+/// ticker may simply have been slow, not dead. A quick query answered
+/// in time demotes it to Suspect (the fan includes Suspect shards, so
+/// clean ticks can finish the healing) after quota-exempt catch-up
+/// ticks close the epoch gap it accumulated while skipped.
+fn probe_shard(router: &Arc<Router>, shard: usize) {
+    let shared = &router.shards[shard];
+    let (tx, rx) = mpsc::channel();
+    let request = Request::Query { agent: None };
+    if shared
+        .bus
+        .push(
+            request.class(),
+            Item::Client {
+                request,
+                deadline: None,
+                reply: tx,
+            },
+        )
+        .is_err()
+    {
+        return;
+    }
+    match rx.recv_timeout(Duration::from_millis(100)) {
+        Ok(reply) if reply.get("ok") == Some(&Value::Bool(true)) => {
+            let fleet_epoch = router
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != shard)
+                .map(|(_, s)| s.epoch.load(Ordering::SeqCst))
+                .max()
+                .unwrap_or(0);
+            for _ in 0..fleet_epoch.saturating_sub(shared.epoch.load(Ordering::SeqCst)) {
+                let (tx, _rx) = mpsc::channel();
+                let _ = shared.bus.push(
+                    Request::Tick.class(),
+                    Item::Client {
+                        request: Request::Tick,
+                        deadline: None,
+                        reply: tx,
+                    },
+                );
+            }
+            shared
+                .health
+                .store(ShardHealth::Suspect as u64, Ordering::SeqCst);
+            shared.missed_ticks.store(0, Ordering::SeqCst);
+            shared.clean_ticks.store(0, Ordering::SeqCst);
+        }
+        _ => {}
+    }
+}
+
 /// Answers a `ping` from transport-visible state alone (no engine
 /// access): role, term, progress, uptime, and shard placement.
 fn ping_response(router: &Arc<Router>, config: &ServeConfig, agent: Option<AgentId>) -> Value {
@@ -1408,6 +1882,20 @@ fn ping_response(router: &Arc<Router>, config: &ServeConfig, agent: Option<Agent
                 .collect(),
         ),
     ));
+    // Per-shard health only appears on an actually sharded server, so
+    // single-shard ping replies stay byte-identical.
+    if router.shards.len() > 1 {
+        fields.push((
+            "shard_health",
+            Value::Arr(
+                router
+                    .shards
+                    .iter()
+                    .map(|s| Value::str(effective_health(s).as_str()))
+                    .collect(),
+            ),
+        ));
+    }
     if let Some(agent) = agent {
         fields.push((
             "shard_of",
@@ -1432,7 +1920,7 @@ struct TickerState {
     degraded: bool,
 }
 
-fn ticker_loop(core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig) {
+fn ticker_loop(core: ServiceCore, shard: usize, shared: &Arc<Shared>, config: &ServeConfig) {
     // Held in an Option so the retiring pass can move the core into the
     // shared slot; `Some` until the pass that returns `true`.
     let mut core = Some(core);
@@ -1451,7 +1939,7 @@ fn ticker_loop(core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig) {
     };
     loop {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            ticker_pass(&mut core, &mut state, shared, config)
+            ticker_pass(&mut core, shard, &mut state, shared, config)
         }));
         match outcome {
             Ok(true) => return,
@@ -1474,10 +1962,25 @@ fn ticker_loop(core: ServiceCore, shared: &Arc<Shared>, config: &ServeConfig) {
 /// timed epoch. Returns `true` once the core is retired (exit signal).
 fn ticker_pass(
     slot: &mut Option<ServiceCore>,
+    shard: usize,
     state: &mut TickerState,
     shared: &Arc<Shared>,
     config: &ServeConfig,
 ) -> bool {
+    // Supervisor handover: a degraded ticker drops its core — releasing
+    // the WAL file handles so recovery can reopen the directory — and
+    // exits; the supervisor spawns a fresh ticker around the recovered
+    // core. Shutdown (a closed bus or an in-progress drain) wins over a
+    // restart: the normal retirement path below runs instead.
+    if state.degraded
+        && !state.draining
+        && !shared.bus.is_closed()
+        && shared.restart.load(Ordering::SeqCst)
+    {
+        let _ = slot.take();
+        shared.released.store(true, Ordering::SeqCst);
+        return true;
+    }
     let core = slot.as_mut().expect("core retired but ticker re-entered");
     if !state.draining {
         let mut park = match state.next_tick {
@@ -1567,12 +2070,39 @@ fn ticker_pass(
             }
         }
         let is_tick = matches!(request, Request::Tick);
+        if is_tick && config.faults.is_armed() {
+            if let Some((s, e, delay_ms)) = config.faults.slow_shard_tick {
+                // Stall *before* the tick that would close epoch `e` is
+                // applied: the router's budget expires while the shard's
+                // durable state is still behind.
+                if shard as u64 == s && core.engine().epoch() + 1 == e {
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+            }
+        }
         let response = core.handle(&request, &shared.metrics);
         if is_tick {
             // Refresh this shard's demand summary *before* replying, so
             // the router's coordination step — which runs after all tick
             // replies are in — reads post-epoch demand, never stale.
             *shared.demand.lock().expect("demand lock poisoned") = core.engine().aggregate_demand();
+            if config.faults.is_armed() {
+                if let Some((s, e)) = config.faults.panic_shard_ticker {
+                    // Panic *after* the tick is durable: recovery must
+                    // replay it bit-identically. Cannot re-fire after a
+                    // restart — the recovered engine is already past `e`.
+                    if shard as u64 == s && core.engine().epoch() == e {
+                        panic!("injected shard ticker panic after epoch {e}");
+                    }
+                }
+                if let Some((s, e)) = config.faults.drop_tick_reply {
+                    // Durable work done, reply lost: the router sees a
+                    // timeout while the shard's state stays consistent.
+                    if shard as u64 == s && core.engine().epoch() == e {
+                        continue;
+                    }
+                }
+            }
         }
         let _ = reply.send(response);
     }
@@ -2172,5 +2702,234 @@ mod tests {
         assert!(!realloted.is_empty(), "coordinator never realloted");
         let last = realloted.last().unwrap();
         assert!(last[0] > 12.0, "loaded shard allotment {last:?}");
+    }
+
+    /// First agent id the ring places on `shard`.
+    fn agent_on(ring: &HashRing, shard: usize) -> u64 {
+        (0..u64::MAX)
+            .find(|a| ring.shard_of(*a) == shard)
+            .expect("ring covers every shard")
+    }
+
+    #[test]
+    fn down_shards_fail_fast_with_shard_unavailable() {
+        // Regression: agent ops to a shard with a dead ticker used to
+        // queue behind it and burn the full 30s reply timeout. Now the
+        // router fails them fast with a retry hint.
+        let config = sharded_config(2).with_faults(FaultPlan {
+            panic_shard_ticker: Some((1, 1)),
+            ..FaultPlan::default()
+        });
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let ring = HashRing::new(2, server.config().ring_seed);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let on1 = agent_on(&ring, 1);
+        client
+            .join_truth(agent_on(&ring, 0), 1.0, &[0.5, 0.5])
+            .unwrap();
+        client.join_truth(on1, 1.0, &[0.5, 0.5]).unwrap();
+        // Shard 1 applies epoch 1, then its ticker panics: the reply is
+        // lost, the router marks the shard Down, the report is partial.
+        let tick = client.tick().unwrap();
+        let report = tick.get("report").expect("merged report");
+        assert_eq!(report.get("partial"), Some(&Value::Bool(true)), "{tick}");
+        assert_eq!(
+            report
+                .get("missing_shards")
+                .and_then(Value::as_array)
+                .and_then(|m| m.first())
+                .and_then(Value::as_u64),
+            Some(1),
+            "{tick}"
+        );
+        assert!(report.get("fairness").is_none(), "{tick}");
+        assert_eq!(server.shard_health(1), ShardHealth::Down);
+        // The agent op to the Down shard answers immediately.
+        let started = Instant::now();
+        let reply = client.query_agent(on1).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "fast-fail took {:?}",
+            started.elapsed()
+        );
+        match reply {
+            crate::client::ClientError::Server {
+                code,
+                retry_after_ms,
+                shard,
+                ..
+            } => {
+                assert_eq!(code, "shard_unavailable");
+                assert!(retry_after_ms.is_some());
+                assert_eq!(shard, Some(1));
+            }
+            other => panic!("expected a server error, got {other:?}"),
+        }
+        // Fleet ops answer fast too: the fan skips the Down shard.
+        let started = Instant::now();
+        let tick = client.tick().unwrap();
+        assert!(started.elapsed() < Duration::from_secs(5));
+        let shards = tick.get("shards").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            shards[1].get("error").and_then(Value::as_str),
+            Some("shard_unavailable"),
+            "{tick}"
+        );
+        // Health surfaces on ping and in the gauges.
+        let ping = client.ping().unwrap();
+        let health = ping.get("shard_health").and_then(Value::as_array).unwrap();
+        assert_eq!(health[0].as_str(), Some("healthy"), "{ping}");
+        assert_eq!(health[1].as_str(), Some("down"), "{ping}");
+        assert_eq!(server.metrics().shards_down, 1);
+        // No WAL: the shard stays down, but shutdown still drains it.
+        let report = server.shutdown();
+        assert_eq!(report.shards[1].metrics.ticker_panics, 1);
+    }
+
+    #[test]
+    fn at_quorum_coordination_continues_with_partial_reports() {
+        // 3 shards, default quorum ⌈4/2⌉ = 2: one dead shard leaves the
+        // fleet exactly at quorum, so reallotment keeps running while
+        // every merged report is stamped partial.
+        let config = sharded_config(3).with_faults(FaultPlan {
+            panic_shard_ticker: Some((2, 1)),
+            ..FaultPlan::default()
+        });
+        assert_eq!(config.effective_quorum(), 2);
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let ring = HashRing::new(3, server.config().ring_seed);
+        let mut client = Client::connect(server.addr()).unwrap();
+        client
+            .join_truth(agent_on(&ring, 0), 1.0, &[0.7, 0.3])
+            .unwrap();
+        client
+            .join_truth(agent_on(&ring, 1), 1.0, &[0.3, 0.7])
+            .unwrap();
+        client.tick().unwrap();
+        let tick = client.tick().unwrap();
+        let report = tick.get("report").expect("merged report");
+        assert_eq!(report.get("partial"), Some(&Value::Bool(true)), "{tick}");
+        let status = server.coordination().unwrap();
+        assert_eq!(status.rounds, 2, "{status:?}");
+        let metrics = server.metrics();
+        assert!(metrics.partial_epochs >= 2, "{metrics:?}");
+        assert_eq!(metrics.quorum_freezes, 0, "{metrics:?}");
+        assert_eq!(metrics.shards_down, 1, "{metrics:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn below_quorum_freezes_allotments() {
+        // Same fleet, but the operator demands all 3 shards: one dead
+        // shard drops the fleet below quorum and the coordinator never
+        // steps.
+        let config = sharded_config(3).with_quorum(3).with_faults(FaultPlan {
+            panic_shard_ticker: Some((2, 1)),
+            ..FaultPlan::default()
+        });
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let ring = HashRing::new(3, server.config().ring_seed);
+        let mut client = Client::connect(server.addr()).unwrap();
+        client
+            .join_truth(agent_on(&ring, 0), 1.0, &[0.7, 0.3])
+            .unwrap();
+        client.tick().unwrap();
+        client.tick().unwrap();
+        let status = server.coordination().unwrap();
+        assert_eq!(status.rounds, 0, "{status:?}");
+        let metrics = server.metrics();
+        assert_eq!(metrics.quorum_freezes, 2, "{metrics:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn missing_shards_accrue_no_temporal_si_violations() {
+        // A partial fleet must never book temporal-SI violations against
+        // agents on the missing shard: its epochs freeze (no audits run
+        // there) rather than run against phantom allotments.
+        let config = sharded_config(2).with_quorum(1).with_faults(FaultPlan {
+            panic_shard_ticker: Some((1, 2)),
+            ..FaultPlan::default()
+        });
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let ring = HashRing::new(2, server.config().ring_seed);
+        let mut client = Client::connect(server.addr()).unwrap();
+        client
+            .join_truth(agent_on(&ring, 0), 1.0, &[0.7, 0.3])
+            .unwrap();
+        client
+            .join_truth(agent_on(&ring, 1), 1.0, &[0.3, 0.7])
+            .unwrap();
+        for _ in 0..10 {
+            client.tick().unwrap();
+        }
+        let report = server.shutdown();
+        // Shard 0 kept ticking past the failure; shard 1 froze at the
+        // epoch its panic made durable.
+        assert_eq!(report.shards[0].metrics.epochs, 10);
+        assert_eq!(report.shards[1].metrics.epochs, 2);
+        assert!(
+            report.shards[1]
+                .market_metrics_json
+                .contains("\"temporal_si_violations\":0"),
+            "{}",
+            report.shards[1].market_metrics_json
+        );
+    }
+
+    #[test]
+    fn supervisor_restarts_a_panicked_shard_from_its_wal() {
+        let dir = std::env::temp_dir().join(format!(
+            "ref-shard-restart-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let market = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).unwrap());
+        let config = ServeConfig::new(market.clone())
+            .with_epoch_interval(None)
+            .with_shards(2)
+            .with_wal(WalConfig::new(&dir))
+            .with_faults(FaultPlan {
+                panic_shard_ticker: Some((1, 2)),
+                ..FaultPlan::default()
+            });
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let ring = HashRing::new(2, server.config().ring_seed);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let on1 = agent_on(&ring, 1);
+        client
+            .join_truth(agent_on(&ring, 0), 1.0, &[0.5, 0.5])
+            .unwrap();
+        client.join_truth(on1, 1.0, &[0.5, 0.5]).unwrap();
+        client.tick().unwrap();
+        client.tick().unwrap(); // shard 1 panics after epoch 2 is durable
+        assert_eq!(server.shard_health(1), ShardHealth::Down);
+        // The supervisor restarts the shard from shard-1's WAL; clean
+        // ticks then heal it back to Healthy.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while server.shard_health(1) != ShardHealth::Healthy {
+            assert!(Instant::now() < deadline, "shard 1 never healed");
+            client.tick().unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.metrics().shard_restarts, 1);
+        // The recovered shard serves mutations again.
+        let reply = client.query_agent(on1).unwrap();
+        assert!(reply.get("bundle").is_some(), "{reply}");
+        let report = server.shutdown();
+        // Both shard WALs replay offline to exactly the shutdown
+        // snapshots: the restart lost nothing durable.
+        for (k, shard) in report.shards.iter().enumerate() {
+            let core = ServiceCore::recover(
+                shard_market_config(&market, 2),
+                JournalLimit::default(),
+                WalConfig::new(dir.join(format!("shard-{k}"))),
+                FaultPlan::none(),
+            )
+            .unwrap();
+            assert_eq!(core.final_snapshot(), shard.snapshot, "shard {k}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -59,6 +59,63 @@ const REALLOT_EPSILON: f64 = 1e-4;
 /// expected to be far from the fair point.
 pub const COORD_WARMUP_ROUNDS: u64 = 8;
 
+/// Router-observed health of one shard's ticker.
+///
+/// Driven entirely from the routing tier (no shard cooperation needed):
+/// tick replies within budget are *clean*, tick timeouts are *misses*,
+/// and a `internal`/`degraded` reply or the shard's own degraded gauge
+/// is an immediate failure. The lifecycle is
+///
+/// ```text
+///            miss            2nd consecutive miss,
+///  Healthy ───────▶ Suspect ─────────────────────▶ Down
+///     ▲                │  ▲   panic / internal       │
+///     │   M clean      │  └──────── restart ─────────┘
+///     └────ticks───────┘          (supervisor)
+/// ```
+///
+/// A Down shard is skipped by fan-outs and answered `shard_unavailable`
+/// at dispatch; the supervisor probes it (or restarts its ticker from
+/// the WAL) and re-enters it at Suspect, which must then earn Healthy
+/// back with M consecutive clean ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Replying to ticks within budget.
+    Healthy = 0,
+    /// Missed a tick (or is freshly restarted); serving, but on watch.
+    Suspect = 1,
+    /// Not answering: fan-outs skip it, dispatch fails fast.
+    Down = 2,
+}
+
+impl ShardHealth {
+    /// Stable lowercase label, used in `ping` replies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Down => "down",
+        }
+    }
+
+    /// Decodes the atomic-stored representation (unknown values read as
+    /// Down — fail safe).
+    pub fn from_u64(raw: u64) -> ShardHealth {
+        match raw {
+            0 => ShardHealth::Healthy,
+            1 => ShardHealth::Suspect,
+            _ => ShardHealth::Down,
+        }
+    }
+}
+
+/// The default coordination quorum for `shards` shards: ⌈(N+1)/2⌉, a
+/// strict majority that also rounds up on even fleets (4 shards → 3),
+/// so a split 2/2 fleet never reallots capacity on half a picture.
+pub fn default_quorum(shards: usize) -> usize {
+    (shards + 1).div_ceil(2)
+}
+
 /// `splitmix64`: a full-avalanche 64-bit mixer. Pure arithmetic — no
 /// process state — so ring placement is identical everywhere.
 fn mix64(mut x: u64) -> u64 {
@@ -312,6 +369,26 @@ impl Coordinator {
         &self.allotments
     }
 
+    /// Records that `shard` did *not* receive the allotment a step
+    /// returned for it (it was Down when the router went to deliver):
+    /// the next step unconditionally returns an update for the shard,
+    /// so a recovering shard is offered its current allotment again
+    /// instead of silently drifting on a stale capacity split.
+    pub fn mark_undelivered(&mut self, shard: usize) {
+        for slot in &mut self.delivered[shard] {
+            *slot = f64::INFINITY;
+        }
+    }
+
+    /// The allotment to replay onto a freshly recovered `shard`, marked
+    /// delivered: WAL recovery restored the shard to the last allotment
+    /// it *journaled*, which may predate reallotments issued while it
+    /// was Down — the supervisor pushes this as one catch-up `reallot`.
+    pub fn resync_delivery(&mut self, shard: usize) -> Vec<f64> {
+        self.delivered[shard] = self.allotments[shard].clone();
+        self.allotments[shard].clone()
+    }
+
     /// Snapshot of the coordination audit state.
     pub fn status(&self) -> CoordinationStatus {
         CoordinationStatus {
@@ -425,6 +502,40 @@ mod tests {
             "{rows:?}"
         );
         // Once converged, further rounds deliver nothing (journal quiet).
+        assert_eq!(coord.step(&demands).iter().flatten().count(), 0);
+    }
+
+    #[test]
+    fn default_quorum_is_a_rounded_up_majority() {
+        assert_eq!(default_quorum(1), 1);
+        assert_eq!(default_quorum(2), 2);
+        assert_eq!(default_quorum(3), 2);
+        assert_eq!(default_quorum(4), 3);
+        assert_eq!(default_quorum(5), 3);
+        assert_eq!(default_quorum(8), 5);
+    }
+
+    #[test]
+    fn undelivered_allotments_are_offered_again() {
+        let mut coord = Coordinator::new(vec![64.0, 32.0], 2, 0.25);
+        let demands = vec![vec![8.0, 4.0], vec![1.0, 0.5]];
+        // Converge so further steps stop producing updates.
+        for _ in 0..64 {
+            coord.step(&demands);
+        }
+        assert_eq!(coord.step(&demands).iter().flatten().count(), 0);
+        // A shard that missed its delivery gets the full allotment again
+        // on the next step, even at the fixed point.
+        coord.mark_undelivered(1);
+        let updates = coord.step(&demands);
+        assert!(updates[0].is_none());
+        let offered = updates[1].as_ref().expect("redelivery");
+        assert_eq!(offered, &coord.allotments()[1]);
+        // resync_delivery hands back the same vector and quiets the
+        // coordinator again.
+        coord.mark_undelivered(1);
+        let replayed = coord.resync_delivery(1);
+        assert_eq!(&replayed, &coord.allotments()[1]);
         assert_eq!(coord.step(&demands).iter().flatten().count(), 0);
     }
 

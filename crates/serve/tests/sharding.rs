@@ -289,3 +289,89 @@ fn sharded_wal_recovery_restores_every_shard() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// 4. Client behavior under shard failures
+// ---------------------------------------------------------------------------
+
+/// A scripted one-connection server: answers the first
+/// `unavailable_replies` request lines with `shard_unavailable`, then
+/// everything after with an ok reply. Returns the bound address and a
+/// handle yielding how many requests it served.
+fn flapping_shard_server(
+    unavailable_replies: usize,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<usize>) {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut line = String::new();
+        let mut served = 0usize;
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            served += 1;
+            let reply = if served <= unavailable_replies {
+                r#"{"ok":false,"error":"shard_unavailable","shard":1,"detail":"the owning shard is down; retry after backoff","retry_after_ms":5}"#
+            } else {
+                r#"{"ok":true,"epoch":7}"#
+            };
+            writeln!(writer, "{reply}").unwrap();
+            writer.flush().unwrap();
+            line.clear();
+        }
+        served
+    });
+    (addr, handle)
+}
+
+#[test]
+fn call_with_backs_off_through_shard_unavailable() {
+    use ref_serve::{CallOpts, Value};
+    use std::time::{Duration, Instant};
+
+    let (addr, server) = flapping_shard_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    let request = Value::obj(vec![
+        ("op", Value::str("query")),
+        ("agent", Value::from_u64(3)),
+    ]);
+    let opts = CallOpts::default().with_seed(7);
+    let started = Instant::now();
+    let (reply, retries) = client
+        .call_with(&request, &opts)
+        .expect("shard_unavailable must be retried, not surfaced");
+    // Two rejections ridden out on the same connection (no redial: the
+    // agent cannot move off its shard), each slept at least the
+    // server's 5ms retry hint.
+    assert_eq!(retries, 2);
+    assert_eq!(reply.get("epoch").and_then(Value::as_u64), Some(7));
+    assert!(
+        started.elapsed() >= Duration::from_millis(10),
+        "backoff ignored the retry_after_ms floor: {:?}",
+        started.elapsed()
+    );
+    drop(client);
+    assert_eq!(server.join().unwrap(), 3, "client redialed mid-backoff");
+}
+
+#[test]
+fn call_with_surfaces_shard_unavailable_once_retries_exhaust() {
+    use ref_serve::CallOpts;
+
+    let (addr, server) = flapping_shard_server(usize::MAX);
+    let mut client = Client::connect(addr).unwrap();
+    let opts = CallOpts::default().with_retries(2).with_seed(7);
+    let request = ref_serve::Value::obj(vec![("op", ref_serve::Value::str("tick"))]);
+    let err = client.call_with(&request, &opts).unwrap_err();
+    match err {
+        ClientError::Server { code, shard, .. } => {
+            assert_eq!(code, "shard_unavailable");
+            assert_eq!(shard, Some(1));
+        }
+        other => panic!("expected the server rejection, got {other:?}"),
+    }
+    drop(client);
+    assert_eq!(server.join().unwrap(), 3);
+}
