@@ -417,11 +417,13 @@ fn main() {
 /// credit-market harness (`BENCH_credit.json`, produced by
 /// `cargo run --release -p ref-bench --bin credit_bench`), and the
 /// shard-chaos harness (`BENCH_shard_chaos.json`, produced by
-/// `cargo run --release -p ref-bench --bin shard_chaos`) together with
+/// `cargo run --release -p ref-bench --bin shard_chaos`), and the
+/// deterministic-simulation sweep (`BENCH_dst.json`, produced by
+/// `cargo run --release -p ref-bench --bin dst_sweep`) together with
 /// the pipeline numbers into one `BENCH_report.json`, so a single
 /// artifact tracks the offline pipeline, the online front-end, crash
 /// recovery, replicated failover, shard scaling, temporal fairness,
-/// and partition tolerance.
+/// partition tolerance, and seeded fault simulation.
 fn aggregate_report(pipeline_json: &str) {
     use ref_serve::json::Value;
 
@@ -574,6 +576,30 @@ fn aggregate_report(pipeline_json: &str) {
             Value::Null
         }
     };
+    let dst = match std::fs::read_to_string("BENCH_dst.json") {
+        Ok(text) => match Value::parse(text.trim()) {
+            Ok(v) => {
+                let broke_on_purpose =
+                    !matches!(v.get("break_invariant"), None | Some(Value::Null));
+                if !broke_on_purpose && v.get("violations").and_then(Value::as_u64) != Some(0) {
+                    eprintln!("FATAL: BENCH_dst.json records a simulation invariant violation");
+                    std::process::exit(1);
+                }
+                let seeds = v.get("seeds_run").and_then(Value::as_u64).unwrap_or(0);
+                let events = v.get("sim_events").and_then(Value::as_u64).unwrap_or(0);
+                println!("aggregating BENCH_dst.json ({seeds} seeds, {events} sim events)");
+                v
+            }
+            Err(e) => {
+                eprintln!("FATAL: BENCH_dst.json exists but is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no BENCH_dst.json found; report skips deterministic simulation");
+            Value::Null
+        }
+    };
     let report = Value::obj(vec![
         ("pipeline", pipeline),
         ("serve", serve),
@@ -582,6 +608,7 @@ fn aggregate_report(pipeline_json: &str) {
         ("shard", shard),
         ("credit", credit),
         ("shard_chaos", shard_chaos),
+        ("dst", dst),
     ]);
     std::fs::write("BENCH_report.json", format!("{}\n", report.encode()))
         .expect("write BENCH_report.json");

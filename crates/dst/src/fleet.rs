@@ -1,0 +1,1811 @@
+//! The simulated fleet: sharded cores, a replicated pair per shard, a
+//! router model, scripted clients — all single-threaded on virtual time.
+//!
+//! Every node hosts a real [`ServiceCore`] recovered through a
+//! [`SimDisk`], so the WAL codec, checkpointing, recovery, scrub, and
+//! the market engine all run production code. Replication is the real
+//! wire protocol — `rec`/`ack`/`hb`/`hello`/`meta`/`refuse`/`diverged`
+//! frames built by [`ref_serve::repl::message`] and routed through
+//! [`SimNet`] — with the thread-shaped parts (sinks, pullers, tickers)
+//! replaced by this deterministic event loop. The router tier
+//! (fan-out ticks, the quorum gate, coordinator reallotment, supervisor
+//! resync) is modeled against the real [`Coordinator`].
+//!
+//! After every schedule the standing invariants are checked:
+//!
+//! 1. **Zero acked-event loss** — every event a client saw confirmed is
+//!    in the authoritative primary's WAL, bit-identical.
+//! 2. **Bit-identical replay** — each live node's engine equals an
+//!    offline [`replay`] of its own WAL.
+//! 3. **Divergence fencing** — a replica that corrupted an apply is
+//!    fenced and never promoted.
+//! 4. **Reallotment consistency** — each shard's capacity agrees with
+//!    the coordinator's allotments; quorum freezes roll back (re-offer)
+//!    undelivered reallotments rather than half-applying them.
+//! 5. **No phantom audits** — fleet temporal-SI accounting never folds
+//!    in epochs from a partial (below-full-report) round.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ref_core::resource::Capacity;
+use ref_core::utility::CobbDouglas;
+use ref_market::{MarketConfig, ObservationSource};
+use ref_serve::protocol::event_to_value;
+use ref_serve::repl::{kind, message, parse_message};
+use ref_serve::wal::read_events_with;
+use ref_serve::{
+    decode_frame, default_quorum, replay, shard_market_config, Clock, Coordinator, FaultPlan,
+    FrameDecode, HashRing, JournalLimit, ReplApply, Request, Role, ServeMetrics, ServiceCore,
+    Storage, Value, WalConfig,
+};
+
+use crate::disk::SimDisk;
+use crate::net::SimNet;
+use crate::schedule::{
+    generate, ClientOp, FaultOp, Op, Schedule, NODES, REPLICAS, SHARDS, TICK_EVERY,
+};
+use crate::sim::{mix64, SimClock, SimRng, Trace};
+
+/// Event-loop granularity.
+const STEP: Duration = Duration::from_micros(500);
+/// Primary heartbeat cadence.
+const HB_EVERY: Duration = Duration::from_millis(10);
+/// Base election timeout (jittered up to 1.5× per node per boot).
+const ELECTION_BASE: Duration = Duration::from_millis(50);
+/// How long a primary holds a client reply for the standby's ack.
+const ACK_TIMEOUT: Duration = Duration::from_millis(25);
+/// Delay before a node crashed by a poisoned WAL recovers.
+const POISON_RESTART: Duration = Duration::from_millis(40);
+/// Fault-free convergence window after the scripted horizon.
+const SETTLE: Duration = Duration::from_millis(220);
+/// Per-resource tolerance (× total capacity) for invariant 4: the
+/// coordinator withholds deliveries below `REALLOT_EPSILON` (1e-4) of
+/// total, so delivered capacity may trail allotments by that much.
+const REALLOT_TOLERANCE: f64 = 2e-4;
+
+/// Which invariant to deliberately break (test-only): proves the sweep
+/// catches violations and reproduces them bit-identically from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakKind {
+    /// Ack client mutations without waiting for (or sending) the
+    /// replication stream — failovers then lose acked events.
+    AckUnreplicated,
+    /// Fold per-shard fairness audits into the fleet view even on
+    /// partial rounds — phantom temporal-SI accounting.
+    SiDuringPartial,
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Shorter horizon for CI smoke sweeps.
+    pub quick: bool,
+    /// Deliberately broken invariant (test-only).
+    pub break_invariant: Option<BreakKind>,
+}
+
+/// The result of simulating one seed.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The seed simulated.
+    pub seed: u64,
+    /// Fault classes the schedule mixed in.
+    pub classes: Vec<String>,
+    /// Observable simulator events (trace entries).
+    pub sim_events: u64,
+    /// FNV-1a hash over the whole trace — the determinism oracle.
+    pub trace_hash: u64,
+    /// Invariant violations (empty on a healthy run).
+    pub violations: Vec<String>,
+    /// The per-event trace, chronological.
+    pub trace: Vec<String>,
+    /// Client events confirmed replicated (or confirmed solo-durable).
+    pub acked_events: u64,
+    /// Coordination rounds frozen below quorum.
+    pub quorum_freezes: u64,
+    /// Coordination rounds missing at least one shard's report.
+    pub partial_rounds: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    dir: PathBuf,
+    disk: SimDisk,
+    core: Option<ServiceCore>,
+    metrics: ServeMetrics,
+    role: Role,
+    term: u64,
+    last_heard: Duration,
+    election_timeout: Duration,
+    boots: u64,
+    /// This node's view (as a primary) of whether its peer is an
+    /// attached, streaming standby. Only changes on *observable*
+    /// events: handshakes, peer crashes, divergence detection.
+    peer_attached: bool,
+    /// Ground truth: a corrupting fault was injected into this replica.
+    diverged: bool,
+    /// Primary-side memory: this node caught its peer diverging and
+    /// must never re-attach it (the real sender thread exits and a
+    /// fenced standby never reconnects).
+    peer_diverged: bool,
+    promoted_ever: bool,
+    /// Whether this standby has heard *anything* from its primary since
+    /// its last boot. A standby that never attached cannot lose a
+    /// leader it never had, so it must not elect itself — it retries
+    /// the handshake instead.
+    heard_any: bool,
+    /// The primary's log position as last advertised (heartbeats carry
+    /// `seq`). Electing while behind this would promote a stale log.
+    primary_seq: u64,
+    last_hello: Duration,
+    /// A bit flip landed on this node's disk (scrub must notice).
+    bitflip_hit: bool,
+    /// Recovery lease: a restarted primary refuses mutations until its
+    /// standby re-attaches or this deadline passes — a standby whose
+    /// election timer is already running may depose it any moment, and
+    /// solo-acking into that window would lose acked events.
+    grace_until: Duration,
+    /// Tick fingerprints keyed by log position after the tick record —
+    /// `have → (epoch, fp)` — mirroring the real primary's ring.
+    epoch_fps: BTreeMap<u64, (u64, u64)>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    primary: usize,
+    shard: usize,
+    seq: u64,
+    deadline: Duration,
+    /// `Some` for client mutations: the encoded event to ledger on ack.
+    event_json: Option<String>,
+}
+
+#[derive(Debug)]
+struct AckedEvent {
+    shard: usize,
+    seq: u64,
+    event_json: String,
+}
+
+struct Sim {
+    seed: u64,
+    opts: SimOptions,
+    schedule: Schedule,
+    next_op: usize,
+    clock: SimClock,
+    rng: SimRng,
+    net: SimNet,
+    trace: Trace,
+    nodes: Vec<Node>,
+    ring: HashRing,
+    coord: Coordinator,
+    quorum: usize,
+    shard_config: MarketConfig,
+    total_capacity: Vec<f64>,
+    demands: Vec<Vec<f64>>,
+    router_known_primary: [Option<usize>; SHARDS],
+    router_term: [u64; SHARDS],
+    round: u64,
+    pending: Vec<Pending>,
+    acked: Vec<AckedEvent>,
+    violations: Vec<String>,
+    quorum_freezes: u64,
+    partial_rounds: u64,
+    fleet_temporal_si: u64,
+    si_partial_accruals: u64,
+    next_hb: Duration,
+    pending_restarts: Vec<(Duration, usize)>,
+}
+
+fn wal_config(dir: &std::path::Path) -> WalConfig {
+    WalConfig::new(dir.to_path_buf())
+        .with_checkpoint_every(4)
+        .with_segment_max_bytes(2048)
+        .with_fsync(true)
+        .with_retain_history(true)
+}
+
+/// Election jitter mirroring the serve-side seam: `base × [1.0, 1.5)`,
+/// a pure function of `(seed, node, boot)`.
+fn jittered(base: Duration, seed: u64, node: usize, boot: u64) -> Duration {
+    let frac = u64::from((mix64(seed ^ ((node as u64) << 32) ^ boot ^ 0x00E1_EC71) >> 32) as u32);
+    let extra = (((base.as_nanos() as u64 as u128) * u128::from(frac)) >> 32) as u64 / 2;
+    base + Duration::from_nanos(extra)
+}
+
+fn is_ok(reply: &Value) -> bool {
+    reply.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+fn err_code(reply: &Value) -> &str {
+    reply.get("error").and_then(Value::as_str).unwrap_or("")
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AppKind {
+    Client,
+    Internal,
+}
+
+/// Simulates one seed end to end and checks every standing invariant.
+pub fn run_seed(seed: u64, opts: &SimOptions) -> RunOutcome {
+    let mut sim = Sim::new(seed, opts.clone());
+    sim.run_script();
+    sim.settle();
+    sim.check_invariants();
+    sim.finish()
+}
+
+impl Sim {
+    fn new(seed: u64, opts: SimOptions) -> Sim {
+        let schedule = generate(seed, opts.quick);
+        let base = MarketConfig::new(Capacity::new(vec![24.0, 12.0]).expect("capacity"));
+        let total_capacity = base.capacity.as_slice().to_vec();
+        let shard_config = shard_market_config(&base, SHARDS);
+        let clock = SimClock::new();
+        let mut rng = SimRng::new(seed);
+        let net = SimNet::new(
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            0.005,
+            0.01,
+        );
+        let mut trace = Trace::new();
+        trace.push(
+            Duration::ZERO,
+            format!(
+                "boot seed={seed} classes={:?} agents={} horizon={}ms",
+                schedule.classes,
+                schedule.agents,
+                schedule.horizon.as_millis()
+            ),
+        );
+        let mut nodes = Vec::with_capacity(NODES);
+        for id in 0..NODES {
+            nodes.push(Node {
+                dir: PathBuf::from(format!("/sim/node-{id}")),
+                disk: SimDisk::new(),
+                core: None,
+                metrics: ServeMetrics::new(),
+                role: if id % REPLICAS == 0 {
+                    Role::Primary
+                } else {
+                    Role::Standby
+                },
+                term: 1,
+                last_heard: Duration::ZERO,
+                election_timeout: ELECTION_BASE,
+                boots: 0,
+                peer_attached: id % REPLICAS == 0,
+                diverged: false,
+                peer_diverged: false,
+                promoted_ever: false,
+                heard_any: false,
+                primary_seq: 0,
+                last_hello: Duration::ZERO,
+                bitflip_hit: false,
+                grace_until: Duration::ZERO,
+                epoch_fps: BTreeMap::new(),
+            });
+        }
+        let _ = rng.next_u64(); // reserve a draw for future layout changes
+        let mut sim = Sim {
+            seed,
+            opts,
+            schedule,
+            next_op: 0,
+            clock,
+            rng,
+            net,
+            trace,
+            nodes,
+            ring: HashRing::new(SHARDS, 0xD5),
+            coord: Coordinator::new(total_capacity.clone(), SHARDS, 0.05),
+            quorum: default_quorum(SHARDS),
+            shard_config,
+            total_capacity,
+            demands: vec![vec![0.0; 2]; SHARDS],
+            router_known_primary: [None; SHARDS],
+            router_term: [0; SHARDS],
+            round: 0,
+            pending: Vec::new(),
+            acked: Vec::new(),
+            violations: Vec::new(),
+            quorum_freezes: 0,
+            partial_rounds: 0,
+            fleet_temporal_si: 0,
+            si_partial_accruals: 0,
+            next_hb: HB_EVERY,
+            pending_restarts: Vec::new(),
+        };
+        for id in 0..NODES {
+            sim.boot_node(id);
+        }
+        sim
+    }
+
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn violation(&mut self, msg: String) {
+        let now = self.now();
+        self.trace.push(now, format!("VIOLATION: {msg}"));
+        self.violations.push(msg);
+    }
+
+    /// Recovers the node's core from its disk and scrubs the log,
+    /// mirroring `Server::recover`.
+    fn boot_node(&mut self, id: usize) {
+        let now = self.now();
+        let node = &mut self.nodes[id];
+        let storage: Arc<dyn Storage> = Arc::new(node.disk.clone());
+        match ServiceCore::recover_with(
+            storage,
+            self.shard_config.clone(),
+            JournalLimit::default(),
+            wal_config(&node.dir),
+            FaultPlan::default(),
+        ) {
+            Ok(core) => {
+                let scrub_errors = match core.wal().map(|w| w.scrub()) {
+                    Some(Ok(report)) => report.errors.len() as u64,
+                    Some(Err(_)) => 1,
+                    None => 0,
+                };
+                if scrub_errors > 0 {
+                    ServeMetrics::bump_by(&node.metrics.wal_scrub_errors, scrub_errors);
+                }
+                node.boots += 1;
+                node.election_timeout = jittered(ELECTION_BASE, self.seed, id, node.boots);
+                node.last_heard = now;
+                node.heard_any = false;
+                node.primary_seq = 0;
+                node.last_hello = now;
+                // Recovery replays the WAL from disk, so any in-memory
+                // corruption injected before the crash is gone: the
+                // rebooted replica is genuinely clean again.
+                node.diverged = false;
+                let seq = core.events_applied();
+                node.core = Some(core);
+                self.trace.push(
+                    now,
+                    format!(
+                        "n{id} boot role={:?} term={} seq={seq} scrub_errors={scrub_errors}",
+                        node.role, node.term
+                    ),
+                );
+            }
+            Err(e) => {
+                self.trace.push(now, format!("n{id} recovery FAILED: {e}"));
+                self.violation(format!(
+                    "node {id} failed to recover from its own disk: {e}"
+                ));
+            }
+        }
+    }
+
+    fn send_frame(&mut self, from: usize, to: usize, frame: Vec<u8>) {
+        let now = self.now();
+        self.net.send(now, from, to, frame, &mut self.rng);
+    }
+
+    /// The node currently serving `shard` as primary (highest term wins
+    /// during a split-brain window, as an informed router would pick).
+    fn live_primary(&self, shard: usize) -> Option<usize> {
+        (shard * REPLICAS..shard * REPLICAS + REPLICAS)
+            .filter(|id| self.nodes[*id].core.is_some() && self.nodes[*id].role == Role::Primary)
+            .max_by_key(|id| (self.nodes[*id].term, usize::MAX - id))
+    }
+
+    /// The primary the router routes to: [`live_primary`] filtered by
+    /// the fencing-token floor. Once the router has seen term `t` for a
+    /// shard it never again routes below it — a crashed high-term
+    /// primary must not fail routing back to a deposed one whose
+    /// solo acks would die with its branch.
+    ///
+    /// [`live_primary`]: Sim::live_primary
+    fn routed_primary(&self, shard: usize) -> Option<usize> {
+        self.live_primary(shard)
+            .filter(|id| self.nodes[*id].term >= self.router_term[shard])
+    }
+
+    /// Routes to a primary, ratcheting the shard's fencing-token floor.
+    fn route(&mut self, shard: usize) -> Option<usize> {
+        let p = self.routed_primary(shard)?;
+        self.router_term[shard] = self.nodes[p].term;
+        Some(p)
+    }
+
+    /// Applies one request on a primary, replicating event-bearing
+    /// records and holding client acks for the standby (sync mode).
+    fn primary_apply(&mut self, id: usize, req: &Request, app: AppKind) -> Value {
+        let now = self.now();
+        let event = req.to_event();
+        if event.is_some() && !self.nodes[id].peer_attached && now < self.nodes[id].grace_until {
+            self.trace
+                .push(now, format!("n{id} in recovery grace: refusing mutation"));
+            return ref_serve::protocol::error_response(
+                "unavailable",
+                Some("recovering: standby not yet re-attached"),
+                Some(10),
+            );
+        }
+        let (reply, seq_after, poisoned, tick_fp) = {
+            let node = &mut self.nodes[id];
+            let core = node.core.as_mut().expect("primary core present");
+            let reply = core.handle(req, &node.metrics);
+            let tick_fp = matches!(req, Request::Tick)
+                .then(|| (core.engine().epoch(), core.engine().state_fingerprint()));
+            let poisoned = core.wal().map(|w| w.poisoned()).unwrap_or(false);
+            (reply, core.events_applied(), poisoned, tick_fp)
+        };
+        let appended = event.is_some() && err_code(&reply) != "wal";
+        if appended {
+            if let Some((epoch, fp)) = tick_fp {
+                let node = &mut self.nodes[id];
+                node.epoch_fps.insert(seq_after, (epoch, fp));
+                while node.epoch_fps.len() > 64 {
+                    let oldest = *node.epoch_fps.keys().next().expect("non-empty");
+                    node.epoch_fps.remove(&oldest);
+                }
+            }
+            let seq = seq_after - 1;
+            let event = event.expect("event-bearing");
+            let event_value = event_to_value(&event);
+            let event_json = event_value.encode();
+            let shard = id / REPLICAS;
+            let peer = id ^ 1;
+            let broken_ack = self.opts.break_invariant == Some(BreakKind::AckUnreplicated);
+            if self.nodes[id].peer_attached {
+                let frame = message(
+                    "rec",
+                    vec![("seq", Value::from_u64(seq)), ("event", event_value)],
+                );
+                self.send_frame(id, peer, frame);
+                self.pending.push(Pending {
+                    primary: id,
+                    shard,
+                    seq,
+                    deadline: now + ACK_TIMEOUT,
+                    event_json: (app == AppKind::Client && !broken_ack).then(|| event_json.clone()),
+                });
+                if broken_ack && app == AppKind::Client {
+                    // BROKEN (test-only): ack the client before the
+                    // standby confirms — a failover inside the
+                    // replication window now loses the acked tail.
+                    self.trace
+                        .push(now, format!("n{id} BROKEN eager-ack seq={seq}"));
+                    self.acked.push(AckedEvent {
+                        shard,
+                        seq,
+                        event_json,
+                    });
+                }
+            } else if app == AppKind::Client {
+                // No attached standby: the primary degrades to solo
+                // durability and acks from its own log.
+                self.trace.push(now, format!("n{id} local-ack seq={seq}"));
+                self.acked.push(AckedEvent {
+                    shard,
+                    seq,
+                    event_json,
+                });
+            }
+        }
+        if poisoned {
+            self.trace
+                .push(now, format!("n{id} wal poisoned: crashing for recovery"));
+            self.crash(id);
+            self.pending_restarts.push((now + POISON_RESTART, id));
+        }
+        reply
+    }
+
+    fn crash(&mut self, id: usize) {
+        if self.nodes[id].core.is_none() {
+            return;
+        }
+        let now = self.now();
+        self.nodes[id].core = None;
+        self.nodes[id].peer_attached = false;
+        // A dead peer is observable (connection reset): its primary
+        // stops counting it as an attached standby. Divergence memory is
+        // connection-scoped — a replica that crashes and recovers replays
+        // its WAL from disk, so the peer starts judging the next
+        // connection on its own merits.
+        self.nodes[id ^ 1].peer_attached = false;
+        self.nodes[id ^ 1].peer_diverged = false;
+        // Clients talking to a crashed primary get connection drops,
+        // never acks.
+        self.pending.retain(|p| p.primary != id);
+        self.trace.push(now, format!("n{id} crash"));
+    }
+
+    fn restart(&mut self, id: usize) {
+        if self.nodes[id].core.is_some() {
+            return;
+        }
+        let now = self.now();
+        self.boot_node(id);
+        if self.nodes[id].core.is_none() {
+            return; // recovery failure already recorded
+        }
+        let peer = id ^ 1;
+        let peer_is_primary = self.nodes[peer].core.is_some()
+            && self.nodes[peer].role == Role::Primary
+            && self.nodes[peer].term >= self.nodes[id].term;
+        if peer_is_primary {
+            self.nodes[id].role = Role::Standby;
+            let term = self.nodes[id].term;
+            let have = self.nodes[id]
+                .core
+                .as_ref()
+                .expect("just booted")
+                .events_applied();
+            self.trace
+                .push(now, format!("n{id} rejoin as standby have={have}"));
+            let frame = message(
+                "hello",
+                vec![
+                    ("term", Value::from_u64(term)),
+                    ("have_seq", Value::from_u64(have)),
+                ],
+            );
+            self.send_frame(id, peer, frame);
+        } else if self.nodes[id].role == Role::Fenced {
+            self.trace.push(now, format!("n{id} restart still fenced"));
+        } else if self.nodes[id].role == Role::Primary {
+            self.nodes[id].role = Role::Primary;
+            self.nodes[id].grace_until = now + 2 * ELECTION_BASE;
+            self.trace.push(
+                now,
+                format!("n{id} resume primary term={}", self.nodes[id].term),
+            );
+        } else {
+            // A crashed standby whose primary is also down must wait:
+            // self-appointing could resurrect a log missing events the
+            // primary acked solo. The hello retry loop rejoins it the
+            // moment a primary reappears.
+            self.trace
+                .push(now, format!("n{id} restart awaiting a primary"));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Frame handling: the real wire protocol, minus the threads.
+    // ------------------------------------------------------------------
+
+    fn on_frame(&mut self, from: usize, to: usize, frame: &[u8]) {
+        let FrameDecode::Complete { payload, .. } = decode_frame(frame) else {
+            return;
+        };
+        let Some(msg) = parse_message(&payload) else {
+            return;
+        };
+        if self.nodes[to].core.is_none() {
+            return;
+        }
+        match kind(&msg) {
+            "rec" => self.on_rec(from, to, &msg),
+            "ack" => self.on_ack(from, to, &msg),
+            "hb" => self.on_hb(from, to, &msg),
+            "hello" => self.on_hello(from, to, &msg),
+            "meta" => self.on_meta(from, to, &msg),
+            "refuse" => self.on_refuse(from, to, &msg),
+            "diverged" => {
+                let now = self.now();
+                self.nodes[to].role = Role::Fenced;
+                self.nodes[to].peer_attached = false;
+                self.trace
+                    .push(now, format!("n{to} fenced: diverged notice from n{from}"));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rec(&mut self, from: usize, to: usize, msg: &Value) {
+        let now = self.now();
+        let node = &mut self.nodes[to];
+        node.last_heard = now;
+        node.heard_any = true;
+        if node.role != Role::Standby {
+            return;
+        }
+        let seq = msg.get("seq").and_then(Value::as_u64).unwrap_or(0);
+        node.primary_seq = node.primary_seq.max(seq + 1);
+        let Some(event) = msg
+            .get("event")
+            .and_then(|v| ref_serve::protocol::value_to_event(v).ok())
+        else {
+            return;
+        };
+        let core = node.core.as_mut().expect("checked in on_frame");
+        match core.apply_repl(seq, event, &node.metrics) {
+            ReplApply::Applied { epoch_fp } => {
+                let have = core.events_applied();
+                let mut fields = vec![("have", Value::from_u64(have))];
+                if let Some((epoch, fp)) = epoch_fp {
+                    fields.push(("epoch", Value::from_u64(epoch)));
+                    fields.push(("fp", Value::str(format!("{fp:016x}"))));
+                }
+                self.trace
+                    .push(now, format!("n{to} applied seq={seq} have={have}"));
+                let frame = message("ack", fields);
+                self.send_frame(to, from, frame);
+            }
+            ReplApply::Skipped => {
+                let have = node.core.as_ref().expect("present").events_applied();
+                let frame = message("ack", vec![("have", Value::from_u64(have))]);
+                self.send_frame(to, from, frame);
+            }
+            ReplApply::Gap => {
+                let term = node.term;
+                let have = node.core.as_ref().expect("present").events_applied();
+                self.trace
+                    .push(now, format!("n{to} gap at seq={seq} have={have}: resync"));
+                let frame = message(
+                    "hello",
+                    vec![
+                        ("term", Value::from_u64(term)),
+                        ("have_seq", Value::from_u64(have)),
+                    ],
+                );
+                self.send_frame(to, from, frame);
+            }
+            ReplApply::WalError => {
+                let poisoned = node
+                    .core
+                    .as_ref()
+                    .and_then(|c| c.wal())
+                    .map(|w| w.poisoned());
+                if poisoned == Some(true) {
+                    self.trace
+                        .push(now, format!("n{to} standby wal poisoned: crashing"));
+                    self.crash(to);
+                    self.pending_restarts.push((now + POISON_RESTART, to));
+                }
+            }
+        }
+    }
+
+    fn on_ack(&mut self, from: usize, to: usize, msg: &Value) {
+        let now = self.now();
+        if self.nodes[to].role != Role::Primary {
+            return;
+        }
+        let have = msg.get("have").and_then(Value::as_u64).unwrap_or(0);
+        // Fingerprint audit: a mismatched epoch fingerprint is a
+        // diverged replica — fence it, stop trusting its acks.
+        let epoch = msg.get("epoch").and_then(Value::as_u64);
+        let fp = msg
+            .get("fp")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok());
+        if let (Some(epoch), Some(fp)) = (epoch, fp) {
+            if let Some((want_epoch, expected)) = self.nodes[to].epoch_fps.get(&have).copied() {
+                if want_epoch != epoch || expected != fp {
+                    self.trace.push(
+                        now,
+                        format!(
+                            "n{to} divergence detected: n{from} at have={have} epoch={epoch} fp={fp:016x} expected epoch={want_epoch} fp={expected:016x}"
+                        ),
+                    );
+                    self.nodes[to].peer_attached = false;
+                    self.nodes[to].peer_diverged = true;
+                    let frame = message(
+                        "diverged",
+                        vec![
+                            ("epoch", Value::from_u64(epoch)),
+                            ("expected", Value::str(format!("{expected:016x}"))),
+                            ("got", Value::str(format!("{fp:016x}"))),
+                        ],
+                    );
+                    // The real primary closes the replication socket after
+                    // the notice; the close (EOF) is observed by the peer
+                    // as reliably as the notice itself, so the combined
+                    // "you are diverged" signal rides a reliable send.
+                    self.net.send_reliable(now, to, from, frame);
+                    return;
+                }
+            }
+        }
+        // Reconnect path: an ack from a peer the primary does not have
+        // attached is an implicit re-handshake (the real standby
+        // reconnects and re-hellos; the ack carries the same have_seq).
+        if !self.nodes[to].peer_attached && from == (to ^ 1) && !self.nodes[to].peer_diverged {
+            let my_seq = self.nodes[to]
+                .core
+                .as_ref()
+                .expect("present")
+                .events_applied();
+            if have <= my_seq {
+                self.attach_standby(to, from, have);
+            } else {
+                let term = self.nodes[to].term;
+                let frame = message(
+                    "refuse",
+                    vec![
+                        ("reason", Value::str("standby_ahead")),
+                        ("term", Value::from_u64(term)),
+                    ],
+                );
+                self.send_frame(to, from, frame);
+                return;
+            }
+        }
+        let mut resolved: Vec<AckedEvent> = Vec::new();
+        self.pending.retain(|p| {
+            if p.primary == to && p.seq < have {
+                if let Some(event_json) = &p.event_json {
+                    resolved.push(AckedEvent {
+                        shard: p.shard,
+                        seq: p.seq,
+                        event_json: event_json.clone(),
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        for acked in resolved {
+            self.trace
+                .push(now, format!("n{to} acked seq={} (replicated)", acked.seq));
+            self.acked.push(acked);
+        }
+    }
+
+    fn on_hb(&mut self, from: usize, to: usize, msg: &Value) {
+        let now = self.now();
+        let term = msg.get("term").and_then(Value::as_u64).unwrap_or(0);
+        match self.nodes[to].role {
+            Role::Standby => {
+                let node = &mut self.nodes[to];
+                node.last_heard = now;
+                node.heard_any = true;
+                if term >= node.term {
+                    node.term = term;
+                }
+                node.primary_seq = node
+                    .primary_seq
+                    .max(msg.get("seq").and_then(Value::as_u64).unwrap_or(0));
+                let have = node.core.as_ref().expect("present").events_applied();
+                let frame = message("ack", vec![("have", Value::from_u64(have))]);
+                self.send_frame(to, from, frame);
+            }
+            Role::Primary => {
+                if term < self.nodes[to].term {
+                    // A deposed primary is still beating: fence it on
+                    // contact by presenting the higher term.
+                    let my_term = self.nodes[to].term;
+                    let frame = message(
+                        "hello",
+                        vec![
+                            ("term", Value::from_u64(my_term)),
+                            ("have_seq", Value::from_u64(0)),
+                        ],
+                    );
+                    self.send_frame(to, from, frame);
+                } else if term > self.nodes[to].term {
+                    self.nodes[to].role = Role::Fenced;
+                    self.trace
+                        .push(now, format!("n{to} fenced: higher-term heartbeat"));
+                }
+            }
+            Role::Fenced => {}
+        }
+    }
+
+    /// A hello presented to this node (fence notice or catch-up
+    /// request), handled exactly like `repl::handle_standby`'s preamble.
+    fn on_hello(&mut self, from: usize, to: usize, msg: &Value) {
+        let now = self.now();
+        let their_term = msg.get("term").and_then(Value::as_u64).unwrap_or(0);
+        let have = msg.get("have_seq").and_then(Value::as_u64).unwrap_or(0);
+        if their_term > self.nodes[to].term {
+            if self.nodes[to].role != Role::Fenced {
+                self.nodes[to].role = Role::Fenced;
+                self.trace
+                    .push(now, format!("n{to} fenced: hello with term {their_term}"));
+            }
+            let frame = message(
+                "refuse",
+                vec![
+                    ("reason", Value::str("fenced")),
+                    ("term", Value::from_u64(their_term)),
+                ],
+            );
+            self.send_frame(to, from, frame);
+            return;
+        }
+        if self.nodes[to].role != Role::Primary {
+            let term = self.nodes[to].term;
+            let frame = message(
+                "refuse",
+                vec![
+                    ("reason", Value::str("not_primary")),
+                    ("term", Value::from_u64(term)),
+                ],
+            );
+            self.send_frame(to, from, frame);
+            return;
+        }
+        let my_seq = self.nodes[to]
+            .core
+            .as_ref()
+            .expect("present")
+            .events_applied();
+        if have > my_seq {
+            let term = self.nodes[to].term;
+            let frame = message(
+                "refuse",
+                vec![
+                    ("reason", Value::str("standby_ahead")),
+                    ("term", Value::from_u64(term)),
+                ],
+            );
+            self.send_frame(to, from, frame);
+            return;
+        }
+        if self.nodes[to].peer_diverged && from == (to ^ 1) {
+            // A replica we caught diverging carries garbage state; its
+            // only way back is an operator rebuild, not a re-handshake.
+            // Re-state the verdict reliably so a hello that raced a lost
+            // notice still learns it must fence.
+            let frame = message(
+                "diverged",
+                vec![
+                    ("epoch", Value::from_u64(0)),
+                    ("expected", Value::str("0")),
+                    ("got", Value::str("0")),
+                ],
+            );
+            self.net.send_reliable(now, to, from, frame);
+            return;
+        }
+        self.attach_standby(to, from, have);
+    }
+
+    /// Accepts a standby at `have`: meta, then stream the log tail —
+    /// the catch-up the real `handle_standby` performs from disk.
+    fn attach_standby(&mut self, primary: usize, standby: usize, have: u64) {
+        let now = self.now();
+        let term = self.nodes[primary].term;
+        let meta = message("meta", vec![("term", Value::from_u64(term))]);
+        self.send_frame(primary, standby, meta);
+        let events = {
+            let core = self.nodes[primary].core.as_ref().expect("present");
+            match core.wal().expect("wal-backed").read_events() {
+                Ok((first, mut events)) => {
+                    debug_assert_eq!(first, 0, "retain_history keeps the full log");
+                    events.split_off((have as usize).min(events.len()))
+                }
+                Err(_) => Vec::new(),
+            }
+        };
+        let count = events.len();
+        for (i, event) in events.into_iter().enumerate() {
+            let frame = message(
+                "rec",
+                vec![
+                    ("seq", Value::from_u64(have + i as u64)),
+                    ("event", event_to_value(&event)),
+                ],
+            );
+            self.send_frame(primary, standby, frame);
+        }
+        self.nodes[primary].peer_attached = true;
+        self.trace.push(
+            now,
+            format!("n{primary} attached n{standby} from seq={have} (+{count} catch-up records)"),
+        );
+    }
+
+    fn on_meta(&mut self, from: usize, to: usize, msg: &Value) {
+        let now = self.now();
+        let term = msg.get("term").and_then(Value::as_u64).unwrap_or(0);
+        let node = &mut self.nodes[to];
+        if node.role == Role::Standby {
+            node.last_heard = now;
+            node.heard_any = true;
+            if term >= node.term {
+                node.term = term;
+            }
+            self.trace
+                .push(now, format!("n{to} meta from n{from} term={term}"));
+        }
+    }
+
+    fn on_refuse(&mut self, from: usize, to: usize, msg: &Value) {
+        let now = self.now();
+        let reason = msg.get("reason").and_then(Value::as_str).unwrap_or("");
+        if reason == "standby_ahead" && self.nodes[to].role == Role::Standby {
+            // This replica holds history the primary lacks: accepting a
+            // truncation would fork the past. Terminal fence.
+            self.nodes[to].role = Role::Fenced;
+            self.trace
+                .push(now, format!("n{to} fenced: ahead of primary n{from}"));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers: heartbeats, elections, ack deadlines, delayed restarts.
+    // ------------------------------------------------------------------
+
+    fn timers(&mut self) {
+        let now = self.now();
+        // Delayed restarts (poison crashes).
+        let due: Vec<usize> = {
+            let mut due = Vec::new();
+            self.pending_restarts.retain(|(at, id)| {
+                if *at <= now {
+                    due.push(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for id in due {
+            self.restart(id);
+        }
+        // Heartbeats.
+        if now >= self.next_hb {
+            self.next_hb = now + HB_EVERY;
+            for id in 0..NODES {
+                let node = &self.nodes[id];
+                // Heartbeats ride the replication connection: a primary
+                // with no attached standby has no socket to write them
+                // to, so a detached standby goes silent and falls into
+                // its hello-retry loop instead of idling on fresh hbs.
+                let Some(core) = node.core.as_ref() else {
+                    continue;
+                };
+                if node.role == Role::Primary && node.peer_attached {
+                    let term = node.term;
+                    let seq = core.events_applied();
+                    let frame = message(
+                        "hb",
+                        vec![
+                            ("term", Value::from_u64(term)),
+                            ("seq", Value::from_u64(seq)),
+                        ],
+                    );
+                    self.send_frame(id, id ^ 1, frame);
+                }
+            }
+        }
+        // Ack deadlines: the client gets a loud replication error; the
+        // event stays applied locally but is never ledgered as acked.
+        let mut expired = Vec::new();
+        self.pending.retain(|p| {
+            if p.deadline <= now {
+                expired.push((p.primary, p.seq, p.event_json.is_some()));
+                false
+            } else {
+                true
+            }
+        });
+        for (primary, seq, client) in expired {
+            self.trace.push(
+                now,
+                format!("n{primary} ack timeout seq={seq} client={client}: not confirmed"),
+            );
+        }
+        // Standby handshake retries and elections.
+        for id in 0..NODES {
+            let node = &self.nodes[id];
+            if node.role != Role::Standby || node.core.is_none() {
+                continue;
+            }
+            if now.saturating_sub(node.last_heard) > node.election_timeout {
+                // Only a standby that was actually streaming may elect:
+                // one that never heard its primary this boot cannot have
+                // lost it, and one behind the primary's advertised log
+                // position would promote a stale branch.
+                let applied = node.core.as_ref().expect("present").events_applied();
+                if node.heard_any && applied >= node.primary_seq {
+                    self.promote(id);
+                    continue;
+                }
+            }
+            // Reconnect loop: a detached standby re-presents its hello
+            // every 20ms until a primary accepts it.
+            let node = &self.nodes[id];
+            let silent = now.saturating_sub(node.last_heard) > Duration::from_millis(20);
+            let due = now.saturating_sub(node.last_hello) > Duration::from_millis(20);
+            if silent && due {
+                let term = node.term;
+                let have = node.core.as_ref().expect("present").events_applied();
+                self.nodes[id].last_hello = now;
+                let frame = message(
+                    "hello",
+                    vec![
+                        ("term", Value::from_u64(term)),
+                        ("have_seq", Value::from_u64(have)),
+                    ],
+                );
+                self.send_frame(id, id ^ 1, frame);
+            }
+        }
+    }
+
+    fn promote(&mut self, id: usize) {
+        let now = self.now();
+        if self.nodes[id].diverged {
+            // The fencing invariant says this must be impossible: a
+            // diverged replica is caught by the fingerprint channel
+            // before its election timer can fire.
+            self.violation(format!("diverged standby n{id} promoted itself"));
+        }
+        let node = &mut self.nodes[id];
+        node.term += 1;
+        node.role = Role::Primary;
+        node.promoted_ever = true;
+        node.peer_attached = false;
+        node.epoch_fps.clear();
+        let term = node.term;
+        self.trace.push(now, format!("n{id} promote term={term}"));
+        // Depose the old primary if it is somehow still reachable.
+        let frame = message(
+            "hello",
+            vec![
+                ("term", Value::from_u64(term)),
+                ("have_seq", Value::from_u64(0)),
+            ],
+        );
+        self.send_frame(id, id ^ 1, frame);
+    }
+
+    // ------------------------------------------------------------------
+    // The router model: fan ticks, quorum gate, coordinator, resync.
+    // ------------------------------------------------------------------
+
+    fn fleet_tick(&mut self) {
+        let now = self.now();
+        self.round += 1;
+        let round = self.round;
+        // Supervisor resync: a shard whose serving primary changed is
+        // offered its current allotment again — WAL recovery may have
+        // restored an older journaled split.
+        for shard in 0..SHARDS {
+            let Some(p) = self.route(shard) else { continue };
+            if self.router_known_primary[shard] != Some(p) {
+                let first = self.router_known_primary[shard].is_none();
+                self.router_known_primary[shard] = Some(p);
+                if !first {
+                    let capacity = self.coord.resync_delivery(shard);
+                    self.trace
+                        .push(now, format!("router resync shard={shard} via n{p}"));
+                    let reply =
+                        self.primary_apply(p, &Request::Reallot { capacity }, AppKind::Internal);
+                    if !is_ok(&reply) {
+                        // A refusing primary (e.g. in its recovery grace)
+                        // never journaled the split: keep it pending so a
+                        // later round re-offers instead of drifting.
+                        self.coord.mark_undelivered(shard);
+                        self.trace
+                            .push(now, format!("router resync shard={shard} undelivered"));
+                    }
+                }
+            }
+        }
+        let mut delivered = [false; SHARDS];
+        let mut reports: Vec<Option<Value>> = vec![None, None];
+        for shard in 0..SHARDS {
+            let Some(p) = self.route(shard) else { continue };
+            let reply = self.primary_apply(p, &Request::Tick, AppKind::Internal);
+            if is_ok(&reply) {
+                delivered[shard] = true;
+                reports[shard] = reply.get("report").cloned();
+                self.demands[shard] = self.nodes[p]
+                    .core
+                    .as_ref()
+                    .map(|c| c.engine().aggregate_demand())
+                    .unwrap_or_else(|| self.demands[shard].clone());
+            }
+        }
+        let reported = delivered.iter().filter(|d| **d).count();
+        let full = reported == SHARDS;
+        if !full {
+            self.partial_rounds += 1;
+        }
+        if reported < self.quorum {
+            // Below quorum the demand picture is too partial to act on:
+            // freeze allotments; undelivered updates stay pending.
+            self.quorum_freezes += 1;
+            self.trace.push(
+                now,
+                format!("round={round} quorum freeze ({reported}/{})", SHARDS),
+            );
+        } else {
+            let mut updates = self.coord.step(&self.demands);
+            for (shard, update) in updates.iter_mut().enumerate() {
+                if update.is_some() && !delivered[shard] {
+                    self.coord.mark_undelivered(shard);
+                    *update = None;
+                }
+            }
+            for (shard, update) in updates.into_iter().enumerate() {
+                let Some(capacity) = update else { continue };
+                let p = self.route(shard).expect("delivered shard has a primary");
+                let reply =
+                    self.primary_apply(p, &Request::Reallot { capacity }, AppKind::Internal);
+                if !is_ok(&reply) {
+                    // The shard never journaled the new split: re-offer
+                    // it next round instead of letting it drift.
+                    self.coord.mark_undelivered(shard);
+                    self.trace.push(
+                        now,
+                        format!("round={round} reallot undelivered shard={shard}"),
+                    );
+                }
+            }
+        }
+        // Fleet fairness accounting: temporal-SI only merges over a
+        // full picture — a partial fleet would be phantom data.
+        let si: u64 = reports
+            .iter()
+            .flatten()
+            .filter_map(|r| r.get("temporal_violations").and_then(Value::as_u64))
+            .sum();
+        if full {
+            self.fleet_temporal_si += si;
+        } else if self.opts.break_invariant == Some(BreakKind::SiDuringPartial) {
+            self.fleet_temporal_si += si;
+            self.si_partial_accruals += 1;
+            self.trace.push(
+                now,
+                format!("round={round} BROKEN: fairness merged while partial"),
+            );
+        }
+        self.trace
+            .push(now, format!("round={round} reported={reported} si={si}"));
+    }
+
+    // ------------------------------------------------------------------
+    // Scripted operations.
+    // ------------------------------------------------------------------
+
+    fn apply_client(&mut self, op: &ClientOp) {
+        let now = self.now();
+        let (agent, req) = match op {
+            ClientOp::Join { agent, e0 } => (
+                *agent,
+                Request::Join {
+                    agent: *agent,
+                    source: ObservationSource::GroundTruth(
+                        CobbDouglas::new(1.0, vec![*e0, 1.0 - *e0]).expect("valid elasticities"),
+                    ),
+                },
+            ),
+            ClientOp::Leave { agent } => (*agent, Request::Leave { agent: *agent }),
+            ClientOp::Demand { agent, e0 } => (
+                *agent,
+                Request::Demand {
+                    agent: *agent,
+                    truth: Some(CobbDouglas::new(1.0, vec![*e0, 1.0 - *e0]).expect("valid")),
+                },
+            ),
+            ClientOp::Query { agent } => (
+                *agent,
+                Request::Query {
+                    agent: Some(*agent),
+                },
+            ),
+        };
+        let shard = self.ring.shard_of(agent);
+        let Some(p) = self.route(shard) else {
+            self.trace.push(
+                now,
+                format!("client agent={agent} shard={shard} unavailable"),
+            );
+            return;
+        };
+        let reply = self.primary_apply(p, &req, AppKind::Client);
+        self.trace.push(
+            now,
+            format!(
+                "client agent={agent} shard={shard} n{p} ok={}",
+                is_ok(&reply)
+            ),
+        );
+    }
+
+    fn apply_fault(&mut self, op: &FaultOp) {
+        let now = self.now();
+        match op {
+            FaultOp::Crash { node } => self.crash(*node),
+            FaultOp::Restart { node } => self.restart(*node),
+            FaultOp::Partition { shard, both } => {
+                let a = shard * REPLICAS;
+                let b = a + 1;
+                let p = self.live_primary(*shard).unwrap_or(a);
+                let s = p ^ 1;
+                self.net.cut(p, s, None);
+                if *both {
+                    self.net.cut(s, p, None);
+                }
+                self.trace.push(
+                    now,
+                    format!("partition shard={shard} n{p}->n{s} both={both}"),
+                );
+                let _ = (a, b);
+            }
+            FaultOp::Heal { shard } => {
+                let a = shard * REPLICAS;
+                let b = a + 1;
+                self.net.heal(a, b);
+                self.net.heal(b, a);
+                self.trace.push(now, format!("heal shard={shard}"));
+            }
+            FaultOp::TornWrite { node } => {
+                let keep = self.rng.range(1, 12) as usize;
+                self.nodes[*node].disk.arm_torn_write(keep);
+                self.trace
+                    .push(now, format!("torn write armed n{node} keep={keep}"));
+            }
+            FaultOp::FailSync { node, n } => {
+                self.nodes[*node].disk.fail_next_syncs(*n);
+                self.trace
+                    .push(now, format!("fsync failures armed n{node} n={n}"));
+            }
+            FaultOp::BitFlip { node } => {
+                let dir = self.nodes[*node].dir.clone();
+                match self.nodes[*node].disk.flip_bit_in_covered_checkpoint(&dir) {
+                    Some(path) => {
+                        self.nodes[*node].bitflip_hit = true;
+                        self.trace.push(
+                            now,
+                            format!(
+                                "bit flip n{node} in {}",
+                                path.file_name().unwrap_or_default().to_string_lossy()
+                            ),
+                        );
+                    }
+                    None => {
+                        self.trace.push(
+                            now,
+                            format!("bit flip n{node} skipped: no covered checkpoint"),
+                        );
+                    }
+                }
+            }
+            FaultOp::Diverge { shard } => {
+                let target = (shard * REPLICAS..shard * REPLICAS + REPLICAS).find(|id| {
+                    self.nodes[*id].role == Role::Standby && self.nodes[*id].core.is_some()
+                });
+                let Some(id) = target else {
+                    self.trace
+                        .push(now, format!("diverge shard={shard} skipped: no standby"));
+                    return;
+                };
+                let node = &mut self.nodes[id];
+                let core = node.core.take().expect("checked");
+                let seq = core.events_applied();
+                let plan = FaultPlan {
+                    corrupt_standby_at: Some(seq),
+                    ..FaultPlan::default()
+                };
+                node.core = Some(core.with_faults(plan));
+                node.diverged = true;
+                self.trace
+                    .push(now, format!("diverge armed n{id} at seq={seq}"));
+            }
+            FaultOp::DelayBump { factor } => {
+                self.net.base_delay *= *factor;
+                self.net.jitter *= *factor;
+                self.trace.push(now, format!("delay bump x{factor}"));
+            }
+        }
+    }
+
+    fn apply_op(&mut self, op: &Op) {
+        match op {
+            Op::Client(c) => self.apply_client(c),
+            Op::Fault(f) => self.apply_fault(f),
+            Op::FleetTick => self.fleet_tick(),
+            Op::Scrub { node } => {
+                let now = self.now();
+                if self.nodes[*node].core.is_some() {
+                    let node_ref = &mut self.nodes[*node];
+                    let core = node_ref.core.as_mut().expect("present");
+                    let reply = core.handle(&Request::Scrub, &node_ref.metrics);
+                    let errors = reply
+                        .get("errors")
+                        .and_then(Value::as_array)
+                        .map(<[Value]>::len);
+                    self.trace
+                        .push(now, format!("scrub n{node} errors={errors:?}"));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop.
+    // ------------------------------------------------------------------
+
+    fn step_to(&mut self, t: Duration) {
+        self.clock.set(t);
+        // Scheduled operations due at or before t.
+        let ops: Vec<Op> = {
+            let mut ops = Vec::new();
+            while self.next_op < self.schedule.ops.len() && self.schedule.ops[self.next_op].at <= t
+            {
+                ops.push(self.schedule.ops[self.next_op].op.clone());
+                self.next_op += 1;
+            }
+            ops
+        };
+        for op in &ops {
+            self.apply_op(op);
+        }
+        // Network deliveries due at or before t.
+        let packets = self.net.pop_due(t);
+        for packet in packets {
+            self.on_frame(packet.from, packet.to, &packet.frame);
+        }
+        self.timers();
+    }
+
+    fn run_script(&mut self) {
+        let horizon = self.schedule.horizon;
+        let mut t = Duration::ZERO;
+        while t <= horizon {
+            self.step_to(t);
+            t += STEP;
+        }
+    }
+
+    /// Heals everything, recovers every crashed node, and runs a
+    /// fault-free convergence window so elections, catch-ups, fencing,
+    /// and reallotments all complete before the invariants are judged.
+    fn settle(&mut self) {
+        let start = self.now();
+        self.net.heal_all();
+        self.trace.push(start, "settle: heal all links".to_string());
+        // Fire the script's leftover restarts immediately, then any
+        // poison restarts, then anything still down.
+        let leftovers: Vec<Op> = self.schedule.ops[self.next_op..]
+            .iter()
+            .filter(|s| matches!(s.op, Op::Fault(FaultOp::Restart { .. })))
+            .map(|s| s.op.clone())
+            .collect();
+        self.next_op = self.schedule.ops.len();
+        for op in &leftovers {
+            self.apply_op(op);
+        }
+        let down: Vec<usize> = {
+            let mut down: Vec<usize> = self.pending_restarts.drain(..).map(|(_, id)| id).collect();
+            for id in 0..NODES {
+                if self.nodes[id].core.is_none() && !down.contains(&id) {
+                    down.push(id);
+                }
+            }
+            down.sort_unstable();
+            down
+        };
+        for id in down {
+            self.restart(id);
+        }
+        let end = start + SETTLE;
+        let mut next_tick = start + TICK_EVERY;
+        let mut t = start;
+        while t <= end {
+            self.step_to(t);
+            if t >= next_tick {
+                self.fleet_tick();
+                next_tick += TICK_EVERY;
+            }
+            t += STEP;
+        }
+        // Drain whatever is still in flight.
+        let mut guard = 0;
+        while self.net.in_flight() > 0 && guard < 2000 {
+            t += STEP;
+            self.step_to(t);
+            guard += 1;
+        }
+        // Two final full rounds over the quiesced fleet.
+        self.fleet_tick();
+        t += STEP;
+        self.step_to(t);
+        self.fleet_tick();
+        let mut guard = 0;
+        while self.net.in_flight() > 0 && guard < 2000 {
+            t += STEP;
+            self.step_to(t);
+            guard += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Standing invariants.
+    // ------------------------------------------------------------------
+
+    fn authoritative(&self, shard: usize) -> Option<usize> {
+        self.routed_primary(shard).or_else(|| {
+            (shard * REPLICAS..shard * REPLICAS + REPLICAS)
+                .filter(|id| self.nodes[*id].core.is_some() && self.nodes[*id].role != Role::Fenced)
+                .max_by_key(|id| {
+                    (
+                        self.nodes[*id].term,
+                        self.nodes[*id]
+                            .core
+                            .as_ref()
+                            .expect("present")
+                            .events_applied(),
+                    )
+                })
+        })
+    }
+
+    fn check_invariants(&mut self) {
+        // 1. Zero acked-event loss.
+        for shard in 0..SHARDS {
+            let Some(auth) = self.authoritative(shard) else {
+                if self.acked.iter().any(|a| a.shard == shard) {
+                    self.violation(format!(
+                        "shard {shard} has acked events but no authoritative node"
+                    ));
+                }
+                continue;
+            };
+            let dir = self.nodes[auth].dir.clone();
+            let disk = self.nodes[auth].disk.clone();
+            let events = match read_events_with(&disk, &dir) {
+                Ok((0, events)) => events,
+                Ok((first, _)) => {
+                    self.violation(format!(
+                        "shard {shard} history starts at {first}, expected 0"
+                    ));
+                    continue;
+                }
+                Err(e) => {
+                    self.violation(format!("shard {shard} authoritative log unreadable: {e}"));
+                    continue;
+                }
+            };
+            let acked: Vec<(u64, String)> = self
+                .acked
+                .iter()
+                .filter(|a| a.shard == shard)
+                .map(|a| (a.seq, a.event_json.clone()))
+                .collect();
+            for (seq, event_json) in acked {
+                match events.get(seq as usize) {
+                    None => self.violation(format!(
+                        "acked event lost: shard {shard} seq {seq} missing from n{auth} (log len {})",
+                        events.len()
+                    )),
+                    Some(event) => {
+                        let found = event_to_value(event).encode();
+                        if found != event_json {
+                            self.violation(format!(
+                                "acked event mutated: shard {shard} seq {seq}: acked {event_json} found {found}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Bit-identical replay on every live, unfenced node.
+        for id in 0..NODES {
+            if self.nodes[id].core.is_none() || self.nodes[id].role == Role::Fenced {
+                continue;
+            }
+            let dir = self.nodes[id].dir.clone();
+            let disk = self.nodes[id].disk.clone();
+            let events = match read_events_with(&disk, &dir) {
+                Ok((0, events)) => events,
+                Ok((first, _)) => {
+                    self.violation(format!("n{id} history starts at {first}, expected 0"));
+                    continue;
+                }
+                Err(e) => {
+                    self.violation(format!("n{id} log unreadable for replay: {e}"));
+                    continue;
+                }
+            };
+            let live = self.nodes[id]
+                .core
+                .as_ref()
+                .expect("present")
+                .final_snapshot();
+            match replay(self.shard_config.clone(), &events) {
+                Ok(engine) => {
+                    if engine.snapshot().encode() != live {
+                        self.violation(format!(
+                            "n{id} replay divergence: offline replay of {} events != live state",
+                            events.len()
+                        ));
+                    }
+                }
+                Err(e) => self.violation(format!("n{id} replay failed: {e}")),
+            }
+        }
+        // 3. Diverged replicas are fenced and never promoted.
+        for id in 0..NODES {
+            let node = &self.nodes[id];
+            if !node.diverged {
+                continue;
+            }
+            if node.promoted_ever {
+                self.violation(format!("diverged replica n{id} was promoted"));
+            } else if node.core.is_some() && node.role != Role::Fenced {
+                self.violation(format!(
+                    "diverged replica n{id} ended {:?}, expected Fenced",
+                    node.role
+                ));
+            }
+        }
+        // 4. Shard capacities agree with the coordinator's allotments
+        // (frozen or rolled-back reallotments never half-apply), and
+        // capacity is conserved fleet-wide.
+        let mut live_total = vec![0.0f64; self.total_capacity.len()];
+        let mut all_live = true;
+        for shard in 0..SHARDS {
+            let Some(p) = self.routed_primary(shard) else {
+                all_live = false;
+                continue;
+            };
+            let capacity: Vec<f64> = self.nodes[p]
+                .core
+                .as_ref()
+                .expect("present")
+                .engine()
+                .config()
+                .capacity
+                .as_slice()
+                .to_vec();
+            let want = self.coord.allotments()[shard].clone();
+            for (r, (cap, want_r)) in capacity.iter().zip(&want).enumerate() {
+                let tolerance = REALLOT_TOLERANCE * self.total_capacity[r];
+                if (cap - want_r).abs() > tolerance {
+                    self.violation(format!(
+                        "shard {shard} capacity[{r}]={cap} but coordinator allotment={want_r} (tolerance {tolerance})",
+                    ));
+                }
+                live_total[r] += cap;
+            }
+        }
+        if all_live {
+            let totals: Vec<(f64, f64)> = live_total
+                .iter()
+                .copied()
+                .zip(self.total_capacity.iter().copied())
+                .collect();
+            for (r, (live, total)) in totals.into_iter().enumerate() {
+                if (live - total).abs() > 1e-3 * total {
+                    self.violation(format!(
+                        "capacity not conserved: resource {r} sums to {live} of {total}",
+                    ));
+                }
+            }
+        }
+        // 5. Temporal-SI accounting never accrued during partial rounds.
+        if self.si_partial_accruals > 0 {
+            self.violation(format!(
+                "fleet fairness merged on {} partial round(s)",
+                self.si_partial_accruals
+            ));
+        }
+        // Scrub expectation: injected rot must have been found.
+        for id in 0..NODES {
+            if self.nodes[id].bitflip_hit {
+                let found = self.nodes[id].metrics.snapshot().wal_scrub_errors;
+                if found == 0 {
+                    self.violation(format!("bit flip on n{id} never surfaced in a scrub"));
+                }
+            }
+        }
+        let now = self.now();
+        self.trace.push(
+            now,
+            format!(
+                "end acked={} rounds={} freezes={} partial={} si={} violations={}",
+                self.acked.len(),
+                self.round,
+                self.quorum_freezes,
+                self.partial_rounds,
+                self.fleet_temporal_si,
+                self.violations.len()
+            ),
+        );
+    }
+
+    fn finish(self) -> RunOutcome {
+        RunOutcome {
+            seed: self.seed,
+            classes: self
+                .schedule
+                .classes
+                .iter()
+                .map(|c| c.to_string())
+                .collect(),
+            sim_events: self.trace.events(),
+            trace_hash: self.trace.hash(),
+            violations: self.violations,
+            trace: self.trace.into_lines(),
+            acked_events: self.acked.len() as u64,
+            quorum_freezes: self.quorum_freezes,
+            partial_rounds: self.partial_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimOptions {
+        SimOptions {
+            quick: true,
+            break_invariant: None,
+        }
+    }
+
+    #[test]
+    fn clean_seed_holds_every_invariant_and_reproduces() {
+        let a = run_seed(0, &quick());
+        assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+        assert!(
+            a.sim_events > 50,
+            "suspiciously quiet run: {}",
+            a.sim_events
+        );
+        let b = run_seed(0, &quick());
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "same seed must replay bit-identically"
+        );
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn a_band_of_seeds_holds_every_invariant() {
+        for seed in 0..20 {
+            let outcome = run_seed(seed, &quick());
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed} violated: {:?}\ntrace tail: {:?}",
+                outcome.violations,
+                outcome.trace.iter().rev().take(25).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_makes_progress_and_acks_events() {
+        let outcome = run_seed(3, &quick());
+        assert!(outcome.acked_events > 0, "no client event was ever acked");
+    }
+
+    #[test]
+    fn partitions_and_crashes_freeze_the_quorum_somewhere() {
+        let mut froze = false;
+        for seed in 0..40 {
+            let outcome = run_seed(seed, &quick());
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed}: {:?}",
+                outcome.violations
+            );
+            if outcome.quorum_freezes > 0 {
+                assert!(outcome.partial_rounds > 0);
+                froze = true;
+                break;
+            }
+        }
+        assert!(froze, "no seed in 0..40 ever froze the quorum");
+    }
+
+    #[test]
+    fn divergence_is_fenced_and_never_promoted() {
+        let mut seen = false;
+        for seed in 0..60 {
+            let outcome = run_seed(seed, &quick());
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed}: {:?}",
+                outcome.violations
+            );
+            if outcome.classes.iter().any(|c| c == "diverge")
+                && outcome
+                    .trace
+                    .iter()
+                    .any(|l| l.contains("divergence detected"))
+            {
+                assert!(
+                    outcome
+                        .trace
+                        .iter()
+                        .any(|l| l.contains("fenced: diverged notice")),
+                    "seed {seed}: divergence detected but replica never fenced"
+                );
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "no seed in 0..60 exercised divergence detection");
+    }
+
+    #[test]
+    fn broken_ack_invariant_is_caught_and_reproduced_bit_identically() {
+        let opts = SimOptions {
+            quick: true,
+            break_invariant: Some(BreakKind::AckUnreplicated),
+        };
+        let mut caught = None;
+        for seed in 0..300 {
+            let outcome = run_seed(seed, &opts);
+            if !outcome.violations.is_empty() {
+                caught = Some((seed, outcome));
+                break;
+            }
+        }
+        let (seed, first) = caught.expect("300 seeds of unreplicated acks never lost an event");
+        assert!(
+            first.violations.iter().any(|v| v.contains("acked event")),
+            "unexpected violation kind: {:?}",
+            first.violations
+        );
+        // The printed seed must reproduce the exact same run.
+        let again = run_seed(seed, &opts);
+        assert_eq!(first.trace_hash, again.trace_hash);
+        assert_eq!(first.violations, again.violations);
+        assert_eq!(first.trace, again.trace);
+    }
+
+    #[test]
+    fn broken_si_merge_is_caught_on_partial_rounds() {
+        let opts = SimOptions {
+            quick: true,
+            break_invariant: Some(BreakKind::SiDuringPartial),
+        };
+        let mut caught = false;
+        for seed in 0..80 {
+            let outcome = run_seed(seed, &opts);
+            if outcome.partial_rounds > 0 {
+                assert!(
+                    outcome
+                        .violations
+                        .iter()
+                        .any(|v| v.contains("partial round")),
+                    "seed {seed} had partial rounds but the phantom merge went unnoticed"
+                );
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "no seed in 0..80 produced a partial round");
+    }
+
+    #[test]
+    fn bit_flips_are_surfaced_by_scrub_not_swallowed() {
+        let mut seen = false;
+        for seed in 0..120 {
+            let outcome = run_seed(seed, &quick());
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed}: {:?}",
+                outcome.violations
+            );
+            if outcome
+                .trace
+                .iter()
+                .any(|l| l.contains("bit flip n") && !l.contains("skipped"))
+            {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "no seed in 0..120 landed a bit flip");
+    }
+}

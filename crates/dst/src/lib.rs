@@ -1,0 +1,35 @@
+//! ref-dst: deterministic simulation testing for the ref-serve fleet.
+//!
+//! A FoundationDB-style, single-threaded, virtual-time fault simulator
+//! that hosts the *whole* fleet in-process: two sharded [`ServiceCore`]s
+//! with real WALs behind an in-memory [`SimDisk`], a primary and standby
+//! per shard speaking the real replication frame protocol over a
+//! [`SimNet`] that delays, drops, duplicates, partitions, and heals, a
+//! router model with the real [`Coordinator`] and quorum gate, and
+//! scripted clients — all driven by one seeded schedule on a
+//! [`SimClock`] that only moves when the event loop says so.
+//!
+//! [`run_seed`] simulates one seed end to end and judges the standing
+//! invariants (zero acked-event loss, bit-identical replay, divergence
+//! fencing, reallotment consistency, no phantom fairness accounting).
+//! Any violation carries the seed and the full per-event trace, and
+//! `cargo run -p ref-bench --bin dst_sweep -- --seed N` replays it
+//! bit-identically.
+//!
+//! [`ServiceCore`]: ref_serve::ServiceCore
+//! [`Coordinator`]: ref_serve::Coordinator
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod fleet;
+pub mod net;
+pub mod schedule;
+pub mod sim;
+
+pub use disk::SimDisk;
+pub use fleet::{run_seed, BreakKind, RunOutcome, SimOptions};
+pub use net::{Packet, SimNet};
+pub use schedule::{generate, Schedule};
+pub use sim::{mix64, SimClock, SimRng, Trace};

@@ -39,6 +39,14 @@ pub struct CallOpts {
     /// When the budget would be exceeded by the next backoff sleep, the
     /// call gives up with the last server error instead of oversleeping.
     pub deadline: Option<Duration>,
+    /// Cap on *cumulative backoff sleep* across the whole call; `None`
+    /// is unbounded. Unlike `deadline` (wall clock, including the time
+    /// the calls themselves take), this bounds only the sleeping — so a
+    /// server whose `retry_after_ms` hint is enormous cannot stretch a
+    /// "polite" retry loop far past what the caller budgeted: each sleep
+    /// is clamped to the remaining budget, and once it is spent the call
+    /// returns the last rejection instead of sleeping again.
+    pub retry_budget: Option<Duration>,
     /// First backoff step.
     pub base_delay: Duration,
     /// Backoff ceiling.
@@ -52,6 +60,7 @@ impl Default for CallOpts {
         CallOpts {
             retries: 8,
             deadline: None,
+            retry_budget: None,
             base_delay: Duration::from_millis(2),
             max_delay: Duration::from_millis(200),
             seed: 0x005e_ed0f_ca11,
@@ -71,6 +80,13 @@ impl CallOpts {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> CallOpts {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the cumulative backoff-sleep budget.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: Duration) -> CallOpts {
+        self.retry_budget = Some(budget);
         self
     }
 
@@ -407,6 +423,7 @@ impl Client {
     ) -> Result<(Value, u64), ClientError> {
         let started = Instant::now();
         let mut attempt: u32 = 0;
+        let mut slept = Duration::ZERO;
         loop {
             let error = match self.call(request) {
                 Ok(reply) => return Ok((reply, u64::from(attempt))),
@@ -448,7 +465,17 @@ impl Client {
                 }
                 _ => (None, None),
             };
-            let backoff = opts.backoff(attempt, hint);
+            let mut backoff = opts.backoff(attempt, hint);
+            if let Some(budget) = opts.retry_budget {
+                // The cumulative-sleep budget beats any server hint: a
+                // huge `retry_after_ms` is clamped to what remains, and
+                // a spent budget ends the loop with the last rejection.
+                let remaining = budget.saturating_sub(slept);
+                if remaining.is_zero() {
+                    return Err(error);
+                }
+                backoff = backoff.min(remaining);
+            }
             if let Some(deadline) = opts.deadline {
                 // Give up rather than oversleep the budget.
                 if started.elapsed() + backoff > deadline {
@@ -456,6 +483,7 @@ impl Client {
                 }
             }
             std::thread::sleep(backoff);
+            slept += backoff;
             if failover {
                 // Best-effort: when every candidate is down, keep the
                 // old (broken) connection and let the next attempt's
@@ -785,6 +813,7 @@ mod tests {
         let opts = CallOpts {
             retries: 4,
             deadline: None,
+            retry_budget: None,
             base_delay: Duration::from_millis(8),
             max_delay: Duration::from_secs(10),
             seed: 7,
@@ -793,5 +822,29 @@ mod tests {
         // best-case jitter of attempt n (full scale): 2^(n+2)/2 = 2^(n+1).
         assert!(opts.backoff(4, None) > opts.backoff(2, None));
         assert!(opts.backoff(6, None) > opts.backoff(4, None));
+    }
+
+    #[test]
+    fn retry_budget_caps_cumulative_sleep_despite_huge_server_hints() {
+        // A server that is permanently overloaded and, adversarially,
+        // hints clients to come back in ten seconds. Without the budget
+        // a polite client would sleep the full hint per retry; with it,
+        // total sleeping is clamped to the budget and the call returns
+        // the rejection promptly.
+        let addr = fake_node(r#"{"ok":false,"error":"overloaded","retry_after_ms":10000}"#);
+        let mut client = Client::connect(addr.as_str()).unwrap();
+        let opts = CallOpts::default()
+            .with_retries(50)
+            .with_retry_budget(Duration::from_millis(80));
+        let started = Instant::now();
+        let err = client
+            .call_with(&Value::obj(vec![("op", Value::str("tick"))]), &opts)
+            .unwrap_err();
+        assert_eq!(err.code(), Some("overloaded"));
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "budgeted retries took {elapsed:?}"
+        );
     }
 }

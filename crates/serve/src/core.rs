@@ -18,6 +18,7 @@ use crate::json::Value;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{error_response, event_to_value, ok_response, Request};
 use crate::repl::{AckWait, ReplShared, Role};
+use crate::storage::{FsStorage, Storage};
 use crate::wal::{Wal, WalConfig};
 
 /// How many journal entries the core retains in memory before it stops
@@ -110,8 +111,31 @@ impl ServiceCore {
         wal_config: WalConfig,
         faults: FaultPlan,
     ) -> std::io::Result<ServiceCore> {
+        ServiceCore::recover_with(
+            Arc::new(FsStorage),
+            config,
+            journal_limit,
+            wal_config,
+            faults,
+        )
+    }
+
+    /// [`ServiceCore::recover`] against an explicit [`Storage`]
+    /// implementation — how the deterministic simulator hosts durable
+    /// cores on an in-memory disk.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ServiceCore::recover`].
+    pub fn recover_with(
+        storage: Arc<dyn Storage>,
+        config: MarketConfig,
+        journal_limit: JournalLimit,
+        wal_config: WalConfig,
+        faults: FaultPlan,
+    ) -> std::io::Result<ServiceCore> {
         let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
-        let recovery = Wal::open(wal_config, faults.clone())?;
+        let recovery = Wal::open_with(storage, wal_config, faults.clone())?;
         let mut engine = match &recovery.checkpoint {
             Some((_, snapshot)) => {
                 // Capacity values are excluded from the check: the
@@ -161,7 +185,7 @@ impl ServiceCore {
 
     /// Attaches replication state; the core will stream appended records
     /// (as a primary) and track per-epoch state fingerprints.
-    pub(crate) fn attach_repl(&mut self, repl: Arc<ReplShared>) {
+    pub fn attach_repl(&mut self, repl: Arc<ReplShared>) {
         self.repl = Some(repl);
     }
 
@@ -249,7 +273,11 @@ impl ServiceCore {
                         .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                     ServeMetrics::bump(&metrics.epochs);
                     if let Some(repl) = &self.repl {
-                        repl.push_epoch_fp(epoch, self.engine.state_fingerprint());
+                        repl.push_epoch_fp(
+                            self.events_applied,
+                            epoch,
+                            self.engine.state_fingerprint(),
+                        );
                     }
                 }
                 let mut fields = vec![("epoch", Value::from_u64(epoch))];
@@ -312,7 +340,11 @@ impl ServiceCore {
     /// known sequence. Replays (`seq` below the applied count) are
     /// skipped but still acknowledged; a sequence from the future means
     /// the stream has a hole and the puller must resynchronize.
-    pub(crate) fn apply_repl(
+    ///
+    /// Public for the deterministic simulator (`ref-dst`), which drives
+    /// standby cores with frames it routes itself instead of running the
+    /// replication threads.
+    pub fn apply_repl(
         &mut self,
         seq: u64,
         event: MarketEvent,
@@ -366,11 +398,7 @@ impl ServiceCore {
     /// An undecodable snapshot or one for a different market
     /// configuration as [`std::io::ErrorKind::InvalidInput`]; WAL reset
     /// I/O errors verbatim.
-    pub(crate) fn restore_from_snapshot(
-        &mut self,
-        seq: u64,
-        snapshot_text: &str,
-    ) -> std::io::Result<()> {
+    pub fn restore_from_snapshot(&mut self, seq: u64, snapshot_text: &str) -> std::io::Result<()> {
         let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
         let snapshot = MarketSnapshot::decode(snapshot_text).map_err(|e| invalid(e.to_string()))?;
         if !snapshot.config.compatible_with(self.engine.config()) {
@@ -518,6 +546,43 @@ impl ServiceCore {
                     }
                 }
             }
+            Request::Scrub => {
+                let Some(wal) = &self.wal else {
+                    // No WAL, nothing to verify: vacuously clean.
+                    return ok_response(vec![
+                        ("clean", Value::Bool(true)),
+                        ("segments", Value::from_u64(0)),
+                        ("records", Value::from_u64(0)),
+                        ("checkpoints", Value::from_u64(0)),
+                        ("errors", Value::Arr(Vec::new())),
+                    ]);
+                };
+                match wal.scrub() {
+                    Ok(report) => {
+                        ServeMetrics::bump_by(
+                            &metrics.wal_scrub_errors,
+                            report.errors.len() as u64,
+                        );
+                        ok_response(vec![
+                            ("clean", Value::Bool(report.is_clean())),
+                            ("segments", Value::from_u64(report.segments)),
+                            ("records", Value::from_u64(report.records)),
+                            ("checkpoints", Value::from_u64(report.checkpoints)),
+                            (
+                                "errors",
+                                Value::Arr(
+                                    report
+                                        .errors
+                                        .iter()
+                                        .map(|e| Value::str(e.clone()))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    }
+                    Err(e) => error_response("wal", Some(&format!("scrub failed: {e}")), None),
+                }
+            }
             Request::Shutdown => error_response(
                 "protocol",
                 Some("shutdown is handled by the transport"),
@@ -551,7 +616,7 @@ impl ServiceCore {
 
 /// Outcome of applying one replicated record on a standby.
 #[derive(Debug)]
-pub(crate) enum ReplApply {
+pub enum ReplApply {
     /// Applied (and logged); when the record closed an epoch, the
     /// standby's post-epoch state fingerprint rides back on the ack.
     Applied {

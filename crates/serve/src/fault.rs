@@ -62,6 +62,44 @@ pub struct FaultPlan {
     /// shard's own WAL, and epoch resynchronization. Cannot re-fire
     /// after recovery: the recovered engine is already past `epoch`.
     pub panic_shard_ticker: Option<(u64, u64)>,
+    /// Schedule-driven WAL faults: an arbitrary list of injections, each
+    /// keyed to an append sequence and fired once when that sequence is
+    /// attempted. This is the simulator's interface — `ref-dst` compiles
+    /// a seeded virtual-time schedule down to the WAL sequences it
+    /// expects each node to reach, so one plan can tear *several* writes
+    /// across a run where the single-shot fields above inject exactly
+    /// one. Entries may target the same sequences as the single-shot
+    /// fields; the single-shot fields win ties (they are checked first).
+    pub wal_schedule: Vec<ScheduledWalFault>,
+}
+
+/// One entry in [`FaultPlan::wal_schedule`]: inject `kind` when the WAL
+/// attempts to append sequence `at_seq`. Fires once and is consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledWalFault {
+    /// The append sequence the fault triggers on.
+    pub at_seq: u64,
+    /// What to inject.
+    pub kind: WalFaultKind,
+}
+
+/// The kinds of WAL write fault a schedule can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFaultKind {
+    /// Fail the append before any bytes land (transient; a retry of the
+    /// same sequence succeeds). Mirrors [`FaultPlan::fail_append_at`].
+    FailAppend,
+    /// Fail the fsync after the bytes land; the bytes are rolled back
+    /// and the append reports an error. Mirrors
+    /// [`FaultPlan::fail_sync_at`].
+    FailSync,
+    /// Write only the first `bytes` bytes of the framed record, then
+    /// poison the log — a crash mid-write. Mirrors
+    /// [`FaultPlan::torn_append_at`].
+    Torn {
+        /// How many bytes of the framed record land before the tear.
+        bytes: usize,
+    },
 }
 
 impl FaultPlan {

@@ -86,6 +86,7 @@
 
 pub mod bus;
 pub mod client;
+pub mod clock;
 pub mod core;
 pub mod fault;
 pub mod json;
@@ -94,12 +95,14 @@ pub mod protocol;
 pub mod repl;
 pub mod server;
 pub mod shard;
+pub mod storage;
 pub mod wal;
 
 pub use bus::{Bus, Quotas, SendError};
 pub use client::{CallOpts, Client, ClientError};
-pub use core::{replay, JournalLimit, ServiceCore};
-pub use fault::FaultPlan;
+pub use clock::{Clock, RealClock};
+pub use core::{replay, JournalLimit, ReplApply, ServiceCore};
+pub use fault::{FaultPlan, ScheduledWalFault, WalFaultKind};
 pub use json::Value;
 pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, ServeMetricsSnapshot};
 pub use protocol::{parse_request, Class, Envelope, Request};
@@ -108,4 +111,5 @@ pub use server::{ServeConfig, Server, ShardShutdown, ShutdownReport};
 pub use shard::{
     default_quorum, shard_market_config, CoordinationStatus, Coordinator, HashRing, ShardHealth,
 };
-pub use wal::{Recovery, Wal, WalConfig};
+pub use storage::{FsStorage, Storage, StorageFile};
+pub use wal::{Recovery, ScrubReport, Wal, WalConfig};

@@ -141,6 +141,9 @@ pub struct ServeMetrics {
     /// Failed WAL appends/checkpoints (each one rejected an event or
     /// postponed a checkpoint — never silently dropped).
     pub wal_errors: AtomicU64,
+    /// CRC failures found by WAL scrubs (counter; each one is a damaged
+    /// record or checkpoint a scrub pass reported).
+    pub wal_scrub_errors: AtomicU64,
     /// Snapshot checkpoints taken.
     pub checkpoints: AtomicU64,
     /// WAL segments currently retained on disk (gauge).
@@ -197,6 +200,11 @@ impl ServeMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bumps a counter by `n`.
+    pub fn bump_by(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Raises `queue_depth_max` to at least `depth`.
     pub fn observe_depth(&self, depth: u64) {
         self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
@@ -216,6 +224,7 @@ impl ServeMetrics {
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_errors: self.wal_errors.load(Ordering::Relaxed),
+            wal_scrub_errors: self.wal_scrub_errors.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             wal_segments: self.wal_segments.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
@@ -263,6 +272,8 @@ pub struct ServeMetricsSnapshot {
     pub wal_appends: u64,
     /// Failed WAL appends/checkpoints.
     pub wal_errors: u64,
+    /// CRC failures found by WAL scrubs.
+    pub wal_scrub_errors: u64,
     /// Snapshot checkpoints taken.
     pub checkpoints: u64,
     /// WAL segments retained on disk.
@@ -316,6 +327,7 @@ impl ServeMetricsSnapshot {
             ("queue_depth_max", Value::from_u64(self.queue_depth_max)),
             ("wal_appends", Value::from_u64(self.wal_appends)),
             ("wal_errors", Value::from_u64(self.wal_errors)),
+            ("wal_scrub_errors", Value::from_u64(self.wal_scrub_errors)),
             ("checkpoints", Value::from_u64(self.checkpoints)),
             ("wal_segments", Value::from_u64(self.wal_segments)),
             ("wal_bytes", Value::from_u64(self.wal_bytes)),
@@ -353,6 +365,7 @@ impl ServeMetricsSnapshot {
             ("refserve_queue_depth_max", self.queue_depth_max),
             ("refserve_wal_appends", self.wal_appends),
             ("refserve_wal_errors", self.wal_errors),
+            ("refserve_wal_scrub_errors", self.wal_scrub_errors),
             ("refserve_checkpoints", self.checkpoints),
             ("refserve_wal_segments", self.wal_segments),
             ("refserve_wal_bytes", self.wal_bytes),
@@ -459,6 +472,7 @@ mod tests {
             json.contains("\"quorum_freezes\":0,\"epoch_latency\":"),
             "{json}"
         );
-        assert_eq!(text.lines().count(), 32);
+        assert!(text.contains("refserve_wal_scrub_errors 0\n"), "{text}");
+        assert_eq!(text.lines().count(), 33);
     }
 }

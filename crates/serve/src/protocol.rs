@@ -8,7 +8,7 @@
 //! request  = { "op": op, ...op fields..., "deadline_ms"?: number } "\n"
 //! op       = "join" | "leave" | "demand" | "observe" | "tick"
 //!          | "reallot" | "query" | "snapshot" | "metrics" | "journal"
-//!          | "ping" | "promote" | "shutdown"
+//!          | "scrub" | "ping" | "promote" | "shutdown"
 //! response = { "ok": true,  ...result fields... } "\n"
 //!          | { "ok": false, "error": code, "detail"?: string,
 //!              "retry_after_ms"?: number, "leader"?: string } "\n"
@@ -45,7 +45,8 @@ pub enum Class {
     Control = 0,
     /// Telemetry ingest: `observe`.
     Observe = 1,
-    /// Read-only inspection: `query`, `snapshot`, `metrics`, `journal`.
+    /// Read-only inspection: `query`, `snapshot`, `metrics`, `journal`,
+    /// `scrub`.
     Query = 2,
 }
 
@@ -105,6 +106,9 @@ pub enum Request {
     },
     /// Fetch the accepted-event journal.
     Journal,
+    /// Verify every CRC in every retained WAL segment and checkpoint
+    /// (read-only; reports findings, repairs nothing).
+    Scrub,
     /// Health-check: role, term, epoch, WAL sequence, uptime. Answered
     /// on the reader thread without touching the epoch loop.
     Ping {
@@ -133,6 +137,7 @@ impl Request {
             | Request::Snapshot
             | Request::Metrics { .. }
             | Request::Journal
+            | Request::Scrub
             | Request::Ping { .. } => Class::Query,
         }
     }
@@ -263,6 +268,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             text: value.get("format").and_then(Value::as_str) == Some("text"),
         },
         "journal" => Request::Journal,
+        "scrub" => Request::Scrub,
         "ping" => Request::Ping {
             agent: agent(false)?,
         },
@@ -476,6 +482,7 @@ mod tests {
             (r#"{"op":"snapshot"}"#, Class::Query),
             (r#"{"op":"metrics","format":"text"}"#, Class::Query),
             (r#"{"op":"journal"}"#, Class::Query),
+            (r#"{"op":"scrub"}"#, Class::Query),
             (r#"{"op":"ping"}"#, Class::Query),
             (r#"{"op":"ping","agent":9}"#, Class::Query),
             (r#"{"op":"promote"}"#, Class::Control),

@@ -50,6 +50,7 @@ use std::time::{Duration, Instant};
 
 use ref_market::MarketEvent;
 
+use crate::clock::Clock;
 use crate::json::Value;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{event_to_value, value_to_event, Class};
@@ -225,20 +226,27 @@ pub fn decode_frame(buf: &[u8]) -> FrameDecode {
     }
 }
 
-fn message(t: &str, fields: Vec<(&str, Value)>) -> Vec<u8> {
+/// Builds one framed replication message: a JSON object whose `t` field
+/// is the message kind, with `fields` appended, wrapped in the WAL
+/// record envelope. Public so the deterministic simulator (`ref-dst`)
+/// can speak the exact wire protocol in-process.
+pub fn message(t: &str, fields: Vec<(&str, Value)>) -> Vec<u8> {
     let mut pairs = vec![("t", Value::str(t))];
     pairs.extend(fields);
     encode_frame(Value::obj(pairs).encode().as_bytes())
 }
 
-fn parse_message(payload: &[u8]) -> Option<Value> {
+/// Parses a decoded frame payload back into a replication message,
+/// requiring the `t` kind tag. Inverse of [`message`].
+pub fn parse_message(payload: &[u8]) -> Option<Value> {
     let text = std::str::from_utf8(payload).ok()?;
     let value = Value::parse(text).ok()?;
     value.get("t")?;
     Some(value)
 }
 
-fn kind(msg: &Value) -> &str {
+/// The `t` kind tag of a parsed replication message (empty if absent).
+pub fn kind(msg: &Value) -> &str {
     msg.get("t").and_then(Value::as_str).unwrap_or("")
 }
 
@@ -378,20 +386,36 @@ pub struct ReplShared {
     /// Highest `have` acknowledged by any standby (sync-mode wait).
     acked: Mutex<u64>,
     ack_signal: Condvar,
-    epoch_fps: Mutex<std::collections::VecDeque<(u64, u64)>>,
+    epoch_fps: Mutex<std::collections::VecDeque<(u64, u64, u64)>>,
     /// Standby: channel to the ack-writer thread of the live stream.
     ack_tx: Mutex<Option<mpsc::Sender<Vec<u8>>>>,
-    last_heard: Mutex<Instant>,
+    /// Clock reading (see [`Clock::now`]) of the last frame heard from
+    /// the primary. A `Duration` since the clock's origin, not an
+    /// `Instant`, so the deterministic simulator can drive elections.
+    last_heard: Mutex<Duration>,
+    clock: Arc<dyn Clock>,
+    /// Election timeout after seeded jitter: the configured timeout
+    /// scaled by a per-node factor in `[1.0, 1.5)` derived from the
+    /// serve RNG seed, so two standbys racing to promote after a primary
+    /// death deterministically stagger instead of colliding.
+    election_timeout_jittered: Duration,
 }
 
 impl ReplShared {
-    pub(crate) fn new(config: ReplConfig, wal_dir: PathBuf) -> ReplShared {
+    pub(crate) fn new(
+        config: ReplConfig,
+        wal_dir: PathBuf,
+        clock: Arc<dyn Clock>,
+        rng_seed: u64,
+    ) -> ReplShared {
         let role = if config.standby_of.is_some() {
             Role::Standby
         } else {
             Role::Primary
         };
         let leader_repl = config.standby_of.clone();
+        let election_timeout_jittered = jitter_timeout(config.election_timeout, rng_seed);
+        let now = clock.now();
         ReplShared {
             config,
             wal_dir,
@@ -408,7 +432,9 @@ impl ReplShared {
             ack_signal: Condvar::new(),
             epoch_fps: Mutex::new(std::collections::VecDeque::new()),
             ack_tx: Mutex::new(None),
-            last_heard: Mutex::new(Instant::now()),
+            last_heard: Mutex::new(now),
+            clock,
+            election_timeout_jittered,
         }
     }
 
@@ -634,23 +660,32 @@ impl ReplShared {
         }
     }
 
-    /// Records the primary's state fingerprint right after epoch `epoch`.
-    pub(crate) fn push_epoch_fp(&self, epoch: u64, fp: u64) {
+    /// Records the primary's state fingerprint right after applying the
+    /// epoch tick: `have` is the log position after the tick record,
+    /// `epoch` the resulting epoch. Keying the ring by log position —
+    /// not by the epoch label a standby later *claims* — means a
+    /// replica that skipped an idle tick (a perfect mirror of a past
+    /// valid state, whose stale epoch self-consistently matches its
+    /// stale fingerprint) is still caught: at the same `have` its
+    /// reported epoch lags the primary's.
+    pub(crate) fn push_epoch_fp(&self, have: u64, epoch: u64, fp: u64) {
         let mut fps = self.epoch_fps.lock().expect("repl lock poisoned");
-        fps.push_back((epoch, fp));
+        fps.push_back((have, epoch, fp));
         while fps.len() > FP_RING {
             fps.pop_front();
         }
     }
 
-    fn fp_for_epoch(&self, epoch: u64) -> Option<u64> {
+    /// The `(epoch, fingerprint)` the primary had after log position
+    /// `have`, if that tick is still in the ring.
+    fn fp_for_have(&self, have: u64) -> Option<(u64, u64)> {
         self.epoch_fps
             .lock()
             .expect("repl lock poisoned")
             .iter()
             .rev()
-            .find(|(e, _)| *e == epoch)
-            .map(|(_, fp)| *fp)
+            .find(|(h, _, _)| *h == have)
+            .map(|(_, e, fp)| (*e, *fp))
     }
 
     fn set_ack_tx(&self, tx: mpsc::Sender<Vec<u8>>) {
@@ -677,14 +712,18 @@ impl ReplShared {
     }
 
     pub(crate) fn note_heard(&self) {
-        *self.last_heard.lock().expect("repl lock poisoned") = Instant::now();
+        *self.last_heard.lock().expect("repl lock poisoned") = self.clock.now();
     }
 
     fn silence(&self) -> Duration {
-        self.last_heard
-            .lock()
-            .expect("repl lock poisoned")
-            .elapsed()
+        let heard = *self.last_heard.lock().expect("repl lock poisoned");
+        self.clock.now().saturating_sub(heard)
+    }
+
+    /// The election timeout this node actually applies: the configured
+    /// timeout plus its seeded jitter (see `election_timeout_jittered`).
+    pub(crate) fn effective_election_timeout(&self) -> Duration {
+        self.election_timeout_jittered
     }
 
     pub(crate) fn request_resync(&self) {
@@ -694,6 +733,19 @@ impl ReplShared {
     fn take_resync(&self) -> bool {
         self.resync.swap(false, Ordering::SeqCst)
     }
+}
+
+/// Scales `timeout` by a deterministic per-seed factor in `[1.0, 1.5)`.
+///
+/// Identical seeds give identical timeouts (reproducible elections in
+/// the simulator); distinct seeds stagger, shrinking the window where
+/// two standbys promote simultaneously after a primary death.
+fn jitter_timeout(timeout: Duration, rng_seed: u64) -> Duration {
+    let frac_q32 = u64::from((crate::shard::mix64(rng_seed ^ 0x00E1_EC71_0471_37E0) >> 32) as u32);
+    let base = timeout.as_nanos() as u64;
+    // extra = base * frac / 2 where frac ∈ [0, 1) in Q32 fixed point.
+    let extra = (((u128::from(base) * u128::from(frac_q32)) >> 32) / 2) as u64;
+    Duration::from_nanos(base.saturating_add(extra))
 }
 
 // ---------------------------------------------------------------------
@@ -975,8 +1027,8 @@ fn ack_loop(
             .and_then(Value::as_str)
             .and_then(|s| u64::from_str_radix(s, 16).ok());
         if let (Some(epoch), Some(fp)) = (epoch, fp) {
-            if let Some(expected) = repl.fp_for_epoch(epoch) {
-                if expected != fp {
+            if let Some((want_epoch, expected)) = repl.fp_for_have(have) {
+                if want_epoch != epoch || expected != fp {
                     // The replica's state split from ours. Halt its
                     // replication loudly: count it, tell it (so it
                     // fences itself), drop it. Never promote material.
@@ -985,6 +1037,7 @@ fn ack_loop(
                         "diverged",
                         vec![
                             ("epoch", Value::from_u64(epoch)),
+                            ("expected_epoch", Value::from_u64(want_epoch)),
                             ("expected", Value::str(format!("{expected:016x}"))),
                             ("got", Value::str(format!("{fp:016x}"))),
                         ],
@@ -1034,7 +1087,7 @@ pub(crate) fn standby_loop(shared: &Arc<Shared>) {
 }
 
 fn maybe_auto_promote(shared: &Arc<Shared>, repl: &Arc<ReplShared>) {
-    if !repl.config.auto_promote || repl.silence() < repl.config.election_timeout {
+    if !repl.config.auto_promote || repl.silence() < repl.effective_election_timeout() {
         return;
     }
     // The ticker performs the promotion so role flips are serialized
@@ -1156,7 +1209,7 @@ fn follow_primary(shared: &Arc<Shared>, repl: &Arc<ReplShared>, stream: TcpStrea
         let payload = match conn.read_frame() {
             Ok(Some(payload)) => payload,
             Ok(None) => {
-                if repl.silence() > repl.config.election_timeout {
+                if repl.silence() > repl.effective_election_timeout() {
                     // Connected but mute (wedged primary): treat it as
                     // dead and let the election path take over.
                     break;
@@ -1325,6 +1378,17 @@ mod tests {
         let n = frame.len();
         frame[n - 3] ^= 0x10;
         assert!(matches!(decode_frame(&frame), FrameDecode::Corrupt(_)));
+    }
+
+    #[test]
+    fn election_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(300);
+        assert_eq!(jitter_timeout(base, 7), jitter_timeout(base, 7));
+        assert_ne!(jitter_timeout(base, 1), jitter_timeout(base, 2));
+        for seed in 0..256u64 {
+            let t = jitter_timeout(base, seed);
+            assert!(t >= base && t < base + base / 2, "seed {seed}: {t:?}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ use std::time::{Duration, Instant};
 use ref_market::{AgentId, MarketConfig, MarketEvent};
 
 use crate::bus::{Bus, Quotas, SendError};
+use crate::clock::{Clock, RealClock};
 use crate::core::{JournalLimit, ReplApply, ServiceCore};
 use crate::fault::FaultPlan;
 use crate::json::Value;
@@ -131,6 +132,15 @@ pub struct ServeConfig {
     /// Consecutive clean ticks a Suspect shard must deliver before the
     /// router declares it Healthy again.
     pub recovery_clean_ticks: u64,
+    /// The clock that heartbeat, election, and timed-epoch scheduling
+    /// read. [`RealClock`] (the default) is a zero-cost monotonic
+    /// reading; the deterministic simulator substitutes virtual time.
+    /// The seam covers time *reads* — blocking waits stay real.
+    pub clock: Arc<dyn Clock>,
+    /// Seed of the server's deterministic randomness (today: the seeded
+    /// election-timeout jitter that staggers competing standbys).
+    /// Distinct nodes should get distinct seeds.
+    pub rng_seed: u64,
 }
 
 impl ServeConfig {
@@ -155,7 +165,21 @@ impl ServeConfig {
             quorum: None,
             shard_tick_budget: Duration::from_secs(5),
             recovery_clean_ticks: 3,
+            clock: Arc::new(RealClock),
+            rng_seed: 0x5EED,
         }
+    }
+
+    /// Substitutes the clock behind heartbeat/election/epoch timing.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> ServeConfig {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the seed of the server's deterministic randomness.
+    pub fn with_rng_seed(mut self, seed: u64) -> ServeConfig {
+        self.rng_seed = seed;
+        self
     }
 
     /// Sets the epoch cadence (`None` = tick-on-request only).
@@ -503,19 +527,33 @@ impl Server {
         // its own WAL directory, so crash recovery and replay stay
         // strictly per shard.
         let mut cores = Vec::with_capacity(n);
-        for shard in 0..n {
+        let mut scrub_errors = vec![0u64; n];
+        for (shard, scrub_slot) in scrub_errors.iter_mut().enumerate() {
             let market = if n == 1 {
                 config.market.clone()
             } else {
                 shard_market_config(&config.market, n)
             };
             let core = match shard_wal_config(&config, shard) {
-                Some(wal_config) => ServiceCore::recover(
-                    market,
-                    config.journal_limit,
-                    wal_config,
-                    config.faults.clone(),
-                )?,
+                Some(wal_config) => {
+                    let core = ServiceCore::recover(
+                        market,
+                        config.journal_limit,
+                        wal_config,
+                        config.faults.clone(),
+                    )?;
+                    // Post-recovery scrub: recovery validates only the
+                    // replay path, so verify every retained byte (old
+                    // checkpoints included) and surface latent rot in
+                    // the `wal_scrub_errors` counter rather than letting
+                    // it wait silently for the next failover.
+                    *scrub_slot = match core.wal().map(|wal| wal.scrub()) {
+                        Some(Ok(report)) => report.errors.len() as u64,
+                        Some(Err(_)) => 1,
+                        None => 0,
+                    };
+                    core
+                }
                 None => ServiceCore::new(market, config.journal_limit)
                     .map_err(|e| invalid(&e.to_string()))?
                     .with_faults(config.faults.clone()),
@@ -536,7 +574,12 @@ impl Server {
                 let repl_listener = TcpListener::bind(&repl_config.listen)?;
                 repl_listener.set_nonblocking(true)?;
                 let repl_addr = repl_listener.local_addr()?;
-                let repl = Arc::new(ReplShared::new(repl_config.clone(), wal_dir));
+                let repl = Arc::new(ReplShared::new(
+                    repl_config.clone(),
+                    wal_dir,
+                    Arc::clone(&config.clock),
+                    config.rng_seed,
+                ));
                 repl.set_self_addrs(addr.to_string(), repl_addr.to_string());
                 cores[0].attach_repl(Arc::clone(&repl));
                 Some((repl, repl_listener, repl_addr))
@@ -570,6 +613,11 @@ impl Server {
                 })
             })
             .collect();
+        for (shared, errors) in shards.iter().zip(&scrub_errors) {
+            if *errors > 0 {
+                ServeMetrics::bump_by(&shared.metrics.wal_scrub_errors, *errors);
+            }
+        }
         let router = Arc::new(Router {
             ring: HashRing::new(n, config.ring_seed),
             stop: AtomicBool::new(false),
@@ -1113,6 +1161,7 @@ fn dispatch(line: &str, router: &Arc<Router>, config: &ServeConfig) -> Value {
         | Request::Snapshot
         | Request::Journal
         | Request::Metrics { .. }
+        | Request::Scrub
         | Request::Promote
         | Request::Shutdown => {
             let wait = envelope
@@ -1329,6 +1378,13 @@ fn merge_fanned(request: &Request, replies: Vec<Value>) -> Value {
         return ok_response(vec![("text", Value::str(out))]);
     }
     let mut fields: Vec<(&str, Value)> = Vec::new();
+    if let Request::Scrub = request {
+        // A fleet is clean only when every shard's log scrubbed clean.
+        let clean = replies
+            .iter()
+            .all(|r| r.get("clean") == Some(&Value::Bool(true)));
+        fields.push(("clean", Value::Bool(clean)));
+    }
     if let Request::Query { agent: None } = request {
         let epoch = replies
             .iter()
@@ -1599,19 +1655,20 @@ fn coordinator_loop(router: &Arc<Router>, config: &ServeConfig) {
     let interval = config
         .epoch_interval
         .expect("coordinator requires timed epochs");
-    let mut next = Instant::now() + interval;
+    let mut next = config.clock.now() + interval;
     loop {
         if router.stopped() || router.shards.iter().any(|s| s.bus.is_closed()) {
             return;
         }
-        let now = Instant::now();
+        let now = config.clock.now();
         if now < next {
-            // Short sleeps keep shutdown latency bounded.
+            // Short sleeps keep shutdown latency bounded (and re-read a
+            // virtual clock promptly).
             std::thread::sleep((next - now).min(Duration::from_millis(20)));
             continue;
         }
         let _ = fan_tick(router, None, config);
-        next = Instant::now() + interval;
+        next = config.clock.now() + interval;
     }
 }
 
@@ -1912,9 +1969,12 @@ fn ping_response(router: &Arc<Router>, config: &ServeConfig, agent: Option<Agent
 /// panic loses at most the request being handled: drain progress and
 /// pending shutdown replies survive into the next pass.
 struct TickerState {
-    next_tick: Option<Instant>,
+    /// Clock reading ([`Clock::now`]) at which the next timed epoch is
+    /// due. A `Duration` since the clock's origin rather than an
+    /// `Instant`, so the deterministic simulator can drive the schedule.
+    next_tick: Option<Duration>,
     /// Next heartbeat due on the replication stream (primaries only).
-    next_hb: Option<Instant>,
+    next_hb: Option<Duration>,
     shutdown_replies: Vec<mpsc::Sender<Value>>,
     draining: bool,
     degraded: bool,
@@ -1925,14 +1985,14 @@ fn ticker_loop(core: ServiceCore, shard: usize, shared: &Arc<Shared>, config: &S
     // shared slot; `Some` until the pass that returns `true`.
     let mut core = Some(core);
     let mut state = TickerState {
-        next_tick: config.epoch_interval.map(|i| Instant::now() + i),
+        next_tick: config.epoch_interval.map(|i| config.clock.now() + i),
         // A replicated node that boots as the primary heartbeats from
         // the first pass; a standby starts heartbeating on promotion.
         next_hb: config
             .repl
             .as_ref()
             .filter(|r| r.standby_of.is_none())
-            .map(|_| Instant::now()),
+            .map(|_| config.clock.now()),
         shutdown_replies: Vec::new(),
         draining: false,
         degraded: false,
@@ -1983,14 +2043,18 @@ fn ticker_pass(
     }
     let core = slot.as_mut().expect("core retired but ticker re-entered");
     if !state.draining {
+        let now = config.clock.now();
         let mut park = match state.next_tick {
-            Some(at) => at.saturating_duration_since(Instant::now()),
+            Some(at) => at.saturating_sub(now),
             None => Duration::from_millis(50),
         };
         if let Some(at) = state.next_hb {
-            park = park.min(at.saturating_duration_since(Instant::now()));
+            park = park.min(at.saturating_sub(now));
         }
         if !park.is_zero() {
+            // The park itself is a real (blocking) wait even under a
+            // virtual clock; it is interrupted by any bus push, and the
+            // due checks below re-read the configured clock.
             shared.bus.wait(park);
         }
     }
@@ -2167,7 +2231,7 @@ fn ticker_pass(
 
     if let Some(repl) = shared.repl.as_ref() {
         if repl.role() == Role::Primary {
-            let now = Instant::now();
+            let now = config.clock.now();
             if state.next_hb.is_none_or(|at| now >= at) {
                 repl.publish_heartbeat(repl.term(), core.events_applied());
                 state.next_hb = Some(now + repl.config().heartbeat_interval);
@@ -2176,7 +2240,7 @@ fn ticker_pass(
     }
 
     if let (Some(interval), Some(at)) = (config.epoch_interval, state.next_tick) {
-        if Instant::now() >= at {
+        if config.clock.now() >= at {
             // A degraded ticker stops advancing epochs: the engine is
             // behind its log, and piling ticks on top would widen the
             // divergence recovery has to repair. A standby does not run
@@ -2188,7 +2252,7 @@ fn ticker_pass(
             if !state.degraded && is_primary {
                 let _ = core.handle(&Request::Tick, &shared.metrics);
             }
-            state.next_tick = Some(Instant::now() + interval);
+            state.next_tick = Some(config.clock.now() + interval);
         }
     }
     false
@@ -2215,8 +2279,8 @@ fn handle_promote(state: &mut TickerState, shared: &Arc<Shared>, config: &ServeC
         ]),
         Role::Standby => {
             let (term, old_leader) = repl.promote(&shared.metrics);
-            state.next_tick = config.epoch_interval.map(|i| Instant::now() + i);
-            state.next_hb = Some(Instant::now());
+            state.next_tick = config.epoch_interval.map(|i| config.clock.now() + i);
+            state.next_hb = Some(config.clock.now());
             if let Some(addr) = old_leader {
                 // Detached: never block the ticker on a dead peer's TCP
                 // timeout.

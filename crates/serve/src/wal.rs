@@ -39,15 +39,16 @@
 //!
 //! One process at a time owns a WAL directory; there is no lock file.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use ref_market::{MarketEvent, MarketSnapshot};
 
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, WalFaultKind};
 use crate::json::Value;
 use crate::protocol::{event_to_value, value_to_event};
+use crate::storage::{FsStorage, Storage, StorageFile};
 
 /// Per-record framing overhead in bytes (length + checksum).
 pub const RECORD_HEADER_BYTES: usize = 8;
@@ -245,11 +246,10 @@ fn parse_records(bytes: &[u8]) -> SegmentScan {
 /// `(first_seq_or_seq, path)` pairs in ascending sequence order.
 type SeqPaths = Vec<(u64, PathBuf)>;
 
-fn list_dir(dir: &Path) -> io::Result<(SeqPaths, SeqPaths)> {
+fn list_dir(storage: &dyn Storage, dir: &Path) -> io::Result<(SeqPaths, SeqPaths)> {
     let mut segments = Vec::new();
     let mut checkpoints = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
+    for path in storage.list_dir(dir)? {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
@@ -273,8 +273,9 @@ fn list_dir(dir: &Path) -> io::Result<(SeqPaths, SeqPaths)> {
     Ok((segments, checkpoints))
 }
 
-fn read_checkpoint_file(path: &Path) -> io::Result<(u64, MarketSnapshot)> {
-    let text = fs::read_to_string(path)?;
+fn read_checkpoint_file(storage: &dyn Storage, path: &Path) -> io::Result<(u64, MarketSnapshot)> {
+    let text = String::from_utf8(storage.read(path)?)
+        .map_err(|_| corrupt("checkpoint is not valid UTF-8"))?;
     let mut rest = text.as_str();
     let mut take_line = |what: &str| -> io::Result<&str> {
         let (line, tail) = rest
@@ -323,7 +324,8 @@ pub struct Recovery {
 pub struct Wal {
     config: WalConfig,
     faults: FaultPlan,
-    file: File,
+    storage: Arc<dyn Storage>,
+    file: Box<dyn StorageFile>,
     /// On-disk segments in ascending first-sequence order; the last one
     /// is the open segment `file` appends to.
     segments: Vec<(u64, PathBuf)>,
@@ -355,15 +357,30 @@ impl Wal {
     /// that recovery must not paper over (a bad record in a non-final
     /// segment, or a sequence gap).
     pub fn open(config: WalConfig, faults: FaultPlan) -> io::Result<Recovery> {
-        fs::create_dir_all(&config.dir)?;
-        let (disk_segments, disk_checkpoints) = list_dir(&config.dir)?;
+        Wal::open_with(Arc::new(FsStorage), config, faults)
+    }
+
+    /// [`Wal::open`] against an explicit [`Storage`] implementation —
+    /// the deterministic simulator's entry point (an in-memory
+    /// `SimDisk`); `open` itself is this with [`FsStorage`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Wal::open`].
+    pub fn open_with(
+        storage: Arc<dyn Storage>,
+        config: WalConfig,
+        faults: FaultPlan,
+    ) -> io::Result<Recovery> {
+        storage.create_dir_all(&config.dir)?;
+        let (disk_segments, disk_checkpoints) = list_dir(storage.as_ref(), &config.dir)?;
 
         // Newest structurally-valid checkpoint wins; damaged ones are
         // skipped (a crash mid-rename can leave none — that is fine, the
         // segments still hold everything).
         let mut checkpoint = None;
         for (seq, path) in disk_checkpoints.iter().rev() {
-            match read_checkpoint_file(path) {
+            match read_checkpoint_file(storage.as_ref(), path) {
                 Ok((file_seq, snapshot)) if file_seq == *seq => {
                     checkpoint = Some((*seq, snapshot));
                     break;
@@ -403,7 +420,7 @@ impl Wal {
                     "sequence gap: segment {path:?} starts at {first}, expected {cursor}"
                 )));
             }
-            let bytes = fs::read(path)?;
+            let bytes = storage.read(path)?;
             let scan = parse_records(&bytes);
             let parsed_bytes: u64 =
                 bytes.len() as u64 - scan.torn_at.map_or(0, |at| bytes.len() as u64 - at);
@@ -416,9 +433,7 @@ impl Wal {
                 // Torn tail: truncate the file back to the last complete
                 // record so future appends extend a clean log.
                 truncated_bytes = bytes.len() as u64 - at;
-                let file = OpenOptions::new().write(true).open(path)?;
-                file.set_len(at)?;
-                file.sync_all()?;
+                storage.truncate(path, at)?;
             }
             for (j, event) in scan.events.iter().enumerate() {
                 let seq = first + j as u64;
@@ -445,34 +460,35 @@ impl Wal {
         let fresh_segment = disk_segments.is_empty() || cursor < ckpt_seq;
         if cursor < ckpt_seq && !config.retain_history {
             for (_, path) in kept_segments.drain(..) {
-                let _ = fs::remove_file(path);
+                let _ = storage.remove_file(&path);
             }
         }
         let (file, segment_bytes, segment_records) = if fresh_segment {
             let path = segment_path(&config.dir, next_seq);
-            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            let file = storage.open_append(&path, true)?;
             kept_segments.push((next_seq, path));
             (file, 0, 0)
         } else {
             let path = kept_segments.last().expect("non-empty").1.clone();
-            let mut file = OpenOptions::new().append(true).open(&path)?;
-            file.seek(SeekFrom::End(0))?;
+            let file = storage.open_append(&path, false)?;
             (file, last_bytes, last_records)
         };
 
         let mut total_bytes = 0u64;
         for (_, path) in &kept_segments {
-            total_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            total_bytes += storage.len(path).unwrap_or(0);
         }
         let checkpoint_bytes = checkpoint
             .as_ref()
-            .and_then(|(seq, _)| fs::metadata(checkpoint_path(&config.dir, *seq)).ok())
-            .map_or(0, |m| m.len());
+            .map(|(seq, _)| checkpoint_path(&config.dir, *seq))
+            .and_then(|path| storage.len(&path).ok())
+            .unwrap_or(0);
 
         Ok(Recovery {
             wal: Wal {
                 config,
                 faults,
+                storage,
                 file,
                 segments: kept_segments,
                 segment_bytes,
@@ -561,24 +577,21 @@ impl Wal {
         let path = checkpoint_path(&self.config.dir, seq);
         let tmp = path.with_extension("tmp");
         let content_len = content.len() as u64;
-        fs::write(&tmp, content)?;
-        fs::rename(&tmp, &path)?;
+        self.storage.write(&tmp, content.as_bytes())?;
+        self.storage.rename(&tmp, &path)?;
 
         // The new checkpoint is durable; now drop the stale history.
-        let (segments, checkpoints) = list_dir(&self.config.dir)?;
+        let (segments, checkpoints) = list_dir(self.storage.as_ref(), &self.config.dir)?;
         for (ckpt_seq, old) in checkpoints {
             if ckpt_seq != seq {
-                let _ = fs::remove_file(old);
+                let _ = self.storage.remove_file(&old);
             }
         }
         for (_, old) in segments {
-            let _ = fs::remove_file(old);
+            let _ = self.storage.remove_file(&old);
         }
         let segment = segment_path(&self.config.dir, seq);
-        self.file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&segment)?;
+        self.file = self.storage.open_append(&segment, true)?;
         self.segments = vec![(seq, segment)];
         self.segment_bytes = 0;
         self.segment_records = 0;
@@ -604,6 +617,16 @@ impl Wal {
             return Err(io::Error::other("wal poisoned by an earlier failed write"));
         }
         let seq = self.next_seq;
+        // Schedule-driven faults compile down to the same three
+        // injection points as the single-shot fields; the matching entry
+        // is consumed so each fires once. Single-shot fields win ties by
+        // being checked first at each point.
+        let scheduled = self
+            .faults
+            .wal_schedule
+            .iter()
+            .position(|f| f.at_seq == seq)
+            .map(|i| self.faults.wal_schedule.remove(i).kind);
         if self.faults.fail_append_at == Some(seq) {
             // Transient by design: the fault fires once, so a retry of
             // the same sequence (the caller never advanced) succeeds.
@@ -612,25 +635,36 @@ impl Wal {
                 "injected append failure at seq {seq}"
             )));
         }
+        if scheduled == Some(WalFaultKind::FailAppend) {
+            return Err(io::Error::other(format!(
+                "injected append failure at seq {seq}"
+            )));
+        }
         if self.segment_records > 0 && self.segment_bytes >= self.config.segment_max_bytes {
             self.rotate()?;
         }
         let record = frame(&encode_event(event));
-        if let Some((torn_seq, bytes)) = self.faults.torn_append_at {
-            if torn_seq == seq {
-                // Simulate dying mid-write: leave a partial record on
-                // disk and refuse all further writes.
-                let cut = bytes.min(record.len().saturating_sub(1)).max(1);
-                let _ = self.file.write_all(&record[..cut]);
-                let _ = self.file.sync_data();
-                self.poisoned = true;
-                return Err(io::Error::other(format!(
-                    "injected torn write at seq {seq}"
-                )));
-            }
+        let torn = match self.faults.torn_append_at {
+            Some((torn_seq, bytes)) if torn_seq == seq => Some(bytes),
+            _ => match scheduled {
+                Some(WalFaultKind::Torn { bytes }) => Some(bytes),
+                _ => None,
+            },
+        };
+        if let Some(bytes) = torn {
+            // Simulate dying mid-write: leave a partial record on
+            // disk and refuse all further writes.
+            let cut = bytes.min(record.len().saturating_sub(1)).max(1);
+            let _ = self.file.write_all(&record[..cut]);
+            let _ = self.file.sync_data();
+            self.poisoned = true;
+            return Err(io::Error::other(format!(
+                "injected torn write at seq {seq}"
+            )));
         }
-        let inject_sync_failure = self.faults.fail_sync_at == Some(seq);
-        if inject_sync_failure {
+        let inject_sync_failure =
+            self.faults.fail_sync_at == Some(seq) || scheduled == Some(WalFaultKind::FailSync);
+        if self.faults.fail_sync_at == Some(seq) {
             // Transient, like `fail_append_at`.
             self.faults.fail_sync_at = None;
         }
@@ -648,11 +682,7 @@ impl Wal {
         if let Err(e) = outcome {
             // Self-heal: drop whatever partial bytes landed so the log
             // never runs ahead of the applied state.
-            let healed = self
-                .file
-                .set_len(self.segment_bytes)
-                .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()));
-            if healed.is_err() {
+            if self.file.set_len(self.segment_bytes).is_err() {
                 self.poisoned = true;
             }
             return Err(e);
@@ -668,7 +698,7 @@ impl Wal {
     fn rotate(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
         let path = segment_path(&self.config.dir, self.next_seq);
-        self.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.file = self.storage.open_append(&path, true)?;
         self.segments.push((self.next_seq, path));
         self.segment_bytes = 0;
         self.segment_records = 0;
@@ -691,8 +721,8 @@ impl Wal {
         let path = checkpoint_path(&self.config.dir, seq);
         let tmp = path.with_extension("tmp");
         let content_len = content.len() as u64;
-        fs::write(&tmp, content)?;
-        fs::rename(&tmp, &path)?;
+        self.storage.write(&tmp, content.as_bytes())?;
+        self.storage.rename(&tmp, &path)?;
         self.checkpoints_taken += 1;
         self.checkpoint_bytes = content_len;
         if !self.config.retain_history {
@@ -705,16 +735,16 @@ impl Wal {
     /// `seq` (a segment is deletable when the *next* segment starts at
     /// or before `seq`, so the segment containing `seq` survives).
     fn prune(&mut self, seq: u64) -> io::Result<()> {
-        let (_, checkpoints) = list_dir(&self.config.dir)?;
+        let (_, checkpoints) = list_dir(self.storage.as_ref(), &self.config.dir)?;
         for (ckpt_seq, path) in checkpoints {
             if ckpt_seq < seq {
-                let _ = fs::remove_file(path);
+                let _ = self.storage.remove_file(&path);
             }
         }
         while self.segments.len() > 1 && self.segments[1].0 <= seq {
             let (_, path) = self.segments.remove(0);
-            let removed = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-            let _ = fs::remove_file(path);
+            let removed = self.storage.len(&path).unwrap_or(0);
+            let _ = self.storage.remove_file(&path);
             self.total_bytes = self.total_bytes.saturating_sub(removed);
         }
         Ok(())
@@ -730,7 +760,18 @@ impl Wal {
     /// I/O failures, or [`io::ErrorKind::InvalidData`] for interior
     /// corruption or sequence gaps.
     pub fn read_events(&self) -> io::Result<(u64, Vec<MarketEvent>)> {
-        read_events(&self.config.dir)
+        read_events_with(self.storage.as_ref(), &self.config.dir)
+    }
+
+    /// Verifies every CRC in every retained segment and checkpoint (see
+    /// [`scrub`]) through this log's own storage handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures *reading* the directory; verification
+    /// findings are reported in the [`ScrubReport`], not as errors.
+    pub fn scrub(&self) -> io::Result<ScrubReport> {
+        scrub_with(self.storage.as_ref(), &self.config.dir)
     }
 }
 
@@ -743,7 +784,16 @@ impl Wal {
 /// I/O failures, or [`io::ErrorKind::InvalidData`] for interior
 /// corruption or sequence gaps.
 pub fn read_events(dir: &Path) -> io::Result<(u64, Vec<MarketEvent>)> {
-    let (segments, _) = list_dir(dir)?;
+    read_events_with(&FsStorage, dir)
+}
+
+/// [`read_events`] against an explicit [`Storage`] implementation.
+///
+/// # Errors
+///
+/// Exactly as [`read_events`].
+pub fn read_events_with(storage: &dyn Storage, dir: &Path) -> io::Result<(u64, Vec<MarketEvent>)> {
+    let (segments, _) = list_dir(storage, dir)?;
     let Some(&(first_seq, _)) = segments.first() else {
         return Ok((0, Vec::new()));
     };
@@ -755,7 +805,7 @@ pub fn read_events(dir: &Path) -> io::Result<(u64, Vec<MarketEvent>)> {
                 "sequence gap: segment {path:?} starts at {first}, expected {cursor}"
             )));
         }
-        let bytes = fs::read(path)?;
+        let bytes = storage.read(path)?;
         let scan = parse_records(&bytes);
         if scan.torn_at.is_some() && i != segments.len() - 1 {
             return Err(corrupt(format!(
@@ -766,6 +816,86 @@ pub fn read_events(dir: &Path) -> io::Result<(u64, Vec<MarketEvent>)> {
         events.extend(scan.events);
     }
     Ok((first_seq, events))
+}
+
+/// What a WAL scrub found (see [`scrub`]). Clean means `errors` is
+/// empty: every record in every segment passed its CRC, and every
+/// checkpoint's body matched its own checksum.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Segments scanned.
+    pub segments: u64,
+    /// Framed records whose CRC verified.
+    pub records: u64,
+    /// Checkpoint files scanned.
+    pub checkpoints: u64,
+    /// Human-readable findings, one per damaged file. Empty when clean.
+    pub errors: Vec<String>,
+}
+
+impl ScrubReport {
+    /// Whether the scrub found no damage at all.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Walks *all* retained segments and checkpoints in `dir`, verifying
+/// every record CRC and every checkpoint checksum — not just the tail
+/// that [`Wal::open`] validates. Read-only: nothing is repaired or
+/// truncated, so it is safe on a live directory (the ticker is the only
+/// writer, and it is the one calling). Damage is reported in the
+/// [`ScrubReport`], one finding per file.
+///
+/// # Errors
+///
+/// Propagates directory-listing and read failures; a missing directory
+/// yields an empty (clean) report.
+pub fn scrub(dir: &Path) -> io::Result<ScrubReport> {
+    scrub_with(&FsStorage, dir)
+}
+
+/// [`scrub`] against an explicit [`Storage`] implementation.
+///
+/// # Errors
+///
+/// Exactly as [`scrub`].
+pub fn scrub_with(storage: &dyn Storage, dir: &Path) -> io::Result<ScrubReport> {
+    let mut report = ScrubReport::default();
+    if !storage.exists(dir) {
+        return Ok(report);
+    }
+    let (segments, checkpoints) = list_dir(storage, dir)?;
+    let last = segments.len().saturating_sub(1);
+    for (i, (first, path)) in segments.iter().enumerate() {
+        report.segments += 1;
+        let bytes = storage.read(path)?;
+        let scan = parse_records(&bytes);
+        report.records += scan.events.len() as u64;
+        if let Some(at) = scan.torn_at {
+            // An open log legitimately ends mid-record only if the
+            // process died this instant; by the time a scrub runs,
+            // recovery has already truncated any torn tail, so *any*
+            // unparseable bytes — even in the final segment — are
+            // reported.
+            let seq = first + scan.events.len() as u64;
+            report.errors.push(format!(
+                "segment {path:?}: invalid record at byte {at} (seq {seq}{})",
+                if i == last { ", torn tail" } else { "" }
+            ));
+        }
+    }
+    for (seq, path) in &checkpoints {
+        report.checkpoints += 1;
+        match read_checkpoint_file(storage, path) {
+            Ok((file_seq, _)) if file_seq == *seq => {}
+            Ok((file_seq, _)) => report.errors.push(format!(
+                "checkpoint {path:?}: name says seq {seq} but file says {file_seq}"
+            )),
+            Err(e) => report.errors.push(format!("checkpoint {path:?}: {e}")),
+        }
+    }
+    Ok(report)
 }
 
 /// The newest structurally-valid checkpoint in `dir`, if any, as
@@ -779,12 +909,24 @@ pub fn read_events(dir: &Path) -> io::Result<(u64, Vec<MarketEvent>)> {
 /// Propagates directory-listing failures; a missing directory yields
 /// `Ok(None)`.
 pub fn newest_checkpoint(dir: &Path) -> io::Result<Option<(u64, String)>> {
-    if !dir.exists() {
+    newest_checkpoint_with(&FsStorage, dir)
+}
+
+/// [`newest_checkpoint`] against an explicit [`Storage`] implementation.
+///
+/// # Errors
+///
+/// Exactly as [`newest_checkpoint`].
+pub fn newest_checkpoint_with(
+    storage: &dyn Storage,
+    dir: &Path,
+) -> io::Result<Option<(u64, String)>> {
+    if !storage.exists(dir) {
         return Ok(None);
     }
-    let (_, checkpoints) = list_dir(dir)?;
+    let (_, checkpoints) = list_dir(storage, dir)?;
     for (seq, path) in checkpoints.iter().rev() {
-        if let Ok((file_seq, snapshot)) = read_checkpoint_file(path) {
+        if let Ok((file_seq, snapshot)) = read_checkpoint_file(storage, path) {
             if file_seq == *seq {
                 return Ok(Some((*seq, snapshot.encode())));
             }
@@ -801,15 +943,24 @@ pub fn newest_checkpoint(dir: &Path) -> io::Result<Option<(u64, String)>> {
 ///
 /// Propagates directory-listing failures.
 pub fn dir_has_state(dir: &Path) -> io::Result<bool> {
-    if !dir.exists() {
+    dir_has_state_with(&FsStorage, dir)
+}
+
+/// [`dir_has_state`] against an explicit [`Storage`] implementation.
+///
+/// # Errors
+///
+/// Exactly as [`dir_has_state`].
+pub fn dir_has_state_with(storage: &dyn Storage, dir: &Path) -> io::Result<bool> {
+    if !storage.exists(dir) {
         return Ok(false);
     }
-    let (segments, checkpoints) = list_dir(dir)?;
+    let (segments, checkpoints) = list_dir(storage, dir)?;
     if !checkpoints.is_empty() {
         return Ok(true);
     }
     for (_, path) in &segments {
-        if fs::metadata(path)?.len() > 0 {
+        if storage.len(path)? > 0 {
             return Ok(true);
         }
     }
@@ -823,7 +974,7 @@ pub fn dir_has_state(dir: &Path) -> io::Result<bool> {
 /// Propagates the read failure.
 pub fn read_raw(path: &Path) -> io::Result<Vec<u8>> {
     let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     Ok(bytes)
 }
 
@@ -834,14 +985,16 @@ pub fn read_raw(path: &Path) -> io::Result<Vec<u8>> {
 ///
 /// Propagates directory-listing failures.
 pub fn last_segment_path(dir: &Path) -> io::Result<Option<PathBuf>> {
-    let (segments, _) = list_dir(dir)?;
+    let (segments, _) = list_dir(&FsStorage, dir)?;
     Ok(segments.into_iter().next_back().map(|(_, path)| path))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ScheduledWalFault;
     use ref_market::ObservationSource;
+    use std::fs::{self, OpenOptions};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Self-cleaning unique temp directory (no tempfile crate).
@@ -1128,6 +1281,100 @@ mod tests {
         let (first, read) = wal.read_events().unwrap();
         assert_eq!(first, 0);
         assert_eq!(read, all);
+    }
+
+    #[test]
+    fn scrub_is_clean_on_a_healthy_log_and_finds_planted_damage() {
+        use ref_core::resource::Capacity;
+        use ref_market::{MarketConfig, MarketEngine};
+
+        let dir = TempDir::new("scrub");
+        let market = MarketConfig::new(Capacity::new(vec![8.0, 4.0]).unwrap());
+        let config = WalConfig::new(dir.path())
+            .with_segment_max_bytes(96)
+            .with_retain_history(true);
+        let mut engine = MarketEngine::new(market).unwrap();
+        let all = events(24);
+        let mut wal = Wal::open(config, FaultPlan::none()).unwrap().wal;
+        for e in &all {
+            wal.append(e).unwrap();
+            let _ = engine.apply_now(e.clone());
+        }
+        wal.checkpoint(&engine.snapshot().encode()).unwrap();
+
+        let report = wal.scrub().unwrap();
+        assert!(
+            report.is_clean(),
+            "healthy log must scrub clean: {report:?}"
+        );
+        assert_eq!(report.records, 24);
+        assert!(report.segments >= 3);
+        assert_eq!(report.checkpoints, 1);
+
+        // Flip one payload byte in the first segment — damage that
+        // `Wal::open` would refuse but a live server never re-reads.
+        let path = segment_path(dir.path(), 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        // And damage the checkpoint body.
+        let ckpt = checkpoint_path(dir.path(), 24);
+        let mut text = fs::read_to_string(&ckpt).unwrap();
+        text.push_str("garbage\n");
+        fs::write(&ckpt, text).unwrap();
+
+        let report = scrub(dir.path()).unwrap();
+        assert_eq!(report.errors.len(), 2, "{report:?}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn scrub_of_missing_dir_is_empty_and_clean() {
+        let dir = TempDir::new("scrubmissing");
+        let report = scrub(&dir.path().join("nope")).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.segments + report.checkpoints, 0);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_once_each_at_their_sequences() {
+        let dir = TempDir::new("sched");
+        let faults = FaultPlan {
+            wal_schedule: vec![
+                ScheduledWalFault {
+                    at_seq: 1,
+                    kind: WalFaultKind::FailAppend,
+                },
+                ScheduledWalFault {
+                    at_seq: 2,
+                    kind: WalFaultKind::FailSync,
+                },
+                ScheduledWalFault {
+                    at_seq: 4,
+                    kind: WalFaultKind::Torn { bytes: 5 },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(faults.is_armed());
+        let all = events(6);
+        let mut wal = Wal::open(WalConfig::new(dir.path()), faults).unwrap().wal;
+        wal.append(&all[0]).unwrap();
+        // seq 1: scheduled append failure, then the retry succeeds.
+        assert!(wal.append(&all[1]).is_err());
+        assert_eq!(wal.append(&all[1]).unwrap(), 1);
+        // seq 2: scheduled fsync failure rolls the bytes back, retry ok.
+        assert!(wal.append(&all[2]).is_err());
+        assert_eq!(wal.append(&all[2]).unwrap(), 2);
+        wal.append(&all[3]).unwrap();
+        // seq 4: scheduled torn write poisons the log.
+        assert!(wal.append(&all[4]).is_err());
+        assert!(wal.poisoned());
+        drop(wal);
+        let rec = Wal::open(WalConfig::new(dir.path()), FaultPlan::none()).unwrap();
+        assert_eq!(rec.tail, all[..4].to_vec());
+        assert!(rec.truncated_bytes > 0);
     }
 
     #[test]
